@@ -1,0 +1,62 @@
+// Ablation A1: proclet migration latency vs. heap size.
+//
+// The paper's enabling claims (§2): migrating a proclet with 10 MiB of state
+// takes "only a few milliseconds", and the small filler proclets of Fig. 1
+// move in under a millisecond. This bench sweeps heap size and reports the
+// measured end-to-end migration latency plus its cost breakdown.
+
+#include <cstdio>
+
+#include "quicksand/common/bytes.h"
+#include "quicksand/proclet/memory_proclet.h"
+
+namespace quicksand {
+namespace {
+
+void Main() {
+  std::printf("=== A1: migration latency vs proclet heap size ===\n");
+  std::printf("fixed overhead %lldus (pinning/mapping) + heap/bandwidth (100Gbps) "
+              "+ 5us latency\n\n",
+              static_cast<long long>(RuntimeConfig{}.migration_fixed_overhead.micros()));
+  std::printf("%12s %14s %16s %12s\n", "heap", "migration", "drain+overhead",
+              "wire copy");
+
+  for (const int64_t heap :
+       {4 * kKiB, 64 * kKiB, 256 * kKiB, 1 * kMiB, 4 * kMiB, 10 * kMiB, 32 * kMiB,
+        64 * kMiB, 256 * kMiB}) {
+    Simulator sim;
+    Cluster cluster(sim);
+    MachineSpec spec;
+    spec.memory_bytes = 2 * kGiB;
+    cluster.AddMachine(spec);
+    cluster.AddMachine(spec);
+    Runtime rt(sim, cluster);
+    const Ctx ctx = rt.CtxOn(0);
+
+    PlacementRequest req;
+    req.heap_bytes = heap;
+    req.pinned = MachineId{0};
+    auto create = rt.Create<MemoryProclet>(ctx, req);
+    Ref<MemoryProclet> proclet = *sim.BlockOn(std::move(create));
+
+    const SimTime start = sim.Now();
+    const Status status = sim.BlockOn(rt.Migrate(proclet.id(), 1));
+    QS_CHECK(status.ok());
+    const Duration total = sim.Now() - start;
+    const Duration wire = cluster.fabric().UnloadedTransferTime(
+        heap + rt.config().migration_header_bytes);
+    std::printf("%12s %14s %16s %12s\n", FormatBytes(heap).c_str(),
+                total.ToString().c_str(), (total - wire).ToString().c_str(),
+                wire.ToString().c_str());
+  }
+  std::printf("\nshape to check: sub-ms below ~4 MiB; ~1ms at 10 MiB "
+              "(paper: 'a few milliseconds'); linear beyond.\n");
+}
+
+}  // namespace
+}  // namespace quicksand
+
+int main() {
+  quicksand::Main();
+  return 0;
+}

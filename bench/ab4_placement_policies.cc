@@ -1,0 +1,115 @@
+// Ablation A4: placement policy comparison under stranded resources.
+//
+// Scenario (§2/§4): one machine has idle CPU but little free memory, the
+// other free memory but busy CPU. A policy that understands per-resource
+// demand (best-fit by the proclet's resource) combines the strands; naive
+// first-fit piles everything onto machine 0 until it bursts. Locality-aware
+// placement additionally colocates a chatty pair.
+
+#include <cstdio>
+
+#include "quicksand/common/bytes.h"
+#include "quicksand/compute/parallel.h"
+#include "quicksand/ds/sharded_vector.h"
+#include "quicksand/sched/placement.h"
+
+namespace quicksand {
+namespace {
+
+struct Outcome {
+  double seconds = 0;
+  int64_t mem_on_m1 = 0;
+  int64_t remote = 0;
+  bool oom = false;
+};
+
+Outcome RunWith(std::unique_ptr<PlacementPolicy> policy) {
+  Simulator sim;
+  Cluster cluster(sim);
+  // Machine 0: lots of CPU, cramped memory. Machine 1: the opposite.
+  MachineSpec cpu_heavy;
+  cpu_heavy.cores = 24;
+  cpu_heavy.memory_bytes = static_cast<int64_t>(1.5 * static_cast<double>(kGiB));
+  MachineSpec mem_heavy;
+  mem_heavy.cores = 4;
+  mem_heavy.memory_bytes = 12 * kGiB;
+  mem_heavy.cpu_quantum = cpu_heavy.cpu_quantum = Duration::Micros(200);
+  cluster.AddMachine(cpu_heavy);
+  cluster.AddMachine(mem_heavy);
+  Runtime rt(sim, cluster);
+  rt.SetPlacementPolicy(std::move(policy));
+  const Ctx ctx = rt.CtxOn(0);
+
+  // 4 GiB dataset in 16 MiB shards; per-element compute.
+  ShardedVector<std::string>::Options vec_options;
+  vec_options.max_shard_bytes = 16 * kMiB;
+  auto vec = *sim.BlockOn(ShardedVector<std::string>::Create(ctx, vec_options));
+  Outcome outcome;
+  constexpr int64_t kElems = 4096;  // x 1 MiB = 4 GiB
+  for (int64_t i = 0; i < kElems; ++i) {
+    auto push = vec.PushBack(ctx, std::string(1 * kMiB, 'x'));
+    Result<uint64_t> pushed = sim.BlockOn(std::move(push));
+    if (!pushed.ok()) {
+      outcome.oom = true;
+      return outcome;
+    }
+  }
+  outcome.mem_on_m1 = cluster.machine(1).memory().used();
+
+  DistPool::Options pool_options;
+  pool_options.initial_proclets = 14;
+  pool_options.workers_per_proclet = 2;
+  DistPool pool = *sim.BlockOn(DistPool::Create(ctx, pool_options));
+
+  const SimTime start = sim.Now();
+  ParallelOptions par;
+  par.span_elems = 64;
+  par.chunk_elems = 8;
+  Status status = sim.BlockOn(ParallelForEach(
+      ctx, pool, vec,
+      [](Ctx job_ctx, uint64_t, std::string blob) -> Task<> {
+        co_await BurnCpu(job_ctx, Duration::Millis(2));
+      },
+      par));
+  QS_CHECK_MSG(status.ok(), status.ToString().c_str());
+  outcome.seconds = (sim.Now() - start).seconds();
+  outcome.remote = rt.stats().remote_invocations;
+  return outcome;
+}
+
+void Main() {
+  std::printf("=== A4: placement policies with stranded resources ===\n");
+  std::printf("m0: 24 cores + 1.5 GiB; m1: 4 cores + 12 GiB; 4 GiB dataset,\n"
+              "2ms compute per 1 MiB element (total %.1f core-seconds)\n\n",
+              4096 * 0.002);
+  std::printf("%-16s %10s %14s %10s %6s\n", "policy", "time[s]", "mem on m1",
+              "remote", "oom");
+  struct Row {
+    const char* name;
+    std::unique_ptr<PlacementPolicy> policy;
+  };
+  Row rows[] = {
+      {"first_fit", std::make_unique<FirstFitPolicy>()},
+      {"best_fit", std::make_unique<BestFitPolicy>()},
+      {"locality_aware", std::make_unique<LocalityAwarePolicy>()},
+  };
+  for (Row& row : rows) {
+    const Outcome outcome = RunWith(std::move(row.policy));
+    std::printf("%-16s %10.2f %14s %10lld %6s\n", row.name, outcome.seconds,
+                FormatBytes(outcome.mem_on_m1).c_str(),
+                static_cast<long long>(outcome.remote), outcome.oom ? "YES" : "no");
+  }
+  std::printf("\nshape to check: first_fit runs out of memory on the cramped\n"
+              "machine (or barely fits); resource-aware policies put the shards\n"
+              "on m1 and the compute on m0, finishing near the CPU-bound ideal\n"
+              "(~%.1fs on 24+4 cores).\n",
+              4096 * 0.002 / 28.0);
+}
+
+}  // namespace
+}  // namespace quicksand
+
+int main() {
+  quicksand::Main();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Ablation A5: eager vs. lazy (post-copy-style) migration.
+//
+// §5 ("How can the hardware help?") suggests that coherent memory like CXL
+// lets the runtime "speed up resource proclet migration by postponing the
+// copying of data". This bench compares the caller-visible blocking window
+// of eager and lazy migration across heap sizes, plus the worst blocked
+// invocation a concurrent client observes.
+
+#include <cstdio>
+
+#include "quicksand/common/bytes.h"
+#include "quicksand/proclet/memory_proclet.h"
+
+namespace quicksand {
+namespace {
+
+struct Measured {
+  Duration blocking;
+  Duration worst_call;
+  Duration copy_done;
+};
+
+Task<> HammerCalls(Runtime& rt, Ref<MemoryProclet> p, bool* stop,
+                   LatencyHistogram* latencies) {
+  const Ctx ctx = rt.CtxOn(0);
+  while (!*stop) {
+    const SimTime start = rt.sim().Now();
+    auto call = p.Call(ctx, [](MemoryProclet& m) -> Task<int64_t> {
+      co_return static_cast<int64_t>(m.object_count());
+    });
+    (void)co_await std::move(call);
+    latencies->Add(rt.sim().Now() - start);
+    co_await rt.sim().Sleep(Duration::Micros(50));
+  }
+}
+
+Measured RunOne(bool lazy, int64_t heap) {
+  Simulator sim;
+  Cluster cluster(sim);
+  for (int i = 0; i < 2; ++i) {
+    MachineSpec spec;
+    spec.memory_bytes = 4 * kGiB;
+    cluster.AddMachine(spec);
+  }
+  RuntimeConfig config;
+  config.lazy_migration = lazy;
+  Runtime rt(sim, cluster, config);
+  const Ctx ctx = rt.CtxOn(0);
+  PlacementRequest req;
+  req.heap_bytes = heap;
+  req.pinned = MachineId{0};
+  auto create = rt.Create<MemoryProclet>(ctx, req);
+  Ref<MemoryProclet> proclet = *sim.BlockOn(std::move(create));
+
+  bool stop = false;
+  LatencyHistogram calls;
+  sim.Spawn(HammerCalls(rt, proclet, &stop, &calls), "hammer");
+  sim.RunUntil(sim.Now() + Duration::Millis(1));
+
+  const SimTime start = sim.Now();
+  QS_CHECK(sim.BlockOn(rt.Migrate(proclet.id(), 1)).ok());
+  const Duration blocking = sim.Now() - start;
+  sim.RunUntil(sim.Now() + Duration::Millis(2));
+  stop = true;
+  sim.RunUntilIdle();
+
+  Measured m;
+  m.blocking = blocking;
+  m.worst_call = calls.Max();
+  m.copy_done = lazy ? rt.stats().lazy_copy_latency.Max() : blocking;
+  return m;
+}
+
+void Main() {
+  std::printf("=== A5: eager vs lazy (post-copy) migration ===\n\n");
+  std::printf("%10s | %12s %14s | %12s %14s %12s\n", "heap", "eager-block",
+              "eager worst-rpc", "lazy-block", "lazy worst-rpc", "copy done");
+  for (const int64_t heap : {1 * kMiB, 10 * kMiB, 64 * kMiB, 256 * kMiB}) {
+    const Measured eager = RunOne(false, heap);
+    const Measured lazy = RunOne(true, heap);
+    std::printf("%10s | %12s %14s | %12s %14s %12s\n", FormatBytes(heap).c_str(),
+                eager.blocking.ToString().c_str(),
+                eager.worst_call.ToString().c_str(),
+                lazy.blocking.ToString().c_str(), lazy.worst_call.ToString().c_str(),
+                lazy.copy_done.ToString().c_str());
+  }
+  std::printf("\nshape to check: eager blocking grows with heap size; lazy stays\n"
+              "at the fixed overhead (~0.2ms) regardless, at the cost of a\n"
+              "double-charge window until the background copy lands.\n");
+}
+
+}  // namespace
+}  // namespace quicksand
+
+int main() {
+  quicksand::Main();
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Figure 3 reproduction: "Quicksand dynamically adapts to changing GPU
+// resources by rapidly scaling the number of compute proclets, reaching new
+// equilibriums in 10-15 ms."
+//
+// The available GPU count toggles between 4 and 8 every 200 ms. The stage
+// scaler watches GPU starvation and queue backlog and splits/merges
+// preprocessing compute proclets to match the consumption rate. Calibration:
+// one producer proclet's throughput ~= one emulated GPU's consumption, so
+// the producer count should track the GPU count.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "quicksand/adapt/stage_scaler.h"
+#include "quicksand/app/preprocess_stage.h"
+#include "quicksand/app/trainer.h"
+#include "quicksand/common/bytes.h"
+
+namespace quicksand {
+namespace {
+
+constexpr Duration kToggleEvery = Duration::Millis(200);
+constexpr int kToggles = 8;
+constexpr int kGpuLow = 4;
+constexpr int kGpuHigh = 8;
+
+void Main() {
+  Simulator sim;
+  Cluster cluster(sim);
+  for (int i = 0; i < 2; ++i) {
+    MachineSpec spec;
+    spec.cores = 8;
+    spec.memory_bytes = 8 * kGiB;
+    spec.cpu_quantum = Duration::Micros(50);
+    cluster.AddMachine(spec);
+  }
+  Runtime rt(sim, cluster);
+  const Ctx ctx = rt.CtxOn(0);
+
+  ShardedQueue<Tensor>::Options queue_options;
+  queue_options.max_segment_bytes = 1 * kMiB;
+  auto queue = *sim.BlockOn(ShardedQueue<Tensor>::Create(ctx, queue_options));
+
+  // Producer throughput: ~1 image/ms (1ms of CPU per image, 1 worker).
+  PreprocessStageConfig stage_cfg;
+  stage_cfg.images.mean_encoded_bytes = 10000;
+  stage_cfg.cost.base = Duration::Micros(200);
+  stage_cfg.cost.ns_per_byte = 80.0;
+  stage_cfg.cost.tensor_bytes = 16 * 1024;
+  stage_cfg.workers_per_proclet = 1;
+  PreprocessStage stage(rt, queue, stage_cfg);
+
+  // GPU consumption: 1 tensor/ms per GPU (small batches so idleness tracks
+  // starvation tightly).
+  GpuTrainerConfig gpu_cfg;
+  gpu_cfg.initial_gpus = kGpuLow;
+  gpu_cfg.max_gpus = kGpuHigh;
+  gpu_cfg.batch_size = 2;
+  gpu_cfg.batch_time = Duration::Millis(2);
+  gpu_cfg.idle_poll = Duration::Micros(100);
+  GpuTrainer trainer(rt, queue, gpu_cfg);
+  trainer.Start();
+
+  for (int i = 0; i < kGpuLow; ++i) {
+    QS_CHECK(sim.BlockOn(stage.AddProducer(ctx)).ok());
+  }
+
+  StageScalerConfig scaler_cfg;
+  scaler_cfg.period = Duration::Millis(2);
+  scaler_cfg.min_producers = 1;
+  scaler_cfg.max_producers = 2 * kGpuHigh;
+  scaler_cfg.starvation_fraction = 0.02;
+  StageScaler scaler(rt, stage, queue, trainer, scaler_cfg);
+  scaler.Start();
+
+  // GPU toggler + gpu-count series.
+  TimeSeries gpu_series("gpus");
+  sim.Spawn(
+      [](Simulator* s, GpuTrainer* t, TimeSeries* series) -> Task<> {
+        for (int i = 0; i < kToggles; ++i) {
+          co_await s->Sleep(kToggleEvery);
+          const int next = (t->gpu_count() == kGpuLow) ? kGpuHigh : kGpuLow;
+          t->SetGpuCount(next);
+          series->Record(s->Now(), next);
+        }
+      }(&sim, &trainer, &gpu_series),
+      "gpu_toggler");
+
+  sim.RunUntil(SimTime::Zero() + kToggleEvery * (kToggles + 1));
+
+  // --- Adaptation latency per toggle: time until the producer count first
+  // reaches the steady value it holds at the end of the window.
+  const auto& producers = scaler.producer_series().points();
+  std::printf("=== Figure 3: adapting to varying GPU resources ===\n");
+  std::printf("GPUs toggle %d<->%d every %lldms; scaler period %lldms\n\n", kGpuLow,
+              kGpuHigh, static_cast<long long>(kToggleEvery.millis()),
+              static_cast<long long>(scaler_cfg.period.millis()));
+
+  std::printf("%10s %6s %22s %18s\n", "toggle[ms]", "gpus", "steady producers",
+              "adaptation[ms]");
+  RunningStat adaptation_ms;
+  for (const auto& toggle : gpu_series.points()) {
+    const SimTime window_end = toggle.time + kToggleEvery;
+    // Steady value: the last sample inside the window.
+    double steady = -1;
+    for (const auto& p : producers) {
+      if (p.time >= toggle.time && p.time < window_end) {
+        steady = p.value;
+      }
+    }
+    if (steady < 0) {
+      continue;
+    }
+    // First time the count reaches (within 1 of) steady after the toggle.
+    double reached_ms = -1;
+    for (const auto& p : producers) {
+      if (p.time >= toggle.time && p.time < window_end &&
+          std::abs(p.value - steady) <= 1.0) {
+        reached_ms = (p.time - toggle.time).seconds() * 1e3;
+        break;
+      }
+    }
+    if (reached_ms >= 0) {
+      adaptation_ms.Add(reached_ms);
+      std::printf("%10.0f %6.0f %22.0f %18.1f\n", toggle.time.seconds() * 1e3,
+                  toggle.value, steady, reached_ms);
+    }
+  }
+  std::printf("\nadaptation latency: mean %.1fms, min %.1fms, max %.1fms "
+              "(paper: 10-15ms)\n",
+              adaptation_ms.mean(), adaptation_ms.min(), adaptation_ms.max());
+  std::printf("scale-ups: %lld, scale-downs: %lld, images produced: %lld, "
+              "tensors trained: %lld\n",
+              static_cast<long long>(scaler.scale_ups()),
+              static_cast<long long>(scaler.scale_downs()),
+              static_cast<long long>(stage.images_produced()),
+              static_cast<long long>(trainer.tensors_consumed()));
+
+  std::printf("\ntimeline (10ms samples): t[ms] gpus producers backlog-ish\n");
+  int current_gpu = kGpuLow;
+  size_t gi = 0;
+  for (size_t i = 0; i < producers.size(); i += 5) {
+    const auto& p = producers[i];
+    while (gi < gpu_series.points().size() &&
+           gpu_series.points()[gi].time <= p.time) {
+      current_gpu = static_cast<int>(gpu_series.points()[gi].value);
+      ++gi;
+    }
+    std::printf("%8.0f %5d %6.0f\n", p.time.seconds() * 1e3, current_gpu, p.value);
+  }
+}
+
+}  // namespace
+}  // namespace quicksand
+
+int main() {
+  quicksand::Main();
+  return 0;
+}

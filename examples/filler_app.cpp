@@ -1,0 +1,100 @@
+// The motivating experiment (§2, Fig. 1) as a runnable demo: a filler
+// application structured as small compute proclets harvests CPU that is idle
+// for only ~10ms at a time, migrating between machines in under a
+// millisecond whenever a high-priority antagonist wakes up.
+//
+// Run: ./build/examples/filler_app
+
+#include <cstdio>
+#include <memory>
+
+#include "quicksand/cluster/antagonist.h"
+#include "quicksand/common/bytes.h"
+#include "quicksand/proclet/compute_proclet.h"
+#include "quicksand/sched/local_reactor.h"
+
+using namespace quicksand;  // NOLINT: example brevity
+
+namespace {
+
+struct Counter {
+  int64_t completed = 0;
+};
+
+ComputeProclet::Job FillerTask(Duration work, std::shared_ptr<Counter> counter) {
+  return [work, counter](Ctx ctx) -> Task<> {
+    auto* proclet = ctx.rt->UnsafeGet<ComputeProclet>(ctx.caller_proclet);
+    const Duration left =
+        co_await ctx.rt->cluster().machine(ctx.machine).cpu().RunCancellable(
+            work, kPriorityNormal, proclet->cancel_token());
+    if (left > Duration::Zero()) {
+      (void)proclet->SubmitFromJob(FillerTask(left, counter));
+      co_return;
+    }
+    ++counter->completed;
+  };
+}
+
+Task<> KeepFed(Runtime& rt, Ref<ComputeProclet> proclet,
+               std::shared_ptr<Counter> counter) {
+  for (;;) {
+    auto* p = rt.UnsafeGet<ComputeProclet>(proclet.id());
+    if (p != nullptr && !p->gate_closed()) {
+      while (p->queue_depth() + p->inflight() < 8) {
+        (void)p->Submit(FillerTask(Duration::Micros(100), counter));
+      }
+    }
+    co_await rt.sim().Sleep(Duration::Micros(200));
+  }
+}
+
+}  // namespace
+
+int main() {
+  Simulator sim;
+  Cluster cluster(sim);
+  for (int i = 0; i < 2; ++i) {
+    MachineSpec spec;
+    spec.cores = 4;
+    spec.memory_bytes = 4 * kGiB;
+    cluster.AddMachine(spec);
+  }
+  Runtime rt(sim, cluster);
+
+  // Anti-phase high-priority antagonists: each machine is fully busy for
+  // 10ms, then idle for 10ms.
+  PhasedAntagonistConfig phase;
+  phase.busy = Duration::Millis(10);
+  phase.idle = Duration::Millis(10);
+  PhasedAntagonist ant0(sim, cluster.machine(0), phase);
+  ant0.Start();
+  phase.phase_offset = Duration::Millis(10);
+  PhasedAntagonist ant1(sim, cluster.machine(1), phase);
+  ant1.Start();
+
+  // The filler: one small compute proclet, kept fed with 100us tasks.
+  const Ctx ctx = rt.CtxOn(0);
+  PlacementRequest req;
+  req.heap_bytes = 64 * kKiB;
+  auto counter = std::make_shared<Counter>();
+  Ref<ComputeProclet> filler =
+      *sim.BlockOn(rt.Create<ComputeProclet>(ctx, req, /*workers=*/4));
+  sim.Spawn(KeepFed(rt, filler, counter), "feeder");
+
+  // Quicksand's per-machine reactors notice starvation and migrate.
+  auto reactors = StartLocalReactors(rt);
+
+  std::printf("time[ms]  filler@machine  tasks done (cumulative)\n");
+  for (int ms = 0; ms < 60; ms += 5) {
+    sim.RunUntil(SimTime::Zero() + Duration::Millis(ms));
+    std::printf("%7d %14u %12lld\n", ms, filler.Location(),
+                static_cast<long long>(counter->completed));
+  }
+  std::printf("\nmigrations: %lld, latency %s\n",
+              static_cast<long long>(rt.stats().migrations),
+              rt.stats().migration_latency.Summary().c_str());
+  std::printf("The filler finished ~%.0f%% of what a fully idle machine could\n"
+              "(4 cores x 10 tasks/ms): it followed the idle CPU.\n",
+              100.0 * static_cast<double>(counter->completed) / (60.0 * 40.0));
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Flat storage (§3.2): spreading fine-grained storage proclets across
+// machines combines their disks' capacity and IOPS. This demo writes the
+// same object set through 1-proclet and 4-proclet stores and compares
+// completion times.
+//
+// Run: ./build/examples/flat_storage_demo
+
+#include <cstdio>
+
+#include "quicksand/common/bytes.h"
+#include "quicksand/storage/flat_storage.h"
+
+using namespace quicksand;  // NOLINT: example brevity
+
+namespace {
+
+Task<Duration> WriteBatch(Runtime& rt, FlatStorage& storage, int objects,
+                          int64_t bytes) {
+  const SimTime start = rt.sim().Now();
+  std::vector<Fiber> writers;
+  for (int i = 0; i < objects; ++i) {
+    writers.push_back(rt.sim().Spawn(
+        [](FlatStorage* s, Ctx c, uint64_t id, int64_t b) -> Task<> {
+          auto write = s->Write(c, id, std::string(static_cast<size_t>(b), 'd'));
+          const Status written = co_await std::move(write);
+          QS_CHECK(written.ok());
+        }(&storage, rt.CtxOn(0), static_cast<uint64_t>(i), bytes),
+        "writer"));
+  }
+  co_await JoinAll(std::move(writers));
+  co_return rt.sim().Now() - start;
+}
+
+Duration RunWith(int proclets) {
+  Simulator sim;
+  Cluster cluster(sim);
+  for (int i = 0; i < 4; ++i) {
+    MachineSpec spec;
+    spec.memory_bytes = 4 * kGiB;
+    spec.disk.capacity_bytes = 64 * kGiB;
+    spec.disk.iops = 50000;
+    spec.disk.bandwidth_bytes_per_sec = 1'000'000'000;  // 1 GB/s each
+    cluster.AddMachine(spec);
+  }
+  Runtime rt(sim, cluster);
+  FlatStorage::Options options;
+  options.proclets = proclets;
+  FlatStorage storage = *sim.BlockOn(FlatStorage::Create(rt.CtxOn(0), options));
+  const Duration took = sim.BlockOn(WriteBatch(rt, storage, 256, 1 * kMiB));
+  return took;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("writing 256 x 1 MiB objects, 4 machines with 1 GB/s disks each\n\n");
+  std::printf("%10s %12s %14s\n", "proclets", "time", "throughput");
+  for (int proclets : {1, 2, 4, 8}) {
+    const Duration took = RunWith(proclets);
+    const double gbps = 256.0 / 1024.0 / took.seconds();
+    std::printf("%10d %12s %11.2f GB/s\n", proclets, took.ToString().c_str(), gbps);
+  }
+  std::printf("\nspreading storage proclets across machines aggregates disk\n"
+              "bandwidth — the flat storage abstraction of §3.2.\n");
+  return 0;
+}

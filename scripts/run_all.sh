@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Builds everything, runs the test suite, then regenerates every figure,
+# table, and ablation — the outputs EXPERIMENTS.md records.
+#
+# Usage: scripts/run_all.sh [--quick]
+#   --quick  scale Fig. 2 down to 6000 images (~10x faster, same shape)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FIG2_IMAGES=60000
+if [[ "${1:-}" == "--quick" ]]; then
+  FIG2_IMAGES=6000
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --timeout 300
+
+mkdir -p results
+for b in fig1_filler_migration fig3_gpu_adaptation \
+         ab1_migration_latency ab2_locality_prefetch ab3_split_merge \
+         ab4_placement_policies ab5_lazy_migration; do
+  echo "== $b =="
+  ./build/bench/$b | tee "results/$b.txt"
+done
+echo "== fig2_imbalanced_pipeline (QS_FIG2_IMAGES=$FIG2_IMAGES) =="
+QS_FIG2_IMAGES=$FIG2_IMAGES ./build/bench/fig2_imbalanced_pipeline |
+  tee results/fig2_imbalanced_pipeline.txt
+echo "== micro_sim =="
+./build/bench/micro_sim --benchmark_min_time=0.1s | tee results/micro_sim.txt
+
+echo "all outputs in results/"

@@ -1,0 +1,57 @@
+// AdaptiveController: periodic driver for registered maintenance passes
+// (shard split/merge scans, pool scaling checks).
+
+#ifndef QUICKSAND_ADAPT_CONTROLLER_H_
+#define QUICKSAND_ADAPT_CONTROLLER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "quicksand/runtime/runtime.h"
+
+namespace quicksand {
+
+class AdaptiveController {
+ public:
+  using MaintainFn = std::function<Task<>(Ctx)>;
+
+  AdaptiveController(Runtime& rt, MachineId home, Duration period)
+      : rt_(rt), home_(home), period_(period) {}
+
+  void Register(std::string name, MaintainFn fn) {
+    passes_.push_back(Pass{std::move(name), std::move(fn)});
+  }
+
+  void Start() { rt_.sim().Spawn(Loop(), "adaptive_controller"); }
+
+  int64_t rounds() const { return rounds_; }
+
+ private:
+  struct Pass {
+    std::string name;
+    MaintainFn fn;
+  };
+
+  Task<> Loop() {
+    for (;;) {
+      co_await rt_.sim().Sleep(period_);
+      const Ctx ctx = rt_.CtxOn(home_);
+      for (Pass& pass : passes_) {
+        auto run = pass.fn(ctx);
+        co_await std::move(run);
+      }
+      ++rounds_;
+    }
+  }
+
+  Runtime& rt_;
+  MachineId home_;
+  Duration period_;
+  std::vector<Pass> passes_;
+  int64_t rounds_ = 0;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_ADAPT_CONTROLLER_H_

@@ -1,0 +1,90 @@
+// PoolScaler: keeps a DistPool's member count matched to its backlog (§3.3).
+//
+// "A compute proclet can be oversized when it has more tasks than its CPU
+// resource supports. In this case, Quicksand can split it by dividing its
+// task queue. Splitting occurs only if there are enough CPU resources in the
+// cluster for the new proclet, thus avoiding the creation of an excessive
+// number of compute proclets." The converse merges an undersized member's
+// queue into a sibling.
+
+#ifndef QUICKSAND_ADAPT_POOL_SCALER_H_
+#define QUICKSAND_ADAPT_POOL_SCALER_H_
+
+#include "quicksand/compute/dist_pool.h"
+
+namespace quicksand {
+
+struct PoolScalerConfig {
+  Duration period = Duration::Millis(2);
+  // Split when average (queued + running) jobs per member exceeds this...
+  double backlog_per_member_high = 8.0;
+  // ...and merge when it drops below this.
+  double backlog_per_member_low = 0.5;
+  int min_members = 1;
+  int max_members = 64;
+  // The paper's guard: only split when the cluster actually has idle cores.
+  double min_cluster_idle_cores = 1.0;
+  MachineId home = 0;
+};
+
+class PoolScaler {
+ public:
+  PoolScaler(Runtime& rt, DistPool pool, PoolScalerConfig config = {})
+      : rt_(rt), pool_(std::move(pool)), config_(config) {}
+
+  void Start() { rt_.sim().Spawn(Loop(), "pool_scaler"); }
+
+  int64_t splits() const { return splits_; }
+  int64_t merges() const { return merges_; }
+
+  // Idle cores across the cluster right now.
+  static double ClusterIdleCores(Runtime& rt) {
+    double idle = 0;
+    for (MachineId m = 0; m < rt.cluster().size(); ++m) {
+      const Machine& machine = rt.cluster().machine(m);
+      idle += std::max(0.0, static_cast<double>(machine.spec().cores) *
+                               (1.0 - machine.cpu().LoadFactor()));
+    }
+    return idle;
+  }
+
+ private:
+  Task<> Loop() {
+    for (;;) {
+      co_await rt_.sim().Sleep(config_.period);
+      const Ctx ctx = rt_.CtxOn(config_.home);
+      const int members = static_cast<int>(pool_.members().size());
+      if (members == 0) {
+        continue;
+      }
+      const double per_member =
+          static_cast<double>(pool_.Backlog(rt_)) / static_cast<double>(members);
+      if (per_member > config_.backlog_per_member_high &&
+          members < config_.max_members &&
+          ClusterIdleCores(rt_) >= config_.min_cluster_idle_cores) {
+        auto split = pool_.SplitBusiest(ctx);
+        Result<Ref<ComputeProclet>> fresh = co_await std::move(split);
+        if (fresh.ok()) {
+          ++splits_;
+        }
+      } else if (per_member < config_.backlog_per_member_low &&
+                 members > config_.min_members) {
+        auto shrink = pool_.Shrink(ctx);
+        Status shrunk = co_await std::move(shrink);
+        if (shrunk.ok()) {
+          ++merges_;
+        }
+      }
+    }
+  }
+
+  Runtime& rt_;
+  DistPool pool_;
+  PoolScalerConfig config_;
+  int64_t splits_ = 0;
+  int64_t merges_ = 0;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_ADAPT_POOL_SCALER_H_

@@ -1,0 +1,66 @@
+#include "quicksand/adapt/stage_scaler.h"
+
+#include "quicksand/common/logging.h"
+
+namespace quicksand {
+
+Task<> StageScaler::Loop() {
+  Duration last_idle = trainer_.TotalIdle();
+  int64_t last_produced = stage_.images_produced();
+  int64_t last_consumed = trainer_.tensors_consumed();
+  for (;;) {
+    co_await rt_.sim().Sleep(config_.period);
+    const Ctx ctx = rt_.CtxOn(config_.home);
+
+    const Duration idle_delta = trainer_.TotalIdle() - last_idle;
+    last_idle = trainer_.TotalIdle();
+    const int64_t produced_delta = stage_.images_produced() - last_produced;
+    last_produced = stage_.images_produced();
+    const int64_t consumed_delta = trainer_.tensors_consumed() - last_consumed;
+    last_consumed = trainer_.tensors_consumed();
+    auto size = queue_.Size(ctx);
+    Result<int64_t> backlog = co_await std::move(size);
+    const int64_t backlog_now = backlog.value_or(0);
+
+    const Duration starvation_budget =
+        config_.period * trainer_.gpu_count() * config_.starvation_fraction;
+    if (idle_delta > starvation_budget &&
+        stage_.producer_count() < config_.max_producers) {
+      // Consumers ran dry: add capacity.
+      for (int i = 0; i < config_.max_step_up &&
+                      stage_.producer_count() < config_.max_producers;
+           ++i) {
+        auto add = stage_.AddProducer(ctx);
+        Status added = co_await std::move(add);
+        if (!added.ok()) {
+          break;
+        }
+        ++scale_ups_;
+      }
+      QS_LOG_DEBUG("scaler", "consumer starved (%s idle): producers -> %d",
+                   idle_delta.ToString().c_str(), stage_.producer_count());
+    } else if (backlog_now > config_.backlog_high &&
+               produced_delta > consumed_delta &&
+               stage_.producer_count() > config_.min_producers) {
+      // Backlog accumulating AND production measurably outpaces the sink.
+      for (int i = 0; i < config_.max_step_down &&
+                      stage_.producer_count() > config_.min_producers;
+           ++i) {
+        auto remove = stage_.RemoveProducer(ctx);
+        Status removed = co_await std::move(remove);
+        if (!removed.ok()) {
+          break;
+        }
+        ++scale_downs_;
+      }
+      QS_LOG_DEBUG("scaler", "backlog %lld, +%lld/-%lld per round: producers -> %d",
+                   static_cast<long long>(backlog_now),
+                   static_cast<long long>(produced_delta),
+                   static_cast<long long>(consumed_delta), stage_.producer_count());
+    }
+    producer_series_.Record(rt_.sim().Now(),
+                            static_cast<double>(stage_.producer_count()));
+  }
+}
+
+}  // namespace quicksand

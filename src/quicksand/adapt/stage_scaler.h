@@ -1,0 +1,71 @@
+// StageScaler: matches a producer stage's throughput to its consumer (§3.3,
+// §4 / Fig. 3).
+//
+// "Quicksand splits or merges preprocessing compute proclets to match the
+// data consumption rate of GPU training, ensuring GPU saturation without
+// wasting CPU resources." The scaler polls two signals every couple of
+// milliseconds:
+//
+//  * consumer starvation — the GPU trainers accumulated idle time since the
+//    last round (the queue ran dry): add producers;
+//  * backlog growth — the queue is above its high watermark and rising:
+//    remove producers (producers outpace the sink).
+
+#ifndef QUICKSAND_ADAPT_STAGE_SCALER_H_
+#define QUICKSAND_ADAPT_STAGE_SCALER_H_
+
+#include "quicksand/app/preprocess_stage.h"
+#include "quicksand/app/trainer.h"
+#include "quicksand/common/stats.h"
+
+namespace quicksand {
+
+struct StageScalerConfig {
+  Duration period = Duration::Millis(2);
+  int min_producers = 1;
+  int max_producers = 64;
+  // Add producers when consumer idle time within a round exceeds this
+  // fraction of (active gpus x period).
+  double starvation_fraction = 0.02;
+  // Remove producers only when the backlog is past this AND production
+  // measurably outpaces consumption (rate-gated, so measurement noise in the
+  // backlog cannot trigger a downward spiral).
+  int64_t backlog_high = 32;
+  int max_step_up = 1;
+  int max_step_down = 1;
+  MachineId home = 0;
+};
+
+class StageScaler {
+ public:
+  StageScaler(Runtime& rt, PreprocessStage& stage, ShardedQueue<Tensor> queue,
+              GpuTrainer& trainer, StageScalerConfig config = {})
+      : rt_(rt),
+        stage_(stage),
+        queue_(std::move(queue)),
+        trainer_(trainer),
+        config_(config),
+        producer_series_("producers") {}
+
+  void Start() { rt_.sim().Spawn(Loop(), "stage_scaler"); }
+
+  const TimeSeries& producer_series() const { return producer_series_; }
+  int64_t scale_ups() const { return scale_ups_; }
+  int64_t scale_downs() const { return scale_downs_; }
+
+ private:
+  Task<> Loop();
+
+  Runtime& rt_;
+  PreprocessStage& stage_;
+  ShardedQueue<Tensor> queue_;
+  GpuTrainer& trainer_;
+  StageScalerConfig config_;
+  TimeSeries producer_series_;
+  int64_t scale_ups_ = 0;
+  int64_t scale_downs_ = 0;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_ADAPT_STAGE_SCALER_H_

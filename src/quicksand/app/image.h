@@ -1,0 +1,98 @@
+// Synthetic image workload for the DNN-training case study (§4).
+//
+// The paper's pipeline decompresses/cleans/augments JPEG images with OpenCV;
+// what the experiments depend on is each image's memory footprint and CPU
+// cost, not its pixels. Image carries a byte size drawn from a deterministic
+// distribution, and the cost model charges CPU proportional to those bytes
+// (decode) plus a fixed term (augmentation pipeline setup). Defaults are
+// calibrated so the Fig. 2 baseline row (46 cores, 13 GiB, 26.1 s) holds.
+
+#ifndef QUICKSAND_APP_IMAGE_H_
+#define QUICKSAND_APP_IMAGE_H_
+
+#include <cstdint>
+
+#include "quicksand/common/random.h"
+#include "quicksand/common/time.h"
+
+namespace quicksand {
+
+struct Image {
+  uint64_t id = 0;
+  int32_t width = 0;
+  int32_t height = 0;
+  int64_t encoded_bytes = 0;
+
+  int64_t WireBytes() const { return encoded_bytes + 24; }
+};
+
+// The preprocessed unit fed to GPU training.
+struct Tensor {
+  uint64_t image_id = 0;
+  int64_t bytes = 0;
+
+  int64_t WireBytes() const { return bytes + 16; }
+};
+
+struct ImageDistribution {
+  int64_t mean_encoded_bytes = 200 * 1024;
+  double stddev_fraction = 0.25;  // of the mean
+  int32_t width = 1024;
+  int32_t height = 768;
+};
+
+// Deterministic synthetic dataset: image `id` always has the same size for a
+// given seed.
+class ImageGenerator {
+ public:
+  explicit ImageGenerator(uint64_t seed, ImageDistribution dist = ImageDistribution{})
+      : seed_(seed), dist_(dist) {}
+
+  Image Generate(uint64_t id) const {
+    Rng rng(seed_ ^ (id * 0x9e3779b97f4a7c15ULL + 1));
+    const double mean = static_cast<double>(dist_.mean_encoded_bytes);
+    double bytes = rng.NextGaussian(mean, mean * dist_.stddev_fraction);
+    if (bytes < mean * 0.1) {
+      bytes = mean * 0.1;
+    }
+    Image image;
+    image.id = id;
+    image.width = dist_.width;
+    image.height = dist_.height;
+    image.encoded_bytes = static_cast<int64_t>(bytes);
+    return image;
+  }
+
+  const ImageDistribution& distribution() const { return dist_; }
+
+ private:
+  uint64_t seed_;
+  ImageDistribution dist_;
+};
+
+struct PreprocessCostModel {
+  // Fixed per-image work (cleaning, augmentation setup).
+  Duration base = Duration::Millis(2);
+  // Decode/augment cost per encoded byte. With the default 200 KiB mean this
+  // yields ~20 ms/image: 60k images = 1200 core-seconds = 26.1 s on 46 cores.
+  double ns_per_byte = 88.0;
+  // Output tensor size (e.g., 224x224x3 floats after augmentation).
+  int64_t tensor_bytes = 224 * 224 * 3;
+};
+
+inline Duration PreprocessCost(const Image& image, const PreprocessCostModel& model) {
+  return model.base +
+         Duration::Nanos(static_cast<int64_t>(
+             static_cast<double>(image.encoded_bytes) * model.ns_per_byte));
+}
+
+inline Tensor MakeTensor(const Image& image, const PreprocessCostModel& model) {
+  Tensor tensor;
+  tensor.image_id = image.id;
+  tensor.bytes = model.tensor_bytes;
+  return tensor;
+}
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_APP_IMAGE_H_

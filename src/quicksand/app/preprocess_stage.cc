@@ -1,0 +1,104 @@
+#include "quicksand/app/preprocess_stage.h"
+
+namespace quicksand {
+
+Task<Status> PreprocessStage::AddProducer(Ctx ctx) {
+  PlacementRequest req;
+  req.heap_bytes = config_.proclet_base_bytes;
+  auto create =
+      ctx.rt->Create<ComputeProclet>(ctx, req, config_.workers_per_proclet);
+  Result<Ref<ComputeProclet>> proclet = co_await std::move(create);
+  if (!proclet.ok()) {
+    co_return proclet.status();
+  }
+  auto stop = std::make_shared<bool>(false);
+  // One streaming job per worker.
+  for (int i = 0; i < config_.workers_per_proclet; ++i) {
+    auto shared = shared_;
+    auto out = out_;
+    auto cost_model = config_.cost;
+    // Named task: see the GCC 12 note in sim/task.h.
+    auto call = proclet->Call(
+        ctx, [shared, stop, out, cost_model](ComputeProclet& p) -> Task<Status> {
+          co_return p.Submit([shared, stop, out, cost_model](Ctx job_ctx) -> Task<> {
+            auto job = StreamJob(job_ctx, shared, stop, out, cost_model,
+                                 kInvalidImage, Duration::Zero());
+            co_await std::move(job);
+          });
+        });
+    Status submitted = co_await std::move(call);
+    if (!submitted.ok()) {
+      co_return submitted;
+    }
+  }
+  producers_.push_back(Producer{*proclet, stop});
+  co_return Status::Ok();
+}
+
+Task<Status> PreprocessStage::RemoveProducer(Ctx ctx) {
+  if (producers_.empty()) {
+    co_return Status::FailedPrecondition("no producers to remove");
+  }
+  Producer victim = producers_.back();
+  producers_.pop_back();
+  *victim.stop = true;
+  // Destroy drains in-flight work via the quiesce hook, then drops the
+  // (stopped) streaming jobs.
+  auto destroy = ctx.rt->Destroy(ctx, victim.proclet.id());
+  Status destroyed = co_await std::move(destroy);
+  co_return destroyed;
+}
+
+Task<> PreprocessStage::Shutdown(Ctx ctx) {
+  while (!producers_.empty()) {
+    auto remove = RemoveProducer(ctx);
+    (void)co_await std::move(remove);
+  }
+}
+
+Task<> PreprocessStage::StreamJob(Ctx ctx, std::shared_ptr<Shared> shared,
+                                  std::shared_ptr<bool> stop, ShardedQueue<Tensor> out,
+                                  PreprocessCostModel cost_model, uint64_t carry_image,
+                                  Duration carry_work) {
+  auto* proclet = ctx.rt->UnsafeGet<ComputeProclet>(ctx.caller_proclet);
+  QS_CHECK_MSG(proclet != nullptr, "StreamJob must run inside a compute proclet");
+  CpuScheduler& cpu = ctx.rt->cluster().machine(ctx.machine).cpu();
+
+  while (!*stop) {
+    uint64_t image_id;
+    Duration work;
+    if (carry_image != kInvalidImage) {
+      image_id = carry_image;
+      work = carry_work;
+      carry_image = kInvalidImage;
+    } else {
+      image_id = shared->next_image++;
+      work = PreprocessCost(shared->generator->Generate(image_id), cost_model);
+    }
+
+    const Duration remaining =
+        co_await cpu.RunCancellable(work, kPriorityNormal, proclet->cancel_token());
+    if (remaining > Duration::Zero()) {
+      // Quiescing for migration: park the continuation (with the image's
+      // unfinished work) in the proclet's queue and bow out. It resumes on
+      // the destination machine.
+      (void)proclet->SubmitFromJob(
+          [shared, stop, out, cost_model, image_id, remaining](Ctx next) -> Task<> {
+            auto job =
+                StreamJob(next, shared, stop, out, cost_model, image_id, remaining);
+            co_await std::move(job);
+          });
+      co_return;
+    }
+
+    const Tensor tensor =
+        MakeTensor(shared->generator->Generate(image_id), cost_model);
+    auto push = out.Push(ctx, tensor);
+    Status pushed = co_await std::move(push);
+    if (pushed.ok()) {
+      ++shared->produced;
+    }
+  }
+}
+
+}  // namespace quicksand

@@ -1,0 +1,81 @@
+// PreprocessStage: the elastic CPU stage of the DNN pipeline (§4).
+//
+// A set of compute proclets each runs a streaming job: synthesize the next
+// image, burn its preprocessing cost, push the resulting tensor into the
+// sharded queue feeding the GPU trainers. The stage scales by adding or
+// removing producer proclets — the x-axis of Fig. 3 — and producers migrate
+// like any compute proclet, carrying partially-preprocessed images with them
+// (their burn remainders ride the proclet's job queue).
+
+#ifndef QUICKSAND_APP_PREPROCESS_STAGE_H_
+#define QUICKSAND_APP_PREPROCESS_STAGE_H_
+
+#include <memory>
+#include <vector>
+
+#include "quicksand/app/image.h"
+#include "quicksand/ds/sharded_queue.h"
+#include "quicksand/proclet/compute_proclet.h"
+
+namespace quicksand {
+
+struct PreprocessStageConfig {
+  ImageDistribution images;
+  PreprocessCostModel cost;
+  uint64_t seed = 42;
+  int workers_per_proclet = 1;
+  int64_t proclet_base_bytes = 4096;
+};
+
+class PreprocessStage {
+ public:
+  PreprocessStage(Runtime& rt, ShardedQueue<Tensor> out, PreprocessStageConfig config)
+      : rt_(rt), out_(std::move(out)), config_(config) {
+    shared_ = std::make_shared<Shared>();
+    shared_->generator = std::make_unique<ImageGenerator>(config.seed, config.images);
+  }
+
+  int producer_count() const { return static_cast<int>(producers_.size()); }
+  int64_t images_produced() const { return shared_->produced; }
+
+  // Creates one more producer proclet (placed on the machine with the most
+  // idle CPU) and starts its streaming job.
+  Task<Status> AddProducer(Ctx ctx);
+
+  // Stops and destroys the most recently added producer.
+  Task<Status> RemoveProducer(Ctx ctx);
+
+  // Stops everything.
+  Task<> Shutdown(Ctx ctx);
+
+ private:
+  struct Shared {
+    std::unique_ptr<ImageGenerator> generator;
+    uint64_t next_image = 0;
+    int64_t produced = 0;
+  };
+
+  struct Producer {
+    Ref<ComputeProclet> proclet;
+    std::shared_ptr<bool> stop;
+  };
+
+  // The streaming job body. `carry` resumes a partially-burned image after a
+  // migration (kInvalidImage means "fetch a fresh one").
+  static constexpr uint64_t kInvalidImage = UINT64_MAX;
+
+  static Task<> StreamJob(Ctx ctx, std::shared_ptr<Shared> shared,
+                          std::shared_ptr<bool> stop, ShardedQueue<Tensor> out,
+                          PreprocessCostModel cost_model, uint64_t carry_image,
+                          Duration carry_work);
+
+  Runtime& rt_;
+  ShardedQueue<Tensor> out_;
+  PreprocessStageConfig config_;
+  std::shared_ptr<Shared> shared_;
+  std::vector<Producer> producers_;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_APP_PREPROCESS_STAGE_H_

@@ -1,0 +1,107 @@
+// GpuTrainer: the delay-emulated GPU training stage (§4).
+//
+// "For the training stage, we emulated GPUs by adding a delay to consume
+// data from the queue, as we have not yet implemented GPU proclets." Each
+// emulated GPU repeatedly pops a batch of tensors from the sharded queue and
+// sleeps for the batch's training time. The live GPU count can change at any
+// moment (SetGpuCount) — that is the disturbance Fig. 3 applies every 200 ms.
+
+#ifndef QUICKSAND_APP_TRAINER_H_
+#define QUICKSAND_APP_TRAINER_H_
+
+#include <memory>
+
+#include "quicksand/app/image.h"
+#include "quicksand/ds/sharded_queue.h"
+
+namespace quicksand {
+
+struct GpuTrainerConfig {
+  int initial_gpus = 4;
+  int max_gpus = 16;
+  int batch_size = 8;
+  // Emulated time to train one batch on one GPU.
+  Duration batch_time = Duration::Millis(2);
+  // Poll interval when the queue has no full batch.
+  Duration idle_poll = Duration::Micros(200);
+  // Machine whose NIC the trainers pull through.
+  MachineId gpu_machine = 0;
+};
+
+class GpuTrainer {
+ public:
+  GpuTrainer(Runtime& rt, ShardedQueue<Tensor> queue, GpuTrainerConfig config)
+      : rt_(rt), queue_(std::move(queue)), config_(config) {
+    state_ = std::make_shared<State>();
+    state_->active_gpus = config.initial_gpus;
+  }
+
+  // Spawns max_gpus worker fibers; only the first `active_gpus` consume.
+  void Start() {
+    for (int i = 0; i < config_.max_gpus; ++i) {
+      rt_.sim().Spawn(GpuLoop(i), "gpu_worker_" + std::to_string(i));
+    }
+  }
+
+  void SetGpuCount(int n) {
+    QS_CHECK(n >= 0 && n <= config_.max_gpus);
+    state_->active_gpus = n;
+  }
+  int gpu_count() const { return state_->active_gpus; }
+
+  int64_t tensors_consumed() const { return state_->tensors_consumed; }
+  int64_t batches_trained() const { return state_->batches; }
+
+  // Fraction of active-GPU time spent waiting on an empty queue, since the
+  // given reading (the starvation signal the stage scaler consumes).
+  Duration TotalIdle() const { return state_->idle; }
+  Duration TotalBusy() const { return state_->busy; }
+
+ private:
+  struct State {
+    int active_gpus = 0;
+    int64_t tensors_consumed = 0;
+    int64_t batches = 0;
+    Duration idle = Duration::Zero();
+    Duration busy = Duration::Zero();
+  };
+
+  Task<> GpuLoop(int index) {
+    std::vector<Tensor> pending;
+    for (;;) {
+      if (index >= state_->active_gpus) {
+        co_await rt_.sim().Sleep(config_.idle_poll);
+        continue;
+      }
+      const int64_t need = config_.batch_size - static_cast<int64_t>(pending.size());
+      if (need > 0) {
+        auto pop = queue_.TryPopBatch(rt_.CtxOn(config_.gpu_machine), need);
+        Result<std::vector<Tensor>> got = co_await std::move(pop);
+        if (got.ok()) {
+          for (Tensor& t : *got) {
+            pending.push_back(t);
+          }
+        }
+      }
+      if (static_cast<int>(pending.size()) < config_.batch_size) {
+        state_->idle += config_.idle_poll;
+        co_await rt_.sim().Sleep(config_.idle_poll);
+        continue;
+      }
+      co_await rt_.sim().Sleep(config_.batch_time);  // the emulated GPU work
+      state_->busy += config_.batch_time;
+      state_->tensors_consumed += static_cast<int64_t>(pending.size());
+      ++state_->batches;
+      pending.clear();
+    }
+  }
+
+  Runtime& rt_;
+  ShardedQueue<Tensor> queue_;
+  GpuTrainerConfig config_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_APP_TRAINER_H_

@@ -1,0 +1,61 @@
+#include "quicksand/cluster/antagonist.h"
+
+#include "quicksand/common/logging.h"
+
+namespace quicksand {
+
+void PhasedAntagonist::Start() {
+  sim_.Spawn(DriveLoop(), "phased_antagonist");
+}
+
+bool PhasedAntagonist::BusyAt(SimTime t) const {
+  const Duration period = config_.busy + config_.idle;
+  const int64_t in_period =
+      (t.nanos() - config_.phase_offset.nanos()) % period.nanos();
+  if (in_period < 0) {
+    return (in_period + period.nanos()) < config_.busy.nanos();
+  }
+  return in_period < config_.busy.nanos();
+}
+
+Task<> PhasedAntagonist::DriveLoop() {
+  if (config_.phase_offset > Duration::Zero()) {
+    co_await sim_.Sleep(config_.phase_offset);
+  }
+  for (;;) {
+    // Saturate every core for the busy span: one request per core, each
+    // demanding exactly the span of core-time at high priority.
+    std::vector<Fiber> burners;
+    burners.reserve(static_cast<size_t>(machine_.spec().cores));
+    for (int i = 0; i < machine_.spec().cores; ++i) {
+      burners.push_back(sim_.Spawn(BurnOneCore(config_.busy), "burner"));
+    }
+    co_await JoinAll(std::move(burners));
+    co_await sim_.Sleep(config_.idle);
+  }
+}
+
+Task<> PhasedAntagonist::BurnOneCore(Duration span) {
+  co_await machine_.cpu().Run(span, config_.priority);
+}
+
+void MemoryAntagonist::Start() {
+  sim_.Spawn(DriveLoop(), "memory_antagonist");
+}
+
+Task<> MemoryAntagonist::DriveLoop() {
+  for (;;) {
+    const bool charged = machine_.memory().TryCharge(bytes_);
+    if (!charged) {
+      QS_LOG_WARN("antagonist", "machine %u: memory antagonist could not charge %lld",
+                  machine_.id(), static_cast<long long>(bytes_));
+    }
+    co_await sim_.Sleep(hold_);
+    if (charged) {
+      machine_.memory().Release(bytes_);
+    }
+    co_await sim_.Sleep(release_);
+  }
+}
+
+}  // namespace quicksand

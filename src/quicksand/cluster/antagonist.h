@@ -1,0 +1,73 @@
+// Workload antagonists: background load the scheduler must work around.
+//
+// PhasedAntagonist reproduces the motivating experiment of Fig. 1: a
+// high-priority application that alternates between consuming *all* cores
+// and consuming none, with a configurable period and phase offset. Two
+// machines running anti-phase copies leave exactly one machine's worth of
+// CPU idle at any instant — but never the same machine for more than half a
+// period.
+
+#ifndef QUICKSAND_CLUSTER_ANTAGONIST_H_
+#define QUICKSAND_CLUSTER_ANTAGONIST_H_
+
+#include <vector>
+
+#include "quicksand/cluster/machine.h"
+#include "quicksand/common/time.h"
+#include "quicksand/sim/fiber.h"
+#include "quicksand/sim/simulator.h"
+
+namespace quicksand {
+
+struct PhasedAntagonistConfig {
+  Duration busy = Duration::Millis(10);   // full-burn span per period
+  Duration idle = Duration::Millis(10);   // idle span per period
+  Duration phase_offset = Duration::Zero();
+  int priority = kPriorityHigh;
+};
+
+// Drives a machine's CPU with a square wave. Start() spawns the driver
+// fiber; the antagonist runs until the simulation ends.
+class PhasedAntagonist {
+ public:
+  PhasedAntagonist(Simulator& sim, Machine& machine, PhasedAntagonistConfig config)
+      : sim_(sim), machine_(machine), config_(config) {}
+
+  void Start();
+
+  // Whether the antagonist is inside a busy phase at time t (by schedule,
+  // ignoring quantum-boundary skew).
+  bool BusyAt(SimTime t) const;
+
+ private:
+  Task<> DriveLoop();
+  Task<> BurnOneCore(Duration span);
+
+  Simulator& sim_;
+  Machine& machine_;
+  PhasedAntagonistConfig config_;
+};
+
+// Gradually charges and releases machine memory in a square wave — used to
+// exercise memory-pressure eviction.
+class MemoryAntagonist {
+ public:
+  MemoryAntagonist(Simulator& sim, Machine& machine, int64_t bytes, Duration hold,
+                   Duration release)
+      : sim_(sim), machine_(machine), bytes_(bytes), hold_(hold), release_(release) {}
+
+  void Start();
+
+ private:
+  Task<> DriveLoop();
+
+  Simulator& sim_;
+  Machine& machine_;
+  int64_t bytes_;
+  Duration hold_;
+  Duration release_;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_CLUSTER_ANTAGONIST_H_

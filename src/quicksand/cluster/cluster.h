@@ -1,0 +1,66 @@
+// Cluster: the set of simulated machines plus the fabric connecting them.
+
+#ifndef QUICKSAND_CLUSTER_CLUSTER_H_
+#define QUICKSAND_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "quicksand/cluster/machine.h"
+#include "quicksand/net/fabric.h"
+#include "quicksand/sim/simulator.h"
+
+namespace quicksand {
+
+class Cluster {
+ public:
+  explicit Cluster(Simulator& sim, FabricConfig net = FabricConfig{})
+      : sim_(sim), fabric_(sim, net) {}
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  MachineId AddMachine(const MachineSpec& spec) {
+    const MachineId id = static_cast<MachineId>(machines_.size());
+    machines_.push_back(std::make_unique<Machine>(sim_, id, spec));
+    fabric_.AddNic(id);
+    return id;
+  }
+
+  Machine& machine(MachineId id) {
+    QS_CHECK(id < machines_.size());
+    return *machines_[id];
+  }
+  const Machine& machine(MachineId id) const {
+    QS_CHECK(id < machines_.size());
+    return *machines_[id];
+  }
+
+  size_t size() const { return machines_.size(); }
+  Fabric& fabric() { return fabric_; }
+  Simulator& sim() { return sim_; }
+
+  int total_cores() const {
+    int total = 0;
+    for (const auto& m : machines_) {
+      total += m->spec().cores;
+    }
+    return total;
+  }
+  int64_t total_memory_bytes() const {
+    int64_t total = 0;
+    for (const auto& m : machines_) {
+      total += m->spec().memory_bytes;
+    }
+    return total;
+  }
+
+ private:
+  Simulator& sim_;
+  Fabric fabric_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_CLUSTER_CLUSTER_H_

@@ -1,0 +1,25 @@
+#include "quicksand/cluster/disk.h"
+
+#include <algorithm>
+
+#include "quicksand/common/check.h"
+
+namespace quicksand {
+
+Task<> DiskModel::Io(int64_t bytes) {
+  QS_CHECK(bytes >= 0);
+  const auto per_op_ns = static_cast<int64_t>(1e9 / static_cast<double>(spec_.iops));
+  const auto transfer_ns = static_cast<int64_t>(
+      static_cast<double>(bytes) / static_cast<double>(spec_.bandwidth_bytes_per_sec) *
+      1e9);
+  const Duration service = Duration::Nanos(per_op_ns + transfer_ns);
+
+  const SimTime start = std::max(sim_.Now(), free_at_);
+  const SimTime done = start + service;
+  free_at_ = done;
+  busy_ += service;
+  ++ops_;
+  co_await sim_.SleepUntil(done);
+}
+
+}  // namespace quicksand

@@ -1,0 +1,56 @@
+// DiskModel: a machine's local persistent storage.
+//
+// Service model: operations serialize FIFO through the device; each op costs
+// a fixed per-op overhead (1/IOPS) plus transfer time (bytes/bandwidth).
+// Capacity is byte-accounted like memory. Flat storage (§3.2, [40])
+// aggregates the capacity and IOPS of many machines' disks by spreading
+// storage proclets across them.
+
+#ifndef QUICKSAND_CLUSTER_DISK_H_
+#define QUICKSAND_CLUSTER_DISK_H_
+
+#include <cstdint>
+
+#include "quicksand/cluster/memory.h"
+#include "quicksand/common/time.h"
+#include "quicksand/sim/simulator.h"
+#include "quicksand/sim/task.h"
+
+namespace quicksand {
+
+struct DiskSpec {
+  int64_t capacity_bytes = 256LL * 1024 * 1024 * 1024;  // 256 GiB
+  int64_t iops = 100'000;                               // NVMe-class
+  int64_t bandwidth_bytes_per_sec = 2'000'000'000;      // 2 GB/s
+};
+
+class DiskModel {
+ public:
+  DiskModel(Simulator& sim, const DiskSpec& spec)
+      : sim_(sim), spec_(spec), capacity_(spec.capacity_bytes) {}
+
+  DiskModel(const DiskModel&) = delete;
+  DiskModel& operator=(const DiskModel&) = delete;
+
+  // Performs one I/O of `bytes`; suspends until the device completes it.
+  Task<> Io(int64_t bytes);
+
+  MemoryAccount& capacity() { return capacity_; }
+  const MemoryAccount& capacity() const { return capacity_; }
+  const DiskSpec& spec() const { return spec_; }
+
+  int64_t ops_completed() const { return ops_; }
+  Duration busy() const { return busy_; }
+
+ private:
+  Simulator& sim_;
+  DiskSpec spec_;
+  MemoryAccount capacity_;
+  SimTime free_at_ = SimTime::Zero();
+  int64_t ops_ = 0;
+  Duration busy_ = Duration::Zero();
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_CLUSTER_DISK_H_

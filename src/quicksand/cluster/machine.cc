@@ -1,0 +1,16 @@
+#include "quicksand/cluster/machine.h"
+
+#include <cstdio>
+
+namespace quicksand {
+
+std::string Machine::DebugString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "machine %u: %d cores, mem %s/%s (%.0f%%), load %.2f",
+                id_, spec_.cores, FormatBytes(memory_.used()).c_str(),
+                FormatBytes(memory_.capacity()).c_str(), memory_.utilization() * 100.0,
+                cpu_.LoadFactor());
+  return buf;
+}
+
+}  // namespace quicksand

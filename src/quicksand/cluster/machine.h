@@ -1,0 +1,73 @@
+// Machine: one simulated server — cores, memory, and (optionally) GPUs.
+
+#ifndef QUICKSAND_CLUSTER_MACHINE_H_
+#define QUICKSAND_CLUSTER_MACHINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "quicksand/cluster/cpu.h"
+#include "quicksand/cluster/disk.h"
+#include "quicksand/cluster/memory.h"
+#include "quicksand/common/bytes.h"
+#include "quicksand/common/time.h"
+#include "quicksand/sim/simulator.h"
+
+namespace quicksand {
+
+using MachineId = uint32_t;
+inline constexpr MachineId kInvalidMachineId = UINT32_MAX;
+
+struct MachineSpec {
+  int cores = 8;
+  int64_t memory_bytes = 16 * kGiB;
+  int gpus = 0;
+  Duration cpu_quantum = Duration::Micros(20);
+  DiskSpec disk;
+};
+
+class Machine {
+ public:
+  Machine(Simulator& sim, MachineId id, const MachineSpec& spec)
+      : id_(id),
+        spec_(spec),
+        cpu_(sim, spec.cores, spec.cpu_quantum),
+        memory_(spec.memory_bytes),
+        disk_(sim, spec.disk) {}
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  MachineId id() const { return id_; }
+  const MachineSpec& spec() const { return spec_; }
+
+  CpuScheduler& cpu() { return cpu_; }
+  const CpuScheduler& cpu() const { return cpu_; }
+  MemoryAccount& memory() { return memory_; }
+  const MemoryAccount& memory() const { return memory_; }
+  DiskModel& disk() { return disk_; }
+  const DiskModel& disk() const { return disk_; }
+
+  std::string DebugString() const;
+
+  // Scheduler bookkeeping (maintained by the Runtime): how many compute
+  // proclets currently live here. Placement uses it to spread otherwise
+  // tied machines instead of piling onto the first.
+  int64_t hosted_compute() const { return hosted_compute_; }
+  void AdjustHostedCompute(int64_t delta) {
+    hosted_compute_ += delta;
+    QS_CHECK(hosted_compute_ >= 0);
+  }
+
+ private:
+  MachineId id_;
+  MachineSpec spec_;
+  CpuScheduler cpu_;
+  MemoryAccount memory_;
+  DiskModel disk_;
+  int64_t hosted_compute_ = 0;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_CLUSTER_MACHINE_H_

@@ -1,0 +1,60 @@
+// MemoryAccount: byte-granular accounting of a machine's memory.
+//
+// Proclet heaps charge the account of their hosting machine. The account
+// never overcommits: a charge that would exceed capacity fails, and callers
+// (the placement policy, the splitter) must find memory elsewhere — this is
+// exactly the "stranded memory" situation Quicksand's memory proclets solve
+// by migrating to machines with free bytes.
+
+#ifndef QUICKSAND_CLUSTER_MEMORY_H_
+#define QUICKSAND_CLUSTER_MEMORY_H_
+
+#include <cstdint>
+
+#include "quicksand/common/check.h"
+
+namespace quicksand {
+
+class MemoryAccount {
+ public:
+  explicit MemoryAccount(int64_t capacity_bytes) : capacity_(capacity_bytes) {
+    QS_CHECK(capacity_bytes > 0);
+  }
+
+  // Attempts to reserve `bytes`; fails (returning false) if it would exceed
+  // capacity.
+  bool TryCharge(int64_t bytes) {
+    QS_CHECK(bytes >= 0);
+    if (used_ + bytes > capacity_) {
+      return false;
+    }
+    used_ += bytes;
+    if (used_ > high_watermark_) {
+      high_watermark_ = used_;
+    }
+    return true;
+  }
+
+  void Release(int64_t bytes) {
+    QS_CHECK(bytes >= 0);
+    QS_CHECK_MSG(bytes <= used_, "releasing more memory than charged");
+    used_ -= bytes;
+  }
+
+  int64_t capacity() const { return capacity_; }
+  int64_t used() const { return used_; }
+  int64_t free() const { return capacity_ - used_; }
+  int64_t high_watermark() const { return high_watermark_; }
+  double utilization() const {
+    return static_cast<double>(used_) / static_cast<double>(capacity_);
+  }
+
+ private:
+  int64_t capacity_;
+  int64_t used_ = 0;
+  int64_t high_watermark_ = 0;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_CLUSTER_MEMORY_H_

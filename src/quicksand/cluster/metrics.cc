@@ -1,0 +1,31 @@
+#include "quicksand/cluster/metrics.h"
+
+namespace quicksand {
+
+void ClusterMetrics::Start() {
+  cpu_series_.clear();
+  mem_series_.clear();
+  for (size_t i = 0; i < cluster_.size(); ++i) {
+    cpu_series_.emplace_back("cpu_util_m" + std::to_string(i));
+    mem_series_.emplace_back("mem_util_m" + std::to_string(i));
+  }
+  sim_.Spawn(SampleLoop(), "cluster_metrics");
+}
+
+Task<> ClusterMetrics::SampleLoop() {
+  std::vector<Duration> last_busy(cluster_.size(), Duration::Zero());
+  std::vector<SimTime> last_time(cluster_.size(), sim_.Now());
+  for (;;) {
+    co_await sim_.Sleep(period_);
+    for (MachineId id = 0; id < cluster_.size(); ++id) {
+      Machine& m = cluster_.machine(id);
+      cpu_series_[id].Record(sim_.Now(),
+                             m.cpu().UtilizationSince(last_time[id], last_busy[id]));
+      mem_series_[id].Record(sim_.Now(), m.memory().utilization());
+      last_busy[id] = m.cpu().TotalBusy();
+      last_time[id] = sim_.Now();
+    }
+  }
+}
+
+}  // namespace quicksand

@@ -1,0 +1,40 @@
+// ClusterMetrics: periodic sampling of per-machine utilization into time
+// series, for figure timelines and scheduler diagnostics.
+
+#ifndef QUICKSAND_CLUSTER_METRICS_H_
+#define QUICKSAND_CLUSTER_METRICS_H_
+
+#include <vector>
+
+#include "quicksand/cluster/cluster.h"
+#include "quicksand/common/stats.h"
+#include "quicksand/sim/simulator.h"
+
+namespace quicksand {
+
+class ClusterMetrics {
+ public:
+  ClusterMetrics(Simulator& sim, Cluster& cluster, Duration sample_period)
+      : sim_(sim), cluster_(cluster), period_(sample_period) {}
+
+  // Spawns the sampling fiber. Call once.
+  void Start();
+
+  // CPU utilization in [0,1] over each sample window, one series per machine.
+  const TimeSeries& cpu_utilization(MachineId id) const { return cpu_series_[id]; }
+  // Memory utilization in [0,1], sampled instantaneously.
+  const TimeSeries& memory_utilization(MachineId id) const { return mem_series_[id]; }
+
+ private:
+  Task<> SampleLoop();
+
+  Simulator& sim_;
+  Cluster& cluster_;
+  Duration period_;
+  std::vector<TimeSeries> cpu_series_;
+  std::vector<TimeSeries> mem_series_;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_CLUSTER_METRICS_H_

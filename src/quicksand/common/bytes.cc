@@ -1,0 +1,25 @@
+#include "quicksand/common/bytes.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace quicksand {
+
+std::string FormatBytes(int64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes < 0) {
+    std::snprintf(buf, sizeof(buf), "-%s", FormatBytes(-bytes).c_str());
+  } else if (bytes < kKiB) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 " B", bytes);
+  } else if (bytes < kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", b / static_cast<double>(kKiB));
+  } else if (bytes < kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", b / static_cast<double>(kMiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", b / static_cast<double>(kGiB));
+  }
+  return buf;
+}
+
+}  // namespace quicksand

@@ -1,0 +1,30 @@
+// Byte-count constants and formatting helpers.
+
+#ifndef QUICKSAND_COMMON_BYTES_H_
+#define QUICKSAND_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace quicksand {
+
+inline constexpr int64_t kKiB = 1024;
+inline constexpr int64_t kMiB = 1024 * kKiB;
+inline constexpr int64_t kGiB = 1024 * kMiB;
+
+constexpr int64_t operator""_KiB(unsigned long long n) {
+  return static_cast<int64_t>(n) * kKiB;
+}
+constexpr int64_t operator""_MiB(unsigned long long n) {
+  return static_cast<int64_t>(n) * kMiB;
+}
+constexpr int64_t operator""_GiB(unsigned long long n) {
+  return static_cast<int64_t>(n) * kGiB;
+}
+
+// Human-readable byte count, e.g. "12.5 MiB".
+std::string FormatBytes(int64_t bytes);
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_COMMON_BYTES_H_

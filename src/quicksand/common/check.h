@@ -1,0 +1,47 @@
+// Lightweight runtime assertion macros.
+//
+// QS_CHECK aborts with a message on failure in all build types; invariants in a
+// resource-management runtime are not recoverable, so we fail fast rather than
+// limp along with corrupted bookkeeping. QS_DCHECK compiles out in NDEBUG
+// builds and is meant for hot paths.
+
+#ifndef QUICKSAND_COMMON_CHECK_H_
+#define QUICKSAND_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace quicksand {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "QS_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               (msg != nullptr && msg[0] != '\0') ? " — " : "", msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace quicksand
+
+#define QS_CHECK(cond)                                             \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::quicksand::CheckFailed(#cond, __FILE__, __LINE__, "");     \
+    }                                                              \
+  } while (0)
+
+#define QS_CHECK_MSG(cond, msg)                                    \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::quicksand::CheckFailed(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                              \
+  } while (0)
+
+#ifdef NDEBUG
+#define QS_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#else
+#define QS_DCHECK(cond) QS_CHECK(cond)
+#endif
+
+#endif  // QUICKSAND_COMMON_CHECK_H_

@@ -1,0 +1,50 @@
+#include "quicksand/common/logging.h"
+
+#include <cstdio>
+
+namespace quicksand {
+
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "T";
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger& Logger::Get() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Logf(LogLevel level, const char* component, const char* fmt, ...) {
+  char msg[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, args);
+  va_end(args);
+
+  if (clock_fn_ != nullptr) {
+    const SimTime now = clock_fn_(clock_arg_);
+    std::fprintf(stderr, "[%s %10.6f] %-10s %s\n", LevelName(level), now.seconds(),
+                 component, msg);
+  } else {
+    std::fprintf(stderr, "[%s] %-10s %s\n", LevelName(level), component, msg);
+  }
+}
+
+}  // namespace quicksand

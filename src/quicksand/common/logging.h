@@ -1,0 +1,69 @@
+// Minimal leveled logging with simulated-time stamps.
+//
+// Logging is off by default (benchmarks print their own tables); tests and
+// examples can raise the level to trace scheduler and migration decisions.
+
+#ifndef QUICKSAND_COMMON_LOGGING_H_
+#define QUICKSAND_COMMON_LOGGING_H_
+
+#include <cstdarg>
+#include <string>
+
+#include "quicksand/common/time.h"
+
+namespace quicksand {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& Get();
+
+  void SetLevel(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  // The simulator installs a clock callback so log lines carry sim time.
+  using ClockFn = SimTime (*)(void*);
+  void SetClock(ClockFn fn, void* arg) {
+    clock_fn_ = fn;
+    clock_arg_ = arg;
+  }
+  void ClearClock() {
+    clock_fn_ = nullptr;
+    clock_arg_ = nullptr;
+  }
+
+  bool Enabled(LogLevel level) const { return level >= level_; }
+
+  void Logf(LogLevel level, const char* component, const char* fmt, ...)
+      __attribute__((format(printf, 4, 5)));
+
+ private:
+  Logger() = default;
+
+  LogLevel level_ = LogLevel::kOff;
+  ClockFn clock_fn_ = nullptr;
+  void* clock_arg_ = nullptr;
+};
+
+}  // namespace quicksand
+
+#define QS_LOG(level, component, ...)                                        \
+  do {                                                                       \
+    if (::quicksand::Logger::Get().Enabled(level)) {                         \
+      ::quicksand::Logger::Get().Logf((level), (component), __VA_ARGS__);    \
+    }                                                                        \
+  } while (0)
+
+#define QS_LOG_TRACE(component, ...) \
+  QS_LOG(::quicksand::LogLevel::kTrace, component, __VA_ARGS__)
+#define QS_LOG_DEBUG(component, ...) \
+  QS_LOG(::quicksand::LogLevel::kDebug, component, __VA_ARGS__)
+#define QS_LOG_INFO(component, ...) \
+  QS_LOG(::quicksand::LogLevel::kInfo, component, __VA_ARGS__)
+#define QS_LOG_WARN(component, ...) \
+  QS_LOG(::quicksand::LogLevel::kWarn, component, __VA_ARGS__)
+#define QS_LOG_ERROR(component, ...) \
+  QS_LOG(::quicksand::LogLevel::kError, component, __VA_ARGS__)
+
+#endif  // QUICKSAND_COMMON_LOGGING_H_

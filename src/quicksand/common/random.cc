@@ -1,0 +1,47 @@
+#include "quicksand/common/random.h"
+
+namespace quicksand {
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  QS_CHECK(n > 0);
+  if (n == 1) {
+    return 0;
+  }
+  if (s <= 1e-9) {
+    return NextBounded(n);
+  }
+  // Rejection-inversion sampling (Hörmann & Derflinger 1996), ranks 1..n,
+  // returned zero-based.
+  const double nd = static_cast<double>(n);
+  auto h = [s](double x) {
+    if (std::abs(1.0 - s) < 1e-12) {
+      return std::log(x);
+    }
+    return std::pow(x, 1.0 - s) / (1.0 - s);
+  };
+  auto h_inv = [s](double x) {
+    if (std::abs(1.0 - s) < 1e-12) {
+      return std::exp(x);
+    }
+    return std::pow((1.0 - s) * x, 1.0 / (1.0 - s));
+  };
+  const double hx0 = h(0.5) - 1.0;
+  const double hn = h(nd + 0.5);
+  for (;;) {
+    const double u = hx0 + NextDouble() * (hn - hx0);
+    const double x = h_inv(u);
+    const uint64_t k = static_cast<uint64_t>(x + 0.5);
+    const double kd = static_cast<double>(k);
+    if (k < 1) {
+      continue;
+    }
+    if (k > n) {
+      continue;
+    }
+    if (u >= h(kd + 0.5) - std::pow(kd, -s)) {
+      return k - 1;
+    }
+  }
+}
+
+}  // namespace quicksand

@@ -1,0 +1,112 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be exactly reproducible across runs, so all stochastic
+// behaviour (workload sizes, jitter, placement tie-breaking) draws from Rng
+// instances seeded explicitly. Xoshiro256** is used for speed and quality;
+// SplitMix64 expands seeds.
+
+#ifndef QUICKSAND_COMMON_RANDOM_H_
+#define QUICKSAND_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "quicksand/common/check.h"
+
+namespace quicksand {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 to spread a single seed over the full 256-bit state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // Uniform over the full 64-bit range.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    QS_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    QS_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // True with probability p.
+  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+
+  // Normally distributed with given mean and standard deviation
+  // (Box–Muller transform).
+  double NextGaussian(double mean, double stddev) {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    while (u1 <= 1e-300) {
+      u1 = NextDouble();
+    }
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+  }
+
+  // Exponentially distributed with the given mean (for Poisson arrivals).
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    while (u <= 1e-300) {
+      u = NextDouble();
+    }
+    return -mean * std::log(u);
+  }
+
+  // Zipf-distributed integer in [0, n) with skew parameter s (s=0 is uniform).
+  // Uses the rejection-inversion method of Hörmann & Derflinger; adequate for
+  // workload generation.
+  uint64_t NextZipf(uint64_t n, double s);
+
+  // Fork a statistically independent generator (for per-component streams).
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4] = {};
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_COMMON_RANDOM_H_

@@ -1,0 +1,151 @@
+#include "quicksand/common/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "quicksand/common/check.h"
+
+namespace quicksand {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+void RunningStat::Reset() { *this = RunningStat(); }
+
+double RunningStat::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+int LatencyHistogram::BucketFor(int64_t ns) {
+  if (ns < 1) {
+    ns = 1;
+  }
+  const auto uns = static_cast<uint64_t>(ns);
+  const int log2 = 63 - std::countl_zero(uns);
+  // Sub-bucket index from the bits just below the leading one.
+  int sub = 0;
+  if (log2 >= 4) {
+    sub = static_cast<int>((uns >> (log2 - 4)) & (kSubBuckets - 1));
+  } else {
+    sub = static_cast<int>(uns & (kSubBuckets - 1));
+  }
+  int bucket = log2 * kSubBuckets + sub;
+  if (bucket >= kNumBuckets) {
+    bucket = kNumBuckets - 1;
+  }
+  return bucket;
+}
+
+int64_t LatencyHistogram::BucketLowerBound(int bucket) {
+  const int log2 = bucket / kSubBuckets;
+  const int sub = bucket % kSubBuckets;
+  if (log2 < 4) {
+    return (int64_t{1} << log2) + sub;
+  }
+  return (int64_t{1} << log2) +
+         (static_cast<int64_t>(sub) << (log2 - 4));
+}
+
+void LatencyHistogram::Add(Duration d) {
+  QS_DCHECK(d >= Duration::Zero());
+  ++buckets_[static_cast<size_t>(BucketFor(d.nanos()))];
+  ++count_;
+  total_ns_ += d.nanos();
+  min_ = std::min(min_, d);
+  max_ = std::max(max_, d);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  total_ns_ += other.total_ns_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  total_ns_ = 0;
+  min_ = Duration::Max();
+  max_ = Duration::Zero();
+}
+
+Duration LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return Duration::Zero();
+  }
+  QS_CHECK(p >= 0.0 && p <= 100.0);
+  const auto target = static_cast<int64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (seen >= target) {
+      return Duration::Nanos(BucketLowerBound(i));
+    }
+  }
+  return max_;
+}
+
+Duration LatencyHistogram::Mean() const {
+  if (count_ == 0) {
+    return Duration::Zero();
+  }
+  return Duration::Nanos(total_ns_ / count_);
+}
+
+std::string LatencyHistogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "n=%lld p50=%s p90=%s p99=%s max=%s",
+                static_cast<long long>(count_),
+                Percentile(50).ToString().c_str(), Percentile(90).ToString().c_str(),
+                Percentile(99).ToString().c_str(), Max().ToString().c_str());
+  return buf;
+}
+
+double TimeSeries::MeanOver(SimTime begin, SimTime end) const {
+  double sum = 0.0;
+  int64_t n = 0;
+  for (const Point& p : points_) {
+    if (p.time >= begin && p.time < end) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::string TimeSeries::ToCsv() const {
+  std::string out = "time_s," + (name_.empty() ? std::string("value") : name_) + "\n";
+  char buf[64];
+  for (const Point& p : points_) {
+    std::snprintf(buf, sizeof(buf), "%.6f,%.6f\n", p.time.seconds(), p.value);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace quicksand

@@ -1,0 +1,125 @@
+// Statistics collection: running moments, latency histograms, time series.
+//
+// Benchmarks and the scheduler both consume these: benches to report table
+// rows, the scheduler to estimate queueing delay and utilization via EWMA.
+
+#ifndef QUICKSAND_COMMON_STATS_H_
+#define QUICKSAND_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quicksand/common/time.h"
+
+namespace quicksand {
+
+// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Log-bucketed latency histogram covering [1ns, ~18s] with ~4% resolution.
+// Suitable for percentile reporting without storing every sample.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Add(Duration d);
+  void Merge(const LatencyHistogram& other);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  Duration Percentile(double p) const;  // p in [0, 100]
+  Duration Min() const { return min_; }
+  Duration Max() const { return max_; }
+  Duration Mean() const;
+
+  std::string Summary() const;  // "p50=… p90=… p99=… max=…"
+
+ private:
+  static constexpr int kSubBuckets = 16;  // per power of two
+  static constexpr int kNumBuckets = 64 * kSubBuckets;
+
+  static int BucketFor(int64_t ns);
+  static int64_t BucketLowerBound(int bucket);
+
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  int64_t total_ns_ = 0;
+  Duration min_ = Duration::Max();
+  Duration max_ = Duration::Zero();
+};
+
+// Exponentially weighted moving average with configurable smoothing.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.2) : alpha_(alpha) {}
+
+  void Add(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+  }
+
+  double value() const { return initialized_ ? value_ : 0.0; }
+  bool initialized() const { return initialized_; }
+  void Reset() { initialized_ = false; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+// Timestamped samples of a named scalar, for reproducing figure timelines.
+class TimeSeries {
+ public:
+  struct Point {
+    SimTime time;
+    double value;
+  };
+
+  explicit TimeSeries(std::string name = "") : name_(std::move(name)) {}
+
+  void Record(SimTime t, double value) { points_.push_back({t, value}); }
+
+  const std::string& name() const { return name_; }
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  // Mean of values with time in [begin, end).
+  double MeanOver(SimTime begin, SimTime end) const;
+
+  // Writes "time_s,value" CSV lines (with a header) to a string.
+  std::string ToCsv() const;
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_COMMON_STATS_H_

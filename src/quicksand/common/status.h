@@ -1,0 +1,135 @@
+// Status and Result<T>: error propagation without exceptions on API
+// boundaries.
+//
+// The runtime surfaces recoverable failures (proclet not found, resource
+// exhausted, migration races) through Result<T>; QS_CHECK covers programming
+// errors. Modeled after absl::Status / std::expected but self-contained.
+
+#ifndef QUICKSAND_COMMON_STATUS_H_
+#define QUICKSAND_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "quicksand/common/check.h"
+
+namespace quicksand {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kUnavailable,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInvalidArgument,
+  kAborted,
+  kOutOfRange,
+  kDeadlineExceeded,
+  kCancelled,
+  kInternal,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg = "") {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg = "") {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg = "") {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg = "") {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg = "") {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value of type T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit, so functions can `return value;` or
+  // `return Status::NotFound(...);` directly.
+  Result(T value) : data_(std::move(value)) {}
+  Result(Status status) : data_(std::move(status)) {
+    QS_CHECK_MSG(!std::get<Status>(data_).ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    QS_CHECK_MSG(ok(), status_unchecked().ToString().c_str());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    QS_CHECK_MSG(ok(), status_unchecked().ToString().c_str());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    QS_CHECK_MSG(ok(), status_unchecked().ToString().c_str());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(data_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? std::get<T>(data_) : std::move(fallback); }
+
+ private:
+  const Status& status_unchecked() const { return std::get<Status>(data_); }
+
+  std::variant<T, Status> data_;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_COMMON_STATUS_H_

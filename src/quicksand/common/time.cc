@@ -1,0 +1,30 @@
+#include "quicksand/common/time.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace quicksand {
+
+std::string Duration::ToString() const {
+  char buf[64];
+  const int64_t abs_ns = ns_ < 0 ? -ns_ : ns_;
+  if (abs_ns < 1000) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ns", ns_);
+  } else if (abs_ns < 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", static_cast<double>(ns_) / 1e3);
+  } else if (abs_ns < 1000LL * 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns_) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(ns_) / 1e9);
+  }
+  return buf;
+}
+
+std::string SimTime::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "t=%.6fs", static_cast<double>(ns_) / 1e9);
+  return buf;
+}
+
+}  // namespace quicksand

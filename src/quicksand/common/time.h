@@ -1,0 +1,115 @@
+// Strong types for simulated time.
+//
+// All simulation timing uses Duration (a signed span of nanoseconds) and
+// SimTime (nanoseconds since simulation start). Using dedicated types instead
+// of bare int64_t prevents unit mix-ups between, e.g., microsecond RPC
+// latencies and millisecond control-loop periods.
+
+#ifndef QUICKSAND_COMMON_TIME_H_
+#define QUICKSAND_COMMON_TIME_H_
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+namespace quicksand {
+
+// A signed span of simulated time with nanosecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration Nanos(int64_t n) { return Duration(n); }
+  static constexpr Duration Micros(int64_t n) { return Duration(n * 1000); }
+  static constexpr Duration Millis(int64_t n) { return Duration(n * 1000 * 1000); }
+  static constexpr Duration Seconds(int64_t n) { return Duration(n * 1000 * 1000 * 1000); }
+  static constexpr Duration SecondsF(double s) {
+    return Duration(static_cast<int64_t>(s * 1e9));
+  }
+  static constexpr Duration Max() { return Duration(INT64_MAX); }
+  static constexpr Duration Zero() { return Duration(0); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr int64_t micros() const { return ns_ / 1000; }
+  constexpr int64_t millis() const { return ns_ / (1000 * 1000); }
+  constexpr double seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr Duration operator+(Duration other) const { return Duration(ns_ + other.ns_); }
+  constexpr Duration operator-(Duration other) const { return Duration(ns_ - other.ns_); }
+  constexpr Duration operator-() const { return Duration(-ns_); }
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  constexpr Duration operator*(T k) const {
+    if constexpr (std::is_floating_point_v<T>) {
+      return Duration(static_cast<int64_t>(static_cast<double>(ns_) * k));
+    } else {
+      return Duration(ns_ * static_cast<int64_t>(k));
+    }
+  }
+  constexpr Duration operator/(int64_t k) const { return Duration(ns_ / k); }
+  constexpr double operator/(Duration other) const {
+    return static_cast<double>(ns_) / static_cast<double>(other.ns_);
+  }
+  Duration& operator+=(Duration other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  Duration& operator-=(Duration other) {
+    ns_ -= other.ns_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Duration(int64_t ns) : ns_(ns) {}
+
+  int64_t ns_ = 0;
+};
+
+// An absolute point on the simulated clock (nanoseconds since time zero).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime FromNanos(int64_t ns) { return SimTime(ns); }
+  static constexpr SimTime Zero() { return SimTime(0); }
+  static constexpr SimTime Max() { return SimTime(INT64_MAX); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr SimTime operator+(Duration d) const { return SimTime(ns_ + d.nanos()); }
+  constexpr SimTime operator-(Duration d) const { return SimTime(ns_ - d.nanos()); }
+  constexpr Duration operator-(SimTime other) const {
+    return Duration::Nanos(ns_ - other.ns_);
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr SimTime(int64_t ns) : ns_(ns) {}
+
+  int64_t ns_ = 0;
+};
+
+constexpr Duration operator""_ns(unsigned long long n) {
+  return Duration::Nanos(static_cast<int64_t>(n));
+}
+constexpr Duration operator""_us(unsigned long long n) {
+  return Duration::Micros(static_cast<int64_t>(n));
+}
+constexpr Duration operator""_ms(unsigned long long n) {
+  return Duration::Millis(static_cast<int64_t>(n));
+}
+constexpr Duration operator""_s(unsigned long long n) {
+  return Duration::Seconds(static_cast<int64_t>(n));
+}
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_COMMON_TIME_H_

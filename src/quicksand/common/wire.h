@@ -1,0 +1,124 @@
+// Wire-size model for remote invocations.
+//
+// The simulator shares one address space, so data never needs real
+// serialization — but network cost modeling does need to know how many bytes
+// a value would occupy on the wire. Types customize this by providing a
+// member `int64_t WireBytes() const`; trivially copyable types default to
+// sizeof(T); standard containers are summed element-wise.
+
+#ifndef QUICKSAND_COMMON_WIRE_H_
+#define QUICKSAND_COMMON_WIRE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "quicksand/common/status.h"
+
+namespace quicksand {
+
+template <typename T>
+concept HasWireBytes = requires(const T& t) {
+  { t.WireBytes() } -> std::convertible_to<int64_t>;
+};
+
+template <typename T>
+int64_t WireSizeOf(const T& value);
+
+namespace internal {
+
+template <typename T>
+struct WireSize {
+  static int64_t Of(const T& value) {
+    if constexpr (HasWireBytes<T>) {
+      return value.WireBytes();
+    } else {
+      static_assert(std::is_trivially_copyable_v<T>,
+                    "non-trivially-copyable types must provide WireBytes()");
+      return static_cast<int64_t>(sizeof(T));
+    }
+  }
+};
+
+template <>
+struct WireSize<std::string> {
+  static int64_t Of(const std::string& s) {
+    return static_cast<int64_t>(s.size()) + 8;  // length prefix
+  }
+};
+
+template <typename T>
+struct WireSize<std::vector<T>> {
+  static int64_t Of(const std::vector<T>& v) {
+    int64_t total = 8;  // length prefix
+    if constexpr (std::is_trivially_copyable_v<T> && !HasWireBytes<T>) {
+      total += static_cast<int64_t>(v.size() * sizeof(T));
+    } else {
+      for (const T& e : v) {
+        total += WireSizeOf(e);
+      }
+    }
+    return total;
+  }
+};
+
+template <typename A, typename B>
+struct WireSize<std::pair<A, B>> {
+  static int64_t Of(const std::pair<A, B>& p) {
+    return WireSizeOf(p.first) + WireSizeOf(p.second);
+  }
+};
+
+template <typename K, typename V>
+struct WireSize<std::map<K, V>> {
+  static int64_t Of(const std::map<K, V>& m) {
+    int64_t total = 8;
+    for (const auto& [k, v] : m) {
+      total += WireSizeOf(k) + WireSizeOf(v);
+    }
+    return total;
+  }
+};
+
+template <typename T>
+struct WireSize<std::optional<T>> {
+  static int64_t Of(const std::optional<T>& o) {
+    return 1 + (o.has_value() ? WireSizeOf(*o) : 0);
+  }
+};
+
+template <>
+struct WireSize<Status> {
+  static int64_t Of(const Status& s) {
+    return 4 + static_cast<int64_t>(s.message().size());
+  }
+};
+
+template <typename T>
+struct WireSize<Result<T>> {
+  static int64_t Of(const Result<T>& r) {
+    return 1 + (r.ok() ? WireSizeOf(*r) : WireSizeOf(r.status()));
+  }
+};
+
+}  // namespace internal
+
+// Number of bytes `value` would occupy when sent over the fabric.
+template <typename T>
+int64_t WireSizeOf(const T& value) {
+  return internal::WireSize<std::remove_cvref_t<T>>::Of(value);
+}
+
+// Total wire size of a parameter pack (RPC argument lists).
+template <typename... Ts>
+int64_t WireSizeOfAll(const Ts&... values) {
+  return (int64_t{0} + ... + WireSizeOf(values));
+}
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_COMMON_WIRE_H_

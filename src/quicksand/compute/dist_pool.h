@@ -1,0 +1,261 @@
+// DistPool: the distributed thread pool abstraction (§3.2).
+//
+// A pool is a set of compute proclets ("the underlying threads are sharded
+// across compute proclets"). Submitting work picks the least-backlogged
+// member; the adaptive controller grows the pool by splitting an overloaded
+// member's queue into a new proclet and shrinks it by merging an idle
+// member's queue into a sibling (§3.3).
+//
+// Pool membership lives in plain client/controller state (not a proclet):
+// the authoritative structure is the set of compute proclets themselves,
+// which the runtime tracks; PoolHandle is the convenience wrapper.
+
+#ifndef QUICKSAND_COMPUTE_DIST_POOL_H_
+#define QUICKSAND_COMPUTE_DIST_POOL_H_
+
+#include <memory>
+#include <vector>
+
+#include "quicksand/proclet/compute_proclet.h"
+#include "quicksand/sim/sync.h"
+
+namespace quicksand {
+
+class DistPool {
+ public:
+  struct Options {
+    int initial_proclets = 1;
+    int workers_per_proclet = 2;
+    int64_t proclet_base_bytes = 4096;
+  };
+
+  // State shared between handle copies (pool membership changes as the
+  // adaptive controller splits/merges).
+  struct State {
+    Options options;
+    std::vector<Ref<ComputeProclet>> members;
+    int64_t submitted = 0;
+    int64_t next_member = 0;  // round-robin cursor among equally-loaded members
+  };
+
+  DistPool() = default;
+
+  // (Overload rather than a default argument: a default `Options{}` inside
+  // the enclosing class would need the member initializers too early.)
+  static Task<Result<DistPool>> Create(Ctx ctx) { return Create(ctx, Options{}); }
+
+  static Task<Result<DistPool>> Create(Ctx ctx, Options options) {
+    QS_CHECK(options.initial_proclets >= 1);
+    DistPool pool;
+    pool.state_ = std::make_shared<State>();
+    pool.state_->options = options;
+    for (int i = 0; i < options.initial_proclets; ++i) {
+      Status grown = co_await pool.Grow(ctx);
+      if (!grown.ok()) {
+        co_return grown;
+      }
+    }
+    co_return pool;
+  }
+
+  const std::vector<Ref<ComputeProclet>>& members() const { return state_->members; }
+  int64_t submitted() const { return state_->submitted; }
+
+  // Submits a job to the member with the shortest backlog.
+  Task<Status> Submit(Ctx ctx, ComputeProclet::Job job,
+                      int64_t job_bytes = ComputeProclet::kDefaultJobBytes) {
+    if (state_->members.empty()) {
+      co_return Status::FailedPrecondition("pool has no members");
+    }
+    Ref<ComputeProclet> target = PickMember(ctx);
+    // Named task: see the GCC 12 note in sim/task.h.
+    auto call = target.Call(
+        ctx,
+        [job = std::move(job), job_bytes](ComputeProclet& p) mutable -> Task<Status> {
+          co_return p.Submit(std::move(job), job_bytes);
+        },
+        job_bytes);
+    Status status = co_await std::move(call);
+    if (status.ok()) {
+      ++state_->submitted;
+    }
+    co_return status;
+  }
+
+  // Total queued-but-not-started jobs across members (runtime introspection,
+  // used by the adaptive controller and by Drain).
+  int64_t Backlog(Runtime& rt) const {
+    int64_t total = 0;
+    for (const Ref<ComputeProclet>& member : state_->members) {
+      if (auto* p = rt.UnsafeGet<ComputeProclet>(member.id())) {
+        total += p->queue_depth() + p->inflight();
+      }
+    }
+    return total;
+  }
+
+  // Polls until every member is idle.
+  Task<> Drain(Ctx ctx, Duration poll = Duration::Micros(100)) {
+    for (;;) {
+      if (Backlog(*ctx.rt) == 0) {
+        co_return;
+      }
+      co_await ctx.rt->sim().Sleep(poll);
+    }
+  }
+
+  // The §3.3 compute split: the most-backlogged member donates half of its
+  // task queue to a freshly placed member. Returns the new member's ref.
+  Task<Result<Ref<ComputeProclet>>> SplitBusiest(Ctx ctx) {
+    Runtime& rt = *ctx.rt;
+    // Pick the member with the deepest queue.
+    Ref<ComputeProclet> donor;
+    int64_t deepest = -1;
+    for (const Ref<ComputeProclet>& member : state_->members) {
+      if (auto* p = rt.UnsafeGet<ComputeProclet>(member.id())) {
+        if (p->queue_depth() > deepest) {
+          deepest = p->queue_depth();
+          donor = member;
+        }
+      }
+    }
+    if (deepest < 2) {
+      co_return Status::FailedPrecondition("no member has a queue worth splitting");
+    }
+    Status grown = co_await Grow(ctx);
+    if (!grown.ok()) {
+      co_return grown;
+    }
+    const Ref<ComputeProclet> fresh = state_->members.back();
+    auto begin_donor = ctx.rt->BeginMaintenance(donor.id());
+    Status s = co_await std::move(begin_donor);
+    if (!s.ok()) {
+      co_return s;
+    }
+    auto begin_fresh = ctx.rt->BeginMaintenance(fresh.id());
+    s = co_await std::move(begin_fresh);
+    if (!s.ok()) {
+      rt.EndMaintenance(donor.id());
+      co_return s;
+    }
+    auto* dp = rt.UnsafeGet<ComputeProclet>(donor.id());
+    auto* fp = rt.UnsafeGet<ComputeProclet>(fresh.id());
+    QS_CHECK(dp != nullptr && fp != nullptr);
+    auto jobs = dp->StealHalfOfQueue();
+    int64_t moved_bytes = 0;
+    for (const auto& [fn, bytes] : jobs) {
+      moved_bytes += bytes;
+    }
+    auto transfer =
+        rt.fabric().Transfer(donor.Location(), fresh.Location(), moved_bytes);
+    co_await std::move(transfer);
+    Status injected = fp->InjectJobs(std::move(jobs));
+    if (!injected.ok()) {
+      // Destination out of memory: put the jobs back in the donor's queue.
+      QS_CHECK_MSG(dp->InjectJobs(std::move(jobs)).ok(), "split rollback lost jobs");
+    }
+    rt.EndMaintenance(fresh.id());
+    rt.EndMaintenance(donor.id());
+    if (!injected.ok()) {
+      co_return injected;
+    }
+    co_return fresh;
+  }
+
+  // Adds a member (placement chooses the machine with the most idle CPU).
+  Task<Status> Grow(Ctx ctx) {
+    PlacementRequest req;
+    req.heap_bytes = state_->options.proclet_base_bytes;
+    auto create = ctx.rt->Create<ComputeProclet>(ctx, req,
+                                                 state_->options.workers_per_proclet);
+    Result<Ref<ComputeProclet>> member = co_await std::move(create);
+    if (!member.ok()) {
+      co_return member.status();
+    }
+    state_->members.push_back(*member);
+    co_return Status::Ok();
+  }
+
+  // Removes one member, moving its queued jobs to a surviving sibling.
+  // No-op (FailedPrecondition) when only one member remains.
+  Task<Status> Shrink(Ctx ctx) {
+    if (state_->members.size() <= 1) {
+      co_return Status::FailedPrecondition("cannot shrink below one member");
+    }
+    const Ref<ComputeProclet> victim = state_->members.back();
+    const Ref<ComputeProclet> survivor = state_->members.front();
+    auto begin_victim = ctx.rt->BeginMaintenance(victim.id());
+    Status s = co_await std::move(begin_victim);
+    if (!s.ok()) {
+      co_return s;
+    }
+    auto begin_survivor = ctx.rt->BeginMaintenance(survivor.id());
+    s = co_await std::move(begin_survivor);
+    if (!s.ok()) {
+      ctx.rt->EndMaintenance(victim.id());
+      co_return s;
+    }
+    auto* vp = ctx.rt->UnsafeGet<ComputeProclet>(victim.id());
+    auto* sp = ctx.rt->UnsafeGet<ComputeProclet>(survivor.id());
+    QS_CHECK(vp != nullptr && sp != nullptr);
+    // Move everything the victim has queued; model the wire cost of the move.
+    auto jobs = vp->StealAllOfQueue();
+    int64_t moved_bytes = 0;
+    for (const auto& [fn, bytes] : jobs) {
+      moved_bytes += bytes;
+    }
+    auto transfer = ctx.rt->fabric().Transfer(victim.Location(), survivor.Location(),
+                                              moved_bytes);
+    co_await std::move(transfer);
+    Status injected = sp->InjectJobs(std::move(jobs));
+    if (!injected.ok()) {
+      // Survivor out of memory: the victim keeps its queue and stays.
+      QS_CHECK_MSG(vp->InjectJobs(std::move(jobs)).ok(), "shrink rollback lost jobs");
+    }
+    ctx.rt->EndMaintenance(survivor.id());
+    ctx.rt->EndMaintenance(victim.id());
+    if (!injected.ok()) {
+      co_return injected;
+    }
+    state_->members.pop_back();
+    auto destroy = ctx.rt->Destroy(ctx, victim.id());
+    co_await std::move(destroy);
+    co_return Status::Ok();
+  }
+
+  // Destroys the whole pool (draining first is the caller's business).
+  Task<> Shutdown(Ctx ctx) {
+    for (const Ref<ComputeProclet>& member : state_->members) {
+      auto destroy = ctx.rt->Destroy(ctx, member.id());
+      (void)co_await std::move(destroy);
+    }
+    state_->members.clear();
+  }
+
+ private:
+  // Least-backlogged member; round-robin among ties.
+  Ref<ComputeProclet> PickMember(Ctx ctx) {
+    Runtime& rt = *ctx.rt;
+    int64_t best_backlog = INT64_MAX;
+    size_t best = 0;
+    const size_t n = state_->members.size();
+    for (size_t i = 0; i < n; ++i) {
+      const size_t slot = (static_cast<size_t>(state_->next_member) + i) % n;
+      const auto* p = rt.UnsafeGet<ComputeProclet>(state_->members[slot].id());
+      const int64_t backlog =
+          p == nullptr ? INT64_MAX - 1 : p->queue_depth() + p->inflight();
+      if (backlog < best_backlog) {
+        best_backlog = backlog;
+        best = slot;
+      }
+    }
+    state_->next_member = static_cast<int64_t>((best + 1) % n);
+    return state_->members[best];
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_COMPUTE_DIST_POOL_H_

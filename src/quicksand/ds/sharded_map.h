@@ -1,0 +1,476 @@
+// ShardedMap<K, V>: an associative container partitioned into memory
+// proclets by a uint64 projection of the key (§3.2).
+//
+// The projection (default: std::hash) maps keys onto the uint64 sharding
+// space; each shard proclet owns a half-open projection range and stores its
+// entries in an ordered map keyed by (projection, key). The map starts as a
+// single shard covering the whole space; the adaptive controller (§3.3)
+// splits shards whose heap exceeds the configured maximum at their median
+// projection, and merges adjacent undersized shards — the hash-table
+// shrink scenario the paper describes.
+//
+// ShardedSet<K> is the value-less specialization at the bottom of this file.
+
+#ifndef QUICKSAND_DS_SHARDED_MAP_H_
+#define QUICKSAND_DS_SHARDED_MAP_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "quicksand/common/bytes.h"
+#include "quicksand/common/status.h"
+#include "quicksand/common/wire.h"
+#include "quicksand/runtime/runtime.h"
+#include "quicksand/sharding/shard_index.h"
+
+namespace quicksand {
+
+template <typename K>
+struct DefaultShardProjection {
+  uint64_t operator()(const K& key) const { return std::hash<K>{}(key); }
+};
+
+template <typename K, typename V, typename Proj = DefaultShardProjection<K>>
+class MapShardProclet : public ProcletBase {
+ public:
+  static constexpr ProcletKind kKind = ProcletKind::kMemory;
+
+  MapShardProclet(const ProcletInit& init, uint64_t begin, uint64_t end)
+      : ProcletBase(init), begin_(begin), end_(end) {}
+
+  uint64_t begin() const { return begin_; }
+  uint64_t end() const { return end_; }
+  int64_t count() const { return static_cast<int64_t>(entries_.size()); }
+  int64_t data_bytes() const { return data_bytes_; }
+
+  Status Put(K key, V value) {
+    const uint64_t proj = Proj{}(key);
+    if (!Owns(proj)) {
+      return Status::OutOfRange("key projects outside this shard");
+    }
+    const int64_t bytes = WireSizeOf(key) + WireSizeOf(value);
+    auto it = entries_.find(EntryKey{proj, key});
+    const int64_t old_bytes = it == entries_.end() ? 0 : it->second.bytes;
+    const int64_t delta = bytes - old_bytes;
+    if (delta > 0 && !TryChargeHeap(delta)) {
+      return Status::ResourceExhausted("host machine out of memory");
+    }
+    if (delta < 0) {
+      ReleaseHeap(-delta);
+    }
+    data_bytes_ += delta;
+    entries_[EntryKey{proj, std::move(key)}] = Entry{std::move(value), bytes};
+    return Status::Ok();
+  }
+
+  Result<V> Get(const K& key) const {
+    const uint64_t proj = Proj{}(key);
+    if (!Owns(proj)) {
+      return Status::OutOfRange("key projects outside this shard");
+    }
+    auto it = entries_.find(EntryKey{proj, key});
+    if (it == entries_.end()) {
+      return Status::NotFound("no such key");
+    }
+    return it->second.value;
+  }
+
+  // kNotFound if absent; kOutOfRange if wrongly routed.
+  Status Erase(const K& key) {
+    const uint64_t proj = Proj{}(key);
+    if (!Owns(proj)) {
+      return Status::OutOfRange("key projects outside this shard");
+    }
+    auto it = entries_.find(EntryKey{proj, key});
+    if (it == entries_.end()) {
+      return Status::NotFound("no such key");
+    }
+    ReleaseHeap(it->second.bytes);
+    data_bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    return Status::Ok();
+  }
+
+  bool Contains(const K& key) const {
+    const uint64_t proj = Proj{}(key);
+    return Owns(proj) && entries_.count(EntryKey{proj, key}) > 0;
+  }
+
+  // Copies out all entries (per-shard scan unit for iteration).
+  std::vector<std::pair<K, V>> Items() const {
+    std::vector<std::pair<K, V>> out;
+    out.reserve(entries_.size());
+    for (const auto& [ekey, entry] : entries_) {
+      out.emplace_back(ekey.key, entry.value);
+    }
+    return out;
+  }
+
+  // --- Maintenance (gate must be closed) -------------------------------------
+
+  struct SplitPayload {
+    uint64_t split_point;  // new shard owns [split_point, old end)
+    uint64_t range_end;
+    std::vector<std::tuple<K, V, int64_t>> entries;  // key, value, bytes
+    int64_t total_bytes;
+  };
+
+  // Splits at the median projection. Fails if all entries share one
+  // projection (nothing to split on).
+  Result<SplitPayload> ExtractUpperHalf() {
+    QS_CHECK_MSG(gate_closed(), "ExtractUpperHalf requires a closed gate");
+    if (entries_.size() < 2) {
+      return Status::FailedPrecondition("too few entries to split");
+    }
+    auto mid = entries_.begin();
+    std::advance(mid, static_cast<ptrdiff_t>(entries_.size() / 2));
+    uint64_t split_point = mid->first.proj;
+    if (split_point == begin_) {
+      // Skip forward to the first projection > begin_.
+      while (mid != entries_.end() && mid->first.proj == begin_) {
+        ++mid;
+      }
+      if (mid == entries_.end()) {
+        return Status::FailedPrecondition("all entries share one projection");
+      }
+      split_point = mid->first.proj;
+    }
+    SplitPayload payload;
+    payload.split_point = split_point;
+    payload.range_end = end_;
+    payload.total_bytes = 0;
+    auto first_moved = entries_.lower_bound(EntryKey{split_point, K{}});
+    for (auto it = first_moved; it != entries_.end(); ++it) {
+      payload.total_bytes += it->second.bytes;
+      payload.entries.emplace_back(it->first.key, std::move(it->second.value),
+                                   it->second.bytes);
+    }
+    entries_.erase(first_moved, entries_.end());
+    ReleaseHeap(payload.total_bytes);
+    data_bytes_ -= payload.total_bytes;
+    end_ = split_point;
+    return payload;
+  }
+
+  // Installs a split payload into this (fresh) shard. On failure the payload
+  // is left untouched so the caller can roll it back into the donor.
+  Status AdoptPayload(SplitPayload&& payload) {
+    QS_CHECK_MSG(gate_closed(), "AdoptPayload requires a closed gate");
+    QS_CHECK(payload.split_point == begin_ && payload.range_end == end_);
+    if (!TryChargeHeap(payload.total_bytes)) {
+      return Status::ResourceExhausted("host machine out of memory");
+    }
+    data_bytes_ += payload.total_bytes;
+    for (auto& [key, value, bytes] : payload.entries) {
+      const uint64_t proj = Proj{}(key);
+      entries_[EntryKey{proj, std::move(key)}] = Entry{std::move(value), bytes};
+    }
+    retired_ = false;  // a merge rollback re-animates the donor
+    return Status::Ok();
+  }
+
+  // Removes everything and widens nothing (merge donor side). The shard is
+  // *retired*: until destroyed (or restored by a rollback AdoptPayload) it
+  // answers every request with kOutOfRange, so clients with stale routes
+  // refresh instead of trusting a false NotFound.
+  SplitPayload ExtractAll() {
+    QS_CHECK_MSG(gate_closed(), "ExtractAll requires a closed gate");
+    SplitPayload payload;
+    payload.split_point = begin_;
+    payload.range_end = end_;
+    payload.total_bytes = data_bytes_;
+    for (auto& [ekey, entry] : entries_) {
+      payload.entries.emplace_back(ekey.key, std::move(entry.value), entry.bytes);
+    }
+    entries_.clear();
+    ReleaseHeap(data_bytes_);
+    data_bytes_ = 0;
+    retired_ = true;
+    return payload;
+  }
+
+  // Absorbs the right neighbor's payload and takes over its range. On
+  // failure the payload is left untouched (the caller re-adopts it into the
+  // donor).
+  Status AbsorbRightNeighbor(SplitPayload&& payload) {
+    QS_CHECK_MSG(gate_closed(), "AbsorbRightNeighbor requires a closed gate");
+    QS_CHECK(payload.split_point == end_);
+    if (!TryChargeHeap(payload.total_bytes)) {
+      return Status::ResourceExhausted("host machine out of memory");
+    }
+    data_bytes_ += payload.total_bytes;
+    end_ = payload.range_end;
+    for (auto& [key, value, bytes] : payload.entries) {
+      const uint64_t proj = Proj{}(key);
+      entries_[EntryKey{proj, std::move(key)}] = Entry{std::move(value), bytes};
+    }
+    return Status::Ok();
+  }
+
+ private:
+  struct EntryKey {
+    uint64_t proj;
+    K key;
+    bool operator<(const EntryKey& other) const {
+      if (proj != other.proj) {
+        return proj < other.proj;
+      }
+      return key < other.key;
+    }
+  };
+
+  struct Entry {
+    V value;
+    int64_t bytes = 0;
+  };
+
+  bool Owns(uint64_t proj) const {
+    return !retired_ && proj >= begin_ && (proj < end_ || end_ == UINT64_MAX);
+  }
+
+  uint64_t begin_;
+  uint64_t end_;  // UINT64_MAX means "through the top of the space"
+  bool retired_ = false;
+  int64_t data_bytes_ = 0;
+  std::map<EntryKey, Entry> entries_;
+};
+
+template <typename K, typename V, typename Proj = DefaultShardProjection<K>>
+class ShardedMap {
+ public:
+  using Shard = MapShardProclet<K, V, Proj>;
+
+  struct Options {
+    int64_t max_shard_bytes = 16 * kMiB;
+    int64_t shard_base_bytes = 4096;
+  };
+
+  ShardedMap() = default;
+
+  static Task<Result<ShardedMap>> Create(Ctx ctx, Options options = Options{}) {
+    PlacementRequest index_req;
+    index_req.heap_bytes = options.shard_base_bytes;
+    auto create_index = ctx.rt->Create<ShardIndexProclet>(ctx, index_req);
+    Result<Ref<ShardIndexProclet>> index = co_await std::move(create_index);
+    if (!index.ok()) {
+      co_return index.status();
+    }
+    ShardedMap map;
+    map.index_ = *index;
+    map.router_ = ShardRouter(*index);
+    map.options_ = options;
+
+    PlacementRequest shard_req;
+    shard_req.heap_bytes = options.shard_base_bytes;
+    auto create_shard =
+        ctx.rt->Create<Shard>(ctx, shard_req, uint64_t{0}, UINT64_MAX);
+    Result<Ref<Shard>> shard = co_await std::move(create_shard);
+    if (!shard.ok()) {
+      co_return shard.status();
+    }
+    ShardInfo info;
+    info.proclet = shard->id();
+    info.begin = 0;
+    info.end = UINT64_MAX;
+    auto add = map.index_.Call(ctx, [info](ShardIndexProclet& p) -> Task<Status> {
+      co_return p.AddShard(info);
+    });
+    Status added = co_await std::move(add);
+    if (!added.ok()) {
+      co_return added;
+    }
+    co_return map;
+  }
+
+  Ref<ShardIndexProclet> index() const { return index_; }
+  ShardRouter& router() { return router_; }
+  const Options& options() const { return options_; }
+
+  Task<Status> Put(Ctx ctx, K key, V value) {
+    const uint64_t proj = Proj{}(key);
+    const int64_t request_bytes = WireSizeOf(key) + WireSizeOf(value);
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+      Result<ShardInfo> info = co_await router_.Route(ctx, proj);
+      if (!info.ok()) {
+        co_return info.status();
+      }
+      Ref<Shard> shard(ctx.rt, info->proclet);
+      auto call = shard.Call(
+          ctx,
+          [key, value](Shard& s) mutable -> Task<Status> {
+            co_return s.Put(std::move(key), std::move(value));
+          },
+          request_bytes);
+      std::optional<Status> status;
+      try {
+        status.emplace(co_await std::move(call));
+      } catch (const ProcletGoneError&) {
+        router_.Invalidate();
+        continue;
+      }
+      if (status->code() == StatusCode::kOutOfRange) {
+        router_.Invalidate();
+        continue;
+      }
+      co_return *status;
+    }
+    co_return Status::Aborted("too many put retries");
+  }
+
+  Task<Result<V>> Get(Ctx ctx, K key) {
+    const uint64_t proj = Proj{}(key);
+    const int64_t request_bytes = WireSizeOf(key);
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+      Result<ShardInfo> info = co_await router_.Route(ctx, proj);
+      if (!info.ok()) {
+        co_return info.status();
+      }
+      Ref<Shard> shard(ctx.rt, info->proclet);
+      auto call = shard.Call(
+          ctx, [key](Shard& s) -> Task<Result<V>> { co_return s.Get(key); },
+          request_bytes);
+      std::optional<Result<V>> value;
+      try {
+        value.emplace(co_await std::move(call));
+      } catch (const ProcletGoneError&) {
+        router_.Invalidate();
+        continue;
+      }
+      if (!value->ok() && value->status().code() == StatusCode::kOutOfRange) {
+        router_.Invalidate();
+        continue;
+      }
+      co_return std::move(*value);
+    }
+    co_return Status::Aborted("too many get retries");
+  }
+
+  Task<Status> Erase(Ctx ctx, K key) {
+    const uint64_t proj = Proj{}(key);
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+      Result<ShardInfo> info = co_await router_.Route(ctx, proj);
+      if (!info.ok()) {
+        co_return info.status();
+      }
+      Ref<Shard> shard(ctx.rt, info->proclet);
+      auto call = shard.Call(ctx, [key](Shard& s) -> Task<Status> {
+        co_return s.Erase(key);
+      });
+      std::optional<Status> status;
+      try {
+        status.emplace(co_await std::move(call));
+      } catch (const ProcletGoneError&) {
+        router_.Invalidate();
+        continue;
+      }
+      if (status->code() == StatusCode::kOutOfRange) {
+        router_.Invalidate();
+        continue;
+      }
+      co_return *status;
+    }
+    co_return Status::Aborted("too many erase retries");
+  }
+
+  Task<Result<bool>> Contains(Ctx ctx, K key) {
+    auto get = Get(ctx, std::move(key));
+    Result<V> value = co_await std::move(get);
+    if (value.ok()) {
+      co_return true;
+    }
+    if (value.status().code() == StatusCode::kNotFound) {
+      co_return false;
+    }
+    co_return value.status();
+  }
+
+  Task<Result<int64_t>> Size(Ctx ctx) {
+    co_await router_.Refresh(ctx);
+    int64_t total = 0;
+    for (const ShardInfo& info : router_.cached_shards()) {
+      Ref<Shard> shard(ctx.rt, info.proclet);
+      auto call = shard.Call(ctx, [](Shard& s) -> Task<int64_t> {
+        co_return s.count();
+      });
+      try {
+        total += co_await std::move(call);
+      } catch (const ProcletGoneError&) {
+        router_.Invalidate();
+        co_return Status::Aborted("shard set changed during size scan");
+      }
+    }
+    co_return total;
+  }
+
+  // Copies out every entry, shard by shard (iteration primitive).
+  Task<Result<std::vector<std::pair<K, V>>>> Items(Ctx ctx) {
+    co_await router_.Refresh(ctx);
+    std::vector<std::pair<K, V>> out;
+    for (const ShardInfo& info : router_.cached_shards()) {
+      Ref<Shard> shard(ctx.rt, info.proclet);
+      auto call = shard.Call(ctx, [](Shard& s) -> Task<std::vector<std::pair<K, V>>> {
+        co_return s.Items();
+      });
+      try {
+        std::vector<std::pair<K, V>> items = co_await std::move(call);
+        for (auto& item : items) {
+          out.push_back(std::move(item));
+        }
+      } catch (const ProcletGoneError&) {
+        router_.Invalidate();
+        co_return Status::Aborted("shard set changed during scan");
+      }
+    }
+    co_return out;
+  }
+
+ private:
+  static constexpr int kMaxAttempts = 16;
+
+  Ref<ShardIndexProclet> index_;
+  ShardRouter router_;
+  Options options_;
+};
+
+// ShardedSet<K>: membership-only wrapper over ShardedMap.
+template <typename K, typename Proj = DefaultShardProjection<K>>
+class ShardedSet {
+ public:
+  struct Options {
+    int64_t max_shard_bytes = 16 * kMiB;
+  };
+
+  ShardedSet() = default;
+
+  static Task<Result<ShardedSet>> Create(Ctx ctx, Options options = Options{}) {
+    typename ShardedMap<K, char, Proj>::Options map_options;
+    map_options.max_shard_bytes = options.max_shard_bytes;
+    auto create = ShardedMap<K, char, Proj>::Create(ctx, map_options);
+    Result<ShardedMap<K, char, Proj>> map = co_await std::move(create);
+    if (!map.ok()) {
+      co_return map.status();
+    }
+    ShardedSet set;
+    set.map_ = *map;
+    co_return set;
+  }
+
+  Task<Status> Insert(Ctx ctx, K key) { return map_.Put(ctx, std::move(key), 0); }
+  Task<Status> Erase(Ctx ctx, K key) { return map_.Erase(ctx, std::move(key)); }
+  Task<Result<bool>> Contains(Ctx ctx, K key) {
+    return map_.Contains(ctx, std::move(key));
+  }
+  Task<Result<int64_t>> Size(Ctx ctx) { return map_.Size(ctx); }
+
+  ShardedMap<K, char, Proj>& underlying_map() { return map_; }
+
+ private:
+  ShardedMap<K, char, Proj> map_;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_DS_SHARDED_MAP_H_

@@ -1,0 +1,66 @@
+#include "quicksand/net/fabric.h"
+
+#include <algorithm>
+
+#include "quicksand/common/check.h"
+
+namespace quicksand {
+
+void Fabric::AddNic(MachineId id) {
+  QS_CHECK_MSG(id == nics_.size(), "NICs must be added in machine-id order");
+  nics_.push_back(Nic{});
+}
+
+Duration Fabric::UnloadedTransferTime(int64_t bytes) const {
+  QS_CHECK(bytes >= 0);
+  const auto tx_ns = static_cast<int64_t>(
+      static_cast<double>(bytes) / static_cast<double>(config_.bandwidth_bytes_per_sec) *
+      1e9);
+  return config_.per_message_overhead + Duration::Nanos(tx_ns) + config_.one_way_latency;
+}
+
+Task<> Fabric::Transfer(MachineId src, MachineId dst, int64_t bytes) {
+  QS_CHECK(bytes >= 0);
+  QS_CHECK(src < nics_.size() && dst < nics_.size());
+  if (src == dst) {
+    co_return;  // same machine: no wire crossing
+  }
+  Nic& nic = nics_[src];
+  total_bytes_ += bytes;
+  ++total_messages_;
+
+  auto tx_for = [this](int64_t frame) {
+    return Duration::Nanos(static_cast<int64_t>(
+        static_cast<double>(frame) /
+        static_cast<double>(config_.bandwidth_bytes_per_sec) * 1e9));
+  };
+
+  // First frame carries the per-message software overhead; subsequent frames
+  // requeue on the NIC, so concurrent senders interleave at frame
+  // granularity.
+  int64_t remaining = bytes;
+  bool first = true;
+  do {
+    const int64_t frame = std::min(remaining, config_.frame_bytes);
+    remaining -= frame;
+    Duration tx = tx_for(frame);
+    if (first) {
+      tx += config_.per_message_overhead;
+      first = false;
+    }
+    const SimTime start = std::max(sim_.Now(), nic.free_at);
+    const SimTime frame_done = start + tx;
+    nic.free_at = frame_done;
+    nic.busy += tx;
+    co_await sim_.SleepUntil(frame_done);
+  } while (remaining > 0);
+
+  co_await sim_.Sleep(config_.one_way_latency);
+}
+
+Duration Fabric::NicBusy(MachineId id) const {
+  QS_CHECK(id < nics_.size());
+  return nics_[id].busy;
+}
+
+}  // namespace quicksand

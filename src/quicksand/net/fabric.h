@@ -1,0 +1,81 @@
+// Fabric: the simulated datacenter network.
+//
+// Model: full-bisection fabric (any pair of machines can talk at line rate)
+// with, per transfer,
+//
+//     delivery = max(now, sender NIC free) + bytes/bandwidth + latency
+//
+// i.e. store-and-forward through a per-machine egress NIC that serializes
+// outgoing transfers FIFO, plus one-way propagation latency. Defaults are
+// calibrated to the kernel-bypass stacks the paper builds on (Caladan/Nu):
+// ~5 us one-way latency, 100 Gbps per NIC, ~1 us fixed per-message software
+// overhead. Ingress contention is not modeled (documented simplification:
+// the workloads here are dominated by egress serialization and propagation).
+
+#ifndef QUICKSAND_NET_FABRIC_H_
+#define QUICKSAND_NET_FABRIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "quicksand/cluster/machine.h"
+#include "quicksand/common/stats.h"
+#include "quicksand/common/time.h"
+#include "quicksand/sim/simulator.h"
+#include "quicksand/sim/task.h"
+
+namespace quicksand {
+
+struct FabricConfig {
+  Duration one_way_latency = Duration::Micros(5);
+  int64_t bandwidth_bytes_per_sec = 12'500'000'000;  // 100 Gbps
+  Duration per_message_overhead = Duration::Micros(1);
+  // Bulk transfers serialize through the NIC in frames of this size, so a
+  // small control message waits at most one frame — not the whole bulk
+  // transfer (real NICs interleave packets; without this, a 256 MiB
+  // migration would head-of-line-block microsecond RPCs for ~20ms).
+  int64_t frame_bytes = 64 * 1024;
+};
+
+class Fabric {
+ public:
+  Fabric(Simulator& sim, FabricConfig config) : sim_(sim), config_(config) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // Registers a machine's NIC; must be called once per machine, in id order.
+  void AddNic(MachineId id);
+
+  // Moves `bytes` from src to dst; suspends the caller until delivery.
+  // src == dst is free (local "transfer").
+  Task<> Transfer(MachineId src, MachineId dst, int64_t bytes);
+
+  // Time a transfer of `bytes` would take on an idle NIC (no queueing).
+  Duration UnloadedTransferTime(int64_t bytes) const;
+
+  const FabricConfig& config() const { return config_; }
+
+  // --- Introspection --------------------------------------------------------
+
+  int64_t total_bytes_sent() const { return total_bytes_; }
+  int64_t total_messages() const { return total_messages_; }
+  // Cumulative busy time of a machine's egress NIC.
+  Duration NicBusy(MachineId id) const;
+
+ private:
+  struct Nic {
+    SimTime free_at = SimTime::Zero();
+    Duration busy = Duration::Zero();
+  };
+
+  Simulator& sim_;
+  FabricConfig config_;
+  std::vector<Nic> nics_;
+  int64_t total_bytes_ = 0;
+  int64_t total_messages_ = 0;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_NET_FABRIC_H_

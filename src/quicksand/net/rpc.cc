@@ -1,0 +1,21 @@
+#include "quicksand/net/rpc.h"
+
+namespace quicksand {
+
+Task<Status> Rpc::RoundTrip(MachineId src, MachineId dst, int64_t request_bytes,
+                            std::function<Task<int64_t>()> server, Duration timeout) {
+  const SimTime start = sim_.Now();
+  ++calls_;
+  co_await fabric_.Transfer(src, dst, request_bytes + kHeaderBytes);
+  const int64_t response_bytes = co_await server();
+  co_await fabric_.Transfer(dst, src, response_bytes + kHeaderBytes);
+  const Duration elapsed = sim_.Now() - start;
+  latency_.Add(elapsed);
+  if (elapsed > timeout) {
+    ++timeouts_;
+    co_return Status::DeadlineExceeded("rpc round trip exceeded timeout");
+  }
+  co_return Status::Ok();
+}
+
+}  // namespace quicksand

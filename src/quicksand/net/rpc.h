@@ -1,0 +1,56 @@
+// Rpc: request/response round trips over the fabric, with latency stats.
+//
+// Because the simulator shares one address space, an "RPC" does not move real
+// bytes — it charges wire time for the request, runs the server-side closure
+// (which models its own CPU cost against the destination machine), then
+// charges wire time for the response. The runtime's proclet-invocation layer
+// uses this for every remote method call.
+
+#ifndef QUICKSAND_NET_RPC_H_
+#define QUICKSAND_NET_RPC_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "quicksand/common/stats.h"
+#include "quicksand/common/status.h"
+#include "quicksand/net/fabric.h"
+#include "quicksand/sim/task.h"
+
+namespace quicksand {
+
+class Rpc {
+ public:
+  // Fixed framing cost added to every request and response payload.
+  static constexpr int64_t kHeaderBytes = 64;
+
+  Rpc(Simulator& sim, Fabric& fabric) : sim_(sim), fabric_(fabric) {}
+
+  Rpc(const Rpc&) = delete;
+  Rpc& operator=(const Rpc&) = delete;
+
+  // Round trip src -> dst -> src. `server` runs logically at dst and returns
+  // the response payload size in bytes. If the round trip exceeds `timeout`
+  // the result is DeadlineExceeded (the server work still happened; only the
+  // response is considered lost — the usual at-least-once caveat).
+  Task<Status> RoundTrip(MachineId src, MachineId dst, int64_t request_bytes,
+                         std::function<Task<int64_t>()> server,
+                         Duration timeout = Duration::Max());
+
+  const LatencyHistogram& latency() const { return latency_; }
+  int64_t calls() const { return calls_; }
+  int64_t timeouts() const { return timeouts_; }
+
+  Fabric& fabric() { return fabric_; }
+
+ private:
+  Simulator& sim_;
+  Fabric& fabric_;
+  LatencyHistogram latency_;
+  int64_t calls_ = 0;
+  int64_t timeouts_ = 0;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_NET_RPC_H_

@@ -1,0 +1,167 @@
+// MemoryProclet: a resource proclet specialized for memory (§3.1).
+//
+// Stores in-memory objects addressed by DistPtr<T> — distributed pointers
+// that work across proclets. A compute proclet consumes data from a memory
+// proclet by dereferencing (Load-ing) distributed pointers; the runtime
+// turns that into a cheap local access or an RPC depending on where the two
+// proclets currently live.
+//
+// The sharded data structures (quicksand/ds) use dedicated shard proclets
+// rather than this generic store; MemoryProclet is the low-level building
+// block the paper's NewPtr<T> API describes.
+
+#ifndef QUICKSAND_PROCLET_MEMORY_PROCLET_H_
+#define QUICKSAND_PROCLET_MEMORY_PROCLET_H_
+
+#include <any>
+#include <cstdint>
+#include <unordered_map>
+
+#include "quicksand/common/status.h"
+#include "quicksand/common/wire.h"
+#include "quicksand/runtime/runtime.h"
+
+namespace quicksand {
+
+class MemoryProclet : public ProcletBase {
+ public:
+  static constexpr ProcletKind kKind = ProcletKind::kMemory;
+
+  explicit MemoryProclet(const ProcletInit& init) : ProcletBase(init) {}
+
+  // --- Object store (invoke through Ref<MemoryProclet>::Call) ---------------
+
+  template <typename T>
+  Result<uint64_t> PutObject(T value) {
+    const int64_t bytes = WireSizeOf(value);
+    if (!TryChargeHeap(bytes)) {
+      return Status::ResourceExhausted("memory proclet host is out of memory");
+    }
+    const uint64_t object_id = next_object_id_++;
+    objects_.emplace(object_id, Entry{std::any(std::move(value)), bytes});
+    return object_id;
+  }
+
+  template <typename T>
+  Result<T> GetObject(uint64_t object_id) const {
+    auto it = objects_.find(object_id);
+    if (it == objects_.end()) {
+      return Status::NotFound("no such object");
+    }
+    const T* value = std::any_cast<T>(&it->second.value);
+    if (value == nullptr) {
+      return Status::InvalidArgument("object has a different type");
+    }
+    return *value;
+  }
+
+  template <typename T>
+  Status SetObject(uint64_t object_id, T value) {
+    auto it = objects_.find(object_id);
+    if (it == objects_.end()) {
+      return Status::NotFound("no such object");
+    }
+    const int64_t new_bytes = WireSizeOf(value);
+    const int64_t delta = new_bytes - it->second.bytes;
+    if (delta > 0 && !TryChargeHeap(delta)) {
+      return Status::ResourceExhausted("memory proclet host is out of memory");
+    }
+    if (delta < 0) {
+      ReleaseHeap(-delta);
+    }
+    it->second.value = std::any(std::move(value));
+    it->second.bytes = new_bytes;
+    return Status::Ok();
+  }
+
+  Status FreeObject(uint64_t object_id) {
+    auto it = objects_.find(object_id);
+    if (it == objects_.end()) {
+      return Status::NotFound("no such object");
+    }
+    ReleaseHeap(it->second.bytes);
+    objects_.erase(it);
+    return Status::Ok();
+  }
+
+  size_t object_count() const { return objects_.size(); }
+
+ private:
+  struct Entry {
+    std::any value;
+    int64_t bytes;
+  };
+
+  std::unordered_map<uint64_t, Entry> objects_;
+  uint64_t next_object_id_ = 1;
+};
+
+// DistPtr<T>: a typed pointer into a memory proclet, usable from anywhere in
+// the cluster. Trivially copyable, so it can itself be shipped over the wire.
+template <typename T>
+class DistPtr {
+ public:
+  DistPtr() = default;
+  DistPtr(Ref<MemoryProclet> home, uint64_t object_id)
+      : home_(home), object_id_(object_id) {}
+
+  explicit operator bool() const { return static_cast<bool>(home_); }
+  Ref<MemoryProclet> home() const { return home_; }
+  uint64_t object_id() const { return object_id_; }
+
+  // Dereference: copy the object out of its memory proclet.
+  Task<Result<T>> Load(Ctx ctx) const {
+    auto call = home_.Call(
+        ctx, [object_id = object_id_](MemoryProclet& p) -> Task<Result<T>> {
+          co_return p.template GetObject<T>(object_id);
+        });
+    co_return co_await std::move(call);
+  }
+
+  // Overwrite the object in place.
+  Task<Status> Store(Ctx ctx, T value) const {
+    const int64_t request_bytes = WireSizeOf(value);
+    // Named task: see the GCC 12 note in sim/task.h.
+    auto call = home_.Call(
+        ctx,
+        [object_id = object_id_, value = std::move(value)](MemoryProclet& p) mutable
+        -> Task<Status> { co_return p.SetObject(object_id, std::move(value)); },
+        request_bytes);
+    co_return co_await std::move(call);
+  }
+
+  Task<Status> Free(Ctx ctx) const {
+    auto call = home_.Call(
+        ctx, [object_id = object_id_](MemoryProclet& p) -> Task<Status> {
+          co_return p.FreeObject(object_id);
+        });
+    co_return co_await std::move(call);
+  }
+
+ private:
+  Ref<MemoryProclet> home_;
+  uint64_t object_id_ = 0;
+};
+
+// The paper's NewPtr<T>(args...): allocate an object inside `home` and get a
+// distributed pointer to it.
+template <typename T>
+Task<Result<DistPtr<T>>> NewPtr(Ctx ctx, Ref<MemoryProclet> home, T value) {
+  const int64_t request_bytes = WireSizeOf(value);
+  // Named task: see the GCC 12 note in sim/task.h.
+  auto call = home.Call(
+      ctx,
+      [value = std::move(value)](MemoryProclet& p) mutable -> Task<Result<uint64_t>> {
+        co_return p.PutObject(std::move(value));
+      },
+      request_bytes);
+  Result<uint64_t> object_id = co_await std::move(call);
+  if (!object_id.ok()) {
+    co_return object_id.status();
+  }
+  co_return DistPtr<T>(home, *object_id);
+}
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_PROCLET_MEMORY_PROCLET_H_

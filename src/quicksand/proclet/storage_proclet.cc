@@ -1,0 +1,24 @@
+#include "quicksand/proclet/storage_proclet.h"
+
+namespace quicksand {
+
+DiskModel& StorageProclet::hosting_disk() {
+  return runtime().cluster().machine(location()).disk();
+}
+
+bool StorageProclet::TryRelocateAux(MachineId dst) {
+  return runtime().cluster().machine(dst).disk().capacity().TryCharge(stored_bytes_);
+}
+
+void StorageProclet::FinishRelocateAux(MachineId src) {
+  runtime().cluster().machine(src).disk().capacity().Release(stored_bytes_);
+}
+
+Task<> StorageProclet::OnDestroy() {
+  hosting_disk().capacity().Release(stored_bytes_);
+  stored_bytes_ = 0;
+  objects_.clear();
+  co_return;
+}
+
+}  // namespace quicksand

@@ -1,0 +1,104 @@
+// StorageProclet: a resource proclet specialized for persistent storage
+// (§3.1): ReadObject(id) / WriteObject(id, value).
+//
+// Objects live on the hosting machine's disk: writes and reads pay that
+// disk's per-op and bandwidth costs and capacity is charged against it.
+// Migrating a storage proclet ships its on-disk bytes too
+// (MigrationExtraBytes) and moves the capacity charge — so the splitter
+// keeps storage proclets fine-grained just like memory proclets (§3.3).
+
+#ifndef QUICKSAND_PROCLET_STORAGE_PROCLET_H_
+#define QUICKSAND_PROCLET_STORAGE_PROCLET_H_
+
+#include <any>
+#include <cstdint>
+#include <unordered_map>
+
+#include "quicksand/common/status.h"
+#include "quicksand/common/wire.h"
+#include "quicksand/runtime/runtime.h"
+
+namespace quicksand {
+
+class StorageProclet : public ProcletBase {
+ public:
+  static constexpr ProcletKind kKind = ProcletKind::kStorage;
+
+  explicit StorageProclet(const ProcletInit& init) : ProcletBase(init) {}
+
+  // --- Methods (invoke through Ref<StorageProclet>::Call) -------------------
+
+  // Persists `value` under `object_id` (overwrite allowed). Pays one disk
+  // write; charges disk capacity for the delta.
+  template <typename T>
+  Task<Status> WriteObject(uint64_t object_id, T value) {
+    const int64_t bytes = WireSizeOf(value);
+    auto& disk = hosting_disk();
+    auto it = objects_.find(object_id);
+    const int64_t old_bytes = it == objects_.end() ? 0 : it->second.bytes;
+    const int64_t delta = bytes - old_bytes;
+    if (delta > 0 && !disk.capacity().TryCharge(delta)) {
+      co_return Status::ResourceExhausted("disk capacity exhausted");
+    }
+    if (delta < 0) {
+      disk.capacity().Release(-delta);
+    }
+    stored_bytes_ += delta;
+    objects_[object_id] = Entry{std::any(std::move(value)), bytes};
+    co_await disk.Io(bytes);
+    co_return Status::Ok();
+  }
+
+  // Reads the object back; pays one disk read.
+  template <typename T>
+  Task<Result<T>> ReadObject(uint64_t object_id) {
+    auto it = objects_.find(object_id);
+    if (it == objects_.end()) {
+      co_return Status::NotFound("no such storage object");
+    }
+    const T* value = std::any_cast<T>(&it->second.value);
+    if (value == nullptr) {
+      co_return Status::InvalidArgument("object has a different type");
+    }
+    co_await hosting_disk().Io(it->second.bytes);
+    co_return *value;
+  }
+
+  Task<Status> DeleteObject(uint64_t object_id) {
+    auto it = objects_.find(object_id);
+    if (it == objects_.end()) {
+      co_return Status::NotFound("no such storage object");
+    }
+    hosting_disk().capacity().Release(it->second.bytes);
+    stored_bytes_ -= it->second.bytes;
+    objects_.erase(it);
+    co_await hosting_disk().Io(0);  // metadata update
+    co_return Status::Ok();
+  }
+
+  bool Contains(uint64_t object_id) const { return objects_.count(object_id) > 0; }
+  size_t object_count() const { return objects_.size(); }
+  int64_t stored_bytes() const { return stored_bytes_; }
+
+ protected:
+  int64_t MigrationExtraBytes() const override { return stored_bytes_; }
+
+  bool TryRelocateAux(MachineId dst) override;
+  void FinishRelocateAux(MachineId src) override;
+  Task<> OnDestroy() override;
+
+ private:
+  struct Entry {
+    std::any value;
+    int64_t bytes;
+  };
+
+  DiskModel& hosting_disk();
+
+  std::unordered_map<uint64_t, Entry> objects_;
+  int64_t stored_bytes_ = 0;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_PROCLET_STORAGE_PROCLET_H_

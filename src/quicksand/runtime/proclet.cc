@@ -1,0 +1,74 @@
+#include "quicksand/runtime/proclet.h"
+
+#include "quicksand/runtime/runtime.h"
+
+namespace quicksand {
+
+const char* ProcletKindName(ProcletKind kind) {
+  switch (kind) {
+    case ProcletKind::kCompute:
+      return "compute";
+    case ProcletKind::kMemory:
+      return "memory";
+    case ProcletKind::kStorage:
+      return "storage";
+  }
+  return "unknown";
+}
+
+bool ProcletBase::TryChargeHeap(int64_t bytes) {
+  QS_CHECK(bytes >= 0);
+  if (!rt_->cluster().machine(location_).memory().TryCharge(bytes)) {
+    return false;
+  }
+  heap_bytes_ += bytes;
+  return true;
+}
+
+void ProcletBase::ReleaseHeap(int64_t bytes) {
+  QS_CHECK(bytes >= 0);
+  QS_CHECK_MSG(bytes <= heap_bytes_, "releasing more heap than the proclet holds");
+  rt_->cluster().machine(location_).memory().Release(bytes);
+  heap_bytes_ -= bytes;
+}
+
+Task<bool> ProcletBase::EnterCall() {
+  while (gate_closed_ && !destroyed_) {
+    co_await gate_waiters_.Park();
+  }
+  if (destroyed_) {
+    co_return false;
+  }
+  ++active_calls_;
+  ++invocation_count_;
+  last_invocation_ = gate_waiters_.sim().Now();
+  co_return true;
+}
+
+void ProcletBase::ExitCall() {
+  QS_CHECK(active_calls_ > 0);
+  if (--active_calls_ == 0) {
+    drain_waiters_.WakeAll();
+  }
+}
+
+Task<> ProcletBase::CloseGateAndDrain() {
+  QS_CHECK_MSG(!gate_closed_, "gate already closed");
+  gate_closed_ = true;
+  while (active_calls_ > 0) {
+    co_await drain_waiters_.Park();
+  }
+}
+
+void ProcletBase::OpenGate() {
+  QS_CHECK(gate_closed_);
+  gate_closed_ = false;
+  gate_waiters_.WakeAll();
+}
+
+void ProcletBase::MarkDestroyed() {
+  destroyed_ = true;
+  gate_waiters_.WakeAll();
+}
+
+}  // namespace quicksand

@@ -1,0 +1,133 @@
+// ProcletBase: the migratable unit of resource consumption.
+//
+// A proclet (following Nu [50]) is an independently schedulable unit with a
+// heap and methods. Quicksand specializes proclets by resource: compute
+// proclets consume CPU, memory proclets store data, storage proclets keep
+// persistent objects (§3.1). This base class carries what all of them share:
+//
+//  * identity and current location,
+//  * byte-accounted heap charged to the hosting machine,
+//  * the invocation gate — method calls are blocked while the proclet is
+//    being migrated, split, or merged (§3.3), and migration drains active
+//    calls before copying the heap,
+//  * invocation statistics the scheduler uses (recency, affinity).
+//
+// Subclasses take a ProcletInit as their first constructor argument and
+// forward it to ProcletBase; Runtime::Create is the only producer of
+// ProcletInit values.
+
+#ifndef QUICKSAND_RUNTIME_PROCLET_H_
+#define QUICKSAND_RUNTIME_PROCLET_H_
+
+#include <cstdint>
+
+#include "quicksand/cluster/machine.h"
+#include "quicksand/sim/task.h"
+#include "quicksand/sim/wait_queue.h"
+
+namespace quicksand {
+
+class Runtime;
+
+using ProcletId = uint64_t;
+inline constexpr ProcletId kInvalidProcletId = 0;
+
+enum class ProcletKind { kCompute, kMemory, kStorage };
+
+const char* ProcletKindName(ProcletKind kind);
+
+// Opaque construction token passed from Runtime::Create to the proclet.
+struct ProcletInit {
+  Runtime* rt;
+  Simulator* sim;
+  ProcletId id;
+  ProcletKind kind;
+  MachineId location;
+};
+
+class ProcletBase {
+ public:
+  explicit ProcletBase(const ProcletInit& init)
+      : rt_(init.rt),
+        id_(init.id),
+        kind_(init.kind),
+        location_(init.location),
+        gate_waiters_(*init.sim),
+        drain_waiters_(*init.sim) {}
+
+  virtual ~ProcletBase() = default;
+
+  ProcletBase(const ProcletBase&) = delete;
+  ProcletBase& operator=(const ProcletBase&) = delete;
+
+  ProcletId id() const { return id_; }
+  ProcletKind kind() const { return kind_; }
+  MachineId location() const { return location_; }
+  int64_t heap_bytes() const { return heap_bytes_; }
+
+  bool gate_closed() const { return gate_closed_; }
+  int64_t active_calls() const { return active_calls_; }
+  int64_t invocation_count() const { return invocation_count_; }
+  SimTime last_invocation() const { return last_invocation_; }
+
+  // --- Heap accounting (call only from within a proclet method) ------------
+
+  // Grows the heap, charging the hosting machine. Fails without side effects
+  // if the machine is out of memory.
+  bool TryChargeHeap(int64_t bytes);
+  void ReleaseHeap(int64_t bytes);
+
+ protected:
+  Runtime& runtime() const { return *rt_; }
+
+  // --- Lifecycle hooks (overridden by resource proclets) --------------------
+
+  // Called with the gate closed and calls drained, before the heap is copied
+  // for migration or released for destruction. Compute proclets use this to
+  // let in-flight jobs finish so heap accounting stays consistent.
+  virtual Task<> OnQuiesce() { co_return; }
+  // Called after a migration completes (gate reopened).
+  virtual void OnResume() {}
+  // Called before destruction (after OnQuiesce); must stop background
+  // fibers and release any auxiliary resources.
+  virtual Task<> OnDestroy() { co_return; }
+
+  // Extra bytes to ship during migration beyond the heap (e.g. a storage
+  // proclet's on-disk objects).
+  virtual int64_t MigrationExtraBytes() const { return 0; }
+  // Reserve/release auxiliary per-machine resources (e.g. disk capacity)
+  // around a relocation. TryRelocateAux must not have side effects on
+  // failure.
+  virtual bool TryRelocateAux(MachineId dst) { return true; }
+  virtual void FinishRelocateAux(MachineId src) {}
+
+ private:
+  friend class Runtime;
+
+  // Invocation gate -----------------------------------------------------
+  // Waits while the gate is closed; returns false if the proclet was
+  // destroyed while waiting (the caller must not touch it afterwards).
+  Task<bool> EnterCall();
+  void ExitCall();
+  // Closes the gate and waits for in-flight calls to finish. Pre: gate open.
+  Task<> CloseGateAndDrain();
+  void OpenGate();
+  void MarkDestroyed();
+
+  Runtime* rt_;
+  ProcletId id_;
+  ProcletKind kind_;
+  MachineId location_;
+  int64_t heap_bytes_ = 0;
+  bool gate_closed_ = false;
+  bool destroyed_ = false;
+  int64_t active_calls_ = 0;
+  int64_t invocation_count_ = 0;
+  SimTime last_invocation_ = SimTime::Zero();
+  WaitQueue gate_waiters_;
+  WaitQueue drain_waiters_;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_RUNTIME_PROCLET_H_

@@ -1,0 +1,251 @@
+#include "quicksand/runtime/runtime.h"
+
+#include <algorithm>
+
+#include "quicksand/common/logging.h"
+
+namespace quicksand {
+
+Runtime::Runtime(Simulator& sim, Cluster& cluster, RuntimeConfig config)
+    : sim_(sim),
+      cluster_(cluster),
+      config_(config),
+      placement_(std::make_unique<BestFitPolicy>()),
+      location_cache_(cluster.size()) {
+  QS_CHECK_MSG(cluster.size() > 0, "Runtime requires at least one machine");
+  QS_CHECK(config_.controller < cluster.size());
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::SetPlacementPolicy(std::unique_ptr<PlacementPolicy> policy) {
+  QS_CHECK(policy != nullptr);
+  placement_ = std::move(policy);
+}
+
+ProcletBase* Runtime::Find(ProcletId id) {
+  auto it = proclets_.find(id);
+  return it == proclets_.end() ? nullptr : it->second.get();
+}
+
+MachineId Runtime::LocationOf(ProcletId id) const {
+  auto it = directory_.find(id);
+  return it == directory_.end() ? kInvalidMachineId : it->second;
+}
+
+std::vector<ProcletId> Runtime::ProcletsOn(MachineId machine) const {
+  std::vector<ProcletId> result;
+  for (const auto& [id, proclet] : proclets_) {
+    if (proclet->location() == machine) {
+      result.push_back(id);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<ProcletId> Runtime::AllProclets() const {
+  std::vector<ProcletId> result;
+  result.reserve(proclets_.size());
+  for (const auto& [id, proclet] : proclets_) {
+    result.push_back(id);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+Task<MachineId> Runtime::ResolveLocation(MachineId from, ProcletId id) {
+  // The controller holds the authoritative directory; its own lookups are
+  // local.
+  if (from == config_.controller) {
+    auto it = directory_.find(id);
+    if (it == directory_.end()) {
+      throw ProcletGoneError(id);
+    }
+    co_return it->second;
+  }
+  auto& cache = location_cache_[from];
+  auto cached = cache.find(id);
+  if (cached != cache.end()) {
+    co_return cached->second;
+  }
+  // Cache miss: directory RPC.
+  ++stats_.directory_lookups;
+  co_await fabric().Transfer(from, config_.controller, config_.control_message_bytes);
+  auto it = directory_.find(id);
+  if (it == directory_.end()) {
+    co_await fabric().Transfer(config_.controller, from, config_.control_message_bytes);
+    throw ProcletGoneError(id);
+  }
+  const MachineId location = it->second;
+  co_await fabric().Transfer(config_.controller, from, config_.control_message_bytes);
+  cache[id] = location;
+  co_return location;
+}
+
+void Runtime::InvalidateCache(MachineId machine, ProcletId id) {
+  location_cache_[machine].erase(id);
+}
+
+Task<> Runtime::PayBounce(MachineId stale_target, MachineId caller) {
+  co_await fabric().Transfer(stale_target, caller, config_.control_message_bytes);
+}
+
+Task<Status> Runtime::Destroy(Ctx ctx, ProcletId id) {
+  ProcletBase* proclet = Find(id);
+  if (proclet == nullptr) {
+    co_return Status::NotFound("proclet already gone");
+  }
+  // Control message to the host.
+  co_await fabric().Transfer(ctx.machine, proclet->location(),
+                             config_.control_message_bytes);
+  if (proclet->gate_closed()) {
+    co_return Status::Aborted("proclet is under migration/maintenance");
+  }
+  co_await proclet->CloseGateAndDrain();
+  co_await proclet->OnQuiesce();
+  co_await proclet->OnDestroy();
+  proclet->MarkDestroyed();
+  cluster_.machine(proclet->location()).memory().Release(proclet->heap_bytes());
+  if (proclet->kind() == ProcletKind::kCompute) {
+    cluster_.machine(proclet->location()).AdjustHostedCompute(-1);
+  }
+  proclet->heap_bytes_ = 0;
+  directory_.erase(id);
+  ++stats_.destructions;
+
+  // Gate waiters were woken by MarkDestroyed and will observe destruction at
+  // their (already scheduled) resume events; delete the object strictly
+  // after those events run.
+  auto it = proclets_.find(id);
+  QS_CHECK(it != proclets_.end());
+  std::shared_ptr<ProcletBase> doomed(it->second.release());
+  proclets_.erase(it);
+  sim_.Schedule(Duration::Zero(), [doomed]() mutable { doomed.reset(); });
+  co_return Status::Ok();
+}
+
+Task<Status> Runtime::Migrate(ProcletId id, MachineId dst) {
+  QS_CHECK(dst < cluster_.size());
+  ProcletBase* proclet = Find(id);
+  if (proclet == nullptr) {
+    co_return Status::NotFound("proclet is gone");
+  }
+  if (proclet->location() == dst) {
+    co_return Status::Ok();
+  }
+  if (proclet->gate_closed()) {
+    ++stats_.failed_migrations;
+    co_return Status::Aborted("proclet is already under migration/maintenance");
+  }
+
+  const SimTime started = sim_.Now();
+  co_await proclet->CloseGateAndDrain();
+  co_await proclet->OnQuiesce();
+  const MachineId src = proclet->location();
+  const int64_t heap = proclet->heap_bytes();
+  if (!cluster_.machine(dst).memory().TryCharge(heap)) {
+    proclet->OpenGate();
+    proclet->OnResume();
+    ++stats_.failed_migrations;
+    co_return Status::ResourceExhausted("destination out of memory");
+  }
+  if (!proclet->TryRelocateAux(dst)) {
+    cluster_.machine(dst).memory().Release(heap);
+    proclet->OpenGate();
+    proclet->OnResume();
+    ++stats_.failed_migrations;
+    co_return Status::ResourceExhausted("destination lacks auxiliary resources");
+  }
+
+  // Kernel-side fixed work (pinning, mapping), then the heap copy — eagerly
+  // in the blocking window, or in the background for lazy migration.
+  co_await sim_.Sleep(config_.migration_fixed_overhead);
+  const bool lazy = config_.lazy_migration && proclet->MigrationExtraBytes() == 0;
+  if (lazy) {
+    // Control metadata ships now; the heap follows asynchronously while the
+    // source keeps its charge until the copy lands.
+    co_await fabric().Transfer(src, dst, config_.migration_header_bytes);
+    sim_.Spawn(LazyCopy(src, dst, heap, started), "lazy_copy");
+  } else {
+    co_await fabric().Transfer(src, dst,
+                               heap + proclet->MigrationExtraBytes() +
+                                   config_.migration_header_bytes);
+    cluster_.machine(src).memory().Release(heap);
+    proclet->FinishRelocateAux(src);
+  }
+  if (proclet->kind() == ProcletKind::kCompute) {
+    cluster_.machine(src).AdjustHostedCompute(-1);
+    cluster_.machine(dst).AdjustHostedCompute(1);
+  }
+  proclet->location_ = dst;
+  directory_[id] = dst;
+  location_cache_[src].erase(id);
+
+  ++stats_.migrations;
+  stats_.migration_latency.Add(sim_.Now() - started);
+  QS_LOG_DEBUG("runtime", "migrated proclet %llu (%s, %lld B heap) m%u -> m%u in %s",
+               static_cast<unsigned long long>(id), ProcletKindName(proclet->kind()),
+               static_cast<long long>(heap), src, dst,
+               (sim_.Now() - started).ToString().c_str());
+
+  proclet->OpenGate();
+  proclet->OnResume();
+  co_return Status::Ok();
+}
+
+Task<Status> Runtime::BeginMaintenance(ProcletId id) {
+  ProcletBase* proclet = Find(id);
+  if (proclet == nullptr) {
+    co_return Status::NotFound("proclet is gone");
+  }
+  if (proclet->gate_closed()) {
+    co_return Status::Aborted("proclet is already under migration/maintenance");
+  }
+  co_await proclet->CloseGateAndDrain();
+  if (Find(id) == nullptr) {
+    co_return Status::NotFound("proclet destroyed during drain");
+  }
+  co_return Status::Ok();
+}
+
+void Runtime::EndMaintenance(ProcletId id) {
+  ProcletBase* proclet = Find(id);
+  QS_CHECK_MSG(proclet != nullptr, "EndMaintenance on a destroyed proclet");
+  proclet->OpenGate();
+}
+
+Task<> Runtime::LazyCopy(MachineId src, MachineId dst, int64_t bytes, SimTime started) {
+  co_await fabric().Transfer(src, dst, bytes);
+  // The source held its charge through the copy window (double-charged with
+  // the destination); release it now. This is safe even if the proclet was
+  // destroyed or re-migrated meanwhile: the amount matches what src hosted
+  // at flip time, and later mutations charge the new location.
+  cluster_.machine(src).memory().Release(bytes);
+  ++stats_.lazy_copies_completed;
+  stats_.lazy_copy_latency.Add(sim_.Now() - started);
+}
+
+void Runtime::RecordAffinity(ProcletId a, ProcletId b, int64_t bytes) {
+  affinity_by_[a][b] += bytes;
+  affinity_by_[b][a] += bytes;
+}
+
+int64_t Runtime::AffinityBytes(ProcletId a, ProcletId b) const {
+  auto it = affinity_by_.find(a);
+  if (it == affinity_by_.end()) {
+    return 0;
+  }
+  auto jt = it->second.find(b);
+  return jt == it->second.end() ? 0 : jt->second;
+}
+
+std::unordered_map<ProcletId, int64_t> Runtime::AffinityPeers(ProcletId a) const {
+  auto it = affinity_by_.find(a);
+  if (it == affinity_by_.end()) {
+    return {};
+  }
+  return it->second;
+}
+
+}  // namespace quicksand

@@ -1,0 +1,384 @@
+// Runtime: Quicksand's distributed runtime (§3).
+//
+// One Runtime spans the whole cluster (as Nu's runtime does) and provides:
+//
+//  * proclet creation/destruction with policy-driven placement,
+//  * location-transparent method invocation: local calls are direct function
+//    calls; remote calls pay RPC wire costs; calls racing with migration
+//    bounce off the stale location and retry (Nu-style forwarding),
+//  * millisecond-scale proclet migration: gate -> drain -> copy heap over
+//    the fabric -> flip directory -> reopen,
+//  * maintenance sections for the split/merge machinery (§3.3),
+//  * affinity tracking for locality-aware scheduling (§5).
+//
+// Every proclet-facing entry point takes a Ctx naming the machine the caller
+// is executing on — that is what decides local vs. remote costs.
+
+#ifndef QUICKSAND_RUNTIME_RUNTIME_H_
+#define QUICKSAND_RUNTIME_RUNTIME_H_
+
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "quicksand/cluster/cluster.h"
+#include "quicksand/common/stats.h"
+#include "quicksand/common/status.h"
+#include "quicksand/common/wire.h"
+#include "quicksand/net/rpc.h"
+#include "quicksand/runtime/proclet.h"
+#include "quicksand/sched/placement.h"
+#include "quicksand/sim/simulator.h"
+
+namespace quicksand {
+
+// Thrown when an invocation targets a proclet that has been destroyed.
+// Sharded data structures catch this, refresh their index, and retry.
+class ProcletGoneError : public std::runtime_error {
+ public:
+  explicit ProcletGoneError(ProcletId id)
+      : std::runtime_error("proclet " + std::to_string(id) + " is gone"), id_(id) {}
+
+  ProcletId id() const { return id_; }
+
+ private:
+  ProcletId id_;
+};
+
+// Execution context: which machine the current activity runs on, and (when
+// running inside a compute proclet) which proclet — used for affinity
+// tracking.
+struct Ctx {
+  Runtime* rt = nullptr;
+  MachineId machine = 0;
+  ProcletId caller_proclet = kInvalidProcletId;
+};
+
+template <typename P>
+class Ref;
+
+struct RuntimeConfig {
+  // Machine hosting the location directory (Nu's controller).
+  MachineId controller = 0;
+  // Fixed migration cost: page pinning, mapping setup, control handshakes
+  // (§5 notes these kernel bottlenecks explicitly).
+  Duration migration_fixed_overhead = Duration::Micros(200);
+  // Metadata shipped alongside the heap during migration.
+  int64_t migration_header_bytes = 4096;
+  // Runtime work to set up a new proclet (heap creation, registration).
+  Duration creation_overhead = Duration::Micros(10);
+  // Size of control-plane messages (create/ack/redirect/directory lookups).
+  int64_t control_message_bytes = 128;
+  // Safety valve on the resolve/bounce retry loop.
+  int max_invoke_attempts = 16;
+  // Lazy ("post-copy"-style) migration, after §5's CXL discussion: "we can
+  // speed up resource proclet migration by postponing the copying of data".
+  // The proclet resumes at the destination right after the fixed overhead;
+  // the heap copies in the background (memory is double-charged for the
+  // duration of the copy). Proclets with auxiliary bytes (storage) still
+  // migrate eagerly.
+  bool lazy_migration = false;
+};
+
+struct RuntimeStats {
+  int64_t local_invocations = 0;
+  int64_t remote_invocations = 0;
+  int64_t bounces = 0;
+  int64_t directory_lookups = 0;
+  int64_t migrations = 0;
+  int64_t failed_migrations = 0;
+  int64_t creations = 0;
+  int64_t destructions = 0;
+  int64_t lazy_copies_completed = 0;
+  // Gate-closed window per migration (what callers experience).
+  LatencyHistogram migration_latency;
+  // Background copy completion time for lazy migrations.
+  LatencyHistogram lazy_copy_latency;
+  LatencyHistogram remote_invoke_latency;
+};
+
+namespace internal {
+
+template <typename T>
+struct UnwrapTask;
+
+template <typename T>
+struct UnwrapTask<Task<T>> {
+  using type = T;
+};
+
+}  // namespace internal
+
+class Runtime {
+ public:
+  Runtime(Simulator& sim, Cluster& cluster, RuntimeConfig config = RuntimeConfig{});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  Simulator& sim() { return sim_; }
+  Cluster& cluster() { return cluster_; }
+  Fabric& fabric() { return cluster_.fabric(); }
+  const RuntimeConfig& config() const { return config_; }
+  const RuntimeStats& stats() const { return stats_; }
+
+  void SetPlacementPolicy(std::unique_ptr<PlacementPolicy> policy);
+  PlacementPolicy& placement() { return *placement_; }
+
+  // A Ctx for driver code running on the given machine.
+  Ctx CtxOn(MachineId machine) { return Ctx{this, machine, kInvalidProcletId}; }
+
+  // --- Lifecycle ------------------------------------------------------------
+
+  // Creates a proclet of type P (which must declare `static constexpr
+  // ProcletKind kKind` and take ProcletInit as its first constructor
+  // argument). `request.heap_bytes` is the initial heap charge.
+  //
+  // Args are taken BY VALUE deliberately: Create is a lazy coroutine, so
+  // reference parameters would dangle once the caller's temporaries die
+  // (before the body ever runs). Values are copied into the frame.
+  template <typename P, typename... Args>
+  Task<Result<Ref<P>>> Create(Ctx ctx, PlacementRequest request, Args... args);
+
+  // Destroys a proclet: drains in-flight calls, releases its heap, and fails
+  // subsequent invocations with ProcletGoneError.
+  Task<Status> Destroy(Ctx ctx, ProcletId id);
+
+  // --- Migration ------------------------------------------------------------
+
+  // Moves a proclet to `dst`. Blocks new invocations for the duration, which
+  // is migration_fixed_overhead + heap/bandwidth (sub-millisecond for small
+  // proclets — the property Fig. 1 depends on).
+  Task<Status> Migrate(ProcletId id, MachineId dst);
+
+  // --- Maintenance (split/merge support) -------------------------------------
+
+  // Closes the invocation gate and drains active calls, giving the caller
+  // exclusive access to the proclet until EndMaintenance. Fails if the
+  // proclet is gone or already under maintenance/migration.
+  Task<Status> BeginMaintenance(ProcletId id);
+  void EndMaintenance(ProcletId id);
+
+  // Direct pointer for gate-holding maintenance code; nullptr if gone.
+  template <typename P>
+  P* UnsafeGet(ProcletId id) {
+    return static_cast<P*>(Find(id));
+  }
+
+  // --- Introspection ----------------------------------------------------------
+
+  ProcletBase* Find(ProcletId id);
+  // Authoritative location; kInvalidMachineId if the proclet is gone.
+  MachineId LocationOf(ProcletId id) const;
+  std::vector<ProcletId> ProcletsOn(MachineId machine) const;
+  std::vector<ProcletId> AllProclets() const;
+  size_t proclet_count() const { return proclets_.size(); }
+
+  // --- Affinity --------------------------------------------------------------
+
+  void RecordAffinity(ProcletId a, ProcletId b, int64_t bytes);
+  int64_t AffinityBytes(ProcletId a, ProcletId b) const;
+  // Total remote traffic attributed to proclet `a` per peer machine.
+  std::unordered_map<ProcletId, int64_t> AffinityPeers(ProcletId a) const;
+
+  // --- Invocation -------------------------------------------------------------
+
+  // Runs `fn(P&)` at the proclet's current machine. `fn` must return
+  // Task<R>; the call returns Task<R>. `request_bytes` models the argument
+  // payload; the response payload is WireSizeOf(result) automatically.
+  // Throws ProcletGoneError if the proclet has been destroyed.
+  template <typename P, typename Fn>
+  auto Invoke(Ctx ctx, ProcletId id, Fn fn, int64_t request_bytes = 0)
+      -> Task<typename internal::UnwrapTask<std::invoke_result_t<Fn, P&>>::type>;
+
+ private:
+  friend class ProcletBase;
+
+  // Background heap copy for lazy migrations.
+  Task<> LazyCopy(MachineId src, MachineId dst, int64_t bytes, SimTime started);
+
+  // Resolves via the caller's cache, falling back to a directory RPC.
+  // Throws ProcletGoneError if the directory has no entry.
+  Task<MachineId> ResolveLocation(MachineId from, ProcletId id);
+  void InvalidateCache(MachineId machine, ProcletId id);
+  // Pays the cost of a bounced call's redirect response.
+  Task<> PayBounce(MachineId stale_target, MachineId caller);
+
+  ProcletId next_id_ = 1;
+  Simulator& sim_;
+  Cluster& cluster_;
+  RuntimeConfig config_;
+  RuntimeStats stats_;
+  std::unique_ptr<PlacementPolicy> placement_;
+  std::unordered_map<ProcletId, std::unique_ptr<ProcletBase>> proclets_;
+  // Authoritative directory (hosted on config_.controller).
+  std::unordered_map<ProcletId, MachineId> directory_;
+  // Per-machine location caches (lazily invalidated; stale entries bounce).
+  std::vector<std::unordered_map<ProcletId, MachineId>> location_cache_;
+  // Pairwise communication volume (symmetric).
+  std::unordered_map<ProcletId, std::unordered_map<ProcletId, int64_t>> affinity_by_;
+};
+
+// Typed handle to a proclet. Cheap to copy and to send over the wire.
+template <typename P>
+class Ref {
+ public:
+  Ref() = default;
+  Ref(Runtime* rt, ProcletId id) : rt_(rt), id_(id) {}
+
+  ProcletId id() const { return id_; }
+  Runtime* runtime() const { return rt_; }
+  explicit operator bool() const { return rt_ != nullptr && id_ != kInvalidProcletId; }
+
+  bool operator==(const Ref& other) const { return id_ == other.id_; }
+
+  // Current (authoritative) location — for scheduling/diagnostics only;
+  // invocation resolves through the caching path.
+  MachineId Location() const { return rt_->LocationOf(id_); }
+
+  // co_await ref.Call(ctx, [](P& p) -> Task<R> {...});
+  template <typename Fn>
+  auto Call(Ctx ctx, Fn fn, int64_t request_bytes = 0) const {
+    return rt_->Invoke<P>(ctx, id_, std::move(fn), request_bytes);
+  }
+
+ private:
+  Runtime* rt_ = nullptr;
+  ProcletId id_ = kInvalidProcletId;
+};
+
+// --- Template implementations -------------------------------------------------
+
+template <typename P, typename... Args>
+Task<Result<Ref<P>>> Runtime::Create(Ctx ctx, PlacementRequest request, Args... args) {
+  static_assert(std::is_base_of_v<ProcletBase, P>, "P must derive from ProcletBase");
+  request.kind = P::kKind;
+  Result<MachineId> placed = placement_->Place(request, cluster_);
+  if (!placed.ok()) {
+    co_return placed.status();
+  }
+  const MachineId host = *placed;
+  if (!cluster_.machine(host).memory().TryCharge(request.heap_bytes)) {
+    co_return Status::ResourceExhausted("host machine out of memory");
+  }
+  // Control handshake with the host, then runtime-side setup work.
+  co_await fabric().Transfer(ctx.machine, host, config_.control_message_bytes);
+  co_await sim_.Sleep(config_.creation_overhead);
+
+  const ProcletId id = next_id_++;
+  ProcletInit init{this, &sim_, id, P::kKind, host};
+  auto proclet = std::make_unique<P>(init, std::move(args)...);
+  proclet->heap_bytes_ = request.heap_bytes;
+  if (P::kKind == ProcletKind::kCompute) {
+    cluster_.machine(host).AdjustHostedCompute(1);
+  }
+  directory_[id] = host;
+  location_cache_[ctx.machine][id] = host;
+  proclets_.emplace(id, std::move(proclet));
+  ++stats_.creations;
+
+  co_await fabric().Transfer(host, ctx.machine, config_.control_message_bytes);
+  co_return Ref<P>(this, id);
+}
+
+template <typename P, typename Fn>
+auto Runtime::Invoke(Ctx ctx, ProcletId id, Fn fn, int64_t request_bytes)
+    -> Task<typename internal::UnwrapTask<std::invoke_result_t<Fn, P&>>::type> {
+  using R = typename internal::UnwrapTask<std::invoke_result_t<Fn, P&>>::type;
+
+  for (int attempt = 0; attempt < config_.max_invoke_attempts; ++attempt) {
+    const MachineId target = co_await ResolveLocation(ctx.machine, id);
+    const bool remote = target != ctx.machine;
+    const SimTime started = sim_.Now();
+    if (remote) {
+      co_await fabric().Transfer(ctx.machine, target,
+                                 request_bytes + Rpc::kHeaderBytes);
+    }
+    ProcletBase* base = Find(id);
+    if (base == nullptr) {
+      if (remote) {
+        co_await PayBounce(target, ctx.machine);
+      }
+      InvalidateCache(ctx.machine, id);
+      throw ProcletGoneError(id);
+    }
+    if (base->location() != target) {
+      ++stats_.bounces;
+      if (remote) {
+        co_await PayBounce(target, ctx.machine);
+      }
+      InvalidateCache(ctx.machine, id);
+      continue;
+    }
+    const bool entered = co_await base->EnterCall();
+    if (!entered) {
+      // Destroyed while we waited at the gate.
+      if (remote) {
+        co_await PayBounce(target, ctx.machine);
+      }
+      InvalidateCache(ctx.machine, id);
+      throw ProcletGoneError(id);
+    }
+    if (base->location() != target) {
+      // Migrated while we waited at the gate: bounce to the new home.
+      base->ExitCall();
+      ++stats_.bounces;
+      if (remote) {
+        co_await PayBounce(target, ctx.machine);
+      }
+      InvalidateCache(ctx.machine, id);
+      continue;
+    }
+
+    if (remote) {
+      ++stats_.remote_invocations;
+      if (ctx.caller_proclet != kInvalidProcletId) {
+        RecordAffinity(ctx.caller_proclet, id, request_bytes + Rpc::kHeaderBytes);
+      }
+    } else {
+      ++stats_.local_invocations;
+    }
+
+    P& proclet = static_cast<P&>(*base);
+    if constexpr (std::is_void_v<R>) {
+      try {
+        co_await fn(proclet);
+      } catch (...) {
+        base->ExitCall();
+        throw;
+      }
+      base->ExitCall();
+      if (remote) {
+        co_await fabric().Transfer(target, ctx.machine, Rpc::kHeaderBytes);
+        stats_.remote_invoke_latency.Add(sim_.Now() - started);
+      }
+      co_return;
+    } else {
+      std::optional<R> result;
+      try {
+        result.emplace(co_await fn(proclet));
+      } catch (...) {
+        base->ExitCall();
+        throw;
+      }
+      base->ExitCall();
+      if (remote) {
+        co_await fabric().Transfer(target, ctx.machine,
+                                   WireSizeOf(*result) + Rpc::kHeaderBytes);
+        stats_.remote_invoke_latency.Add(sim_.Now() - started);
+      }
+      co_return std::move(*result);
+    }
+  }
+  throw ProcletGoneError(id);
+}
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_RUNTIME_RUNTIME_H_

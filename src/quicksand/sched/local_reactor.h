@@ -1,0 +1,79 @@
+// LocalReactor: the fast, per-machine half of the two-level scheduler (§5).
+//
+// "Fast local decisions to absorb usage spikes": each machine runs a reactor
+// fiber that polls its own pressure signals every few hundred microseconds
+// and reacts by pushing proclets away:
+//
+//  * CPU pressure — the oldest normal-priority request has been waiting for
+//    a core longer than the threshold (queueing delay as the idle/pressure
+//    signal, after Breakwater [12]). Response: migrate compute proclets to
+//    the machine with the most idle cores. This is the mechanism behind the
+//    Fig. 1 filler application following idle CPU across machines.
+//  * Memory pressure — utilization above the high watermark. Response:
+//    migrate memory proclets (largest first) to the machine with the most
+//    free bytes until utilization drops to the low target.
+//
+// A per-proclet cooldown prevents ping-ponging.
+
+#ifndef QUICKSAND_SCHED_LOCAL_REACTOR_H_
+#define QUICKSAND_SCHED_LOCAL_REACTOR_H_
+
+#include <unordered_map>
+
+#include "quicksand/runtime/runtime.h"
+
+namespace quicksand {
+
+struct LocalReactorConfig {
+  Duration period = Duration::Micros(250);
+  // CPU pressure: normal-priority starvation age that triggers eviction.
+  Duration cpu_starvation_threshold = Duration::Micros(300);
+  // Memory pressure watermarks. These are deliberately high: eviction is for
+  // *allocation danger*, not mild fullness — on a cluster that is (say) 95%
+  // full in aggregate, shuffling shards between 92%-full machines only
+  // gates the application for no durable relief.
+  double memory_high_watermark = 0.96;
+  double memory_low_target = 0.90;
+  // Minimum spacing between migrations of the same proclet.
+  Duration proclet_cooldown = Duration::Millis(2);
+  // Memory proclets invoked within this window are "hot" (actively written /
+  // read — e.g. a queue's tail segment) and are skipped by memory eviction:
+  // moving them blocks the application at its busiest point, and they are
+  // often about to drain away on their own.
+  Duration memory_hot_window = Duration::Millis(5);
+  int max_migrations_per_round = 4;
+  // A CPU eviction target must have at least this many idle cores.
+  double min_target_idle_cores = 0.5;
+};
+
+class LocalReactor {
+ public:
+  LocalReactor(Runtime& rt, MachineId machine, LocalReactorConfig config = {});
+
+  // Spawns the reactor fiber. Call once.
+  void Start();
+
+  int64_t cpu_evictions() const { return cpu_evictions_; }
+  int64_t memory_evictions() const { return memory_evictions_; }
+
+ private:
+  Task<> Loop();
+  Task<> HandleCpuPressure();
+  Task<> HandleMemoryPressure();
+  bool InCooldown(ProcletId id) const;
+
+  Runtime& rt_;
+  MachineId machine_;
+  LocalReactorConfig config_;
+  std::unordered_map<ProcletId, SimTime> last_moved_;
+  int64_t cpu_evictions_ = 0;
+  int64_t memory_evictions_ = 0;
+};
+
+// Convenience: one reactor per machine.
+std::vector<std::unique_ptr<LocalReactor>> StartLocalReactors(
+    Runtime& rt, LocalReactorConfig config = {});
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_SCHED_LOCAL_REACTOR_H_

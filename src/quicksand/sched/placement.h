@@ -1,0 +1,84 @@
+// Placement policies: where to put a new (or migrating) proclet.
+//
+// Because resource proclets each consume one resource type, placement can
+// score machines along that single dimension: memory proclets go where free
+// bytes are, compute proclets go where cores are idle (§3.1 — this is what
+// makes combining the stranded halves of two imbalanced machines possible in
+// Fig. 2). LocalityAwarePolicy additionally honors an affinity hint so
+// chatty proclets colocate when resources permit (§5, "How can we maintain
+// locality?").
+
+#ifndef QUICKSAND_SCHED_PLACEMENT_H_
+#define QUICKSAND_SCHED_PLACEMENT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "quicksand/cluster/cluster.h"
+#include "quicksand/common/status.h"
+#include "quicksand/runtime/proclet.h"
+
+namespace quicksand {
+
+struct PlacementRequest {
+  ProcletKind kind = ProcletKind::kMemory;
+  int64_t heap_bytes = 0;                 // initial memory demand
+  MachineId near = kInvalidMachineId;     // affinity hint (best effort)
+  std::optional<MachineId> pinned;        // force placement (overrides policy)
+  MachineId exclude = kInvalidMachineId;  // never place here (evictions)
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  // Chooses a hosting machine; ResourceExhausted if nothing fits.
+  virtual Result<MachineId> Place(const PlacementRequest& request, Cluster& cluster) = 0;
+
+  virtual std::string name() const = 0;
+
+ protected:
+  // True if `m` can host the request at all (memory fit + not excluded).
+  static bool Feasible(const PlacementRequest& request, const Machine& m);
+};
+
+// Scans machines in id order and takes the first feasible one.
+class FirstFitPolicy : public PlacementPolicy {
+ public:
+  Result<MachineId> Place(const PlacementRequest& request, Cluster& cluster) override;
+  std::string name() const override { return "first_fit"; }
+};
+
+// Scores machines by the resource the proclet consumes: most free memory for
+// memory/storage proclets, lowest CPU load factor for compute proclets.
+class BestFitPolicy : public PlacementPolicy {
+ public:
+  Result<MachineId> Place(const PlacementRequest& request, Cluster& cluster) override;
+  std::string name() const override { return "best_fit"; }
+};
+
+// BestFit, but takes the `near` machine when its score is within a slack
+// factor of the best — trading a little balance for locality.
+class LocalityAwarePolicy : public PlacementPolicy {
+ public:
+  explicit LocalityAwarePolicy(double slack = 0.5) : slack_(slack) {}
+
+  Result<MachineId> Place(const PlacementRequest& request, Cluster& cluster) override;
+  std::string name() const override { return "locality_aware"; }
+
+ private:
+  double slack_;
+};
+
+// Per-machine desirability score for a request; higher is better. Shared by
+// the policies and by the reactive schedulers choosing migration targets.
+// `exclude_one_hosted` discounts one hosted compute proclet — used when
+// scoring a proclet's *current* machine so its own presence doesn't make
+// every other machine look better (which would oscillate).
+double PlacementScore(const PlacementRequest& request, const Machine& m,
+                      bool exclude_one_hosted = false);
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_SCHED_PLACEMENT_H_

@@ -1,0 +1,188 @@
+// ShardIndexProclet and ShardRouter: the general sharding library (§3.2).
+//
+// A sharded data structure partitions its elements into disjoint key ranges,
+// each stored in a separate memory proclet (a "shard"). An *index memory
+// proclet* maintains the map from ranges to shard proclets, so clients can
+// address elements without knowing which machine currently stores them.
+// Clients cache the index (ShardRouter) and refresh lazily: a request that
+// reaches the wrong shard after a split/merge gets kOutOfRange back, and the
+// router re-pulls the index snapshot.
+
+#ifndef QUICKSAND_SHARDING_SHARD_INDEX_H_
+#define QUICKSAND_SHARDING_SHARD_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "quicksand/common/status.h"
+#include "quicksand/runtime/runtime.h"
+
+namespace quicksand {
+
+// One shard's entry in the index. `begin`/`end` bound the keys it owns
+// ([begin, end), over the uint64 sharding-key space); count/bytes are
+// maintained by split/merge and are advisory for routing and scheduling.
+struct ShardInfo {
+  ProcletId proclet = kInvalidProcletId;
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  int64_t count = 0;
+  int64_t bytes = 0;
+};
+
+class ShardIndexProclet : public ProcletBase {
+ public:
+  static constexpr ProcletKind kKind = ProcletKind::kMemory;
+
+  explicit ShardIndexProclet(const ProcletInit& init) : ProcletBase(init) {}
+
+  uint64_t version() const { return version_; }
+  size_t shard_count() const { return shards_.size(); }
+
+  // Full snapshot plus its version, for client caches.
+  std::pair<uint64_t, std::vector<ShardInfo>> Snapshot() const {
+    std::vector<ShardInfo> out;
+    out.reserve(shards_.size());
+    for (const auto& [begin, info] : shards_) {
+      out.push_back(info);
+    }
+    return {version_, out};
+  }
+
+  Result<ShardInfo> LookupKey(uint64_t key) const {
+    auto it = shards_.upper_bound(key);
+    if (it == shards_.begin()) {
+      return Status::NotFound("key below all shards");
+    }
+    --it;
+    if (key >= it->second.end) {
+      return Status::NotFound("key in a gap between shards");
+    }
+    return it->second;
+  }
+
+  Status AddShard(const ShardInfo& info) {
+    if (info.begin >= info.end) {
+      return Status::InvalidArgument("empty shard range");
+    }
+    // Reject overlap with an existing shard.
+    auto next = shards_.lower_bound(info.begin);
+    if (next != shards_.end() && next->second.begin < info.end) {
+      return Status::FailedPrecondition("range overlaps an existing shard");
+    }
+    if (next != shards_.begin()) {
+      auto prev = std::prev(next);
+      if (prev->second.end > info.begin) {
+        return Status::FailedPrecondition("range overlaps an existing shard");
+      }
+    }
+    shards_.emplace(info.begin, info);
+    ++version_;
+    return Status::Ok();
+  }
+
+  Status RemoveShard(ProcletId proclet) {
+    for (auto it = shards_.begin(); it != shards_.end(); ++it) {
+      if (it->second.proclet == proclet) {
+        shards_.erase(it);
+        ++version_;
+        return Status::Ok();
+      }
+    }
+    return Status::NotFound("no shard with that proclet id");
+  }
+
+  // Replaces the entry whose range contains info.begin (used when a split
+  // shrinks a shard or stats change).
+  Status UpdateShard(const ShardInfo& info) {
+    auto it = shards_.upper_bound(info.begin);
+    if (it == shards_.begin()) {
+      return Status::NotFound("no shard covers that key");
+    }
+    --it;
+    if (it->second.proclet != info.proclet) {
+      return Status::FailedPrecondition("shard at that key has a different proclet");
+    }
+    shards_.erase(it);
+    shards_.emplace(info.begin, info);
+    ++version_;
+    return Status::Ok();
+  }
+
+  // The neighbor immediately after `proclet`'s range (for merges).
+  Result<ShardInfo> NextNeighbor(ProcletId proclet) const {
+    for (auto it = shards_.begin(); it != shards_.end(); ++it) {
+      if (it->second.proclet == proclet) {
+        auto next = std::next(it);
+        if (next == shards_.end()) {
+          return Status::NotFound("no next neighbor");
+        }
+        return next->second;
+      }
+    }
+    return Status::NotFound("no shard with that proclet id");
+  }
+
+ private:
+  std::map<uint64_t, ShardInfo> shards_;  // begin -> info
+  uint64_t version_ = 1;
+};
+
+// Client-side cached view of a shard index.
+class ShardRouter {
+ public:
+  ShardRouter() = default;
+  explicit ShardRouter(Ref<ShardIndexProclet> index) : index_(index) {}
+
+  Ref<ShardIndexProclet> index() const { return index_; }
+  uint64_t cached_version() const { return version_; }
+  const std::vector<ShardInfo>& cached_shards() const { return cache_; }
+
+  // Routes a key through the cache, fetching the index on first use.
+  Task<Result<ShardInfo>> Route(Ctx ctx, uint64_t key) {
+    if (cache_.empty()) {
+      co_await Refresh(ctx);
+    }
+    Result<ShardInfo> hit = LookupCached(key);
+    if (hit.ok()) {
+      co_return hit;
+    }
+    co_await Refresh(ctx);
+    co_return LookupCached(key);
+  }
+
+  // Pulls a fresh snapshot from the index proclet.
+  Task<> Refresh(Ctx ctx) {
+    auto call = index_.Call(
+        ctx, [](ShardIndexProclet& p) -> Task<std::pair<uint64_t, std::vector<ShardInfo>>> {
+          co_return p.Snapshot();
+        });
+    auto [version, shards] = co_await std::move(call);
+    version_ = version;
+    cache_ = std::move(shards);
+  }
+
+  void Invalidate() {
+    cache_.clear();
+    version_ = 0;
+  }
+
+ private:
+  Result<ShardInfo> LookupCached(uint64_t key) const {
+    for (const ShardInfo& shard : cache_) {
+      if (key >= shard.begin && key < shard.end) {
+        return shard;
+      }
+    }
+    return Status::NotFound("no cached shard covers key");
+  }
+
+  Ref<ShardIndexProclet> index_;
+  uint64_t version_ = 0;
+  std::vector<ShardInfo> cache_;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_SHARDING_SHARD_INDEX_H_

@@ -1,0 +1,100 @@
+// Channel<T>: a bounded, closable FIFO connecting producer and consumer
+// coroutines (the building block for pipelines and RPC demultiplexing).
+
+#ifndef QUICKSAND_SIM_CHANNEL_H_
+#define QUICKSAND_SIM_CHANNEL_H_
+
+#include <deque>
+#include <optional>
+
+#include "quicksand/common/check.h"
+#include "quicksand/sim/task.h"
+#include "quicksand/sim/wait_queue.h"
+
+namespace quicksand {
+
+template <typename T>
+class Channel {
+ public:
+  Channel(Simulator& sim, size_t capacity)
+      : capacity_(capacity), not_full_(sim), not_empty_(sim) {
+    QS_CHECK(capacity >= 1);
+  }
+
+  // Blocks while full. Returns false (dropping the value) if the channel is
+  // or becomes closed.
+  Task<bool> Send(T value) {
+    for (;;) {
+      if (closed_) {
+        co_return false;
+      }
+      if (items_.size() < capacity_) {
+        items_.push_back(std::move(value));
+        not_empty_.WakeOne();
+        co_return true;
+      }
+      co_await not_full_.Park();
+    }
+  }
+
+  // Non-blocking send; fails when full or closed.
+  bool TrySend(T value) {
+    if (closed_ || items_.size() >= capacity_) {
+      return false;
+    }
+    items_.push_back(std::move(value));
+    not_empty_.WakeOne();
+    return true;
+  }
+
+  // Blocks while empty. Returns nullopt once the channel is closed *and*
+  // drained.
+  Task<std::optional<T>> Recv() {
+    for (;;) {
+      if (!items_.empty()) {
+        T value = std::move(items_.front());
+        items_.pop_front();
+        not_full_.WakeOne();
+        co_return std::optional<T>(std::move(value));
+      }
+      if (closed_) {
+        co_return std::nullopt;
+      }
+      co_await not_empty_.Park();
+    }
+  }
+
+  std::optional<T> TryRecv() {
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.WakeOne();
+    return std::optional<T>(std::move(value));
+  }
+
+  // Idempotent. Wakes all blocked senders (they fail) and receivers (they
+  // drain remaining items, then observe closure).
+  void Close() {
+    closed_ = true;
+    not_full_.WakeAll();
+    not_empty_.WakeAll();
+  }
+
+  size_t size() const { return items_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return items_.empty(); }
+  bool closed() const { return closed_; }
+
+ private:
+  size_t capacity_;
+  bool closed_ = false;
+  std::deque<T> items_;
+  WaitQueue not_full_;
+  WaitQueue not_empty_;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_SIM_CHANNEL_H_

@@ -1,0 +1,35 @@
+#include "quicksand/sim/fiber.h"
+
+#include "quicksand/sim/simulator.h"
+
+namespace quicksand {
+
+namespace {
+
+struct JoinAwaiter {
+  internal::FiberState& state;
+
+  bool await_ready() const noexcept { return state.done; }
+  void await_suspend(std::coroutine_handle<> h) { state.join_waiters.push_back(h); }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace
+
+Task<> Fiber::Join() {
+  QS_CHECK_MSG(state_ != nullptr, "Join() on an empty Fiber");
+  if (!state_->done) {
+    co_await JoinAwaiter{*state_};
+  }
+  if (state_->error) {
+    std::rethrow_exception(state_->error);
+  }
+}
+
+Task<> JoinAll(std::vector<Fiber> fibers) {
+  for (Fiber& fiber : fibers) {
+    co_await fiber.Join();
+  }
+}
+
+}  // namespace quicksand

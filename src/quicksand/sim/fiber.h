@@ -1,0 +1,63 @@
+// Fiber: a handle to a detached, simulator-managed coroutine.
+//
+// Simulator::Spawn wraps a Task<> into a root coroutine and returns a Fiber.
+// The Fiber is a cheap shared handle: it can be copied, polled with done(),
+// and awaited with Join() (which rethrows any exception the fiber's body
+// escaped with).
+
+#ifndef QUICKSAND_SIM_FIBER_H_
+#define QUICKSAND_SIM_FIBER_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quicksand/sim/task.h"
+
+namespace quicksand {
+
+class Simulator;
+
+namespace internal {
+
+struct FiberState {
+  Simulator* sim = nullptr;
+  uint64_t id = 0;
+  std::string name;
+  bool done = false;
+  std::exception_ptr error;
+  std::vector<std::coroutine_handle<>> join_waiters;
+};
+
+}  // namespace internal
+
+class Fiber {
+ public:
+  Fiber() = default;
+  explicit Fiber(std::shared_ptr<internal::FiberState> state) : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  bool done() const { return state_ == nullptr || state_->done; }
+  uint64_t id() const { return state_ != nullptr ? state_->id : 0; }
+  const std::string& name() const {
+    static const std::string kEmpty;
+    return state_ != nullptr ? state_->name : kEmpty;
+  }
+  bool failed() const { return state_ != nullptr && static_cast<bool>(state_->error); }
+
+  // Suspends the caller until the fiber finishes; rethrows its exception.
+  Task<> Join();
+
+ private:
+  std::shared_ptr<internal::FiberState> state_;
+};
+
+// Joins every fiber in the list (in order).
+Task<> JoinAll(std::vector<Fiber> fibers);
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_SIM_FIBER_H_

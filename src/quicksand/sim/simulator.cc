@@ -1,0 +1,170 @@
+#include "quicksand/sim/simulator.h"
+
+#include <utility>
+
+#include "quicksand/common/logging.h"
+
+namespace quicksand {
+
+namespace {
+
+SimTime LoggerClock(void* arg) { return static_cast<Simulator*>(arg)->Now(); }
+
+}  // namespace
+
+// The root coroutine wrapping every fiber body. Self-destroys at completion
+// after notifying the simulator, so finished fibers hold no memory beyond
+// their (shared) FiberState.
+struct Simulator::RootTask {
+  struct promise_type {
+    std::shared_ptr<internal::FiberState> state;
+
+    RootTask get_return_object() {
+      return RootTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) const noexcept {
+        std::shared_ptr<internal::FiberState> state = std::move(h.promise().state);
+        // Destroying at the final suspend point is legal; all locals are
+        // already destroyed, only the frame itself remains.
+        h.destroy();
+        if (state != nullptr && state->sim != nullptr) {
+          state->sim->FiberFinished(*state);
+        }
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() { state->error = std::current_exception(); }
+  };
+
+  std::coroutine_handle<promise_type> handle;
+};
+
+namespace {
+
+Simulator::RootTask RunAsRoot(Task<> body) { co_await std::move(body); }
+
+}  // namespace
+
+Simulator::Simulator() : now_(SimTime::Zero()) {
+  Logger::Get().SetClock(&LoggerClock, this);
+}
+
+Simulator::~Simulator() {
+  tearing_down_ = true;
+  for (auto& [id, handle] : live_fibers_) {
+    handle.destroy();
+  }
+  live_fibers_.clear();
+  Logger::Get().ClearClock();
+}
+
+EventId Simulator::Schedule(Duration delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + (delay > Duration::Zero() ? delay : Duration::Zero()),
+                    std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  if (tearing_down_) {
+    return kInvalidEventId;
+  }
+  QS_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
+  const EventId id = next_event_id_++;
+  queue_.push(Event{when, next_seq_++, id});
+  event_fns_.emplace(id, std::move(fn));
+  return id;
+}
+
+void Simulator::Cancel(EventId id) {
+  if (id == kInvalidEventId) {
+    return;
+  }
+  if (event_fns_.erase(id) > 0) {
+    cancelled_.insert(id);
+  }
+}
+
+Fiber Simulator::Spawn(Task<> body, std::string name) {
+  QS_CHECK_MSG(!tearing_down_, "Spawn during simulator teardown");
+  auto state = std::make_shared<internal::FiberState>();
+  state->sim = this;
+  state->id = next_fiber_id_++;
+  state->name = std::move(name);
+
+  RootTask root = RunAsRoot(std::move(body));
+  root.handle.promise().state = state;
+  live_fibers_.emplace(state->id, root.handle);
+
+  // Start the fiber from the event loop (never synchronously inside Spawn),
+  // so spawn order — not coroutine nesting — determines execution order.
+  auto handle = root.handle;
+  Schedule(Duration::Zero(), [handle] { handle.resume(); });
+  return Fiber(std::move(state));
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    const Event event = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(event.id) > 0) {
+      continue;
+    }
+    auto it = event_fns_.find(event.id);
+    if (it == event_fns_.end()) {
+      continue;  // cancelled
+    }
+    std::function<void()> fn = std::move(it->second);
+    event_fns_.erase(it);
+    QS_DCHECK(event.time >= now_);
+    now_ = event.time;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::RunUntilIdle() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Step();
+  }
+  if (deadline > now_) {
+    now_ = deadline;
+  }
+}
+
+void Simulator::FiberFinished(internal::FiberState& state) {
+  state.done = true;
+  live_fibers_.erase(state.id);
+  if (state.error && state.join_waiters.empty()) {
+    ++failed_fibers_;
+    try {
+      std::rethrow_exception(state.error);
+    } catch (const std::exception& e) {
+      QS_LOG_ERROR("sim", "fiber '%s' failed: %s", state.name.c_str(), e.what());
+    } catch (...) {
+      QS_LOG_ERROR("sim", "fiber '%s' failed with a non-std exception",
+                   state.name.c_str());
+    }
+  }
+  WakeJoiners(state);
+}
+
+void Simulator::WakeJoiners(internal::FiberState& state) {
+  for (std::coroutine_handle<> waiter : state.join_waiters) {
+    Schedule(Duration::Zero(), [waiter] { waiter.resume(); });
+  }
+  state.join_waiters.clear();
+}
+
+}  // namespace quicksand

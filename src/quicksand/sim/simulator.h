@@ -1,0 +1,178 @@
+// Simulator: the discrete-event core.
+//
+// A single event queue orders all activity by (virtual time, insertion
+// sequence). Coroutines suspend by scheduling their own resumption — directly
+// for Sleep, or indirectly through WaitQueue-based primitives. The whole
+// simulation is single-threaded and deterministic: a given program and seed
+// always produce the same event order.
+
+#ifndef QUICKSAND_SIM_SIMULATOR_H_
+#define QUICKSAND_SIM_SIMULATOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "quicksand/common/check.h"
+#include "quicksand/common/time.h"
+#include "quicksand/sim/fiber.h"
+#include "quicksand/sim/task.h"
+
+namespace quicksand {
+
+// Identifies a scheduled event so it can be cancelled (e.g. RPC timeouts).
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  Simulator();
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // --- Event scheduling -----------------------------------------------------
+
+  EventId Schedule(Duration delay, std::function<void()> fn);
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+  // Cancelling an already-fired or unknown event is a no-op.
+  void Cancel(EventId id);
+
+  // --- Fibers ---------------------------------------------------------------
+
+  // Starts `body` as a detached fiber at the current time.
+  Fiber Spawn(Task<> body, std::string name = "");
+
+  // Runs `body` to completion, advancing virtual time as needed, and returns
+  // its result. Aborts if the simulation deadlocks (event queue empties while
+  // the task is still suspended). Intended for tests and benchmark drivers.
+  template <typename T>
+  T BlockOn(Task<T> body);
+
+  // --- Execution ------------------------------------------------------------
+
+  // Processes a single event, advancing time to it. Returns false if the
+  // queue is empty.
+  bool Step();
+
+  // Processes events until the queue is empty.
+  void RunUntilIdle();
+
+  // Processes all events with time <= deadline, then sets Now() == deadline.
+  void RunUntil(SimTime deadline);
+  void RunFor(Duration d) { RunUntil(now_ + d); }
+
+  // --- Awaitables -----------------------------------------------------------
+
+  // co_await sim.Sleep(d): resume after d of virtual time.
+  auto Sleep(Duration d) {
+    struct Awaiter {
+      Simulator& sim;
+      Duration delay;
+      bool await_ready() const noexcept { return delay <= Duration::Zero(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim.Schedule(delay, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d};
+  }
+
+  // co_await sim.SleepUntil(t): resume at absolute time t (immediately if past).
+  auto SleepUntil(SimTime t) { return Sleep(t - now_); }
+
+  // co_await sim.Yield(): requeue behind events already pending at Now().
+  auto Yield() {
+    struct Awaiter {
+      Simulator& sim;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim.Schedule(Duration::Zero(), [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  // --- Introspection --------------------------------------------------------
+
+  size_t live_fiber_count() const { return live_fibers_.size(); }
+  int64_t failed_fiber_count() const { return failed_fibers_; }
+  size_t pending_event_count() const { return queue_.size() - cancelled_.size(); }
+
+  // Implementation detail of Spawn; public only so the root-wrapping
+  // coroutine in simulator.cc can name it.
+  struct RootTask;
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    EventId id;
+    // Ordering for priority_queue (min-heap via greater).
+    bool operator>(const Event& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  void FiberFinished(internal::FiberState& state);
+  void WakeJoiners(internal::FiberState& state);
+
+  SimTime now_;
+  uint64_t next_seq_ = 1;
+  EventId next_event_id_ = 1;
+  uint64_t next_fiber_id_ = 1;
+  bool tearing_down_ = false;
+  int64_t failed_fibers_ = 0;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::unordered_map<EventId, std::function<void()>> event_fns_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_map<uint64_t, std::coroutine_handle<>> live_fibers_;
+};
+
+template <typename T>
+T Simulator::BlockOn(Task<T> body) {
+  std::optional<T> result;
+  // A free coroutine (not a capturing lambda) so all state lives in the frame.
+  struct Runner {
+    static Task<> Run(Task<T> inner, std::optional<T>& out) {
+      out.emplace(co_await std::move(inner));
+    }
+  };
+  Fiber fiber = Spawn(Runner::Run(std::move(body), result), "block_on");
+  while (!fiber.done()) {
+    QS_CHECK_MSG(Step(), "Simulator::BlockOn deadlocked: event queue empty");
+  }
+  QS_CHECK_MSG(!fiber.failed(), "Simulator::BlockOn task failed with an exception");
+  return std::move(*result);
+}
+
+template <>
+inline void Simulator::BlockOn(Task<void> body) {
+  struct Runner {
+    static Task<> Run(Task<void> inner) { co_await std::move(inner); }
+  };
+  Fiber fiber = Spawn(Runner::Run(std::move(body)), "block_on");
+  while (!fiber.done()) {
+    QS_CHECK_MSG(Step(), "Simulator::BlockOn deadlocked: event queue empty");
+  }
+  QS_CHECK_MSG(!fiber.failed(), "Simulator::BlockOn task failed with an exception");
+}
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_SIM_SIMULATOR_H_

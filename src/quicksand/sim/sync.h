@@ -1,0 +1,209 @@
+// Simulated synchronization primitives: Mutex, CondVar, Semaphore, SimEvent,
+// WaitGroup.
+//
+// The simulation is single-threaded, so these exist to order *coroutine*
+// interleavings (every co_await is a potential switch point), not to guard
+// against data races. All primitives are fair-ish (FIFO wakeup) but permit
+// barging; waiters re-check their condition in a loop.
+
+#ifndef QUICKSAND_SIM_SYNC_H_
+#define QUICKSAND_SIM_SYNC_H_
+
+#include <cstdint>
+
+#include "quicksand/common/check.h"
+#include "quicksand/sim/task.h"
+#include "quicksand/sim/wait_queue.h"
+
+namespace quicksand {
+
+class Mutex;
+
+// RAII unlocker returned by Mutex::Acquire().
+class MutexGuard {
+ public:
+  MutexGuard() = default;
+  explicit MutexGuard(Mutex* mu) : mu_(mu) {}
+
+  MutexGuard(const MutexGuard&) = delete;
+  MutexGuard& operator=(const MutexGuard&) = delete;
+  MutexGuard(MutexGuard&& other) noexcept : mu_(std::exchange(other.mu_, nullptr)) {}
+  MutexGuard& operator=(MutexGuard&& other) noexcept;
+
+  ~MutexGuard();
+
+  void Unlock();
+
+ private:
+  Mutex* mu_ = nullptr;
+};
+
+class Mutex {
+ public:
+  explicit Mutex(Simulator& sim) : waiters_(sim) {}
+
+  Task<> Lock() {
+    while (locked_) {
+      co_await waiters_.Park();
+    }
+    locked_ = true;
+  }
+
+  // co_await mu.Acquire() yields a guard that unlocks on destruction.
+  Task<MutexGuard> Acquire() {
+    co_await Lock();
+    co_return MutexGuard(this);
+  }
+
+  bool TryLock() {
+    if (locked_) {
+      return false;
+    }
+    locked_ = true;
+    return true;
+  }
+
+  void Unlock() {
+    QS_CHECK_MSG(locked_, "Unlock of an unlocked Mutex");
+    locked_ = false;
+    waiters_.WakeOne();
+  }
+
+  bool locked() const { return locked_; }
+
+ private:
+  friend class CondVar;
+
+  WaitQueue waiters_;
+  bool locked_ = false;
+};
+
+inline MutexGuard& MutexGuard::operator=(MutexGuard&& other) noexcept {
+  if (this != &other) {
+    Unlock();
+    mu_ = std::exchange(other.mu_, nullptr);
+  }
+  return *this;
+}
+
+inline MutexGuard::~MutexGuard() { Unlock(); }
+
+inline void MutexGuard::Unlock() {
+  if (mu_ != nullptr) {
+    std::exchange(mu_, nullptr)->Unlock();
+  }
+}
+
+class CondVar {
+ public:
+  explicit CondVar(Simulator& sim) : waiters_(sim) {}
+
+  // Pre: caller holds `mu`. Atomically releases it, waits for a notify, and
+  // reacquires before returning. Subject to spurious-looking wakeups: always
+  // wait in a predicate loop.
+  Task<> Wait(Mutex& mu) {
+    mu.Unlock();
+    co_await waiters_.Park();
+    co_await mu.Lock();
+  }
+
+  void NotifyOne() { waiters_.WakeOne(); }
+  void NotifyAll() { waiters_.WakeAll(); }
+
+ private:
+  WaitQueue waiters_;
+};
+
+class Semaphore {
+ public:
+  Semaphore(Simulator& sim, int64_t initial) : waiters_(sim), count_(initial) {
+    QS_CHECK(initial >= 0);
+  }
+
+  Task<> Acquire(int64_t n = 1) {
+    QS_CHECK(n > 0);
+    while (count_ < n) {
+      co_await waiters_.Park();
+    }
+    count_ -= n;
+  }
+
+  bool TryAcquire(int64_t n = 1) {
+    if (count_ < n) {
+      return false;
+    }
+    count_ -= n;
+    return true;
+  }
+
+  void Release(int64_t n = 1) {
+    QS_CHECK(n > 0);
+    count_ += n;
+    waiters_.WakeAll();
+  }
+
+  int64_t count() const { return count_; }
+
+ private:
+  WaitQueue waiters_;
+  int64_t count_;
+};
+
+// Manual-reset event: Wait() returns once Set() has been called (level-
+// triggered, like an eventfd in semaphore-less mode).
+class SimEvent {
+ public:
+  explicit SimEvent(Simulator& sim) : waiters_(sim) {}
+
+  Task<> Wait() {
+    while (!set_) {
+      co_await waiters_.Park();
+    }
+  }
+
+  void Set() {
+    set_ = true;
+    waiters_.WakeAll();
+  }
+
+  void Reset() { set_ = false; }
+  bool is_set() const { return set_; }
+
+ private:
+  WaitQueue waiters_;
+  bool set_ = false;
+};
+
+// Counts outstanding work items; Wait() resumes when the count drops to zero.
+class WaitGroup {
+ public:
+  explicit WaitGroup(Simulator& sim) : waiters_(sim) {}
+
+  void Add(int64_t n = 1) {
+    QS_CHECK(count_ + n >= 0);
+    count_ += n;
+  }
+
+  void Done() {
+    QS_CHECK_MSG(count_ > 0, "WaitGroup::Done without matching Add");
+    if (--count_ == 0) {
+      waiters_.WakeAll();
+    }
+  }
+
+  Task<> Wait() {
+    while (count_ > 0) {
+      co_await waiters_.Park();
+    }
+  }
+
+  int64_t count() const { return count_; }
+
+ private:
+  WaitQueue waiters_;
+  int64_t count_ = 0;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_SIM_SYNC_H_

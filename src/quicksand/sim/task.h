@@ -1,0 +1,159 @@
+// Task<T>: the coroutine type used for all simulated activities.
+//
+// A Task is lazy: creating one does not run any code. It starts when awaited
+// (by another Task) or when handed to Simulator::Spawn as the body of a
+// fiber. Completion resumes the awaiting coroutine via symmetric transfer, so
+// deep call chains do not grow the host stack.
+//
+// Ownership: the Task object owns the coroutine frame and destroys it in its
+// destructor. A parent frame that holds a child Task (e.g. as the temporary
+// in `co_await Child()`) therefore transitively owns the child's frame, which
+// lets the simulator tear down whole fiber trees by destroying root frames.
+//
+// COMPILER WORKAROUND (GCC 12): do not write `co_await F(args...)` when any
+// argument is a non-trivially-destructible temporary (a std::string, a
+// lambda capturing one, ...). GCC 12 double-destroys such temporaries in
+// co_await operand position, corrupting the heap. Materialize the task
+// first:
+//
+//     auto task = F(std::move(heavy_arg));   // temporaries die here, once
+//     result = co_await std::move(task);
+//
+// Calls whose arguments are all references or trivially-copyable values are
+// safe to await directly. tests/sim/gcc_coro_regression_test.cc pins this.
+//
+// LIFETIME RULE: coroutine functions must take parameters by value, or by
+// reference ONLY to objects that outlive the coroutine's completion
+// (Simulator&, Runtime&, Machine&). Never a forwarding/const reference that
+// can bind a caller temporary — Tasks are lazy, so the temporary is dead
+// before the body runs (this bit Runtime::Create once; see its comment).
+
+#ifndef QUICKSAND_SIM_TASK_H_
+#define QUICKSAND_SIM_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "quicksand/common/check.h"
+
+namespace quicksand {
+
+template <typename T>
+class Task;
+
+namespace internal {
+
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) const noexcept {
+      std::coroutine_handle<> cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+};
+
+template <typename T>
+struct TaskPromise : TaskPromiseBase {
+  std::optional<T> value;
+  std::exception_ptr error;
+
+  Task<T> get_return_object();
+  void return_value(T v) { value.emplace(std::move(v)); }
+  void unhandled_exception() { error = std::current_exception(); }
+};
+
+template <>
+struct TaskPromise<void> : TaskPromiseBase {
+  std::exception_ptr error;
+
+  Task<void> get_return_object();
+  void return_void() {}
+  void unhandled_exception() { error = std::current_exception(); }
+};
+
+}  // namespace internal
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = internal::TaskPromise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle handle) : handle_(handle) {}
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+
+  ~Task() { Destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+
+  // Awaiting a Task starts it and suspends the awaiter until it completes.
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+    QS_DCHECK(handle_ && !handle_.done());
+    handle_.promise().continuation = parent;
+    return handle_;
+  }
+  T await_resume() {
+    auto& promise = handle_.promise();
+    if (promise.error) {
+      std::rethrow_exception(promise.error);
+    }
+    if constexpr (!std::is_void_v<T>) {
+      QS_CHECK_MSG(promise.value.has_value(), "Task completed without a value");
+      return std::move(*promise.value);
+    }
+  }
+
+  // Relinquishes ownership of the frame (used by Simulator::Spawn, which
+  // manages root frames itself).
+  Handle Release() { return std::exchange(handle_, {}); }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+namespace internal {
+
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() {
+  return Task<T>(std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() {
+  return Task<void>(std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+
+}  // namespace internal
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_SIM_TASK_H_

@@ -1,0 +1,61 @@
+// WaitQueue: the low-level park/unpark primitive every synchronization
+// object builds on.
+//
+// Park() suspends the calling coroutine; WakeOne()/WakeAll() schedule
+// resumption at the current virtual time in FIFO order. Wakeups can be
+// spurious from the caller's perspective (a woken waiter may find its
+// condition false again), so users loop.
+
+#ifndef QUICKSAND_SIM_WAIT_QUEUE_H_
+#define QUICKSAND_SIM_WAIT_QUEUE_H_
+
+#include <coroutine>
+#include <deque>
+
+#include "quicksand/sim/simulator.h"
+
+namespace quicksand {
+
+class WaitQueue {
+ public:
+  explicit WaitQueue(Simulator& sim) : sim_(sim) {}
+
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  auto Park() {
+    struct Awaiter {
+      WaitQueue& queue;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { queue.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  void WakeOne() {
+    if (waiters_.empty()) {
+      return;
+    }
+    std::coroutine_handle<> h = waiters_.front();
+    waiters_.pop_front();
+    sim_.Schedule(Duration::Zero(), [h] { h.resume(); });
+  }
+
+  void WakeAll() {
+    while (!waiters_.empty()) {
+      WakeOne();
+    }
+  }
+
+  size_t waiting() const { return waiters_.size(); }
+  Simulator& sim() const { return sim_; }
+
+ private:
+  Simulator& sim_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_SIM_WAIT_QUEUE_H_

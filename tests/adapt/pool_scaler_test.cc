@@ -1,0 +1,151 @@
+#include "quicksand/adapt/pool_scaler.h"
+
+#include <gtest/gtest.h>
+
+#include "quicksand/cluster/antagonist.h"
+#include "quicksand/common/bytes.h"
+
+namespace quicksand {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  Cluster cluster{sim};
+  std::unique_ptr<Runtime> rt;
+
+  explicit Fixture(int machines = 2, int cores = 4) {
+    for (int i = 0; i < machines; ++i) {
+      MachineSpec spec;
+      spec.cores = cores;
+      spec.memory_bytes = 2_GiB;
+      cluster.AddMachine(spec);
+    }
+    rt = std::make_unique<Runtime>(sim, cluster);
+  }
+
+  Ctx ctx() { return rt->CtxOn(0); }
+
+  DistPool MakePool(int proclets, int workers = 2) {
+    DistPool::Options options;
+    options.initial_proclets = proclets;
+    options.workers_per_proclet = workers;
+    return *sim.BlockOn(DistPool::Create(ctx(), options));
+  }
+
+  Task<Status> Submit(DistPool& pool, ComputeProclet::Job job) {
+    auto submit = pool.Submit(ctx(), std::move(job));
+    co_return co_await std::move(submit);
+  }
+};
+
+ComputeProclet::Job Burn(Duration work, int64_t* done) {
+  return [work, done](Ctx ctx) -> Task<> {
+    (void)co_await MigratableBurn(ctx, work);
+    ++*done;
+  };
+}
+
+TEST(DistPoolSplitTest, SplitBusiestDividesTheQueue) {
+  Fixture f;
+  DistPool pool = f.MakePool(1, 1);
+  int64_t done = 0;
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_TRUE(f.sim.BlockOn(f.Submit(pool, Burn(5_ms, &done))).ok());
+  }
+  auto* before = f.rt->UnsafeGet<ComputeProclet>(pool.members()[0].id());
+  const int64_t backlog_before = before->queue_depth();
+  ASSERT_GT(backlog_before, 30);
+
+  Result<Ref<ComputeProclet>> fresh = f.sim.BlockOn(pool.SplitBusiest(f.ctx()));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(pool.members().size(), 2u);
+  auto* donor = f.rt->UnsafeGet<ComputeProclet>(pool.members()[0].id());
+  auto* child = f.rt->UnsafeGet<ComputeProclet>(fresh->id());
+  // The queue was divided roughly in half.
+  EXPECT_NEAR(static_cast<double>(donor->queue_depth()),
+              static_cast<double>(child->queue_depth()), 2.0);
+  f.sim.BlockOn(pool.Drain(f.ctx()));
+  EXPECT_EQ(done, 40);  // nothing lost
+}
+
+TEST(DistPoolSplitTest, SplitRequiresABacklog) {
+  Fixture f;
+  DistPool pool = f.MakePool(1);
+  auto result = f.sim.BlockOn(pool.SplitBusiest(f.ctx()));
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PoolScalerTest, SplitsUnderBacklogThenMergesWhenDrained) {
+  Fixture f(2, 4);
+  DistPool pool = f.MakePool(1, 1);
+  PoolScalerConfig cfg;
+  cfg.backlog_per_member_high = 6.0;
+  cfg.backlog_per_member_low = 0.25;
+  cfg.max_members = 8;
+  PoolScaler scaler(*f.rt, pool, cfg);
+  scaler.Start();
+
+  int64_t done = 0;
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(f.sim.BlockOn(f.Submit(pool, Burn(2_ms, &done))).ok());
+  }
+  // 400ms of work for one worker; the scaler splits until the 8 cores chew
+  // through it, then merges back down.
+  f.sim.RunUntil(f.sim.Now() + 40_ms);
+  EXPECT_GT(pool.members().size(), 2u);
+  EXPECT_GT(scaler.splits(), 0);
+
+  f.sim.BlockOn(pool.Drain(f.ctx()));
+  f.sim.RunUntil(f.sim.Now() + 50_ms);
+  EXPECT_EQ(pool.members().size(), 1u);
+  EXPECT_GT(scaler.merges(), 0);
+  EXPECT_EQ(done, 200);
+}
+
+TEST(PoolScalerTest, NoSplitWithoutIdleCpu) {
+  // The paper's guard: "splitting occurs only if there are enough CPU
+  // resources in the cluster for the new proclet".
+  Fixture f(2, 2);
+  // Saturate every core with high-priority antagonists.
+  std::vector<std::unique_ptr<PhasedAntagonist>> antagonists;
+  for (MachineId m = 0; m < f.cluster.size(); ++m) {
+    PhasedAntagonistConfig cfg;
+    cfg.busy = Duration::Seconds(1);
+    cfg.idle = 1_ms;
+    antagonists.push_back(
+        std::make_unique<PhasedAntagonist>(f.sim, f.cluster.machine(m), cfg));
+    antagonists.back()->Start();
+  }
+  DistPool pool = f.MakePool(1, 1);
+  PoolScalerConfig cfg;
+  cfg.backlog_per_member_high = 4.0;
+  cfg.min_cluster_idle_cores = 1.0;
+  PoolScaler scaler(*f.rt, pool, cfg);
+  scaler.Start();
+  int64_t done = 0;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(f.sim.BlockOn(f.Submit(pool, Burn(2_ms, &done))).ok());
+  }
+  f.sim.RunUntil(f.sim.Now() + 50_ms);
+  EXPECT_EQ(scaler.splits(), 0);
+  EXPECT_EQ(pool.members().size(), 1u);
+}
+
+TEST(PoolScalerTest, RespectsMaxMembers) {
+  Fixture f(2, 8);
+  DistPool pool = f.MakePool(1, 1);
+  PoolScalerConfig cfg;
+  cfg.backlog_per_member_high = 1.0;
+  cfg.max_members = 3;
+  PoolScaler scaler(*f.rt, pool, cfg);
+  scaler.Start();
+  int64_t done = 0;
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_TRUE(f.sim.BlockOn(f.Submit(pool, Burn(2_ms, &done))).ok());
+  }
+  f.sim.RunUntil(f.sim.Now() + 30_ms);
+  EXPECT_LE(pool.members().size(), 3u);
+}
+
+}  // namespace
+}  // namespace quicksand

@@ -1,0 +1,146 @@
+#include "quicksand/cluster/antagonist.h"
+
+#include <gtest/gtest.h>
+
+#include "quicksand/cluster/cluster.h"
+#include "quicksand/cluster/metrics.h"
+#include "quicksand/common/bytes.h"
+
+namespace quicksand {
+namespace {
+
+TEST(PhasedAntagonistTest, BusyAtFollowsSquareWave) {
+  Simulator sim;
+  Cluster cluster(sim);
+  MachineSpec spec;
+  spec.cores = 2;
+  const MachineId id = cluster.AddMachine(spec);
+  PhasedAntagonistConfig cfg;
+  cfg.busy = 10_ms;
+  cfg.idle = 10_ms;
+  PhasedAntagonist antagonist(sim, cluster.machine(id), cfg);
+  EXPECT_TRUE(antagonist.BusyAt(SimTime::Zero()));
+  EXPECT_TRUE(antagonist.BusyAt(SimTime::Zero() + 9_ms));
+  EXPECT_FALSE(antagonist.BusyAt(SimTime::Zero() + 11_ms));
+  EXPECT_TRUE(antagonist.BusyAt(SimTime::Zero() + 21_ms));
+}
+
+TEST(PhasedAntagonistTest, PhaseOffsetShiftsWave) {
+  Simulator sim;
+  Cluster cluster(sim);
+  const MachineId id = cluster.AddMachine(MachineSpec{});
+  PhasedAntagonistConfig cfg;
+  cfg.busy = 10_ms;
+  cfg.idle = 10_ms;
+  cfg.phase_offset = 10_ms;
+  PhasedAntagonist antagonist(sim, cluster.machine(id), cfg);
+  EXPECT_FALSE(antagonist.BusyAt(SimTime::Zero() + 5_ms));
+  EXPECT_TRUE(antagonist.BusyAt(SimTime::Zero() + 15_ms));
+}
+
+TEST(PhasedAntagonistTest, SaturatesAllCoresDuringBusyPhase) {
+  Simulator sim;
+  Cluster cluster(sim);
+  MachineSpec spec;
+  spec.cores = 4;
+  const MachineId id = cluster.AddMachine(spec);
+  Machine& machine = cluster.machine(id);
+  PhasedAntagonistConfig cfg;
+  cfg.busy = 10_ms;
+  cfg.idle = 10_ms;
+  PhasedAntagonist antagonist(sim, machine, cfg);
+  antagonist.Start();
+  sim.RunUntil(SimTime::Zero() + 100_ms);
+  // Over 5 full periods the antagonist burns busy/(busy+idle) = 50% of total
+  // core time.
+  const double util =
+      machine.cpu().TotalBusy() / (Duration::Millis(100) * spec.cores);
+  EXPECT_NEAR(util, 0.5, 0.02);
+}
+
+Task<> FillerWork(Machine& machine, Simulator& sim, int64_t& completed) {
+  for (;;) {
+    co_await machine.cpu().Run(100_us, kPriorityNormal);
+    ++completed;
+  }
+}
+
+TEST(PhasedAntagonistTest, LowPriorityFillerHarvestsIdleHalf) {
+  Simulator sim;
+  Cluster cluster(sim);
+  MachineSpec spec;
+  spec.cores = 2;
+  const MachineId id = cluster.AddMachine(spec);
+  Machine& machine = cluster.machine(id);
+  PhasedAntagonistConfig cfg;
+  cfg.busy = 10_ms;
+  cfg.idle = 10_ms;
+  PhasedAntagonist antagonist(sim, machine, cfg);
+  antagonist.Start();
+  int64_t completed = 0;
+  sim.Spawn(FillerWork(machine, sim, completed), "filler");
+  sim.Spawn(FillerWork(machine, sim, completed), "filler");
+  sim.RunUntil(SimTime::Zero() + 200_ms);
+  // Two filler fibers × 200ms × ~50% idle = ~2000 × 100us tasks.
+  EXPECT_GT(completed, 1800);
+  EXPECT_LT(completed, 2100);
+}
+
+TEST(MemoryAntagonistTest, ChargesAndReleasesSquareWave) {
+  Simulator sim;
+  Cluster cluster(sim);
+  MachineSpec spec;
+  spec.memory_bytes = 1_GiB;
+  const MachineId id = cluster.AddMachine(spec);
+  Machine& machine = cluster.machine(id);
+  MemoryAntagonist antagonist(sim, machine, 512_MiB, 10_ms, 10_ms);
+  antagonist.Start();
+  sim.RunUntil(SimTime::Zero() + 5_ms);
+  EXPECT_EQ(machine.memory().used(), 512_MiB);
+  sim.RunUntil(SimTime::Zero() + 15_ms);
+  EXPECT_EQ(machine.memory().used(), 0);
+  sim.RunUntil(SimTime::Zero() + 25_ms);
+  EXPECT_EQ(machine.memory().used(), 512_MiB);
+}
+
+TEST(ClusterMetricsTest, RecordsUtilizationSeries) {
+  Simulator sim;
+  Cluster cluster(sim);
+  MachineSpec spec;
+  spec.cores = 2;
+  const MachineId id = cluster.AddMachine(spec);
+  Machine& machine = cluster.machine(id);
+  ClusterMetrics metrics(sim, cluster, 1_ms);
+  metrics.Start();
+  PhasedAntagonistConfig cfg;
+  cfg.busy = 10_ms;
+  cfg.idle = 10_ms;
+  PhasedAntagonist antagonist(sim, machine, cfg);
+  antagonist.Start();
+  sim.RunUntil(SimTime::Zero() + 40_ms);
+  const TimeSeries& cpu = metrics.cpu_utilization(id);
+  ASSERT_GT(cpu.points().size(), 30u);
+  // Busy window samples near 1.0; idle window samples near 0.0.
+  EXPECT_GT(cpu.MeanOver(SimTime::Zero() + 2_ms, SimTime::Zero() + 9_ms), 0.9);
+  EXPECT_LT(cpu.MeanOver(SimTime::Zero() + 12_ms, SimTime::Zero() + 19_ms), 0.1);
+}
+
+TEST(ClusterTest, AggregateAccounting) {
+  Simulator sim;
+  Cluster cluster(sim);
+  MachineSpec a;
+  a.cores = 6;
+  a.memory_bytes = 4_GiB;
+  MachineSpec b;
+  b.cores = 40;
+  b.memory_bytes = 12_GiB;
+  cluster.AddMachine(a);
+  cluster.AddMachine(b);
+  EXPECT_EQ(cluster.size(), 2u);
+  EXPECT_EQ(cluster.total_cores(), 46);
+  EXPECT_EQ(cluster.total_memory_bytes(), 16_GiB);
+  EXPECT_EQ(cluster.machine(1).spec().cores, 40);
+}
+
+}  // namespace
+}  // namespace quicksand

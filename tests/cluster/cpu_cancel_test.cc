@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "quicksand/cluster/cpu.h"
+#include "quicksand/sim/simulator.h"
+
+namespace quicksand {
+namespace {
+
+Task<> RunCancellableInto(CpuScheduler& cpu, Duration work, int priority,
+                          CpuCancelToken& token, Duration& out, Simulator& sim,
+                          SimTime& finished_at) {
+  out = co_await cpu.RunCancellable(work, priority, token);
+  finished_at = sim.Now();
+}
+
+TEST(CpuCancelTest, UncancelledRunsToCompletion) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1);
+  CpuCancelToken token;
+  Duration remaining = Duration::Max();
+  SimTime finished;
+  sim.Spawn(RunCancellableInto(cpu, 5_ms, kPriorityNormal, token, remaining, sim,
+                               finished),
+            "w");
+  sim.RunUntilIdle();
+  EXPECT_EQ(remaining, Duration::Zero());
+  EXPECT_EQ(finished, SimTime::Zero() + 5_ms);
+}
+
+TEST(CpuCancelTest, CancelWhileQueuedReturnsFullRemainder) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1);
+  CpuCancelToken token;
+  // Occupy the core with higher-priority work so the request stays queued.
+  sim.Spawn(cpu.Run(20_ms, kPriorityHigh), "hog");
+  Duration remaining = Duration::Zero();
+  SimTime finished;
+  sim.Spawn(RunCancellableInto(cpu, 5_ms, kPriorityNormal, token, remaining, sim,
+                               finished),
+            "w");
+  sim.Schedule(2_ms, [&] { token.Cancel(); });
+  sim.RunUntil(SimTime::Zero() + 3_ms);
+  // Resumed promptly (not at 20ms) with everything unserviced.
+  EXPECT_EQ(remaining, 5_ms);
+  EXPECT_LE(finished - SimTime::Zero(), 2_ms + cpu.quantum());
+}
+
+TEST(CpuCancelTest, CancelWhileRunningReturnsPartialRemainder) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1, /*quantum=*/1_ms);
+  CpuCancelToken token;
+  Duration remaining = Duration::Zero();
+  SimTime finished;
+  sim.Spawn(RunCancellableInto(cpu, 10_ms, kPriorityNormal, token, remaining, sim,
+                               finished),
+            "w");
+  sim.Schedule(Duration::Micros(4500), [&] { token.Cancel(); });
+  sim.RunUntilIdle();
+  // Cancelled mid-slice: completes at the 5ms slice boundary, 5ms left.
+  EXPECT_EQ(remaining, 5_ms);
+  EXPECT_EQ(finished, SimTime::Zero() + 5_ms);
+}
+
+TEST(CpuCancelTest, CancelledTokenFailsFastOnNewRequests) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1);
+  CpuCancelToken token;
+  token.Cancel();
+  Duration remaining = Duration::Zero();
+  SimTime finished;
+  sim.Spawn(RunCancellableInto(cpu, 5_ms, kPriorityNormal, token, remaining, sim,
+                               finished),
+            "w");
+  sim.RunUntilIdle();
+  EXPECT_EQ(remaining, 5_ms);
+  EXPECT_EQ(finished, SimTime::Zero());
+  EXPECT_EQ(cpu.TotalBusy(), Duration::Zero());
+}
+
+TEST(CpuCancelTest, ResetRearmsToken) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1);
+  CpuCancelToken token;
+  token.Cancel();
+  token.Reset();
+  Duration remaining = Duration::Max();
+  SimTime finished;
+  sim.Spawn(RunCancellableInto(cpu, 2_ms, kPriorityNormal, token, remaining, sim,
+                               finished),
+            "w");
+  sim.RunUntilIdle();
+  EXPECT_EQ(remaining, Duration::Zero());
+  EXPECT_EQ(finished, SimTime::Zero() + 2_ms);
+}
+
+TEST(CpuCancelTest, CancelCoversManyRequests) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 2);
+  CpuCancelToken token;
+  std::vector<Duration> remaining(6, Duration::Zero());
+  std::vector<SimTime> finished(6);
+  for (int i = 0; i < 6; ++i) {
+    sim.Spawn(RunCancellableInto(cpu, 10_ms, kPriorityNormal, token, remaining[i],
+                                 sim, finished[i]),
+              "w");
+  }
+  sim.Schedule(3_ms, [&] { token.Cancel(); });
+  sim.RunUntilIdle();
+  Duration total_left = Duration::Zero();
+  for (int i = 0; i < 6; ++i) {
+    total_left += remaining[i];
+    EXPECT_LE(finished[i] - SimTime::Zero(), 3_ms + cpu.quantum());
+  }
+  // 60ms of demand, ~6ms serviced (2 cores x 3ms) before the cancel.
+  EXPECT_GE(total_left, 53_ms);
+  EXPECT_LE(total_left, 55_ms);
+}
+
+TEST(CpuCancelTest, WorkConservedAcrossCancelAndResubmit) {
+  // The remainder pattern used by migration: cancel, resubmit remainder,
+  // total busy time must equal the original demand.
+  Simulator sim;
+  CpuScheduler cpu(sim, 1, 1_ms);
+  CpuCancelToken token;
+  Duration first_left = Duration::Zero();
+  SimTime t1;
+  sim.Spawn(RunCancellableInto(cpu, 10_ms, kPriorityNormal, token, first_left, sim, t1),
+            "w1");
+  sim.Schedule(4_ms, [&] { token.Cancel(); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(first_left, 6_ms);
+  token.Reset();
+  Duration second_left = Duration::Max();
+  SimTime t2;
+  sim.Spawn(RunCancellableInto(cpu, first_left, kPriorityNormal, token, second_left,
+                               sim, t2),
+            "w2");
+  sim.RunUntilIdle();
+  EXPECT_EQ(second_left, Duration::Zero());
+  EXPECT_EQ(cpu.TotalBusy(), 10_ms);
+}
+
+}  // namespace
+}  // namespace quicksand

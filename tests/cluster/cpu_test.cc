@@ -1,0 +1,148 @@
+#include "quicksand/cluster/cpu.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "quicksand/sim/simulator.h"
+
+namespace quicksand {
+namespace {
+
+Task<> RunWork(CpuScheduler& cpu, Duration work, int priority, Simulator& sim,
+               SimTime& done_at) {
+  co_await cpu.Run(work, priority);
+  done_at = sim.Now();
+}
+
+TEST(CpuSchedulerTest, SingleRequestTakesExactlyItsWork) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1);
+  SimTime done = SimTime::Zero();
+  sim.Spawn(RunWork(cpu, 5_ms, kPriorityNormal, sim, done), "w");
+  sim.RunUntilIdle();
+  EXPECT_EQ(done, SimTime::Zero() + 5_ms);
+}
+
+TEST(CpuSchedulerTest, ZeroWorkCompletesInstantly) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1);
+  SimTime done = SimTime::Max();
+  sim.Spawn(RunWork(cpu, Duration::Zero(), kPriorityNormal, sim, done), "w");
+  sim.RunUntilIdle();
+  EXPECT_EQ(done, SimTime::Zero());
+}
+
+TEST(CpuSchedulerTest, TwoRequestsOnOneCoreShareViaRoundRobin) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1);
+  SimTime done_a = SimTime::Zero();
+  SimTime done_b = SimTime::Zero();
+  sim.Spawn(RunWork(cpu, 1_ms, kPriorityNormal, sim, done_a), "a");
+  sim.Spawn(RunWork(cpu, 1_ms, kPriorityNormal, sim, done_b), "b");
+  sim.RunUntilIdle();
+  // Processor sharing: both finish around 2ms total; neither before 1ms.
+  EXPECT_GE(done_a, SimTime::Zero() + 1_ms);
+  EXPECT_GE(done_b, SimTime::Zero() + 1_ms);
+  const SimTime last = std::max(done_a, done_b);
+  EXPECT_EQ(last, SimTime::Zero() + 2_ms);
+}
+
+TEST(CpuSchedulerTest, TwoCoresRunInParallel) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 2);
+  SimTime done_a = SimTime::Zero();
+  SimTime done_b = SimTime::Zero();
+  sim.Spawn(RunWork(cpu, 3_ms, kPriorityNormal, sim, done_a), "a");
+  sim.Spawn(RunWork(cpu, 3_ms, kPriorityNormal, sim, done_b), "b");
+  sim.RunUntilIdle();
+  EXPECT_EQ(done_a, SimTime::Zero() + 3_ms);
+  EXPECT_EQ(done_b, SimTime::Zero() + 3_ms);
+}
+
+TEST(CpuSchedulerTest, HighPriorityDelaysLowPriority) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1);
+  SimTime done_high = SimTime::Zero();
+  SimTime done_low = SimTime::Zero();
+  // Low-priority work arrives first, then high-priority work preempts at the
+  // next quantum boundary.
+  sim.Spawn(RunWork(cpu, 10_ms, kPriorityLow, sim, done_low), "low");
+  sim.Schedule(1_ms, [&] {
+    sim.Spawn(RunWork(cpu, 5_ms, kPriorityHigh, sim, done_high), "high");
+  });
+  sim.RunUntilIdle();
+  // High-priority work finishes ~1ms (arrival) + 5ms (+ <=1 quantum skew).
+  EXPECT_LE(done_high, SimTime::Zero() + 6_ms + cpu.quantum());
+  EXPECT_EQ(done_low, SimTime::Zero() + 15_ms);  // total work serialized
+}
+
+TEST(CpuSchedulerTest, QueueingDelaySignalRisesUnderContention) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1);
+  // Saturate the core with high-priority work, then submit normal work.
+  SimTime done_high = SimTime::Zero();
+  SimTime done_normal = SimTime::Zero();
+  sim.Spawn(RunWork(cpu, 8_ms, kPriorityHigh, sim, done_high), "high");
+  sim.Spawn(RunWork(cpu, 1_ms, kPriorityNormal, sim, done_normal), "normal");
+  sim.RunUntilIdle();
+  EXPECT_GE(cpu.QueueingDelay(kPriorityNormal), 7_ms);
+  EXPECT_LE(cpu.QueueingDelay(kPriorityHigh), cpu.quantum());
+}
+
+TEST(CpuSchedulerTest, LoadFactorCountsRunnableWork) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 2);
+  EXPECT_DOUBLE_EQ(cpu.LoadFactor(), 0.0);
+  SimTime d1;
+  SimTime d2;
+  SimTime d3;
+  sim.Spawn(RunWork(cpu, 10_ms, kPriorityNormal, sim, d1), "a");
+  sim.Spawn(RunWork(cpu, 10_ms, kPriorityNormal, sim, d2), "b");
+  sim.Spawn(RunWork(cpu, 10_ms, kPriorityNormal, sim, d3), "c");
+  sim.RunUntil(SimTime::Zero() + 1_ms);
+  EXPECT_DOUBLE_EQ(cpu.LoadFactor(), 1.5);  // 3 runnable / 2 cores
+  sim.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(cpu.LoadFactor(), 0.0);
+}
+
+TEST(CpuSchedulerTest, UtilizationAccounting) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 2);
+  const SimTime t0 = sim.Now();
+  const Duration busy0 = cpu.TotalBusy();
+  SimTime done;
+  sim.Spawn(RunWork(cpu, 10_ms, kPriorityNormal, sim, done), "w");
+  sim.RunUntil(SimTime::Zero() + 10_ms);
+  // One of two cores busy for the whole window: 50%.
+  EXPECT_NEAR(cpu.UtilizationSince(t0, busy0), 0.5, 0.01);
+}
+
+TEST(CpuSchedulerTest, ManyRequestsConserveWork) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 4);
+  std::vector<SimTime> done(16);
+  for (int i = 0; i < 16; ++i) {
+    sim.Spawn(RunWork(cpu, 1_ms, kPriorityNormal, sim, done[i]), "w");
+  }
+  sim.RunUntilIdle();
+  // 16ms of work over 4 cores = 4ms makespan.
+  SimTime last = SimTime::Zero();
+  for (const SimTime& t : done) {
+    last = std::max(last, t);
+  }
+  EXPECT_EQ(last, SimTime::Zero() + 4_ms);
+  EXPECT_EQ(cpu.TotalBusy(), 16_ms);
+}
+
+TEST(CpuSchedulerTest, SubQuantumWorkCompletesEarly) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1, 100_us);
+  SimTime done;
+  sim.Spawn(RunWork(cpu, 30_us, kPriorityNormal, sim, done), "w");
+  sim.RunUntilIdle();
+  EXPECT_EQ(done, SimTime::Zero() + 30_us);
+}
+
+}  // namespace
+}  // namespace quicksand

@@ -1,0 +1,90 @@
+#include "quicksand/cluster/disk.h"
+
+#include <gtest/gtest.h>
+
+#include "quicksand/common/bytes.h"
+#include "quicksand/sim/fiber.h"
+
+namespace quicksand {
+namespace {
+
+DiskSpec TestSpec() {
+  DiskSpec spec;
+  spec.capacity_bytes = 1_GiB;
+  spec.iops = 100000;                        // 10us per op
+  spec.bandwidth_bytes_per_sec = 1'000'000'000;  // 1 GB/s
+  return spec;
+}
+
+Task<> DoIo(DiskModel& disk, int64_t bytes, Simulator& sim, SimTime& done) {
+  co_await disk.Io(bytes);
+  done = sim.Now();
+}
+
+TEST(DiskModelTest, SmallOpCostsPerOpLatency) {
+  Simulator sim;
+  DiskModel disk(sim, TestSpec());
+  SimTime done;
+  sim.Spawn(DoIo(disk, 0, sim, done), "io");
+  sim.RunUntilIdle();
+  EXPECT_EQ(done - SimTime::Zero(), 10_us);
+}
+
+TEST(DiskModelTest, LargeOpPaysBandwidth) {
+  Simulator sim;
+  DiskModel disk(sim, TestSpec());
+  SimTime done;
+  // 100 MB at 1 GB/s = 100ms + 10us per-op.
+  sim.Spawn(DoIo(disk, 100'000'000, sim, done), "io");
+  sim.RunUntilIdle();
+  EXPECT_GE(done - SimTime::Zero(), 100_ms);
+  EXPECT_LE(done - SimTime::Zero(), 101_ms);
+}
+
+TEST(DiskModelTest, OpsSerializeFifo) {
+  Simulator sim;
+  DiskModel disk(sim, TestSpec());
+  SimTime done_a;
+  SimTime done_b;
+  sim.Spawn(DoIo(disk, 10'000'000, sim, done_a), "a");  // 10ms
+  sim.Spawn(DoIo(disk, 10'000'000, sim, done_b), "b");
+  sim.RunUntilIdle();
+  EXPECT_LT(done_a, done_b);
+  EXPECT_GE(done_b - done_a, 10_ms);  // b waited for a
+}
+
+TEST(DiskModelTest, IopsLimitThroughputForTinyOps) {
+  Simulator sim;
+  DiskModel disk(sim, TestSpec());
+  std::vector<Fiber> ops;
+  for (int i = 0; i < 1000; ++i) {
+    ops.push_back(sim.Spawn(disk.Io(64), "tiny"));
+  }
+  sim.RunUntilIdle();
+  // 1000 ops at 100k IOPS = ~10ms regardless of bytes.
+  EXPECT_GE(sim.Now() - SimTime::Zero(), 10_ms);
+  EXPECT_LE(sim.Now() - SimTime::Zero(), 11_ms);
+  EXPECT_EQ(disk.ops_completed(), 1000);
+}
+
+TEST(DiskModelTest, CapacityAccountIsIndependentOfIo) {
+  Simulator sim;
+  DiskModel disk(sim, TestSpec());
+  EXPECT_TRUE(disk.capacity().TryCharge(512_MiB));
+  EXPECT_TRUE(disk.capacity().TryCharge(512_MiB));
+  EXPECT_FALSE(disk.capacity().TryCharge(1));
+  disk.capacity().Release(1_GiB);
+  EXPECT_EQ(disk.capacity().used(), 0);
+}
+
+TEST(DiskModelTest, BusyAccumulates) {
+  Simulator sim;
+  DiskModel disk(sim, TestSpec());
+  sim.Spawn(disk.Io(1'000'000), "io");  // 1ms + 10us
+  sim.Spawn(disk.Io(2'000'000), "io");  // 2ms + 10us
+  sim.RunUntilIdle();
+  EXPECT_EQ(disk.busy(), Duration::Micros(3020));
+}
+
+}  // namespace
+}  // namespace quicksand

@@ -1,0 +1,54 @@
+#include "quicksand/cluster/memory.h"
+
+#include <gtest/gtest.h>
+
+#include "quicksand/common/bytes.h"
+
+namespace quicksand {
+namespace {
+
+TEST(MemoryAccountTest, ChargeAndRelease) {
+  MemoryAccount mem(1_GiB);
+  EXPECT_TRUE(mem.TryCharge(512_MiB));
+  EXPECT_EQ(mem.used(), 512_MiB);
+  EXPECT_EQ(mem.free(), 512_MiB);
+  mem.Release(256_MiB);
+  EXPECT_EQ(mem.used(), 256_MiB);
+}
+
+TEST(MemoryAccountTest, RejectsOvercommit) {
+  MemoryAccount mem(1_GiB);
+  EXPECT_TRUE(mem.TryCharge(1_GiB));
+  EXPECT_FALSE(mem.TryCharge(1));
+  EXPECT_EQ(mem.used(), 1_GiB);
+}
+
+TEST(MemoryAccountTest, UtilizationFraction) {
+  MemoryAccount mem(4_GiB);
+  EXPECT_DOUBLE_EQ(mem.utilization(), 0.0);
+  EXPECT_TRUE(mem.TryCharge(1_GiB));
+  EXPECT_DOUBLE_EQ(mem.utilization(), 0.25);
+}
+
+TEST(MemoryAccountTest, HighWatermarkTracksPeak) {
+  MemoryAccount mem(1_GiB);
+  EXPECT_TRUE(mem.TryCharge(700_MiB));
+  mem.Release(500_MiB);
+  EXPECT_TRUE(mem.TryCharge(100_MiB));
+  EXPECT_EQ(mem.high_watermark(), 700_MiB);
+}
+
+TEST(MemoryAccountTest, ZeroChargeAlwaysSucceeds) {
+  MemoryAccount mem(1);
+  EXPECT_TRUE(mem.TryCharge(1));
+  EXPECT_TRUE(mem.TryCharge(0));
+}
+
+TEST(MemoryAccountDeathTest, OverReleaseAborts) {
+  MemoryAccount mem(1_GiB);
+  EXPECT_TRUE(mem.TryCharge(10));
+  EXPECT_DEATH(mem.Release(11), "releasing more");
+}
+
+}  // namespace
+}  // namespace quicksand

@@ -1,0 +1,24 @@
+#include "quicksand/common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace quicksand {
+namespace {
+
+TEST(BytesTest, Literals) {
+  EXPECT_EQ(1_KiB, 1024);
+  EXPECT_EQ(1_MiB, 1024 * 1024);
+  EXPECT_EQ(2_GiB, 2147483648LL);
+}
+
+TEST(BytesTest, FormatPicksUnit) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1536), "1.5 KiB");
+  EXPECT_EQ(FormatBytes(10 * 1024 * 1024), "10.0 MiB");
+  EXPECT_EQ(FormatBytes(3 * 1024LL * 1024 * 1024), "3.00 GiB");
+}
+
+TEST(BytesTest, FormatNegative) { EXPECT_EQ(FormatBytes(-2048), "-2.0 KiB"); }
+
+}  // namespace
+}  // namespace quicksand

@@ -1,0 +1,132 @@
+#include "quicksand/common/random.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace quicksand {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(99);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(42);
+  double sum = 0;
+  double sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.25);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextExponential(3.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallRanks) {
+  Rng rng(11);
+  const uint64_t n = 1000;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t k = rng.NextZipf(n, 1.0);
+    ASSERT_LT(k, n);
+    ++counts[k];
+  }
+  // Rank 0 should dominate rank 99 heavily under s=1.
+  EXPECT_GT(counts[0], counts[99] * 10);
+}
+
+TEST(RngTest, ZipfZeroSkewIsRoughlyUniform) {
+  Rng rng(11);
+  const uint64_t n = 10;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[rng.NextZipf(n, 0.0)];
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(counts[i], 10000, 600);
+  }
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng a(123);
+  Rng b(123);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fa.Next(), fb.Next());
+  }
+  // Fork stream differs from parent stream.
+  Rng c(123);
+  Rng fc = c.Fork();
+  EXPECT_NE(fc.Next(), c.Next());
+}
+
+}  // namespace
+}  // namespace quicksand

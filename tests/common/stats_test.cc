@@ -1,0 +1,107 @@
+#include "quicksand/common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace quicksand {
+namespace {
+
+TEST(RunningStatTest, BasicMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, ResetClears) {
+  RunningStat s;
+  s.Add(1.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0);
+}
+
+TEST(LatencyHistogramTest, PercentilesApproximateInput) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Add(Duration::Micros(i));
+  }
+  EXPECT_EQ(h.count(), 1000);
+  // Buckets are ~4% wide, allow 8% tolerance.
+  EXPECT_NEAR(h.Percentile(50).micros(), 500, 40);
+  EXPECT_NEAR(h.Percentile(90).micros(), 900, 75);
+  EXPECT_NEAR(h.Percentile(99).micros(), 990, 80);
+  EXPECT_EQ(h.Min(), Duration::Micros(1));
+  EXPECT_EQ(h.Max(), Duration::Micros(1000));
+  EXPECT_NEAR(h.Mean().micros(), 500, 2);
+}
+
+TEST(LatencyHistogramTest, MergeCombinesCounts) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Add(1_ms);
+  b.Add(3_ms);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.Max(), 3_ms);
+  EXPECT_EQ(a.Min(), 1_ms);
+}
+
+TEST(LatencyHistogramTest, EmptyPercentileIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Percentile(99), Duration::Zero());
+}
+
+TEST(LatencyHistogramTest, WideRange) {
+  LatencyHistogram h;
+  h.Add(1_ns);
+  h.Add(10_s);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.Min(), 1_ns);
+  EXPECT_EQ(h.Max(), 10_s);
+  EXPECT_LE(h.Percentile(0).nanos(), 2);
+}
+
+TEST(EwmaTest, ConvergesTowardInput) {
+  Ewma e(0.5);
+  e.Add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);  // first sample initializes
+  e.Add(20.0);
+  EXPECT_DOUBLE_EQ(e.value(), 15.0);
+  for (int i = 0; i < 50; ++i) {
+    e.Add(20.0);
+  }
+  EXPECT_NEAR(e.value(), 20.0, 1e-6);
+}
+
+TEST(TimeSeriesTest, RecordAndWindowMean) {
+  TimeSeries ts("goodput");
+  ts.Record(SimTime::FromNanos(0), 1.0);
+  ts.Record(SimTime::FromNanos(100), 2.0);
+  ts.Record(SimTime::FromNanos(200), 3.0);
+  EXPECT_EQ(ts.points().size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.MeanOver(SimTime::FromNanos(0), SimTime::FromNanos(150)), 1.5);
+  EXPECT_DOUBLE_EQ(ts.MeanOver(SimTime::FromNanos(0), SimTime::FromNanos(300)), 2.0);
+}
+
+TEST(TimeSeriesTest, CsvHasHeaderAndRows) {
+  TimeSeries ts("x");
+  ts.Record(SimTime::Zero() + 1_s, 2.5);
+  const std::string csv = ts.ToCsv();
+  EXPECT_NE(csv.find("time_s,x"), std::string::npos);
+  EXPECT_NE(csv.find("1.000000,2.500000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace quicksand

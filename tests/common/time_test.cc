@@ -1,0 +1,69 @@
+#include "quicksand/common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace quicksand {
+namespace {
+
+TEST(DurationTest, FactoryUnits) {
+  EXPECT_EQ(Duration::Nanos(5).nanos(), 5);
+  EXPECT_EQ(Duration::Micros(5).nanos(), 5000);
+  EXPECT_EQ(Duration::Millis(5).nanos(), 5000000);
+  EXPECT_EQ(Duration::Seconds(5).nanos(), 5000000000LL);
+  EXPECT_EQ(Duration::SecondsF(0.5).millis(), 500);
+}
+
+TEST(DurationTest, Literals) {
+  EXPECT_EQ((10_us).nanos(), 10000);
+  EXPECT_EQ((10_ms).micros(), 10000);
+  EXPECT_EQ((2_s).millis(), 2000);
+  EXPECT_EQ((7_ns).nanos(), 7);
+}
+
+TEST(DurationTest, Arithmetic) {
+  EXPECT_EQ((3_ms + 2_ms).millis(), 5);
+  EXPECT_EQ((3_ms - 5_ms).millis(), -2);
+  EXPECT_EQ((3_ms * 4).millis(), 12);
+  EXPECT_EQ((10_ms / 4).micros(), 2500);
+  EXPECT_DOUBLE_EQ(10_ms / 4_ms, 2.5);
+  EXPECT_EQ((2_ms * 1.5).micros(), 3000);
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(1_us, 1_ms);
+  EXPECT_GT(1_s, 999_ms);
+  EXPECT_EQ(1000_us, 1_ms);
+  EXPECT_LE(Duration::Zero(), 0_ns);
+}
+
+TEST(DurationTest, CompoundAssignment) {
+  Duration d = 5_ms;
+  d += 5_ms;
+  EXPECT_EQ(d, 10_ms);
+  d -= 3_ms;
+  EXPECT_EQ(d, 7_ms);
+}
+
+TEST(DurationTest, ToStringPicksUnit) {
+  EXPECT_EQ((500_ns).ToString(), "500ns");
+  EXPECT_EQ((1500_ns).ToString(), "1.50us");
+  EXPECT_EQ((2500_us).ToString(), "2.50ms");
+  EXPECT_EQ((1500_ms).ToString(), "1.500s");
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  const SimTime t0 = SimTime::Zero();
+  const SimTime t1 = t0 + 5_ms;
+  EXPECT_EQ(t1.nanos(), 5000000);
+  EXPECT_EQ(t1 - t0, 5_ms);
+  EXPECT_EQ((t1 - 2_ms).nanos(), 3000000);
+  EXPECT_LT(t0, t1);
+}
+
+TEST(SimTimeTest, SecondsConversion) {
+  const SimTime t = SimTime::Zero() + 1500_ms;
+  EXPECT_DOUBLE_EQ(t.seconds(), 1.5);
+}
+
+}  // namespace
+}  // namespace quicksand

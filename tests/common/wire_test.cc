@@ -1,0 +1,69 @@
+#include "quicksand/common/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace quicksand {
+namespace {
+
+struct Blob {
+  int64_t payload;
+  int64_t WireBytes() const { return payload; }
+};
+
+TEST(WireTest, TrivialTypesUseSizeof) {
+  EXPECT_EQ(WireSizeOf(int32_t{5}), 4);
+  EXPECT_EQ(WireSizeOf(double{1.0}), 8);
+  struct Pod {
+    int64_t a;
+    int32_t b;
+  };
+  EXPECT_EQ(WireSizeOf(Pod{}), static_cast<int64_t>(sizeof(Pod)));
+}
+
+TEST(WireTest, CustomWireBytesWins) {
+  EXPECT_EQ(WireSizeOf(Blob{4096}), 4096);
+}
+
+TEST(WireTest, StringIncludesLengthPrefix) {
+  EXPECT_EQ(WireSizeOf(std::string("hello")), 13);
+}
+
+TEST(WireTest, VectorOfTrivialIsBulk) {
+  std::vector<int32_t> v(10, 1);
+  EXPECT_EQ(WireSizeOf(v), 8 + 40);
+}
+
+TEST(WireTest, VectorOfCustomSums) {
+  std::vector<Blob> v = {{100}, {200}};
+  EXPECT_EQ(WireSizeOf(v), 8 + 300);
+}
+
+TEST(WireTest, PairAndMap) {
+  EXPECT_EQ(WireSizeOf(std::make_pair(int32_t{1}, int64_t{2})), 12);
+  std::map<int32_t, int32_t> m = {{1, 2}, {3, 4}};
+  EXPECT_EQ(WireSizeOf(m), 8 + 16);
+}
+
+TEST(WireTest, ParameterPackSums) {
+  EXPECT_EQ(WireSizeOfAll(int32_t{1}, int64_t{2}, std::string("ab")), 4 + 8 + 10);
+  EXPECT_EQ(WireSizeOfAll(), 0);
+}
+
+TEST(WireTest, OptionalAddsPresenceByte) {
+  EXPECT_EQ(WireSizeOf(std::optional<int64_t>{}), 1);
+  EXPECT_EQ(WireSizeOf(std::optional<int64_t>{5}), 9);
+  EXPECT_EQ(WireSizeOf(std::optional<std::string>{std::string("abc")}), 1 + 11);
+}
+
+TEST(WireTest, StatusCarriesMessage) {
+  EXPECT_EQ(WireSizeOf(Status::Ok()), 4);
+  EXPECT_EQ(WireSizeOf(Status::NotFound("gone")), 4 + 4);
+}
+
+TEST(WireTest, ResultIsTaggedUnion) {
+  EXPECT_EQ(WireSizeOf(Result<int64_t>(7)), 1 + 8);
+  EXPECT_EQ(WireSizeOf(Result<int64_t>(Status::NotFound("x"))), 1 + 4 + 1);
+}
+
+}  // namespace
+}  // namespace quicksand

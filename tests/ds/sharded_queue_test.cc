@@ -1,0 +1,192 @@
+#include "quicksand/ds/sharded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include "quicksand/common/bytes.h"
+
+namespace quicksand {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  Cluster cluster{sim};
+  std::unique_ptr<Runtime> rt;
+
+  explicit Fixture(int machines = 2) {
+    for (int i = 0; i < machines; ++i) {
+      MachineSpec spec;
+      spec.cores = 4;
+      spec.memory_bytes = 2_GiB;
+      cluster.AddMachine(spec);
+    }
+    rt = std::make_unique<Runtime>(sim, cluster);
+  }
+
+  Ctx ctx() { return rt->CtxOn(0); }
+};
+
+using IntQueue = ShardedQueue<int64_t>;
+
+Task<IntQueue> MakeQueue(Ctx ctx, IntQueue::Options options = {}) {
+  auto create = IntQueue::Create(ctx, options);
+  Result<IntQueue> q = co_await std::move(create);
+  co_return *q;
+}
+
+Task<> PushN(IntQueue& q, Ctx ctx, int64_t n, int64_t offset = 0) {
+  for (int64_t i = 0; i < n; ++i) {
+    auto push = q.Push(ctx, offset + i);
+    Status s = co_await std::move(push);
+    EXPECT_TRUE(s.ok());
+  }
+}
+
+TEST(ShardedQueueTest, FifoWithinProducer) {
+  Fixture f;
+  IntQueue q = f.sim.BlockOn(MakeQueue(f.ctx()));
+  f.sim.BlockOn(PushN(q, f.ctx(), 10));
+  for (int64_t i = 0; i < 10; ++i) {
+    Result<std::optional<int64_t>> v = f.sim.BlockOn(q.TryPop(f.ctx()));
+    ASSERT_TRUE(v.ok());
+    ASSERT_TRUE(v->has_value());
+    EXPECT_EQ(**v, i);
+  }
+}
+
+TEST(ShardedQueueTest, EmptyPopReturnsNothing) {
+  Fixture f;
+  IntQueue q = f.sim.BlockOn(MakeQueue(f.ctx()));
+  Result<std::optional<int64_t>> v = f.sim.BlockOn(q.TryPop(f.ctx()));
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v->has_value());
+}
+
+TEST(ShardedQueueTest, BatchPopRespectsLimit) {
+  Fixture f;
+  IntQueue q = f.sim.BlockOn(MakeQueue(f.ctx()));
+  f.sim.BlockOn(PushN(q, f.ctx(), 20));
+  Result<std::vector<int64_t>> batch = f.sim.BlockOn(q.TryPopBatch(f.ctx(), 7));
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->size(), 7u);
+  EXPECT_EQ((*batch)[0], 0);
+  EXPECT_EQ(*f.sim.BlockOn(q.Size(f.ctx())), 13);
+}
+
+TEST(ShardedQueueTest, BurstCreatesSegments) {
+  Fixture f;
+  IntQueue::Options options;
+  options.max_segment_bytes = 256;  // 32 ints per segment
+  IntQueue q = f.sim.BlockOn(MakeQueue(f.ctx(), options));
+  f.sim.BlockOn(PushN(q, f.ctx(), 200));
+  f.sim.BlockOn(q.router().Refresh(f.ctx()));
+  EXPECT_GE(q.router().cached_shards().size(), 5u);
+  EXPECT_EQ(*f.sim.BlockOn(q.Size(f.ctx())), 200);
+}
+
+TEST(ShardedQueueTest, DrainedSegmentsAreReclaimed) {
+  Fixture f;
+  IntQueue::Options options;
+  options.max_segment_bytes = 256;
+  IntQueue q = f.sim.BlockOn(MakeQueue(f.ctx(), options));
+  f.sim.BlockOn(PushN(q, f.ctx(), 200));
+  const size_t proclets_full = f.rt->proclet_count();
+  // Drain fully.
+  int64_t seen = 0;
+  while (true) {
+    Result<std::vector<int64_t>> batch = f.sim.BlockOn(q.TryPopBatch(f.ctx(), 64));
+    ASSERT_TRUE(batch.ok());
+    if (batch->empty()) {
+      break;
+    }
+    seen += static_cast<int64_t>(batch->size());
+  }
+  EXPECT_EQ(seen, 200);
+  f.sim.RunUntilIdle();
+  EXPECT_LT(f.rt->proclet_count(), proclets_full);  // segments destroyed
+}
+
+TEST(ShardedQueueTest, OrderPreservedAcrossSegments) {
+  Fixture f;
+  IntQueue::Options options;
+  options.max_segment_bytes = 128;
+  IntQueue q = f.sim.BlockOn(MakeQueue(f.ctx(), options));
+  f.sim.BlockOn(PushN(q, f.ctx(), 100));
+  int64_t expected = 0;
+  while (true) {
+    Result<std::optional<int64_t>> v = f.sim.BlockOn(q.TryPop(f.ctx()));
+    ASSERT_TRUE(v.ok());
+    if (!v->has_value()) {
+      break;
+    }
+    EXPECT_EQ(**v, expected++);
+  }
+  EXPECT_EQ(expected, 100);
+}
+
+Task<> Producer(IntQueue q, Ctx ctx, Simulator& sim, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    auto push = q.Push(ctx, i);
+    Status s = co_await std::move(push);
+    EXPECT_TRUE(s.ok());
+    co_await sim.Sleep(10_us);
+  }
+}
+
+Task<> Consumer(IntQueue q, Ctx ctx, Simulator& sim, int64_t expect,
+                std::vector<int64_t>& out) {
+  while (static_cast<int64_t>(out.size()) < expect) {
+    auto pop = q.TryPopBatch(ctx, 16);
+    Result<std::vector<int64_t>> batch = co_await std::move(pop);
+    EXPECT_TRUE(batch.ok());
+    if (!batch.ok()) {
+      co_return;
+    }
+    for (int64_t v : *batch) {
+      out.push_back(v);
+    }
+    if (batch->empty()) {
+      co_await sim.Sleep(50_us);
+    }
+  }
+}
+
+TEST(ShardedQueueTest, ConcurrentProducerConsumer) {
+  Fixture f;
+  IntQueue::Options options;
+  options.max_segment_bytes = 512;
+  IntQueue q = f.sim.BlockOn(MakeQueue(f.ctx(), options));
+  std::vector<int64_t> out;
+  f.sim.Spawn(Producer(q, f.rt->CtxOn(0), f.sim, 300), "producer");
+  Fiber consumer = f.sim.Spawn(Consumer(q, f.rt->CtxOn(1), f.sim, 300, out), "consumer");
+  f.sim.RunUntilIdle();
+  EXPECT_TRUE(consumer.done());
+  ASSERT_EQ(out.size(), 300u);
+  for (int64_t i = 0; i < 300; ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(ShardedQueueTest, SegmentsCanMigrateMidstream) {
+  Fixture f;
+  IntQueue::Options options;
+  options.max_segment_bytes = 256;
+  IntQueue q = f.sim.BlockOn(MakeQueue(f.ctx(), options));
+  f.sim.BlockOn(PushN(q, f.ctx(), 100));
+  f.sim.BlockOn(q.router().Refresh(f.ctx()));
+  for (const ShardInfo& s : q.router().cached_shards()) {
+    EXPECT_TRUE(f.sim.BlockOn(f.rt->Migrate(s.proclet, 1)).ok());
+  }
+  int64_t expected = 0;
+  while (true) {
+    Result<std::optional<int64_t>> v = f.sim.BlockOn(q.TryPop(f.ctx()));
+    ASSERT_TRUE(v.ok());
+    if (!v->has_value()) {
+      break;
+    }
+    EXPECT_EQ(**v, expected++);
+  }
+  EXPECT_EQ(expected, 100);
+}
+
+}  // namespace
+}  // namespace quicksand

@@ -1,0 +1,141 @@
+#include "quicksand/ds/stream.h"
+
+#include <gtest/gtest.h>
+
+#include "quicksand/common/bytes.h"
+
+namespace quicksand {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  Cluster cluster{sim};
+  std::unique_ptr<Runtime> rt;
+
+  Fixture() {
+    MachineSpec spec;
+    spec.cores = 4;
+    spec.memory_bytes = 2_GiB;
+    cluster.AddMachine(spec);
+    cluster.AddMachine(spec);
+    rt = std::make_unique<Runtime>(sim, cluster);
+  }
+
+  Ctx ctx() { return rt->CtxOn(0); }
+
+  ShardedVector<int64_t> MakeFilled(int64_t n, int64_t max_shard_bytes = 512) {
+    ShardedVector<int64_t>::Options options;
+    options.max_shard_bytes = max_shard_bytes;
+    auto vec = *sim.BlockOn(ShardedVector<int64_t>::Create(ctx(), options));
+    for (int64_t i = 0; i < n; ++i) {
+      auto push = vec.PushBack(ctx(), i);
+      QS_CHECK(sim.BlockOn(std::move(push)).ok());
+    }
+    return vec;
+  }
+};
+
+Task<std::vector<int64_t>> DrainStream(VectorStream<int64_t>& stream, Ctx ctx) {
+  std::vector<int64_t> out;
+  for (;;) {
+    auto next = stream.Next(ctx);
+    std::optional<int64_t> v = co_await std::move(next);
+    if (!v.has_value()) {
+      break;
+    }
+    out.push_back(*v);
+  }
+  co_return out;
+}
+
+TEST(VectorStreamTest, YieldsAllElementsInOrder) {
+  Fixture f;
+  auto vec = f.MakeFilled(200);
+  VectorStream<int64_t> stream(vec, 0, 200, 16);
+  std::vector<int64_t> out = f.sim.BlockOn(DrainStream(stream, f.ctx()));
+  ASSERT_EQ(out.size(), 200u);
+  for (int64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(VectorStreamTest, RespectsSubrange) {
+  Fixture f;
+  auto vec = f.MakeFilled(100);
+  VectorStream<int64_t> stream(vec, 20, 50, 8);
+  std::vector<int64_t> out = f.sim.BlockOn(DrainStream(stream, f.ctx()));
+  ASSERT_EQ(out.size(), 30u);
+  EXPECT_EQ(out.front(), 20);
+  EXPECT_EQ(out.back(), 49);
+}
+
+TEST(VectorStreamTest, RangePastEndStopsAtVectorEnd) {
+  Fixture f;
+  auto vec = f.MakeFilled(30);
+  VectorStream<int64_t> stream(vec, 10, 1000, 16);
+  std::vector<int64_t> out = f.sim.BlockOn(DrainStream(stream, f.ctx()));
+  EXPECT_EQ(out.size(), 20u);
+}
+
+TEST(VectorStreamTest, EmptyRangeYieldsNothing) {
+  Fixture f;
+  auto vec = f.MakeFilled(10);
+  VectorStream<int64_t> stream(vec, 5, 5, 4);
+  std::vector<int64_t> out = f.sim.BlockOn(DrainStream(stream, f.ctx()));
+  EXPECT_TRUE(out.empty());
+}
+
+Task<Duration> TimedDrain(Fixture& f, VectorStream<int64_t>& stream, Ctx ctx,
+                          Duration per_element_work) {
+  const SimTime start = f.sim.Now();
+  for (;;) {
+    auto next = stream.Next(ctx);
+    std::optional<int64_t> v = co_await std::move(next);
+    if (!v.has_value()) {
+      break;
+    }
+    co_await f.cluster.machine(ctx.machine).cpu().Run(per_element_work);
+  }
+  co_return f.sim.Now() - start;
+}
+
+TEST(VectorStreamTest, PrefetchHidesRemoteFetchLatency) {
+  // Data lives on machine 1; the consumer computes on machine 0. With
+  // prefetching, fetches overlap compute and total time approaches pure
+  // compute time; without, fetch time adds up.
+  Fixture f;
+  ShardedVector<int64_t>::Options options;
+  options.max_shard_bytes = 64_KiB;
+  auto vec = *f.sim.BlockOn(ShardedVector<int64_t>::Create(f.ctx(), options));
+  for (int64_t i = 0; i < 4000; ++i) {
+    QS_CHECK(f.sim.BlockOn(vec.PushBack(f.ctx(), i)).ok());
+  }
+  f.sim.BlockOn(vec.router().Refresh(f.ctx()));
+  for (const ShardInfo& s : vec.router().cached_shards()) {
+    QS_CHECK(f.sim.BlockOn(f.rt->Migrate(s.proclet, 1)).ok());
+  }
+
+  const Duration work = 50_us;  // per element
+  VectorStream<int64_t> with_prefetch(vec, 0, 4000, 128, /*prefetch=*/true);
+  const Duration t_prefetch =
+      f.sim.BlockOn(TimedDrain(f, with_prefetch, f.rt->CtxOn(0), work));
+  VectorStream<int64_t> without(vec, 0, 4000, 128, /*prefetch=*/false);
+  const Duration t_sync =
+      f.sim.BlockOn(TimedDrain(f, without, f.rt->CtxOn(0), work));
+
+  EXPECT_LT(t_prefetch, t_sync);
+  // Prefetching should land within ~10% of pure compute time (200ms).
+  EXPECT_LT(t_prefetch, Duration::Millis(220));
+  EXPECT_GT(with_prefetch.stats().prefetch_ready, 0);
+}
+
+TEST(VectorStreamTest, StatsCountChunks) {
+  Fixture f;
+  auto vec = f.MakeFilled(64);
+  VectorStream<int64_t> stream(vec, 0, 64, 16);
+  (void)f.sim.BlockOn(DrainStream(stream, f.ctx()));
+  EXPECT_EQ(stream.stats().chunks_fetched, 4);
+}
+
+}  // namespace
+}  // namespace quicksand

@@ -1,0 +1,246 @@
+// Integration tests: miniature versions of the paper's three experiments,
+// asserting the claims the figures make. The bench binaries in bench/ are
+// the full-scale versions of these scenarios.
+
+#include <gtest/gtest.h>
+
+#include "quicksand/adapt/stage_scaler.h"
+#include "quicksand/app/preprocess_stage.h"
+#include "quicksand/app/trainer.h"
+#include "quicksand/cluster/antagonist.h"
+#include "quicksand/common/bytes.h"
+#include "quicksand/compute/parallel.h"
+#include "quicksand/sched/global_rebalancer.h"
+#include "quicksand/sched/local_reactor.h"
+
+namespace quicksand {
+namespace {
+
+// --- Fig. 1: harvest idle CPU by migrating every ~10ms -------------------------
+
+struct Counter {
+  int64_t completed = 0;
+};
+
+ComputeProclet::Job FillerJob(Duration remaining, std::shared_ptr<Counter> counter) {
+  return [remaining, counter](Ctx ctx) -> Task<> {
+    auto* proclet = ctx.rt->UnsafeGet<ComputeProclet>(ctx.caller_proclet);
+    const Duration left =
+        co_await ctx.rt->cluster().machine(ctx.machine).cpu().RunCancellable(
+            remaining, kPriorityNormal, proclet->cancel_token());
+    if (left > Duration::Zero()) {
+      (void)proclet->SubmitFromJob(FillerJob(left, counter));
+      co_return;
+    }
+    ++counter->completed;
+  };
+}
+
+Task<> FeedForever(Runtime& rt, Ref<ComputeProclet> proclet,
+                   std::shared_ptr<Counter> counter) {
+  for (;;) {
+    auto* p = rt.UnsafeGet<ComputeProclet>(proclet.id());
+    if (p != nullptr && !p->gate_closed()) {
+      while (p->queue_depth() + p->inflight() < 12) {
+        (void)p->Submit(FillerJob(Duration::Micros(100), counter));
+      }
+    }
+    co_await rt.sim().Sleep(Duration::Micros(100));
+  }
+}
+
+int64_t RunFiller(bool fungible) {
+  Simulator sim;
+  Cluster cluster(sim);
+  for (int i = 0; i < 2; ++i) {
+    MachineSpec spec;
+    spec.cores = 4;
+    spec.memory_bytes = 4_GiB;
+    cluster.AddMachine(spec);
+  }
+  Runtime rt(sim, cluster);
+  PhasedAntagonistConfig phase;
+  phase.busy = 10_ms;
+  phase.idle = 10_ms;
+  PhasedAntagonist ant0(sim, cluster.machine(0), phase);
+  ant0.Start();
+  phase.phase_offset = 10_ms;
+  PhasedAntagonist ant1(sim, cluster.machine(1), phase);
+  ant1.Start();
+
+  auto counter = std::make_shared<Counter>();
+  PlacementRequest req;
+  req.heap_bytes = 64_KiB;
+  req.pinned = MachineId{0};
+  Ref<ComputeProclet> filler =
+      *sim.BlockOn(rt.Create<ComputeProclet>(rt.CtxOn(0), req, 4));
+  sim.Spawn(FeedForever(rt, filler, counter), "feeder");
+  std::vector<std::unique_ptr<LocalReactor>> reactors;
+  if (fungible) {
+    reactors = StartLocalReactors(rt);
+  }
+  sim.RunUntil(SimTime::Zero() + 100_ms);
+  if (fungible) {
+    EXPECT_GE(rt.stats().migrations, 5);
+    EXPECT_LT(rt.stats().migration_latency.Percentile(99), 1_ms)
+        << "paper claim: sub-millisecond migration";
+  }
+  return counter->completed;
+}
+
+TEST(Fig1Integration, FungibleFillerBeatsStaticByNearly2x) {
+  const int64_t fixed = RunFiller(/*fungible=*/false);
+  const int64_t fungible = RunFiller(/*fungible=*/true);
+  // Ideal = 4 cores x 10 tasks/ms x 100ms = 4000. Static gets ~half the
+  // time; fungible follows the idle machine.
+  EXPECT_LT(fixed, 2300);
+  EXPECT_GT(fungible, 3400);
+  EXPECT_GT(static_cast<double>(fungible) / static_cast<double>(fixed), 1.6);
+}
+
+// --- Fig. 2: imbalanced machines match the single-machine baseline -------------
+
+double RunMiniPipeline(std::vector<MachineSpec> machines) {
+  Simulator sim;
+  Cluster cluster(sim);
+  for (MachineSpec& spec : machines) {
+    spec.cpu_quantum = Duration::Micros(200);
+    cluster.AddMachine(spec);
+  }
+  Runtime rt(sim, cluster);
+  auto reactors = StartLocalReactors(rt);
+  GlobalRebalancerConfig rebalance_cfg;
+  rebalance_cfg.period = Duration::Millis(20);
+  GlobalRebalancer rebalancer(rt, rebalance_cfg);
+  rebalancer.Start();
+  const Ctx ctx = rt.CtxOn(0);
+
+  ImageGenerator generator(99);
+  auto vec = *sim.BlockOn(ShardedVector<Image>::Create(ctx));
+  constexpr int64_t kImages = 600;  // ~120 MiB, ~12 core-seconds
+  for (int64_t i = 0; i < kImages; ++i) {
+    QS_CHECK(sim.BlockOn(vec.PushBack(ctx, generator.Generate(
+                                               static_cast<uint64_t>(i))))
+                 .ok());
+  }
+  DistPool::Options pool_options;
+  pool_options.initial_proclets = cluster.total_cores() / 2;
+  pool_options.workers_per_proclet = 4;
+  DistPool pool = *sim.BlockOn(DistPool::Create(ctx, pool_options));
+
+  PreprocessCostModel cost;
+  const SimTime start = sim.Now();
+  ParallelOptions par;
+  par.span_elems = 32;
+  par.chunk_elems = 8;
+  Status status = sim.BlockOn(ParallelForEach(
+      ctx, pool, vec,
+      [cost](Ctx job_ctx, uint64_t, Image image) -> Task<> {
+        (void)co_await MigratableBurn(job_ctx, PreprocessCost(image, cost));
+      },
+      par));
+  QS_CHECK(status.ok());
+  return (sim.Now() - start).seconds();
+}
+
+TEST(Fig2Integration, ImbalancedConfigsMatchBaseline) {
+  MachineSpec baseline;
+  baseline.cores = 12;
+  baseline.memory_bytes = 2_GiB;
+
+  MachineSpec cpu_lite = baseline;
+  cpu_lite.cores = 2;
+  cpu_lite.memory_bytes = 1_GiB;
+  MachineSpec cpu_heavy = baseline;
+  cpu_heavy.cores = 10;
+  cpu_heavy.memory_bytes = 1_GiB;
+
+  MachineSpec mem_lite = baseline;
+  mem_lite.cores = 6;
+  mem_lite.memory_bytes = 256_MiB;
+  MachineSpec mem_heavy = baseline;
+  mem_heavy.cores = 6;
+  mem_heavy.memory_bytes = 1792_MiB;
+
+  const double t_base = RunMiniPipeline({baseline});
+  const double t_cpu = RunMiniPipeline({cpu_lite, cpu_heavy});
+  const double t_mem = RunMiniPipeline({mem_lite, mem_heavy});
+
+  // The paper's shape: a few percent of the single-machine ideal.
+  EXPECT_LT(t_cpu, t_base * 1.10) << "CPU-unbalanced should track baseline";
+  EXPECT_LT(t_mem, t_base * 1.10) << "Mem-unbalanced should track baseline";
+  EXPECT_GT(t_cpu, t_base * 0.90);
+  EXPECT_GT(t_mem, t_base * 0.90);
+}
+
+// --- Fig. 3: producer count tracks GPU count in ~10-15ms -----------------------
+
+TEST(Fig3Integration, ScalerTracksGpuToggle) {
+  Simulator sim;
+  Cluster cluster(sim);
+  for (int i = 0; i < 2; ++i) {
+    MachineSpec spec;
+    spec.cores = 8;
+    spec.memory_bytes = 4_GiB;
+    spec.cpu_quantum = Duration::Micros(50);
+    cluster.AddMachine(spec);
+  }
+  Runtime rt(sim, cluster);
+  const Ctx ctx = rt.CtxOn(0);
+
+  auto queue = *sim.BlockOn(ShardedQueue<Tensor>::Create(ctx));
+  PreprocessStageConfig stage_cfg;
+  stage_cfg.images.mean_encoded_bytes = 10000;
+  stage_cfg.cost.base = Duration::Micros(200);
+  stage_cfg.cost.ns_per_byte = 80.0;
+  PreprocessStage stage(rt, queue, stage_cfg);
+  for (int i = 0; i < 3; ++i) {
+    QS_CHECK(sim.BlockOn(stage.AddProducer(ctx)).ok());
+  }
+  GpuTrainerConfig gpu_cfg;
+  gpu_cfg.initial_gpus = 3;
+  gpu_cfg.max_gpus = 8;
+  gpu_cfg.batch_size = 2;
+  gpu_cfg.batch_time = 2_ms;
+  GpuTrainer trainer(rt, queue, gpu_cfg);
+  trainer.Start();
+  StageScalerConfig scaler_cfg;
+  scaler_cfg.max_producers = 16;
+  StageScaler scaler(rt, stage, queue, trainer, scaler_cfg);
+  scaler.Start();
+
+  // The count oscillates +-1 around the equilibrium (as in the paper's
+  // figure), so compare window means, not instants.
+  sim.RunUntil(SimTime::Zero() + 200_ms);
+  const double at_3gpus = scaler.producer_series().MeanOver(
+      SimTime::Zero() + 100_ms, SimTime::Zero() + 200_ms);
+
+  trainer.SetGpuCount(6);
+  sim.RunUntil(SimTime::Zero() + 400_ms);
+  const double at_6gpus = scaler.producer_series().MeanOver(
+      SimTime::Zero() + 300_ms, SimTime::Zero() + 400_ms);
+  EXPECT_GT(at_6gpus, at_3gpus + 1.5) << "doubling GPUs must add producers";
+  EXPECT_NEAR(at_6gpus, 6.0, 2.0);
+
+  trainer.SetGpuCount(3);
+  sim.RunUntil(SimTime::Zero() + 600_ms);
+  const double back_down = scaler.producer_series().MeanOver(
+      SimTime::Zero() + 500_ms, SimTime::Zero() + 600_ms);
+  EXPECT_LT(back_down, at_6gpus - 1.5) << "halving GPUs must remove producers";
+  EXPECT_NEAR(back_down, 3.0, 2.0);
+
+  // The adaptation itself is fast: re-toggle and measure the first change.
+  trainer.SetGpuCount(6);
+  const SimTime toggle = sim.Now();
+  const int before = stage.producer_count();
+  while (stage.producer_count() == before &&
+         sim.Now() - toggle < Duration::Millis(50)) {
+    sim.RunFor(Duration::Millis(1));
+  }
+  EXPECT_LT(sim.Now() - toggle, Duration::Millis(20))
+      << "paper claim: new equilibrium within 10-15ms";
+  sim.BlockOn(stage.Shutdown(ctx));
+}
+
+}  // namespace
+}  // namespace quicksand

@@ -1,0 +1,144 @@
+#include "quicksand/net/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include "quicksand/cluster/cluster.h"
+#include "quicksand/common/bytes.h"
+
+namespace quicksand {
+namespace {
+
+FabricConfig TestConfig() {
+  FabricConfig cfg;
+  cfg.one_way_latency = 5_us;
+  cfg.bandwidth_bytes_per_sec = 12'500'000'000;  // 100 Gbps
+  cfg.per_message_overhead = 1_us;
+  return cfg;
+}
+
+Task<> DoTransfer(Fabric& fabric, MachineId src, MachineId dst, int64_t bytes,
+                  Simulator& sim, SimTime& done) {
+  co_await fabric.Transfer(src, dst, bytes);
+  done = sim.Now();
+}
+
+TEST(FabricTest, SmallMessageCostIsOverheadPlusLatency) {
+  Simulator sim;
+  Fabric fabric(sim, TestConfig());
+  fabric.AddNic(0);
+  fabric.AddNic(1);
+  SimTime done;
+  sim.Spawn(DoTransfer(fabric, 0, 1, 0, sim, done), "t");
+  sim.RunUntilIdle();
+  EXPECT_EQ(done - SimTime::Zero(), 6_us);  // 1us overhead + 5us latency
+}
+
+TEST(FabricTest, LargeTransferPaysBandwidth) {
+  Simulator sim;
+  Fabric fabric(sim, TestConfig());
+  fabric.AddNic(0);
+  fabric.AddNic(1);
+  SimTime done;
+  // 10 MiB at 12.5 GB/s = ~839 us of wire time.
+  sim.Spawn(DoTransfer(fabric, 0, 1, 10_MiB, sim, done), "t");
+  sim.RunUntilIdle();
+  const Duration elapsed = done - SimTime::Zero();
+  EXPECT_GT(elapsed, 800_us);
+  EXPECT_LT(elapsed, 900_us);
+}
+
+TEST(FabricTest, LocalTransferIsFree) {
+  Simulator sim;
+  Fabric fabric(sim, TestConfig());
+  fabric.AddNic(0);
+  SimTime done;
+  sim.Spawn(DoTransfer(fabric, 0, 0, 100_MiB, sim, done), "t");
+  sim.RunUntilIdle();
+  EXPECT_EQ(done, SimTime::Zero());
+  EXPECT_EQ(fabric.total_bytes_sent(), 0);
+}
+
+TEST(FabricTest, EgressNicSharesBandwidthAtFrameGranularity) {
+  Simulator sim;
+  Fabric fabric(sim, TestConfig());
+  fabric.AddNic(0);
+  fabric.AddNic(1);
+  fabric.AddNic(2);
+  SimTime done_a;
+  SimTime done_b;
+  // Two 1 MiB sends from the same source share the NIC: both take ~2x the
+  // solo wire time (frames interleave), finishing within a frame of each
+  // other.
+  sim.Spawn(DoTransfer(fabric, 0, 1, 1_MiB, sim, done_a), "a");
+  sim.Spawn(DoTransfer(fabric, 0, 2, 1_MiB, sim, done_b), "b");
+  sim.RunUntilIdle();
+  EXPECT_GT(done_a - SimTime::Zero(), 150_us);  // ~2 x 84us
+  EXPECT_GT(done_b - SimTime::Zero(), 150_us);
+  const Duration gap = done_b - done_a;
+  EXPECT_LT(gap, 10_us);  // one 64 KiB frame is ~5.2us
+}
+
+TEST(FabricTest, SmallMessageNotBlockedBehindBulkTransfer) {
+  Simulator sim;
+  Fabric fabric(sim, TestConfig());
+  fabric.AddNic(0);
+  fabric.AddNic(1);
+  SimTime bulk_done;
+  SimTime small_done;
+  // A 64 MiB bulk transfer (~5.4ms of wire time) must not delay a 128-byte
+  // control message by more than about a frame.
+  sim.Spawn(DoTransfer(fabric, 0, 1, 64_MiB, sim, bulk_done), "bulk");
+  sim.Schedule(100_us, [&] {
+    sim.Spawn(DoTransfer(fabric, 0, 1, 128, sim, small_done), "small");
+  });
+  sim.RunUntilIdle();
+  EXPECT_LT(small_done - SimTime::Zero(), 120_us);
+  EXPECT_GT(bulk_done - SimTime::Zero(), 5_ms);
+}
+
+TEST(FabricTest, DistinctSourcesDontContend) {
+  Simulator sim;
+  Fabric fabric(sim, TestConfig());
+  fabric.AddNic(0);
+  fabric.AddNic(1);
+  fabric.AddNic(2);
+  SimTime done_a;
+  SimTime done_b;
+  sim.Spawn(DoTransfer(fabric, 0, 2, 1_MiB, sim, done_a), "a");
+  sim.Spawn(DoTransfer(fabric, 1, 2, 1_MiB, sim, done_b), "b");
+  sim.RunUntilIdle();
+  EXPECT_EQ(done_a, done_b);
+}
+
+TEST(FabricTest, UnloadedTransferTimeMatchesActual) {
+  Simulator sim;
+  Fabric fabric(sim, TestConfig());
+  fabric.AddNic(0);
+  fabric.AddNic(1);
+  const Duration predicted = fabric.UnloadedTransferTime(2_MiB);
+  SimTime done;
+  sim.Spawn(DoTransfer(fabric, 0, 1, 2_MiB, sim, done), "t");
+  sim.RunUntilIdle();
+  // Per-frame integer rounding may drift by a nanosecond per frame.
+  EXPECT_NEAR(static_cast<double>((done - SimTime::Zero()).nanos()),
+              static_cast<double>(predicted.nanos()), 100.0);
+}
+
+TEST(FabricTest, CountsBytesAndMessages) {
+  Simulator sim;
+  Fabric fabric(sim, TestConfig());
+  fabric.AddNic(0);
+  fabric.AddNic(1);
+  SimTime d1;
+  SimTime d2;
+  sim.Spawn(DoTransfer(fabric, 0, 1, 100, sim, d1), "a");
+  sim.Spawn(DoTransfer(fabric, 1, 0, 200, sim, d2), "b");
+  sim.RunUntilIdle();
+  EXPECT_EQ(fabric.total_bytes_sent(), 300);
+  EXPECT_EQ(fabric.total_messages(), 2);
+  EXPECT_GT(fabric.NicBusy(0), Duration::Zero());
+  EXPECT_GT(fabric.NicBusy(1), Duration::Zero());
+}
+
+}  // namespace
+}  // namespace quicksand

@@ -1,0 +1,124 @@
+#include "quicksand/proclet/memory_proclet.h"
+
+#include <gtest/gtest.h>
+
+#include "quicksand/common/bytes.h"
+
+namespace quicksand {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  Cluster cluster{sim};
+  std::unique_ptr<Runtime> rt;
+
+  Fixture() {
+    MachineSpec spec;
+    spec.memory_bytes = 1_GiB;
+    cluster.AddMachine(spec);
+    cluster.AddMachine(spec);
+    rt = std::make_unique<Runtime>(sim, cluster);
+  }
+
+  Ref<MemoryProclet> Make(MachineId where) {
+    PlacementRequest req;
+    req.heap_bytes = 4096;
+    req.pinned = where;
+    return *sim.BlockOn(rt->Create<MemoryProclet>(rt->CtxOn(0), req));
+  }
+};
+
+TEST(MemoryProcletTest, NewPtrLoadRoundTrip) {
+  Fixture f;
+  Ref<MemoryProclet> mem = f.Make(1);
+  const Ctx ctx = f.rt->CtxOn(0);
+  DistPtr<int64_t> ptr = *f.sim.BlockOn(NewPtr<int64_t>(ctx, mem, 42));
+  EXPECT_TRUE(static_cast<bool>(ptr));
+  Result<int64_t> loaded = f.sim.BlockOn(ptr.Load(ctx));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, 42);
+}
+
+TEST(MemoryProcletTest, StoreOverwrites) {
+  Fixture f;
+  Ref<MemoryProclet> mem = f.Make(0);
+  const Ctx ctx = f.rt->CtxOn(0);
+  DistPtr<std::string> ptr =
+      *f.sim.BlockOn(NewPtr<std::string>(ctx, mem, std::string("hello")));
+  EXPECT_TRUE(f.sim.BlockOn(ptr.Store(ctx, std::string("world!"))).ok());
+  EXPECT_EQ(*f.sim.BlockOn(ptr.Load(ctx)), "world!");
+}
+
+TEST(MemoryProcletTest, AllocationsChargeHeapAndHostMemory) {
+  Fixture f;
+  Ref<MemoryProclet> mem = f.Make(1);
+  const Ctx ctx = f.rt->CtxOn(0);
+  const int64_t before = f.cluster.machine(1).memory().used();
+  std::vector<int64_t> big(100000, 7);  // ~800 KB
+  DistPtr<std::vector<int64_t>> ptr =
+      *f.sim.BlockOn(NewPtr<std::vector<int64_t>>(ctx, mem, big));
+  const int64_t after = f.cluster.machine(1).memory().used();
+  EXPECT_GE(after - before, 800000);
+  EXPECT_TRUE(f.sim.BlockOn(ptr.Free(ctx)).ok());
+  EXPECT_EQ(f.cluster.machine(1).memory().used(), before);
+}
+
+TEST(MemoryProcletTest, FreeThenLoadFails) {
+  Fixture f;
+  Ref<MemoryProclet> mem = f.Make(0);
+  const Ctx ctx = f.rt->CtxOn(0);
+  DistPtr<int64_t> ptr = *f.sim.BlockOn(NewPtr<int64_t>(ctx, mem, 1));
+  EXPECT_TRUE(f.sim.BlockOn(ptr.Free(ctx)).ok());
+  EXPECT_EQ(f.sim.BlockOn(ptr.Load(ctx)).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(f.sim.BlockOn(ptr.Free(ctx)).code(), StatusCode::kNotFound);
+}
+
+TEST(MemoryProcletTest, TypeMismatchIsRejected) {
+  Fixture f;
+  Ref<MemoryProclet> mem = f.Make(0);
+  const Ctx ctx = f.rt->CtxOn(0);
+  DistPtr<int64_t> ptr = *f.sim.BlockOn(NewPtr<int64_t>(ctx, mem, 1));
+  DistPtr<double> wrong(ptr.home(), ptr.object_id());
+  EXPECT_EQ(f.sim.BlockOn(wrong.Load(ctx)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MemoryProcletTest, PointersSurviveMigration) {
+  Fixture f;
+  Ref<MemoryProclet> mem = f.Make(0);
+  const Ctx ctx = f.rt->CtxOn(0);
+  DistPtr<int64_t> ptr = *f.sim.BlockOn(NewPtr<int64_t>(ctx, mem, 99));
+  EXPECT_TRUE(f.sim.BlockOn(f.rt->Migrate(mem.id(), 1)).ok());
+  EXPECT_EQ(*f.sim.BlockOn(ptr.Load(ctx)), 99);  // location-transparent
+}
+
+TEST(MemoryProcletTest, RemoteLoadPaysWireTimeForPayload) {
+  Fixture f;
+  Ref<MemoryProclet> mem = f.Make(1);
+  const Ctx ctx = f.rt->CtxOn(0);
+  std::vector<int64_t> big(1000000, 1);  // 8 MB payload
+  DistPtr<std::vector<int64_t>> ptr =
+      *f.sim.BlockOn(NewPtr<std::vector<int64_t>>(ctx, mem, big));
+  const SimTime before = f.sim.Now();
+  auto loaded = f.sim.BlockOn(ptr.Load(ctx));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 1000000u);
+  // 8 MB at 12.5 GB/s is ~640us of response wire time.
+  EXPECT_GT(f.sim.Now() - before, 500_us);
+}
+
+TEST(MemoryProcletTest, ObjectCountTracksLiveObjects) {
+  Fixture f;
+  Ref<MemoryProclet> mem = f.Make(0);
+  const Ctx ctx = f.rt->CtxOn(0);
+  DistPtr<int64_t> a = *f.sim.BlockOn(NewPtr<int64_t>(ctx, mem, 1));
+  DistPtr<int64_t> b = *f.sim.BlockOn(NewPtr<int64_t>(ctx, mem, 2));
+  auto* p = f.rt->UnsafeGet<MemoryProclet>(mem.id());
+  EXPECT_EQ(p->object_count(), 2u);
+  EXPECT_TRUE(f.sim.BlockOn(a.Free(ctx)).ok());
+  EXPECT_EQ(p->object_count(), 1u);
+  (void)b;
+}
+
+}  // namespace
+}  // namespace quicksand

@@ -1,0 +1,158 @@
+// Property sweep: resource-accounting invariants hold under arbitrary
+// migration sequences.
+//
+// For any cluster shape and proclet population, after any sequence of
+// (possibly failing) migrations:
+//   I1. every machine's memory usage equals the sum of heaps it hosts,
+//   I2. total heap bytes are conserved,
+//   I3. every proclet remains reachable through invocation,
+//   I4. failed migrations leave placement unchanged.
+
+#include <gtest/gtest.h>
+
+#include "quicksand/common/bytes.h"
+#include "quicksand/common/random.h"
+#include "quicksand/proclet/memory_proclet.h"
+
+namespace quicksand {
+namespace {
+
+struct SweepParam {
+  int machines;
+  int proclets;
+  int64_t min_heap;
+  int64_t max_heap;
+  uint64_t seed;
+};
+
+class MigrationInvariantsTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(MigrationInvariantsTest, AccountingHoldsUnderRandomMigrations) {
+  const SweepParam param = GetParam();
+  Simulator sim;
+  Cluster cluster(sim);
+  for (int i = 0; i < param.machines; ++i) {
+    MachineSpec spec;
+    spec.cores = 4;
+    spec.memory_bytes = 1_GiB;
+    cluster.AddMachine(spec);
+  }
+  Runtime rt(sim, cluster);
+  const Ctx ctx = rt.CtxOn(0);
+  Rng rng(param.seed);
+
+  std::vector<Ref<MemoryProclet>> proclets;
+  int64_t total_heap = 0;
+  for (int i = 0; i < param.proclets; ++i) {
+    PlacementRequest req;
+    req.heap_bytes = rng.NextInRange(param.min_heap, param.max_heap);
+    total_heap += req.heap_bytes;
+    auto create = rt.Create<MemoryProclet>(ctx, req);
+    Result<Ref<MemoryProclet>> ref = sim.BlockOn(std::move(create));
+    ASSERT_TRUE(ref.ok());
+    proclets.push_back(*ref);
+  }
+
+  for (int step = 0; step < 200; ++step) {
+    const auto& victim = proclets[rng.NextBounded(proclets.size())];
+    const MachineId target =
+        static_cast<MachineId>(rng.NextBounded(static_cast<uint64_t>(param.machines)));
+    const MachineId before = victim.Location();
+    const Status status = sim.BlockOn(rt.Migrate(victim.id(), target));
+    if (!status.ok()) {
+      EXPECT_EQ(victim.Location(), before);  // I4
+    } else {
+      EXPECT_EQ(victim.Location(), target);
+    }
+  }
+
+  // I1: per-machine accounting matches hosted heaps.
+  std::vector<int64_t> hosted(cluster.size(), 0);
+  int64_t sum = 0;
+  for (const auto& ref : proclets) {
+    ProcletBase* p = rt.Find(ref.id());
+    ASSERT_NE(p, nullptr);
+    hosted[p->location()] += p->heap_bytes();
+    sum += p->heap_bytes();
+  }
+  for (MachineId m = 0; m < cluster.size(); ++m) {
+    EXPECT_EQ(cluster.machine(m).memory().used(), hosted[m]) << "machine " << m;
+  }
+  // I2: conservation.
+  EXPECT_EQ(sum, total_heap);
+
+  // I3: every proclet still answers invocations.
+  for (const auto& ref : proclets) {
+    auto call = ref.Call(ctx, [](MemoryProclet& p) -> Task<int64_t> {
+      co_return static_cast<int64_t>(p.object_count());
+    });
+    EXPECT_EQ(sim.BlockOn(std::move(call)), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MigrationInvariantsTest,
+    ::testing::Values(SweepParam{2, 4, 1 * kMiB, 8 * kMiB, 1},
+                      SweepParam{2, 16, 64 * kKiB, 1 * kMiB, 2},
+                      SweepParam{3, 8, 1 * kMiB, 32 * kMiB, 3},
+                      SweepParam{4, 32, 4 * kKiB, 256 * kKiB, 4},
+                      SweepParam{8, 24, 1 * kMiB, 16 * kMiB, 5},
+                      SweepParam{3, 3, 128 * kMiB, 256 * kMiB, 6}));
+
+class ConcurrentMigrationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConcurrentMigrationTest, RacingMigrationsNeverCorruptState) {
+  Simulator sim;
+  Cluster cluster(sim);
+  for (int i = 0; i < 3; ++i) {
+    MachineSpec spec;
+    spec.memory_bytes = 1_GiB;
+    cluster.AddMachine(spec);
+  }
+  Runtime rt(sim, cluster);
+  const Ctx ctx = rt.CtxOn(0);
+  Rng rng(GetParam());
+
+  PlacementRequest req;
+  req.heap_bytes = 32 * kMiB;
+  auto create = rt.Create<MemoryProclet>(ctx, req);
+  Ref<MemoryProclet> proclet = *sim.BlockOn(std::move(create));
+
+  // Fire many overlapping migration attempts; at most one at a time can
+  // win, the rest must fail cleanly with Aborted.
+  int64_t ok_count = 0;
+  int64_t aborted = 0;
+  std::vector<Fiber> racers;
+  for (int i = 0; i < 12; ++i) {
+    const MachineId target = static_cast<MachineId>(rng.NextBounded(3));
+    const Duration delay = Duration::Micros(rng.NextInRange(0, 500));
+    racers.push_back(sim.Spawn(
+        [](Runtime* r, Simulator* s, ProcletId id, MachineId t, Duration d,
+           int64_t* ok, int64_t* ab) -> Task<> {
+          co_await s->Sleep(d);
+          const Status status = co_await r->Migrate(id, t);
+          if (status.ok()) {
+            ++*ok;
+          } else if (status.code() == StatusCode::kAborted) {
+            ++*ab;
+          }
+        }(&rt, &sim, proclet.id(), target, delay, &ok_count, &aborted),
+        "racer"));
+  }
+  sim.BlockOn(JoinAll(std::move(racers)));
+  // State consistent afterwards.
+  ProcletBase* p = rt.Find(proclet.id());
+  ASSERT_NE(p, nullptr);
+  EXPECT_FALSE(p->gate_closed());
+  EXPECT_EQ(cluster.machine(p->location()).memory().used(), p->heap_bytes());
+  auto call = proclet.Call(ctx, [](MemoryProclet& m) -> Task<int64_t> {
+    co_return 7;
+  });
+  EXPECT_EQ(sim.BlockOn(std::move(call)), 7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConcurrentMigrationTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace quicksand

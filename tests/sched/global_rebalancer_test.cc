@@ -1,0 +1,114 @@
+#include "quicksand/sched/global_rebalancer.h"
+
+#include <gtest/gtest.h>
+
+#include "quicksand/common/bytes.h"
+#include "quicksand/proclet/memory_proclet.h"
+
+namespace quicksand {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  Cluster cluster{sim};
+  std::unique_ptr<Runtime> rt;
+
+  explicit Fixture(int machines = 3) {
+    for (int i = 0; i < machines; ++i) {
+      MachineSpec spec;
+      spec.cores = 4;
+      spec.memory_bytes = 1_GiB;
+      cluster.AddMachine(spec);
+    }
+    rt = std::make_unique<Runtime>(sim, cluster);
+  }
+
+  Ctx ctx() { return rt->CtxOn(0); }
+
+  Ref<MemoryProclet> MakeMem(MachineId where, int64_t heap) {
+    PlacementRequest req;
+    req.heap_bytes = heap;
+    req.pinned = where;
+    return *sim.BlockOn(rt->Create<MemoryProclet>(ctx(), req));
+  }
+};
+
+TEST(GlobalRebalancerTest, SpreadsMemoryFromCrowdedMachine) {
+  Fixture f;
+  // Machine 0 hosts 3 x 200 MiB; machines 1 and 2 are empty.
+  auto a = f.MakeMem(0, 200_MiB);
+  auto b = f.MakeMem(0, 200_MiB);
+  auto c = f.MakeMem(0, 200_MiB);
+  GlobalRebalancerConfig cfg;
+  cfg.improvement_threshold = 0.1;
+  GlobalRebalancer rebalancer(*f.rt, cfg);
+  const int moved = f.sim.BlockOn(rebalancer.RebalanceOnce());
+  EXPECT_GE(moved, 1);
+  std::set<MachineId> hosts = {a.Location(), b.Location(), c.Location()};
+  EXPECT_GE(hosts.size(), 2u);
+}
+
+TEST(GlobalRebalancerTest, BalancedClusterStaysPut) {
+  Fixture f;
+  auto a = f.MakeMem(0, 100_MiB);
+  auto b = f.MakeMem(1, 100_MiB);
+  auto c = f.MakeMem(2, 100_MiB);
+  GlobalRebalancer rebalancer(*f.rt);
+  const int moved = f.sim.BlockOn(rebalancer.RebalanceOnce());
+  EXPECT_EQ(moved, 0);
+  EXPECT_EQ(a.Location(), 0u);
+  EXPECT_EQ(b.Location(), 1u);
+  EXPECT_EQ(c.Location(), 2u);
+}
+
+TEST(GlobalRebalancerTest, AffinityColocatesChattyProclets) {
+  Fixture f(2);
+  auto a = f.MakeMem(0, 1_MiB);
+  auto b = f.MakeMem(1, 1_MiB);
+  // Record heavy traffic between a and b (well past the absolute-gain floor).
+  f.rt->RecordAffinity(a.id(), b.id(), 512_MiB);
+
+  GlobalRebalancerConfig cfg;
+  cfg.affinity_weight = 1.0;
+  cfg.improvement_threshold = 0.0;
+  GlobalRebalancer rebalancer(*f.rt, cfg);
+  (void)f.sim.BlockOn(rebalancer.RebalanceOnce());
+  EXPECT_EQ(a.Location(), b.Location());
+}
+
+TEST(GlobalRebalancerTest, BoundsMigrationsPerRound) {
+  Fixture f;
+  std::vector<Ref<MemoryProclet>> proclets;
+  for (int i = 0; i < 20; ++i) {
+    proclets.push_back(f.MakeMem(0, 20_MiB));
+  }
+  GlobalRebalancerConfig cfg;
+  cfg.max_migrations_per_round = 3;
+  cfg.improvement_threshold = 0.0;
+  GlobalRebalancer rebalancer(*f.rt, cfg);
+  const int moved = f.sim.BlockOn(rebalancer.RebalanceOnce());
+  EXPECT_LE(moved, 3);
+}
+
+TEST(GlobalRebalancerTest, PeriodicLoopConverges) {
+  Fixture f;
+  for (int i = 0; i < 9; ++i) {
+    f.MakeMem(0, 60_MiB);
+  }
+  GlobalRebalancerConfig cfg;
+  cfg.period = 5_ms;
+  cfg.improvement_threshold = 0.2;
+  GlobalRebalancer rebalancer(*f.rt, cfg);
+  rebalancer.Start();
+  f.sim.RunUntil(f.sim.Now() + 100_ms);
+  // Memory should be spread: no machine holds more than ~2/3 of the total.
+  int64_t max_used = 0;
+  for (MachineId m = 0; m < f.cluster.size(); ++m) {
+    max_used = std::max(max_used, f.cluster.machine(m).memory().used());
+  }
+  EXPECT_LE(max_used, 6 * 60_MiB);
+  EXPECT_GT(rebalancer.total_migrations(), 0);
+}
+
+}  // namespace
+}  // namespace quicksand

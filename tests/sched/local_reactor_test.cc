@@ -1,0 +1,154 @@
+#include "quicksand/sched/local_reactor.h"
+
+#include <gtest/gtest.h>
+
+#include "quicksand/cluster/antagonist.h"
+#include "quicksand/common/bytes.h"
+#include "quicksand/proclet/compute_proclet.h"
+
+namespace quicksand {
+namespace {
+
+// A trivial memory proclet for eviction tests.
+class MemoryProcletStub : public ProcletBase {
+ public:
+  static constexpr ProcletKind kKind = ProcletKind::kMemory;
+  explicit MemoryProcletStub(const ProcletInit& init) : ProcletBase(init) {}
+};
+
+struct Fixture {
+  Simulator sim;
+  Cluster cluster{sim};
+  std::unique_ptr<Runtime> rt;
+
+  explicit Fixture(int machines = 2, int cores = 2) {
+    for (int i = 0; i < machines; ++i) {
+      MachineSpec spec;
+      spec.cores = cores;
+      spec.memory_bytes = 1_GiB;
+      cluster.AddMachine(spec);
+    }
+    rt = std::make_unique<Runtime>(sim, cluster);
+  }
+
+  Ctx ctx() { return rt->CtxOn(0); }
+
+  Ref<ComputeProclet> MakeCompute(MachineId where, int workers = 2) {
+    PlacementRequest req;
+    req.heap_bytes = 4096;
+    req.pinned = where;
+    return *sim.BlockOn(rt->Create<ComputeProclet>(ctx(), req, workers));
+  }
+
+  Task<Status> Submit(Ref<ComputeProclet> cp, ComputeProclet::Job job) {
+    auto call = cp.Call(
+        ctx(), [job = std::move(job)](ComputeProclet& p) mutable -> Task<Status> {
+          co_return p.Submit(std::move(job));
+        });
+    co_return co_await std::move(call);
+  }
+};
+
+TEST(LocalReactorTest, CpuPressureEvictsComputeProclet) {
+  Fixture f;
+  Ref<ComputeProclet> cp = f.MakeCompute(0);
+  // Endless stream of burnable work.
+  int64_t done = 0;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(f.sim
+                    .BlockOn(f.Submit(cp,
+                                      [&done](Ctx job_ctx) -> Task<> {
+                                        (void)co_await MigratableBurn(job_ctx, 500_us);
+                                        ++done;
+                                      }))
+                    .ok());
+  }
+  LocalReactor reactor(*f.rt, 0);
+  reactor.Start();
+  // High-priority antagonist grabs both cores of machine 0.
+  PhasedAntagonistConfig cfg;
+  cfg.busy = 50_ms;
+  cfg.idle = 1_ms;
+  PhasedAntagonist antagonist(f.sim, f.cluster.machine(0), cfg);
+  antagonist.Start();
+
+  f.sim.RunUntil(f.sim.Now() + 20_ms);
+  // The proclet fled to machine 1 and kept completing work there.
+  EXPECT_EQ(cp.Location(), 1u);
+  EXPECT_GE(reactor.cpu_evictions(), 1);
+  EXPECT_GT(done, 20);
+}
+
+TEST(LocalReactorTest, NoEvictionWithoutPressure) {
+  Fixture f;
+  Ref<ComputeProclet> cp = f.MakeCompute(0);
+  int64_t done = 0;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(f.sim
+                    .BlockOn(f.Submit(cp,
+                                      [&done](Ctx job_ctx) -> Task<> {
+                                        (void)co_await MigratableBurn(job_ctx, 200_us);
+                                        ++done;
+                                      }))
+                    .ok());
+  }
+  LocalReactor reactor(*f.rt, 0);
+  reactor.Start();
+  f.sim.RunUntil(f.sim.Now() + 20_ms);
+  EXPECT_EQ(cp.Location(), 0u);
+  EXPECT_EQ(reactor.cpu_evictions(), 0);
+  EXPECT_EQ(done, 4);
+}
+
+TEST(LocalReactorTest, MemoryPressureEvictsMemoryProclets) {
+  Fixture f;
+  // Two memory proclets on machine 0 holding substantial heaps.
+  PlacementRequest req;
+  req.heap_bytes = 300_MiB;
+  req.pinned = MachineId{0};
+  auto a = *f.sim.BlockOn(f.rt->Create<MemoryProcletStub>(f.ctx(), req));
+  auto b = *f.sim.BlockOn(f.rt->Create<MemoryProcletStub>(f.ctx(), req));
+  // Push machine 0 over the (0.96) watermark with direct ballast.
+  QS_CHECK(f.cluster.machine(0).memory().TryCharge(390_MiB));
+
+  LocalReactor reactor(*f.rt, 0);
+  reactor.Start();
+  // A 300 MiB heap takes ~24ms of wire time to evacuate; give it room.
+  f.sim.RunUntil(f.sim.Now() + 100_ms);
+  EXPECT_GE(reactor.memory_evictions(), 1);
+  EXPECT_LT(f.cluster.machine(0).memory().utilization(), 0.96);
+  // At least one of them moved to machine 1.
+  EXPECT_TRUE(a.Location() == 1 || b.Location() == 1);
+}
+
+TEST(LocalReactorTest, CooldownPreventsPingPong) {
+  Fixture f;
+  Ref<ComputeProclet> cp = f.MakeCompute(0);
+  int64_t done = 0;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(f.sim
+                    .BlockOn(f.Submit(cp,
+                                      [&done](Ctx job_ctx) -> Task<> {
+                                        (void)co_await MigratableBurn(job_ctx, 500_us);
+                                        ++done;
+                                      }))
+                    .ok());
+  }
+  // Antagonists on BOTH machines: nowhere is free, but the reactor must not
+  // thrash the proclet back and forth every period.
+  PhasedAntagonistConfig cfg;
+  cfg.busy = 100_ms;
+  cfg.idle = 1_ms;
+  PhasedAntagonist a0(f.sim, f.cluster.machine(0), cfg);
+  PhasedAntagonist a1(f.sim, f.cluster.machine(1), cfg);
+  a0.Start();
+  a1.Start();
+  auto reactors = StartLocalReactors(*f.rt);
+  f.sim.RunUntil(f.sim.Now() + 30_ms);
+  const int64_t migrations = f.rt->stats().migrations;
+  // Cooldown (2ms) bounds migrations to ~15 in 30ms even in the worst case.
+  EXPECT_LE(migrations, 16);
+}
+
+}  // namespace
+}  // namespace quicksand

@@ -1,0 +1,200 @@
+#include "quicksand/sim/sync.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "quicksand/sim/simulator.h"
+
+namespace quicksand {
+namespace {
+
+// Note: coroutines must take `name` by value — a reference parameter would
+// dangle once the Spawn call's temporaries die.
+Task<> CriticalSection(Simulator& sim, Mutex& mu, std::vector<std::string>& log,
+                       std::string name) {
+  co_await mu.Lock();
+  log.push_back(name + ":enter");
+  co_await sim.Sleep(1_ms);
+  log.push_back(name + ":exit");
+  mu.Unlock();
+}
+
+TEST(MutexTest, MutualExclusionAcrossSleeps) {
+  Simulator sim;
+  Mutex mu(sim);
+  std::vector<std::string> log;
+  sim.Spawn(CriticalSection(sim, mu, log, "a"), "a");
+  sim.Spawn(CriticalSection(sim, mu, log, "b"), "b");
+  sim.RunUntilIdle();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], "a:enter");
+  EXPECT_EQ(log[1], "a:exit");
+  EXPECT_EQ(log[2], "b:enter");
+  EXPECT_EQ(log[3], "b:exit");
+}
+
+TEST(MutexTest, TryLock) {
+  Simulator sim;
+  Mutex mu(sim);
+  EXPECT_TRUE(mu.TryLock());
+  EXPECT_TRUE(mu.locked());
+  EXPECT_FALSE(mu.TryLock());
+  mu.Unlock();
+  EXPECT_FALSE(mu.locked());
+}
+
+Task<> UseGuard(Simulator& sim, Mutex& mu, bool& ran) {
+  {
+    MutexGuard guard = co_await mu.Acquire();
+    EXPECT_TRUE(mu.locked());
+    co_await sim.Sleep(1_us);
+  }
+  EXPECT_FALSE(mu.locked());
+  ran = true;
+}
+
+TEST(MutexTest, GuardUnlocksOnScopeExit) {
+  Simulator sim;
+  Mutex mu(sim);
+  bool ran = false;
+  sim.BlockOn(UseGuard(sim, mu, ran));
+  EXPECT_TRUE(ran);
+}
+
+Task<> Producer(Simulator& sim, Mutex& mu, CondVar& cv, int& value) {
+  co_await sim.Sleep(5_ms);
+  co_await mu.Lock();
+  value = 42;
+  cv.NotifyAll();
+  mu.Unlock();
+}
+
+Task<> Consumer(Simulator& sim, Mutex& mu, CondVar& cv, int& value, SimTime& woke) {
+  co_await mu.Lock();
+  while (value == 0) {
+    co_await cv.Wait(mu);
+  }
+  woke = sim.Now();
+  mu.Unlock();
+}
+
+TEST(CondVarTest, WaitBlocksUntilNotify) {
+  Simulator sim;
+  Mutex mu(sim);
+  CondVar cv(sim);
+  int value = 0;
+  SimTime woke = SimTime::Zero();
+  sim.Spawn(Consumer(sim, mu, cv, value, woke), "c");
+  sim.Spawn(Producer(sim, mu, cv, value), "p");
+  sim.RunUntilIdle();
+  EXPECT_EQ(value, 42);
+  EXPECT_EQ(woke, SimTime::Zero() + 5_ms);
+}
+
+Task<> AcquireN(Semaphore& sem, int64_t n, bool& got) {
+  co_await sem.Acquire(n);
+  got = true;
+}
+
+TEST(SemaphoreTest, BlocksWhenInsufficient) {
+  Simulator sim;
+  Semaphore sem(sim, 2);
+  bool got = false;
+  sim.Spawn(AcquireN(sem, 3, got), "a");
+  sim.RunUntilIdle();
+  EXPECT_FALSE(got);
+  sem.Release(1);
+  sim.RunUntilIdle();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(sem.count(), 0);
+}
+
+TEST(SemaphoreTest, TryAcquire) {
+  Simulator sim;
+  Semaphore sem(sim, 1);
+  EXPECT_TRUE(sem.TryAcquire());
+  EXPECT_FALSE(sem.TryAcquire());
+  sem.Release();
+  EXPECT_TRUE(sem.TryAcquire());
+}
+
+Task<> WaitEvent(SimEvent& ev, Simulator& sim, SimTime& when) {
+  co_await ev.Wait();
+  when = sim.Now();
+}
+
+TEST(SimEventTest, WaitersReleaseOnSet) {
+  Simulator sim;
+  SimEvent ev(sim);
+  SimTime w1 = SimTime::Zero();
+  SimTime w2 = SimTime::Zero();
+  sim.Spawn(WaitEvent(ev, sim, w1), "w1");
+  sim.Spawn(WaitEvent(ev, sim, w2), "w2");
+  sim.Schedule(7_ms, [&] { ev.Set(); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(w1, SimTime::Zero() + 7_ms);
+  EXPECT_EQ(w2, SimTime::Zero() + 7_ms);
+}
+
+TEST(SimEventTest, WaitAfterSetReturnsImmediately) {
+  Simulator sim;
+  SimEvent ev(sim);
+  ev.Set();
+  SimTime when = SimTime::Max();
+  sim.Spawn(WaitEvent(ev, sim, when), "w");
+  sim.RunUntilIdle();
+  EXPECT_EQ(when, SimTime::Zero());
+}
+
+TEST(SimEventTest, ResetRearmsEvent) {
+  Simulator sim;
+  SimEvent ev(sim);
+  ev.Set();
+  ev.Reset();
+  EXPECT_FALSE(ev.is_set());
+  SimTime when = SimTime::Max();
+  sim.Spawn(WaitEvent(ev, sim, when), "w");
+  sim.RunUntil(SimTime::Zero() + 1_ms);
+  EXPECT_EQ(when, SimTime::Max());  // still blocked
+  ev.Set();
+  sim.RunUntilIdle();
+  EXPECT_EQ(when, SimTime::Zero() + 1_ms);
+}
+
+Task<> WorkerDone(Simulator& sim, WaitGroup& wg, Duration d) {
+  co_await sim.Sleep(d);
+  wg.Done();
+}
+
+Task<> WaitGroupWaiter(WaitGroup& wg, Simulator& sim, SimTime& when) {
+  co_await wg.Wait();
+  when = sim.Now();
+}
+
+TEST(WaitGroupTest, WaitsForAllWorkers) {
+  Simulator sim;
+  WaitGroup wg(sim);
+  wg.Add(3);
+  sim.Spawn(WorkerDone(sim, wg, 1_ms), "w1");
+  sim.Spawn(WorkerDone(sim, wg, 5_ms), "w2");
+  sim.Spawn(WorkerDone(sim, wg, 3_ms), "w3");
+  SimTime when = SimTime::Zero();
+  sim.Spawn(WaitGroupWaiter(wg, sim, when), "waiter");
+  sim.RunUntilIdle();
+  EXPECT_EQ(when, SimTime::Zero() + 5_ms);
+  EXPECT_EQ(wg.count(), 0);
+}
+
+TEST(WaitGroupTest, WaitOnZeroReturnsImmediately) {
+  Simulator sim;
+  WaitGroup wg(sim);
+  SimTime when = SimTime::Max();
+  sim.Spawn(WaitGroupWaiter(wg, sim, when), "waiter");
+  sim.RunUntilIdle();
+  EXPECT_EQ(when, SimTime::Zero());
+}
+
+}  // namespace
+}  // namespace quicksand

@@ -1,0 +1,143 @@
+#include "quicksand/storage/flat_storage.h"
+
+#include <gtest/gtest.h>
+
+#include "quicksand/common/bytes.h"
+
+namespace quicksand {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  Cluster cluster{sim};
+  std::unique_ptr<Runtime> rt;
+
+  explicit Fixture(int machines = 4) {
+    for (int i = 0; i < machines; ++i) {
+      MachineSpec spec;
+      spec.memory_bytes = 2_GiB;
+      spec.disk.capacity_bytes = 1_GiB;
+      spec.disk.iops = 10000;
+      spec.disk.bandwidth_bytes_per_sec = 500'000'000;
+      cluster.AddMachine(spec);
+    }
+    rt = std::make_unique<Runtime>(sim, cluster);
+  }
+
+  Ctx ctx() { return rt->CtxOn(0); }
+
+  FlatStorage Make(int proclets) {
+    FlatStorage::Options options;
+    options.proclets = proclets;
+    return *sim.BlockOn(FlatStorage::Create(ctx(), options));
+  }
+};
+
+TEST(FlatStorageTest, WriteReadRoundTrip) {
+  Fixture f;
+  FlatStorage storage = f.Make(4);
+  for (uint64_t id = 0; id < 32; ++id) {
+    EXPECT_TRUE(
+        f.sim.BlockOn(storage.Write(f.ctx(), id, "obj" + std::to_string(id))).ok());
+  }
+  for (uint64_t id = 0; id < 32; ++id) {
+    Result<std::string> v = f.sim.BlockOn(storage.Read(f.ctx(), id));
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, "obj" + std::to_string(id));
+  }
+}
+
+TEST(FlatStorageTest, MissingObjectIsNotFound) {
+  Fixture f;
+  FlatStorage storage = f.Make(2);
+  EXPECT_EQ(f.sim.BlockOn(storage.Read(f.ctx(), 404)).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(FlatStorageTest, DeleteRemoves) {
+  Fixture f;
+  FlatStorage storage = f.Make(2);
+  EXPECT_TRUE(f.sim.BlockOn(storage.Write(f.ctx(), 1, "x")).ok());
+  EXPECT_TRUE(f.sim.BlockOn(storage.Delete(f.ctx(), 1)).ok());
+  EXPECT_EQ(f.sim.BlockOn(storage.Read(f.ctx(), 1)).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(FlatStorageTest, ProcletsSpreadAcrossMachines) {
+  Fixture f(4);
+  FlatStorage storage = f.Make(4);
+  std::set<MachineId> machines;
+  for (const auto& member : storage.members()) {
+    machines.insert(member.Location());
+  }
+  EXPECT_EQ(machines.size(), 4u);
+}
+
+TEST(FlatStorageTest, ObjectsHashAcrossProclets) {
+  Fixture f;
+  FlatStorage storage = f.Make(4);
+  for (uint64_t id = 0; id < 64; ++id) {
+    EXPECT_TRUE(f.sim.BlockOn(storage.Write(f.ctx(), id, std::string(100, 'x'))).ok());
+  }
+  int nonempty = 0;
+  for (const auto& member : storage.members()) {
+    auto* p = f.rt->UnsafeGet<StorageProclet>(member.id());
+    if (p != nullptr && p->object_count() > 0) {
+      ++nonempty;
+    }
+  }
+  EXPECT_GE(nonempty, 3);  // hashing spreads 64 objects over 4 proclets
+}
+
+Task<Duration> TimedWrites(Fixture& f, FlatStorage& storage, int n, int64_t bytes) {
+  const SimTime start = f.sim.Now();
+  std::vector<Fiber> writers;
+  for (int i = 0; i < n; ++i) {
+    writers.push_back(f.sim.Spawn(
+        [](FlatStorage* s, Ctx ctx, uint64_t id, int64_t b) -> Task<> {
+          auto write = s->Write(ctx, id, std::string(static_cast<size_t>(b), 'x'));
+          Status st = co_await std::move(write);
+          EXPECT_TRUE(st.ok());
+        }(&storage, f.ctx(), static_cast<uint64_t>(i), bytes),
+        "writer"));
+  }
+  co_await JoinAll(std::move(writers));
+  co_return f.sim.Now() - start;
+}
+
+TEST(FlatStorageTest, MoreProcletsAggregateDiskThroughput) {
+  // 64 concurrent 1MB writes: with 1 proclet they serialize on one disk;
+  // with 4 proclets on 4 machines they use 4 disks.
+  Fixture f1;
+  FlatStorage one = f1.Make(1);
+  const Duration t_one = f1.sim.BlockOn(TimedWrites(f1, one, 64, 1'000'000));
+
+  Fixture f4;
+  FlatStorage four = f4.Make(4);
+  const Duration t_four = f4.sim.BlockOn(TimedWrites(f4, four, 64, 1'000'000));
+
+  EXPECT_LT(t_four, t_one * 0.5);  // at least 2x aggregate speedup
+}
+
+TEST(FlatStorageTest, StoredBytesAggregates) {
+  Fixture f;
+  FlatStorage storage = f.Make(3);
+  EXPECT_EQ(storage.StoredBytes(*f.rt), 0);
+  EXPECT_TRUE(f.sim.BlockOn(storage.Write(f.ctx(), 1, std::string(1000, 'a'))).ok());
+  EXPECT_TRUE(f.sim.BlockOn(storage.Write(f.ctx(), 2, std::string(500, 'b'))).ok());
+  EXPECT_GE(storage.StoredBytes(*f.rt), 1500);
+}
+
+TEST(FlatStorageTest, ShutdownReleasesEverything) {
+  Fixture f;
+  FlatStorage storage = f.Make(3);
+  EXPECT_TRUE(f.sim.BlockOn(storage.Write(f.ctx(), 1, std::string(1000, 'a'))).ok());
+  f.sim.BlockOn(storage.Shutdown(f.ctx()));
+  f.sim.RunUntilIdle();
+  for (MachineId m = 0; m < f.cluster.size(); ++m) {
+    EXPECT_EQ(f.cluster.machine(m).disk().capacity().used(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace quicksand
