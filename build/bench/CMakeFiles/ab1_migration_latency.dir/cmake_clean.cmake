@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab1_migration_latency.dir/ab1_migration_latency.cc.o"
+  "CMakeFiles/ab1_migration_latency.dir/ab1_migration_latency.cc.o.d"
+  "ab1_migration_latency"
+  "ab1_migration_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab1_migration_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ab1_migration_latency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab2_locality_prefetch.dir/ab2_locality_prefetch.cc.o"
+  "CMakeFiles/ab2_locality_prefetch.dir/ab2_locality_prefetch.cc.o.d"
+  "ab2_locality_prefetch"
+  "ab2_locality_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab2_locality_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ab2_locality_prefetch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ab2_locality_prefetch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab3_split_merge.dir/ab3_split_merge.cc.o"
+  "CMakeFiles/ab3_split_merge.dir/ab3_split_merge.cc.o.d"
+  "ab3_split_merge"
+  "ab3_split_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab3_split_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

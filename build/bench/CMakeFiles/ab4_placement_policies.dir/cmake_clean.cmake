@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab4_placement_policies.dir/ab4_placement_policies.cc.o"
+  "CMakeFiles/ab4_placement_policies.dir/ab4_placement_policies.cc.o.d"
+  "ab4_placement_policies"
+  "ab4_placement_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab4_placement_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

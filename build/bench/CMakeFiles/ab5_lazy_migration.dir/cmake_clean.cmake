@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab5_lazy_migration.dir/ab5_lazy_migration.cc.o"
+  "CMakeFiles/ab5_lazy_migration.dir/ab5_lazy_migration.cc.o.d"
+  "ab5_lazy_migration"
+  "ab5_lazy_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab5_lazy_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

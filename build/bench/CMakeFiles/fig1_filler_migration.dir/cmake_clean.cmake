@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_filler_migration.dir/fig1_filler_migration.cc.o"
+  "CMakeFiles/fig1_filler_migration.dir/fig1_filler_migration.cc.o.d"
+  "fig1_filler_migration"
+  "fig1_filler_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_filler_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_imbalanced_pipeline.dir/fig2_imbalanced_pipeline.cc.o"
+  "CMakeFiles/fig2_imbalanced_pipeline.dir/fig2_imbalanced_pipeline.cc.o.d"
+  "fig2_imbalanced_pipeline"
+  "fig2_imbalanced_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_imbalanced_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

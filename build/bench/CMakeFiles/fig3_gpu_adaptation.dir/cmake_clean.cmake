@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_gpu_adaptation.dir/fig3_gpu_adaptation.cc.o"
+  "CMakeFiles/fig3_gpu_adaptation.dir/fig3_gpu_adaptation.cc.o.d"
+  "fig3_gpu_adaptation"
+  "fig3_gpu_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_gpu_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

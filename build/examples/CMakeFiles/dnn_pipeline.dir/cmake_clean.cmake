@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_pipeline.dir/dnn_pipeline.cpp.o"
+  "CMakeFiles/dnn_pipeline.dir/dnn_pipeline.cpp.o.d"
+  "dnn_pipeline"
+  "dnn_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

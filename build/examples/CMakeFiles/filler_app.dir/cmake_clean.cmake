@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filler_app.dir/filler_app.cpp.o"
+  "CMakeFiles/filler_app.dir/filler_app.cpp.o.d"
+  "filler_app"
+  "filler_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filler_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_storage_demo.dir/flat_storage_demo.cpp.o"
+  "CMakeFiles/flat_storage_demo.dir/flat_storage_demo.cpp.o.d"
+  "flat_storage_demo"
+  "flat_storage_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_storage_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

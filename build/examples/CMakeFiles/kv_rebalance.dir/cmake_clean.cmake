@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_rebalance.dir/kv_rebalance.cpp.o"
+  "CMakeFiles/kv_rebalance.dir/kv_rebalance.cpp.o.d"
+  "kv_rebalance"
+  "kv_rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

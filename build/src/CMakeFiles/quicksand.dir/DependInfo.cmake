@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quicksand/adapt/stage_scaler.cc" "src/CMakeFiles/quicksand.dir/quicksand/adapt/stage_scaler.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/adapt/stage_scaler.cc.o.d"
+  "/root/repo/src/quicksand/app/preprocess_stage.cc" "src/CMakeFiles/quicksand.dir/quicksand/app/preprocess_stage.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/app/preprocess_stage.cc.o.d"
+  "/root/repo/src/quicksand/cluster/antagonist.cc" "src/CMakeFiles/quicksand.dir/quicksand/cluster/antagonist.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/cluster/antagonist.cc.o.d"
+  "/root/repo/src/quicksand/cluster/cpu.cc" "src/CMakeFiles/quicksand.dir/quicksand/cluster/cpu.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/cluster/cpu.cc.o.d"
+  "/root/repo/src/quicksand/cluster/disk.cc" "src/CMakeFiles/quicksand.dir/quicksand/cluster/disk.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/cluster/disk.cc.o.d"
+  "/root/repo/src/quicksand/cluster/machine.cc" "src/CMakeFiles/quicksand.dir/quicksand/cluster/machine.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/cluster/machine.cc.o.d"
+  "/root/repo/src/quicksand/cluster/metrics.cc" "src/CMakeFiles/quicksand.dir/quicksand/cluster/metrics.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/cluster/metrics.cc.o.d"
+  "/root/repo/src/quicksand/common/bytes.cc" "src/CMakeFiles/quicksand.dir/quicksand/common/bytes.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/common/bytes.cc.o.d"
+  "/root/repo/src/quicksand/common/logging.cc" "src/CMakeFiles/quicksand.dir/quicksand/common/logging.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/common/logging.cc.o.d"
+  "/root/repo/src/quicksand/common/random.cc" "src/CMakeFiles/quicksand.dir/quicksand/common/random.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/common/random.cc.o.d"
+  "/root/repo/src/quicksand/common/stats.cc" "src/CMakeFiles/quicksand.dir/quicksand/common/stats.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/common/stats.cc.o.d"
+  "/root/repo/src/quicksand/common/status.cc" "src/CMakeFiles/quicksand.dir/quicksand/common/status.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/common/status.cc.o.d"
+  "/root/repo/src/quicksand/common/time.cc" "src/CMakeFiles/quicksand.dir/quicksand/common/time.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/common/time.cc.o.d"
+  "/root/repo/src/quicksand/net/fabric.cc" "src/CMakeFiles/quicksand.dir/quicksand/net/fabric.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/net/fabric.cc.o.d"
+  "/root/repo/src/quicksand/net/rpc.cc" "src/CMakeFiles/quicksand.dir/quicksand/net/rpc.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/net/rpc.cc.o.d"
+  "/root/repo/src/quicksand/proclet/compute_proclet.cc" "src/CMakeFiles/quicksand.dir/quicksand/proclet/compute_proclet.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/proclet/compute_proclet.cc.o.d"
+  "/root/repo/src/quicksand/proclet/storage_proclet.cc" "src/CMakeFiles/quicksand.dir/quicksand/proclet/storage_proclet.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/proclet/storage_proclet.cc.o.d"
+  "/root/repo/src/quicksand/runtime/proclet.cc" "src/CMakeFiles/quicksand.dir/quicksand/runtime/proclet.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/runtime/proclet.cc.o.d"
+  "/root/repo/src/quicksand/runtime/runtime.cc" "src/CMakeFiles/quicksand.dir/quicksand/runtime/runtime.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/runtime/runtime.cc.o.d"
+  "/root/repo/src/quicksand/sched/global_rebalancer.cc" "src/CMakeFiles/quicksand.dir/quicksand/sched/global_rebalancer.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/sched/global_rebalancer.cc.o.d"
+  "/root/repo/src/quicksand/sched/local_reactor.cc" "src/CMakeFiles/quicksand.dir/quicksand/sched/local_reactor.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/sched/local_reactor.cc.o.d"
+  "/root/repo/src/quicksand/sched/placement.cc" "src/CMakeFiles/quicksand.dir/quicksand/sched/placement.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/sched/placement.cc.o.d"
+  "/root/repo/src/quicksand/sim/fiber.cc" "src/CMakeFiles/quicksand.dir/quicksand/sim/fiber.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/sim/fiber.cc.o.d"
+  "/root/repo/src/quicksand/sim/simulator.cc" "src/CMakeFiles/quicksand.dir/quicksand/sim/simulator.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/sim/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_pool_scaler_test.dir/adapt/pool_scaler_test.cc.o"
+  "CMakeFiles/adapt_pool_scaler_test.dir/adapt/pool_scaler_test.cc.o.d"
+  "adapt_pool_scaler_test"
+  "adapt_pool_scaler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_pool_scaler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

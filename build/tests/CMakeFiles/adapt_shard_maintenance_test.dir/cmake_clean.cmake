@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_shard_maintenance_test.dir/adapt/shard_maintenance_test.cc.o"
+  "CMakeFiles/adapt_shard_maintenance_test.dir/adapt/shard_maintenance_test.cc.o.d"
+  "adapt_shard_maintenance_test"
+  "adapt_shard_maintenance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_shard_maintenance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

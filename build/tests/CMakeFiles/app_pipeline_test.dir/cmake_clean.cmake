@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_pipeline_test.dir/app/pipeline_test.cc.o"
+  "CMakeFiles/app_pipeline_test.dir/app/pipeline_test.cc.o.d"
+  "app_pipeline_test"
+  "app_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_antagonist_test.dir/cluster/antagonist_test.cc.o"
+  "CMakeFiles/cluster_antagonist_test.dir/cluster/antagonist_test.cc.o.d"
+  "cluster_antagonist_test"
+  "cluster_antagonist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_antagonist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

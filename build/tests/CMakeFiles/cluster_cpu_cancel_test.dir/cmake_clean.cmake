@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_cpu_cancel_test.dir/cluster/cpu_cancel_test.cc.o"
+  "CMakeFiles/cluster_cpu_cancel_test.dir/cluster/cpu_cancel_test.cc.o.d"
+  "cluster_cpu_cancel_test"
+  "cluster_cpu_cancel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_cpu_cancel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_memory_test.dir/cluster/memory_test.cc.o"
+  "CMakeFiles/cluster_memory_test.dir/cluster/memory_test.cc.o.d"
+  "cluster_memory_test"
+  "cluster_memory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

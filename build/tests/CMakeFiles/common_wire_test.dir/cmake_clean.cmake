@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_wire_test.dir/common/wire_test.cc.o"
+  "CMakeFiles/common_wire_test.dir/common/wire_test.cc.o.d"
+  "common_wire_test"
+  "common_wire_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compute_dist_pool_test.dir/compute/dist_pool_test.cc.o"
+  "CMakeFiles/compute_dist_pool_test.dir/compute/dist_pool_test.cc.o.d"
+  "compute_dist_pool_test"
+  "compute_dist_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compute_dist_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compute_parallel_test.dir/compute/parallel_test.cc.o"
+  "CMakeFiles/compute_parallel_test.dir/compute/parallel_test.cc.o.d"
+  "compute_parallel_test"
+  "compute_parallel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compute_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

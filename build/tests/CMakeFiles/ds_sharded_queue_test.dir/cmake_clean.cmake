@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_sharded_queue_test.dir/ds/sharded_queue_test.cc.o"
+  "CMakeFiles/ds_sharded_queue_test.dir/ds/sharded_queue_test.cc.o.d"
+  "ds_sharded_queue_test"
+  "ds_sharded_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_sharded_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

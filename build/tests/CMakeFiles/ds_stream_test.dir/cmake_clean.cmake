@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_stream_test.dir/ds/stream_test.cc.o"
+  "CMakeFiles/ds_stream_test.dir/ds/stream_test.cc.o.d"
+  "ds_stream_test"
+  "ds_stream_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_figures_test.dir/integration/figures_test.cc.o"
+  "CMakeFiles/integration_figures_test.dir/integration/figures_test.cc.o.d"
+  "integration_figures_test"
+  "integration_figures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_figures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

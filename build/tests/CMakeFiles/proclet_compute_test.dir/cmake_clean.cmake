@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proclet_compute_test.dir/proclet/compute_proclet_test.cc.o"
+  "CMakeFiles/proclet_compute_test.dir/proclet/compute_proclet_test.cc.o.d"
+  "proclet_compute_test"
+  "proclet_compute_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proclet_compute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

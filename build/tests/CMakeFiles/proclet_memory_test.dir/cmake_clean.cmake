@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proclet_memory_test.dir/proclet/memory_proclet_test.cc.o"
+  "CMakeFiles/proclet_memory_test.dir/proclet/memory_proclet_test.cc.o.d"
+  "proclet_memory_test"
+  "proclet_memory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proclet_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proclet_storage_test.dir/proclet/storage_proclet_test.cc.o"
+  "CMakeFiles/proclet_storage_test.dir/proclet/storage_proclet_test.cc.o.d"
+  "proclet_storage_test"
+  "proclet_storage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proclet_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

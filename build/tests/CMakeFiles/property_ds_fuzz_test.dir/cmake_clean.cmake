@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_ds_fuzz_test.dir/property/ds_fuzz_test.cc.o"
+  "CMakeFiles/property_ds_fuzz_test.dir/property/ds_fuzz_test.cc.o.d"
+  "property_ds_fuzz_test"
+  "property_ds_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_ds_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

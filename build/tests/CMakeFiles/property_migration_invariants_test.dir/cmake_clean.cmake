@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_migration_invariants_test.dir/property/migration_invariants_test.cc.o"
+  "CMakeFiles/property_migration_invariants_test.dir/property/migration_invariants_test.cc.o.d"
+  "property_migration_invariants_test"
+  "property_migration_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_migration_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

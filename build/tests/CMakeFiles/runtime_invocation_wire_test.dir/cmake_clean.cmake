@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_invocation_wire_test.dir/runtime/invocation_wire_test.cc.o"
+  "CMakeFiles/runtime_invocation_wire_test.dir/runtime/invocation_wire_test.cc.o.d"
+  "runtime_invocation_wire_test"
+  "runtime_invocation_wire_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_invocation_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_lazy_migration_test.dir/runtime/lazy_migration_test.cc.o"
+  "CMakeFiles/runtime_lazy_migration_test.dir/runtime/lazy_migration_test.cc.o.d"
+  "runtime_lazy_migration_test"
+  "runtime_lazy_migration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_lazy_migration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_global_rebalancer_test.dir/sched/global_rebalancer_test.cc.o"
+  "CMakeFiles/sched_global_rebalancer_test.dir/sched/global_rebalancer_test.cc.o.d"
+  "sched_global_rebalancer_test"
+  "sched_global_rebalancer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_global_rebalancer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_local_reactor_test.dir/sched/local_reactor_test.cc.o"
+  "CMakeFiles/sched_local_reactor_test.dir/sched/local_reactor_test.cc.o.d"
+  "sched_local_reactor_test"
+  "sched_local_reactor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_local_reactor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_placement_test.dir/sched/placement_test.cc.o"
+  "CMakeFiles/sched_placement_test.dir/sched/placement_test.cc.o.d"
+  "sched_placement_test"
+  "sched_placement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharding_shard_index_test.dir/sharding/shard_index_test.cc.o"
+  "CMakeFiles/sharding_shard_index_test.dir/sharding/shard_index_test.cc.o.d"
+  "sharding_shard_index_test"
+  "sharding_shard_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharding_shard_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_gcc_coro_regression_test.dir/sim/gcc_coro_regression_test.cc.o"
+  "CMakeFiles/sim_gcc_coro_regression_test.dir/sim/gcc_coro_regression_test.cc.o.d"
+  "sim_gcc_coro_regression_test"
+  "sim_gcc_coro_regression_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_gcc_coro_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
