@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab6_revocation.dir/ab6_revocation.cc.o"
+  "CMakeFiles/ab6_revocation.dir/ab6_revocation.cc.o.d"
+  "ab6_revocation"
+  "ab6_revocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab6_revocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

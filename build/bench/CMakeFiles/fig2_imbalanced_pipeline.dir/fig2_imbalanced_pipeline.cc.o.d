@@ -248,6 +248,8 @@ bench/CMakeFiles/fig2_imbalanced_pipeline.dir/fig2_imbalanced_pipeline.cc.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/quicksand/cluster/cluster.h \
  /root/repo/src/quicksand/cluster/machine.h \
  /root/repo/src/quicksand/cluster/cpu.h /usr/include/c++/12/coroutine \
@@ -255,8 +257,6 @@ bench/CMakeFiles/fig2_imbalanced_pipeline.dir/fig2_imbalanced_pipeline.cc.o: \
  /root/repo/src/quicksand/sim/simulator.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/quicksand/sim/fiber.h /root/repo/src/quicksand/sim/task.h \
  /root/repo/src/quicksand/cluster/disk.h \
  /root/repo/src/quicksand/cluster/memory.h \

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/quicksand/cluster/antagonist.cc" "src/CMakeFiles/quicksand.dir/quicksand/cluster/antagonist.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/cluster/antagonist.cc.o.d"
   "/root/repo/src/quicksand/cluster/cpu.cc" "src/CMakeFiles/quicksand.dir/quicksand/cluster/cpu.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/cluster/cpu.cc.o.d"
   "/root/repo/src/quicksand/cluster/disk.cc" "src/CMakeFiles/quicksand.dir/quicksand/cluster/disk.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/cluster/disk.cc.o.d"
+  "/root/repo/src/quicksand/cluster/fault_injector.cc" "src/CMakeFiles/quicksand.dir/quicksand/cluster/fault_injector.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/cluster/fault_injector.cc.o.d"
   "/root/repo/src/quicksand/cluster/machine.cc" "src/CMakeFiles/quicksand.dir/quicksand/cluster/machine.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/cluster/machine.cc.o.d"
   "/root/repo/src/quicksand/cluster/metrics.cc" "src/CMakeFiles/quicksand.dir/quicksand/cluster/metrics.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/cluster/metrics.cc.o.d"
   "/root/repo/src/quicksand/common/bytes.cc" "src/CMakeFiles/quicksand.dir/quicksand/common/bytes.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/common/bytes.cc.o.d"
@@ -27,6 +28,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/quicksand/proclet/storage_proclet.cc" "src/CMakeFiles/quicksand.dir/quicksand/proclet/storage_proclet.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/proclet/storage_proclet.cc.o.d"
   "/root/repo/src/quicksand/runtime/proclet.cc" "src/CMakeFiles/quicksand.dir/quicksand/runtime/proclet.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/runtime/proclet.cc.o.d"
   "/root/repo/src/quicksand/runtime/runtime.cc" "src/CMakeFiles/quicksand.dir/quicksand/runtime/runtime.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/runtime/runtime.cc.o.d"
+  "/root/repo/src/quicksand/sched/evacuator.cc" "src/CMakeFiles/quicksand.dir/quicksand/sched/evacuator.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/sched/evacuator.cc.o.d"
   "/root/repo/src/quicksand/sched/global_rebalancer.cc" "src/CMakeFiles/quicksand.dir/quicksand/sched/global_rebalancer.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/sched/global_rebalancer.cc.o.d"
   "/root/repo/src/quicksand/sched/local_reactor.cc" "src/CMakeFiles/quicksand.dir/quicksand/sched/local_reactor.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/sched/local_reactor.cc.o.d"
   "/root/repo/src/quicksand/sched/placement.cc" "src/CMakeFiles/quicksand.dir/quicksand/sched/placement.cc.o" "gcc" "src/CMakeFiles/quicksand.dir/quicksand/sched/placement.cc.o.d"

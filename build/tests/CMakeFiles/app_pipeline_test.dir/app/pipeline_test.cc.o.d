@@ -326,13 +326,14 @@ tests/CMakeFiles/app_pipeline_test.dir/app/pipeline_test.cc.o: \
  /root/repo/src/quicksand/common/status.h \
  /root/repo/src/quicksand/common/wire.h \
  /root/repo/src/quicksand/runtime/runtime.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/quicksand/cluster/cluster.h \
  /root/repo/src/quicksand/cluster/machine.h \
  /root/repo/src/quicksand/cluster/cpu.h /usr/include/c++/12/coroutine \
  /root/repo/src/quicksand/common/stats.h \
  /root/repo/src/quicksand/sim/simulator.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/quicksand/sim/fiber.h /root/repo/src/quicksand/sim/task.h \
  /root/repo/src/quicksand/cluster/disk.h \
  /root/repo/src/quicksand/cluster/memory.h \

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_failure_recovery_test.dir/integration/failure_recovery_test.cc.o"
+  "CMakeFiles/integration_failure_recovery_test.dir/integration/failure_recovery_test.cc.o.d"
+  "integration_failure_recovery_test"
+  "integration_failure_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_failure_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -301,26 +301,19 @@ tests/CMakeFiles/property_ds_fuzz_test.dir/property/ds_fuzz_test.cc.o: \
  /root/repo/src/quicksand/common/check.h \
  /root/repo/src/quicksand/common/wire.h \
  /root/repo/src/quicksand/runtime/runtime.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/quicksand/cluster/cluster.h \
  /root/repo/src/quicksand/cluster/machine.h \
  /root/repo/src/quicksand/cluster/cpu.h /usr/include/c++/12/coroutine \
  /root/repo/src/quicksand/common/stats.h \
  /root/repo/src/quicksand/common/time.h \
  /root/repo/src/quicksand/sim/simulator.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/quicksand/sim/fiber.h /root/repo/src/quicksand/sim/task.h \
  /root/repo/src/quicksand/cluster/disk.h \
  /root/repo/src/quicksand/cluster/memory.h \
  /root/repo/src/quicksand/net/fabric.h /root/repo/src/quicksand/net/rpc.h \
- /root/repo/src/quicksand/runtime/proclet.h \
- /root/repo/src/quicksand/sim/wait_queue.h \
- /root/repo/src/quicksand/sched/placement.h \
- /root/repo/src/quicksand/sharding/shard_index.h \
- /root/repo/src/quicksand/ds/sharded_vector.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/quicksand/common/random.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -343,4 +336,12 @@ tests/CMakeFiles/property_ds_fuzz_test.dir/property/ds_fuzz_test.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/quicksand/runtime/proclet.h \
+ /root/repo/src/quicksand/sim/wait_queue.h \
+ /root/repo/src/quicksand/sched/placement.h \
+ /root/repo/src/quicksand/sharding/shard_index.h \
+ /root/repo/src/quicksand/ds/sharded_vector.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/quicksand/ds/sharded_queue.h

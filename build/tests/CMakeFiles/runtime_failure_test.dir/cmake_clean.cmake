@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_failure_test.dir/runtime/failure_test.cc.o"
+  "CMakeFiles/runtime_failure_test.dir/runtime/failure_test.cc.o.d"
+  "runtime_failure_test"
+  "runtime_failure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_migration_failure_test.dir/runtime/migration_failure_test.cc.o"
+  "CMakeFiles/runtime_migration_failure_test.dir/runtime/migration_failure_test.cc.o.d"
+  "runtime_migration_failure_test"
+  "runtime_migration_failure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_migration_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

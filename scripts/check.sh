@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build + ctest, plain and sanitized (ASan+UBSan).
+#
+# Usage: scripts/check.sh [--plain-only|--sanitize-only]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+mode="all"
+case "${1:-}" in
+  --plain-only) mode="plain" ;;
+  --sanitize-only) mode="sanitize" ;;
+  "") ;;
+  *) echo "usage: $0 [--plain-only|--sanitize-only]" >&2; exit 2 ;;
+esac
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  cmake -B "$build_dir" -S . "$@" >/dev/null
+  cmake --build "$build_dir" -j"$jobs"
+  ctest --test-dir "$build_dir" --output-on-failure
+}
+
+if [[ "$mode" == "all" || "$mode" == "plain" ]]; then
+  echo "== plain build + ctest =="
+  run_suite build
+fi
+
+if [[ "$mode" == "all" || "$mode" == "sanitize" ]]; then
+  echo "== ASan+UBSan build + ctest =="
+  run_suite build-asan -DQUICKSAND_SANITIZE=ON
+fi
+
+echo "== all checks passed =="

@@ -71,26 +71,65 @@ CpuScheduler::~CpuScheduler() = default;
 
 Task<> CpuScheduler::Run(Duration work, int priority) {
   QS_CHECK(priority >= 0);
+  if (halted_) {
+    co_return;
+  }
   co_await CpuRunAwaiter{*this, work, priority, nullptr, {}};
 }
 
 Task<Duration> CpuScheduler::RunCancellable(Duration work, int priority,
                                             CpuCancelToken& token) {
   QS_CHECK(priority >= 0);
-  if (token.cancelled()) {
+  if (token.cancelled() || halted_) {
     co_return work;
   }
   const Duration remaining = co_await CpuRunAwaiter{*this, work, priority, &token, {}};
   co_return remaining;
 }
 
+void CpuScheduler::Halt() {
+  if (halted_) {
+    return;
+  }
+  halted_ = true;
+  for (auto& [priority, queue] : ready_) {
+    for (Request* request : queue) {
+      request->cancelled = true;
+      --runnable_count_;
+      Deregister(request);
+      const std::coroutine_handle<> waiter = request->waiter;
+      sim_.Schedule(Duration::Zero(), [waiter] { waiter.resume(); });
+    }
+    queue.clear();
+  }
+  for (size_t i = 0; i < cores_.size(); ++i) {
+    Core& core = cores_[i];
+    if (core.current == nullptr) {
+      continue;
+    }
+    Request* request = core.current;
+    core.current = nullptr;
+    request->running = false;
+    request->cancelled = true;
+    --runnable_count_;
+    Deregister(request);
+    const std::coroutine_handle<> waiter = request->waiter;
+    sim_.Schedule(Duration::Zero(), [waiter] { waiter.resume(); });
+    idle_cores_.push_back(i);
+  }
+}
+
 void CpuScheduler::Enqueue(Request* request) {
+  QS_CHECK_MSG(!halted_, "Enqueue on a halted CpuScheduler");
   ready_[request->priority].push_back(request);
   ++runnable_count_;
   Dispatch();
 }
 
 void CpuScheduler::Dispatch() {
+  if (halted_) {
+    return;
+  }
   while (!idle_cores_.empty()) {
     Request* request = nullptr;
     for (auto& [priority, queue] : ready_) {
@@ -118,6 +157,11 @@ void CpuScheduler::Dispatch() {
 }
 
 void CpuScheduler::OnSliceEnd(size_t core_index, Duration slice) {
+  if (halted_) {
+    // Halt() already resumed and deregistered every request; this is a
+    // stale slice-end event for a core that no longer exists.
+    return;
+  }
   Core& core = cores_[core_index];
   Request* request = core.current;
   QS_CHECK(request != nullptr);

@@ -75,6 +75,14 @@ class CpuScheduler {
   // the unserviced remainder (Zero when the work completed).
   Task<Duration> RunCancellable(Duration work, int priority, CpuCancelToken& token);
 
+  // Fail-stop: the cores halt. Every queued or running request resumes
+  // immediately as cancelled (with its full remainder), and later Run /
+  // RunCancellable calls return without consuming simulated time. Parked
+  // work never hangs on a dead machine — the caller observes the machine's
+  // death through the runtime, not through a stuck core.
+  void Halt();
+  bool halted() const { return halted_; }
+
   int num_cores() const { return static_cast<int>(cores_.size()); }
   Duration quantum() const { return quantum_; }
 
@@ -142,6 +150,7 @@ class CpuScheduler {
   // priority -> FIFO of waiting requests.
   std::map<int, std::deque<Request*>> ready_;
   int64_t runnable_count_ = 0;
+  bool halted_ = false;
   Duration total_busy_ = Duration::Zero();
   mutable std::map<int, Ewma> queueing_delay_;
 };

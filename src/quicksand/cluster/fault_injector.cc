@@ -1,0 +1,56 @@
+#include "quicksand/cluster/fault_injector.h"
+
+#include "quicksand/common/check.h"
+#include "quicksand/common/logging.h"
+
+namespace quicksand {
+
+void FaultInjector::ScheduleCrash(SimTime at, MachineId machine) {
+  QS_CHECK(machine < cluster_.size());
+  QS_CHECK_MSG(at >= sim_.Now(), "cannot schedule a crash in the past");
+  sim_.ScheduleAt(at, [this, machine] { Fail(machine); });
+}
+
+void FaultInjector::ScheduleRevocation(SimTime notice_at, MachineId machine,
+                                       Duration warning) {
+  QS_CHECK(machine < cluster_.size());
+  QS_CHECK_MSG(notice_at >= sim_.Now(), "cannot schedule a revocation in the past");
+  QS_CHECK(warning >= Duration::Zero());
+  sim_.ScheduleAt(notice_at, [this, machine, warning] {
+    Machine& m = cluster_.machine(machine);
+    if (m.failed()) {
+      return;  // already dead; the notice is moot
+    }
+    m.MarkRevoked();
+    ++revocations_;
+    const RevokeResources notice{machine, sim_.Now(), sim_.Now() + warning};
+    QS_LOG_DEBUG("fault", "revocation notice: m%u disappears at %s", machine,
+                 notice.deadline.ToString().c_str());
+    for (const auto& handler : revocation_handlers_) {
+      handler(notice);
+    }
+    // The deadline is unconditional: evacuation progress does not extend it.
+    sim_.ScheduleAt(notice.deadline, [this, machine] { Fail(machine); });
+  });
+}
+
+void FaultInjector::FailNow(MachineId machine) {
+  QS_CHECK(machine < cluster_.size());
+  Fail(machine);
+}
+
+void FaultInjector::Fail(MachineId machine) {
+  Machine& m = cluster_.machine(machine);
+  if (m.failed()) {
+    return;
+  }
+  QS_LOG_DEBUG("fault", "machine m%u fail-stops", machine);
+  m.Fail();
+  cluster_.fabric().FailMachine(machine);
+  ++crashes_;
+  for (const auto& handler : crash_handlers_) {
+    handler(machine);
+  }
+}
+
+}  // namespace quicksand

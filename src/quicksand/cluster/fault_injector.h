@@ -1,0 +1,88 @@
+// FaultInjector: deterministic machine failures and resource revocation.
+//
+// Quicksand harvests resources it does not own, so machines can disappear
+// with little or no warning (§4: fault tolerance is a first-order challenge
+// because granular decomposition scatters state across many hosts). The
+// injector drives two event shapes off the discrete-event clock, so every
+// run is bit-reproducible:
+//
+//  * fail-stop crashes — the machine's cores halt, its memory and disk
+//    contents vanish, and in-flight fabric transfers touching it abort;
+//  * revocation notices — "this machine disappears at deadline D". The
+//    machine keeps running until D (so an evacuator can race the deadline),
+//    but is marked revoked immediately so schedulers stop placing work on
+//    it. At D the machine fail-stops regardless of evacuation progress.
+//
+// Interested subsystems subscribe with OnCrash / OnRevocation. The Runtime
+// registers a crash handler that marks hosted proclets lost
+// (Runtime::AttachFaultInjector); the emergency evacuator registers a
+// revocation handler that migrates proclets off the dying machine.
+
+#ifndef QUICKSAND_CLUSTER_FAULT_INJECTOR_H_
+#define QUICKSAND_CLUSTER_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "quicksand/cluster/cluster.h"
+#include "quicksand/common/time.h"
+#include "quicksand/sim/simulator.h"
+
+namespace quicksand {
+
+// A revocation notice: `machine` fail-stops at `deadline`; the notice was
+// issued at `notice_at`, so the warning window is deadline - notice_at.
+struct RevokeResources {
+  MachineId machine = kInvalidMachineId;
+  SimTime notice_at;
+  SimTime deadline;
+
+  Duration warning() const { return deadline - notice_at; }
+};
+
+class FaultInjector {
+ public:
+  using CrashHandler = std::function<void(MachineId)>;
+  using RevocationHandler = std::function<void(const RevokeResources&)>;
+
+  FaultInjector(Simulator& sim, Cluster& cluster) : sim_(sim), cluster_(cluster) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Handlers run synchronously at the fault event, in registration order.
+  // Crash handlers run after the machine has fail-stopped (cores halted,
+  // NIC dead); revocation handlers run at the notice, before the deadline.
+  void OnCrash(CrashHandler handler) { crash_handlers_.push_back(std::move(handler)); }
+  void OnRevocation(RevocationHandler handler) {
+    revocation_handlers_.push_back(std::move(handler));
+  }
+
+  // Schedules a fail-stop crash of `machine` at absolute sim time `at`.
+  void ScheduleCrash(SimTime at, MachineId machine);
+
+  // Schedules a revocation notice at `notice_at`: the machine is marked
+  // revoked and handlers fire then; the machine fail-stops `warning` later.
+  void ScheduleRevocation(SimTime notice_at, MachineId machine, Duration warning);
+
+  // Immediate fail-stop (the zero-warning special case). Idempotent.
+  void FailNow(MachineId machine);
+
+  int64_t crashes() const { return crashes_; }
+  int64_t revocations() const { return revocations_; }
+
+ private:
+  void Fail(MachineId machine);
+
+  Simulator& sim_;
+  Cluster& cluster_;
+  std::vector<CrashHandler> crash_handlers_;
+  std::vector<RevocationHandler> revocation_handlers_;
+  int64_t crashes_ = 0;
+  int64_t revocations_ = 0;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_CLUSTER_FAULT_INJECTOR_H_

@@ -50,6 +50,29 @@ class Machine {
 
   std::string DebugString() const;
 
+  // --- Failure & revocation -------------------------------------------------
+
+  // Fail-stop crash: the cores halt (queued work resumes cancelled) and the
+  // machine stops participating in the cluster. Memory/disk contents are
+  // gone; the Runtime observes this via FaultInjector crash handlers and
+  // marks every hosted proclet lost. Idempotent.
+  void Fail() {
+    if (failed_) {
+      return;
+    }
+    failed_ = true;
+    cpu_.Halt();
+  }
+  bool failed() const { return failed_; }
+
+  // A revocation notice was issued: the machine still runs until its
+  // deadline, but schedulers must stop placing or migrating work onto it.
+  void MarkRevoked() { revoked_ = true; }
+  bool revocation_pending() const { return revoked_ && !failed_; }
+
+  // True when the machine can accept new proclets.
+  bool accepting() const { return !failed_ && !revoked_; }
+
   // Scheduler bookkeeping (maintained by the Runtime): how many compute
   // proclets currently live here. Placement uses it to spread otherwise
   // tied machines instead of piling onto the first.
@@ -66,6 +89,8 @@ class Machine {
   MemoryAccount memory_;
   DiskModel disk_;
   int64_t hosted_compute_ = 0;
+  bool failed_ = false;
+  bool revoked_ = false;
 };
 
 }  // namespace quicksand

@@ -28,6 +28,7 @@ enum class StatusCode {
   kDeadlineExceeded,
   kCancelled,
   kInternal,
+  kDataLoss,
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -68,6 +69,9 @@ class Status {
   }
   static Status Internal(std::string msg = "") {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg = "") {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

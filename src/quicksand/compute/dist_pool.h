@@ -36,6 +36,7 @@ class DistPool {
     std::vector<Ref<ComputeProclet>> members;
     int64_t submitted = 0;
     int64_t next_member = 0;  // round-robin cursor among equally-loaded members
+    int64_t lost_members = 0;  // members whose host machine crashed
   };
 
   DistPool() = default;
@@ -60,26 +61,78 @@ class DistPool {
 
   const std::vector<Ref<ComputeProclet>>& members() const { return state_->members; }
   int64_t submitted() const { return state_->submitted; }
+  int64_t lost_members() const { return state_->lost_members; }
 
-  // Submits a job to the member with the shortest backlog.
+  // Submits a job to the member with the shortest backlog. Members lost to
+  // machine failures are dropped from the pool and the submission retries on
+  // a survivor (the job is resubmitted — at-least-once: a loss after enqueue
+  // but before execution retries on a sibling, which is exactly what a
+  // harvested-resource pool wants).
   Task<Status> Submit(Ctx ctx, ComputeProclet::Job job,
                       int64_t job_bytes = ComputeProclet::kDefaultJobBytes) {
-    if (state_->members.empty()) {
-      co_return Status::FailedPrecondition("pool has no members");
+    for (;;) {
+      RemoveLostMembers(*ctx.rt);
+      if (state_->members.empty()) {
+        co_return Status::FailedPrecondition("pool has no members");
+      }
+      Ref<ComputeProclet> target = PickMember(ctx);
+      // Named task: see the GCC 12 note in sim/task.h. The job is captured
+      // by copy so a lost member leaves us something to retry with.
+      auto call = target.Call(
+          ctx,
+          [job, job_bytes](ComputeProclet& p) mutable -> Task<Status> {
+            co_return p.Submit(std::move(job), job_bytes);
+          },
+          job_bytes);
+      try {
+        Status status = co_await std::move(call);
+        if (status.ok()) {
+          ++state_->submitted;
+        }
+        co_return status;
+      } catch (const ProcletLostError&) {
+        RemoveLostMembers(*ctx.rt);
+        // Loop: every iteration either removes at least one member or
+        // succeeds, so this terminates.
+      }
     }
-    Ref<ComputeProclet> target = PickMember(ctx);
-    // Named task: see the GCC 12 note in sim/task.h.
-    auto call = target.Call(
-        ctx,
-        [job = std::move(job), job_bytes](ComputeProclet& p) mutable -> Task<Status> {
-          co_return p.Submit(std::move(job), job_bytes);
-        },
-        job_bytes);
-    Status status = co_await std::move(call);
-    if (status.ok()) {
-      ++state_->submitted;
+  }
+
+  // Drops members whose hosting machine crashed; returns how many were
+  // dropped. Their queued jobs died with the machine (fail-stop) — only
+  // revocation warnings, via the evacuator, save queues.
+  int RemoveLostMembers(Runtime& rt) {
+    int removed = 0;
+    auto& members = state_->members;
+    for (auto it = members.begin(); it != members.end();) {
+      if (rt.IsLost(it->id())) {
+        it = members.erase(it);
+        ++removed;
+        ++state_->lost_members;
+      } else {
+        ++it;
+      }
     }
-    co_return status;
+    if (removed > 0 && !members.empty()) {
+      state_->next_member %= static_cast<int64_t>(members.size());
+    }
+    return removed;
+  }
+
+  // Replaces every lost member with a freshly placed one, restoring the
+  // pool's capacity on the surviving machines. Returns how many members
+  // were replaced (placement failures leave the pool smaller).
+  Task<int> RecoverLost(Ctx ctx) {
+    const int removed = RemoveLostMembers(*ctx.rt);
+    int replaced = 0;
+    for (int i = 0; i < removed; ++i) {
+      Status grown = co_await Grow(ctx);
+      if (!grown.ok()) {
+        break;
+      }
+      ++replaced;
+    }
+    co_return replaced;
   }
 
   // Total queued-but-not-started jobs across members (runtime introspection,
@@ -140,7 +193,14 @@ class DistPool {
     }
     auto* dp = rt.UnsafeGet<ComputeProclet>(donor.id());
     auto* fp = rt.UnsafeGet<ComputeProclet>(fresh.id());
-    QS_CHECK(dp != nullptr && fp != nullptr);
+    if (dp == nullptr || fp == nullptr) {
+      // Donor or fresh member lost to a machine failure while we were
+      // acquiring the gates (EndMaintenance tolerates lost proclets).
+      rt.EndMaintenance(fresh.id());
+      rt.EndMaintenance(donor.id());
+      RemoveLostMembers(rt);
+      co_return Status::DataLoss("pool member lost during split");
+    }
     auto jobs = dp->StealHalfOfQueue();
     int64_t moved_bytes = 0;
     for (const auto& [fn, bytes] : jobs) {
@@ -197,7 +257,14 @@ class DistPool {
     }
     auto* vp = ctx.rt->UnsafeGet<ComputeProclet>(victim.id());
     auto* sp = ctx.rt->UnsafeGet<ComputeProclet>(survivor.id());
-    QS_CHECK(vp != nullptr && sp != nullptr);
+    if (vp == nullptr || sp == nullptr) {
+      // Victim or survivor lost to a machine failure while we were
+      // acquiring the gates (EndMaintenance tolerates lost proclets).
+      ctx.rt->EndMaintenance(survivor.id());
+      ctx.rt->EndMaintenance(victim.id());
+      RemoveLostMembers(*ctx.rt);
+      co_return Status::DataLoss("pool member lost during shrink");
+    }
     // Move everything the victim has queued; model the wire cost of the move.
     auto jobs = vp->StealAllOfQueue();
     int64_t moved_bytes = 0;

@@ -17,6 +17,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -310,6 +311,9 @@ class ShardedMap {
       } catch (const ProcletGoneError&) {
         router_.Invalidate();
         continue;
+      } catch (const ProcletLostError&) {
+        router_.Invalidate();
+        co_return Status::DataLoss(LostShardMessage(*info));
       }
       if (status->code() == StatusCode::kOutOfRange) {
         router_.Invalidate();
@@ -338,6 +342,9 @@ class ShardedMap {
       } catch (const ProcletGoneError&) {
         router_.Invalidate();
         continue;
+      } catch (const ProcletLostError&) {
+        router_.Invalidate();
+        co_return Status::DataLoss(LostShardMessage(*info));
       }
       if (!value->ok() && value->status().code() == StatusCode::kOutOfRange) {
         router_.Invalidate();
@@ -365,6 +372,9 @@ class ShardedMap {
       } catch (const ProcletGoneError&) {
         router_.Invalidate();
         continue;
+      } catch (const ProcletLostError&) {
+        router_.Invalidate();
+        co_return Status::DataLoss(LostShardMessage(*info));
       }
       if (status->code() == StatusCode::kOutOfRange) {
         router_.Invalidate();
@@ -400,6 +410,9 @@ class ShardedMap {
       } catch (const ProcletGoneError&) {
         router_.Invalidate();
         co_return Status::Aborted("shard set changed during size scan");
+      } catch (const ProcletLostError&) {
+        router_.Invalidate();
+        co_return Status::DataLoss(LostShardMessage(info));
       }
     }
     co_return total;
@@ -422,6 +435,9 @@ class ShardedMap {
       } catch (const ProcletGoneError&) {
         router_.Invalidate();
         co_return Status::Aborted("shard set changed during scan");
+      } catch (const ProcletLostError&) {
+        router_.Invalidate();
+        co_return Status::DataLoss(LostShardMessage(info));
       }
     }
     co_return out;
@@ -429,6 +445,13 @@ class ShardedMap {
 
  private:
   static constexpr int kMaxAttempts = 16;
+
+  // Loss is permanent (fail-stop, no replication): report the projection
+  // range whose entries died with the machine instead of retrying forever.
+  static std::string LostShardMessage(const ShardInfo& info) {
+    return "keys projecting to [" + std::to_string(info.begin) + ", " +
+           std::to_string(info.end) + ") lost to a machine failure";
+  }
 
   Ref<ShardIndexProclet> index_;
   ShardRouter router_;

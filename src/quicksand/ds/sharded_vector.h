@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -261,6 +262,9 @@ class ShardedVector {
       } catch (const ProcletGoneError&) {
         router_.Invalidate();
         continue;
+      } catch (const ProcletLostError&) {
+        router_.Invalidate();
+        co_return Status::DataLoss(LostShardMessage(*tail));
       }
       if (!appended->ok()) {
         if (appended->status().code() == StatusCode::kFailedPrecondition) {
@@ -297,6 +301,9 @@ class ShardedVector {
       } catch (const ProcletGoneError&) {
         router_.Invalidate();
         continue;
+      } catch (const ProcletLostError&) {
+        router_.Invalidate();
+        co_return Status::DataLoss(LostShardMessage(*info));
       }
       if (!value->ok() && value->status().code() == StatusCode::kOutOfRange) {
         if (info->end == UINT64_MAX) {
@@ -331,6 +338,9 @@ class ShardedVector {
       } catch (const ProcletGoneError&) {
         router_.Invalidate();
         continue;
+      } catch (const ProcletLostError&) {
+        router_.Invalidate();
+        co_return Status::DataLoss(LostShardMessage(*info));
       }
       if (status.code() == StatusCode::kOutOfRange) {
         if (info->end == UINT64_MAX) {
@@ -371,6 +381,9 @@ class ShardedVector {
           co_return Status::Aborted("too many range-read retries");
         }
         continue;
+      } catch (const ProcletLostError&) {
+        router_.Invalidate();
+        co_return Status::DataLoss(LostShardMessage(*info));
       }
       if (!chunk->ok()) {
         if (chunk->status().code() == StatusCode::kOutOfRange) {
@@ -409,7 +422,13 @@ class ShardedVector {
         auto call = tail.Call(ctx, [](Shard& s) -> Task<uint64_t> {
           co_return s.end_index();
         });
-        const uint64_t end_index = co_await std::move(call);
+        uint64_t end_index = 0;
+        try {
+          end_index = co_await std::move(call);
+        } catch (const ProcletLostError&) {
+          router_.Invalidate();
+          co_return Status::DataLoss(LostShardMessage(shard));
+        }
         total = std::max(total, end_index);
       } else {
         total = std::max(total, shard.end);
@@ -420,6 +439,15 @@ class ShardedVector {
 
  private:
   static constexpr int kMaxAttempts = 16;
+
+  // Loss is permanent (fail-stop, no replication): report the exact index
+  // range that died with the machine instead of retrying forever.
+  static std::string LostShardMessage(const ShardInfo& info) {
+    const std::string end = info.end == UINT64_MAX ? std::string("end")
+                                                   : std::to_string(info.end);
+    return "elements [" + std::to_string(info.begin) + ", " + end +
+           ") lost to a machine failure";
+  }
 
   // The tail is the shard whose range extends to UINT64_MAX. Between a
   // concurrent grower's seal and its new-tail insertion the index briefly
@@ -451,6 +479,9 @@ class ShardedVector {
     } catch (const ProcletGoneError&) {
       router_.Invalidate();
       co_return Status::FailedPrecondition("tail vanished during grow");
+    } catch (const ProcletLostError&) {
+      router_.Invalidate();
+      co_return Status::DataLoss(LostShardMessage(tail));
     }
     const uint64_t boundary = tail.begin + static_cast<uint64_t>(sealed_count);
 

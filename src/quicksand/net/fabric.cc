@@ -19,11 +19,15 @@ Duration Fabric::UnloadedTransferTime(int64_t bytes) const {
   return config_.per_message_overhead + Duration::Nanos(tx_ns) + config_.one_way_latency;
 }
 
-Task<> Fabric::Transfer(MachineId src, MachineId dst, int64_t bytes) {
+Task<bool> Fabric::Transfer(MachineId src, MachineId dst, int64_t bytes) {
   QS_CHECK(bytes >= 0);
   QS_CHECK(src < nics_.size() && dst < nics_.size());
+  if (nics_[src].failed || nics_[dst].failed) {
+    ++aborted_transfers_;
+    co_return false;
+  }
   if (src == dst) {
-    co_return;  // same machine: no wire crossing
+    co_return true;  // same machine: no wire crossing
   }
   Nic& nic = nics_[src];
   total_bytes_ += bytes;
@@ -53,9 +57,29 @@ Task<> Fabric::Transfer(MachineId src, MachineId dst, int64_t bytes) {
     nic.free_at = frame_done;
     nic.busy += tx;
     co_await sim_.SleepUntil(frame_done);
+    // Either endpoint may have died while this frame was on the wire.
+    if (nic.failed || nics_[dst].failed) {
+      ++aborted_transfers_;
+      co_return false;
+    }
   } while (remaining > 0);
 
   co_await sim_.Sleep(config_.one_way_latency);
+  if (nics_[dst].failed) {
+    ++aborted_transfers_;
+    co_return false;
+  }
+  co_return true;
+}
+
+void Fabric::FailMachine(MachineId id) {
+  QS_CHECK(id < nics_.size());
+  nics_[id].failed = true;
+}
+
+bool Fabric::MachineFailed(MachineId id) const {
+  QS_CHECK(id < nics_.size());
+  return nics_[id].failed;
 }
 
 Duration Fabric::NicBusy(MachineId id) const {

@@ -48,8 +48,16 @@ class Fabric {
   void AddNic(MachineId id);
 
   // Moves `bytes` from src to dst; suspends the caller until delivery.
-  // src == dst is free (local "transfer").
-  Task<> Transfer(MachineId src, MachineId dst, int64_t bytes);
+  // src == dst is free (local "transfer"). Returns false when the transfer
+  // aborted because either endpoint failed (fail-stop crash): data in
+  // flight to or from a dead machine is simply gone. Callers that never
+  // inject faults may ignore the result.
+  Task<bool> Transfer(MachineId src, MachineId dst, int64_t bytes);
+
+  // Fail-stop: aborts the machine's NIC. In-progress and future transfers
+  // touching this machine resolve false at their next frame boundary.
+  void FailMachine(MachineId id);
+  bool MachineFailed(MachineId id) const;
 
   // Time a transfer of `bytes` would take on an idle NIC (no queueing).
   Duration UnloadedTransferTime(int64_t bytes) const;
@@ -60,6 +68,7 @@ class Fabric {
 
   int64_t total_bytes_sent() const { return total_bytes_; }
   int64_t total_messages() const { return total_messages_; }
+  int64_t aborted_transfers() const { return aborted_transfers_; }
   // Cumulative busy time of a machine's egress NIC.
   Duration NicBusy(MachineId id) const;
 
@@ -67,6 +76,7 @@ class Fabric {
   struct Nic {
     SimTime free_at = SimTime::Zero();
     Duration busy = Duration::Zero();
+    bool failed = false;
   };
 
   Simulator& sim_;
@@ -74,6 +84,7 @@ class Fabric {
   std::vector<Nic> nics_;
   int64_t total_bytes_ = 0;
   int64_t total_messages_ = 0;
+  int64_t aborted_transfers_ = 0;
 };
 
 }  // namespace quicksand

@@ -1,14 +1,22 @@
 #include "quicksand/net/rpc.h"
 
+#include <algorithm>
+
 namespace quicksand {
 
 Task<Status> Rpc::RoundTrip(MachineId src, MachineId dst, int64_t request_bytes,
                             std::function<Task<int64_t>()> server, Duration timeout) {
   const SimTime start = sim_.Now();
   ++calls_;
-  co_await fabric_.Transfer(src, dst, request_bytes + kHeaderBytes);
+  if (!co_await fabric_.Transfer(src, dst, request_bytes + kHeaderBytes)) {
+    ++aborted_;
+    co_return Status::Unavailable("rpc request lost: endpoint failed");
+  }
   const int64_t response_bytes = co_await server();
-  co_await fabric_.Transfer(dst, src, response_bytes + kHeaderBytes);
+  if (!co_await fabric_.Transfer(dst, src, response_bytes + kHeaderBytes)) {
+    ++aborted_;
+    co_return Status::Unavailable("rpc response lost: endpoint failed");
+  }
   const Duration elapsed = sim_.Now() - start;
   latency_.Add(elapsed);
   if (elapsed > timeout) {
@@ -16,6 +24,27 @@ Task<Status> Rpc::RoundTrip(MachineId src, MachineId dst, int64_t request_bytes,
     co_return Status::DeadlineExceeded("rpc round trip exceeded timeout");
   }
   co_return Status::Ok();
+}
+
+Task<Status> Rpc::RoundTripWithRetry(MachineId src, MachineId dst,
+                                     int64_t request_bytes,
+                                     std::function<Task<int64_t>()> server,
+                                     Duration timeout, RpcRetryPolicy policy) {
+  QS_CHECK(policy.max_attempts >= 1);
+  Duration backoff = policy.base_backoff;
+  for (int attempt = 0;; ++attempt) {
+    const Status status =
+        co_await RoundTrip(src, dst, request_bytes, server, timeout);
+    if (status.code() != StatusCode::kDeadlineExceeded ||
+        attempt + 1 >= policy.max_attempts) {
+      co_return status;
+    }
+    ++retries_;
+    const double jitter =
+        1.0 + policy.jitter * (2.0 * rng_.NextDouble() - 1.0);
+    co_await sim_.Sleep(backoff * std::max(jitter, 0.0));
+    backoff = backoff * policy.multiplier;
+  }
 }
 
 }  // namespace quicksand

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "quicksand/common/random.h"
 #include "quicksand/common/stats.h"
 #include "quicksand/common/status.h"
 #include "quicksand/net/fabric.h"
@@ -19,12 +20,23 @@
 
 namespace quicksand {
 
+// Retry schedule for RoundTripWithRetry. Attempt k (0-based) sleeps
+// base_backoff * multiplier^k, scaled by a uniform jitter factor in
+// [1 - jitter, 1 + jitter] drawn from the Rpc's deterministic Rng.
+struct RpcRetryPolicy {
+  int max_attempts = 3;  // total attempts, including the first
+  Duration base_backoff = Duration::Micros(50);
+  double multiplier = 2.0;
+  double jitter = 0.25;
+};
+
 class Rpc {
  public:
   // Fixed framing cost added to every request and response payload.
   static constexpr int64_t kHeaderBytes = 64;
 
-  Rpc(Simulator& sim, Fabric& fabric) : sim_(sim), fabric_(fabric) {}
+  Rpc(Simulator& sim, Fabric& fabric, uint64_t rng_seed = 0x9e3779b97f4a7c15ull)
+      : sim_(sim), fabric_(fabric), rng_(rng_seed) {}
 
   Rpc(const Rpc&) = delete;
   Rpc& operator=(const Rpc&) = delete;
@@ -32,14 +44,27 @@ class Rpc {
   // Round trip src -> dst -> src. `server` runs logically at dst and returns
   // the response payload size in bytes. If the round trip exceeds `timeout`
   // the result is DeadlineExceeded (the server work still happened; only the
-  // response is considered lost — the usual at-least-once caveat).
+  // response is considered lost — the usual at-least-once caveat). If either
+  // endpoint has failed, or fails mid-flight, the result is Unavailable.
   Task<Status> RoundTrip(MachineId src, MachineId dst, int64_t request_bytes,
                          std::function<Task<int64_t>()> server,
                          Duration timeout = Duration::Max());
 
+  // RoundTrip with retry on DeadlineExceeded: exponential backoff on the sim
+  // clock with deterministic jitter, up to policy.max_attempts attempts.
+  // Unavailable (dead endpoint) is terminal — retrying a crashed machine
+  // cannot succeed under fail-stop. The server closure may run multiple
+  // times (at-least-once semantics, same caveat as RoundTrip).
+  Task<Status> RoundTripWithRetry(MachineId src, MachineId dst, int64_t request_bytes,
+                                  std::function<Task<int64_t>()> server,
+                                  Duration timeout,
+                                  RpcRetryPolicy policy = RpcRetryPolicy{});
+
   const LatencyHistogram& latency() const { return latency_; }
   int64_t calls() const { return calls_; }
   int64_t timeouts() const { return timeouts_; }
+  int64_t retries() const { return retries_; }
+  int64_t aborted() const { return aborted_; }
 
   Fabric& fabric() { return fabric_; }
 
@@ -47,8 +72,11 @@ class Rpc {
   Simulator& sim_;
   Fabric& fabric_;
   LatencyHistogram latency_;
+  Rng rng_;
   int64_t calls_ = 0;
   int64_t timeouts_ = 0;
+  int64_t retries_ = 0;
+  int64_t aborted_ = 0;
 };
 
 }  // namespace quicksand

@@ -124,6 +124,20 @@ Task<> ComputeProclet::OnDestroy() {
   }
 }
 
+void ComputeProclet::OnLost() {
+  // The host crashed: no joins are possible (the cores are halted), so just
+  // flag shutdown and wake everything. Parked workers observe stopping_ and
+  // exit; workers mid-burn resume cancelled (the halted CpuScheduler
+  // completes their requests), fail to requeue the remainder, and exit.
+  // Their fibers drain within the current event cascade; the object itself
+  // lingers in the runtime's limbo until teardown, so nothing dangles.
+  paused_ = false;
+  stopping_ = true;
+  cancel_token_.Cancel();
+  work_available_.WakeAll();
+  queue_.clear();  // heap accounting is written off wholesale by the runtime
+}
+
 Task<> ComputeProclet::WorkerLoop() {
   for (;;) {
     while (!stopping_ && (paused_ || queue_.empty())) {

@@ -82,6 +82,7 @@ class ComputeProclet : public ProcletBase {
   Task<> OnQuiesce() override;
   void OnResume() override;
   Task<> OnDestroy() override;
+  void OnLost() override;
 
  private:
   struct QueuedJob {

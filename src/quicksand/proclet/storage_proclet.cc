@@ -10,6 +10,10 @@ bool StorageProclet::TryRelocateAux(MachineId dst) {
   return runtime().cluster().machine(dst).disk().capacity().TryCharge(stored_bytes_);
 }
 
+void StorageProclet::UndoRelocateAux(MachineId dst) {
+  runtime().cluster().machine(dst).disk().capacity().Release(stored_bytes_);
+}
+
 void StorageProclet::FinishRelocateAux(MachineId src) {
   runtime().cluster().machine(src).disk().capacity().Release(stored_bytes_);
 }

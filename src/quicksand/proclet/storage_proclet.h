@@ -85,6 +85,7 @@ class StorageProclet : public ProcletBase {
 
   bool TryRelocateAux(MachineId dst) override;
   void FinishRelocateAux(MachineId src) override;
+  void UndoRelocateAux(MachineId dst) override;
   Task<> OnDestroy() override;
 
  private:

@@ -18,6 +18,13 @@ const char* ProcletKindName(ProcletKind kind) {
 
 bool ProcletBase::TryChargeHeap(int64_t bytes) {
   QS_CHECK(bytes >= 0);
+  if (lost_) {
+    // The hosting machine is gone; bytes written to a lost proclet vanish
+    // with it. Accepting the charge (without accounting) keeps callers'
+    // rollback invariants intact — the data loss surfaces through
+    // ProcletLostError on the next invocation, not through a phantom OOM.
+    return true;
+  }
   if (!rt_->cluster().machine(location_).memory().TryCharge(bytes)) {
     return false;
   }
@@ -27,6 +34,9 @@ bool ProcletBase::TryChargeHeap(int64_t bytes) {
 
 void ProcletBase::ReleaseHeap(int64_t bytes) {
   QS_CHECK(bytes >= 0);
+  if (lost_) {
+    return;  // accounting was zeroed wholesale when the machine died
+  }
   QS_CHECK_MSG(bytes <= heap_bytes_, "releasing more heap than the proclet holds");
   rt_->cluster().machine(location_).memory().Release(bytes);
   heap_bytes_ -= bytes;
@@ -69,6 +79,19 @@ void ProcletBase::OpenGate() {
 void ProcletBase::MarkDestroyed() {
   destroyed_ = true;
   gate_waiters_.WakeAll();
+}
+
+void ProcletBase::MarkLost() {
+  if (lost_) {
+    return;
+  }
+  lost_ = true;
+  OnLost();
+  heap_bytes_ = 0;
+  MarkDestroyed();
+  // Drain waiters (a migration or destroy mid-drain) must also wake: the
+  // calls they were waiting out died with the machine.
+  drain_waiters_.WakeAll();
 }
 
 }  // namespace quicksand

@@ -70,6 +70,13 @@ class ProcletBase {
   int64_t invocation_count() const { return invocation_count_; }
   SimTime last_invocation() const { return last_invocation_; }
 
+  // True once the hosting machine crashed out from under this proclet. The
+  // object lingers (the Runtime keeps it until teardown so in-flight
+  // operations can observe the loss safely), but its state is gone: Find()
+  // no longer returns it, invocations raise ProcletLostError, and heap
+  // accounting becomes a no-op.
+  bool lost() const { return lost_; }
+
   // --- Heap accounting (call only from within a proclet method) ------------
 
   // Grows the heap, charging the hosting machine. Fails without side effects
@@ -100,6 +107,15 @@ class ProcletBase {
   // failure.
   virtual bool TryRelocateAux(MachineId dst) { return true; }
   virtual void FinishRelocateAux(MachineId src) {}
+  // Exact inverse of a successful TryRelocateAux(dst): releases the
+  // destination-side reservation when a migration unwinds after reserving.
+  virtual void UndoRelocateAux(MachineId dst) {}
+
+  // Called synchronously when the hosting machine crashes, before the
+  // Runtime zeroes the heap accounting. Must not suspend: wake/stop
+  // background fibers so they exit on their own (the machine's cores are
+  // already halted — joins would deadlock).
+  virtual void OnLost() {}
 
  private:
   friend class Runtime;
@@ -113,6 +129,11 @@ class ProcletBase {
   Task<> CloseGateAndDrain();
   void OpenGate();
   void MarkDestroyed();
+  // Transitions to the lost state: runs OnLost, marks destroyed (waking
+  // gate waiters so they observe the loss), and zeroes heap accounting
+  // WITHOUT releasing it (the Runtime releases against the dead machine's
+  // account wholesale). Idempotent.
+  void MarkLost();
 
   Runtime* rt_;
   ProcletId id_;
@@ -121,6 +142,7 @@ class ProcletBase {
   int64_t heap_bytes_ = 0;
   bool gate_closed_ = false;
   bool destroyed_ = false;
+  bool lost_ = false;
   int64_t active_calls_ = 0;
   int64_t invocation_count_ = 0;
   SimTime last_invocation_ = SimTime::Zero();

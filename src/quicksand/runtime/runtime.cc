@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "quicksand/cluster/fault_injector.h"
 #include "quicksand/common/logging.h"
 
 namespace quicksand {
@@ -26,6 +27,14 @@ void Runtime::SetPlacementPolicy(std::unique_ptr<PlacementPolicy> policy) {
 ProcletBase* Runtime::Find(ProcletId id) {
   auto it = proclets_.find(id);
   return it == proclets_.end() ? nullptr : it->second.get();
+}
+
+ProcletBase* Runtime::FindEvenIfLost(ProcletId id) {
+  if (ProcletBase* live = Find(id)) {
+    return live;
+  }
+  auto it = limbo_.find(id);
+  return it == limbo_.end() ? nullptr : it->second.get();
 }
 
 MachineId Runtime::LocationOf(ProcletId id) const {
@@ -60,6 +69,9 @@ Task<MachineId> Runtime::ResolveLocation(MachineId from, ProcletId id) {
   if (from == config_.controller) {
     auto it = directory_.find(id);
     if (it == directory_.end()) {
+      if (IsLost(id)) {
+        throw ProcletLostError(id);
+      }
       throw ProcletGoneError(id);
     }
     co_return it->second;
@@ -75,6 +87,9 @@ Task<MachineId> Runtime::ResolveLocation(MachineId from, ProcletId id) {
   auto it = directory_.find(id);
   if (it == directory_.end()) {
     co_await fabric().Transfer(config_.controller, from, config_.control_message_bytes);
+    if (IsLost(id)) {
+      throw ProcletLostError(id);
+    }
     throw ProcletGoneError(id);
   }
   const MachineId location = it->second;
@@ -94,17 +109,29 @@ Task<> Runtime::PayBounce(MachineId stale_target, MachineId caller) {
 Task<Status> Runtime::Destroy(Ctx ctx, ProcletId id) {
   ProcletBase* proclet = Find(id);
   if (proclet == nullptr) {
+    if (IsLost(id)) {
+      co_return Status::DataLoss("proclet was lost to a machine failure");
+    }
     co_return Status::NotFound("proclet already gone");
   }
   // Control message to the host.
   co_await fabric().Transfer(ctx.machine, proclet->location(),
                              config_.control_message_bytes);
+  if (proclet->lost()) {
+    co_return Status::DataLoss("proclet was lost to a machine failure");
+  }
   if (proclet->gate_closed()) {
     co_return Status::Aborted("proclet is under migration/maintenance");
   }
   co_await proclet->CloseGateAndDrain();
+  if (proclet->lost()) {
+    co_return Status::DataLoss("proclet was lost to a machine failure");
+  }
   co_await proclet->OnQuiesce();
   co_await proclet->OnDestroy();
+  if (proclet->lost()) {
+    co_return Status::DataLoss("proclet was lost to a machine failure");
+  }
   proclet->MarkDestroyed();
   cluster_.machine(proclet->location()).memory().Release(proclet->heap_bytes());
   if (proclet->kind() == ProcletKind::kCompute) {
@@ -129,10 +156,17 @@ Task<Status> Runtime::Migrate(ProcletId id, MachineId dst) {
   QS_CHECK(dst < cluster_.size());
   ProcletBase* proclet = Find(id);
   if (proclet == nullptr) {
+    if (IsLost(id)) {
+      co_return Status::DataLoss("proclet was lost to a machine failure");
+    }
     co_return Status::NotFound("proclet is gone");
   }
   if (proclet->location() == dst) {
     co_return Status::Ok();
+  }
+  if (cluster_.machine(dst).failed()) {
+    ++stats_.failed_migrations;
+    co_return Status::Unavailable("destination machine has failed");
   }
   if (proclet->gate_closed()) {
     ++stats_.failed_migrations;
@@ -141,9 +175,23 @@ Task<Status> Runtime::Migrate(ProcletId id, MachineId dst) {
 
   const SimTime started = sim_.Now();
   co_await proclet->CloseGateAndDrain();
+  if (proclet->lost()) {
+    ++stats_.failed_migrations;
+    co_return Status::DataLoss("source machine failed during drain");
+  }
   co_await proclet->OnQuiesce();
+  if (proclet->lost()) {
+    ++stats_.failed_migrations;
+    co_return Status::DataLoss("source machine failed during quiesce");
+  }
   const MachineId src = proclet->location();
   const int64_t heap = proclet->heap_bytes();
+  if (cluster_.machine(dst).failed()) {
+    proclet->OpenGate();
+    proclet->OnResume();
+    ++stats_.failed_migrations;
+    co_return Status::Unavailable("destination machine failed during drain");
+  }
   if (!cluster_.machine(dst).memory().TryCharge(heap)) {
     proclet->OpenGate();
     proclet->OnResume();
@@ -158,19 +206,58 @@ Task<Status> Runtime::Migrate(ProcletId id, MachineId dst) {
     co_return Status::ResourceExhausted("destination lacks auxiliary resources");
   }
 
+  // From here on the destination holds a heap charge (and possibly an aux
+  // reservation); every bail-out path must unwind both.
+  auto unwind_dst = [&] {
+    cluster_.machine(dst).memory().Release(heap);
+    proclet->UndoRelocateAux(dst);
+  };
+
   // Kernel-side fixed work (pinning, mapping), then the heap copy — eagerly
   // in the blocking window, or in the background for lazy migration.
   co_await sim_.Sleep(config_.migration_fixed_overhead);
+  if (proclet->lost()) {
+    unwind_dst();
+    ++stats_.failed_migrations;
+    co_return Status::DataLoss("source machine failed during migration setup");
+  }
+  if (cluster_.machine(dst).failed()) {
+    unwind_dst();
+    proclet->OpenGate();
+    proclet->OnResume();
+    ++stats_.failed_migrations;
+    co_return Status::Unavailable("destination machine failed during migration");
+  }
   const bool lazy = config_.lazy_migration && proclet->MigrationExtraBytes() == 0;
   if (lazy) {
     // Control metadata ships now; the heap follows asynchronously while the
     // source keeps its charge until the copy lands.
-    co_await fabric().Transfer(src, dst, config_.migration_header_bytes);
-    sim_.Spawn(LazyCopy(src, dst, heap, started), "lazy_copy");
+    const bool ok = co_await fabric().Transfer(src, dst, config_.migration_header_bytes);
+    if (!ok || proclet->lost() || cluster_.machine(dst).failed()) {
+      unwind_dst();
+      ++stats_.failed_migrations;
+      if (proclet->lost()) {
+        co_return Status::DataLoss("source machine failed during migration");
+      }
+      proclet->OpenGate();
+      proclet->OnResume();
+      co_return Status::Unavailable("destination machine failed during migration");
+    }
+    sim_.Spawn(LazyCopy(id, src, dst, heap, started), "lazy_copy");
   } else {
-    co_await fabric().Transfer(src, dst,
-                               heap + proclet->MigrationExtraBytes() +
-                                   config_.migration_header_bytes);
+    const bool ok = co_await fabric().Transfer(src, dst,
+                                               heap + proclet->MigrationExtraBytes() +
+                                                   config_.migration_header_bytes);
+    if (!ok || proclet->lost() || cluster_.machine(dst).failed()) {
+      unwind_dst();
+      ++stats_.failed_migrations;
+      if (proclet->lost()) {
+        co_return Status::DataLoss("source machine failed during migration");
+      }
+      proclet->OpenGate();
+      proclet->OnResume();
+      co_return Status::Unavailable("destination machine failed during migration");
+    }
     cluster_.machine(src).memory().Release(heap);
     proclet->FinishRelocateAux(src);
   }
@@ -197,12 +284,18 @@ Task<Status> Runtime::Migrate(ProcletId id, MachineId dst) {
 Task<Status> Runtime::BeginMaintenance(ProcletId id) {
   ProcletBase* proclet = Find(id);
   if (proclet == nullptr) {
+    if (IsLost(id)) {
+      co_return Status::DataLoss("proclet was lost to a machine failure");
+    }
     co_return Status::NotFound("proclet is gone");
   }
   if (proclet->gate_closed()) {
     co_return Status::Aborted("proclet is already under migration/maintenance");
   }
   co_await proclet->CloseGateAndDrain();
+  if (proclet->lost()) {
+    co_return Status::DataLoss("proclet was lost during drain");
+  }
   if (Find(id) == nullptr) {
     co_return Status::NotFound("proclet destroyed during drain");
   }
@@ -210,20 +303,81 @@ Task<Status> Runtime::BeginMaintenance(ProcletId id) {
 }
 
 void Runtime::EndMaintenance(ProcletId id) {
-  ProcletBase* proclet = Find(id);
+  ProcletBase* proclet = FindEvenIfLost(id);
   QS_CHECK_MSG(proclet != nullptr, "EndMaintenance on a destroyed proclet");
+  if (proclet->lost()) {
+    // The proclet died under maintenance; there is no gate left to open.
+    return;
+  }
   proclet->OpenGate();
 }
 
-Task<> Runtime::LazyCopy(MachineId src, MachineId dst, int64_t bytes, SimTime started) {
-  co_await fabric().Transfer(src, dst, bytes);
+Task<> Runtime::LazyCopy(ProcletId id, MachineId src, MachineId dst, int64_t bytes,
+                         SimTime started) {
+  const bool ok = co_await fabric().Transfer(src, dst, bytes);
   // The source held its charge through the copy window (double-charged with
   // the destination); release it now. This is safe even if the proclet was
   // destroyed or re-migrated meanwhile: the amount matches what src hosted
   // at flip time, and later mutations charge the new location.
   cluster_.machine(src).memory().Release(bytes);
+  if (!ok) {
+    // Post-copy hazard window: the source died (or the destination crashed)
+    // before the heap landed. If the proclet still lives at dst it now has
+    // an unrecoverable hole — declare it lost. (If dst itself crashed, the
+    // purge already handled it; if the proclet moved on, the later eager
+    // copy shipped whatever state survived — modeled as intact.)
+    if (LocationOf(id) == dst && !cluster_.machine(dst).failed()) {
+      LoseProclet(id);
+    }
+    co_return;
+  }
   ++stats_.lazy_copies_completed;
   stats_.lazy_copy_latency.Add(sim_.Now() - started);
+}
+
+void Runtime::LoseProclet(ProcletId id) {
+  auto it = proclets_.find(id);
+  if (it == proclets_.end()) {
+    return;
+  }
+  ProcletBase* proclet = it->second.get();
+  const MachineId host = proclet->location();
+  // Write the heap off against the (dead or dying) host before MarkLost
+  // zeroes the proclet's accounting.
+  cluster_.machine(host).memory().Release(proclet->heap_bytes());
+  if (proclet->kind() == ProcletKind::kCompute) {
+    cluster_.machine(host).AdjustHostedCompute(-1);
+  }
+  lost_ids_.insert(id);
+  proclet->MarkLost();
+  directory_.erase(id);
+  for (auto& cache : location_cache_) {
+    cache.erase(id);
+  }
+  limbo_.emplace(id, std::move(it->second));
+  proclets_.erase(it);
+  ++stats_.lost_proclets;
+  QS_LOG_DEBUG("runtime", "proclet %llu (%s) lost with machine m%u",
+               static_cast<unsigned long long>(id), ProcletKindName(proclet->kind()),
+               host);
+}
+
+void Runtime::AttachFaultInjector(FaultInjector& injector) {
+  injector.OnCrash([this](MachineId machine) { HandleMachineFailure(machine); });
+}
+
+void Runtime::HandleMachineFailure(MachineId machine) {
+  QS_CHECK_MSG(machine != config_.controller,
+               "controller failure is outside the fail-stop model (the directory "
+               "is assumed durable)");
+  ++stats_.crashes;
+  // The dead machine's own cache is useless; per-id entries pointing at it
+  // from other machines purge with each lost proclet below, and stale
+  // entries for surviving proclets bounce harmlessly.
+  location_cache_[machine].clear();
+  for (ProcletId id : ProcletsOn(machine)) {
+    LoseProclet(id);
+  }
 }
 
 void Runtime::RecordAffinity(ProcletId a, ProcletId b, int64_t bytes) {

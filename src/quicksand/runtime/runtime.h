@@ -23,6 +23,7 @@
 #include <string>
 #include <type_traits>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -37,12 +38,48 @@
 
 namespace quicksand {
 
+class FaultInjector;
+
 // Thrown when an invocation targets a proclet that has been destroyed.
 // Sharded data structures catch this, refresh their index, and retry.
 class ProcletGoneError : public std::runtime_error {
  public:
   explicit ProcletGoneError(ProcletId id)
       : std::runtime_error("proclet " + std::to_string(id) + " is gone"), id_(id) {}
+
+  ProcletId id() const { return id_; }
+
+ private:
+  ProcletId id_;
+};
+
+// Thrown when an invocation targets a proclet whose hosting machine crashed:
+// the proclet's state is unrecoverable. Distinct from ProcletGoneError
+// (deliberate destruction) — retrying or refreshing an index cannot help;
+// callers must surface data loss (Status::DataLoss) or rebuild the state.
+class ProcletLostError : public std::runtime_error {
+ public:
+  explicit ProcletLostError(ProcletId id)
+      : std::runtime_error("proclet " + std::to_string(id) +
+                           " was lost to a machine failure"),
+        id_(id) {}
+
+  ProcletId id() const { return id_; }
+
+ private:
+  ProcletId id_;
+};
+
+// Thrown when the resolve/bounce retry loop exhausts max_invoke_attempts
+// while the proclet still exists — a bounce livelock (the proclet keeps
+// migrating out from under the caller), not destruction.
+class TooManyBouncesError : public std::runtime_error {
+ public:
+  TooManyBouncesError(ProcletId id, int attempts)
+      : std::runtime_error("invocation of proclet " + std::to_string(id) +
+                           " bounced " + std::to_string(attempts) +
+                           " times without landing"),
+        id_(id) {}
 
   ProcletId id() const { return id_; }
 
@@ -95,6 +132,10 @@ struct RuntimeStats {
   int64_t creations = 0;
   int64_t destructions = 0;
   int64_t lazy_copies_completed = 0;
+  // Failure & revocation accounting.
+  int64_t crashes = 0;          // machine failures observed by the runtime
+  int64_t lost_proclets = 0;    // proclets whose host died under them
+  int64_t bounce_livelocks = 0;  // invocations that exhausted the bounce loop
   // Gate-closed window per migration (what callers experience).
   LatencyHistogram migration_latency;
   // Background copy completion time for lazy migrations.
@@ -171,6 +212,23 @@ class Runtime {
     return static_cast<P*>(Find(id));
   }
 
+  // --- Failure handling -------------------------------------------------------
+
+  // Fail-stop crash of `machine`: every proclet hosted there is lost — its
+  // directory entry and cache entries are purged, invocations (in-flight and
+  // future) raise ProcletLostError, and heap/disk accounting is written off.
+  // The crashed machine must not be the controller (the directory itself is
+  // out of scope for this failure model). Call after Machine::Fail() and
+  // Fabric::FailMachine() — FaultInjector does all three in order.
+  void HandleMachineFailure(MachineId machine);
+
+  // Registers HandleMachineFailure as a crash handler on the injector.
+  void AttachFaultInjector(FaultInjector& injector);
+
+  // True if the proclet was lost to a machine failure (as opposed to never
+  // existing or being deliberately destroyed).
+  bool IsLost(ProcletId id) const { return lost_ids_.count(id) != 0; }
+
   // --- Introspection ----------------------------------------------------------
 
   ProcletBase* Find(ProcletId id);
@@ -200,8 +258,17 @@ class Runtime {
  private:
   friend class ProcletBase;
 
+  // Lost-but-referenced proclet object, if any (operators that held a
+  // pointer across a suspension use this to keep observing it safely).
+  ProcletBase* FindEvenIfLost(ProcletId id);
+
+  // Marks one live proclet lost: writes off its accounting, purges the
+  // directory and caches, and parks the object in limbo_.
+  void LoseProclet(ProcletId id);
+
   // Background heap copy for lazy migrations.
-  Task<> LazyCopy(MachineId src, MachineId dst, int64_t bytes, SimTime started);
+  Task<> LazyCopy(ProcletId id, MachineId src, MachineId dst, int64_t bytes,
+                  SimTime started);
 
   // Resolves via the caller's cache, falling back to a directory RPC.
   // Throws ProcletGoneError if the directory has no entry.
@@ -217,6 +284,13 @@ class Runtime {
   RuntimeStats stats_;
   std::unique_ptr<PlacementPolicy> placement_;
   std::unordered_map<ProcletId, std::unique_ptr<ProcletBase>> proclets_;
+  // Proclets lost to machine failures. The objects linger here until the
+  // Runtime is torn down: in-flight calls, gate waiters, and operators that
+  // captured a ProcletBase* across a suspension observe `lost()` instead of
+  // a dangling pointer. Their heap accounting is already zeroed, so the
+  // cost is a few hundred bytes per lost proclet per run.
+  std::unordered_map<ProcletId, std::unique_ptr<ProcletBase>> limbo_;
+  std::unordered_set<ProcletId> lost_ids_;
   // Authoritative directory (hosted on config_.controller).
   std::unordered_map<ProcletId, MachineId> directory_;
   // Per-machine location caches (lazily invalidated; stale entries bounce).
@@ -264,12 +338,20 @@ Task<Result<Ref<P>>> Runtime::Create(Ctx ctx, PlacementRequest request, Args... 
     co_return placed.status();
   }
   const MachineId host = *placed;
+  // Pinned placements bypass the feasibility check, so re-check liveness.
+  if (cluster_.machine(host).failed()) {
+    co_return Status::Unavailable("host machine has failed");
+  }
   if (!cluster_.machine(host).memory().TryCharge(request.heap_bytes)) {
     co_return Status::ResourceExhausted("host machine out of memory");
   }
   // Control handshake with the host, then runtime-side setup work.
   co_await fabric().Transfer(ctx.machine, host, config_.control_message_bytes);
   co_await sim_.Sleep(config_.creation_overhead);
+  if (cluster_.machine(host).failed()) {
+    cluster_.machine(host).memory().Release(request.heap_bytes);
+    co_return Status::Unavailable("host machine failed during creation");
+  }
 
   const ProcletId id = next_id_++;
   ProcletInit init{this, &sim_, id, P::kKind, host};
@@ -306,6 +388,9 @@ auto Runtime::Invoke(Ctx ctx, ProcletId id, Fn fn, int64_t request_bytes)
         co_await PayBounce(target, ctx.machine);
       }
       InvalidateCache(ctx.machine, id);
+      if (IsLost(id)) {
+        throw ProcletLostError(id);
+      }
       throw ProcletGoneError(id);
     }
     if (base->location() != target) {
@@ -318,11 +403,14 @@ auto Runtime::Invoke(Ctx ctx, ProcletId id, Fn fn, int64_t request_bytes)
     }
     const bool entered = co_await base->EnterCall();
     if (!entered) {
-      // Destroyed while we waited at the gate.
+      // Destroyed (or lost to a crash) while we waited at the gate.
+      InvalidateCache(ctx.machine, id);
+      if (base->lost()) {
+        throw ProcletLostError(id);
+      }
       if (remote) {
         co_await PayBounce(target, ctx.machine);
       }
-      InvalidateCache(ctx.machine, id);
       throw ProcletGoneError(id);
     }
     if (base->location() != target) {
@@ -354,6 +442,10 @@ auto Runtime::Invoke(Ctx ctx, ProcletId id, Fn fn, int64_t request_bytes)
         throw;
       }
       base->ExitCall();
+      if (base->lost()) {
+        // The host crashed mid-call: the call's effects died with it.
+        throw ProcletLostError(id);
+      }
       if (remote) {
         co_await fabric().Transfer(target, ctx.machine, Rpc::kHeaderBytes);
         stats_.remote_invoke_latency.Add(sim_.Now() - started);
@@ -368,6 +460,10 @@ auto Runtime::Invoke(Ctx ctx, ProcletId id, Fn fn, int64_t request_bytes)
         throw;
       }
       base->ExitCall();
+      if (base->lost()) {
+        // The host crashed mid-call: the result died with it.
+        throw ProcletLostError(id);
+      }
       if (remote) {
         co_await fabric().Transfer(target, ctx.machine,
                                    WireSizeOf(*result) + Rpc::kHeaderBytes);
@@ -376,7 +472,10 @@ auto Runtime::Invoke(Ctx ctx, ProcletId id, Fn fn, int64_t request_bytes)
       co_return std::move(*result);
     }
   }
-  throw ProcletGoneError(id);
+  // The proclet exists but kept migrating out from under us — a livelock,
+  // not destruction (that case throws inside the loop).
+  ++stats_.bounce_livelocks;
+  throw TooManyBouncesError(id, config_.max_invoke_attempts);
 }
 
 }  // namespace quicksand

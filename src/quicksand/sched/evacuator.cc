@@ -1,0 +1,131 @@
+#include "quicksand/sched/evacuator.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "quicksand/common/logging.h"
+#include "quicksand/sim/fiber.h"
+
+namespace quicksand {
+
+namespace {
+
+// Evacuation priority: state-bearing proclets first (losing them loses
+// data), compute last (losing one loses only queued work).
+int EvacuationRank(ProcletKind kind) {
+  switch (kind) {
+    case ProcletKind::kStorage:
+      return 0;
+    case ProcletKind::kMemory:
+      return 1;
+    case ProcletKind::kCompute:
+      return 2;
+  }
+  return 3;
+}
+
+}  // namespace
+
+void EmergencyEvacuator::Arm(FaultInjector& injector) {
+  injector.OnRevocation([this](const RevokeResources& notice) {
+    rt_.sim().Spawn(HandleNotice(notice),
+                    "evacuate_m" + std::to_string(notice.machine));
+  });
+}
+
+Task<> EmergencyEvacuator::HandleNotice(RevokeResources notice) {
+  (void)co_await Evacuate(notice.machine, notice.deadline);
+}
+
+Task<EvacuationReport> EmergencyEvacuator::Evacuate(MachineId machine,
+                                                    SimTime deadline) {
+  // The deadline is enforced physically, not by this coroutine: the machine
+  // fail-stops at `deadline`, at which point in-flight migrations observe
+  // the loss and resolve with DataLoss. We only record it for the report.
+  (void)deadline;
+  EvacuationReport report;
+  report.machine = machine;
+  report.started = rt_.sim().Now();
+
+  struct Item {
+    ProcletId id;
+    int rank;
+    int64_t bytes;
+  };
+  std::vector<Item> items;
+  for (ProcletId id : rt_.ProcletsOn(machine)) {
+    ProcletBase* p = rt_.Find(id);
+    if (p == nullptr) {
+      continue;
+    }
+    items.push_back(Item{id, EvacuationRank(p->kind()), p->heap_bytes()});
+  }
+  // Storage > memory > compute; smallest-first within a class so the most
+  // proclets clear the wire before the deadline; id as a deterministic tie
+  // break.
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.rank != b.rank) {
+      return a.rank < b.rank;
+    }
+    if (a.bytes != b.bytes) {
+      return a.bytes < b.bytes;
+    }
+    return a.id < b.id;
+  });
+  report.considered = static_cast<int64_t>(items.size());
+
+  // Choose targets up front, debiting planned bytes so a burst of
+  // evacuations doesn't pile onto the single freest machine and then fail
+  // TryCharge. Migrations run SEQUENTIALLY, in priority order: the fabric
+  // fair-shares the dying machine's NIC across concurrent transfers at frame
+  // granularity, so launching everything at once would make every migration
+  // finish at roughly the same (late) time and the deadline would kill them
+  // all. One at a time, each completed migration is a proclet saved.
+  std::unordered_map<MachineId, int64_t> planned;
+  int64_t survived = 0;
+  for (const Item& item : items) {
+    MachineId target = kInvalidMachineId;
+    int64_t best_free = -1;
+    for (MachineId m = 0; m < rt_.cluster().size(); ++m) {
+      if (m == machine) {
+        continue;
+      }
+      const Machine& candidate = rt_.cluster().machine(m);
+      if (!candidate.accepting()) {
+        continue;
+      }
+      const int64_t free = candidate.memory().free() - planned[m];
+      if (free >= item.bytes && free > best_free) {
+        best_free = free;
+        target = m;
+      }
+    }
+    if (target == kInvalidMachineId) {
+      continue;  // abandoned: no survivor machine can absorb it
+    }
+    planned[target] += item.bytes;
+    const Status status = co_await rt_.Migrate(item.id, target);
+    if (status.ok()) {
+      ++survived;
+    }
+    // Once the deadline hits, the machine is dead and the remaining
+    // migrations fail fast with DataLoss — the loop still terminates
+    // promptly.
+  }
+
+  report.evacuated = survived;
+  report.abandoned = report.considered - report.evacuated;
+  report.elapsed = rt_.sim().Now() - report.started;
+  total_evacuated_ += report.evacuated;
+  total_abandoned_ += report.abandoned;
+  QS_LOG_DEBUG("evacuator", "m%u: evacuated %lld/%lld proclets in %s", machine,
+               static_cast<long long>(report.evacuated),
+               static_cast<long long>(report.considered),
+               report.elapsed.ToString().c_str());
+  reports_.push_back(report);
+  co_return report;
+}
+
+}  // namespace quicksand

@@ -1,0 +1,79 @@
+// EmergencyEvacuator: race a revocation deadline to save proclets.
+//
+// When a machine's resources are revoked (the normal end of life for
+// harvested capacity — the paper's "idle for only a few milliseconds"
+// resources), the evacuator gets a warning window and migrates every hosted
+// proclet somewhere safe before the machine fail-stops. Ordering maximizes
+// what survives:
+//
+//  * storage > memory > compute — storage and memory proclets ARE state;
+//    a lost compute proclet loses only queued work,
+//  * smallest-first within a class — more proclets cross the wire before
+//    the deadline (survivor count, not byte count, is the metric).
+//
+// Migrations run one at a time, reusing the runtime's normal
+// gate/drain/copy path. Sequencing matters: the fabric fair-shares a NIC
+// across concurrent transfers, so migrating everything at once would bring
+// every proclet to ~99% copied when the deadline kills them all, while the
+// sequential order converts any partial window into completed survivors.
+// There is no cancellation at the deadline: the machine simply dies,
+// in-flight migrations observe the loss and fail, and whatever never
+// started is abandoned (lost).
+//
+// Guarantee: proclets the evacuator fully migrated before the deadline
+// survive. No guarantee: anything still migrating (or never started) at the
+// deadline, proclets whose gate was closed by a competing operation, or
+// placements the rest of the cluster cannot absorb.
+
+#ifndef QUICKSAND_SCHED_EVACUATOR_H_
+#define QUICKSAND_SCHED_EVACUATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "quicksand/cluster/fault_injector.h"
+#include "quicksand/runtime/runtime.h"
+
+namespace quicksand {
+
+struct EvacuationReport {
+  MachineId machine = kInvalidMachineId;
+  SimTime started;
+  Duration elapsed = Duration::Zero();  // notice -> last migration resolved
+  int64_t considered = 0;               // proclets hosted at the notice
+  int64_t evacuated = 0;                // migrated off before the deadline
+  int64_t abandoned = 0;                // lost or failed to move
+};
+
+class EmergencyEvacuator {
+ public:
+  explicit EmergencyEvacuator(Runtime& rt) : rt_(rt) {}
+
+  EmergencyEvacuator(const EmergencyEvacuator&) = delete;
+  EmergencyEvacuator& operator=(const EmergencyEvacuator&) = delete;
+
+  // Subscribes to the injector's revocation notices; each notice spawns an
+  // evacuation fiber racing that notice's deadline.
+  void Arm(FaultInjector& injector);
+
+  // Evacuates everything hosted on `machine`; returns when every migration
+  // has resolved (successfully or not). Callable directly for tests.
+  Task<EvacuationReport> Evacuate(MachineId machine, SimTime deadline);
+
+  const std::vector<EvacuationReport>& reports() const { return reports_; }
+  int64_t total_evacuated() const { return total_evacuated_; }
+  int64_t total_abandoned() const { return total_abandoned_; }
+
+ private:
+  Task<> HandleNotice(RevokeResources notice);
+
+  Runtime& rt_;
+  std::vector<EvacuationReport> reports_;
+  int64_t total_evacuated_ = 0;
+  int64_t total_abandoned_ = 0;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_SCHED_EVACUATOR_H_

@@ -74,6 +74,9 @@ Task<int> GlobalRebalancer::RebalanceOnce() {
       if (m == current) {
         continue;
       }
+      if (!rt_.cluster().machine(m).accepting()) {
+        continue;  // dead or being revoked — never a migration target
+      }
       if (rt_.cluster().machine(m).memory().free() < p->heap_bytes()) {
         continue;
       }
@@ -104,6 +107,9 @@ Task<int> GlobalRebalancer::RebalanceOnce() {
     // target (or swaps chatty pairs past each other).
     ProcletBase* p = rt_.Find(move.id);
     if (p == nullptr || p->gate_closed()) {
+      continue;
+    }
+    if (!rt_.cluster().machine(move.to).accepting()) {
       continue;
     }
     if (rt_.cluster().machine(move.to).memory().free() < p->heap_bytes()) {

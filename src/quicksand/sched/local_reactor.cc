@@ -22,6 +22,9 @@ bool LocalReactor::InCooldown(ProcletId id) const {
 Task<> LocalReactor::Loop() {
   for (;;) {
     co_await rt_.sim().Sleep(config_.period);
+    if (rt_.cluster().machine(machine_).failed()) {
+      co_return;  // our machine is dead; nothing left to react to
+    }
     co_await HandleCpuPressure();
     co_await HandleMemoryPressure();
   }
@@ -45,6 +48,9 @@ Task<> LocalReactor::HandleCpuPressure() {
       continue;
     }
     const Machine& candidate = rt_.cluster().machine(m);
+    if (!candidate.accepting()) {
+      continue;  // dead or being revoked — never a migration target
+    }
     const double idle = static_cast<double>(candidate.spec().cores) *
                         (1.0 - candidate.cpu().LoadFactor());
     if (idle > best_idle) {

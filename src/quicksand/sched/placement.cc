@@ -8,6 +8,10 @@ bool PlacementPolicy::Feasible(const PlacementRequest& request, const Machine& m
   if (m.id() == request.exclude) {
     return false;
   }
+  // Failed machines host nothing; revoked machines are about to.
+  if (!m.accepting()) {
+    return false;
+  }
   return m.memory().free() >= request.heap_bytes;
 }
 

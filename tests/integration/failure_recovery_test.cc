@@ -1,0 +1,158 @@
+// End-to-end failure scenario: a cluster under antagonist load loses one
+// machine with zero warning (crash) and another with a 5ms revocation
+// warning. The emergency evacuator must save (nearly) everything on the
+// revoked machine; everything on the crashed machine must be reported lost
+// via ProcletLostError — promptly, never by hanging — and the entire run
+// must be bit-identical across same-seed executions.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "quicksand/cluster/antagonist.h"
+#include "quicksand/cluster/fault_injector.h"
+#include "quicksand/common/bytes.h"
+#include "quicksand/proclet/memory_proclet.h"
+#include "quicksand/sched/evacuator.h"
+
+namespace quicksand {
+namespace {
+
+constexpr int kMachines = 4;
+constexpr int kProcletsPerMachine = 8;
+constexpr int64_t kProcletBytes = 1_MiB;
+
+enum class Probe { kPending, kOk, kLost, kOther };
+
+Task<> ProbeCall(Runtime& rt, Ref<MemoryProclet> p, Probe* out) {
+  auto call = p.Call(rt.CtxOn(0), [](MemoryProclet& m) -> Task<int64_t> {
+    co_return static_cast<int64_t>(m.object_count());
+  });
+  try {
+    (void)co_await std::move(call);
+    *out = Probe::kOk;
+  } catch (const ProcletLostError&) {
+    *out = Probe::kLost;
+  } catch (...) {
+    *out = Probe::kOther;
+  }
+}
+
+// Runs the whole scenario and returns a digest of everything observable.
+// Called twice; the digests must match bit for bit.
+std::string RunScenario(bool check_expectations) {
+  Simulator sim;
+  Cluster cluster{sim};
+  for (int i = 0; i < kMachines; ++i) {
+    MachineSpec spec;
+    spec.cores = 8;
+    spec.memory_bytes = 2_GiB;
+    cluster.AddMachine(spec);
+  }
+  Runtime rt(sim, cluster);
+  FaultInjector faults(sim, cluster);
+  rt.AttachFaultInjector(faults);
+  EmergencyEvacuator evacuator(rt);
+  evacuator.Arm(faults);
+
+  // Background load: anti-phased square-wave antagonists on every machine.
+  std::vector<std::unique_ptr<PhasedAntagonist>> antagonists;
+  for (int i = 0; i < kMachines; ++i) {
+    PhasedAntagonistConfig config;
+    config.busy = 10_ms;
+    config.idle = 10_ms;
+    config.phase_offset = Duration::Millis(5 * i);
+    antagonists.push_back(
+        std::make_unique<PhasedAntagonist>(sim, cluster.machine(i), config));
+    antagonists.back()->Start();
+  }
+
+  // 24 proclets pinned across machines 1..3 (machine 0 is the controller).
+  std::vector<Ref<MemoryProclet>> proclets;
+  for (MachineId m = 1; m < kMachines; ++m) {
+    for (int i = 0; i < kProcletsPerMachine; ++i) {
+      PlacementRequest req;
+      req.heap_bytes = kProcletBytes;
+      req.pinned = m;
+      proclets.push_back(*sim.BlockOn(rt.Create<MemoryProclet>(rt.CtxOn(0), req)));
+    }
+  }
+
+  // Machine 1 crashes cold at 20ms; machine 2 gets a 5ms warning at 30ms.
+  faults.ScheduleCrash(SimTime::Zero() + 20_ms, 1);
+  faults.ScheduleRevocation(SimTime::Zero() + 30_ms, 2, 5_ms);
+  sim.RunUntil(SimTime::Zero() + 60_ms);
+
+  // Probe every proclet: survivors answer, lost ones throw ProcletLostError.
+  // A bounded run proves none of them hangs.
+  std::vector<Probe> outcomes(proclets.size(), Probe::kPending);
+  for (size_t i = 0; i < proclets.size(); ++i) {
+    sim.Spawn(ProbeCall(rt, proclets[i], &outcomes[i]), "probe");
+  }
+  sim.RunUntil(sim.Now() + 10_ms);
+
+  if (check_expectations) {
+    EXPECT_EQ(faults.crashes(), 2);  // the cold crash + the revocation deadline
+    EXPECT_EQ(faults.revocations(), 1);
+    EXPECT_GE(rt.stats().crashes, 2);
+
+    EXPECT_EQ(evacuator.reports().size(), 1u);
+    if (!evacuator.reports().empty()) {
+      const EvacuationReport& report = evacuator.reports().front();
+      EXPECT_EQ(report.machine, 2u);
+      EXPECT_EQ(report.considered, kProcletsPerMachine);
+      // The acceptance bar: >= 90% of the revoked machine's proclets survive.
+      EXPECT_GE(report.evacuated * 10, report.considered * 9);
+      EXPECT_LE(report.elapsed, 5_ms);
+    }
+
+    for (size_t i = 0; i < proclets.size(); ++i) {
+      EXPECT_NE(outcomes[i], Probe::kPending) << "probe " << i << " hung";
+      EXPECT_NE(outcomes[i], Probe::kOther) << "probe " << i << " wrong error";
+      if (rt.IsLost(proclets[i].id())) {
+        EXPECT_EQ(outcomes[i], Probe::kLost) << "probe " << i;
+      } else {
+        EXPECT_EQ(outcomes[i], Probe::kOk) << "probe " << i;
+        EXPECT_NE(proclets[i].Location(), 1u);
+        EXPECT_NE(proclets[i].Location(), 2u);
+      }
+    }
+    // Machine 1's proclets all died; machine 2 lost only what was abandoned.
+    EXPECT_EQ(rt.stats().lost_proclets,
+              kProcletsPerMachine + evacuator.total_abandoned());
+  }
+
+  std::ostringstream digest;
+  digest << faults.crashes() << '|' << faults.revocations() << '|'
+         << rt.stats().crashes << '|' << rt.stats().lost_proclets << '|'
+         << rt.stats().migrations << '|' << rt.stats().failed_migrations << '|'
+         << evacuator.total_evacuated() << '|' << evacuator.total_abandoned();
+  for (const EvacuationReport& r : evacuator.reports()) {
+    digest << '|' << r.machine << ':' << r.considered << ':' << r.evacuated
+           << ':' << r.abandoned << ':' << r.elapsed.nanos();
+  }
+  for (size_t i = 0; i < proclets.size(); ++i) {
+    digest << '|' << static_cast<int>(outcomes[i]);
+    if (!rt.IsLost(proclets[i].id())) {
+      digest << '@' << proclets[i].Location();
+    }
+  }
+  digest << '|' << sim.Now().nanos();
+  return digest.str();
+}
+
+TEST(FailureRecoveryTest, CrashAndRevocationUnderAntagonistLoad) {
+  RunScenario(/*check_expectations=*/true);
+}
+
+TEST(FailureRecoveryTest, SameSeedRunsAreBitIdentical) {
+  const std::string first = RunScenario(/*check_expectations=*/false);
+  const std::string second = RunScenario(/*check_expectations=*/false);
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+}
+
+}  // namespace
+}  // namespace quicksand

@@ -69,5 +69,68 @@ TEST(RpcTest, LocalCallSkipsWire) {
   EXPECT_EQ(f.sim.Now(), SimTime::Zero());
 }
 
+// Server that is slow (times out) for the first `slow_calls` calls, then fast.
+Task<int64_t> FlakyServer(Simulator& sim, int* calls, int slow_calls) {
+  if ((*calls)++ < slow_calls) {
+    co_await sim.Sleep(10_ms);
+  }
+  co_return 64;
+}
+
+TEST(RpcTest, RetryRecoversFromTransientTimeouts) {
+  RpcFixture f;
+  int calls = 0;
+  RpcRetryPolicy policy;
+  policy.max_attempts = 3;
+  const Status s = f.sim.BlockOn(f.rpc.RoundTripWithRetry(
+      0, 1, 64, [&] { return FlakyServer(f.sim, &calls, 2); }, 1_ms, policy));
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(f.rpc.retries(), 2);
+  EXPECT_EQ(f.rpc.timeouts(), 2);
+}
+
+TEST(RpcTest, RetryGivesUpAfterMaxAttempts) {
+  RpcFixture f;
+  int calls = 0;
+  RpcRetryPolicy policy;
+  policy.max_attempts = 3;
+  const Status s = f.sim.BlockOn(f.rpc.RoundTripWithRetry(
+      0, 1, 64, [&] { return FlakyServer(f.sim, &calls, 100); }, 1_ms, policy));
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(f.rpc.retries(), 2);
+  EXPECT_EQ(f.rpc.timeouts(), 3);
+}
+
+TEST(RpcTest, RetryBackoffIsDeterministicAndNonZero) {
+  SimTime first_end;
+  {
+    RpcFixture f;
+    int calls = 0;
+    f.sim.BlockOn(f.rpc.RoundTripWithRetry(
+        0, 1, 64, [&] { return FlakyServer(f.sim, &calls, 100); }, 1_ms));
+    first_end = f.sim.Now();
+  }
+  RpcFixture f;
+  int calls = 0;
+  f.sim.BlockOn(f.rpc.RoundTripWithRetry(
+      0, 1, 64, [&] { return FlakyServer(f.sim, &calls, 100); }, 1_ms));
+  EXPECT_EQ(f.sim.Now(), first_end);  // same seed, bit-identical schedule
+  // Three 10ms server rounds plus two jittered backoffs: strictly more than
+  // the no-backoff floor.
+  EXPECT_GT(f.sim.Now() - SimTime::Zero(), 30_ms);
+}
+
+TEST(RpcTest, DeadEndpointIsTerminalNotRetried) {
+  RpcFixture f;
+  f.fabric.FailMachine(1);
+  const Status s =
+      f.sim.BlockOn(f.rpc.RoundTripWithRetry(0, 1, 64, NoopServer, 1_ms));
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(f.rpc.retries(), 0);
+  EXPECT_EQ(f.rpc.aborted(), 1);
+}
+
 }  // namespace
 }  // namespace quicksand

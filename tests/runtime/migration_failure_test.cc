@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "quicksand/cluster/fault_injector.h"
+#include "quicksand/common/bytes.h"
+#include "quicksand/proclet/memory_proclet.h"
+
+namespace quicksand {
+namespace {
+
+// Every failed migration must increment failed_migrations AND leave no stale
+// memory charge behind — in particular the lazy path's deliberate
+// double-charge (src + dst during the background copy) must unwind on every
+// failure path.
+
+struct Fixture {
+  Simulator sim;
+  Cluster cluster{sim};
+  std::unique_ptr<Runtime> rt;
+  std::unique_ptr<FaultInjector> faults;
+
+  explicit Fixture(bool lazy, int64_t mem1 = 2_GiB, int64_t mem2 = 2_GiB) {
+    MachineSpec spec;
+    spec.memory_bytes = 2_GiB;
+    cluster.AddMachine(spec);  // machine 0: controller, never fails
+    spec.memory_bytes = mem1;
+    cluster.AddMachine(spec);
+    spec.memory_bytes = mem2;
+    cluster.AddMachine(spec);
+    RuntimeConfig config;
+    config.lazy_migration = lazy;
+    rt = std::make_unique<Runtime>(sim, cluster, config);
+    faults = std::make_unique<FaultInjector>(sim, cluster);
+    rt->AttachFaultInjector(*faults);
+  }
+
+  Ref<MemoryProclet> MakePinned(int64_t heap, MachineId where) {
+    PlacementRequest req;
+    req.heap_bytes = heap;
+    req.pinned = where;
+    return *sim.BlockOn(rt->Create<MemoryProclet>(rt->CtxOn(0), req));
+  }
+
+  int64_t Used(MachineId m) { return cluster.machine(m).memory().used(); }
+};
+
+TEST(MigrationFailureTest, DestinationOutOfMemoryIsCountedAndUnwound) {
+  Fixture f(/*lazy=*/false, /*mem1=*/2_GiB, /*mem2=*/64_MiB);
+  Ref<MemoryProclet> p = f.MakePinned(512_MiB, 1);
+  const Status s = f.sim.BlockOn(f.rt->Migrate(p.id(), 2));
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(f.rt->stats().failed_migrations, 1);
+  EXPECT_EQ(p.Location(), 1u);
+  EXPECT_EQ(f.Used(1), 512_MiB);
+  EXPECT_EQ(f.Used(2), 0);
+  // The gate reopened: the proclet is still invocable.
+  auto call = p.Call(f.rt->CtxOn(0), [](MemoryProclet& m) -> Task<int64_t> {
+    co_return static_cast<int64_t>(m.object_count());
+  });
+  EXPECT_EQ(f.sim.BlockOn(std::move(call)), 0);
+}
+
+TEST(MigrationFailureTest, ClosedGateIsCounted) {
+  Fixture f(/*lazy=*/false);
+  Ref<MemoryProclet> p = f.MakePinned(1_MiB, 1);
+  ASSERT_TRUE(f.sim.BlockOn(f.rt->BeginMaintenance(p.id())).ok());
+  const Status s = f.sim.BlockOn(f.rt->Migrate(p.id(), 2));
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_EQ(f.rt->stats().failed_migrations, 1);
+  f.rt->EndMaintenance(p.id());
+}
+
+TEST(MigrationFailureTest, FailedDestinationIsCounted) {
+  Fixture f(/*lazy=*/false);
+  Ref<MemoryProclet> p = f.MakePinned(1_MiB, 1);
+  f.faults->FailNow(2);
+  const Status s = f.sim.BlockOn(f.rt->Migrate(p.id(), 2));
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(f.rt->stats().failed_migrations, 1);
+  EXPECT_EQ(p.Location(), 1u);
+}
+
+TEST(MigrationFailureTest, DestinationDiesMidTransferUnwindsDstCharge) {
+  Fixture f(/*lazy=*/false);
+  Ref<MemoryProclet> p = f.MakePinned(256_MiB, 1);
+  // 256 MiB takes ~21ms on the wire; the destination dies at 5ms.
+  f.faults->ScheduleCrash(f.sim.Now() + 5_ms, 2);
+  const Status s = f.sim.BlockOn(f.rt->Migrate(p.id(), 2));
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(f.rt->stats().failed_migrations, 1);
+  EXPECT_EQ(p.Location(), 1u);
+  EXPECT_EQ(f.Used(1), 256_MiB);
+  EXPECT_EQ(f.Used(2), 0);  // the speculative dst charge was released
+  EXPECT_FALSE(f.rt->IsLost(p.id()));
+  // Still alive and invocable at the source.
+  auto call = p.Call(f.rt->CtxOn(0), [](MemoryProclet& m) -> Task<int64_t> {
+    co_return static_cast<int64_t>(m.object_count());
+  });
+  EXPECT_EQ(f.sim.BlockOn(std::move(call)), 0);
+}
+
+TEST(MigrationFailureTest, SourceDiesMidLazyCopyWritesOffProclet) {
+  Fixture f(/*lazy=*/true);
+  Ref<MemoryProclet> p = f.MakePinned(128_MiB, 1);
+  ASSERT_TRUE(f.sim.BlockOn(f.rt->Migrate(p.id(), 2)).ok());
+  // Migrate returned (lazy): both machines hold the charge while the
+  // background copy runs (~10ms). The source dies 2ms in; the copy can
+  // never complete, so the proclet at the destination has an unfillable
+  // hole and must be written off.
+  EXPECT_EQ(f.Used(1), 128_MiB);
+  EXPECT_EQ(f.Used(2), 128_MiB);
+  f.faults->ScheduleCrash(f.sim.Now() + 2_ms, 1);
+  f.sim.RunUntilIdle();
+  EXPECT_EQ(f.Used(1), 0);
+  EXPECT_EQ(f.Used(2), 0);
+  EXPECT_TRUE(f.rt->IsLost(p.id()));
+  EXPECT_EQ(f.rt->stats().lost_proclets, 1);
+  EXPECT_EQ(f.rt->stats().lazy_copies_completed, 0);
+}
+
+TEST(MigrationFailureTest, DestinationDiesMidLazyCopyReleasesBothCharges) {
+  Fixture f(/*lazy=*/true);
+  Ref<MemoryProclet> p = f.MakePinned(128_MiB, 1);
+  ASSERT_TRUE(f.sim.BlockOn(f.rt->Migrate(p.id(), 2)).ok());
+  f.faults->ScheduleCrash(f.sim.Now() + 2_ms, 2);
+  f.sim.RunUntilIdle();
+  // The crash handler wrote the proclet off (it lived at machine 2); the
+  // aborted copy must still release the source's half of the double charge.
+  EXPECT_EQ(f.Used(1), 0);
+  EXPECT_EQ(f.Used(2), 0);
+  EXPECT_TRUE(f.rt->IsLost(p.id()));
+  EXPECT_EQ(f.rt->stats().lost_proclets, 1);
+}
+
+}  // namespace
+}  // namespace quicksand
