@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 tests (plain + ASan/UBSan via scripts/check.sh) and
+# the durability smoke gate, which fails on nondeterminism between two
+# same-seed recovery runs.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: plain build + ctest -L tier1 =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$jobs"
+ctest --test-dir build -L tier1 --output-on-failure
+
+echo "== tier-1: ASan/UBSan build + ctest =="
+scripts/check.sh --sanitize-only
+
+echo "== durability smoke: two same-seed recovery runs must be bit-identical =="
+./build/bench/ab7_recovery --smoke
+
+echo "CI: all gates passed"

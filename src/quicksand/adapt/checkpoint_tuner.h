@@ -1,0 +1,105 @@
+// CheckpointIntervalTuner: adaptive control of the checkpoint cadence.
+//
+// Checkpointing buys a smaller recovery point at the price of steady-state
+// wire traffic. The right interval depends on the workload's write rate,
+// which Quicksand cannot know up front — so, like shard sizing and pool
+// scaling, it is a control loop: each AdaptiveController round measures the
+// checkpoint bytes shipped since the last round (RuntimeStats::
+// checkpoint_bytes), converts them to a bandwidth, and compares against a
+// budget expressed as a fraction of one NIC's line rate:
+//
+//   rate > budget          -> double the interval (halve the traffic),
+//   rate < 1/4 of budget   -> halve the interval (tighten the RPO),
+//
+// clamped to [min_interval, max_interval]. Multiplicative steps keep the
+// loop stable under bursty writers; the wide dead band between the two
+// thresholds prevents oscillation when the rate hovers near the budget.
+// Measurement windows must span at least two checkpoint intervals before
+// the loop acts — a shorter sample aliases (a controller round in which no
+// checkpoint happened to be due reads as zero traffic and would trigger a
+// spurious tighten), so the tuner lets the window accumulate across rounds
+// until it covers the current cadence.
+
+#ifndef QUICKSAND_ADAPT_CHECKPOINT_TUNER_H_
+#define QUICKSAND_ADAPT_CHECKPOINT_TUNER_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "quicksand/adapt/controller.h"
+#include "quicksand/durability/checkpoint_manager.h"
+#include "quicksand/runtime/runtime.h"
+
+namespace quicksand {
+
+class CheckpointIntervalTuner {
+ public:
+  struct Options {
+    // Fraction of reference_bandwidth the checkpoint stream may consume.
+    double max_overhead_fraction = 0.10;
+    // Line rate the budget is measured against (defaults to one 100 Gbps
+    // NIC, matching FabricConfig).
+    double reference_bandwidth = 12.5e9;  // bytes/sec
+    Duration min_interval = Duration::Millis(1);
+    Duration max_interval = Duration::Millis(100);
+  };
+
+  CheckpointIntervalTuner(Runtime& rt, CheckpointManager& manager)
+      : CheckpointIntervalTuner(rt, manager, Options{}) {}
+  CheckpointIntervalTuner(Runtime& rt, CheckpointManager& manager,
+                          Options options)
+      : rt_(rt), manager_(manager), options_(options) {}
+
+  // Registers the tuning pass with `controller`; measurement windows are the
+  // controller's rounds.
+  void Register(AdaptiveController& controller) {
+    last_bytes_ = rt_.stats().checkpoint_bytes;
+    last_round_at_ = rt_.sim().Now();
+    controller.Register("checkpoint_tuner",
+                        [this](Ctx ctx) { return TuneOnce(ctx); });
+  }
+
+  int64_t widenings() const { return widenings_; }
+  int64_t tightenings() const { return tightenings_; }
+
+  // One control step (the registered pass; callable directly in tests).
+  // No-op until the accumulated window spans two checkpoint intervals.
+  Task<> TuneOnce(Ctx) {
+    const SimTime now = rt_.sim().Now();
+    const Duration window = now - last_round_at_;
+    // Let the window accumulate until it spans two checkpoint intervals;
+    // evaluating a shorter sample aliases against the checkpoint cadence.
+    if (window <= Duration::Zero() || window < manager_.interval() * 2) {
+      co_return;
+    }
+    const int64_t bytes = rt_.stats().checkpoint_bytes;
+    const int64_t delta = bytes - last_bytes_;
+    last_bytes_ = bytes;
+    last_round_at_ = now;
+    const double rate = static_cast<double>(delta) / window.seconds();
+    const double budget =
+        options_.max_overhead_fraction * options_.reference_bandwidth;
+    const Duration interval = manager_.interval();
+    if (rate > budget && interval < options_.max_interval) {
+      manager_.set_interval(std::min(interval * 2, options_.max_interval));
+      ++widenings_;
+    } else if (rate < budget * 0.25 && interval > options_.min_interval) {
+      manager_.set_interval(std::max(interval / 2, options_.min_interval));
+      ++tightenings_;
+    }
+    co_return;
+  }
+
+ private:
+  Runtime& rt_;
+  CheckpointManager& manager_;
+  Options options_;
+  int64_t last_bytes_ = 0;
+  SimTime last_round_at_;
+  int64_t widenings_ = 0;
+  int64_t tightenings_ = 0;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_ADAPT_CHECKPOINT_TUNER_H_

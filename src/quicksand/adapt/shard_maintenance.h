@@ -233,6 +233,12 @@ Task<> MaintainShardedVector(Ctx ctx, ShardedVector<T> vec, int64_t max_bytes,
     if (shard == nullptr || shard->gate_closed()) {
       continue;
     }
+    // Durable shards are pinned: split/merge mutates them via UnsafeGet,
+    // bypassing the mutation log, and a pre-split checkpoint restored after
+    // a split would resurrect an overlapping range.
+    if (shard->durable()) {
+      continue;
+    }
     if (shard->data_bytes() > max_bytes && shard->count() >= 2) {
       auto split = SplitVectorShard(ctx, vec, shards[i]);
       Status s = co_await std::move(split);
@@ -244,7 +250,8 @@ Task<> MaintainShardedVector(Ctx ctx, ShardedVector<T> vec, int64_t max_bytes,
     // Merge with the right neighbor when both are sealed and small.
     if (i + 1 < shards.size() && shards[i].end == shards[i + 1].begin) {
       auto* next = rt.UnsafeGet<Shard>(shards[i + 1].proclet);
-      if (next != nullptr && !next->gate_closed() && shard->sealed() &&
+      if (next != nullptr && !next->gate_closed() && !next->durable() &&
+          shard->sealed() &&
           next->sealed() && shard->data_bytes() < min_bytes &&
           next->data_bytes() < min_bytes &&
           shard->data_bytes() + next->data_bytes() <= max_bytes) {
@@ -415,6 +422,10 @@ Task<> MaintainShardedMap(Ctx ctx, ShardedMap<K, V, Proj> map, int64_t max_bytes
     if (shard == nullptr || shard->gate_closed()) {
       continue;
     }
+    // Durable shards are pinned; see MaintainShardedVector.
+    if (shard->durable()) {
+      continue;
+    }
     if (shard->data_bytes() > max_bytes && shard->count() >= 2) {
       auto split = SplitMapShard(ctx, map, shards[i]);
       Status s = co_await std::move(split);
@@ -425,7 +436,7 @@ Task<> MaintainShardedMap(Ctx ctx, ShardedMap<K, V, Proj> map, int64_t max_bytes
     }
     if (i + 1 < shards.size() && shards[i].end == shards[i + 1].begin) {
       auto* next = rt.UnsafeGet<Shard>(shards[i + 1].proclet);
-      if (next != nullptr && !next->gate_closed() &&
+      if (next != nullptr && !next->gate_closed() && !next->durable() &&
           shard->data_bytes() < min_bytes && next->data_bytes() < min_bytes &&
           shard->data_bytes() + next->data_bytes() <= max_bytes) {
         auto merge = MergeMapShards(ctx, map, shards[i], shards[i + 1]);

@@ -13,7 +13,10 @@
 #ifndef QUICKSAND_COMPUTE_DIST_POOL_H_
 #define QUICKSAND_COMPUTE_DIST_POOL_H_
 
+#include <map>
 #include <memory>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "quicksand/proclet/compute_proclet.h"
@@ -27,6 +30,18 @@ class DistPool {
     int initial_proclets = 1;
     int workers_per_proclet = 2;
     int64_t proclet_base_bytes = 4096;
+    // Job lineage: every submission gets a dedup id and stays recorded until
+    // it COMPLETES (not merely starts). A job that finished on a machine
+    // that later crashed is never re-executed — the completion marker lives
+    // client-side, so the crash cannot erase it — and jobs that died queued
+    // or running can be re-executed idempotently via ResubmitIncomplete.
+    bool lineage = false;
+  };
+
+  // A lineage-recorded job that has not completed yet.
+  struct PendingJob {
+    ComputeProclet::Job job;  // dedup-wrapped; reuses the original seq
+    int64_t bytes = 0;
   };
 
   // State shared between handle copies (pool membership changes as the
@@ -37,6 +52,11 @@ class DistPool {
     int64_t submitted = 0;
     int64_t next_member = 0;  // round-robin cursor among equally-loaded members
     int64_t lost_members = 0;  // members whose host machine crashed
+    // Lineage bookkeeping (std::map/std::set: deterministic resubmit order).
+    int64_t next_job_seq = 1;
+    std::set<int64_t> completed_jobs;
+    std::map<int64_t, PendingJob> pending;
+    int64_t deduped_jobs = 0;  // retries skipped because the job had completed
   };
 
   DistPool() = default;
@@ -65,11 +85,66 @@ class DistPool {
 
   // Submits a job to the member with the shortest backlog. Members lost to
   // machine failures are dropped from the pool and the submission retries on
-  // a survivor (the job is resubmitted — at-least-once: a loss after enqueue
-  // but before execution retries on a sibling, which is exactly what a
-  // harvested-resource pool wants).
+  // a survivor (at-least-once). Without lineage a job that COMPLETED on a
+  // machine that crashed before acknowledging is re-executed by that retry
+  // and double-counted by reducers; with lineage the retry finds the
+  // client-side completion marker and no-ops.
   Task<Status> Submit(Ctx ctx, ComputeProclet::Job job,
                       int64_t job_bytes = ComputeProclet::kDefaultJobBytes) {
+    if (!state_->options.lineage) {
+      co_return co_await SubmitRaw(ctx, std::move(job), job_bytes);
+    }
+    const int64_t seq = state_->next_job_seq++;
+    std::shared_ptr<State> state = state_;
+    ComputeProclet::Job wrapped =
+        [state, seq, job = std::move(job)](Ctx jctx) -> Task<> {
+      if (state->completed_jobs.count(seq) != 0) {
+        ++state->deduped_jobs;  // duplicate delivery of a finished job
+        co_return;
+      }
+      co_await job(jctx);
+      // Completion marker at COMPLETION, not start: a crash mid-execution
+      // leaves the job pending so lineage re-executes it.
+      state->completed_jobs.insert(seq);
+      state->pending.erase(seq);
+    };
+    state_->pending.emplace(seq, PendingJob{wrapped, job_bytes});
+    Status submitted = co_await SubmitRaw(ctx, std::move(wrapped), job_bytes);
+    if (!submitted.ok()) {
+      state_->pending.erase(seq);  // never enqueued anywhere
+    }
+    co_return submitted;
+  }
+
+  // Re-executes every lineage-recorded job that has not completed (its
+  // member died with the job queued or running). Jobs still queued on live
+  // members get a second copy, but the dedup marker makes whichever runs
+  // second a no-op. Deterministic: pending is walked in submission order.
+  Task<Status> ResubmitIncomplete(Ctx ctx) {
+    QS_CHECK_MSG(state_->options.lineage,
+                 "ResubmitIncomplete requires Options::lineage");
+    std::vector<std::pair<int64_t, PendingJob>> todo(state_->pending.begin(),
+                                                     state_->pending.end());
+    for (auto& [seq, pending] : todo) {
+      if (state_->completed_jobs.count(seq) != 0) {
+        state_->pending.erase(seq);
+        continue;
+      }
+      Status submitted = co_await SubmitRaw(ctx, pending.job, pending.bytes);
+      if (!submitted.ok()) {
+        co_return submitted;
+      }
+    }
+    co_return Status::Ok();
+  }
+
+  int64_t deduped_jobs() const { return state_->deduped_jobs; }
+  int64_t pending_jobs() const {
+    return static_cast<int64_t>(state_->pending.size());
+  }
+
+ private:
+  Task<Status> SubmitRaw(Ctx ctx, ComputeProclet::Job job, int64_t job_bytes) {
     for (;;) {
       RemoveLostMembers(*ctx.rt);
       if (state_->members.empty()) {
@@ -98,6 +173,7 @@ class DistPool {
     }
   }
 
+ public:
   // Drops members whose hosting machine crashed; returns how many were
   // dropped. Their queued jobs died with the machine (fail-stop) — only
   // revocation warnings, via the evacuator, save queues.

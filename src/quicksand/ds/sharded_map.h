@@ -24,6 +24,8 @@
 #include "quicksand/common/bytes.h"
 #include "quicksand/common/status.h"
 #include "quicksand/common/wire.h"
+#include "quicksand/durability/checkpoint_manager.h"
+#include "quicksand/durability/replication.h"
 #include "quicksand/runtime/runtime.h"
 #include "quicksand/sharding/shard_index.h"
 
@@ -41,6 +43,10 @@ class MapShardProclet : public ProcletBase {
 
   MapShardProclet(const ProcletInit& init, uint64_t begin, uint64_t end)
       : ProcletBase(init), begin_(begin), end_(end) {}
+  // Restore/backup factory form; RestoreState supplies the range and
+  // contents (an empty [0, 0) range owns nothing until then).
+  explicit MapShardProclet(const ProcletInit& init)
+      : MapShardProclet(init, 0, 0) {}
 
   uint64_t begin() const { return begin_; }
   uint64_t end() const { return end_; }
@@ -63,6 +69,17 @@ class MapShardProclet : public ProcletBase {
       ReleaseHeap(-delta);
     }
     data_bytes_ += delta;
+    if (replicated()) {
+      // Replay calls Put on the backup; the backup has no sink attached, so
+      // the log does not recurse.
+      RecordMutation(
+          [key, value](ProcletBase& b) {
+            return static_cast<MapShardProclet&>(b).Put(key, value);
+          },
+          bytes);
+    } else {
+      MarkDirty(bytes);
+    }
     entries_[EntryKey{proj, std::move(key)}] = Entry{std::move(value), bytes};
     return Status::Ok();
   }
@@ -92,6 +109,18 @@ class MapShardProclet : public ProcletBase {
     ReleaseHeap(it->second.bytes);
     data_bytes_ -= it->second.bytes;
     entries_.erase(it);
+    if (replicated()) {
+      RecordMutation(
+          [key](ProcletBase& b) {
+            // Idempotent: a duplicate delivery finds the key already gone.
+            Status erased = static_cast<MapShardProclet&>(b).Erase(key);
+            return erased.code() == StatusCode::kNotFound ? Status::Ok()
+                                                          : erased;
+          },
+          WireSizeOf(key));
+    } else {
+      MarkDirty(WireSizeOf(key));
+    }
     return Status::Ok();
   }
 
@@ -211,6 +240,29 @@ class MapShardProclet : public ProcletBase {
     return Status::Ok();
   }
 
+  // --- Durability -----------------------------------------------------------
+
+  std::optional<StateImage> CaptureState() const override {
+    MapImage image{begin_, end_, retired_, data_bytes_, entries_, heap_bytes()};
+    return StateImage{std::any(std::move(image)), heap_bytes()};
+  }
+
+  Status RestoreState(const StateImage& image) override {
+    const MapImage* img = std::any_cast<MapImage>(&image.data);
+    if (img == nullptr) {
+      return Status::InvalidArgument("image is not a MapShardProclet image");
+    }
+    if (!TryChargeHeap(img->heap_bytes)) {
+      return Status::ResourceExhausted("restore target is out of memory");
+    }
+    begin_ = img->begin;
+    end_ = img->end;
+    retired_ = img->retired;
+    data_bytes_ = img->data_bytes;
+    entries_ = img->entries;
+    return Status::Ok();
+  }
+
  private:
   struct EntryKey {
     uint64_t proj;
@@ -226,6 +278,15 @@ class MapShardProclet : public ProcletBase {
   struct Entry {
     V value;
     int64_t bytes = 0;
+  };
+
+  struct MapImage {
+    uint64_t begin;
+    uint64_t end;
+    bool retired;
+    int64_t data_bytes;
+    std::map<EntryKey, Entry> entries;
+    int64_t heap_bytes;
   };
 
   bool Owns(uint64_t proj) const {
@@ -247,6 +308,10 @@ class ShardedMap {
   struct Options {
     int64_t max_shard_bytes = 16 * kMiB;
     int64_t shard_base_bytes = 4096;
+    // Durability (optional; not owned) — see ShardedVector::Options.
+    ReplicationManager* replication = nullptr;
+    CheckpointManager* checkpoints = nullptr;
+    Duration restore_stall = Duration::Millis(50);
   };
 
   ShardedMap() = default;
@@ -283,6 +348,16 @@ class ShardedMap {
     if (!added.ok()) {
       co_return added;
     }
+    Status protected_index =
+        co_await map.template ProtectNew<ShardIndexProclet>(ctx, index->id());
+    if (!protected_index.ok()) {
+      co_return protected_index;
+    }
+    Status protected_shard =
+        co_await map.template ProtectNew<Shard>(ctx, shard->id());
+    if (!protected_shard.ok()) {
+      co_return protected_shard;
+    }
     co_return map;
   }
 
@@ -294,7 +369,7 @@ class ShardedMap {
     const uint64_t proj = Proj{}(key);
     const int64_t request_bytes = WireSizeOf(key) + WireSizeOf(value);
     for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
-      Result<ShardInfo> info = co_await router_.Route(ctx, proj);
+      Result<ShardInfo> info = co_await RouteSafe(ctx, proj);
       if (!info.ok()) {
         co_return info.status();
       }
@@ -306,6 +381,7 @@ class ShardedMap {
           },
           request_bytes);
       std::optional<Status> status;
+      bool shard_lost = false;
       try {
         status.emplace(co_await std::move(call));
       } catch (const ProcletGoneError&) {
@@ -313,7 +389,14 @@ class ShardedMap {
         continue;
       } catch (const ProcletLostError&) {
         router_.Invalidate();
-        co_return Status::DataLoss(LostShardMessage(*info));
+        shard_lost = true;  // co_await is illegal in a handler; stall below
+      }
+      if (shard_lost) {
+        const bool restored = co_await AwaitShardRestore(ctx, info->proclet);
+        if (!restored) {
+          co_return Status::DataLoss(LostShardMessage(*info));
+        }
+        continue;
       }
       if (status->code() == StatusCode::kOutOfRange) {
         router_.Invalidate();
@@ -328,7 +411,7 @@ class ShardedMap {
     const uint64_t proj = Proj{}(key);
     const int64_t request_bytes = WireSizeOf(key);
     for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
-      Result<ShardInfo> info = co_await router_.Route(ctx, proj);
+      Result<ShardInfo> info = co_await RouteSafe(ctx, proj);
       if (!info.ok()) {
         co_return info.status();
       }
@@ -337,6 +420,7 @@ class ShardedMap {
           ctx, [key](Shard& s) -> Task<Result<V>> { co_return s.Get(key); },
           request_bytes);
       std::optional<Result<V>> value;
+      bool shard_lost = false;
       try {
         value.emplace(co_await std::move(call));
       } catch (const ProcletGoneError&) {
@@ -344,7 +428,14 @@ class ShardedMap {
         continue;
       } catch (const ProcletLostError&) {
         router_.Invalidate();
-        co_return Status::DataLoss(LostShardMessage(*info));
+        shard_lost = true;
+      }
+      if (shard_lost) {
+        const bool restored = co_await AwaitShardRestore(ctx, info->proclet);
+        if (!restored) {
+          co_return Status::DataLoss(LostShardMessage(*info));
+        }
+        continue;
       }
       if (!value->ok() && value->status().code() == StatusCode::kOutOfRange) {
         router_.Invalidate();
@@ -358,7 +449,7 @@ class ShardedMap {
   Task<Status> Erase(Ctx ctx, K key) {
     const uint64_t proj = Proj{}(key);
     for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
-      Result<ShardInfo> info = co_await router_.Route(ctx, proj);
+      Result<ShardInfo> info = co_await RouteSafe(ctx, proj);
       if (!info.ok()) {
         co_return info.status();
       }
@@ -367,6 +458,7 @@ class ShardedMap {
         co_return s.Erase(key);
       });
       std::optional<Status> status;
+      bool shard_lost = false;
       try {
         status.emplace(co_await std::move(call));
       } catch (const ProcletGoneError&) {
@@ -374,7 +466,14 @@ class ShardedMap {
         continue;
       } catch (const ProcletLostError&) {
         router_.Invalidate();
-        co_return Status::DataLoss(LostShardMessage(*info));
+        shard_lost = true;
+      }
+      if (shard_lost) {
+        const bool restored = co_await AwaitShardRestore(ctx, info->proclet);
+        if (!restored) {
+          co_return Status::DataLoss(LostShardMessage(*info));
+        }
+        continue;
       }
       if (status->code() == StatusCode::kOutOfRange) {
         router_.Invalidate();
@@ -398,59 +497,162 @@ class ShardedMap {
   }
 
   Task<Result<int64_t>> Size(Ctx ctx) {
-    co_await router_.Refresh(ctx);
-    int64_t total = 0;
-    for (const ShardInfo& info : router_.cached_shards()) {
-      Ref<Shard> shard(ctx.rt, info.proclet);
-      auto call = shard.Call(ctx, [](Shard& s) -> Task<int64_t> {
-        co_return s.count();
-      });
-      try {
-        total += co_await std::move(call);
-      } catch (const ProcletGoneError&) {
-        router_.Invalidate();
-        co_return Status::Aborted("shard set changed during size scan");
-      } catch (const ProcletLostError&) {
-        router_.Invalidate();
-        co_return Status::DataLoss(LostShardMessage(info));
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+      Status refreshed = co_await RefreshSafe(ctx);
+      if (!refreshed.ok()) {
+        co_return refreshed;
       }
+      int64_t total = 0;
+      bool retry = false;
+      for (const ShardInfo& info : router_.cached_shards()) {
+        Ref<Shard> shard(ctx.rt, info.proclet);
+        auto call = shard.Call(ctx, [](Shard& s) -> Task<int64_t> {
+          co_return s.count();
+        });
+        bool shard_lost = false;
+        try {
+          total += co_await std::move(call);
+        } catch (const ProcletGoneError&) {
+          router_.Invalidate();
+          co_return Status::Aborted("shard set changed during size scan");
+        } catch (const ProcletLostError&) {
+          router_.Invalidate();
+          shard_lost = true;
+        }
+        if (shard_lost) {
+          const bool restored = co_await AwaitShardRestore(ctx, info.proclet);
+          if (!restored) {
+            co_return Status::DataLoss(LostShardMessage(info));
+          }
+          retry = true;
+          break;
+        }
+      }
+      if (retry) {
+        continue;
+      }
+      co_return total;
     }
-    co_return total;
+    co_return Status::Aborted("too many size retries");
   }
 
   // Copies out every entry, shard by shard (iteration primitive).
   Task<Result<std::vector<std::pair<K, V>>>> Items(Ctx ctx) {
-    co_await router_.Refresh(ctx);
-    std::vector<std::pair<K, V>> out;
-    for (const ShardInfo& info : router_.cached_shards()) {
-      Ref<Shard> shard(ctx.rt, info.proclet);
-      auto call = shard.Call(ctx, [](Shard& s) -> Task<std::vector<std::pair<K, V>>> {
-        co_return s.Items();
-      });
-      try {
-        std::vector<std::pair<K, V>> items = co_await std::move(call);
-        for (auto& item : items) {
-          out.push_back(std::move(item));
-        }
-      } catch (const ProcletGoneError&) {
-        router_.Invalidate();
-        co_return Status::Aborted("shard set changed during scan");
-      } catch (const ProcletLostError&) {
-        router_.Invalidate();
-        co_return Status::DataLoss(LostShardMessage(info));
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+      Status refreshed = co_await RefreshSafe(ctx);
+      if (!refreshed.ok()) {
+        co_return refreshed;
       }
+      std::vector<std::pair<K, V>> out;
+      bool retry = false;
+      for (const ShardInfo& info : router_.cached_shards()) {
+        Ref<Shard> shard(ctx.rt, info.proclet);
+        auto call = shard.Call(ctx, [](Shard& s) -> Task<std::vector<std::pair<K, V>>> {
+          co_return s.Items();
+        });
+        bool shard_lost = false;
+        try {
+          std::vector<std::pair<K, V>> items = co_await std::move(call);
+          for (auto& item : items) {
+            out.push_back(std::move(item));
+          }
+        } catch (const ProcletGoneError&) {
+          router_.Invalidate();
+          co_return Status::Aborted("shard set changed during scan");
+        } catch (const ProcletLostError&) {
+          router_.Invalidate();
+          shard_lost = true;
+        }
+        if (shard_lost) {
+          const bool restored = co_await AwaitShardRestore(ctx, info.proclet);
+          if (!restored) {
+            co_return Status::DataLoss(LostShardMessage(info));
+          }
+          retry = true;
+          break;
+        }
+      }
+      if (retry) {
+        continue;
+      }
+      co_return out;
     }
-    co_return out;
+    co_return Status::Aborted("too many scan retries");
   }
 
  private:
   static constexpr int kMaxAttempts = 16;
 
-  // Loss is permanent (fail-stop, no replication): report the projection
-  // range whose entries died with the machine instead of retrying forever.
+  // Unrecoverable loss: report the projection range whose entries died with
+  // the machine instead of retrying forever.
   static std::string LostShardMessage(const ShardInfo& info) {
     return "keys projecting to [" + std::to_string(info.begin) + ", " +
            std::to_string(info.end) + ") lost to a machine failure";
+  }
+
+  // --- Durability helpers (see ShardedVector for commentary) ----------------
+
+  template <typename P>
+  Task<Status> ProtectNew(Ctx ctx, ProcletId id) {
+    if (options_.replication != nullptr) {
+      co_return co_await options_.replication->template ReplicateAs<P>(ctx, id);
+    }
+    if (options_.checkpoints != nullptr) {
+      co_return co_await options_.checkpoints->template ProtectAs<P>(ctx, id);
+    }
+    co_return Status::Ok();
+  }
+
+  Task<bool> AwaitShardRestore(Ctx ctx, ProcletId id) {
+    if (!ctx.rt->recovery_enabled()) {
+      co_return false;
+    }
+    co_return co_await ctx.rt->AwaitRestore(id, options_.restore_stall);
+  }
+
+  Task<Status> RefreshSafe(Ctx ctx) {
+    for (int i = 0; i < kMaxAttempts; ++i) {
+      bool index_lost = false;
+      try {
+        co_await router_.Refresh(ctx);
+      } catch (const ProcletGoneError&) {
+        co_return Status::NotFound("shard index destroyed");
+      } catch (const ProcletLostError&) {
+        router_.Invalidate();
+        index_lost = true;
+      }
+      if (!index_lost) {
+        co_return Status::Ok();
+      }
+      const bool restored = co_await AwaitShardRestore(ctx, index_.id());
+      if (!restored) {
+        co_return Status::DataLoss("shard index lost to a machine failure");
+      }
+    }
+    co_return Status::Aborted("too many index refresh retries");
+  }
+
+  Task<Result<ShardInfo>> RouteSafe(Ctx ctx, uint64_t key) {
+    for (int i = 0; i < kMaxAttempts; ++i) {
+      std::optional<Result<ShardInfo>> routed;
+      bool index_lost = false;
+      try {
+        routed.emplace(co_await router_.Route(ctx, key));
+      } catch (const ProcletGoneError&) {
+        co_return Status::NotFound("shard index destroyed");
+      } catch (const ProcletLostError&) {
+        router_.Invalidate();
+        index_lost = true;
+      }
+      if (!index_lost) {
+        co_return std::move(*routed);
+      }
+      const bool restored = co_await AwaitShardRestore(ctx, index_.id());
+      if (!restored) {
+        co_return Status::DataLoss("shard index lost to a machine failure");
+      }
+    }
+    co_return Status::Aborted("too many route retries");
   }
 
   Ref<ShardIndexProclet> index_;

@@ -26,6 +26,8 @@
 #include "quicksand/common/bytes.h"
 #include "quicksand/common/status.h"
 #include "quicksand/common/wire.h"
+#include "quicksand/durability/checkpoint_manager.h"
+#include "quicksand/durability/replication.h"
 #include "quicksand/runtime/runtime.h"
 #include "quicksand/sharding/shard_index.h"
 
@@ -44,6 +46,9 @@ class VectorShardProclet : public ProcletBase {
 
   VectorShardProclet(const ProcletInit& init, uint64_t base)
       : ProcletBase(init), base_(base) {}
+  // Restore/backup factory form; RestoreState supplies base_ and contents.
+  explicit VectorShardProclet(const ProcletInit& init)
+      : VectorShardProclet(init, 0) {}
 
   uint64_t base() const { return base_; }
   uint64_t end_index() const { return base_ + elements_.size(); }
@@ -61,13 +66,32 @@ class VectorShardProclet : public ProcletBase {
     }
     data_bytes_ += bytes;
     element_bytes_.push_back(bytes);
+    const uint64_t index = base_ + elements_.size();
+    if (replicated()) {
+      RecordMutation(
+          [index, value, bytes](ProcletBase& b) {
+            return static_cast<VectorShardProclet&>(b).ApplyAppend(index, value,
+                                                                   bytes);
+          },
+          bytes);
+    } else {
+      MarkDirty(bytes);
+    }
     elements_.push_back(std::move(value));
-    return AppendResult{base_ + elements_.size() - 1, data_bytes_, count()};
+    return AppendResult{index, data_bytes_, count()};
   }
 
   // Idempotent; returns the element count at seal time.
   int64_t Seal() {
-    sealed_ = true;
+    if (!sealed_) {
+      sealed_ = true;
+      RecordMutation(
+          [](ProcletBase& b) {
+            static_cast<VectorShardProclet&>(b).sealed_ = true;
+            return Status::Ok();
+          },
+          kControlRecordBytes);
+    }
     return count();
   }
 
@@ -93,6 +117,16 @@ class VectorShardProclet : public ProcletBase {
     }
     data_bytes_ += delta;
     element_bytes_[slot] = new_bytes;
+    if (replicated()) {
+      RecordMutation(
+          [index, value, new_bytes](ProcletBase& b) {
+            return static_cast<VectorShardProclet&>(b).ApplySet(index, value,
+                                                                new_bytes);
+          },
+          new_bytes);
+    } else {
+      MarkDirty(new_bytes);
+    }
     elements_[slot] = std::move(value);
     return Status::Ok();
   }
@@ -193,7 +227,84 @@ class VectorShardProclet : public ProcletBase {
     return payload;
   }
 
+  // --- Durability -----------------------------------------------------------
+
+  std::optional<StateImage> CaptureState() const override {
+    VectorImage image{base_, sealed_, data_bytes_, elements_, element_bytes_,
+                      heap_bytes()};
+    return StateImage{std::any(std::move(image)), heap_bytes()};
+  }
+
+  Status RestoreState(const StateImage& image) override {
+    const VectorImage* img = std::any_cast<VectorImage>(&image.data);
+    if (img == nullptr) {
+      return Status::InvalidArgument("image is not a VectorShardProclet image");
+    }
+    if (!TryChargeHeap(img->heap_bytes)) {
+      return Status::ResourceExhausted("restore target is out of memory");
+    }
+    base_ = img->base;
+    sealed_ = img->sealed;
+    data_bytes_ = img->data_bytes;
+    elements_ = img->elements;
+    element_bytes_ = img->element_bytes;
+    return Status::Ok();
+  }
+
  private:
+  struct VectorImage {
+    uint64_t base;
+    bool sealed;
+    int64_t data_bytes;
+    std::vector<T> elements;
+    std::vector<int64_t> element_bytes;
+    int64_t heap_bytes;
+  };
+
+  // Wire size of a logged control record (seal).
+  static constexpr int64_t kControlRecordBytes = 16;
+
+  // Mutation-log replay targets (run on the backup object; see
+  // ProcletBase::RecordMutation). Tolerant of duplicate delivery.
+  Status ApplyAppend(uint64_t index, const T& value, int64_t bytes) {
+    if (index < base_) {
+      return Status::Internal("append replay below shard base");
+    }
+    const size_t slot = static_cast<size_t>(index - base_);
+    if (slot < elements_.size()) {
+      return ApplySet(index, value, bytes);  // duplicate delivery
+    }
+    if (slot != elements_.size()) {
+      return Status::Internal("append replay would leave a gap");
+    }
+    if (!TryChargeHeap(bytes)) {
+      return Status::ResourceExhausted("backup machine out of memory");
+    }
+    data_bytes_ += bytes;
+    element_bytes_.push_back(bytes);
+    elements_.push_back(value);
+    return Status::Ok();
+  }
+
+  Status ApplySet(uint64_t index, const T& value, int64_t bytes) {
+    if (index < base_ ||
+        index - base_ >= static_cast<uint64_t>(elements_.size())) {
+      return Status::Internal("set replay outside shard range");
+    }
+    const size_t slot = static_cast<size_t>(index - base_);
+    const int64_t delta = bytes - element_bytes_[slot];
+    if (delta > 0 && !TryChargeHeap(delta)) {
+      return Status::ResourceExhausted("backup machine out of memory");
+    }
+    if (delta < 0) {
+      ReleaseHeap(-delta);
+    }
+    data_bytes_ += delta;
+    element_bytes_[slot] = bytes;
+    elements_[slot] = value;
+    return Status::Ok();
+  }
+
   uint64_t base_;
   bool sealed_ = false;
   int64_t data_bytes_ = 0;
@@ -211,6 +322,14 @@ class ShardedVector {
     int64_t max_shard_bytes = 16 * kMiB;
     // Initial heap charge per shard proclet (metadata).
     int64_t shard_base_bytes = 4096;
+    // Durability (optional; not owned). When replication is set every new
+    // shard and the index get a primary-backup replica; otherwise, when
+    // checkpoints is set, they get periodic checkpoints. Either way a lost
+    // shard becomes a bounded stall (restore_stall) while the
+    // RecoveryCoordinator restores it, instead of an immediate DataLoss.
+    ReplicationManager* replication = nullptr;
+    CheckpointManager* checkpoints = nullptr;
+    Duration restore_stall = Duration::Millis(50);
   };
 
   ShardedVector() = default;
@@ -227,6 +346,11 @@ class ShardedVector {
     vec.index_ = *index;
     vec.router_ = ShardRouter(*index);
     vec.options_ = options;
+    Status protected_index =
+        co_await vec.template ProtectNew<ShardIndexProclet>(ctx, index->id());
+    if (!protected_index.ok()) {
+      co_return protected_index;
+    }
     // First tail shard covering [0, inf).
     Status grown = co_await vec.AddTail(ctx, 0);
     if (!grown.ok()) {
@@ -257,6 +381,7 @@ class ShardedVector {
           },
           request_bytes);
       std::optional<Result<AppendResult>> appended;
+      bool shard_lost = false;
       try {
         appended.emplace(co_await std::move(call));
       } catch (const ProcletGoneError&) {
@@ -264,12 +389,19 @@ class ShardedVector {
         continue;
       } catch (const ProcletLostError&) {
         router_.Invalidate();
-        co_return Status::DataLoss(LostShardMessage(*tail));
+        shard_lost = true;  // co_await is illegal in a handler; stall below
+      }
+      if (shard_lost) {
+        const bool restored = co_await AwaitShardRestore(ctx, tail->proclet);
+        if (!restored) {
+          co_return Status::DataLoss(LostShardMessage(*tail));
+        }
+        continue;
       }
       if (!appended->ok()) {
         if (appended->status().code() == StatusCode::kFailedPrecondition) {
           // Tail sealed under us: someone is growing; refresh and retry.
-          co_await router_.Refresh(ctx);
+          (void)co_await RefreshSafe(ctx);
           continue;
         }
         co_return appended->status();
@@ -287,7 +419,7 @@ class ShardedVector {
 
   Task<Result<T>> Get(Ctx ctx, uint64_t index) {
     for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
-      Result<ShardInfo> info = co_await router_.Route(ctx, index);
+      Result<ShardInfo> info = co_await RouteSafe(ctx, index);
       if (!info.ok()) {
         co_return Status::OutOfRange("index beyond vector");
       }
@@ -296,6 +428,7 @@ class ShardedVector {
         co_return s.Get(index);
       });
       std::optional<Result<T>> value;
+      bool shard_lost = false;
       try {
         value.emplace(co_await std::move(call));
       } catch (const ProcletGoneError&) {
@@ -303,7 +436,14 @@ class ShardedVector {
         continue;
       } catch (const ProcletLostError&) {
         router_.Invalidate();
-        co_return Status::DataLoss(LostShardMessage(*info));
+        shard_lost = true;
+      }
+      if (shard_lost) {
+        const bool restored = co_await AwaitShardRestore(ctx, info->proclet);
+        if (!restored) {
+          co_return Status::DataLoss(LostShardMessage(*info));
+        }
+        continue;
       }
       if (!value->ok() && value->status().code() == StatusCode::kOutOfRange) {
         if (info->end == UINT64_MAX) {
@@ -321,7 +461,7 @@ class ShardedVector {
   Task<Status> Set(Ctx ctx, uint64_t index, T value) {
     const int64_t request_bytes = WireSizeOf(value);
     for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
-      Result<ShardInfo> info = co_await router_.Route(ctx, index);
+      Result<ShardInfo> info = co_await RouteSafe(ctx, index);
       if (!info.ok()) {
         co_return Status::OutOfRange("index beyond vector");
       }
@@ -333,6 +473,7 @@ class ShardedVector {
           },
           request_bytes);
       Status status = Status::Internal("unset");
+      bool shard_lost = false;
       try {
         status = co_await std::move(call);
       } catch (const ProcletGoneError&) {
@@ -340,7 +481,14 @@ class ShardedVector {
         continue;
       } catch (const ProcletLostError&) {
         router_.Invalidate();
-        co_return Status::DataLoss(LostShardMessage(*info));
+        shard_lost = true;
+      }
+      if (shard_lost) {
+        const bool restored = co_await AwaitShardRestore(ctx, info->proclet);
+        if (!restored) {
+          co_return Status::DataLoss(LostShardMessage(*info));
+        }
+        continue;
       }
       if (status.code() == StatusCode::kOutOfRange) {
         if (info->end == UINT64_MAX) {
@@ -362,7 +510,7 @@ class ShardedVector {
     uint64_t cursor = begin;
     int stale_retries = 0;
     while (count > 0) {
-      Result<ShardInfo> info = co_await router_.Route(ctx, cursor);
+      Result<ShardInfo> info = co_await RouteSafe(ctx, cursor);
       if (!info.ok()) {
         break;  // past the end
       }
@@ -373,6 +521,7 @@ class ShardedVector {
             co_return s.GetRange(cursor, ask);
           });
       std::optional<Result<std::vector<T>>> chunk;
+      bool shard_lost = false;
       try {
         chunk.emplace(co_await std::move(call));
       } catch (const ProcletGoneError&) {
@@ -383,7 +532,17 @@ class ShardedVector {
         continue;
       } catch (const ProcletLostError&) {
         router_.Invalidate();
-        co_return Status::DataLoss(LostShardMessage(*info));
+        shard_lost = true;
+      }
+      if (shard_lost) {
+        const bool restored = co_await AwaitShardRestore(ctx, info->proclet);
+        if (!restored) {
+          co_return Status::DataLoss(LostShardMessage(*info));
+        }
+        if (++stale_retries > kMaxAttempts) {
+          co_return Status::Aborted("too many range-read retries");
+        }
+        continue;
       }
       if (!chunk->ok()) {
         if (chunk->status().code() == StatusCode::kOutOfRange) {
@@ -413,35 +572,55 @@ class ShardedVector {
 
   // Total element count (one index round trip).
   Task<Result<uint64_t>> Size(Ctx ctx) {
-    co_await router_.Refresh(ctx);
-    // The index's counts are advisory; ask the tail shard for its live count.
-    uint64_t total = 0;
-    for (const ShardInfo& shard : router_.cached_shards()) {
-      if (shard.end == UINT64_MAX) {
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+      Status refreshed = co_await RefreshSafe(ctx);
+      if (!refreshed.ok()) {
+        co_return refreshed;
+      }
+      // The index's counts are advisory; ask the tail shard for its live
+      // count.
+      uint64_t total = 0;
+      bool retry = false;
+      for (const ShardInfo& shard : router_.cached_shards()) {
+        if (shard.end != UINT64_MAX) {
+          total = std::max(total, shard.end);
+          continue;
+        }
         Ref<Shard> tail(ctx.rt, shard.proclet);
         auto call = tail.Call(ctx, [](Shard& s) -> Task<uint64_t> {
           co_return s.end_index();
         });
         uint64_t end_index = 0;
+        bool shard_lost = false;
         try {
           end_index = co_await std::move(call);
         } catch (const ProcletLostError&) {
           router_.Invalidate();
-          co_return Status::DataLoss(LostShardMessage(shard));
+          shard_lost = true;
+        }
+        if (shard_lost) {
+          const bool restored = co_await AwaitShardRestore(ctx, shard.proclet);
+          if (!restored) {
+            co_return Status::DataLoss(LostShardMessage(shard));
+          }
+          retry = true;
+          break;
         }
         total = std::max(total, end_index);
-      } else {
-        total = std::max(total, shard.end);
       }
+      if (retry) {
+        continue;
+      }
+      co_return total;
     }
-    co_return total;
+    co_return Status::Aborted("too many size retries");
   }
 
  private:
   static constexpr int kMaxAttempts = 16;
 
-  // Loss is permanent (fail-stop, no replication): report the exact index
-  // range that died with the machine instead of retrying forever.
+  // Unrecoverable loss: report the exact index range that died with the
+  // machine instead of retrying forever.
   static std::string LostShardMessage(const ShardInfo& info) {
     const std::string end = info.end == UINT64_MAX ? std::string("end")
                                                    : std::to_string(info.end);
@@ -454,7 +633,10 @@ class ShardedVector {
   // has no tail; wait out that window.
   Task<Result<ShardInfo>> RouteTail(Ctx ctx) {
     if (router_.cached_shards().empty()) {
-      co_await router_.Refresh(ctx);
+      Status refreshed = co_await RefreshSafe(ctx);
+      if (!refreshed.ok()) {
+        co_return refreshed;
+      }
     }
     for (int i = 0; i < kMaxAttempts; ++i) {
       for (const ShardInfo& shard : router_.cached_shards()) {
@@ -463,7 +645,10 @@ class ShardedVector {
         }
       }
       co_await ctx.rt->sim().Sleep(Duration::Micros(20));
-      co_await router_.Refresh(ctx);
+      Status refreshed = co_await RefreshSafe(ctx);
+      if (!refreshed.ok()) {
+        co_return refreshed;
+      }
     }
     co_return Status::Internal("sharded vector has no tail shard");
   }
@@ -474,6 +659,7 @@ class ShardedVector {
     Ref<Shard> shard(ctx.rt, tail.proclet);
     auto seal = shard.Call(ctx, [](Shard& s) -> Task<int64_t> { co_return s.Seal(); });
     int64_t sealed_count = 0;
+    bool tail_lost = false;
     try {
       sealed_count = co_await std::move(seal);
     } catch (const ProcletGoneError&) {
@@ -481,7 +667,15 @@ class ShardedVector {
       co_return Status::FailedPrecondition("tail vanished during grow");
     } catch (const ProcletLostError&) {
       router_.Invalidate();
-      co_return Status::DataLoss(LostShardMessage(tail));
+      tail_lost = true;
+    }
+    if (tail_lost) {
+      const bool restored = co_await AwaitShardRestore(ctx, tail.proclet);
+      if (!restored) {
+        co_return Status::DataLoss(LostShardMessage(tail));
+      }
+      // FailedPrecondition is the "retry the append" signal to PushBack.
+      co_return Status::FailedPrecondition("tail restored during grow; retry");
     }
     const uint64_t boundary = tail.begin + static_cast<uint64_t>(sealed_count);
 
@@ -492,14 +686,28 @@ class ShardedVector {
     auto update = index_.Call(ctx, [sealed_info](ShardIndexProclet& p) -> Task<Status> {
       co_return p.UpdateShard(sealed_info);
     });
-    Status updated = co_await std::move(update);
+    Status updated = Status::Internal("unset");
+    bool index_lost = false;
+    try {
+      updated = co_await std::move(update);
+    } catch (const ProcletLostError&) {
+      router_.Invalidate();
+      index_lost = true;
+    }
+    if (index_lost) {
+      const bool restored = co_await AwaitShardRestore(ctx, index_.id());
+      if (!restored) {
+        co_return Status::DataLoss("shard index lost to a machine failure");
+      }
+      co_return Status::FailedPrecondition("index restored during grow; retry");
+    }
     if (!updated.ok()) {
       // Another appender already grew the tail.
-      co_await router_.Refresh(ctx);
+      (void)co_await RefreshSafe(ctx);
       co_return Status::FailedPrecondition("tail already grown");
     }
     Status added = co_await AddTail(ctx, boundary);
-    co_await router_.Refresh(ctx);
+    (void)co_await RefreshSafe(ctx);
     co_return added;
   }
 
@@ -518,14 +726,104 @@ class ShardedVector {
     auto add = index_.Call(ctx, [info](ShardIndexProclet& p) -> Task<Status> {
       co_return p.AddShard(info);
     });
-    Status added = co_await std::move(add);
+    Status added = Status::Internal("unset");
+    bool index_lost = false;
+    try {
+      added = co_await std::move(add);
+    } catch (const ProcletLostError&) {
+      router_.Invalidate();
+      index_lost = true;
+    }
+    if (index_lost) {
+      const bool restored = co_await AwaitShardRestore(ctx, index_.id());
+      auto destroy = ctx.rt->Destroy(ctx, shard->id());
+      (void)co_await std::move(destroy);
+      if (!restored) {
+        co_return Status::DataLoss("shard index lost to a machine failure");
+      }
+      co_return Status::FailedPrecondition("index restored mid-grow; retry");
+    }
     if (!added.ok()) {
       // Lost a race: drop the orphan shard.
       auto destroy = ctx.rt->Destroy(ctx, shard->id());
       (void)co_await std::move(destroy);
       co_return Status::FailedPrecondition("another tail was added first");
     }
+    co_return co_await ProtectNew<Shard>(ctx, shard->id());
+  }
+
+  // --- Durability helpers ---------------------------------------------------
+
+  // Registers a freshly created proclet with the configured durability
+  // service (replication preferred over checkpoints when both are set).
+  template <typename P>
+  Task<Status> ProtectNew(Ctx ctx, ProcletId id) {
+    if (options_.replication != nullptr) {
+      co_return co_await options_.replication->template ReplicateAs<P>(ctx, id);
+    }
+    if (options_.checkpoints != nullptr) {
+      co_return co_await options_.checkpoints->template ProtectAs<P>(ctx, id);
+    }
     co_return Status::Ok();
+  }
+
+  // Bounded stall while the recovery subsystem restores a lost proclet;
+  // false when recovery is off or the deadline passes (the caller reports
+  // DataLoss exactly as before the durability subsystem existed).
+  Task<bool> AwaitShardRestore(Ctx ctx, ProcletId id) {
+    if (!ctx.rt->recovery_enabled()) {
+      co_return false;
+    }
+    co_return co_await ctx.rt->AwaitRestore(id, options_.restore_stall);
+  }
+
+  // Router refresh that survives a lost index proclet: stalls for the
+  // restore, then re-pulls. DataLoss only when recovery cannot bring the
+  // index back.
+  Task<Status> RefreshSafe(Ctx ctx) {
+    for (int i = 0; i < kMaxAttempts; ++i) {
+      bool index_lost = false;
+      try {
+        co_await router_.Refresh(ctx);
+      } catch (const ProcletGoneError&) {
+        co_return Status::NotFound("shard index destroyed");
+      } catch (const ProcletLostError&) {
+        router_.Invalidate();
+        index_lost = true;
+      }
+      if (!index_lost) {
+        co_return Status::Ok();
+      }
+      const bool restored = co_await AwaitShardRestore(ctx, index_.id());
+      if (!restored) {
+        co_return Status::DataLoss("shard index lost to a machine failure");
+      }
+    }
+    co_return Status::Aborted("too many index refresh retries");
+  }
+
+  // Route through the cache with the same index-loss handling.
+  Task<Result<ShardInfo>> RouteSafe(Ctx ctx, uint64_t key) {
+    for (int i = 0; i < kMaxAttempts; ++i) {
+      std::optional<Result<ShardInfo>> routed;
+      bool index_lost = false;
+      try {
+        routed.emplace(co_await router_.Route(ctx, key));
+      } catch (const ProcletGoneError&) {
+        co_return Status::NotFound("shard index destroyed");
+      } catch (const ProcletLostError&) {
+        router_.Invalidate();
+        index_lost = true;
+      }
+      if (!index_lost) {
+        co_return std::move(*routed);
+      }
+      const bool restored = co_await AwaitShardRestore(ctx, index_.id());
+      if (!restored) {
+        co_return Status::DataLoss("shard index lost to a machine failure");
+      }
+    }
+    co_return Status::Aborted("too many route retries");
   }
 
   Ref<ShardIndexProclet> index_;

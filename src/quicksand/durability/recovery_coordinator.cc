@@ -1,0 +1,83 @@
+#include "quicksand/durability/recovery_coordinator.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "quicksand/common/logging.h"
+
+namespace quicksand {
+
+void RecoveryCoordinator::Arm(FaultInjector& injector) {
+  // Flipping recovery mode is what makes the DS layer stall-and-retry on
+  // ProcletLostError instead of reporting DataLoss immediately.
+  rt_.SetRecoveryEnabled(true);
+  injector.OnCrash([this](MachineId machine) {
+    rt_.sim().Spawn(HandleCrash(machine),
+                    "recovery_m" + std::to_string(machine));
+  });
+}
+
+Task<> RecoveryCoordinator::HandleCrash(MachineId machine) {
+  (void)co_await Recover(rt_.CtxOn(options_.home), machine);
+}
+
+Task<RecoveryReport> RecoveryCoordinator::Recover(Ctx ctx, MachineId machine) {
+  RecoveryReport report;
+  report.machine = machine;
+  report.started = rt_.sim().Now();
+
+  // Already sorted: deterministic restore order across same-seed runs.
+  std::vector<ProcletId> lost = rt_.LostProcletsOn(machine);
+  for (ProcletId id : lost) {
+    if (checkpoints_ != nullptr && checkpoints_->IsDepot(id)) {
+      continue;  // infrastructure: the manager rebuilds depots itself
+    }
+    ++report.lost;
+    if (!rt_.IsLost(id)) {
+      continue;  // another fiber (or an earlier hook) already restored it
+    }
+    if (replication_ != nullptr && replication_->HasLiveBackup(id)) {
+      Status promoted = co_await replication_->PromoteBackup(ctx, id);
+      if (promoted.ok()) {
+        ++report.promoted;
+        continue;
+      }
+      QS_LOG_DEBUG("recovery", "proclet %llu promotion failed: %s",
+                   static_cast<unsigned long long>(id),
+                   promoted.message().c_str());
+    }
+    if (checkpoints_ != nullptr && checkpoints_->Recoverable(id)) {
+      Status restored = co_await checkpoints_->RestoreLost(ctx, id);
+      if (restored.ok()) {
+        ++report.restored;
+        continue;
+      }
+      QS_LOG_DEBUG("recovery", "proclet %llu restore failed: %s",
+                   static_cast<unsigned long long>(id),
+                   restored.message().c_str());
+    }
+    ++report.unrecoverable;
+  }
+
+  for (RecoveredHook& hook : hooks_) {
+    co_await hook(ctx, machine);
+  }
+
+  report.elapsed = rt_.sim().Now() - report.started;
+  total_promoted_ += report.promoted;
+  total_restored_ += report.restored;
+  total_unrecoverable_ += report.unrecoverable;
+  QS_LOG_INFO("recovery",
+              "m%u: %lld lost, %lld promoted, %lld restored, %lld "
+              "unrecoverable in %lld us",
+              machine, static_cast<long long>(report.lost),
+              static_cast<long long>(report.promoted),
+              static_cast<long long>(report.restored),
+              static_cast<long long>(report.unrecoverable),
+              static_cast<long long>(report.elapsed.micros()));
+  reports_.push_back(report);
+  co_return report;
+}
+
+}  // namespace quicksand

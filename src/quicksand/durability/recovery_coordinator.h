@@ -1,0 +1,106 @@
+// RecoveryCoordinator: turns machine crashes into proclet restores.
+//
+// Hooked into the runtime's crash path (Arm must run AFTER
+// Runtime::AttachFaultInjector — FaultInjector handlers fire in
+// registration order, and recovery needs the runtime's loss bookkeeping
+// done first). For every crash it walks the machine's lost proclets in id
+// order (deterministic) and, per proclet:
+//
+//  1. promotes a live backup if the ReplicationManager has one — control
+//     message cost, freshest state,
+//  2. otherwise restores from the latest checkpoint if the
+//     CheckpointManager has a usable one — depot read + full-image
+//     transfer,
+//  3. otherwise counts it unrecoverable (exactly PR 1's behavior).
+//
+// Restores go through Runtime::AdoptRestored: the old proclet id is rebound
+// in the directory, so existing DistPtrs and sharded-DS routing caches heal
+// through their normal miss/refresh path, and the DS layer's bounded stall
+// (Runtime::AwaitRestore) resolves. Arming the coordinator also flips
+// Runtime::recovery_enabled, which is what makes ShardedVector/ShardedMap
+// stall instead of reporting DataLoss.
+//
+// Compute proclets have no restorable state; OnRecovered hooks let pools
+// re-execute in-flight jobs by lineage (DistPool::RecoverLost +
+// ResubmitIncomplete) after the state-bearing proclets are back.
+
+#ifndef QUICKSAND_DURABILITY_RECOVERY_COORDINATOR_H_
+#define QUICKSAND_DURABILITY_RECOVERY_COORDINATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "quicksand/cluster/fault_injector.h"
+#include "quicksand/durability/checkpoint_manager.h"
+#include "quicksand/durability/replication.h"
+#include "quicksand/runtime/runtime.h"
+
+namespace quicksand {
+
+struct RecoveryReport {
+  MachineId machine = kInvalidMachineId;
+  SimTime started;
+  Duration elapsed = Duration::Zero();  // crash -> last restore resolved
+  int64_t lost = 0;           // proclets that died with the machine
+  int64_t promoted = 0;       // restored by promoting a live backup
+  int64_t restored = 0;       // restored from a checkpoint
+  int64_t unrecoverable = 0;  // no backup, no usable checkpoint
+};
+
+class RecoveryCoordinator {
+ public:
+  // Runs after the per-proclet restores of one crash; used for lineage
+  // re-execution (compute pools) and similar application-level repair.
+  using RecoveredHook = std::function<Task<>(Ctx, MachineId)>;
+
+  struct Options {
+    // Machine the recovery fibers run on (the controller).
+    MachineId home = 0;
+  };
+
+  explicit RecoveryCoordinator(Runtime& rt) : RecoveryCoordinator(rt, Options{}) {}
+  RecoveryCoordinator(Runtime& rt, Options options)
+      : rt_(rt), options_(options) {}
+
+  RecoveryCoordinator(const RecoveryCoordinator&) = delete;
+  RecoveryCoordinator& operator=(const RecoveryCoordinator&) = delete;
+
+  void AttachCheckpoints(CheckpointManager* checkpoints) {
+    checkpoints_ = checkpoints;
+  }
+  void AttachReplication(ReplicationManager* replication) {
+    replication_ = replication;
+  }
+  void OnRecovered(RecoveredHook hook) { hooks_.push_back(std::move(hook)); }
+
+  // Subscribes to crashes and enables the runtime's recovery mode. Register
+  // AFTER Runtime::AttachFaultInjector (and after ReplicationManager::Arm /
+  // CheckpointManager::Arm if used).
+  void Arm(FaultInjector& injector);
+
+  // Recovers everything lost with `machine`; callable directly for tests.
+  Task<RecoveryReport> Recover(Ctx ctx, MachineId machine);
+
+  const std::vector<RecoveryReport>& reports() const { return reports_; }
+  int64_t total_promoted() const { return total_promoted_; }
+  int64_t total_restored() const { return total_restored_; }
+  int64_t total_unrecoverable() const { return total_unrecoverable_; }
+
+ private:
+  Task<> HandleCrash(MachineId machine);
+
+  Runtime& rt_;
+  Options options_;
+  CheckpointManager* checkpoints_ = nullptr;
+  ReplicationManager* replication_ = nullptr;
+  std::vector<RecoveredHook> hooks_;
+  std::vector<RecoveryReport> reports_;
+  int64_t total_promoted_ = 0;
+  int64_t total_restored_ = 0;
+  int64_t total_unrecoverable_ = 0;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_DURABILITY_RECOVERY_COORDINATOR_H_

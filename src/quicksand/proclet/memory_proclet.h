@@ -38,7 +38,13 @@ class MemoryProclet : public ProcletBase {
       return Status::ResourceExhausted("memory proclet host is out of memory");
     }
     const uint64_t object_id = next_object_id_++;
-    objects_.emplace(object_id, Entry{std::any(std::move(value)), bytes});
+    objects_.emplace(object_id, Entry{std::any(value), bytes});
+    RecordMutation(
+        [object_id, value = std::move(value), bytes](ProcletBase& b) {
+          return static_cast<MemoryProclet&>(b).ApplyPut(object_id,
+                                                         std::any(value), bytes);
+        },
+        bytes);
     return object_id;
   }
 
@@ -69,8 +75,14 @@ class MemoryProclet : public ProcletBase {
     if (delta < 0) {
       ReleaseHeap(-delta);
     }
-    it->second.value = std::any(std::move(value));
+    it->second.value = std::any(value);
     it->second.bytes = new_bytes;
+    RecordMutation(
+        [object_id, value = std::move(value), new_bytes](ProcletBase& b) {
+          return static_cast<MemoryProclet&>(b).ApplyPut(
+              object_id, std::any(value), new_bytes);
+        },
+        new_bytes);
     return Status::Ok();
   }
 
@@ -81,16 +93,84 @@ class MemoryProclet : public ProcletBase {
     }
     ReleaseHeap(it->second.bytes);
     objects_.erase(it);
+    RecordMutation(
+        [object_id](ProcletBase& b) {
+          return static_cast<MemoryProclet&>(b).ApplyFree(object_id);
+        },
+        kFreeRecordBytes);
     return Status::Ok();
   }
 
   size_t object_count() const { return objects_.size(); }
+
+  // --- Durability -----------------------------------------------------------
+
+  std::optional<StateImage> CaptureState() const override {
+    MemoryImage image;
+    image.objects = objects_;
+    image.next_object_id = next_object_id_;
+    image.heap_bytes = heap_bytes();
+    return StateImage{std::any(std::move(image)), heap_bytes()};
+  }
+
+  Status RestoreState(const StateImage& image) override {
+    const MemoryImage* mem = std::any_cast<MemoryImage>(&image.data);
+    if (mem == nullptr) {
+      return Status::InvalidArgument("image is not a MemoryProclet image");
+    }
+    if (!TryChargeHeap(mem->heap_bytes)) {
+      return Status::ResourceExhausted("restore target is out of memory");
+    }
+    objects_ = mem->objects;
+    next_object_id_ = mem->next_object_id;
+    return Status::Ok();
+  }
 
  private:
   struct Entry {
     std::any value;
     int64_t bytes;
   };
+
+  struct MemoryImage {
+    std::unordered_map<uint64_t, Entry> objects;
+    uint64_t next_object_id = 1;
+    int64_t heap_bytes = 0;
+  };
+
+  // Wire size of a logged FreeObject record (just the object id + header).
+  static constexpr int64_t kFreeRecordBytes = 16;
+
+  // Replay targets for the mutation log: identical to the public mutators
+  // but addressed by explicit object id so the backup reproduces the
+  // primary's ids exactly. Idempotent (overwrite semantics) so a retried
+  // log batch converges.
+  Status ApplyPut(uint64_t object_id, std::any value, int64_t bytes) {
+    auto it = objects_.find(object_id);
+    const int64_t old_bytes = it == objects_.end() ? 0 : it->second.bytes;
+    const int64_t delta = bytes - old_bytes;
+    if (delta > 0 && !TryChargeHeap(delta)) {
+      return Status::ResourceExhausted("backup host is out of memory");
+    }
+    if (delta < 0) {
+      ReleaseHeap(-delta);
+    }
+    objects_[object_id] = Entry{std::move(value), bytes};
+    if (object_id >= next_object_id_) {
+      next_object_id_ = object_id + 1;
+    }
+    return Status::Ok();
+  }
+
+  Status ApplyFree(uint64_t object_id) {
+    auto it = objects_.find(object_id);
+    if (it == objects_.end()) {
+      return Status::Ok();  // already free (idempotent replay)
+    }
+    ReleaseHeap(it->second.bytes);
+    objects_.erase(it);
+    return Status::Ok();
+  }
 
   std::unordered_map<uint64_t, Entry> objects_;
   uint64_t next_object_id_ = 1;

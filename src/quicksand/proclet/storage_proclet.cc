@@ -25,4 +25,21 @@ Task<> StorageProclet::OnDestroy() {
   co_return;
 }
 
+Status StorageProclet::RestoreState(const StateImage& image) {
+  const StorageImage* img = std::any_cast<StorageImage>(&image.data);
+  if (img == nullptr) {
+    return Status::InvalidArgument("image is not a StorageProclet image");
+  }
+  if (!TryChargeHeap(img->heap_bytes)) {
+    return Status::ResourceExhausted("restore target is out of memory");
+  }
+  if (!hosting_disk().capacity().TryCharge(img->stored_bytes)) {
+    ReleaseHeap(img->heap_bytes);
+    return Status::ResourceExhausted("restore target disk capacity exhausted");
+  }
+  objects_ = img->objects;
+  stored_bytes_ = img->stored_bytes;
+  return Status::Ok();
+}
+
 }  // namespace quicksand

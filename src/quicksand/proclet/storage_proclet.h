@@ -45,6 +45,7 @@ class StorageProclet : public ProcletBase {
     }
     stored_bytes_ += delta;
     objects_[object_id] = Entry{std::any(std::move(value)), bytes};
+    MarkDirty(bytes);  // checkpoint-only: storage proclets are not log-shipped
     co_await disk.Io(bytes);
     co_return Status::Ok();
   }
@@ -72,6 +73,7 @@ class StorageProclet : public ProcletBase {
     hosting_disk().capacity().Release(it->second.bytes);
     stored_bytes_ -= it->second.bytes;
     objects_.erase(it);
+    MarkDirty(kDeleteRecordBytes);
     co_await hosting_disk().Io(0);  // metadata update
     co_return Status::Ok();
   }
@@ -79,6 +81,21 @@ class StorageProclet : public ProcletBase {
   bool Contains(uint64_t object_id) const { return objects_.count(object_id) > 0; }
   size_t object_count() const { return objects_.size(); }
   int64_t stored_bytes() const { return stored_bytes_; }
+
+  // --- Durability -----------------------------------------------------------
+
+  std::optional<StateImage> CaptureState() const override {
+    StorageImage image;
+    image.objects = objects_;
+    image.stored_bytes = stored_bytes_;
+    image.heap_bytes = heap_bytes();
+    return StateImage{std::any(std::move(image)),
+                      heap_bytes() + stored_bytes_};
+  }
+
+  // Re-charges both heap (target machine memory) and on-disk bytes (target
+  // machine disk capacity); side-effect free on failure.
+  Status RestoreState(const StateImage& image) override;
 
  protected:
   int64_t MigrationExtraBytes() const override { return stored_bytes_; }
@@ -93,6 +110,15 @@ class StorageProclet : public ProcletBase {
     std::any value;
     int64_t bytes;
   };
+
+  struct StorageImage {
+    std::unordered_map<uint64_t, Entry> objects;
+    int64_t stored_bytes = 0;
+    int64_t heap_bytes = 0;
+  };
+
+  // Dirty-bytes cost of a logged delete (object id + metadata).
+  static constexpr int64_t kDeleteRecordBytes = 16;
 
   DiskModel& hosting_disk();
 

@@ -19,15 +19,58 @@
 #ifndef QUICKSAND_RUNTIME_PROCLET_H_
 #define QUICKSAND_RUNTIME_PROCLET_H_
 
+#include <any>
 #include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "quicksand/cluster/machine.h"
+#include "quicksand/common/status.h"
 #include "quicksand/sim/task.h"
 #include "quicksand/sim/wait_queue.h"
 
 namespace quicksand {
 
 class Runtime;
+class ProcletBase;
+
+// Deep-copied snapshot of a proclet's durable state, produced by
+// ProcletBase::CaptureState and consumed by RestoreState on a freshly
+// constructed object of the same concrete type. `data` is a per-type
+// payload the two hooks agree on; `bytes` is the full serialized size the
+// durability subsystem charges through the fabric and disk cost models.
+// (Named StateImage, not Snapshot, to avoid colliding with
+// ShardIndexProclet::Snapshot.)
+struct StateImage {
+  std::any data;
+  int64_t bytes = 0;
+
+  int64_t WireBytes() const { return bytes; }
+};
+
+// One logged mutation of a replicated proclet. `apply` replays the mutation
+// against the backup object (same concrete type); `bytes` is the wire size
+// of the log record shipped primary -> backup.
+struct MutationRecord {
+  std::function<Status(ProcletBase&)> apply;
+  int64_t bytes = 0;
+};
+
+// Destination for a replicated proclet's mutation log. Implemented by the
+// durability subsystem's ReplicationManager; declared here so Runtime::Invoke
+// can flush the log without depending on durability headers.
+class ReplicationSink {
+ public:
+  virtual ~ReplicationSink() = default;
+
+  // Ships `primary`'s pending mutation records to its backup. Runs inside
+  // Runtime::Invoke after the call body completes (and after ExitCall), so
+  // a durable-ack mode can suspend the invocation until the backup
+  // acknowledged without holding the gate.
+  virtual Task<> Flush(ProcletBase& primary) = 0;
+};
 
 using ProcletId = uint64_t;
 inline constexpr ProcletId kInvalidProcletId = 0;
@@ -84,6 +127,52 @@ class ProcletBase {
   bool TryChargeHeap(int64_t bytes);
   void ReleaseHeap(int64_t bytes);
 
+  // --- Durability hooks -----------------------------------------------------
+  // Types that override both hooks can be checkpointed and replicated; the
+  // defaults make a proclet unprotectable (CheckpointManager::Protect and
+  // ReplicationManager::Replicate refuse it).
+
+  // Deep-copies the durable state. Returns nullopt when the type does not
+  // support state capture (e.g. compute proclets, whose "state" is queued
+  // closures recovered via DistPool lineage instead).
+  virtual std::optional<StateImage> CaptureState() const { return std::nullopt; }
+
+  // Rebuilds state from an image captured by the same concrete type,
+  // re-charging the heap (and auxiliary resources such as disk capacity)
+  // against the machine in this object's ProcletInit. Must be side-effect
+  // free on failure.
+  virtual Status RestoreState(const StateImage& image) {
+    (void)image;
+    return Status::FailedPrecondition("proclet type is not restorable");
+  }
+
+  // Bytes mutated since the last checkpoint — the incremental-checkpoint
+  // wire cost. Maintained by RecordMutation; drained by the checkpoint
+  // manager at capture time.
+  int64_t dirty_bytes() const { return dirty_bytes_; }
+  int64_t TakeDirtyBytes() { return std::exchange(dirty_bytes_, 0); }
+  void AddDirtyBytes(int64_t bytes) { dirty_bytes_ += bytes; }
+
+  bool replicated() const { return sink_ != nullptr; }
+  bool checkpoint_protected() const { return checkpoint_protected_; }
+  // Durable proclets must keep their identity and shape: shard maintenance
+  // (split/merge) mutates state outside the invocation path the mutation log
+  // observes, so it skips them.
+  bool durable() const { return replicated() || checkpoint_protected_; }
+
+  void AttachReplicationSink(ReplicationSink* sink) { sink_ = sink; }
+  void DetachReplicationSink() {
+    sink_ = nullptr;
+    pending_mutations_.clear();
+  }
+  void SetCheckpointProtected(bool on) { checkpoint_protected_ = on; }
+
+  bool has_pending_mutations() const { return !pending_mutations_.empty(); }
+  std::vector<MutationRecord> TakePendingMutations() {
+    return std::exchange(pending_mutations_, {});
+  }
+  ReplicationSink* replication_sink() const { return sink_; }
+
  protected:
   Runtime& runtime() const { return *rt_; }
 
@@ -117,6 +206,24 @@ class ProcletBase {
   // already halted — joins would deadlock).
   virtual void OnLost() {}
 
+  // Called by mutation methods. Accumulates incremental-checkpoint bytes
+  // and, when a replication sink is attached, appends a replayable record
+  // that Runtime::Invoke ships to the backup when the invocation completes.
+  // Replay applies `apply` to the backup object, which re-runs the mutation
+  // through the same methods — the backup has no sink, so recording there is
+  // a no-op and the log does not recurse.
+  void RecordMutation(std::function<Status(ProcletBase&)> apply,
+                      int64_t bytes) {
+    dirty_bytes_ += bytes;
+    if (sink_ != nullptr) {
+      pending_mutations_.push_back(MutationRecord{std::move(apply), bytes});
+    }
+  }
+
+  // Dirty-bytes-only variant for checkpoint-eligible mutations that are not
+  // log-shipped (e.g. storage proclets, which are checkpoint-only).
+  void MarkDirty(int64_t bytes) { dirty_bytes_ += bytes; }
+
  private:
   friend class Runtime;
 
@@ -146,6 +253,10 @@ class ProcletBase {
   int64_t active_calls_ = 0;
   int64_t invocation_count_ = 0;
   SimTime last_invocation_ = SimTime::Zero();
+  int64_t dirty_bytes_ = 0;
+  bool checkpoint_protected_ = false;
+  ReplicationSink* sink_ = nullptr;
+  std::vector<MutationRecord> pending_mutations_;
   WaitQueue gate_waiters_;
   WaitQueue drain_waiters_;
 };

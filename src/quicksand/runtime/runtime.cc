@@ -354,12 +354,76 @@ void Runtime::LoseProclet(ProcletId id) {
   for (auto& cache : location_cache_) {
     cache.erase(id);
   }
-  limbo_.emplace(id, std::move(it->second));
+  // A restored proclet can be lost again; keep the NEWEST corpse in limbo
+  // (it is the one in-flight fibers reference) and retire the previous one
+  // to the graveyard so older pointers stay valid too.
+  auto limbo_it = limbo_.find(id);
+  if (limbo_it != limbo_.end()) {
+    graveyard_.push_back(std::move(limbo_it->second));
+    limbo_it->second = std::move(it->second);
+  } else {
+    limbo_.emplace(id, std::move(it->second));
+  }
   proclets_.erase(it);
   ++stats_.lost_proclets;
   QS_LOG_DEBUG("runtime", "proclet %llu (%s) lost with machine m%u",
                static_cast<unsigned long long>(id), ProcletKindName(proclet->kind()),
                host);
+}
+
+Status Runtime::AdoptRestored(ProcletId id, std::unique_ptr<ProcletBase> obj,
+                              MachineId host) {
+  QS_CHECK_MSG(obj != nullptr, "AdoptRestored needs a restored object");
+  if (lost_ids_.count(id) == 0) {
+    return Status::FailedPrecondition("proclet was not lost");
+  }
+  if (proclets_.count(id) != 0) {
+    return Status::FailedPrecondition("proclet id already live");
+  }
+  if (cluster_.machine(host).failed()) {
+    return Status::Unavailable("restore target machine has failed");
+  }
+  obj->rt_ = this;
+  obj->id_ = id;
+  obj->location_ = host;
+  if (obj->kind() == ProcletKind::kCompute) {
+    cluster_.machine(host).AdjustHostedCompute(1);
+  }
+  lost_ids_.erase(id);
+  directory_[id] = host;
+  proclets_.emplace(id, std::move(obj));
+  ++stats_.restored_proclets;
+  QS_LOG_DEBUG("runtime", "proclet %llu restored on m%u",
+               static_cast<unsigned long long>(id), host);
+  return Status::Ok();
+}
+
+Task<bool> Runtime::AwaitRestore(ProcletId id, Duration timeout, Duration poll) {
+  const SimTime deadline = sim_.Now() + timeout;
+  for (;;) {
+    if (directory_.count(id) != 0) {
+      co_return true;  // live again (restored, or never actually lost)
+    }
+    if (!IsLost(id) || !recovery_enabled_) {
+      co_return false;  // destroyed, or nothing will ever restore it
+    }
+    if (sim_.Now() >= deadline) {
+      co_return false;
+    }
+    const Duration remaining = deadline - sim_.Now();
+    co_await sim_.Sleep(remaining < poll ? remaining : poll);
+  }
+}
+
+std::vector<ProcletId> Runtime::LostProcletsOn(MachineId machine) const {
+  std::vector<ProcletId> ids;
+  for (const auto& [id, corpse] : limbo_) {
+    if (lost_ids_.count(id) != 0 && corpse->location() == machine) {
+      ids.push_back(id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
 }
 
 void Runtime::AttachFaultInjector(FaultInjector& injector) {

@@ -136,6 +136,9 @@ struct RuntimeStats {
   int64_t crashes = 0;          // machine failures observed by the runtime
   int64_t lost_proclets = 0;    // proclets whose host died under them
   int64_t bounce_livelocks = 0;  // invocations that exhausted the bounce loop
+  // Durability accounting.
+  int64_t restored_proclets = 0;  // lost proclets brought back by recovery
+  int64_t checkpoint_bytes = 0;   // incremental checkpoint bytes shipped
   // Gate-closed window per migration (what callers experience).
   LatencyHistogram migration_latency;
   // Background copy completion time for lazy migrations.
@@ -229,6 +232,35 @@ class Runtime {
   // existing or being deliberately destroyed).
   bool IsLost(ProcletId id) const { return lost_ids_.count(id) != 0; }
 
+  // --- Recovery (durability subsystem) ---------------------------------------
+
+  // Installs `obj` — a restored copy of lost proclet `id`, already carrying
+  // its state (RestoreState / backup promotion charged the heap at `host`) —
+  // under the old id, rebinding the directory entry atomically so existing
+  // DistPtrs and routing caches heal through the normal miss path. The old
+  // object stays in limbo for fibers that still reference it.
+  Status AdoptRestored(ProcletId id, std::unique_ptr<ProcletBase> obj,
+                       MachineId host);
+
+  // Waits (bounded, polling) for a lost proclet to be restored. Returns true
+  // once the directory has a binding for `id` again; false on timeout, if
+  // the proclet was deliberately destroyed, or when no recovery coordinator
+  // is armed (nothing will ever restore it).
+  Task<bool> AwaitRestore(ProcletId id, Duration timeout,
+                          Duration poll = Duration::Micros(100));
+
+  // Set by RecoveryCoordinator::Arm. Sharded data structures consult this to
+  // decide between a bounded stall (restore is coming) and DataLoss.
+  bool recovery_enabled() const { return recovery_enabled_; }
+  void SetRecoveryEnabled(bool on) { recovery_enabled_ = on; }
+
+  // Lost proclets whose last host was `machine` and which have not been
+  // restored yet; sorted by id for deterministic recovery order.
+  std::vector<ProcletId> LostProcletsOn(MachineId machine) const;
+
+  // Checkpoint traffic accounting (CheckpointManager).
+  void AccountCheckpoint(int64_t bytes) { stats_.checkpoint_bytes += bytes; }
+
   // --- Introspection ----------------------------------------------------------
 
   ProcletBase* Find(ProcletId id);
@@ -290,7 +322,12 @@ class Runtime {
   // a dangling pointer. Their heap accounting is already zeroed, so the
   // cost is a few hundred bytes per lost proclet per run.
   std::unordered_map<ProcletId, std::unique_ptr<ProcletBase>> limbo_;
+  // Older corpses for ids lost more than once (a restored proclet can be
+  // lost again; limbo_ keeps the newest corpse, this keeps the rest alive
+  // for any fibers still holding pointers).
+  std::vector<std::unique_ptr<ProcletBase>> graveyard_;
   std::unordered_set<ProcletId> lost_ids_;
+  bool recovery_enabled_ = false;
   // Authoritative directory (hosted on config_.controller).
   std::unordered_map<ProcletId, MachineId> directory_;
   // Per-machine location caches (lazily invalidated; stale entries bounce).
@@ -446,6 +483,17 @@ auto Runtime::Invoke(Ctx ctx, ProcletId id, Fn fn, int64_t request_bytes)
         // The host crashed mid-call: the call's effects died with it.
         throw ProcletLostError(id);
       }
+      if (base->replicated() && base->has_pending_mutations()) {
+        // Ship this call's mutation log to the backup before releasing the
+        // response; durable-ack mode suspends here until acknowledged.
+        co_await base->replication_sink()->Flush(*base);
+        if (base->lost()) {
+          // Crashed while shipping the log: no ack, so durability of this
+          // call's mutations is unknown — surface as loss like any
+          // mid-call crash.
+          throw ProcletLostError(id);
+        }
+      }
       if (remote) {
         co_await fabric().Transfer(target, ctx.machine, Rpc::kHeaderBytes);
         stats_.remote_invoke_latency.Add(sim_.Now() - started);
@@ -463,6 +511,12 @@ auto Runtime::Invoke(Ctx ctx, ProcletId id, Fn fn, int64_t request_bytes)
       if (base->lost()) {
         // The host crashed mid-call: the result died with it.
         throw ProcletLostError(id);
+      }
+      if (base->replicated() && base->has_pending_mutations()) {
+        co_await base->replication_sink()->Flush(*base);
+        if (base->lost()) {
+          throw ProcletLostError(id);
+        }
       }
       if (remote) {
         co_await fabric().Transfer(target, ctx.machine,

@@ -102,4 +102,28 @@ Result<MachineId> LocalityAwarePolicy::Place(const PlacementRequest& request,
   return best;
 }
 
+Result<MachineId> ChooseReplicaTarget(Cluster& cluster, MachineId avoid,
+                                      int64_t bytes) {
+  MachineId best = kInvalidMachineId;
+  int64_t best_free = -1;
+  for (MachineId id = 0; id < cluster.size(); ++id) {
+    if (id == avoid) {
+      continue;
+    }
+    const Machine& m = cluster.machine(id);
+    if (!m.accepting()) {
+      continue;
+    }
+    const int64_t free = m.memory().free();
+    if (free >= bytes && free > best_free) {
+      best_free = free;
+      best = id;
+    }
+  }
+  if (best == kInvalidMachineId) {
+    return Status::ResourceExhausted("no anti-affine machine can hold replica");
+  }
+  return best;
+}
+
 }  // namespace quicksand

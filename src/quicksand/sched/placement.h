@@ -79,6 +79,14 @@ class LocalityAwarePolicy : public PlacementPolicy {
 double PlacementScore(const PlacementRequest& request, const Machine& m,
                       bool exclude_one_hosted = false);
 
+// Anti-affine placement for a durability replica (checkpoint depot or
+// backup): the machine with the most free memory that is accepting, can fit
+// `bytes`, and is NOT `avoid` — so one machine failure never takes out both
+// the primary and its replica. ResourceExhausted when no such machine
+// exists (single-machine cluster, or everything full).
+Result<MachineId> ChooseReplicaTarget(Cluster& cluster, MachineId avoid,
+                                      int64_t bytes);
+
 }  // namespace quicksand
 
 #endif  // QUICKSAND_SCHED_PLACEMENT_H_

@@ -79,6 +79,11 @@ class ShardIndexProclet : public ProcletBase {
     }
     shards_.emplace(info.begin, info);
     ++version_;
+    RecordMutation(
+        [info](ProcletBase& b) {
+          return static_cast<ShardIndexProclet&>(b).AddShard(info);
+        },
+        kEntryRecordBytes);
     return Status::Ok();
   }
 
@@ -87,6 +92,11 @@ class ShardIndexProclet : public ProcletBase {
       if (it->second.proclet == proclet) {
         shards_.erase(it);
         ++version_;
+        RecordMutation(
+            [proclet](ProcletBase& b) {
+              return static_cast<ShardIndexProclet&>(b).RemoveShard(proclet);
+            },
+            kEntryRecordBytes);
         return Status::Ok();
       }
     }
@@ -107,6 +117,11 @@ class ShardIndexProclet : public ProcletBase {
     shards_.erase(it);
     shards_.emplace(info.begin, info);
     ++version_;
+    RecordMutation(
+        [info](ProcletBase& b) {
+          return static_cast<ShardIndexProclet&>(b).UpdateShard(info);
+        },
+        kEntryRecordBytes);
     return Status::Ok();
   }
 
@@ -124,7 +139,39 @@ class ShardIndexProclet : public ProcletBase {
     return Status::NotFound("no shard with that proclet id");
   }
 
+  // --- Durability -----------------------------------------------------------
+
+  std::optional<StateImage> CaptureState() const override {
+    IndexImage image{shards_, version_, heap_bytes()};
+    const int64_t bytes =
+        heap_bytes() +
+        static_cast<int64_t>(shards_.size()) * kEntryRecordBytes;
+    return StateImage{std::any(std::move(image)), bytes};
+  }
+
+  Status RestoreState(const StateImage& image) override {
+    const IndexImage* img = std::any_cast<IndexImage>(&image.data);
+    if (img == nullptr) {
+      return Status::InvalidArgument("image is not a ShardIndexProclet image");
+    }
+    if (!TryChargeHeap(img->heap_bytes)) {
+      return Status::ResourceExhausted("restore target is out of memory");
+    }
+    shards_ = img->shards;
+    version_ = img->version + 1;  // force router cache refreshes after restore
+    return Status::Ok();
+  }
+
  private:
+  struct IndexImage {
+    std::map<uint64_t, ShardInfo> shards;
+    uint64_t version = 1;
+    int64_t heap_bytes = 0;
+  };
+
+  // Wire size of one logged index entry (ShardInfo's five 8-byte fields).
+  static constexpr int64_t kEntryRecordBytes = 40;
+
   std::map<uint64_t, ShardInfo> shards_;  // begin -> info
   uint64_t version_ = 1;
 };
