@@ -20,4 +20,7 @@ scripts/check.sh --sanitize-only
 echo "== durability smoke: two same-seed recovery runs must be bit-identical =="
 ./build/bench/ab7_recovery --smoke
 
+echo "== partition smoke: gray-failure failover must be deterministic and exactly-once =="
+./build/bench/ab8_partition --smoke
+
 echo "CI: all gates passed"

@@ -39,6 +39,94 @@ void FaultInjector::FailNow(MachineId machine) {
   Fail(machine);
 }
 
+void FaultInjector::ScheduleWindow(SimTime at, Duration duration,
+                                   std::function<void()> apply,
+                                   std::function<void()> undo) {
+  QS_CHECK_MSG(at >= sim_.Now(), "cannot schedule a network fault in the past");
+  QS_CHECK(duration > Duration::Zero());
+  ++network_faults_;
+  sim_.ScheduleAt(at, std::move(apply));
+  if (duration != Duration::Max()) {
+    sim_.ScheduleAt(at + duration, std::move(undo));
+  }
+}
+
+void FaultInjector::SchedulePartitionOneWay(SimTime at, MachineId src, MachineId dst,
+                                            Duration duration) {
+  QS_CHECK(src < cluster_.size() && dst < cluster_.size());
+  Fabric& fabric = cluster_.fabric();
+  ScheduleWindow(
+      at, duration,
+      [&fabric, src, dst] {
+        QS_LOG_DEBUG("fault", "one-way partition: m%u -/-> m%u", src, dst);
+        fabric.PartitionOneWay(src, dst);
+      },
+      [&fabric, src, dst] {
+        QS_LOG_DEBUG("fault", "one-way partition healed: m%u -> m%u", src, dst);
+        fabric.HealOneWay(src, dst);
+      });
+}
+
+void FaultInjector::SchedulePartition(SimTime at, MachineId a, MachineId b,
+                                      Duration duration) {
+  QS_CHECK(a < cluster_.size() && b < cluster_.size());
+  Fabric& fabric = cluster_.fabric();
+  ScheduleWindow(
+      at, duration,
+      [&fabric, a, b] {
+        QS_LOG_DEBUG("fault", "partition: m%u <-/-> m%u", a, b);
+        fabric.Partition(a, b);
+      },
+      [&fabric, a, b] {
+        QS_LOG_DEBUG("fault", "partition healed: m%u <-> m%u", a, b);
+        fabric.Heal(a, b);
+      });
+}
+
+void FaultInjector::ScheduleIsolation(SimTime at, MachineId machine,
+                                      Duration duration) {
+  QS_CHECK(machine < cluster_.size());
+  Fabric& fabric = cluster_.fabric();
+  ScheduleWindow(
+      at, duration,
+      [&fabric, machine] {
+        QS_LOG_DEBUG("fault", "m%u isolated from the network", machine);
+        fabric.IsolateMachine(machine);
+      },
+      [&fabric, machine] {
+        QS_LOG_DEBUG("fault", "m%u rejoined the network", machine);
+        fabric.HealMachine(machine);
+      });
+}
+
+void FaultInjector::ScheduleLinkLoss(SimTime at, MachineId src, MachineId dst,
+                                     double probability, Duration duration) {
+  QS_CHECK(src < cluster_.size() && dst < cluster_.size());
+  Fabric& fabric = cluster_.fabric();
+  ScheduleWindow(
+      at, duration,
+      [&fabric, src, dst, probability] {
+        QS_LOG_DEBUG("fault", "link m%u -> m%u loses %.0f%% of messages", src, dst,
+                     probability * 100.0);
+        fabric.SetLinkLoss(src, dst, probability);
+      },
+      [&fabric, src, dst] { fabric.SetLinkLoss(src, dst, 0.0); });
+}
+
+void FaultInjector::ScheduleDelaySpike(SimTime at, MachineId src, MachineId dst,
+                                       Duration extra, Duration duration) {
+  QS_CHECK(src < cluster_.size() && dst < cluster_.size());
+  Fabric& fabric = cluster_.fabric();
+  ScheduleWindow(
+      at, duration,
+      [&fabric, src, dst, extra] {
+        QS_LOG_DEBUG("fault", "link m%u -> m%u delayed by %s", src, dst,
+                     extra.ToString().c_str());
+        fabric.SetLinkDelay(src, dst, extra);
+      },
+      [&fabric, src, dst] { fabric.SetLinkDelay(src, dst, Duration::Zero()); });
+}
+
 void FaultInjector::Fail(MachineId machine) {
   Machine& m = cluster_.machine(machine);
   if (m.failed()) {

@@ -11,12 +11,18 @@
 //  * revocation notices — "this machine disappears at deadline D". The
 //    machine keeps running until D (so an evacuator can race the deadline),
 //    but is marked revoked immediately so schedulers stop placing work on
-//    it. At D the machine fail-stops regardless of evacuation progress.
+//    it. At D the machine fail-stops regardless of evacuation progress;
+//  * network faults — one-way and bidirectional partitions, per-link packet
+//    loss, and delay spikes, scheduled as (start, duration) windows on the
+//    fabric. Neither endpoint dies: messages are silently lost or stalled,
+//    and only timeouts or the failure detector reveal anything happened.
 //
 // Interested subsystems subscribe with OnCrash / OnRevocation. The Runtime
 // registers a crash handler that marks hosted proclets lost
 // (Runtime::AttachFaultInjector); the emergency evacuator registers a
-// revocation handler that migrates proclets off the dying machine.
+// revocation handler that migrates proclets off the dying machine. Network
+// faults have no handlers by design — nobody in the system gets an oracle
+// notification that the network broke.
 
 #ifndef QUICKSAND_CLUSTER_FAULT_INJECTOR_H_
 #define QUICKSAND_CLUSTER_FAULT_INJECTOR_H_
@@ -69,11 +75,37 @@ class FaultInjector {
   // Immediate fail-stop (the zero-warning special case). Idempotent.
   void FailNow(MachineId machine);
 
+  // --- Network faults -------------------------------------------------------
+  // All windows are [at, at + duration); Duration::Max() means "until healed
+  // by a later scheduled fault or by hand".
+
+  // One-way partition: src cannot reach dst (the reverse direction is
+  // unaffected — the asymmetric failure that defeats naive ping checks).
+  void SchedulePartitionOneWay(SimTime at, MachineId src, MachineId dst,
+                               Duration duration = Duration::Max());
+  // Bidirectional partition between a and b.
+  void SchedulePartition(SimTime at, MachineId a, MachineId b,
+                         Duration duration = Duration::Max());
+  // Cuts every link touching `machine` (network-dead, host alive).
+  void ScheduleIsolation(SimTime at, MachineId machine,
+                         Duration duration = Duration::Max());
+  // Per-message drop probability on the directed link for the window.
+  void ScheduleLinkLoss(SimTime at, MachineId src, MachineId dst,
+                        double probability, Duration duration = Duration::Max());
+  // Fixed extra propagation delay on the directed link for the window.
+  void ScheduleDelaySpike(SimTime at, MachineId src, MachineId dst,
+                          Duration extra, Duration duration = Duration::Max());
+
   int64_t crashes() const { return crashes_; }
   int64_t revocations() const { return revocations_; }
+  int64_t network_faults() const { return network_faults_; }
 
  private:
   void Fail(MachineId machine);
+  // Applies `apply` at `at` and `undo` at `at + duration` (skipped when the
+  // window is unbounded), counting one network fault.
+  void ScheduleWindow(SimTime at, Duration duration, std::function<void()> apply,
+                      std::function<void()> undo);
 
   Simulator& sim_;
   Cluster& cluster_;
@@ -81,6 +113,7 @@ class FaultInjector {
   std::vector<RevocationHandler> revocation_handlers_;
   int64_t crashes_ = 0;
   int64_t revocations_ = 0;
+  int64_t network_faults_ = 0;
 };
 
 }  // namespace quicksand

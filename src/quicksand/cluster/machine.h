@@ -70,8 +70,16 @@ class Machine {
   void MarkRevoked() { revoked_ = true; }
   bool revocation_pending() const { return revoked_ && !failed_; }
 
-  // True when the machine can accept new proclets.
-  bool accepting() const { return !failed_ && !revoked_; }
+  // Failure-detector verdict: the machine missed enough heartbeats to be
+  // suspected dead. It may in fact be alive (gray failure / partition) — the
+  // flag only steers placement away until the suspicion clears or hardens
+  // into a confirmation. Set and cleared by health/FailureDetector.
+  void MarkSuspected(bool suspected) { suspected_ = suspected; }
+  bool suspected() const { return suspected_; }
+
+  // True when the machine can accept new proclets. Suspected machines are
+  // excluded: placing work on a possibly-partitioned host would strand it.
+  bool accepting() const { return !failed_ && !revoked_ && !suspected_; }
 
   // Scheduler bookkeeping (maintained by the Runtime): how many compute
   // proclets currently live here. Placement uses it to spread otherwise
@@ -91,6 +99,7 @@ class Machine {
   int64_t hosted_compute_ = 0;
   bool failed_ = false;
   bool revoked_ = false;
+  bool suspected_ = false;
 };
 
 }  // namespace quicksand

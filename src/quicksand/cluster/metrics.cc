@@ -1,5 +1,10 @@
 #include "quicksand/cluster/metrics.h"
 
+#include <string>
+
+#include "quicksand/health/failure_detector.h"
+#include "quicksand/runtime/runtime.h"
+
 namespace quicksand {
 
 void ClusterMetrics::Start() {
@@ -10,6 +15,23 @@ void ClusterMetrics::Start() {
     mem_series_.emplace_back("mem_util_m" + std::to_string(i));
   }
   sim_.Spawn(SampleLoop(), "cluster_metrics");
+}
+
+HealthCounters ClusterMetrics::CollectHealth(
+    const RuntimeStats& rt_stats) const {
+  HealthCounters out;
+  if (detector_ != nullptr) {
+    out.heartbeats_sent = detector_->heartbeats_sent();
+    out.heartbeats_delivered = detector_->heartbeats_delivered();
+    out.posthumous_heartbeats = detector_->posthumous_heartbeats();
+    out.suspicions = detector_->suspicions();
+    out.false_suspicions = detector_->false_suspicions();
+    out.confirmations = detector_->confirmations();
+  }
+  out.declared_dead = rt_stats.declared_dead;
+  out.fenced_migrations = rt_stats.fenced_migrations;
+  out.fenced_rpcs = rt_stats.fenced_rpcs;
+  return out;
 }
 
 Task<> ClusterMetrics::SampleLoop() {
@@ -24,6 +46,15 @@ Task<> ClusterMetrics::SampleLoop() {
       mem_series_[id].Record(sim_.Now(), m.memory().utilization());
       last_busy[id] = m.cpu().TotalBusy();
       last_time[id] = sim_.Now();
+    }
+    if (detector_ != nullptr) {
+      int64_t suspected = 0;
+      for (MachineId id = 0; id < cluster_.size(); ++id) {
+        if (cluster_.machine(id).suspected()) {
+          ++suspected;
+        }
+      }
+      suspected_series_.Record(sim_.Now(), static_cast<double>(suspected));
     }
   }
 }

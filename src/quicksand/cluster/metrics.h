@@ -1,9 +1,12 @@
 // ClusterMetrics: periodic sampling of per-machine utilization into time
-// series, for figure timelines and scheduler diagnostics.
+// series, for figure timelines and scheduler diagnostics. Also the one-stop
+// collection point for cluster health counters (heartbeats, suspicions,
+// fencing) when a FailureDetector is attached.
 
 #ifndef QUICKSAND_CLUSTER_METRICS_H_
 #define QUICKSAND_CLUSTER_METRICS_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "quicksand/cluster/cluster.h"
@@ -11,6 +14,25 @@
 #include "quicksand/sim/simulator.h"
 
 namespace quicksand {
+
+class FailureDetector;
+struct RuntimeStats;
+
+// Point-in-time snapshot of the cluster's failure-handling activity,
+// merging detector-side counters (heartbeats, suspicions) with
+// runtime-side ones (declarations, fencing). All zero when no detector is
+// attached and no faults fired — cheap to collect unconditionally.
+struct HealthCounters {
+  int64_t heartbeats_sent = 0;
+  int64_t heartbeats_delivered = 0;
+  int64_t posthumous_heartbeats = 0;
+  int64_t suspicions = 0;
+  int64_t false_suspicions = 0;
+  int64_t confirmations = 0;
+  int64_t declared_dead = 0;
+  int64_t fenced_migrations = 0;
+  int64_t fenced_rpcs = 0;
+};
 
 class ClusterMetrics {
  public:
@@ -20,10 +42,20 @@ class ClusterMetrics {
   // Spawns the sampling fiber. Call once.
   void Start();
 
+  // Optional: lets SampleLoop record the suspected-machine count and
+  // CollectHealth fold in detector counters. Call before Start().
+  void AttachHealth(const FailureDetector* detector) { detector_ = detector; }
+
+  // Detector counters + the runtime's fault/fencing stats in one snapshot.
+  HealthCounters CollectHealth(const RuntimeStats& rt_stats) const;
+
   // CPU utilization in [0,1] over each sample window, one series per machine.
   const TimeSeries& cpu_utilization(MachineId id) const { return cpu_series_[id]; }
   // Memory utilization in [0,1], sampled instantaneously.
   const TimeSeries& memory_utilization(MachineId id) const { return mem_series_[id]; }
+  // Number of machines currently marked suspected, one sample per period.
+  // Empty unless a detector was attached before Start().
+  const TimeSeries& suspected_machines() const { return suspected_series_; }
 
  private:
   Task<> SampleLoop();
@@ -31,8 +63,10 @@ class ClusterMetrics {
   Simulator& sim_;
   Cluster& cluster_;
   Duration period_;
+  const FailureDetector* detector_ = nullptr;
   std::vector<TimeSeries> cpu_series_;
   std::vector<TimeSeries> mem_series_;
+  TimeSeries suspected_series_{"suspected_machines"};
 };
 
 }  // namespace quicksand

@@ -18,6 +18,14 @@ void RecoveryCoordinator::Arm(FaultInjector& injector) {
   });
 }
 
+void RecoveryCoordinator::ArmDetector(FailureDetector& detector) {
+  rt_.SetRecoveryEnabled(true);
+  detector.OnConfirm([this](MachineId machine) {
+    rt_.sim().Spawn(HandleCrash(machine),
+                    "recovery_m" + std::to_string(machine));
+  });
+}
+
 Task<> RecoveryCoordinator::HandleCrash(MachineId machine) {
   (void)co_await Recover(rt_.CtxOn(options_.home), machine);
 }

@@ -34,6 +34,7 @@
 #include "quicksand/cluster/fault_injector.h"
 #include "quicksand/durability/checkpoint_manager.h"
 #include "quicksand/durability/replication.h"
+#include "quicksand/health/failure_detector.h"
 #include "quicksand/runtime/runtime.h"
 
 namespace quicksand {
@@ -78,6 +79,12 @@ class RecoveryCoordinator {
   // AFTER Runtime::AttachFaultInjector (and after ReplicationManager::Arm /
   // CheckpointManager::Arm if used).
   void Arm(FaultInjector& injector);
+
+  // Detector-driven variant: recovery starts when the failure detector
+  // CONFIRMS a machine dead — after the heartbeat gap, not at the oracle
+  // instant — covering both real crashes and gray failures the runtime
+  // declared dead. Register AFTER Runtime::AttachFailureDetector.
+  void ArmDetector(FailureDetector& detector);
 
   // Recovers everything lost with `machine`; callable directly for tests.
   Task<RecoveryReport> Recover(Ctx ctx, MachineId machine);

@@ -169,6 +169,13 @@ void ReplicationManager::Arm(FaultInjector& injector) {
   });
 }
 
+void ReplicationManager::ArmDetector(FailureDetector& detector) {
+  detector.OnConfirm([this](MachineId machine) {
+    rt_.sim().Spawn(RepairAfterCrash(machine),
+                    "repl_repair_m" + std::to_string(machine));
+  });
+}
+
 Task<> ReplicationManager::RepairAfterCrash(MachineId machine) {
   for (auto& [id, replica] : replicas_) {
     if (replica->backup == nullptr || replica->backup_machine != machine) {
@@ -185,8 +192,11 @@ Task<> ReplicationManager::RepairAfterCrash(MachineId machine) {
 
 bool ReplicationManager::HasLiveBackup(ProcletId id) const {
   auto it = replicas_.find(id);
+  // A backup on a declared-dead (gray-failed) machine is as unusable as one
+  // on a crashed machine: nothing may be promoted from behind the fence.
   return it != replicas_.end() && it->second->backup != nullptr &&
-         !rt_.cluster().machine(it->second->backup_machine).failed();
+         !rt_.cluster().machine(it->second->backup_machine).failed() &&
+         !rt_.MachineConsideredDead(it->second->backup_machine);
 }
 
 MachineId ReplicationManager::BackupMachineOf(ProcletId id) const {

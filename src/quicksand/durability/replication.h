@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "quicksand/cluster/fault_injector.h"
+#include "quicksand/health/failure_detector.h"
 #include "quicksand/runtime/runtime.h"
 #include "quicksand/sim/sync.h"
 
@@ -92,6 +93,11 @@ class ReplicationManager : public ReplicationSink {
   // Subscribes to crashes: backups that died with their machine are
   // re-established from the surviving primary (full re-sync).
   void Arm(FaultInjector& injector);
+
+  // Detector-driven variant: repairs run when the detector confirms a
+  // machine dead (real crash or gray failure) instead of at the oracle
+  // instant.
+  void ArmDetector(FailureDetector& detector);
 
   // ReplicationSink: ships the primary's pending mutation log. Called by
   // Runtime::Invoke after the call body, before the response.

@@ -1,0 +1,115 @@
+#include "quicksand/health/failure_detector.h"
+
+#include <string>
+
+#include "quicksand/common/logging.h"
+#include "quicksand/net/fabric.h"
+
+namespace quicksand {
+
+const char* HealthName(Health health) {
+  switch (health) {
+    case Health::kAlive:
+      return "alive";
+    case Health::kSuspected:
+      return "suspected";
+    case Health::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
+void FailureDetector::Start() {
+  QS_CHECK_MSG(!running_, "FailureDetector::Start called twice");
+  running_ = true;
+  state_.assign(cluster_.size(), Health::kAlive);
+  last_heard_.assign(cluster_.size(), sim_.Now());
+  for (MachineId m = 0; m < cluster_.size(); ++m) {
+    if (m == options_.controller) {
+      continue;
+    }
+    sim_.Spawn(SenderLoop(m), "heartbeat_m" + std::to_string(m));
+  }
+  sim_.Spawn(MonitorLoop(), "failure_detector");
+}
+
+void FailureDetector::Stop() { running_ = false; }
+
+Task<> FailureDetector::SenderLoop(MachineId machine) {
+  for (;;) {
+    co_await sim_.Sleep(options_.heartbeat_period);
+    if (!running_) {
+      co_return;
+    }
+    if (cluster_.machine(machine).failed()) {
+      co_return;  // fail-stop: the pulse stops, silence does the rest
+    }
+    ++heartbeats_sent_;
+    const Delivery delivery = co_await cluster_.fabric().TransferDetailed(
+        machine, options_.controller, options_.heartbeat_bytes);
+    if (!running_) {
+      co_return;
+    }
+    if (delivery != Delivery::kDelivered) {
+      continue;  // lost to a partition/drop, or an endpoint died mid-flight
+    }
+    ++heartbeats_delivered_;
+    if (state_[machine] == Health::kDead) {
+      // Declared dead while this (or an earlier) heartbeat was stuck behind
+      // a partition. Membership is terminal: the machine is fenced out, not
+      // readmitted.
+      ++posthumous_heartbeats_;
+      continue;
+    }
+    const Duration silence = sim_.Now() - last_heard_[machine];
+    last_heard_[machine] = sim_.Now();
+    if (state_[machine] == Health::kSuspected) {
+      state_[machine] = Health::kAlive;
+      ++false_suspicions_;
+      cluster_.machine(machine).MarkSuspected(false);
+      QS_LOG_DEBUG("health", "m%u exonerated: heartbeat after %s of silence",
+                   machine, silence.ToString().c_str());
+      for (const Handler& handler : on_clear_) {
+        handler(machine);
+      }
+    }
+  }
+}
+
+Task<> FailureDetector::MonitorLoop() {
+  for (;;) {
+    co_await sim_.Sleep(options_.check_period);
+    if (!running_) {
+      co_return;
+    }
+    for (MachineId m = 0; m < cluster_.size(); ++m) {
+      if (m == options_.controller || state_[m] == Health::kDead) {
+        continue;
+      }
+      const Duration gap = sim_.Now() - last_heard_[m];
+      if (state_[m] == Health::kAlive && gap > options_.suspect_after) {
+        state_[m] = Health::kSuspected;
+        ++suspicions_;
+        cluster_.machine(m).MarkSuspected(true);
+        QS_LOG_DEBUG("health", "m%u suspected: silent for %s", m,
+                     gap.ToString().c_str());
+        for (const Handler& handler : on_suspect_) {
+          handler(m);
+        }
+      }
+      if (state_[m] == Health::kSuspected && gap > options_.confirm_after) {
+        state_[m] = Health::kDead;
+        ++confirmations_;
+        // The machine stays marked suspected: !accepting() either way, and a
+        // gray-failed host must never rejoin placement.
+        QS_LOG_INFO("health", "m%u declared dead: silent for %s", m,
+                    gap.ToString().c_str());
+        for (const Handler& handler : on_confirm_) {
+          handler(m);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace quicksand

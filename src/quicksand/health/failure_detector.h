@@ -1,0 +1,136 @@
+// FailureDetector: heartbeat-based membership with suspicion.
+//
+// PRs 1–2 learned about crashes from a synchronous oracle (FaultInjector
+// handlers fire at the instant of death). Real clusters only ever observe
+// *silence*: every machine heartbeats the controller over the fabric, and
+// the controller grades each peer by the gap since its last heartbeat:
+//
+//     gap > suspect_after  ->  kSuspected   (might be dead; stop placing)
+//     gap > confirm_after  ->  kDead        (declared dead; recover)
+//
+// Because heartbeats ride the real (faultable) fabric, a partition or lossy
+// link produces exactly the pathologies the paper's harvested substrate
+// has: a healthy machine can be falsely suspected (and exonerated when a
+// heartbeat gets through — counted in false_suspicions), and a partitioned
+// machine is eventually *declared* dead while still running — the gray
+// failure that makes epoch fencing necessary (see runtime/ and
+// health/fencing.h). Confirmation is terminal by design: once the
+// controller declares a machine dead it never readmits it, so a healed
+// partition cannot resurrect a stale primary (its late heartbeats are
+// counted as posthumous and ignored).
+//
+// Timing comes exclusively from the sim clock and the heartbeat wire costs,
+// so detection latency and false-suspicion rates are bit-reproducible.
+
+#ifndef QUICKSAND_HEALTH_FAILURE_DETECTOR_H_
+#define QUICKSAND_HEALTH_FAILURE_DETECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "quicksand/cluster/cluster.h"
+#include "quicksand/common/time.h"
+#include "quicksand/sim/simulator.h"
+#include "quicksand/sim/task.h"
+
+namespace quicksand {
+
+enum class Health {
+  kAlive,      // heartbeats arriving within suspect_after
+  kSuspected,  // missed heartbeats; may be dead, may be partitioned
+  kDead,       // declared dead; terminal
+};
+
+const char* HealthName(Health health);
+
+struct FailureDetectorOptions {
+  // Machine that aggregates heartbeats (the directory controller; assumed
+  // reliable, like the directory itself).
+  MachineId controller = 0;
+  Duration heartbeat_period = Duration::Millis(1);
+  // Heartbeat gap after which a machine is suspected / declared dead. Must
+  // exceed the heartbeat period plus wire time, or healthy machines flap.
+  Duration suspect_after = Duration::Millis(3);
+  Duration confirm_after = Duration::Millis(8);
+  // How often the controller re-grades the membership.
+  Duration check_period = Duration::Micros(500);
+  int64_t heartbeat_bytes = 64;
+};
+
+class FailureDetector {
+ public:
+  using Handler = std::function<void(MachineId)>;
+
+  FailureDetector(Simulator& sim, Cluster& cluster,
+                  FailureDetectorOptions options = FailureDetectorOptions{})
+      : sim_(sim), cluster_(cluster), options_(options) {
+    QS_CHECK(options_.controller < cluster.size());
+    QS_CHECK(options_.heartbeat_period > Duration::Zero());
+    QS_CHECK(options_.suspect_after > options_.heartbeat_period);
+    QS_CHECK(options_.confirm_after > options_.suspect_after);
+  }
+
+  FailureDetector(const FailureDetector&) = delete;
+  FailureDetector& operator=(const FailureDetector&) = delete;
+
+  // Handlers run synchronously from the detector's fibers, in registration
+  // order. OnConfirm order matters the same way FaultInjector::OnCrash order
+  // does: register Runtime::AttachFailureDetector before
+  // RecoveryCoordinator::Arm so loss bookkeeping precedes recovery.
+  void OnSuspect(Handler handler) { on_suspect_.push_back(std::move(handler)); }
+  void OnClear(Handler handler) { on_clear_.push_back(std::move(handler)); }
+  void OnConfirm(Handler handler) { on_confirm_.push_back(std::move(handler)); }
+
+  // Spawns one heartbeat fiber per non-controller machine plus the
+  // controller's monitor fiber. Call once, after all machines are added.
+  void Start();
+  // Stops grading; fibers exit at their next wakeup.
+  void Stop();
+
+  Health StateOf(MachineId id) const {
+    QS_CHECK(id < state_.size());
+    return state_[id];
+  }
+  bool ConfirmedDead(MachineId id) const { return StateOf(id) == Health::kDead; }
+  SimTime LastHeard(MachineId id) const {
+    QS_CHECK(id < last_heard_.size());
+    return last_heard_[id];
+  }
+
+  // --- Introspection --------------------------------------------------------
+
+  int64_t suspicions() const { return suspicions_; }
+  // Suspicions cleared by a late heartbeat: the machine was alive all along.
+  int64_t false_suspicions() const { return false_suspicions_; }
+  int64_t confirmations() const { return confirmations_; }
+  int64_t heartbeats_sent() const { return heartbeats_sent_; }
+  int64_t heartbeats_delivered() const { return heartbeats_delivered_; }
+  // Heartbeats from machines already declared dead (a healed partition
+  // re-delivering a gray-failed machine's pulse). Ignored, by design.
+  int64_t posthumous_heartbeats() const { return posthumous_heartbeats_; }
+
+ private:
+  Task<> SenderLoop(MachineId machine);
+  Task<> MonitorLoop();
+
+  Simulator& sim_;
+  Cluster& cluster_;
+  FailureDetectorOptions options_;
+  std::vector<Health> state_;
+  std::vector<SimTime> last_heard_;
+  std::vector<Handler> on_suspect_;
+  std::vector<Handler> on_clear_;
+  std::vector<Handler> on_confirm_;
+  bool running_ = false;
+  int64_t suspicions_ = 0;
+  int64_t false_suspicions_ = 0;
+  int64_t confirmations_ = 0;
+  int64_t heartbeats_sent_ = 0;
+  int64_t heartbeats_delivered_ = 0;
+  int64_t posthumous_heartbeats_ = 0;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_HEALTH_FAILURE_DETECTOR_H_

@@ -1,0 +1,75 @@
+// FenceGuard: per-proclet epoch fencing plus at-least-once request dedup.
+//
+// Every proclet carries an epoch that the Runtime bumps on each directory
+// rebind (migration flip, restore adoption). A client stamps requests with
+// the epoch it resolved; the owning proclet admits a request only when that
+// stamp matches its own epoch. This is the fencing-token pattern: after a
+// partition-induced failover, the old primary's epoch is stale, so any
+// write it still tries to serve — or any client request still addressed to
+// the old incarnation — is rejected instead of silently double-applied.
+//
+// Orthogonally, retried requests carry a stable request id; the guard
+// remembers executed ids so an at-least-once retry whose first attempt DID
+// land (the ack was what got lost) is answered without re-applying. The
+// executed set is part of the proclet's durable state: replicate it in the
+// mutation log (Witness in the replay closure) and a promoted backup
+// inherits exactly the dedup knowledge its primary had acked.
+//
+// The guard is a plain value type so proclets embed it and state images
+// copy it; it does no I/O and knows nothing about the Runtime.
+
+#ifndef QUICKSAND_HEALTH_FENCING_H_
+#define QUICKSAND_HEALTH_FENCING_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace quicksand {
+
+class FenceGuard {
+ public:
+  enum class Admit {
+    kExecute,    // fresh request at the current epoch: apply it
+    kDuplicate,  // already executed (retry after a lost ack): re-ack only
+    kFenced,     // stale epoch: reject, the caller must re-resolve
+  };
+
+  // Grades a request stamped (caller_epoch, request_id) against the owner's
+  // current epoch. Records the id as executed only when admitting.
+  Admit AdmitRequest(uint64_t caller_epoch, uint64_t current_epoch,
+                     uint64_t request_id) {
+    if (caller_epoch != current_epoch) {
+      ++fenced_;
+      return Admit::kFenced;
+    }
+    if (!executed_.insert(request_id).second) {
+      ++duplicates_;
+      return Admit::kDuplicate;
+    }
+    ++admitted_;
+    return Admit::kExecute;
+  }
+
+  // Records an id as executed without grading — used when replaying the
+  // mutation log into a backup, so the replica dedups the same retries its
+  // primary would have.
+  void Witness(uint64_t request_id) { executed_.insert(request_id); }
+
+  bool Executed(uint64_t request_id) const {
+    return executed_.count(request_id) != 0;
+  }
+
+  int64_t admitted() const { return admitted_; }
+  int64_t duplicates() const { return duplicates_; }
+  int64_t fenced() const { return fenced_; }
+
+ private:
+  std::unordered_set<uint64_t> executed_;
+  int64_t admitted_ = 0;
+  int64_t duplicates_ = 0;
+  int64_t fenced_ = 0;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_HEALTH_FENCING_H_

@@ -19,15 +19,39 @@ Duration Fabric::UnloadedTransferTime(int64_t bytes) const {
   return config_.per_message_overhead + Duration::Nanos(tx_ns) + config_.one_way_latency;
 }
 
+const Fabric::LinkFault* Fabric::FindFault(MachineId src, MachineId dst) const {
+  if (link_faults_.empty()) {
+    return nullptr;
+  }
+  auto it = link_faults_.find(LinkKey(src, dst));
+  return it == link_faults_.end() ? nullptr : &it->second;
+}
+
 Task<bool> Fabric::Transfer(MachineId src, MachineId dst, int64_t bytes) {
+  co_return (co_await TransferDetailed(src, dst, bytes)) == Delivery::kDelivered;
+}
+
+Task<Delivery> Fabric::TransferDetailed(MachineId src, MachineId dst, int64_t bytes) {
   QS_CHECK(bytes >= 0);
   QS_CHECK(src < nics_.size() && dst < nics_.size());
   if (nics_[src].failed || nics_[dst].failed) {
     ++aborted_transfers_;
-    co_return false;
+    co_return Delivery::kEndpointFailed;
   }
   if (src == dst) {
-    co_return true;  // same machine: no wire crossing
+    co_return Delivery::kDelivered;  // same machine: no wire crossing
+  }
+  // The message's network fate is sealed when it leaves the NIC: one loss
+  // draw per message, and the link's extra delay is sampled here. The sender
+  // still pays full serialization and propagation either way — it cannot
+  // observe the drop.
+  bool doomed = false;
+  Duration extra = Duration::Zero();
+  if (const LinkFault* fault = FindFault(src, dst)) {
+    doomed = fault->down ||
+             (fault->loss_probability > 0.0 &&
+              fault_rng_.NextDouble() < fault->loss_probability);
+    extra = fault->extra_delay;
   }
   Nic& nic = nics_[src];
   total_bytes_ += bytes;
@@ -60,16 +84,25 @@ Task<bool> Fabric::Transfer(MachineId src, MachineId dst, int64_t bytes) {
     // Either endpoint may have died while this frame was on the wire.
     if (nic.failed || nics_[dst].failed) {
       ++aborted_transfers_;
-      co_return false;
+      co_return Delivery::kEndpointFailed;
     }
   } while (remaining > 0);
 
-  co_await sim_.Sleep(config_.one_way_latency);
+  co_await sim_.Sleep(config_.one_way_latency + extra);
+  if (extra > Duration::Zero()) {
+    ++delayed_transfers_;
+  }
   if (nics_[dst].failed) {
     ++aborted_transfers_;
-    co_return false;
+    co_return Delivery::kEndpointFailed;
   }
-  co_return true;
+  // A partition installed while the message was in flight also eats it: the
+  // check at delivery time catches both send-time and mid-flight cuts.
+  if (doomed || LinkDown(src, dst)) {
+    ++dropped_transfers_;
+    co_return Delivery::kDropped;
+  }
+  co_return Delivery::kDelivered;
 }
 
 void Fabric::FailMachine(MachineId id) {
@@ -80,6 +113,54 @@ void Fabric::FailMachine(MachineId id) {
 bool Fabric::MachineFailed(MachineId id) const {
   QS_CHECK(id < nics_.size());
   return nics_[id].failed;
+}
+
+void Fabric::SetLinkDown(MachineId src, MachineId dst, bool down) {
+  EditFault(src, dst, [down](LinkFault& fault) { fault.down = down; });
+}
+
+void Fabric::Partition(MachineId a, MachineId b) {
+  SetLinkDown(a, b, true);
+  SetLinkDown(b, a, true);
+}
+
+void Fabric::Heal(MachineId a, MachineId b) {
+  SetLinkDown(a, b, false);
+  SetLinkDown(b, a, false);
+}
+
+void Fabric::IsolateMachine(MachineId m) {
+  QS_CHECK(m < nics_.size());
+  for (MachineId other = 0; other < nics_.size(); ++other) {
+    if (other != m) {
+      Partition(m, other);
+    }
+  }
+}
+
+void Fabric::HealMachine(MachineId m) {
+  QS_CHECK(m < nics_.size());
+  for (MachineId other = 0; other < nics_.size(); ++other) {
+    if (other != m) {
+      Heal(m, other);
+    }
+  }
+}
+
+void Fabric::SetLinkLoss(MachineId src, MachineId dst, double probability) {
+  QS_CHECK(probability >= 0.0 && probability <= 1.0);
+  EditFault(src, dst,
+            [probability](LinkFault& fault) { fault.loss_probability = probability; });
+}
+
+void Fabric::SetLinkDelay(MachineId src, MachineId dst, Duration extra) {
+  QS_CHECK(extra >= Duration::Zero());
+  EditFault(src, dst, [extra](LinkFault& fault) { fault.extra_delay = extra; });
+}
+
+bool Fabric::LinkDown(MachineId src, MachineId dst) const {
+  const LinkFault* fault = FindFault(src, dst);
+  return fault != nullptr && fault->down;
 }
 
 Duration Fabric::NicBusy(MachineId id) const {

@@ -2,20 +2,48 @@
 
 #include <algorithm>
 
+#include "quicksand/health/failure_detector.h"
+
 namespace quicksand {
+
+Task<Status> Rpc::LoseRoundTrip(SimTime start, Duration timeout) {
+  ++lost_;
+  // An infinite timeout on a faultable link would hang the caller forever —
+  // surface the misconfiguration instead of deadlocking the simulation.
+  QS_CHECK_MSG(timeout != Duration::Max(),
+               "an rpc leg was dropped by the network but the call has no "
+               "timeout; faultable links require a finite rpc timeout");
+  const SimTime deadline = start + timeout;
+  if (sim_.Now() < deadline) {
+    co_await sim_.SleepUntil(deadline);
+  }
+  ++timeouts_;
+  co_return Status::DeadlineExceeded("rpc lost in the network");
+}
 
 Task<Status> Rpc::RoundTrip(MachineId src, MachineId dst, int64_t request_bytes,
                             std::function<Task<int64_t>()> server, Duration timeout) {
   const SimTime start = sim_.Now();
   ++calls_;
-  if (!co_await fabric_.Transfer(src, dst, request_bytes + kHeaderBytes)) {
+  const Delivery request =
+      co_await fabric_.TransferDetailed(src, dst, request_bytes + kHeaderBytes);
+  if (request == Delivery::kEndpointFailed) {
     ++aborted_;
     co_return Status::Unavailable("rpc request lost: endpoint failed");
   }
+  if (request == Delivery::kDropped) {
+    co_return co_await LoseRoundTrip(start, timeout);
+  }
   const int64_t response_bytes = co_await server();
-  if (!co_await fabric_.Transfer(dst, src, response_bytes + kHeaderBytes)) {
+  const Delivery response =
+      co_await fabric_.TransferDetailed(dst, src, response_bytes + kHeaderBytes);
+  if (response == Delivery::kEndpointFailed) {
     ++aborted_;
     co_return Status::Unavailable("rpc response lost: endpoint failed");
+  }
+  if (response == Delivery::kDropped) {
+    // The server work happened; only the ack vanished (at-least-once).
+    co_return co_await LoseRoundTrip(start, timeout);
   }
   const Duration elapsed = sim_.Now() - start;
   latency_.Add(elapsed);
@@ -35,8 +63,23 @@ Task<Status> Rpc::RoundTripWithRetry(MachineId src, MachineId dst,
   for (int attempt = 0;; ++attempt) {
     const Status status =
         co_await RoundTrip(src, dst, request_bytes, server, timeout);
-    if (status.code() != StatusCode::kDeadlineExceeded ||
-        attempt + 1 >= policy.max_attempts) {
+    if (status.ok()) {
+      co_return status;
+    }
+    // Unavailable means an endpoint's NIC is dead — terminal under
+    // fail-stop, UNLESS the detector merely suspects the destination: a
+    // suspected machine might be partitioned rather than dead, and the
+    // partition might heal. Confirmed-dead stays terminal.
+    const bool suspected_dst =
+        detector_ != nullptr && detector_->StateOf(dst) == Health::kSuspected;
+    const bool retryable =
+        status.code() == StatusCode::kDeadlineExceeded ||
+        (status.code() == StatusCode::kUnavailable && suspected_dst);
+    if (!retryable) {
+      co_return status;
+    }
+    if (attempt + 1 >= policy.max_attempts) {
+      ++retries_exhausted_;
       co_return status;
     }
     ++retries_;

@@ -5,6 +5,14 @@
 // (which models its own CPU cost against the destination machine), then
 // charges wire time for the response. The runtime's proclet-invocation layer
 // uses this for every remote method call.
+//
+// Under network faults (partitions, packet loss) a leg of the round trip can
+// vanish with both endpoints alive. The caller cannot observe the loss
+// directly — it waits out its timeout and gets DeadlineExceeded, same as a
+// slow server. Distinguishing "dead" from "merely silent" is the failure
+// detector's job; attach one and RoundTripWithRetry will retry Unavailable
+// from a *suspected* destination (it might just be partitioned) while
+// keeping confirmed-dead terminal.
 
 #ifndef QUICKSAND_NET_RPC_H_
 #define QUICKSAND_NET_RPC_H_
@@ -19,6 +27,8 @@
 #include "quicksand/sim/task.h"
 
 namespace quicksand {
+
+class FailureDetector;
 
 // Retry schedule for RoundTripWithRetry. Attempt k (0-based) sleeps
 // base_backoff * multiplier^k, scaled by a uniform jitter factor in
@@ -41,20 +51,32 @@ class Rpc {
   Rpc(const Rpc&) = delete;
   Rpc& operator=(const Rpc&) = delete;
 
+  // Lets RoundTripWithRetry consult machine health when deciding whether an
+  // Unavailable destination is worth retrying. Optional.
+  void AttachFailureDetector(const FailureDetector* detector) {
+    detector_ = detector;
+  }
+
   // Round trip src -> dst -> src. `server` runs logically at dst and returns
   // the response payload size in bytes. If the round trip exceeds `timeout`
   // the result is DeadlineExceeded (the server work still happened; only the
   // response is considered lost — the usual at-least-once caveat). If either
-  // endpoint has failed, or fails mid-flight, the result is Unavailable.
+  // endpoint has failed, or fails mid-flight, the result is Unavailable. A
+  // leg lost to a partition or packet drop surfaces as DeadlineExceeded at
+  // the deadline — the caller cannot tell loss from slowness, so a finite
+  // timeout is required on faultable links (CHECK-enforced at the drop).
   Task<Status> RoundTrip(MachineId src, MachineId dst, int64_t request_bytes,
                          std::function<Task<int64_t>()> server,
                          Duration timeout = Duration::Max());
 
-  // RoundTrip with retry on DeadlineExceeded: exponential backoff on the sim
-  // clock with deterministic jitter, up to policy.max_attempts attempts.
-  // Unavailable (dead endpoint) is terminal — retrying a crashed machine
-  // cannot succeed under fail-stop. The server closure may run multiple
-  // times (at-least-once semantics, same caveat as RoundTrip).
+  // RoundTrip with retry: exponential backoff on the sim clock with
+  // deterministic jitter, up to policy.max_attempts attempts. Retryable:
+  // DeadlineExceeded (slow or lossy network) and — when a failure detector
+  // is attached — Unavailable from a destination that is merely *suspected*
+  // (it may be partitioned, not dead). Unavailable from a confirmed-dead or
+  // unmonitored destination is terminal: retrying a crashed machine cannot
+  // succeed under fail-stop. The server closure may run multiple times
+  // (at-least-once semantics, same caveat as RoundTrip).
   Task<Status> RoundTripWithRetry(MachineId src, MachineId dst, int64_t request_bytes,
                                   std::function<Task<int64_t>()> server,
                                   Duration timeout,
@@ -65,18 +87,31 @@ class Rpc {
   int64_t timeouts() const { return timeouts_; }
   int64_t retries() const { return retries_; }
   int64_t aborted() const { return aborted_; }
+  // Round trips that lost a leg to a partition/drop (a subset of timeouts).
+  int64_t lost() const { return lost_; }
+  // RoundTripWithRetry calls that ran out of attempts while the status was
+  // still retryable — distinct from aborted (terminal endpoint death).
+  int64_t retries_exhausted() const { return retries_exhausted_; }
 
   Fabric& fabric() { return fabric_; }
 
  private:
+  // A leg of the round trip was dropped: the caller waits out the deadline
+  // and reports DeadlineExceeded, exactly like a timeout it cannot tell
+  // apart from.
+  Task<Status> LoseRoundTrip(SimTime start, Duration timeout);
+
   Simulator& sim_;
   Fabric& fabric_;
   LatencyHistogram latency_;
   Rng rng_;
+  const FailureDetector* detector_ = nullptr;
   int64_t calls_ = 0;
   int64_t timeouts_ = 0;
   int64_t retries_ = 0;
   int64_t aborted_ = 0;
+  int64_t lost_ = 0;
+  int64_t retries_exhausted_ = 0;
 };
 
 }  // namespace quicksand

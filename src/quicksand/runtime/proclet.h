@@ -108,6 +108,16 @@ class ProcletBase {
   MachineId location() const { return location_; }
   int64_t heap_bytes() const { return heap_bytes_; }
 
+  // Fencing token: bumped by the Runtime on every directory rebind
+  // (creation, migration flip, restore adoption). Proclet methods that
+  // admit stamped requests compare the caller's stamp against this (see
+  // health/fencing.h); 0 only before Create finishes wiring the object.
+  uint64_t epoch() const { return epoch_; }
+  // True when the controller declared this incarnation dead (gray failure /
+  // partition) while the hosting machine may still be running: the object
+  // must no longer serve or complete anything.
+  bool fenced() const { return fenced_; }
+
   bool gate_closed() const { return gate_closed_; }
   int64_t active_calls() const { return active_calls_; }
   int64_t invocation_count() const { return invocation_count_; }
@@ -247,9 +257,11 @@ class ProcletBase {
   ProcletKind kind_;
   MachineId location_;
   int64_t heap_bytes_ = 0;
+  uint64_t epoch_ = 0;
   bool gate_closed_ = false;
   bool destroyed_ = false;
   bool lost_ = false;
+  bool fenced_ = false;
   int64_t active_calls_ = 0;
   int64_t invocation_count_ = 0;
   SimTime last_invocation_ = SimTime::Zero();

@@ -4,6 +4,7 @@
 
 #include "quicksand/cluster/fault_injector.h"
 #include "quicksand/common/logging.h"
+#include "quicksand/health/failure_detector.h"
 
 namespace quicksand {
 
@@ -83,7 +84,14 @@ Task<MachineId> Runtime::ResolveLocation(MachineId from, ProcletId id) {
   }
   // Cache miss: directory RPC.
   ++stats_.directory_lookups;
-  co_await fabric().Transfer(from, config_.controller, config_.control_message_bytes);
+  const Delivery query = co_await fabric().TransferDetailed(
+      from, config_.controller, config_.control_message_bytes);
+  if (query != Delivery::kDelivered && !cluster_.machine(from).failed()) {
+    // The lookup vanished (the caller is on the wrong side of a partition);
+    // the caller backs off and retries rather than trusting silence.
+    ++stats_.undelivered_lookups;
+    co_return kInvalidMachineId;
+  }
   auto it = directory_.find(id);
   if (it == directory_.end()) {
     co_await fabric().Transfer(config_.controller, from, config_.control_message_bytes);
@@ -93,7 +101,12 @@ Task<MachineId> Runtime::ResolveLocation(MachineId from, ProcletId id) {
     throw ProcletGoneError(id);
   }
   const MachineId location = it->second;
-  co_await fabric().Transfer(config_.controller, from, config_.control_message_bytes);
+  const Delivery reply = co_await fabric().TransferDetailed(
+      config_.controller, from, config_.control_message_bytes);
+  if (reply != Delivery::kDelivered && !cluster_.machine(from).failed()) {
+    ++stats_.undelivered_lookups;
+    co_return kInvalidMachineId;
+  }
   cache[id] = location;
   co_return location;
 }
@@ -104,6 +117,21 @@ void Runtime::InvalidateCache(MachineId machine, ProcletId id) {
 
 Task<> Runtime::PayBounce(MachineId stale_target, MachineId caller) {
   co_await fabric().Transfer(stale_target, caller, config_.control_message_bytes);
+}
+
+Task<bool> Runtime::DeliverResponse(MachineId from, MachineId to, int64_t bytes) {
+  for (int attempt = 0; attempt < config_.max_invoke_attempts; ++attempt) {
+    const Delivery delivery = co_await fabric().TransferDetailed(from, to, bytes);
+    if (delivery != Delivery::kDropped) {
+      // Delivered — or an endpoint fail-stopped, in which case there is
+      // nobody left to retransmit to (or from): fail-stop semantics are
+      // unchanged, the fiber unwinds through the usual lost checks.
+      co_return true;
+    }
+    ++stats_.response_retransmits;
+    co_await sim_.Sleep(config_.invoke_retry_backoff);
+  }
+  co_return false;
 }
 
 Task<Status> Runtime::Destroy(Ctx ctx, ProcletId id) {
@@ -139,6 +167,7 @@ Task<Status> Runtime::Destroy(Ctx ctx, ProcletId id) {
   }
   proclet->heap_bytes_ = 0;
   directory_.erase(id);
+  epoch_of_.erase(id);
   ++stats_.destructions;
 
   // Gate waiters were woken by MarkDestroyed and will observe destruction at
@@ -152,7 +181,7 @@ Task<Status> Runtime::Destroy(Ctx ctx, ProcletId id) {
   co_return Status::Ok();
 }
 
-Task<Status> Runtime::Migrate(ProcletId id, MachineId dst) {
+Task<Status> Runtime::Migrate(ProcletId id, MachineId dst, uint64_t expected_epoch) {
   QS_CHECK(dst < cluster_.size());
   ProcletBase* proclet = Find(id);
   if (proclet == nullptr) {
@@ -160,6 +189,12 @@ Task<Status> Runtime::Migrate(ProcletId id, MachineId dst) {
       co_return Status::DataLoss("proclet was lost to a machine failure");
     }
     co_return Status::NotFound("proclet is gone");
+  }
+  // Fence before anything else — including the already-there early return —
+  // so a replayed command from a previous epoch never reports success.
+  if (expected_epoch != 0 && expected_epoch != proclet->epoch()) {
+    ++stats_.fenced_migrations;
+    co_return Status::Aborted("migration fenced: stale epoch");
   }
   if (proclet->location() == dst) {
     co_return Status::Ok();
@@ -261,12 +296,17 @@ Task<Status> Runtime::Migrate(ProcletId id, MachineId dst) {
     cluster_.machine(src).memory().Release(heap);
     proclet->FinishRelocateAux(src);
   }
+  // No fence re-check is needed at the flip: the epoch cannot change while
+  // this migration holds the gate (migration is the only bump source for a
+  // live proclet, and a mid-drain DeclareMachineDead surfaces through the
+  // lost() checks above).
   if (proclet->kind() == ProcletKind::kCompute) {
     cluster_.machine(src).AdjustHostedCompute(-1);
     cluster_.machine(dst).AdjustHostedCompute(1);
   }
   proclet->location_ = dst;
   directory_[id] = dst;
+  proclet->epoch_ = ++epoch_of_[id];
   location_cache_[src].erase(id);
 
   ++stats_.migrations;
@@ -386,6 +426,9 @@ Status Runtime::AdoptRestored(ProcletId id, std::unique_ptr<ProcletBase> obj,
   obj->rt_ = this;
   obj->id_ = id;
   obj->location_ = host;
+  // New incarnation, new epoch: anything stamped by (or addressed to) the
+  // old one is now fenced.
+  obj->epoch_ = ++epoch_of_[id];
   if (obj->kind() == ProcletKind::kCompute) {
     cluster_.machine(host).AdjustHostedCompute(1);
   }
@@ -430,18 +473,58 @@ void Runtime::AttachFaultInjector(FaultInjector& injector) {
   injector.OnCrash([this](MachineId machine) { HandleMachineFailure(machine); });
 }
 
-void Runtime::HandleMachineFailure(MachineId machine) {
-  QS_CHECK_MSG(machine != config_.controller,
-               "controller failure is outside the fail-stop model (the directory "
-               "is assumed durable)");
-  ++stats_.crashes;
+void Runtime::AttachFailureDetector(FailureDetector& detector) {
+  detector.OnConfirm([this](MachineId machine) {
+    if (cluster_.machine(machine).failed()) {
+      // Silence had a simple cause: the machine really crashed. Same path
+      // as the oracle, just later.
+      HandleMachineFailure(machine);
+    } else {
+      // Gray failure: the machine is (as far as the physics of the sim
+      // knows) alive but unreachable. Fence it out.
+      DeclareMachineDead(machine);
+    }
+  });
+}
+
+void Runtime::PurgeMachine(MachineId machine, bool fence) {
   // The dead machine's own cache is useless; per-id entries pointing at it
   // from other machines purge with each lost proclet below, and stale
   // entries for surviving proclets bounce harmlessly.
   location_cache_[machine].clear();
   for (ProcletId id : ProcletsOn(machine)) {
+    if (fence) {
+      Find(id)->fenced_ = true;
+    }
     LoseProclet(id);
   }
+}
+
+void Runtime::HandleMachineFailure(MachineId machine) {
+  QS_CHECK_MSG(machine != config_.controller,
+               "controller failure is outside the fail-stop model (the directory "
+               "is assumed durable)");
+  if (!dead_machines_.insert(machine).second) {
+    return;  // already written off (detector and oracle can both fire)
+  }
+  ++stats_.crashes;
+  PurgeMachine(machine, /*fence=*/false);
+}
+
+void Runtime::DeclareMachineDead(MachineId machine) {
+  QS_CHECK_MSG(machine != config_.controller,
+               "the controller cannot declare itself dead (the directory is "
+               "assumed durable)");
+  if (!dead_machines_.insert(machine).second) {
+    return;  // already crashed or declared
+  }
+  ++stats_.declared_dead;
+  // Terminal membership verdict: even if the partition heals, the machine
+  // never takes new work (accepting() stays false).
+  cluster_.machine(machine).MarkSuspected(true);
+  QS_LOG_INFO("runtime", "m%u declared dead (gray failure): fencing %zu proclets",
+              machine, ProcletsOn(machine).size());
+  PurgeMachine(machine, /*fence=*/true);
 }
 
 void Runtime::RecordAffinity(ProcletId a, ProcletId b, int64_t bytes) {

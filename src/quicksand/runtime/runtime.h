@@ -39,6 +39,7 @@
 namespace quicksand {
 
 class FaultInjector;
+class FailureDetector;
 
 // Thrown when an invocation targets a proclet that has been destroyed.
 // Sharded data structures catch this, refresh their index, and retry.
@@ -62,6 +63,27 @@ class ProcletLostError : public std::runtime_error {
   explicit ProcletLostError(ProcletId id)
       : std::runtime_error("proclet " + std::to_string(id) +
                            " was lost to a machine failure"),
+        id_(id) {}
+
+  ProcletId id() const { return id_; }
+
+ private:
+  ProcletId id_;
+};
+
+// Thrown when an invocation could not be delivered: the request (or its
+// response) kept vanishing into a partition or lossy link while the proclet
+// itself is — as far as anyone can tell — still alive. Distinct from
+// ProcletLostError (the state is not known to be gone) and from
+// TooManyBouncesError (the proclet was reachable, just moving). Callers may
+// retry with the SAME request id: the fencing layer dedups replays
+// (health/fencing.h), so at-least-once resends are safe for guarded
+// proclets.
+class ProcletUnreachableError : public std::runtime_error {
+ public:
+  explicit ProcletUnreachableError(ProcletId id)
+      : std::runtime_error("proclet " + std::to_string(id) +
+                           " is unreachable (network partition or loss)"),
         id_(id) {}
 
   ProcletId id() const { return id_; }
@@ -113,6 +135,10 @@ struct RuntimeConfig {
   int64_t control_message_bytes = 128;
   // Safety valve on the resolve/bounce retry loop.
   int max_invoke_attempts = 16;
+  // Pause before re-resolving after an invocation leg was not delivered
+  // (network fault or endpoint death not yet recorded). Each pause consumes
+  // one invoke attempt, so undeliverable calls fail in bounded time.
+  Duration invoke_retry_backoff = Duration::Micros(100);
   // Lazy ("post-copy"-style) migration, after §5's CXL discussion: "we can
   // speed up resource proclet migration by postponing the copying of data".
   // The proclet resumes at the destination right after the fixed overhead;
@@ -139,6 +165,14 @@ struct RuntimeStats {
   // Durability accounting.
   int64_t restored_proclets = 0;  // lost proclets brought back by recovery
   int64_t checkpoint_bytes = 0;   // incremental checkpoint bytes shipped
+  // Network-failure & membership accounting.
+  int64_t declared_dead = 0;      // machines fenced out while (maybe) alive
+  int64_t fenced_migrations = 0;  // migrations rejected on a stale epoch
+  int64_t fenced_rpcs = 0;        // stamped requests rejected by FenceGuards
+  int64_t undelivered_invocations = 0;  // request legs eaten by the network
+  int64_t undelivered_lookups = 0;      // directory RPCs eaten by the network
+  int64_t response_retransmits = 0;     // response legs resent after a drop
+  int64_t unreachable_invocations = 0;  // invocations that gave up on the net
   // Gate-closed window per migration (what callers experience).
   LatencyHistogram migration_latency;
   // Background copy completion time for lazy migrations.
@@ -199,7 +233,15 @@ class Runtime {
   // Moves a proclet to `dst`. Blocks new invocations for the duration, which
   // is migration_fixed_overhead + heap/bandwidth (sub-millisecond for small
   // proclets — the property Fig. 1 depends on).
-  Task<Status> Migrate(ProcletId id, MachineId dst);
+  //
+  // `expected_epoch` is a fencing token: nonzero means "perform this move
+  // only if the proclet is still at the epoch I resolved". A replayed or
+  // duplicated migration command from before a rebind then fails with
+  // Aborted instead of yanking the proclet out from under its new owner —
+  // this is what makes directory rebind idempotent under at-least-once
+  // delivery. 0 skips the check (trusted local callers: evacuator,
+  // rebalancer).
+  Task<Status> Migrate(ProcletId id, MachineId dst, uint64_t expected_epoch = 0);
 
   // --- Maintenance (split/merge support) -------------------------------------
 
@@ -228,9 +270,43 @@ class Runtime {
   // Registers HandleMachineFailure as a crash handler on the injector.
   void AttachFaultInjector(FaultInjector& injector);
 
+  // Declares `machine` dead on the controller's authority WITHOUT the
+  // machine having fail-stopped — the gray-failure path: a partitioned or
+  // silent host is fenced out of membership, its proclets are marked fenced
+  // and lost (recoverable elsewhere), and it is never readmitted even if it
+  // later proves alive. Idempotent; no-op overlap with HandleMachineFailure.
+  void DeclareMachineDead(MachineId machine);
+
+  // Subscribes to a failure detector's confirmations: a confirmed machine is
+  // handled as a crash if its NIC is actually dead, or declared dead (gray
+  // failure) if it is merely unreachable. Register BEFORE
+  // RecoveryCoordinator::ArmDetector, for the same ordering reason as
+  // AttachFaultInjector.
+  void AttachFailureDetector(FailureDetector& detector);
+
+  // True once the runtime has written `machine` off — by observing a crash
+  // or by declaring it dead on the detector's word.
+  bool MachineConsideredDead(MachineId machine) const {
+    return dead_machines_.count(machine) != 0;
+  }
+
   // True if the proclet was lost to a machine failure (as opposed to never
   // existing or being deliberately destroyed).
   bool IsLost(ProcletId id) const { return lost_ids_.count(id) != 0; }
+
+  // --- Fencing ---------------------------------------------------------------
+
+  // Current fencing epoch of `id`: starts at 1, bumped on every directory
+  // rebind (migration, restore). 0 when the proclet does not exist. Clients
+  // stamp requests with this; FenceGuards compare stamps (health/fencing.h).
+  uint64_t EpochOf(ProcletId id) const {
+    auto it = epoch_of_.find(id);
+    return it == epoch_of_.end() ? 0 : it->second;
+  }
+
+  // Called by proclets whose FenceGuard rejected a stale-epoch request, so
+  // fencing activity aggregates in RuntimeStats for benches and metrics.
+  void NoteFencedRpc() { ++stats_.fenced_rpcs; }
 
   // --- Recovery (durability subsystem) ---------------------------------------
 
@@ -303,11 +379,20 @@ class Runtime {
                   SimTime started);
 
   // Resolves via the caller's cache, falling back to a directory RPC.
-  // Throws ProcletGoneError if the directory has no entry.
+  // Throws ProcletGoneError if the directory has no entry. Returns
+  // kInvalidMachineId when the directory RPC itself was eaten by the network
+  // (the caller backs off and retries — an attempt, not an answer).
   Task<MachineId> ResolveLocation(MachineId from, ProcletId id);
   void InvalidateCache(MachineId machine, ProcletId id);
   // Pays the cost of a bounced call's redirect response.
   Task<> PayBounce(MachineId stale_target, MachineId caller);
+  // Ships an invocation response, retransmitting through drops; false when
+  // the network ate every attempt (the invocation is then unreachable).
+  Task<bool> DeliverResponse(MachineId from, MachineId to, int64_t bytes);
+  // Shared tail of HandleMachineFailure and DeclareMachineDead: purges the
+  // machine's cache and loses every proclet it hosts, optionally fencing
+  // the corpses (gray failure: the host may still be running them).
+  void PurgeMachine(MachineId machine, bool fence);
 
   ProcletId next_id_ = 1;
   Simulator& sim_;
@@ -327,9 +412,14 @@ class Runtime {
   // for any fibers still holding pointers).
   std::vector<std::unique_ptr<ProcletBase>> graveyard_;
   std::unordered_set<ProcletId> lost_ids_;
+  // Machines written off (crashed or declared dead); guards against the
+  // oracle and detector paths both purging the same machine.
+  std::unordered_set<MachineId> dead_machines_;
   bool recovery_enabled_ = false;
   // Authoritative directory (hosted on config_.controller).
   std::unordered_map<ProcletId, MachineId> directory_;
+  // Fencing epochs, bumped on every directory rebind (see EpochOf).
+  std::unordered_map<ProcletId, uint64_t> epoch_of_;
   // Per-machine location caches (lazily invalidated; stale entries bounce).
   std::vector<std::unordered_map<ProcletId, MachineId>> location_cache_;
   // Pairwise communication volume (symmetric).
@@ -383,7 +473,12 @@ Task<Result<Ref<P>>> Runtime::Create(Ctx ctx, PlacementRequest request, Args... 
     co_return Status::ResourceExhausted("host machine out of memory");
   }
   // Control handshake with the host, then runtime-side setup work.
-  co_await fabric().Transfer(ctx.machine, host, config_.control_message_bytes);
+  const Delivery handshake = co_await fabric().TransferDetailed(
+      ctx.machine, host, config_.control_message_bytes);
+  if (handshake != Delivery::kDelivered && !cluster_.machine(ctx.machine).failed()) {
+    cluster_.machine(host).memory().Release(request.heap_bytes);
+    co_return Status::Unavailable("creation handshake lost in the network");
+  }
   co_await sim_.Sleep(config_.creation_overhead);
   if (cluster_.machine(host).failed()) {
     cluster_.machine(host).memory().Release(request.heap_bytes);
@@ -394,6 +489,8 @@ Task<Result<Ref<P>>> Runtime::Create(Ctx ctx, PlacementRequest request, Args... 
   ProcletInit init{this, &sim_, id, P::kKind, host};
   auto proclet = std::make_unique<P>(init, std::move(args)...);
   proclet->heap_bytes_ = request.heap_bytes;
+  proclet->epoch_ = 1;
+  epoch_of_[id] = 1;
   if (P::kKind == ProcletKind::kCompute) {
     cluster_.machine(host).AdjustHostedCompute(1);
   }
@@ -411,13 +508,40 @@ auto Runtime::Invoke(Ctx ctx, ProcletId id, Fn fn, int64_t request_bytes)
     -> Task<typename internal::UnwrapTask<std::invoke_result_t<Fn, P&>>::type> {
   using R = typename internal::UnwrapTask<std::invoke_result_t<Fn, P&>>::type;
 
+  bool last_undelivered = false;
   for (int attempt = 0; attempt < config_.max_invoke_attempts; ++attempt) {
+    last_undelivered = false;
     const MachineId target = co_await ResolveLocation(ctx.machine, id);
+    if (target == kInvalidMachineId) {
+      // The directory RPC itself vanished (the caller's side of a
+      // partition). Back off and spend another attempt.
+      last_undelivered = true;
+      co_await sim_.Sleep(config_.invoke_retry_backoff);
+      continue;
+    }
     const bool remote = target != ctx.machine;
     const SimTime started = sim_.Now();
     if (remote) {
-      co_await fabric().Transfer(ctx.machine, target,
-                                 request_bytes + Rpc::kHeaderBytes);
+      const Delivery request = co_await fabric().TransferDetailed(
+          ctx.machine, target, request_bytes + Rpc::kHeaderBytes);
+      if (request != Delivery::kDelivered &&
+          !cluster_.machine(ctx.machine).failed()) {
+        // The request never arrived — the target's NIC died, or a
+        // partition/drop ate it — and we, the live sender, hear only
+        // silence. Re-resolve after a short backoff; once the loss (or the
+        // machine's death) is recorded, the checks below surface it.
+        ++stats_.undelivered_invocations;
+        InvalidateCache(ctx.machine, id);
+        if (IsLost(id)) {
+          throw ProcletLostError(id);
+        }
+        if (Find(id) == nullptr) {
+          throw ProcletGoneError(id);
+        }
+        last_undelivered = true;
+        co_await sim_.Sleep(config_.invoke_retry_backoff);
+        continue;
+      }
     }
     ProcletBase* base = Find(id);
     if (base == nullptr) {
@@ -495,7 +619,12 @@ auto Runtime::Invoke(Ctx ctx, ProcletId id, Fn fn, int64_t request_bytes)
         }
       }
       if (remote) {
-        co_await fabric().Transfer(target, ctx.machine, Rpc::kHeaderBytes);
+        if (!co_await DeliverResponse(target, ctx.machine, Rpc::kHeaderBytes)) {
+          // The call ran; only the caller never learned. At-least-once:
+          // resend with the same request id and a FenceGuard dedups it.
+          ++stats_.unreachable_invocations;
+          throw ProcletUnreachableError(id);
+        }
         stats_.remote_invoke_latency.Add(sim_.Now() - started);
       }
       co_return;
@@ -519,12 +648,23 @@ auto Runtime::Invoke(Ctx ctx, ProcletId id, Fn fn, int64_t request_bytes)
         }
       }
       if (remote) {
-        co_await fabric().Transfer(target, ctx.machine,
-                                   WireSizeOf(*result) + Rpc::kHeaderBytes);
+        if (!co_await DeliverResponse(target, ctx.machine,
+                                      WireSizeOf(*result) + Rpc::kHeaderBytes)) {
+          // The call ran and produced a result the caller will never see.
+          // At-least-once: resend with the same request id and a FenceGuard
+          // dedups it.
+          ++stats_.unreachable_invocations;
+          throw ProcletUnreachableError(id);
+        }
         stats_.remote_invoke_latency.Add(sim_.Now() - started);
       }
       co_return std::move(*result);
     }
+  }
+  if (last_undelivered) {
+    // Every remaining attempt died in the network, not in a migration race.
+    ++stats_.unreachable_invocations;
+    throw ProcletUnreachableError(id);
   }
   // The proclet exists but kept migrating out from under us — a livelock,
   // not destruction (that case throws inside the loop).

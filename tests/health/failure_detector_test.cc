@@ -1,0 +1,170 @@
+// Heartbeat failure detection: silence — not an oracle — is the only crash
+// signal. Grading must suspect on a gap, confirm on a longer gap, exonerate
+// on a late heartbeat (false suspicion), and never readmit a confirmed-dead
+// machine even when its heartbeats resume (posthumous).
+
+#include "quicksand/health/failure_detector.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "quicksand/cluster/cluster.h"
+#include "quicksand/cluster/fault_injector.h"
+#include "quicksand/common/bytes.h"
+
+namespace quicksand {
+namespace {
+
+constexpr int kMachines = 3;
+
+FailureDetectorOptions FastOptions() {
+  FailureDetectorOptions opt;
+  opt.controller = 0;
+  opt.heartbeat_period = Duration::Millis(1);
+  opt.suspect_after = Duration::Millis(3);
+  opt.confirm_after = Duration::Millis(8);
+  opt.check_period = Duration::Micros(500);
+  return opt;
+}
+
+struct Harness {
+  Simulator sim;
+  Cluster cluster{sim};
+  Harness() {
+    for (int i = 0; i < kMachines; ++i) {
+      cluster.AddMachine(MachineSpec{});
+    }
+  }
+};
+
+TEST(FailureDetectorTest, HealthyClusterStaysAlive) {
+  Harness h;
+  FailureDetector detector(h.sim, h.cluster, FastOptions());
+  detector.Start();
+  h.sim.RunFor(Duration::Millis(50));
+  detector.Stop();
+
+  EXPECT_EQ(detector.suspicions(), 0);
+  EXPECT_EQ(detector.confirmations(), 0);
+  for (MachineId m = 1; m < kMachines; ++m) {
+    EXPECT_EQ(detector.StateOf(m), Health::kAlive);
+    EXPECT_TRUE(h.cluster.machine(m).accepting());
+  }
+  EXPECT_GT(detector.heartbeats_delivered(), 0);
+}
+
+TEST(FailureDetectorTest, CrashIsSuspectedThenConfirmed) {
+  Harness h;
+  FaultInjector faults(h.sim, h.cluster);
+  FailureDetector detector(h.sim, h.cluster, FastOptions());
+  std::vector<MachineId> suspected, confirmed;
+  SimTime confirmed_at;
+  detector.OnSuspect([&](MachineId m) { suspected.push_back(m); });
+  detector.OnConfirm([&](MachineId m) {
+    confirmed.push_back(m);
+    confirmed_at = h.sim.Now();
+  });
+  detector.Start();
+
+  faults.ScheduleCrash(SimTime::Zero() + Duration::Millis(10), 2);
+  h.sim.RunFor(Duration::Millis(40));
+  detector.Stop();
+
+  ASSERT_EQ(suspected.size(), 1u);
+  EXPECT_EQ(suspected[0], 2u);
+  ASSERT_EQ(confirmed.size(), 1u);
+  EXPECT_EQ(confirmed[0], 2u);
+  EXPECT_EQ(detector.StateOf(2), Health::kDead);
+  EXPECT_TRUE(detector.ConfirmedDead(2));
+  EXPECT_EQ(detector.StateOf(1), Health::kAlive);
+  EXPECT_EQ(detector.false_suspicions(), 0);
+  // Detection latency ~ confirm_after, measured from the LAST heartbeat
+  // (up to one period before the crash), plus one check period.
+  const Duration latency = confirmed_at - (SimTime::Zero() + Duration::Millis(10));
+  EXPECT_GT(latency, Duration::Millis(6));
+  EXPECT_LT(latency, Duration::Millis(10));
+}
+
+TEST(FailureDetectorTest, TransientPartitionIsAFalseSuspicion) {
+  Harness h;
+  FaultInjector faults(h.sim, h.cluster);
+  FailureDetector detector(h.sim, h.cluster, FastOptions());
+  std::vector<MachineId> cleared;
+  detector.OnClear([&](MachineId m) { cleared.push_back(m); });
+  detector.Start();
+
+  // Cut m1 -> controller for 5ms: longer than suspect_after, shorter than
+  // confirm_after. The machine must be suspected (and stop accepting work),
+  // then exonerated when heartbeats resume.
+  faults.SchedulePartitionOneWay(SimTime::Zero() + Duration::Millis(5), 1, 0,
+                                 Duration::Millis(5));
+  h.sim.RunFor(Duration::Millis(9));
+  EXPECT_EQ(detector.StateOf(1), Health::kSuspected);
+  EXPECT_FALSE(h.cluster.machine(1).accepting());
+
+  h.sim.RunFor(Duration::Millis(21));
+  detector.Stop();
+
+  EXPECT_EQ(detector.StateOf(1), Health::kAlive);
+  EXPECT_TRUE(h.cluster.machine(1).accepting());
+  EXPECT_EQ(detector.suspicions(), 1);
+  EXPECT_EQ(detector.false_suspicions(), 1);
+  EXPECT_EQ(detector.confirmations(), 0);
+  ASSERT_EQ(cleared.size(), 1u);
+  EXPECT_EQ(cleared[0], 1u);
+  EXPECT_GT(h.cluster.fabric().dropped_transfers(), 0);
+}
+
+TEST(FailureDetectorTest, GrayFailureIsConfirmedAndNeverReadmitted) {
+  Harness h;
+  FaultInjector faults(h.sim, h.cluster);
+  FailureDetector detector(h.sim, h.cluster, FastOptions());
+  detector.Start();
+
+  // Isolate m2 for 20ms — well past confirm_after — then heal. The machine
+  // never crashed, but the controller must declare it dead and stay firm
+  // when its late heartbeats arrive after the heal.
+  faults.ScheduleIsolation(SimTime::Zero() + Duration::Millis(5), 2,
+                           Duration::Millis(20));
+  h.sim.RunFor(Duration::Millis(60));
+  detector.Stop();
+
+  EXPECT_EQ(detector.StateOf(2), Health::kDead);
+  EXPECT_FALSE(h.cluster.machine(2).failed());  // alive, just written off
+  EXPECT_EQ(detector.confirmations(), 1);
+  EXPECT_GT(detector.posthumous_heartbeats(), 0);
+  EXPECT_EQ(detector.StateOf(1), Health::kAlive);
+}
+
+TEST(FailureDetectorTest, SameSeedRunsAreBitIdentical) {
+  auto run = [] {
+    Harness h;
+    FaultInjector faults(h.sim, h.cluster);
+    FailureDetector detector(h.sim, h.cluster, FastOptions());
+    detector.Start();
+    faults.SchedulePartitionOneWay(SimTime::Zero() + Duration::Millis(4), 1, 0,
+                                   Duration::Millis(5));
+    faults.ScheduleIsolation(SimTime::Zero() + Duration::Millis(15), 2,
+                             Duration::Millis(20));
+    h.sim.RunFor(Duration::Millis(60));
+    detector.Stop();
+    std::ostringstream digest;
+    digest << detector.suspicions() << '|' << detector.false_suspicions()
+           << '|' << detector.confirmations() << '|'
+           << detector.heartbeats_sent() << '|'
+           << detector.heartbeats_delivered() << '|'
+           << detector.posthumous_heartbeats() << '|'
+           << h.cluster.fabric().dropped_transfers() << '|'
+           << h.sim.Now().nanos();
+    return digest.str();
+  };
+  const std::string first = run();
+  EXPECT_EQ(first, run());
+  EXPECT_FALSE(first.empty());
+}
+
+}  // namespace
+}  // namespace quicksand

@@ -1,0 +1,305 @@
+// End-to-end partition scenarios — the acceptance gate for the network
+// failure model:
+//
+//  * gray failure: a one-way partition cuts the primary's host off from the
+//    controller (heartbeats AND rpc responses lost; the host keeps
+//    running). The detector suspects then confirms, the runtime declares
+//    the machine dead and fences its proclets, the recovery coordinator
+//    promotes the backup at a fresh epoch, and the at-least-once writer's
+//    retries dedup — no acked write lost or double-applied. After the
+//    partition heals, every stale-epoch RPC and replayed migration command
+//    is fenced; the late heartbeats are posthumous and ignored.
+//  * transient partition: shorter than confirm_after — one false suspicion,
+//    an exoneration, zero recoveries, and the writer just rides it out.
+//
+// Both runs must be bit-identical across same-seed executions.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "quicksand/cluster/fault_injector.h"
+#include "quicksand/common/bytes.h"
+#include "quicksand/durability/recovery_coordinator.h"
+#include "quicksand/durability/replication.h"
+#include "quicksand/health/failure_detector.h"
+#include "quicksand/proclet/fenced_kv_proclet.h"
+
+namespace quicksand {
+namespace {
+
+constexpr int kWrites = 24;
+
+FailureDetectorOptions FastOptions() {
+  FailureDetectorOptions opt;
+  opt.controller = 0;
+  opt.heartbeat_period = Duration::Millis(1);
+  opt.suspect_after = Duration::Millis(3);
+  opt.confirm_after = Duration::Millis(8);
+  opt.check_period = Duration::Micros(500);
+  return opt;
+}
+
+Task<FencedKvProclet::PutResult> RawPut(Ref<FencedKvProclet> kv, Ctx ctx,
+                                        uint64_t epoch, uint64_t rid,
+                                        uint64_t key, int64_t value) {
+  auto call = kv.Call(
+      ctx, [epoch, rid, key, value](FencedKvProclet& p)
+      -> Task<FencedKvProclet::PutResult> {
+        co_return p.Put(epoch, rid, key, value);
+      });
+  co_return co_await std::move(call);
+}
+
+// The at-least-once client: one stable request id per logical write,
+// re-resolved epoch per attempt, retries through network loss and failover.
+Task<bool> AckedPut(Ref<FencedKvProclet> kv, Runtime& rt, uint64_t rid,
+                    uint64_t key, int64_t value) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const uint64_t epoch = rt.EpochOf(kv.id());
+    if (epoch == 0) {
+      co_await rt.sim().Sleep(Duration::Micros(500));
+      continue;
+    }
+    bool lost = false;  // co_await is not allowed inside a catch handler
+    try {
+      FencedKvProclet::PutResult result =
+          co_await RawPut(kv, rt.CtxOn(0), epoch, rid, key, value);
+      if (result.applied || result.duplicate) {
+        co_return true;
+      }
+    } catch (const ProcletUnreachableError&) {
+    } catch (const ProcletLostError&) {
+      lost = true;
+    }
+    if (lost) {
+      (void)co_await rt.AwaitRestore(kv.id(), Duration::Millis(50));
+    }
+    co_await rt.sim().Sleep(Duration::Micros(500));
+  }
+  co_return false;
+}
+
+Task<> Writer(Ref<FencedKvProclet> kv, Runtime& rt, int writes, int64_t& acked,
+              int64_t& failed) {
+  for (int i = 0; i < writes; ++i) {
+    const uint64_t key = static_cast<uint64_t>(i);
+    if (co_await AckedPut(kv, rt, 100 + key, key,
+                          static_cast<int64_t>(key) * 5 + 1)) {
+      ++acked;
+    } else {
+      ++failed;
+    }
+    co_await rt.sim().Sleep(Duration::Millis(1));
+  }
+}
+
+std::string RunGrayFailureScenario(bool check) {
+  Simulator sim;
+  Cluster cluster{sim};
+  for (int i = 0; i < 4; ++i) {
+    MachineSpec spec;
+    spec.cores = 4;
+    spec.memory_bytes = 2_GiB;
+    cluster.AddMachine(spec);
+  }
+  Runtime rt(sim, cluster);
+  FaultInjector faults(sim, cluster);
+  rt.AttachFaultInjector(faults);
+
+  FailureDetector detector(sim, cluster, FastOptions());
+  ReplicationManager replication(rt);
+  RecoveryCoordinator recovery(rt);
+  recovery.AttachReplication(&replication);
+  // Ordering matters: loss bookkeeping (runtime) before repair
+  // (replication) before recovery, mirroring the FaultInjector chain.
+  rt.AttachFailureDetector(detector);
+  replication.ArmDetector(detector);
+  recovery.ArmDetector(detector);
+  detector.Start();
+
+  Ctx ctx = rt.CtxOn(0);
+  PlacementRequest req;
+  req.heap_bytes = 1_MiB;
+  req.pinned = 1;
+  Ref<FencedKvProclet> kv =
+      *sim.BlockOn(rt.Create<FencedKvProclet>(ctx, req));
+  const Status replicated =
+      sim.BlockOn(replication.ReplicateAs<FencedKvProclet>(ctx, kv.id()));
+  const MachineId backup_machine = replication.BackupMachineOf(kv.id());
+  const uint64_t epoch_before = rt.EpochOf(kv.id());
+
+  int64_t acked = 0, failed = 0;
+  sim.Spawn(Writer(kv, rt, kWrites, acked, failed), "writer");
+
+  // One-way partition: m1 can reach nobody's ears — heartbeats to the
+  // controller and rpc responses to callers all vanish — but m1 itself
+  // keeps receiving and executing. The asymmetric gray failure.
+  const SimTime partition_at = sim.Now() + Duration::Millis(5);
+  faults.SchedulePartitionOneWay(partition_at, 1, 0, Duration::Millis(30));
+  faults.SchedulePartitionOneWay(partition_at, 1, 2, Duration::Millis(30));
+  faults.SchedulePartitionOneWay(partition_at, 1, 3, Duration::Millis(30));
+
+  sim.RunFor(Duration::Millis(200));
+  detector.Stop();
+
+  // Post-heal: a client still holding the pre-failover epoch is fenced,
+  // and a replayed migration command from before the failover aborts.
+  const FencedKvProclet::PutResult stale_put =
+      sim.BlockOn(RawPut(kv, ctx, epoch_before, /*rid=*/9999, 0, -1));
+  const Status stale_migrate = sim.BlockOn(rt.Migrate(kv.id(), 3, epoch_before));
+
+  const MachineId owner = rt.LocationOf(kv.id());
+  FencedKvProclet* p = rt.UnsafeGet<FencedKvProclet>(kv.id());
+  int64_t wrong_values = 0, wrong_applies = 0;
+  for (int i = 0; i < kWrites; ++i) {
+    const uint64_t key = static_cast<uint64_t>(i);
+    if (p == nullptr || !p->Get(key).ok() ||
+        *p->Get(key) != static_cast<int64_t>(key) * 5 + 1) {
+      ++wrong_values;
+    }
+    if (p == nullptr || p->ApplyCount(key) != 1) {
+      ++wrong_applies;
+    }
+  }
+
+  if (check) {
+    EXPECT_TRUE(replicated.ok());
+    EXPECT_NE(backup_machine, kInvalidMachineId);
+
+    // Detection: suspected once, confirmed once, never exonerated.
+    EXPECT_EQ(detector.suspicions(), 1);
+    EXPECT_EQ(detector.confirmations(), 1);
+    EXPECT_EQ(detector.false_suspicions(), 0);
+    EXPECT_TRUE(detector.ConfirmedDead(1));
+    // The machine never fail-stopped — it was declared dead while running,
+    // and its post-heal heartbeats were ignored.
+    EXPECT_FALSE(cluster.machine(1).failed());
+    EXPECT_FALSE(cluster.machine(1).accepting());
+    EXPECT_GT(detector.posthumous_heartbeats(), 0);
+    EXPECT_EQ(rt.stats().declared_dead, 1);
+    EXPECT_EQ(rt.stats().crashes, 0);
+
+    // Failover: exactly one promotion, the backup is the one live owner,
+    // at a fresh epoch.
+    EXPECT_EQ(replication.promotions(), 1);
+    EXPECT_EQ(owner, backup_machine);
+    EXPECT_EQ(rt.EpochOf(kv.id()), epoch_before + 1);
+
+    // The writer rode the failover: everything acked, exactly once.
+    EXPECT_EQ(acked, kWrites);
+    EXPECT_EQ(failed, 0);
+    EXPECT_EQ(wrong_values, 0);
+    EXPECT_EQ(wrong_applies, 0);
+
+    // Stale tokens fence instead of corrupting.
+    EXPECT_TRUE(stale_put.fenced);
+    EXPECT_FALSE(stale_put.applied);
+    EXPECT_EQ(stale_migrate.code(), StatusCode::kAborted);
+    EXPECT_EQ(rt.stats().fenced_migrations, 1);
+    EXPECT_GT(rt.stats().fenced_rpcs, 0);
+    EXPECT_EQ(rt.LocationOf(kv.id()), owner);
+
+    // The network really did eat traffic.
+    EXPECT_GT(cluster.fabric().dropped_transfers(), 0);
+    EXPECT_GT(rt.stats().response_retransmits, 0);
+  }
+
+  std::ostringstream digest;
+  digest << acked << '|' << failed << '|' << wrong_values << '|'
+         << wrong_applies << '|' << owner << '|' << rt.EpochOf(kv.id()) << '|'
+         << detector.suspicions() << '|' << detector.false_suspicions() << '|'
+         << detector.confirmations() << '|' << detector.heartbeats_sent()
+         << '|' << detector.heartbeats_delivered() << '|'
+         << detector.posthumous_heartbeats() << '|'
+         << rt.stats().declared_dead << '|' << rt.stats().fenced_migrations
+         << '|' << rt.stats().fenced_rpcs << '|'
+         << rt.stats().undelivered_invocations << '|'
+         << rt.stats().undelivered_lookups << '|'
+         << rt.stats().response_retransmits << '|'
+         << rt.stats().unreachable_invocations << '|'
+         << replication.promotions() << '|' << replication.mutations_shipped()
+         << '|' << cluster.fabric().dropped_transfers() << '|'
+         << cluster.fabric().total_messages() << '|' << sim.Now().nanos();
+  return digest.str();
+}
+
+TEST(PartitionRecoveryTest, GrayFailureFailsOverWithFencing) {
+  RunGrayFailureScenario(/*check=*/true);
+}
+
+TEST(PartitionRecoveryTest, SameSeedRunsAreBitIdentical) {
+  const std::string first = RunGrayFailureScenario(/*check=*/false);
+  const std::string second = RunGrayFailureScenario(/*check=*/false);
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(PartitionRecoveryTest, TransientPartitionIsSuspectedThenForgiven) {
+  Simulator sim;
+  Cluster cluster{sim};
+  for (int i = 0; i < 4; ++i) {
+    MachineSpec spec;
+    spec.cores = 4;
+    spec.memory_bytes = 2_GiB;
+    cluster.AddMachine(spec);
+  }
+  Runtime rt(sim, cluster);
+  FaultInjector faults(sim, cluster);
+  rt.AttachFaultInjector(faults);
+
+  FailureDetector detector(sim, cluster, FastOptions());
+  ReplicationManager replication(rt);
+  RecoveryCoordinator recovery(rt);
+  recovery.AttachReplication(&replication);
+  rt.AttachFailureDetector(detector);
+  replication.ArmDetector(detector);
+  recovery.ArmDetector(detector);
+  detector.Start();
+
+  Ctx ctx = rt.CtxOn(0);
+  PlacementRequest req;
+  req.heap_bytes = 1_MiB;
+  req.pinned = 1;
+  Ref<FencedKvProclet> kv =
+      *sim.BlockOn(rt.Create<FencedKvProclet>(ctx, req));
+  ASSERT_TRUE(
+      sim.BlockOn(replication.ReplicateAs<FencedKvProclet>(ctx, kv.id())).ok());
+
+  int64_t acked = 0, failed = 0;
+  sim.Spawn(Writer(kv, rt, kWrites, acked, failed), "writer");
+
+  // 5ms outage: past suspect_after (3ms), well short of confirm_after (8ms
+  // from last heartbeat). The writer stalls and retries; nobody dies.
+  faults.SchedulePartitionOneWay(sim.Now() + Duration::Millis(5), 1, 0,
+                                 Duration::Millis(5));
+  sim.RunFor(Duration::Millis(120));
+  detector.Stop();
+
+  EXPECT_EQ(detector.suspicions(), 1);
+  EXPECT_EQ(detector.false_suspicions(), 1);
+  EXPECT_EQ(detector.confirmations(), 0);
+  EXPECT_EQ(detector.StateOf(1), Health::kAlive);
+  EXPECT_TRUE(cluster.machine(1).accepting());
+  EXPECT_EQ(rt.stats().declared_dead, 0);
+  EXPECT_EQ(replication.promotions(), 0);
+
+  // No failover: still owned by m1, original epoch, all writes landed once.
+  EXPECT_EQ(rt.LocationOf(kv.id()), 1u);
+  EXPECT_EQ(rt.EpochOf(kv.id()), 1u);
+  EXPECT_EQ(acked, kWrites);
+  EXPECT_EQ(failed, 0);
+  FencedKvProclet* p = rt.UnsafeGet<FencedKvProclet>(kv.id());
+  ASSERT_NE(p, nullptr);
+  for (int i = 0; i < kWrites; ++i) {
+    const uint64_t key = static_cast<uint64_t>(i);
+    ASSERT_TRUE(p->Get(key).ok()) << "key " << key;
+    EXPECT_EQ(*p->Get(key), static_cast<int64_t>(key) * 5 + 1);
+    EXPECT_EQ(p->ApplyCount(key), 1);
+  }
+}
+
+}  // namespace
+}  // namespace quicksand

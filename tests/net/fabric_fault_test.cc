@@ -1,0 +1,205 @@
+// Network faults at the fabric layer: partitions, loss, and delay spikes
+// must be silent to the sender (full egress cost paid), deterministic
+// across same-seed runs, and fully reversible (a healed fabric behaves
+// exactly like one never faulted).
+
+#include "quicksand/net/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "quicksand/cluster/cluster.h"
+#include "quicksand/common/bytes.h"
+
+namespace quicksand {
+namespace {
+
+FabricConfig TestConfig() {
+  FabricConfig cfg;
+  cfg.one_way_latency = 5_us;
+  cfg.bandwidth_bytes_per_sec = 12'500'000'000;  // 100 Gbps
+  cfg.per_message_overhead = 1_us;
+  return cfg;
+}
+
+Task<> Detailed(Fabric& fabric, MachineId src, MachineId dst, int64_t bytes,
+                Simulator& sim, Delivery& out, SimTime& done) {
+  out = co_await fabric.TransferDetailed(src, dst, bytes);
+  done = sim.Now();
+}
+
+TEST(FabricFaultTest, OneWayPartitionDropsOnlyThatDirection) {
+  Simulator sim;
+  Fabric fabric(sim, TestConfig());
+  fabric.AddNic(0);
+  fabric.AddNic(1);
+  fabric.PartitionOneWay(0, 1);
+
+  Delivery forward{}, backward{};
+  SimTime t_forward, t_backward;
+  sim.Spawn(Detailed(fabric, 0, 1, 0, sim, forward, t_forward), "fwd");
+  sim.Spawn(Detailed(fabric, 1, 0, 0, sim, backward, t_backward), "bwd");
+  sim.RunUntilIdle();
+
+  EXPECT_EQ(forward, Delivery::kDropped);
+  EXPECT_EQ(backward, Delivery::kDelivered);
+  // The sender of the doomed message pays the same wire time as a delivered
+  // one: loss is invisible at the instant of sending.
+  EXPECT_EQ(t_forward - SimTime::Zero(), 6_us);
+  EXPECT_EQ(fabric.dropped_transfers(), 1);
+  EXPECT_TRUE(fabric.LinkDown(0, 1));
+  EXPECT_FALSE(fabric.LinkDown(1, 0));
+}
+
+TEST(FabricFaultTest, HealRestoresDelivery) {
+  Simulator sim;
+  Fabric fabric(sim, TestConfig());
+  fabric.AddNic(0);
+  fabric.AddNic(1);
+  fabric.Partition(0, 1);
+  EXPECT_TRUE(fabric.LinkDown(0, 1));
+  EXPECT_TRUE(fabric.LinkDown(1, 0));
+  fabric.Heal(0, 1);
+
+  Delivery out{};
+  SimTime done;
+  sim.Spawn(Detailed(fabric, 0, 1, 0, sim, out, done), "t");
+  sim.RunUntilIdle();
+  EXPECT_EQ(out, Delivery::kDelivered);
+  EXPECT_EQ(fabric.dropped_transfers(), 0);
+}
+
+TEST(FabricFaultTest, IsolationCutsEveryLinkOfTheMachine) {
+  Simulator sim;
+  Fabric fabric(sim, TestConfig());
+  for (MachineId m = 0; m < 3; ++m) {
+    fabric.AddNic(m);
+  }
+  fabric.IsolateMachine(1);
+  EXPECT_TRUE(fabric.LinkDown(0, 1));
+  EXPECT_TRUE(fabric.LinkDown(1, 0));
+  EXPECT_TRUE(fabric.LinkDown(1, 2));
+  EXPECT_TRUE(fabric.LinkDown(2, 1));
+  EXPECT_FALSE(fabric.LinkDown(0, 2));
+  fabric.HealMachine(1);
+  EXPECT_FALSE(fabric.LinkDown(0, 1));
+  EXPECT_FALSE(fabric.LinkDown(2, 1));
+}
+
+TEST(FabricFaultTest, CertainLossDropsEverything) {
+  Simulator sim;
+  Fabric fabric(sim, TestConfig());
+  fabric.AddNic(0);
+  fabric.AddNic(1);
+  fabric.SetLinkLoss(0, 1, 1.0);
+  for (int i = 0; i < 8; ++i) {
+    Delivery out{};
+    SimTime done;
+    sim.Spawn(Detailed(fabric, 0, 1, 128, sim, out, done), "t");
+    sim.RunUntilIdle();
+    EXPECT_EQ(out, Delivery::kDropped);
+  }
+  EXPECT_EQ(fabric.dropped_transfers(), 8);
+}
+
+TEST(FabricFaultTest, LossDrawsAreSeedDeterministic) {
+  auto run = [](uint64_t seed) {
+    Simulator sim;
+    FabricConfig cfg = TestConfig();
+    cfg.fault_seed = seed;
+    Fabric fabric(sim, cfg);
+    fabric.AddNic(0);
+    fabric.AddNic(1);
+    fabric.SetLinkLoss(0, 1, 0.5);
+    std::ostringstream pattern;
+    for (int i = 0; i < 64; ++i) {
+      Delivery out{};
+      SimTime done;
+      sim.Spawn(Detailed(fabric, 0, 1, 128, sim, out, done), "t");
+      sim.RunUntilIdle();
+      pattern << (out == Delivery::kDelivered ? '1' : '0');
+    }
+    return pattern.str();
+  };
+  const std::string a = run(42);
+  EXPECT_EQ(a, run(42));
+  EXPECT_NE(a, run(43));
+  // ~50% loss: both symbols must actually occur.
+  EXPECT_NE(a.find('0'), std::string::npos);
+  EXPECT_NE(a.find('1'), std::string::npos);
+}
+
+TEST(FabricFaultTest, DelaySpikeStallsWithoutDropping) {
+  Simulator sim;
+  Fabric fabric(sim, TestConfig());
+  fabric.AddNic(0);
+  fabric.AddNic(1);
+  fabric.SetLinkDelay(0, 1, 100_us);
+
+  Delivery out{};
+  SimTime done;
+  sim.Spawn(Detailed(fabric, 0, 1, 0, sim, out, done), "t");
+  sim.RunUntilIdle();
+  EXPECT_EQ(out, Delivery::kDelivered);
+  EXPECT_EQ(done - SimTime::Zero(), 106_us);  // 1us + 5us + 100us spike
+  EXPECT_EQ(fabric.delayed_transfers(), 1);
+
+  fabric.SetLinkDelay(0, 1, Duration::Zero());
+  sim.Spawn(Detailed(fabric, 0, 1, 0, sim, out, done), "t2");
+  sim.RunUntilIdle();
+  EXPECT_EQ(fabric.delayed_transfers(), 1);
+}
+
+TEST(FabricFaultTest, EndpointDeathTrumpsLinkFaults) {
+  Simulator sim;
+  Fabric fabric(sim, TestConfig());
+  fabric.AddNic(0);
+  fabric.AddNic(1);
+  fabric.PartitionOneWay(0, 1);
+  fabric.FailMachine(1);
+
+  Delivery out{};
+  SimTime done;
+  sim.Spawn(Detailed(fabric, 0, 1, 0, sim, out, done), "t");
+  sim.RunUntilIdle();
+  EXPECT_EQ(out, Delivery::kEndpointFailed);
+  EXPECT_EQ(fabric.dropped_transfers(), 0);
+}
+
+TEST(FabricFaultTest, MidFlightPartitionEatsTheMessage) {
+  Simulator sim;
+  Fabric fabric(sim, TestConfig());
+  fabric.AddNic(0);
+  fabric.AddNic(1);
+
+  // 10 MiB takes ~845us of wire time; cut the link at 100us, mid-flight.
+  Delivery out{};
+  SimTime done;
+  sim.Spawn(Detailed(fabric, 0, 1, 10_MiB, sim, out, done), "t");
+  sim.ScheduleAt(SimTime::Zero() + 100_us,
+                 [&fabric] { fabric.PartitionOneWay(0, 1); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(out, Delivery::kDropped);
+  EXPECT_EQ(fabric.dropped_transfers(), 1);
+}
+
+TEST(FabricFaultTest, BoolTransferReportsDropAsFalse) {
+  Simulator sim;
+  Fabric fabric(sim, TestConfig());
+  fabric.AddNic(0);
+  fabric.AddNic(1);
+  fabric.PartitionOneWay(0, 1);
+  bool delivered = true;
+  sim.Spawn(
+      [](Fabric& f, bool& d) -> Task<> {
+        d = co_await f.Transfer(0, 1, 64);
+      }(fabric, delivered),
+      "t");
+  sim.RunUntilIdle();
+  EXPECT_FALSE(delivered);
+}
+
+}  // namespace
+}  // namespace quicksand

@@ -1,0 +1,205 @@
+// Epoch fencing at the runtime layer: every directory rebind bumps the
+// proclet's epoch, stale-epoch migrations abort instead of yanking the
+// proclet from its new owner, gray-failure declaration fences hosted
+// proclets, and FencedKvProclet turns at-least-once retries into
+// exactly-once applies.
+
+#include <gtest/gtest.h>
+
+#include "quicksand/cluster/fault_injector.h"
+#include "quicksand/common/bytes.h"
+#include "quicksand/durability/recovery_coordinator.h"
+#include "quicksand/durability/replication.h"
+#include "quicksand/health/fencing.h"
+#include "quicksand/proclet/fenced_kv_proclet.h"
+
+namespace quicksand {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  Cluster cluster{sim};
+  std::unique_ptr<Runtime> rt;
+  std::unique_ptr<FaultInjector> faults;
+
+  explicit Fixture(int machines = 4) {
+    for (int i = 0; i < machines; ++i) {
+      MachineSpec spec;
+      spec.cores = 4;
+      spec.memory_bytes = 2_GiB;
+      cluster.AddMachine(spec);
+    }
+    rt = std::make_unique<Runtime>(sim, cluster);
+    faults = std::make_unique<FaultInjector>(sim, cluster);
+    rt->AttachFaultInjector(*faults);
+  }
+
+  Ref<FencedKvProclet> MakeKv(MachineId where) {
+    PlacementRequest req;
+    req.heap_bytes = 1_MiB;
+    req.pinned = where;
+    return *sim.BlockOn(rt->Create<FencedKvProclet>(rt->CtxOn(0), req));
+  }
+};
+
+Task<FencedKvProclet::PutResult> Put(Ref<FencedKvProclet> kv, Ctx ctx,
+                                     uint64_t epoch, uint64_t rid,
+                                     uint64_t key, int64_t value) {
+  auto call = kv.Call(
+      ctx, [epoch, rid, key, value](FencedKvProclet& p)
+      -> Task<FencedKvProclet::PutResult> {
+        co_return p.Put(epoch, rid, key, value);
+      });
+  co_return co_await std::move(call);
+}
+
+TEST(FencingTest, EpochStartsAtOneAndBumpsOnMigration) {
+  Fixture f;
+  Ref<FencedKvProclet> kv = f.MakeKv(1);
+  EXPECT_EQ(f.rt->EpochOf(kv.id()), 1u);
+
+  EXPECT_TRUE(f.sim.BlockOn(f.rt->Migrate(kv.id(), 2)).ok());
+  EXPECT_EQ(f.rt->EpochOf(kv.id()), 2u);
+  EXPECT_TRUE(f.sim.BlockOn(f.rt->Migrate(kv.id(), 3)).ok());
+  EXPECT_EQ(f.rt->EpochOf(kv.id()), 3u);
+
+  // Gone proclets have no epoch.
+  EXPECT_TRUE(f.sim.BlockOn(f.rt->Destroy(f.rt->CtxOn(0), kv.id())).ok());
+  EXPECT_EQ(f.rt->EpochOf(kv.id()), 0u);
+}
+
+TEST(FencingTest, StaleEpochMigrationIsFenced) {
+  Fixture f;
+  Ref<FencedKvProclet> kv = f.MakeKv(1);
+
+  const uint64_t stale = f.rt->EpochOf(kv.id());  // 1
+  EXPECT_TRUE(f.sim.BlockOn(f.rt->Migrate(kv.id(), 2, stale)).ok());
+
+  // Replaying the same command (same token) after the rebind must abort —
+  // this is what makes migration idempotent under at-least-once delivery.
+  const Status replay = f.sim.BlockOn(f.rt->Migrate(kv.id(), 3, stale));
+  EXPECT_EQ(replay.code(), StatusCode::kAborted);
+  EXPECT_EQ(f.rt->LocationOf(kv.id()), 2u);
+  EXPECT_EQ(f.rt->stats().fenced_migrations, 1);
+
+  // The current token still works.
+  EXPECT_TRUE(
+      f.sim.BlockOn(f.rt->Migrate(kv.id(), 3, f.rt->EpochOf(kv.id()))).ok());
+}
+
+TEST(FencingTest, DuplicateRequestIdsApplyExactlyOnce) {
+  Fixture f;
+  Ref<FencedKvProclet> kv = f.MakeKv(1);
+  Ctx ctx = f.rt->CtxOn(0);
+  const uint64_t epoch = f.rt->EpochOf(kv.id());
+
+  FencedKvProclet::PutResult first =
+      f.sim.BlockOn(Put(kv, ctx, epoch, /*rid=*/7, /*key=*/1, /*value=*/10));
+  EXPECT_TRUE(first.applied);
+
+  // An at-least-once retry of the same request: acked, not re-applied.
+  FencedKvProclet::PutResult retry =
+      f.sim.BlockOn(Put(kv, ctx, epoch, /*rid=*/7, /*key=*/1, /*value=*/10));
+  EXPECT_FALSE(retry.applied);
+  EXPECT_TRUE(retry.duplicate);
+
+  FencedKvProclet* p = f.rt->UnsafeGet<FencedKvProclet>(kv.id());
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->ApplyCount(1), 1);
+  EXPECT_EQ(*p->Get(1), 10);
+  EXPECT_EQ(p->guard().duplicates(), 1);
+}
+
+TEST(FencingTest, StaleEpochWriteIsFencedAfterMigration) {
+  Fixture f;
+  Ref<FencedKvProclet> kv = f.MakeKv(1);
+  Ctx ctx = f.rt->CtxOn(0);
+
+  const uint64_t old_epoch = f.rt->EpochOf(kv.id());
+  EXPECT_TRUE(f.sim.BlockOn(Put(kv, ctx, old_epoch, 1, 1, 10)).applied);
+  EXPECT_TRUE(f.sim.BlockOn(f.rt->Migrate(kv.id(), 2)).ok());
+
+  // A client that resolved before the migration writes with the old token.
+  FencedKvProclet::PutResult stale =
+      f.sim.BlockOn(Put(kv, ctx, old_epoch, 2, 1, 99));
+  EXPECT_TRUE(stale.fenced);
+  EXPECT_FALSE(stale.applied);
+  EXPECT_EQ(f.rt->stats().fenced_rpcs, 1);
+
+  FencedKvProclet* p = f.rt->UnsafeGet<FencedKvProclet>(kv.id());
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p->Get(1), 10);  // the stale write did not land
+}
+
+TEST(FencingTest, DeclareMachineDeadFencesHostedProclets) {
+  Fixture f;
+  Ref<FencedKvProclet> kv = f.MakeKv(1);
+  Ref<FencedKvProclet> other = f.MakeKv(2);
+
+  f.rt->DeclareMachineDead(1);
+
+  EXPECT_EQ(f.rt->stats().declared_dead, 1);
+  EXPECT_TRUE(f.rt->MachineConsideredDead(1));
+  EXPECT_TRUE(f.rt->IsLost(kv.id()));
+  EXPECT_FALSE(f.rt->IsLost(other.id()));
+  // The host did NOT fail-stop — it is fenced while possibly still running.
+  EXPECT_FALSE(f.cluster.machine(1).failed());
+  EXPECT_FALSE(f.cluster.machine(1).accepting());
+
+  // The corpse is marked fenced, so a gray-failed host still holding the
+  // object refuses to serve (FencedKvProclet checks fenced()).
+  EXPECT_EQ(f.rt->LocationOf(kv.id()), kInvalidMachineId);
+
+  // Idempotent, and a later "real" crash of the same machine is a no-op.
+  f.rt->DeclareMachineDead(1);
+  f.rt->HandleMachineFailure(1);
+  EXPECT_EQ(f.rt->stats().declared_dead, 1);
+  EXPECT_EQ(f.rt->stats().crashes, 0);
+}
+
+TEST(FencingTest, PromotedBackupBumpsEpochAndInheritsDedup) {
+  Fixture f;
+  ReplicationManager replication(*f.rt);
+  RecoveryCoordinator recovery(*f.rt);
+  recovery.AttachReplication(&replication);
+  replication.Arm(*f.faults);
+  recovery.Arm(*f.faults);
+
+  Ref<FencedKvProclet> kv = f.MakeKv(1);
+  Ctx ctx = f.rt->CtxOn(0);
+  ASSERT_TRUE(f.sim
+                  .BlockOn(replication.ReplicateAs<FencedKvProclet>(ctx,
+                                                                    kv.id()))
+                  .ok());
+
+  const uint64_t epoch1 = f.rt->EpochOf(kv.id());
+  EXPECT_TRUE(f.sim.BlockOn(Put(kv, ctx, epoch1, 1, 1, 10)).applied);
+  EXPECT_TRUE(f.sim.BlockOn(Put(kv, ctx, epoch1, 2, 2, 20)).applied);
+
+  f.faults->FailNow(1);
+  f.sim.RunFor(Duration::Millis(5));
+
+  // Promoted elsewhere, at a fresh epoch.
+  const MachineId now_at = f.rt->LocationOf(kv.id());
+  ASSERT_NE(now_at, kInvalidMachineId);
+  EXPECT_NE(now_at, 1u);
+  const uint64_t epoch2 = f.rt->EpochOf(kv.id());
+  EXPECT_GT(epoch2, epoch1);
+
+  // Old-epoch writes are fenced; retries of ACKED writes dedup even though
+  // they now hit the promoted backup (the log witnessed their ids).
+  EXPECT_TRUE(f.sim.BlockOn(Put(kv, ctx, epoch1, 3, 3, 30)).fenced);
+  FencedKvProclet::PutResult replayed =
+      f.sim.BlockOn(Put(kv, ctx, epoch2, 1, 1, 10));
+  EXPECT_TRUE(replayed.duplicate);
+  EXPECT_FALSE(replayed.applied);
+
+  FencedKvProclet* p = f.rt->UnsafeGet<FencedKvProclet>(kv.id());
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->ApplyCount(1), 1);
+  EXPECT_EQ(*p->Get(1), 10);
+  EXPECT_EQ(*p->Get(2), 20);
+}
+
+}  // namespace
+}  // namespace quicksand
