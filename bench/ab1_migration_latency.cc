@@ -4,16 +4,105 @@
 // takes "only a few milliseconds", and the small filler proclets of Fig. 1
 // move in under a millisecond. This bench sweeps heap size and reports the
 // measured end-to-end migration latency plus its cost breakdown.
+//
+// --smoke is the trace-determinism gate: it runs the small-heap migration
+// twice with tracing always on, fails if the same-seed trace digests
+// diverge, and uses TraceQuery to assert the migration span's critical path
+// is sub-millisecond and its events form one causal tree.
 
 #include <cstdio>
+#include <cstring>
 
 #include "quicksand/common/bytes.h"
 #include "quicksand/proclet/memory_proclet.h"
+#include "quicksand/trace/bench_trace.h"
+#include "quicksand/trace/query.h"
 
 namespace quicksand {
 namespace {
 
-void Main() {
+struct SmokeResult {
+  uint64_t digest = 0;
+  int64_t events = 0;
+  bool single_tree = false;
+  bool migrated_ok = false;
+  Duration migration = Duration::Zero();
+};
+
+// One 64 KiB migration with a tracer attached unconditionally (smoke always
+// traces — that is the point of the gate). With --trace the run's events
+// also land in the exported JSON.
+SmokeResult SmokeRun(BenchTrace* trace, const char* label) {
+  Simulator sim;
+  Cluster cluster(sim);
+  MachineSpec spec;
+  spec.memory_bytes = 2 * kGiB;
+  cluster.AddMachine(spec);
+  cluster.AddMachine(spec);
+  Runtime rt(sim, cluster);
+  Tracer local_tracer(sim, cluster.size());
+  Tracer* tracer = AttachBenchTracer(trace, rt, label);
+  if (tracer == nullptr) {
+    tracer = &local_tracer;
+    rt.AttachTracer(tracer);
+  }
+  const Ctx ctx = rt.CtxOn(0);
+
+  PlacementRequest req;
+  req.heap_bytes = 64 * kKiB;
+  req.pinned = MachineId{0};
+  auto create = rt.Create<MemoryProclet>(ctx, req);
+  Ref<MemoryProclet> proclet = *sim.BlockOn(std::move(create));
+  const Status status = sim.BlockOn(rt.Migrate(proclet.id(), 1));
+
+  SmokeResult r;
+  r.digest = tracer->Digest();
+  r.events = tracer->recorded();
+  TraceQuery query = TraceQuery::FromTracer(*tracer);
+  const std::vector<TraceSpan> migrations = query.SpansOf(TraceOp::kMigrate);
+  if (status.ok() && migrations.size() == 1 && migrations.front().ended &&
+      std::strcmp(migrations.front().detail, "ok") == 0) {
+    r.migrated_ok = true;
+    r.migration = migrations.front().duration();
+    r.single_tree = query.SingleCausalTree(migrations.front().trace_id);
+  }
+  return r;
+}
+
+int Smoke(BenchTrace* trace) {
+  const SmokeResult first = SmokeRun(trace, "smoke_run1");
+  const SmokeResult second = SmokeRun(trace, "smoke_run2");
+  std::printf("ab1 smoke: 64KiB migration span %s, %lld events, digest "
+              "%016llx\n",
+              first.migration.ToString().c_str(),
+              static_cast<long long>(first.events),
+              static_cast<unsigned long long>(first.digest));
+  if (first.digest != second.digest) {
+    std::printf("ab1 smoke: FAIL — same-seed trace digests diverged "
+                "(%016llx vs %016llx)\n",
+                static_cast<unsigned long long>(first.digest),
+                static_cast<unsigned long long>(second.digest));
+    return 1;
+  }
+  if (!first.migrated_ok) {
+    std::printf("ab1 smoke: FAIL — migration span missing or not ok\n");
+    return 1;
+  }
+  if (!first.single_tree) {
+    std::printf("ab1 smoke: FAIL — migration events are not one causal tree\n");
+    return 1;
+  }
+  if (first.migration >= Duration::Millis(1)) {
+    std::printf("ab1 smoke: FAIL — 64KiB migration critical path %s is not "
+                "sub-millisecond\n",
+                first.migration.ToString().c_str());
+    return 1;
+  }
+  std::printf("ab1 smoke: PASS (deterministic trace, sub-ms critical path)\n");
+  return 0;
+}
+
+void Main(BenchTrace* trace) {
   std::printf("=== A1: migration latency vs proclet heap size ===\n");
   std::printf("fixed overhead %lldus (pinning/mapping) + heap/bandwidth (100Gbps) "
               "+ 5us latency\n\n",
@@ -31,6 +120,7 @@ void Main() {
     cluster.AddMachine(spec);
     cluster.AddMachine(spec);
     Runtime rt(sim, cluster);
+    (void)AttachBenchTracer(trace, rt, "heap_" + FormatBytes(heap));
     const Ctx ctx = rt.CtxOn(0);
 
     PlacementRequest req;
@@ -56,7 +146,11 @@ void Main() {
 }  // namespace
 }  // namespace quicksand
 
-int main() {
-  quicksand::Main();
+int main(int argc, char** argv) {
+  quicksand::BenchTrace trace = quicksand::BenchTrace::FromArgs(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+    return quicksand::Smoke(&trace);
+  }
+  quicksand::Main(&trace);
   return 0;
 }

@@ -12,13 +12,18 @@
 // without prefetch, across per-element compute intensities.
 
 #include <cstdio>
+#include <string>
 
 #include "quicksand/common/bytes.h"
 #include "quicksand/ds/stream.h"
 #include "quicksand/proclet/memory_proclet.h"
+#include "quicksand/trace/bench_trace.h"
 
 namespace quicksand {
 namespace {
+
+BenchTrace* g_trace = nullptr;
+int g_runs = 0;
 
 struct Env {
   Simulator sim;
@@ -33,6 +38,7 @@ struct Env {
       cluster.AddMachine(spec);
     }
     rt = std::make_unique<Runtime>(sim, cluster);
+    (void)AttachBenchTracer(g_trace, *rt, "run_" + std::to_string(++g_runs));
   }
 };
 
@@ -125,7 +131,9 @@ void PrefetchSweep() {
 }  // namespace
 }  // namespace quicksand
 
-int main() {
+int main(int argc, char** argv) {
+  quicksand::BenchTrace trace = quicksand::BenchTrace::FromArgs(argc, argv);
+  quicksand::g_trace = &trace;
   std::printf("=== A2: locality and prefetching ===\n");
   quicksand::InvocationCosts();
   quicksand::PrefetchSweep();

@@ -10,12 +10,17 @@
 // hammering the shard during the split.
 
 #include <cstdio>
+#include <string>
 
 #include "quicksand/adapt/shard_maintenance.h"
 #include "quicksand/common/bytes.h"
+#include "quicksand/trace/bench_trace.h"
 
 namespace quicksand {
 namespace {
+
+BenchTrace* g_trace = nullptr;
+int g_runs = 0;
 
 struct Env {
   Simulator sim;
@@ -30,6 +35,7 @@ struct Env {
       cluster.AddMachine(spec);
     }
     rt = std::make_unique<Runtime>(sim, cluster);
+    (void)AttachBenchTracer(g_trace, *rt, "run_" + std::to_string(++g_runs));
   }
 };
 
@@ -111,7 +117,9 @@ void Main() {
 }  // namespace
 }  // namespace quicksand
 
-int main() {
+int main(int argc, char** argv) {
+  quicksand::BenchTrace trace = quicksand::BenchTrace::FromArgs(argc, argv);
+  quicksand::g_trace = &trace;
   quicksand::Main();
   return 0;
 }

@@ -7,14 +7,19 @@
 // placement additionally colocates a chatty pair.
 
 #include <cstdio>
+#include <string>
 
 #include "quicksand/common/bytes.h"
 #include "quicksand/compute/parallel.h"
 #include "quicksand/ds/sharded_vector.h"
 #include "quicksand/sched/placement.h"
+#include "quicksand/trace/bench_trace.h"
 
 namespace quicksand {
 namespace {
+
+BenchTrace* g_trace = nullptr;
+int g_runs = 0;
 
 struct Outcome {
   double seconds = 0;
@@ -38,6 +43,7 @@ Outcome RunWith(std::unique_ptr<PlacementPolicy> policy) {
   cluster.AddMachine(mem_heavy);
   Runtime rt(sim, cluster);
   rt.SetPlacementPolicy(std::move(policy));
+  (void)AttachBenchTracer(g_trace, rt, "run_" + std::to_string(++g_runs));
   const Ctx ctx = rt.CtxOn(0);
 
   // 4 GiB dataset in 16 MiB shards; per-element compute.
@@ -109,7 +115,9 @@ void Main() {
 }  // namespace
 }  // namespace quicksand
 
-int main() {
+int main(int argc, char** argv) {
+  quicksand::BenchTrace trace = quicksand::BenchTrace::FromArgs(argc, argv);
+  quicksand::g_trace = &trace;
   quicksand::Main();
   return 0;
 }

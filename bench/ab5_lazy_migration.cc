@@ -7,12 +7,16 @@
 // invocation a concurrent client observes.
 
 #include <cstdio>
+#include <string>
 
 #include "quicksand/common/bytes.h"
 #include "quicksand/proclet/memory_proclet.h"
+#include "quicksand/trace/bench_trace.h"
 
 namespace quicksand {
 namespace {
+
+BenchTrace* g_trace = nullptr;
 
 struct Measured {
   Duration blocking;
@@ -45,6 +49,9 @@ Measured RunOne(bool lazy, int64_t heap) {
   RuntimeConfig config;
   config.lazy_migration = lazy;
   Runtime rt(sim, cluster, config);
+  (void)AttachBenchTracer(g_trace, rt,
+                          std::string(lazy ? "lazy_" : "eager_") +
+                              FormatBytes(heap));
   const Ctx ctx = rt.CtxOn(0);
   PlacementRequest req;
   req.heap_bytes = heap;
@@ -92,7 +99,9 @@ void Main() {
 }  // namespace
 }  // namespace quicksand
 
-int main() {
+int main(int argc, char** argv) {
+  quicksand::BenchTrace trace = quicksand::BenchTrace::FromArgs(argc, argv);
+  quicksand::g_trace = &trace;
   quicksand::Main();
   return 0;
 }

@@ -8,15 +8,19 @@
 // notice the provider must give for Quicksand to be loss-free.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "quicksand/cluster/fault_injector.h"
 #include "quicksand/common/bytes.h"
 #include "quicksand/proclet/memory_proclet.h"
 #include "quicksand/sched/evacuator.h"
+#include "quicksand/trace/bench_trace.h"
 
 namespace quicksand {
 namespace {
+
+BenchTrace* g_trace = nullptr;
 
 struct Measured {
   int64_t considered = 0;
@@ -33,6 +37,7 @@ Measured RunOne(Duration warning, int proclets, int64_t heap_each) {
     cluster.AddMachine(spec);
   }
   Runtime rt(sim, cluster);
+  (void)AttachBenchTracer(g_trace, rt, "warning_" + warning.ToString());
   FaultInjector faults(sim, cluster);
   rt.AttachFaultInjector(faults);
   EmergencyEvacuator evacuator(rt);
@@ -90,7 +95,9 @@ void Main() {
 }  // namespace
 }  // namespace quicksand
 
-int main() {
+int main(int argc, char** argv) {
+  quicksand::BenchTrace trace = quicksand::BenchTrace::FromArgs(argc, argv);
+  quicksand::g_trace = &trace;
   quicksand::Main();
   return 0;
 }

@@ -27,11 +27,27 @@
 #include "quicksand/durability/checkpoint_manager.h"
 #include "quicksand/durability/recovery_coordinator.h"
 #include "quicksand/durability/replication.h"
+#include "quicksand/trace/bench_trace.h"
 
 namespace quicksand {
 namespace {
 
+BenchTrace* g_trace = nullptr;
+int g_runs = 0;
+
 enum class Mode { kNone, kCheckpoint, kReplicate };
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kNone:
+      return "none";
+    case Mode::kCheckpoint:
+      return "checkpoint";
+    case Mode::kReplicate:
+      return "replicate";
+  }
+  return "?";
+}
 
 constexpr int kMachines = 4;
 constexpr int kOps = 256;
@@ -116,6 +132,10 @@ RunResult RunOne(Mode mode, Duration interval, bool crash) {
     cluster.AddMachine(spec);
   }
   Runtime rt(sim, cluster);
+  (void)AttachBenchTracer(g_trace, rt,
+                          std::string(ModeName(mode)) + "_" +
+                              interval.ToString() + "_" +
+                              std::to_string(++g_runs));
   FaultInjector faults(sim, cluster);
   rt.AttachFaultInjector(faults);
 
@@ -271,6 +291,8 @@ void Main() {
 }  // namespace quicksand
 
 int main(int argc, char** argv) {
+  quicksand::BenchTrace trace = quicksand::BenchTrace::FromArgs(argc, argv);
+  quicksand::g_trace = &trace;
   if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
     return quicksand::Smoke();
   }

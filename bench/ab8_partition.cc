@@ -27,6 +27,8 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -37,6 +39,8 @@
 #include "quicksand/durability/replication.h"
 #include "quicksand/health/failure_detector.h"
 #include "quicksand/proclet/fenced_kv_proclet.h"
+#include "quicksand/trace/bench_trace.h"
+#include "quicksand/trace/flight_recorder.h"
 
 namespace quicksand {
 namespace {
@@ -121,7 +125,9 @@ Task<> Writer(Ref<FencedKvProclet> kv, Runtime& rt, int64_t& acked,
   done = rt.sim().Now();
 }
 
-RunResult RunOne(Scenario scenario, Duration confirm_after, double loss) {
+RunResult RunOne(Scenario scenario, Duration confirm_after, double loss,
+                 BenchTrace* trace, const std::string& label,
+                 const char* postmortem_path = nullptr) {
   Simulator sim;
   Cluster cluster(sim);
   for (int i = 0; i < kMachines; ++i) {
@@ -131,6 +137,18 @@ RunResult RunOne(Scenario scenario, Duration confirm_after, double loss) {
     cluster.AddMachine(spec);
   }
   Runtime rt(sim, cluster);
+  // This bench traces unconditionally: the trace digest is part of the run
+  // digest (the determinism gate covers the tracer itself), and the flight
+  // recorder needs a ring to freeze when the primary is declared dead. When
+  // --trace is given the events also land in the exported JSON.
+  Tracer local_tracer(sim, cluster.size());
+  Tracer* tracer = AttachBenchTracer(trace, rt, label);
+  if (tracer == nullptr) {
+    tracer = &local_tracer;
+    rt.AttachTracer(tracer);
+  }
+  FlightRecorder recorder(*tracer, /*last_n=*/1000);
+  rt.AttachFlightRecorder(&recorder);
   FaultInjector faults(sim, cluster);
   rt.AttachFaultInjector(faults);
 
@@ -242,14 +260,29 @@ RunResult RunOne(Scenario scenario, Duration confirm_after, double loss) {
          << detector.heartbeats_sent() << '|'
          << detector.heartbeats_delivered() << '|'
          << detector.posthumous_heartbeats() << '|' << rt.EpochOf(kv.id())
-         << '|' << sim.Now().nanos();
+         << '|' << sim.Now().nanos() << '|' << std::hex << tracer->Digest();
   r.digest = digest.str();
+
+  if (postmortem_path != nullptr) {
+    if (const Postmortem* postmortem = recorder.ForMachine(1)) {
+      std::filesystem::create_directories(
+          std::filesystem::path(postmortem_path).parent_path());
+      std::ofstream out(postmortem_path);
+      out << FlightRecorder::Dump(*postmortem);
+      std::printf("ab8: wrote m1 postmortem (%zu events, reason '%s') to %s\n",
+                  postmortem->events.size(), postmortem->reason.c_str(),
+                  postmortem_path);
+    }
+  }
   return r;
 }
 
-int Smoke() {
-  const RunResult first = RunOne(Scenario::kGray, Duration::Millis(8), 0.0);
-  const RunResult second = RunOne(Scenario::kGray, Duration::Millis(8), 0.0);
+int Smoke(BenchTrace* trace) {
+  const RunResult first =
+      RunOne(Scenario::kGray, Duration::Millis(8), 0.0, trace, "smoke_run1",
+             "results/ab8_postmortem_m1.txt");
+  const RunResult second =
+      RunOne(Scenario::kGray, Duration::Millis(8), 0.0, trace, "smoke_run2");
   std::printf("ab8 smoke: detect %s, recover %s, %lld/%d acked, %lld fenced, "
               "%lld deduped, %lld wrong\n",
               first.detect.ToString().c_str(), first.recover.ToString().c_str(),
@@ -278,7 +311,7 @@ int Smoke() {
   return 0;
 }
 
-void Main() {
+void Main(BenchTrace* trace) {
   std::printf("=== A8: detection timeout vs false suspicion and recovery ===\n");
   std::printf("(%d machines, heartbeat 500us, suspect 2ms; a fenced kv "
               "proclet on m1 with a durable backup; %d at-least-once writes "
@@ -294,7 +327,9 @@ void Main() {
   std::printf("%8s | %8s %9s | %8s %8s | %10s | %5s\n", "confirm", "suspect",
               "declared", "promote", "fenced", "writer", "wrong");
   for (const Duration confirm : confirms) {
-    const RunResult r = RunOne(Scenario::kTransient, confirm, 0.0);
+    const RunResult r =
+        RunOne(Scenario::kTransient, confirm, 0.0, trace,
+               "transient_confirm_" + confirm.ToString());
     std::printf("%8s | %5lld/%-2lld %9lld | %8lld %8lld | %10s | %5lld\n",
                 confirm.ToString().c_str(),
                 static_cast<long long>(r.false_suspicions),
@@ -314,7 +349,8 @@ void Main() {
   std::printf("%8s | %9s %9s | %8s %8s | %10s | %5s\n", "confirm", "detect",
               "recover", "fenced", "dedup", "writer", "wrong");
   for (const Duration confirm : confirms) {
-    const RunResult r = RunOne(Scenario::kGray, confirm, 0.0);
+    const RunResult r = RunOne(Scenario::kGray, confirm, 0.0, trace,
+                               "gray_confirm_" + confirm.ToString());
     std::printf("%8s | %9s %9s | %8lld %8lld | %10s | %5lld\n",
                 confirm.ToString().c_str(), r.detect.ToString().c_str(),
                 r.recover.ToString().c_str(),
@@ -330,7 +366,9 @@ void Main() {
   std::printf("%6s | %8s %9s | %10s %11s | %10s | %5s\n", "loss", "suspect",
               "declared", "retransmit", "unreachable", "writer", "wrong");
   for (const double loss : {0.05, 0.15, 0.30}) {
-    const RunResult r = RunOne(Scenario::kLoss, Duration::Millis(8), loss);
+    const RunResult r =
+        RunOne(Scenario::kLoss, Duration::Millis(8), loss, trace,
+               "loss_" + std::to_string(static_cast<int>(loss * 100)) + "pct");
     std::printf("%5.0f%% | %5lld/%-2lld %9lld | %10lld %11lld | %10s | %5lld\n",
                 loss * 100, static_cast<long long>(r.false_suspicions),
                 static_cast<long long>(r.suspicions),
@@ -349,9 +387,10 @@ void Main() {
 }  // namespace quicksand
 
 int main(int argc, char** argv) {
+  quicksand::BenchTrace trace = quicksand::BenchTrace::FromArgs(argc, argv);
   if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
-    return quicksand::Smoke();
+    return quicksand::Smoke(&trace);
   }
-  quicksand::Main();
+  quicksand::Main(&trace);
   return 0;
 }

@@ -19,9 +19,12 @@
 #include "quicksand/common/bytes.h"
 #include "quicksand/proclet/compute_proclet.h"
 #include "quicksand/sched/local_reactor.h"
+#include "quicksand/trace/bench_trace.h"
 
 namespace quicksand {
 namespace {
+
+BenchTrace* g_trace = nullptr;
 
 constexpr int kCores = 8;
 constexpr Duration kTaskCost = Duration::Micros(100);
@@ -103,6 +106,9 @@ RunResult RunScenario(bool fungible, bool with_antagonists) {
   cluster.AddMachine(spec);
   cluster.AddMachine(spec);
   Runtime rt(sim, cluster);
+  (void)AttachBenchTracer(g_trace, rt,
+                          std::string(fungible ? "fungible" : "static") +
+                              (with_antagonists ? "_contended" : "_idle"));
 
   std::vector<std::unique_ptr<PhasedAntagonist>> antagonists;
   if (with_antagonists) {
@@ -199,7 +205,9 @@ void Main() {
 }  // namespace
 }  // namespace quicksand
 
-int main() {
+int main(int argc, char** argv) {
+  quicksand::BenchTrace trace = quicksand::BenchTrace::FromArgs(argc, argv);
+  quicksand::g_trace = &trace;
   quicksand::Main();
   return 0;
 }

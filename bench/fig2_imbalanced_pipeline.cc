@@ -29,9 +29,12 @@
 #include "quicksand/ds/sharded_queue.h"
 #include "quicksand/sched/global_rebalancer.h"
 #include "quicksand/sched/local_reactor.h"
+#include "quicksand/trace/bench_trace.h"
 
 namespace quicksand {
 namespace {
+
+BenchTrace* g_trace = nullptr;
 
 struct Config {
   const char* name;
@@ -65,6 +68,7 @@ RunStats RunConfig(const Config& config, int64_t num_images) {
     cluster.AddMachine(spec);
   }
   Runtime rt(sim, cluster);
+  (void)AttachBenchTracer(g_trace, rt, config.name);
   auto reactors = StartLocalReactors(rt);
   GlobalRebalancerConfig rebalance_cfg;
   rebalance_cfg.period = Duration::Millis(20);
@@ -193,7 +197,9 @@ void Main() {
 }  // namespace
 }  // namespace quicksand
 
-int main() {
+int main(int argc, char** argv) {
+  quicksand::BenchTrace trace = quicksand::BenchTrace::FromArgs(argc, argv);
+  quicksand::g_trace = &trace;
   quicksand::Main();
   return 0;
 }

@@ -15,9 +15,12 @@
 #include "quicksand/app/preprocess_stage.h"
 #include "quicksand/app/trainer.h"
 #include "quicksand/common/bytes.h"
+#include "quicksand/trace/bench_trace.h"
 
 namespace quicksand {
 namespace {
+
+BenchTrace* g_trace = nullptr;
 
 constexpr Duration kToggleEvery = Duration::Millis(200);
 constexpr int kToggles = 8;
@@ -35,6 +38,7 @@ void Main() {
     cluster.AddMachine(spec);
   }
   Runtime rt(sim, cluster);
+  (void)AttachBenchTracer(g_trace, rt, "gpu_adaptation");
   const Ctx ctx = rt.CtxOn(0);
 
   ShardedQueue<Tensor>::Options queue_options;
@@ -153,7 +157,9 @@ void Main() {
 }  // namespace
 }  // namespace quicksand
 
-int main() {
+int main(int argc, char** argv) {
+  quicksand::BenchTrace trace = quicksand::BenchTrace::FromArgs(argc, argv);
+  quicksand::g_trace = &trace;
   quicksand::Main();
   return 0;
 }

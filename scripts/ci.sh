@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 tests (plain + ASan/UBSan via scripts/check.sh) and
-# the durability smoke gate, which fails on nondeterminism between two
-# same-seed recovery runs.
+# the smoke gates (durability, trace determinism, partition failover), each
+# of which fails on nondeterminism between two same-seed runs.
 
 set -euo pipefail
 
@@ -19,6 +19,9 @@ scripts/check.sh --sanitize-only
 
 echo "== durability smoke: two same-seed recovery runs must be bit-identical =="
 ./build/bench/ab7_recovery --smoke
+
+echo "== trace smoke: same-seed migration runs must agree on the trace digest =="
+./build/bench/ab1_migration_latency --smoke
 
 echo "== partition smoke: gray-failure failover must be deterministic and exactly-once =="
 ./build/bench/ab8_partition --smoke

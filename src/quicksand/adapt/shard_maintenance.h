@@ -146,6 +146,12 @@ Task<Status> SplitVectorShard(Ctx ctx, ShardedVector<T> vec, ShardInfo donor_inf
                                    co_return s;
                                  });
   status = co_await std::move(update);
+  if (status.ok()) {
+    if (Tracer* tracer = rt.tracer()) {
+      tracer->Instant(ctx.trace, donor_machine, TraceOp::kSplit,
+                      donor_info.proclet, moved_bytes);
+    }
+  }
   co_return status;
 }
 
@@ -212,6 +218,10 @@ Task<Status> MergeVectorShards(Ctx ctx, ShardedVector<T> vec, ShardInfo left_inf
   status = co_await std::move(update);
   right_guard.Release();
   if (status.ok()) {
+    if (Tracer* tracer = rt.tracer()) {
+      tracer->Instant(ctx.trace, left->location(), TraceOp::kMerge,
+                      left_info.proclet, moved_bytes);
+    }
     auto destroy = rt.Destroy(ctx, dead);
     (void)co_await std::move(destroy);
   }
@@ -342,6 +352,12 @@ Task<Status> SplitMapShard(Ctx ctx, ShardedMap<K, V, Proj> map, ShardInfo donor_
                                    co_return s;
                                  });
   status = co_await std::move(update);
+  if (status.ok()) {
+    if (Tracer* tracer = rt.tracer()) {
+      tracer->Instant(ctx.trace, donor_machine, TraceOp::kSplit,
+                      donor_info.proclet, moved_bytes);
+    }
+  }
   co_return status;
 }
 
@@ -403,6 +419,10 @@ Task<Status> MergeMapShards(Ctx ctx, ShardedMap<K, V, Proj> map, ShardInfo left_
   status = co_await std::move(update);
   right_guard.Release();
   if (status.ok()) {
+    if (Tracer* tracer = rt.tracer()) {
+      tracer->Instant(ctx.trace, left->location(), TraceOp::kMerge,
+                      left_info.proclet, moved_bytes);
+    }
     auto destroy = rt.Destroy(ctx, dead);
     (void)co_await std::move(destroy);
   }

@@ -45,7 +45,7 @@ class StageScaler {
         queue_(std::move(queue)),
         trainer_(trainer),
         config_(config),
-        producer_series_("producers") {}
+        producer_series_("producer_count") {}
 
   void Start() { rt_.sim().Spawn(Loop(), "stage_scaler"); }
 

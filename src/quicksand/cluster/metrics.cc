@@ -7,6 +7,93 @@
 
 namespace quicksand {
 
+const std::vector<MetricInfo>& ExportedMetrics() {
+  // Keep rows grouped by source and alphabetical within a group so the
+  // generated DESIGN.md table diffs cleanly.
+  static const std::vector<MetricInfo> kMetrics = {
+      // ClusterMetrics time series ("_m<i>" appended per machine).
+      {"cpu_util", "ClusterMetrics", "CPU busy fraction per sample window"},
+      {"mem_util", "ClusterMetrics", "memory utilization, instantaneous"},
+      {"suspected_machines", "ClusterMetrics",
+       "machines currently marked suspected (detector attached)"},
+      // Adaptation time series.
+      {"producer_count", "StageScaler",
+       "preprocessing proclets live after each scaling round"},
+      // HealthCounters (detector + runtime fault accounting).
+      {"confirmations", "FailureDetector", "suspicions confirmed dead"},
+      {"false_suspicions", "FailureDetector",
+       "suspicions cleared by a late heartbeat"},
+      {"heartbeats_delivered", "FailureDetector",
+       "heartbeats that survived the network"},
+      {"heartbeats_sent", "FailureDetector", "heartbeats sent by monitors"},
+      {"posthumous_heartbeats", "FailureDetector",
+       "heartbeats discarded because the sender was already dead"},
+      {"suspicions", "FailureDetector", "silence windows that tripped"},
+      {"declared_dead", "RuntimeStats",
+       "machines fenced out while possibly alive"},
+      {"fenced_migrations", "RuntimeStats",
+       "migrations rejected on a stale epoch"},
+      {"fenced_rpcs", "RuntimeStats",
+       "stamped requests rejected by fence guards"},
+      // RuntimeStats counters.
+      {"bounce_livelocks", "RuntimeStats",
+       "invocations that exhausted the bounce loop"},
+      {"bounces", "RuntimeStats", "invocations redirected mid-migration"},
+      {"checkpoint_bytes", "RuntimeStats",
+       "incremental checkpoint bytes shipped"},
+      {"crashes", "RuntimeStats", "machine failures observed by the runtime"},
+      {"creations", "RuntimeStats", "proclets created"},
+      {"destructions", "RuntimeStats", "proclets destroyed"},
+      {"directory_lookups", "RuntimeStats", "location directory RPCs"},
+      {"failed_migrations", "RuntimeStats", "migrations that did not commit"},
+      {"lazy_copies_completed", "RuntimeStats",
+       "background heap copies finished"},
+      {"local_invocations", "RuntimeStats", "invocations served on-machine"},
+      {"lost_proclets", "RuntimeStats", "proclets whose host died under them"},
+      {"migrations", "RuntimeStats", "migrations committed"},
+      {"remote_invocations", "RuntimeStats", "invocations served over the wire"},
+      {"response_retransmits", "RuntimeStats",
+       "response legs resent after a drop"},
+      {"restored_proclets", "RuntimeStats",
+       "lost proclets brought back by recovery"},
+      {"undelivered_invocations", "RuntimeStats",
+       "request legs eaten by the network"},
+      {"undelivered_lookups", "RuntimeStats",
+       "directory RPCs eaten by the network"},
+      {"unreachable_invocations", "RuntimeStats",
+       "invocations that gave up on the network"},
+      // RuntimeStats latency histograms.
+      {"lazy_copy_latency", "RuntimeStats",
+       "background copy completion time for lazy migrations"},
+      {"migration_latency", "RuntimeStats",
+       "gate-closed window per migration (caller-visible)"},
+      {"remote_invoke_latency", "RuntimeStats",
+       "round-trip latency of remote invocations"},
+  };
+  return kMetrics;
+}
+
+bool IsSnakeCaseMetricName(const std::string& name) {
+  if (name.empty() || name.front() == '_' || name.back() == '_') {
+    return false;
+  }
+  if (name.front() >= '0' && name.front() <= '9') {
+    return false;
+  }
+  bool prev_underscore = false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) {
+      return false;
+    }
+    if (c == '_' && prev_underscore) {
+      return false;  // no "__" runs
+    }
+    prev_underscore = (c == '_');
+  }
+  return true;
+}
+
 void ClusterMetrics::Start() {
   cpu_series_.clear();
   mem_series_.clear();

@@ -7,6 +7,7 @@
 #define QUICKSAND_CLUSTER_METRICS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "quicksand/cluster/cluster.h"
@@ -17,6 +18,24 @@ namespace quicksand {
 
 class FailureDetector;
 struct RuntimeStats;
+
+// One row of the exported-metric registry: the canonical name (a snake_case
+// stem; per-machine series append "_m<i>"), where it comes from, and what it
+// measures. The registry is the source of truth for the table in DESIGN.md
+// and for the naming test — add a row whenever a new TimeSeries or counter
+// is exported.
+struct MetricInfo {
+  const char* name;
+  const char* source;
+  const char* description;
+};
+
+// Every metric name exported by the simulator, in stable order.
+const std::vector<MetricInfo>& ExportedMetrics();
+
+// Naming rule for exported metrics: lower-case snake_case, starting with a
+// letter; digits allowed after the first character ("cpu_util_m3" is fine).
+bool IsSnakeCaseMetricName(const std::string& name);
 
 // Point-in-time snapshot of the cluster's failure-handling activity,
 // merging detector-side counters (heartbeats, suspicions) with

@@ -165,6 +165,10 @@ Task<Status> CheckpointManager::CheckpointLocked(Ctx ctx, ProcletId id) {
   ++checkpoints_taken_;
   bytes_shipped_ += incremental;
   rt_.AccountCheckpoint(incremental);
+  if (Tracer* tracer = rt_.tracer()) {
+    tracer->Instant(TraceContext{}, host, TraceOp::kCheckpoint, id, incremental,
+                    need_new_depot ? "full" : "incremental");
+  }
   QS_LOG_DEBUG("checkpoint", "proclet %llu: %lld bytes (of %lld) to depot m%u",
                static_cast<unsigned long long>(id),
                static_cast<long long>(incremental), static_cast<long long>(full),

@@ -35,6 +35,16 @@ Task<RecoveryReport> RecoveryCoordinator::Recover(Ctx ctx, MachineId machine) {
   report.machine = machine;
   report.started = rt_.sim().Now();
 
+  // The whole recovery walk is one `recover` span under the caller's stamp;
+  // promotions and restores inside record their own instants. Child work
+  // below runs under the span's context.
+  SpanGuard span;
+  if (Tracer* tracer = rt_.tracer()) {
+    ctx.trace = tracer->BeginSpan(ctx.trace, ctx.machine, TraceOp::kRecover, 0,
+                                  static_cast<int64_t>(machine));
+    span = SpanGuard(tracer, ctx.trace, ctx.machine);
+  }
+
   // Already sorted: deterministic restore order across same-seed runs.
   std::vector<ProcletId> lost = rt_.LostProcletsOn(machine);
   for (ProcletId id : lost) {
@@ -84,6 +94,7 @@ Task<RecoveryReport> RecoveryCoordinator::Recover(Ctx ctx, MachineId machine) {
               static_cast<long long>(report.restored),
               static_cast<long long>(report.unrecoverable),
               static_cast<long long>(report.elapsed.micros()));
+  span.End("ok", report.promoted + report.restored);
   reports_.push_back(report);
   co_return report;
 }

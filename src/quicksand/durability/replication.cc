@@ -233,6 +233,9 @@ Task<Status> ReplicationManager::PromoteBackup(Ctx ctx, ProcletId id) {
   }
   replica.backup_machine = kInvalidMachineId;
   ++promotions_;
+  if (Tracer* tracer = rt_.tracer()) {
+    tracer->Instant(ctx.trace, target, TraceOp::kPromote, id);
+  }
   QS_LOG_DEBUG("replication", "proclet %llu promoted on m%u",
                static_cast<unsigned long long>(id), target);
   // Re-arm with a fresh backup, best effort (a shrunken cluster may have no

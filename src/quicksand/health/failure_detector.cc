@@ -67,6 +67,10 @@ Task<> FailureDetector::SenderLoop(MachineId machine) {
       state_[machine] = Health::kAlive;
       ++false_suspicions_;
       cluster_.machine(machine).MarkSuspected(false);
+      if (tracer_ != nullptr) {
+        tracer_->Instant(TraceContext{}, machine, TraceOp::kClearSuspect, 0,
+                         silence.nanos(), "late_heartbeat");
+      }
       QS_LOG_DEBUG("health", "m%u exonerated: heartbeat after %s of silence",
                    machine, silence.ToString().c_str());
       for (const Handler& handler : on_clear_) {
@@ -91,6 +95,10 @@ Task<> FailureDetector::MonitorLoop() {
         state_[m] = Health::kSuspected;
         ++suspicions_;
         cluster_.machine(m).MarkSuspected(true);
+        if (tracer_ != nullptr) {
+          tracer_->Instant(TraceContext{}, m, TraceOp::kSuspect, 0,
+                           gap.nanos(), "silence");
+        }
         QS_LOG_DEBUG("health", "m%u suspected: silent for %s", m,
                      gap.ToString().c_str());
         for (const Handler& handler : on_suspect_) {
@@ -102,6 +110,10 @@ Task<> FailureDetector::MonitorLoop() {
         ++confirmations_;
         // The machine stays marked suspected: !accepting() either way, and a
         // gray-failed host must never rejoin placement.
+        if (tracer_ != nullptr) {
+          tracer_->Instant(TraceContext{}, m, TraceOp::kConfirmDead, 0,
+                           gap.nanos(), "silence");
+        }
         QS_LOG_INFO("health", "m%u declared dead: silent for %s", m,
                     gap.ToString().c_str());
         for (const Handler& handler : on_confirm_) {

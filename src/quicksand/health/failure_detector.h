@@ -33,6 +33,7 @@
 #include "quicksand/common/time.h"
 #include "quicksand/sim/simulator.h"
 #include "quicksand/sim/task.h"
+#include "quicksand/trace/trace.h"
 
 namespace quicksand {
 
@@ -82,6 +83,10 @@ class FailureDetector {
   void OnClear(Handler handler) { on_clear_.push_back(std::move(handler)); }
   void OnConfirm(Handler handler) { on_confirm_.push_back(std::move(handler)); }
 
+  // Optional tracing: suspicion / exoneration / confirmation transitions
+  // then record as instants against the graded machine.
+  void AttachTracer(Tracer* tracer) { tracer_ = tracer; }
+
   // Spawns one heartbeat fiber per non-controller machine plus the
   // controller's monitor fiber. Call once, after all machines are added.
   void Start();
@@ -122,6 +127,7 @@ class FailureDetector {
   std::vector<Handler> on_suspect_;
   std::vector<Handler> on_clear_;
   std::vector<Handler> on_confirm_;
+  Tracer* tracer_ = nullptr;
   bool running_ = false;
   int64_t suspicions_ = 0;
   int64_t false_suspicions_ = 0;

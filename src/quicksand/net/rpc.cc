@@ -22,48 +22,95 @@ Task<Status> Rpc::LoseRoundTrip(SimTime start, Duration timeout) {
 }
 
 Task<Status> Rpc::RoundTrip(MachineId src, MachineId dst, int64_t request_bytes,
-                            std::function<Task<int64_t>()> server, Duration timeout) {
+                            std::function<Task<int64_t>()> server, Duration timeout,
+                            TraceContext trace) {
   const SimTime start = sim_.Now();
   ++calls_;
+  SpanGuard span;
+  if (tracer_ != nullptr) {
+    trace = tracer_->BeginSpan(trace, src, TraceOp::kRpcAttempt, 0, request_bytes);
+    span = SpanGuard(tracer_, trace, src);
+    tracer_->Instant(trace, src, TraceOp::kRpcSend, 0,
+                     request_bytes + kHeaderBytes);
+  }
   const Delivery request =
       co_await fabric_.TransferDetailed(src, dst, request_bytes + kHeaderBytes);
   if (request == Delivery::kEndpointFailed) {
     ++aborted_;
+    span.End("unavailable");
     co_return Status::Unavailable("rpc request lost: endpoint failed");
   }
   if (request == Delivery::kDropped) {
-    co_return co_await LoseRoundTrip(start, timeout);
+    if (tracer_ != nullptr) {
+      tracer_->Instant(trace, src, TraceOp::kRpcDrop, 0, 0, "request");
+    }
+    const Status status = co_await LoseRoundTrip(start, timeout);
+    span.End(StatusCodeName(status.code()));
+    co_return status;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Instant(trace, dst, TraceOp::kRpcRecv, 0,
+                     request_bytes + kHeaderBytes);
   }
   const int64_t response_bytes = co_await server();
+  if (tracer_ != nullptr) {
+    tracer_->Instant(trace, dst, TraceOp::kRpcSend, 0,
+                     response_bytes + kHeaderBytes, "response");
+  }
   const Delivery response =
       co_await fabric_.TransferDetailed(dst, src, response_bytes + kHeaderBytes);
   if (response == Delivery::kEndpointFailed) {
     ++aborted_;
+    span.End("unavailable");
     co_return Status::Unavailable("rpc response lost: endpoint failed");
   }
   if (response == Delivery::kDropped) {
     // The server work happened; only the ack vanished (at-least-once).
-    co_return co_await LoseRoundTrip(start, timeout);
+    if (tracer_ != nullptr) {
+      tracer_->Instant(trace, dst, TraceOp::kRpcDrop, 0, 0, "response");
+    }
+    const Status status = co_await LoseRoundTrip(start, timeout);
+    span.End(StatusCodeName(status.code()));
+    co_return status;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Instant(trace, src, TraceOp::kRpcRecv, 0,
+                     response_bytes + kHeaderBytes, "response");
   }
   const Duration elapsed = sim_.Now() - start;
   latency_.Add(elapsed);
   if (elapsed > timeout) {
     ++timeouts_;
+    span.End("deadline_exceeded");
     co_return Status::DeadlineExceeded("rpc round trip exceeded timeout");
   }
+  span.End("ok");
   co_return Status::Ok();
 }
 
 Task<Status> Rpc::RoundTripWithRetry(MachineId src, MachineId dst,
                                      int64_t request_bytes,
                                      std::function<Task<int64_t>()> server,
-                                     Duration timeout, RpcRetryPolicy policy) {
+                                     Duration timeout, RpcRetryPolicy policy,
+                                     TraceContext trace) {
   QS_CHECK(policy.max_attempts >= 1);
+  // The retry envelope is one `rpc` span; each attempt nests an
+  // `rpc_attempt` child under it (RoundTrip receives the child stamp).
+  SpanGuard span;
+  if (tracer_ != nullptr) {
+    trace = tracer_->BeginSpan(trace, src, TraceOp::kRpc, 0, request_bytes);
+    span = SpanGuard(tracer_, trace, src);
+  }
   Duration backoff = policy.base_backoff;
   for (int attempt = 0;; ++attempt) {
-    const Status status =
-        co_await RoundTrip(src, dst, request_bytes, server, timeout);
+    // Materialized first: `server` is a std::function, and passing it by
+    // value inside a co_await operand trips the GCC 12 double-destroy bug
+    // documented in sim/task.h.
+    auto attempt_task =
+        RoundTrip(src, dst, request_bytes, server, timeout, trace);
+    const Status status = co_await std::move(attempt_task);
     if (status.ok()) {
+      span.End("ok", attempt);
       co_return status;
     }
     // Unavailable means an endpoint's NIC is dead — terminal under
@@ -76,13 +123,19 @@ Task<Status> Rpc::RoundTripWithRetry(MachineId src, MachineId dst,
         status.code() == StatusCode::kDeadlineExceeded ||
         (status.code() == StatusCode::kUnavailable && suspected_dst);
     if (!retryable) {
+      span.End(StatusCodeName(status.code()), attempt);
       co_return status;
     }
     if (attempt + 1 >= policy.max_attempts) {
       ++retries_exhausted_;
+      span.End("retries_exhausted", attempt);
       co_return status;
     }
     ++retries_;
+    if (tracer_ != nullptr) {
+      tracer_->Instant(trace, src, TraceOp::kRpcRetry, 0, attempt,
+                       StatusCodeName(status.code()));
+    }
     const double jitter =
         1.0 + policy.jitter * (2.0 * rng_.NextDouble() - 1.0);
     co_await sim_.Sleep(backoff * std::max(jitter, 0.0));

@@ -25,6 +25,7 @@
 #include "quicksand/common/status.h"
 #include "quicksand/net/fabric.h"
 #include "quicksand/sim/task.h"
+#include "quicksand/trace/trace.h"
 
 namespace quicksand {
 
@@ -57,6 +58,11 @@ class Rpc {
     detector_ = detector;
   }
 
+  // Optional tracing: round trips then record as `rpc` / `rpc_attempt` spans
+  // with per-leg send/recv/drop instants, stitched under the caller's
+  // TraceContext. Null detaches; with no tracer the hooks are no-ops.
+  void AttachTracer(Tracer* tracer) { tracer_ = tracer; }
+
   // Round trip src -> dst -> src. `server` runs logically at dst and returns
   // the response payload size in bytes. If the round trip exceeds `timeout`
   // the result is DeadlineExceeded (the server work still happened; only the
@@ -65,9 +71,12 @@ class Rpc {
   // leg lost to a partition or packet drop surfaces as DeadlineExceeded at
   // the deadline — the caller cannot tell loss from slowness, so a finite
   // timeout is required on faultable links (CHECK-enforced at the drop).
+  // `trace` (optional) is the caller's causal stamp: the attempt's span and
+  // leg instants hang under it, so cross-machine spans stitch into one tree.
   Task<Status> RoundTrip(MachineId src, MachineId dst, int64_t request_bytes,
                          std::function<Task<int64_t>()> server,
-                         Duration timeout = Duration::Max());
+                         Duration timeout = Duration::Max(),
+                         TraceContext trace = TraceContext{});
 
   // RoundTrip with retry: exponential backoff on the sim clock with
   // deterministic jitter, up to policy.max_attempts attempts. Retryable:
@@ -80,7 +89,8 @@ class Rpc {
   Task<Status> RoundTripWithRetry(MachineId src, MachineId dst, int64_t request_bytes,
                                   std::function<Task<int64_t>()> server,
                                   Duration timeout,
-                                  RpcRetryPolicy policy = RpcRetryPolicy{});
+                                  RpcRetryPolicy policy = RpcRetryPolicy{},
+                                  TraceContext trace = TraceContext{});
 
   const LatencyHistogram& latency() const { return latency_; }
   int64_t calls() const { return calls_; }
@@ -106,6 +116,7 @@ class Rpc {
   LatencyHistogram latency_;
   Rng rng_;
   const FailureDetector* detector_ = nullptr;
+  Tracer* tracer_ = nullptr;
   int64_t calls_ = 0;
   int64_t timeouts_ = 0;
   int64_t retries_ = 0;

@@ -51,12 +51,12 @@ class FencedKvProclet : public ProcletBase {
   PutResult Put(uint64_t caller_epoch, uint64_t request_id, uint64_t key,
                 int64_t value) {
     if (fenced()) {
-      runtime().NoteFencedRpc();
+      runtime().NoteFencedRpc(id(), static_cast<int64_t>(request_id));
       return PutResult{false, false, true};
     }
     switch (guard_.AdmitRequest(caller_epoch, epoch(), request_id)) {
       case FenceGuard::Admit::kFenced:
-        runtime().NoteFencedRpc();
+        runtime().NoteFencedRpc(id(), static_cast<int64_t>(request_id));
         return PutResult{false, false, true};
       case FenceGuard::Admit::kDuplicate:
         return PutResult{false, true, false};
@@ -66,6 +66,7 @@ class FencedKvProclet : public ProcletBase {
     if (kv_.find(key) == kv_.end() && !TryChargeHeap(kEntryBytes)) {
       return PutResult{false, false, false};
     }
+    runtime().NoteCommittedRpc(id(), static_cast<int64_t>(request_id));
     kv_[key] = value;
     ++applies_[key];
     RecordMutation(

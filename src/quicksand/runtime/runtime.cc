@@ -5,6 +5,7 @@
 #include "quicksand/cluster/fault_injector.h"
 #include "quicksand/common/logging.h"
 #include "quicksand/health/failure_detector.h"
+#include "quicksand/trace/flight_recorder.h"
 
 namespace quicksand {
 
@@ -166,6 +167,9 @@ Task<Status> Runtime::Destroy(Ctx ctx, ProcletId id) {
     cluster_.machine(proclet->location()).AdjustHostedCompute(-1);
   }
   proclet->heap_bytes_ = 0;
+  if (tracer_ != nullptr) {
+    tracer_->Instant(ctx.trace, proclet->location(), TraceOp::kDestroy, id);
+  }
   directory_.erase(id);
   epoch_of_.erase(id);
   ++stats_.destructions;
@@ -182,6 +186,24 @@ Task<Status> Runtime::Destroy(Ctx ctx, ProcletId id) {
 }
 
 Task<Status> Runtime::Migrate(ProcletId id, MachineId dst, uint64_t expected_epoch) {
+  if (tracer_ == nullptr) {
+    co_return co_await MigrateImpl(id, dst, expected_epoch);
+  }
+  // One `migrate` span covering gate->drain->copy->flip, attributed to the
+  // source machine and stamped with the fencing token the caller resolved.
+  TraceContext parent;
+  parent.epoch = expected_epoch;
+  const MachineId src = TraceHomeOf(id);
+  SpanGuard span(tracer_,
+                 tracer_->BeginSpan(parent, src, TraceOp::kMigrate, id,
+                                    static_cast<int64_t>(dst)),
+                 src);
+  const Status status = co_await MigrateImpl(id, dst, expected_epoch);
+  span.End(status.ok() ? "ok" : StatusCodeName(status.code()));
+  co_return status;
+}
+
+Task<Status> Runtime::MigrateImpl(ProcletId id, MachineId dst, uint64_t expected_epoch) {
   QS_CHECK(dst < cluster_.size());
   ProcletBase* proclet = Find(id);
   if (proclet == nullptr) {
@@ -194,6 +216,12 @@ Task<Status> Runtime::Migrate(ProcletId id, MachineId dst, uint64_t expected_epo
   // so a replayed command from a previous epoch never reports success.
   if (expected_epoch != 0 && expected_epoch != proclet->epoch()) {
     ++stats_.fenced_migrations;
+    if (tracer_ != nullptr) {
+      TraceContext stale;
+      stale.epoch = expected_epoch;
+      tracer_->Instant(stale, proclet->location(), TraceOp::kFence, id,
+                       static_cast<int64_t>(proclet->epoch()), "stale_epoch");
+    }
     co_return Status::Aborted("migration fenced: stale epoch");
   }
   if (proclet->location() == dst) {
@@ -406,6 +434,10 @@ void Runtime::LoseProclet(ProcletId id) {
   }
   proclets_.erase(it);
   ++stats_.lost_proclets;
+  if (tracer_ != nullptr) {
+    tracer_->Instant(TraceContext{}, host, TraceOp::kLost, id,
+                     static_cast<int64_t>(proclet->epoch()));
+  }
   QS_LOG_DEBUG("runtime", "proclet %llu (%s) lost with machine m%u",
                static_cast<unsigned long long>(id), ProcletKindName(proclet->kind()),
                host);
@@ -434,8 +466,13 @@ Status Runtime::AdoptRestored(ProcletId id, std::unique_ptr<ProcletBase> obj,
   }
   lost_ids_.erase(id);
   directory_[id] = host;
+  const uint64_t new_epoch = epoch_of_[id];
   proclets_.emplace(id, std::move(obj));
   ++stats_.restored_proclets;
+  if (tracer_ != nullptr) {
+    tracer_->Instant(TraceContext{}, host, TraceOp::kRestore, id,
+                     static_cast<int64_t>(new_epoch));
+  }
   QS_LOG_DEBUG("runtime", "proclet %llu restored on m%u",
                static_cast<unsigned long long>(id), host);
   return Status::Ok();
@@ -508,6 +545,13 @@ void Runtime::HandleMachineFailure(MachineId machine) {
     return;  // already written off (detector and oracle can both fire)
   }
   ++stats_.crashes;
+  if (tracer_ != nullptr) {
+    tracer_->Instant(TraceContext{}, machine, TraceOp::kCrash, 0,
+                     static_cast<int64_t>(ProcletsOn(machine).size()));
+  }
+  if (flight_recorder_ != nullptr) {
+    flight_recorder_->Capture(machine, "crash");
+  }
   PurgeMachine(machine, /*fence=*/false);
 }
 
@@ -524,6 +568,13 @@ void Runtime::DeclareMachineDead(MachineId machine) {
   cluster_.machine(machine).MarkSuspected(true);
   QS_LOG_INFO("runtime", "m%u declared dead (gray failure): fencing %zu proclets",
               machine, ProcletsOn(machine).size());
+  if (tracer_ != nullptr) {
+    tracer_->Instant(TraceContext{}, machine, TraceOp::kDeclareDead, 0,
+                     static_cast<int64_t>(ProcletsOn(machine).size()));
+  }
+  if (flight_recorder_ != nullptr) {
+    flight_recorder_->Capture(machine, "declared_dead");
+  }
   PurgeMachine(machine, /*fence=*/true);
 }
 

@@ -35,11 +35,13 @@
 #include "quicksand/runtime/proclet.h"
 #include "quicksand/sched/placement.h"
 #include "quicksand/sim/simulator.h"
+#include "quicksand/trace/trace.h"
 
 namespace quicksand {
 
 class FaultInjector;
 class FailureDetector;
+class FlightRecorder;
 
 // Thrown when an invocation targets a proclet that has been destroyed.
 // Sharded data structures catch this, refresh their index, and retry.
@@ -116,6 +118,9 @@ struct Ctx {
   Runtime* rt = nullptr;
   MachineId machine = 0;
   ProcletId caller_proclet = kInvalidProcletId;
+  // Causal stamp for tracing: work done under this context records under
+  // trace.trace_id / trace.parent_span. Invalid (default) = untraced root.
+  TraceContext trace{};
 };
 
 template <typename P>
@@ -306,7 +311,38 @@ class Runtime {
 
   // Called by proclets whose FenceGuard rejected a stale-epoch request, so
   // fencing activity aggregates in RuntimeStats for benches and metrics.
-  void NoteFencedRpc() { ++stats_.fenced_rpcs; }
+  // When a tracer is attached, the rejection also records as an `abort`
+  // instant against the proclet's host — the oracle TraceQuery uses to
+  // assert no fenced request ever commits.
+  void NoteFencedRpc(ProcletId id = kInvalidProcletId, int64_t request_id = 0) {
+    ++stats_.fenced_rpcs;
+    if (tracer_ != nullptr) {
+      tracer_->Instant(TraceContext{}, TraceHomeOf(id), TraceOp::kAbort, id,
+                       request_id, "fenced");
+    }
+  }
+
+  // Mirror image: a stamped request passed its FenceGuard and was applied.
+  void NoteCommittedRpc(ProcletId id, int64_t request_id = 0) {
+    if (tracer_ != nullptr) {
+      tracer_->Instant(TraceContext{}, TraceHomeOf(id), TraceOp::kCommit, id,
+                       request_id, "committed");
+    }
+  }
+
+  // --- Tracing ---------------------------------------------------------------
+
+  // Attaches a tracer (nullptr detaches). The runtime then records spawn /
+  // destroy / migrate / invoke / failure events; with no tracer attached
+  // every hook is a null-checked no-op and sim-time behaviour is identical.
+  void AttachTracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() { return tracer_; }
+
+  // Attaches a flight recorder: HandleMachineFailure and DeclareMachineDead
+  // then freeze the dying machine's event ring before purging it.
+  void AttachFlightRecorder(FlightRecorder* recorder) {
+    flight_recorder_ = recorder;
+  }
 
   // --- Recovery (durability subsystem) ---------------------------------------
 
@@ -366,6 +402,16 @@ class Runtime {
  private:
   friend class ProcletBase;
 
+  // Untraced body of Migrate (the public entry wraps it in a span).
+  Task<Status> MigrateImpl(ProcletId id, MachineId dst, uint64_t expected_epoch);
+
+  // Machine to attribute a proclet-scoped trace event to: its current host,
+  // falling back to the controller when the proclet is gone or lost.
+  MachineId TraceHomeOf(ProcletId id) const {
+    const MachineId home = LocationOf(id);
+    return home == kInvalidMachineId ? config_.controller : home;
+  }
+
   // Lost-but-referenced proclet object, if any (operators that held a
   // pointer across a suspension use this to keep observing it safely).
   ProcletBase* FindEvenIfLost(ProcletId id);
@@ -424,6 +470,9 @@ class Runtime {
   std::vector<std::unordered_map<ProcletId, MachineId>> location_cache_;
   // Pairwise communication volume (symmetric).
   std::unordered_map<ProcletId, std::unordered_map<ProcletId, int64_t>> affinity_by_;
+  // Optional observability hooks (not owned; null = disabled).
+  Tracer* tracer_ = nullptr;
+  FlightRecorder* flight_recorder_ = nullptr;
 };
 
 // Typed handle to a proclet. Cheap to copy and to send over the wire.
@@ -498,6 +547,10 @@ Task<Result<Ref<P>>> Runtime::Create(Ctx ctx, PlacementRequest request, Args... 
   location_cache_[ctx.machine][id] = host;
   proclets_.emplace(id, std::move(proclet));
   ++stats_.creations;
+  if (tracer_ != nullptr) {
+    tracer_->Instant(ctx.trace, host, TraceOp::kSpawn, id, request.heap_bytes,
+                     ProcletKindName(P::kKind));
+  }
 
   co_await fabric().Transfer(host, ctx.machine, config_.control_message_bytes);
   co_return Ref<P>(this, id);
@@ -508,6 +561,17 @@ auto Runtime::Invoke(Ctx ctx, ProcletId id, Fn fn, int64_t request_bytes)
     -> Task<typename internal::UnwrapTask<std::invoke_result_t<Fn, P&>>::type> {
   using R = typename internal::UnwrapTask<std::invoke_result_t<Fn, P&>>::type;
 
+  // The whole resolve/bounce/execute envelope is one `invoke` span; the
+  // guard lives in this coroutine frame, so every throw path below records
+  // the span ending in "abort" as the frame unwinds.
+  SpanGuard invoke_span;
+  TraceContext tctx = ctx.trace;
+  if (tracer_ != nullptr) {
+    tctx = tracer_->BeginSpan(ctx.trace, ctx.machine, TraceOp::kInvoke, id,
+                              request_bytes);
+    invoke_span = SpanGuard(tracer_, tctx, ctx.machine);
+  }
+
   bool last_undelivered = false;
   for (int attempt = 0; attempt < config_.max_invoke_attempts; ++attempt) {
     last_undelivered = false;
@@ -516,12 +580,20 @@ auto Runtime::Invoke(Ctx ctx, ProcletId id, Fn fn, int64_t request_bytes)
       // The directory RPC itself vanished (the caller's side of a
       // partition). Back off and spend another attempt.
       last_undelivered = true;
+      if (tracer_ != nullptr) {
+        tracer_->Instant(tctx, ctx.machine, TraceOp::kRpcRetry, id, attempt,
+                         "lookup_undelivered");
+      }
       co_await sim_.Sleep(config_.invoke_retry_backoff);
       continue;
     }
     const bool remote = target != ctx.machine;
     const SimTime started = sim_.Now();
     if (remote) {
+      if (tracer_ != nullptr) {
+        tracer_->Instant(tctx, ctx.machine, TraceOp::kRpcSend, id,
+                         request_bytes + Rpc::kHeaderBytes);
+      }
       const Delivery request = co_await fabric().TransferDetailed(
           ctx.machine, target, request_bytes + Rpc::kHeaderBytes);
       if (request != Delivery::kDelivered &&
@@ -531,6 +603,10 @@ auto Runtime::Invoke(Ctx ctx, ProcletId id, Fn fn, int64_t request_bytes)
         // silence. Re-resolve after a short backoff; once the loss (or the
         // machine's death) is recorded, the checks below surface it.
         ++stats_.undelivered_invocations;
+        if (tracer_ != nullptr) {
+          tracer_->Instant(tctx, ctx.machine, TraceOp::kRpcDrop, id, attempt,
+                           "request");
+        }
         InvalidateCache(ctx.machine, id);
         if (IsLost(id)) {
           throw ProcletLostError(id);
@@ -541,6 +617,10 @@ auto Runtime::Invoke(Ctx ctx, ProcletId id, Fn fn, int64_t request_bytes)
         last_undelivered = true;
         co_await sim_.Sleep(config_.invoke_retry_backoff);
         continue;
+      }
+      if (tracer_ != nullptr && request == Delivery::kDelivered) {
+        tracer_->Instant(tctx, target, TraceOp::kRpcRecv, id,
+                         request_bytes + Rpc::kHeaderBytes);
       }
     }
     ProcletBase* base = Find(id);
@@ -556,6 +636,9 @@ auto Runtime::Invoke(Ctx ctx, ProcletId id, Fn fn, int64_t request_bytes)
     }
     if (base->location() != target) {
       ++stats_.bounces;
+      if (tracer_ != nullptr) {
+        tracer_->Instant(tctx, target, TraceOp::kBounce, id, attempt);
+      }
       if (remote) {
         co_await PayBounce(target, ctx.machine);
       }
@@ -578,6 +661,9 @@ auto Runtime::Invoke(Ctx ctx, ProcletId id, Fn fn, int64_t request_bytes)
       // Migrated while we waited at the gate: bounce to the new home.
       base->ExitCall();
       ++stats_.bounces;
+      if (tracer_ != nullptr) {
+        tracer_->Instant(tctx, target, TraceOp::kBounce, id, attempt, "gated");
+      }
       if (remote) {
         co_await PayBounce(target, ctx.machine);
       }
@@ -627,6 +713,7 @@ auto Runtime::Invoke(Ctx ctx, ProcletId id, Fn fn, int64_t request_bytes)
         }
         stats_.remote_invoke_latency.Add(sim_.Now() - started);
       }
+      invoke_span.End("ok");
       co_return;
     } else {
       std::optional<R> result;
@@ -658,6 +745,7 @@ auto Runtime::Invoke(Ctx ctx, ProcletId id, Fn fn, int64_t request_bytes)
         }
         stats_.remote_invoke_latency.Add(sim_.Now() - started);
       }
+      invoke_span.End("ok");
       co_return std::move(*result);
     }
   }

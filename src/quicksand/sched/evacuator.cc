@@ -49,6 +49,16 @@ Task<EvacuationReport> EmergencyEvacuator::Evacuate(MachineId machine,
   report.machine = machine;
   report.started = rt_.sim().Now();
 
+  // The whole revocation-deadline scramble is one `evacuate` span against
+  // the dying machine; each migration inside records its own span.
+  SpanGuard span;
+  if (Tracer* tracer = rt_.tracer()) {
+    span = SpanGuard(tracer,
+                     tracer->BeginSpan(TraceContext{}, machine,
+                                       TraceOp::kEvacuate, 0, 0),
+                     machine);
+  }
+
   struct Item {
     ProcletId id;
     int rank;
@@ -124,6 +134,7 @@ Task<EvacuationReport> EmergencyEvacuator::Evacuate(MachineId machine,
                static_cast<long long>(report.evacuated),
                static_cast<long long>(report.considered),
                report.elapsed.ToString().c_str());
+  span.End("ok", report.evacuated);
   reports_.push_back(report);
   co_return report;
 }

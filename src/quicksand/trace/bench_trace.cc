@@ -1,0 +1,84 @@
+#include "quicksand/trace/bench_trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "quicksand/runtime/runtime.h"
+#include "quicksand/trace/chrome_trace.h"
+
+namespace quicksand {
+
+BenchTrace BenchTrace::FromArgs(int& argc, char** argv) {
+  BenchTrace trace;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace.path_ = argv[i + 1];
+      // Strip the flag and its value so positional parsing downstream
+      // (--smoke, seeds) is unaffected.
+      for (int j = i; j + 2 < argc; ++j) {
+        argv[j] = argv[j + 2];
+      }
+      argc -= 2;
+      break;
+    }
+  }
+  if (trace.path_.empty()) {
+    const char* env = std::getenv("QUICKSAND_TRACE");
+    if (env != nullptr && env[0] != '\0') {
+      trace.path_ = env;
+    }
+  }
+  return trace;
+}
+
+Tracer* BenchTrace::NewRun(std::string label, Simulator& sim, size_t machines) {
+  if (!enabled()) {
+    return nullptr;
+  }
+  Run run;
+  run.label = std::move(label);
+  run.machines = machines;
+  run.tracer = std::make_unique<Tracer>(sim, machines);
+  runs_.push_back(std::move(run));
+  return runs_.back().tracer.get();
+}
+
+void BenchTrace::Finish() {
+  if (!enabled() || runs_.empty()) {
+    return;
+  }
+  std::vector<TraceRun> out;
+  out.reserve(runs_.size());
+  for (const Run& run : runs_) {
+    TraceRun tr;
+    tr.label = run.label;
+    tr.events = run.tracer->Snapshot();
+    tr.machines = run.machines;
+    out.push_back(std::move(tr));
+  }
+  if (WriteChromeTrace(path_, out)) {
+    std::fprintf(stderr, "trace: wrote %zu run(s) to %s\n", out.size(),
+                 path_.c_str());
+  } else {
+    std::fprintf(stderr, "trace: FAILED to write %s\n", path_.c_str());
+  }
+  for (const Run& run : runs_) {
+    std::fprintf(stderr, "trace: digest %s = %016llx (%lld events)\n",
+                 run.label.c_str(),
+                 static_cast<unsigned long long>(run.tracer->Digest()),
+                 static_cast<long long>(run.tracer->recorded()));
+  }
+  runs_.clear();
+}
+
+Tracer* AttachBenchTracer(BenchTrace* trace, Runtime& rt, std::string label) {
+  if (trace == nullptr || !trace->enabled()) {
+    return nullptr;
+  }
+  Tracer* tracer = trace->NewRun(std::move(label), rt.sim(), rt.cluster().size());
+  rt.AttachTracer(tracer);
+  return tracer;
+}
+
+}  // namespace quicksand

@@ -1,0 +1,67 @@
+// BenchTrace: the `--trace <path>` / QUICKSAND_TRACE plumbing shared by
+// every bench binary.
+//
+// A bench constructs one BenchTrace from (argc, argv) in main() — the flag
+// is stripped from argv so existing flags like --smoke keep their position
+// — and calls NewRun once per simulation it builds. When tracing is off,
+// NewRun returns nullptr and the bench runs exactly as before (zero events,
+// zero overhead). When on, Finish() writes every run's events into one
+// Chrome trace_event JSON file at the requested path and prints per-run
+// digests.
+
+#ifndef QUICKSAND_TRACE_BENCH_TRACE_H_
+#define QUICKSAND_TRACE_BENCH_TRACE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quicksand/trace/trace.h"
+
+namespace quicksand {
+
+class Simulator;
+class Runtime;
+
+class BenchTrace {
+ public:
+  // Parses and strips `--trace <path>` from argv; falls back to the
+  // QUICKSAND_TRACE environment variable when the flag is absent.
+  static BenchTrace FromArgs(int& argc, char** argv);
+
+  BenchTrace() = default;
+  BenchTrace(BenchTrace&&) = default;
+  BenchTrace& operator=(BenchTrace&&) = default;
+  ~BenchTrace() { Finish(); }
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  // Registers a tracer for one simulation run. Returns nullptr when tracing
+  // is disabled. The tracer stays valid until this BenchTrace dies; the
+  // Simulator only needs to outlive the run's recording.
+  Tracer* NewRun(std::string label, Simulator& sim, size_t machines);
+
+  // Writes the accumulated runs to `path()` and prints one digest line per
+  // run. Idempotent; runs registered afterwards start a new file.
+  void Finish();
+
+ private:
+  struct Run {
+    std::string label;
+    size_t machines = 0;
+    std::unique_ptr<Tracer> tracer;
+  };
+
+  std::string path_;
+  std::vector<Run> runs_;
+};
+
+// Convenience for the common bench shape: creates a run tracer sized to the
+// runtime's cluster and attaches it to the runtime. Null-safe: when `trace`
+// is nullptr or disabled, does nothing and returns nullptr.
+Tracer* AttachBenchTracer(BenchTrace* trace, Runtime& rt, std::string label);
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_TRACE_BENCH_TRACE_H_

@@ -1,0 +1,143 @@
+#include "quicksand/trace/chrome_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace quicksand {
+namespace {
+
+// Machines from different runs must not collide on pid.
+constexpr uint64_t kRunPidStride = 1000;
+
+void AppendEscaped(std::string& out, const char* s) {
+  for (; s != nullptr && *s != '\0'; ++s) {
+    switch (*s) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += *s; break;
+    }
+  }
+}
+
+void AppendCommonFields(std::string& out, const TraceEvent& e, uint64_t pid) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\"ts\":%.3f,\"pid\":%llu,\"tid\":%llu,\"args\":{\"trace\":%llu,"
+                "\"span\":%llu,\"parent\":%llu,\"machine\":%u,\"proclet\":%llu,"
+                "\"epoch\":%llu,\"arg\":%lld,\"detail\":\"",
+                static_cast<double>(e.time.nanos()) / 1000.0,
+                static_cast<unsigned long long>(pid),
+                static_cast<unsigned long long>(
+                    e.proclet != 0 ? e.proclet : pid),
+                static_cast<unsigned long long>(e.trace_id),
+                static_cast<unsigned long long>(e.span),
+                static_cast<unsigned long long>(e.parent), e.machine,
+                static_cast<unsigned long long>(e.proclet),
+                static_cast<unsigned long long>(e.epoch),
+                static_cast<long long>(e.arg));
+  out += buf;
+  AppendEscaped(out, e.detail);
+  out += "\"}";
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const std::vector<TraceRun>& runs) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  char buf[256];
+  for (size_t run = 0; run < runs.size(); ++run) {
+    const uint64_t pid_base = run * kRunPidStride;
+    // Process-name metadata so the UI shows "<run label>/m<i>".
+    for (size_t m = 0; m < runs[run].machines; ++m) {
+      if (!first) {
+        out += ",\n";
+      }
+      first = false;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%llu,"
+                    "\"args\":{\"name\":\"",
+                    static_cast<unsigned long long>(pid_base + m));
+      out += buf;
+      AppendEscaped(out, runs[run].label.c_str());
+      std::snprintf(buf, sizeof(buf), "/m%zu\"}}", m);
+      out += buf;
+    }
+    // Pair span begins with ends; emit complete events at the begin stamp.
+    std::unordered_map<SpanId, const TraceEvent*> begins;
+    for (const TraceEvent& e : runs[run].events) {
+      if (e.phase == TracePhase::kBegin) {
+        begins[e.span] = &e;
+        continue;
+      }
+      if (!first) {
+        out += ",\n";
+      }
+      first = false;
+      if (e.phase == TracePhase::kEnd) {
+        const auto it = begins.find(e.span);
+        const TraceEvent& b = it != begins.end() ? *it->second : e;
+        const double dur =
+            static_cast<double>((e.time - b.time).nanos()) / 1000.0;
+        out += "{\"ph\":\"X\",\"name\":\"";
+        AppendEscaped(out, TraceOpName(e.op));
+        std::snprintf(buf, sizeof(buf), "\",\"cat\":\"span\",\"dur\":%.3f,", dur);
+        out += buf;
+        TraceEvent at_begin = e;
+        at_begin.time = b.time;
+        AppendCommonFields(out, at_begin, pid_base + b.machine);
+        out += "}";
+        begins.erase(e.span);
+      } else {
+        out += "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"";
+        AppendEscaped(out, TraceOpName(e.op));
+        out += "\",\"cat\":\"instant\",";
+        AppendCommonFields(out, e, pid_base + e.machine);
+        out += "}";
+      }
+    }
+    // Spans still open at snapshot time: emit as begin ("B") so they are
+    // visible rather than silently dropped. Sorted by span id so the file
+    // is byte-identical across same-seed runs.
+    std::vector<const TraceEvent*> open;
+    open.reserve(begins.size());
+    for (const auto& [span, begin_event] : begins) {
+      open.push_back(begin_event);
+    }
+    std::sort(open.begin(), open.end(),
+              [](const TraceEvent* a, const TraceEvent* b) {
+                return a->span < b->span;
+              });
+    for (const TraceEvent* b : open) {
+      if (!first) {
+        out += ",\n";
+      }
+      first = false;
+      out += "{\"ph\":\"B\",\"name\":\"";
+      AppendEscaped(out, TraceOpName(b->op));
+      out += "\",\"cat\":\"span\",";
+      AppendCommonFields(out, *b, pid_base + b->machine);
+      out += "}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path, const std::vector<TraceRun>& runs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string json = ToChromeTraceJson(runs);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size() && std::fclose(f) == 0;
+  if (!ok) {
+    // fclose already ran or failed; nothing more to unwind.
+  }
+  return ok;
+}
+
+}  // namespace quicksand

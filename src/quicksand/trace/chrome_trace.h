@@ -1,0 +1,34 @@
+// Chrome trace_event JSON export (loadable in Perfetto / chrome://tracing).
+//
+// Ended spans become complete ("X") events with microsecond timestamps;
+// instants become "i" events. pid = machine (offset per run so several
+// same-seed runs can live in one file), tid = proclet (or the machine again
+// for machine-level events), and the causal stamps ride in "args" so a
+// Perfetto query can still group by trace id.
+
+#ifndef QUICKSAND_TRACE_CHROME_TRACE_H_
+#define QUICKSAND_TRACE_CHROME_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "quicksand/trace/trace.h"
+
+namespace quicksand {
+
+struct TraceRun {
+  std::string label;               // names the process group in the UI
+  std::vector<TraceEvent> events;  // a Tracer::Snapshot()
+  size_t machines = 0;
+};
+
+// Renders runs into one {"traceEvents": [...]} JSON document.
+std::string ToChromeTraceJson(const std::vector<TraceRun>& runs);
+
+// Writes the document to `path`. Returns false (and leaves no partial file
+// behind beyond what the filesystem does) on I/O failure.
+bool WriteChromeTrace(const std::string& path, const std::vector<TraceRun>& runs);
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_TRACE_CHROME_TRACE_H_

@@ -1,0 +1,66 @@
+#include "quicksand/trace/flight_recorder.h"
+
+#include <cstdio>
+
+namespace quicksand {
+
+void FlightRecorder::Capture(MachineId machine, const char* reason) {
+  for (const Postmortem& existing : postmortems_) {
+    if (existing.machine == machine && existing.reason == reason) {
+      return;
+    }
+  }
+  Postmortem pm;
+  pm.machine = machine;
+  pm.reason = reason;
+  pm.events = tracer_.LastEvents(machine, last_n_);
+  pm.dropped = tracer_.dropped(machine);
+  // captured_at = the newest retained event's stamp (the ring holds no
+  // clock of its own; the capture happens synchronously at the death event).
+  if (!pm.events.empty()) {
+    pm.captured_at = pm.events.back().time;
+  }
+  postmortems_.push_back(std::move(pm));
+}
+
+const Postmortem* FlightRecorder::ForMachine(MachineId machine) const {
+  const Postmortem* found = nullptr;
+  for (const Postmortem& pm : postmortems_) {
+    if (pm.machine == machine) {
+      found = &pm;
+    }
+  }
+  return found;
+}
+
+std::string FlightRecorder::Dump(const Postmortem& postmortem) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "postmortem m%u (%s): last %zu events, %lld wrapped away, "
+                "captured at %s\n",
+                postmortem.machine, postmortem.reason.c_str(),
+                postmortem.events.size(),
+                static_cast<long long>(postmortem.dropped),
+                postmortem.captured_at.ToString().c_str());
+  out += line;
+  for (const TraceEvent& e : postmortem.events) {
+    const char* phase = e.phase == TracePhase::kBegin   ? "begin"
+                        : e.phase == TracePhase::kEnd   ? "end  "
+                                                        : "event";
+    std::snprintf(line, sizeof(line),
+                  "  %14s %s %-13s trace=%llu span=%llu parent=%llu m%u "
+                  "proclet=%llu epoch=%llu arg=%lld %s\n",
+                  e.time.ToString().c_str(), phase, TraceOpName(e.op),
+                  static_cast<unsigned long long>(e.trace_id),
+                  static_cast<unsigned long long>(e.span),
+                  static_cast<unsigned long long>(e.parent), e.machine,
+                  static_cast<unsigned long long>(e.proclet),
+                  static_cast<unsigned long long>(e.epoch),
+                  static_cast<long long>(e.arg), e.detail);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace quicksand

@@ -1,0 +1,62 @@
+// FlightRecorder: postmortem snapshots of a machine's last events.
+//
+// The tracer's per-machine rings already hold "the last N things that
+// happened here"; the flight recorder's job is to FREEZE that ring at the
+// moment a machine is written off — crash, gray-failure declaration, or an
+// explicit capture around an injected partition — so the timeline leading
+// into the death survives later wrap-around and can be dumped for humans.
+//
+// Attach it to the Runtime (Runtime::AttachFlightRecorder) and the crash /
+// DeclareMachineDead paths capture automatically; benches then write
+// Dump(postmortem) next to their results so a gray-failure run leaves an
+// inspectable story of the dead primary's final milliseconds.
+
+#ifndef QUICKSAND_TRACE_FLIGHT_RECORDER_H_
+#define QUICKSAND_TRACE_FLIGHT_RECORDER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "quicksand/trace/trace.h"
+
+namespace quicksand {
+
+struct Postmortem {
+  MachineId machine = kInvalidMachineId;
+  SimTime captured_at;
+  std::string reason;                // "crash", "declared_dead", ...
+  std::vector<TraceEvent> events;    // oldest first, at most `last_n`
+  int64_t dropped = 0;               // events that had already wrapped away
+};
+
+class FlightRecorder {
+ public:
+  // Captures at most `last_n` trailing events per postmortem (bounded by the
+  // tracer's ring capacity).
+  explicit FlightRecorder(Tracer& tracer, size_t last_n = 1000)
+      : tracer_(tracer), last_n_(last_n) {}
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Freezes `machine`'s trailing events now. Idempotent per (machine,
+  // reason) pair — the crash and detector paths can both fire.
+  void Capture(MachineId machine, const char* reason);
+
+  const std::vector<Postmortem>& postmortems() const { return postmortems_; }
+  // Most recent postmortem for `machine`; nullptr if none captured.
+  const Postmortem* ForMachine(MachineId machine) const;
+
+  // Human-readable dump: a header plus one line per event.
+  static std::string Dump(const Postmortem& postmortem);
+
+ private:
+  Tracer& tracer_;
+  size_t last_n_;
+  std::vector<Postmortem> postmortems_;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_TRACE_FLIGHT_RECORDER_H_

@@ -1,0 +1,212 @@
+#include "quicksand/trace/query.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace quicksand {
+
+TraceQuery::TraceQuery(std::vector<TraceEvent> events)
+    : events_(std::move(events)) {
+  std::sort(events_.begin(), events_.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.time != b.time) {
+                return a.time < b.time;
+              }
+              return a.seq < b.seq;
+            });
+  std::unordered_map<SpanId, size_t> open;  // span id -> index in spans_
+  for (const TraceEvent& e : events_) {
+    if (e.phase == TracePhase::kBegin) {
+      TraceSpan span;
+      span.trace_id = e.trace_id;
+      span.id = e.span;
+      span.parent = e.parent;
+      span.op = e.op;
+      span.begin_machine = e.machine;
+      span.proclet = e.proclet;
+      span.epoch = e.epoch;
+      span.begin = e.time;
+      span.begin_seq = e.seq;
+      span.arg = e.arg;
+      open[e.span] = spans_.size();
+      spans_.push_back(span);
+    } else if (e.phase == TracePhase::kEnd) {
+      auto it = open.find(e.span);
+      if (it == open.end()) {
+        // The begin was evicted from its ring; synthesize a begin-less span
+        // so the end outcome is still queryable.
+        TraceSpan span;
+        span.trace_id = e.trace_id;
+        span.id = e.span;
+        span.parent = e.parent;
+        span.op = e.op;
+        span.begin_machine = e.machine;
+        span.proclet = e.proclet;
+        span.epoch = e.epoch;
+        span.begin = e.time;
+        span.begin_seq = e.seq;
+        it = open.emplace(e.span, spans_.size()).first;
+        spans_.push_back(span);
+      }
+      TraceSpan& span = spans_[it->second];
+      span.end = e.time;
+      span.end_seq = e.seq;
+      span.end_machine = e.machine;
+      span.end_arg = e.arg;
+      span.detail = e.detail;
+      span.ended = true;
+      open.erase(it);
+    }
+  }
+}
+
+std::vector<TraceSpan> TraceQuery::SpansOf(TraceOp op) const {
+  std::vector<TraceSpan> out;
+  for (const TraceSpan& s : spans_) {
+    if (s.op == op) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::vector<TraceSpan> TraceQuery::SpansOfProclet(uint64_t proclet) const {
+  std::vector<TraceSpan> out;
+  for (const TraceSpan& s : spans_) {
+    if (s.proclet == proclet) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::vector<TraceSpan> TraceQuery::SpansInTrace(TraceId id) const {
+  std::vector<TraceSpan> out;
+  for (const TraceSpan& s : spans_) {
+    if (s.trace_id == id) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceQuery::Instants(TraceOp op) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.phase == TracePhase::kInstant && e.op == op) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceQuery::EventsInTrace(TraceId id) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.trace_id == id) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<TraceId> TraceQuery::TraceIds() const {
+  std::unordered_set<TraceId> seen;
+  for (const TraceEvent& e : events_) {
+    if (e.trace_id != kInvalidTraceId) {
+      seen.insert(e.trace_id);
+    }
+  }
+  std::vector<TraceId> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool TraceQuery::SingleCausalTree(TraceId id) const {
+  std::unordered_set<SpanId> spans_in_trace;
+  for (const TraceSpan& s : spans_) {
+    if (s.trace_id == id) {
+      spans_in_trace.insert(s.id);
+    }
+  }
+  size_t roots = 0;
+  for (const TraceSpan& s : spans_) {
+    if (s.trace_id != id) {
+      continue;
+    }
+    if (s.parent == kInvalidSpanId) {
+      ++roots;
+    } else if (spans_in_trace.count(s.parent) == 0) {
+      return false;  // dangling causal edge
+    }
+  }
+  for (const TraceEvent& e : events_) {
+    if (e.trace_id != id || e.phase != TracePhase::kInstant) {
+      continue;
+    }
+    if (e.parent != kInvalidSpanId && spans_in_trace.count(e.parent) == 0) {
+      return false;
+    }
+  }
+  // Zero spans (instants only) counts as a (degenerate) single tree.
+  return roots <= 1;
+}
+
+std::vector<MachineId> TraceQuery::MachinesInTrace(TraceId id) const {
+  std::unordered_set<MachineId> seen;
+  for (const TraceEvent& e : events_) {
+    if (e.trace_id == id) {
+      seen.insert(e.machine);
+    }
+  }
+  std::vector<MachineId> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool TraceQuery::HappensBefore(const TraceSpan& a, const TraceSpan& b) const {
+  if (!a.ended) {
+    return false;
+  }
+  if (a.end != b.begin) {
+    return a.end < b.begin;
+  }
+  return a.end_seq < b.begin_seq;
+}
+
+bool TraceQuery::HappensBefore(const TraceEvent& a, const TraceEvent& b) const {
+  if (a.time != b.time) {
+    return a.time < b.time;
+  }
+  return a.seq < b.seq;
+}
+
+bool TraceQuery::HappensBefore(const TraceEvent& a, const TraceSpan& b) const {
+  if (a.time != b.begin) {
+    return a.time < b.begin;
+  }
+  return a.seq < b.begin_seq;
+}
+
+bool TraceQuery::HappensBefore(const TraceSpan& a, const TraceEvent& b) const {
+  if (!a.ended) {
+    return false;
+  }
+  if (a.end != b.time) {
+    return a.end < b.time;
+  }
+  return a.end_seq < b.seq;
+}
+
+LatencyHistogram TraceQuery::DurationsOf(TraceOp op) const {
+  LatencyHistogram hist;
+  for (const TraceSpan& s : spans_) {
+    if (s.op == op && s.ended) {
+      hist.Add(s.duration());
+    }
+  }
+  return hist;
+}
+
+}  // namespace quicksand

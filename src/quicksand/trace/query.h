@@ -1,0 +1,95 @@
+// TraceQuery: a test oracle over recorded trace events.
+//
+// Tests (and bench smoke gates) assert time-shape claims directly against
+// the trace instead of against aggregate counters: "this migration's
+// critical path is sub-millisecond", "no fenced request ever commits",
+// "the failover's events form one causal tree". The query view pairs span
+// begin/end events, resolves parent edges, and offers happens-before on the
+// deterministic (time, seq) total order.
+
+#ifndef QUICKSAND_TRACE_QUERY_H_
+#define QUICKSAND_TRACE_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "quicksand/common/stats.h"
+#include "quicksand/trace/trace.h"
+
+namespace quicksand {
+
+// A reconstructed span: its begin event joined with its end event (if the
+// span ended before the snapshot was taken).
+struct TraceSpan {
+  TraceId trace_id = kInvalidTraceId;
+  SpanId id = kInvalidSpanId;
+  SpanId parent = kInvalidSpanId;
+  TraceOp op = TraceOp::kTrace;
+  MachineId begin_machine = kInvalidMachineId;
+  MachineId end_machine = kInvalidMachineId;
+  uint64_t proclet = 0;
+  uint64_t epoch = 0;
+  SimTime begin;
+  SimTime end;
+  uint64_t begin_seq = 0;
+  uint64_t end_seq = 0;
+  int64_t arg = 0;           // begin-side scalar
+  int64_t end_arg = 0;       // end-side scalar
+  const char* detail = "";   // end-side outcome ("commit", "abort", ...)
+  bool ended = false;
+
+  Duration duration() const { return end - begin; }
+};
+
+class TraceQuery {
+ public:
+  explicit TraceQuery(std::vector<TraceEvent> events);
+
+  static TraceQuery FromTracer(const Tracer& tracer) {
+    return TraceQuery(tracer.Snapshot());
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+  // --- Finding --------------------------------------------------------------
+
+  std::vector<TraceSpan> SpansOf(TraceOp op) const;
+  std::vector<TraceSpan> SpansOfProclet(uint64_t proclet) const;
+  std::vector<TraceSpan> SpansInTrace(TraceId id) const;
+  std::vector<TraceEvent> Instants(TraceOp op) const;
+  std::vector<TraceEvent> EventsInTrace(TraceId id) const;
+  // All distinct trace ids observed, ascending.
+  std::vector<TraceId> TraceIds() const;
+
+  // --- Causality ------------------------------------------------------------
+
+  // True when every span and attributed event of trace `id` hangs off one
+  // root: each nonzero parent resolves to a span of the same trace. This is
+  // the "cross-machine spans stitch into a single causal tree" assertion.
+  bool SingleCausalTree(TraceId id) const;
+
+  // Distinct machines that recorded events for trace `id`.
+  std::vector<MachineId> MachinesInTrace(TraceId id) const;
+
+  // a completed strictly before b started, on the deterministic total
+  // order (time, then global sequence).
+  bool HappensBefore(const TraceSpan& a, const TraceSpan& b) const;
+  bool HappensBefore(const TraceEvent& a, const TraceEvent& b) const;
+  // The instant a occurred strictly before span b began.
+  bool HappensBefore(const TraceEvent& a, const TraceSpan& b) const;
+  bool HappensBefore(const TraceSpan& a, const TraceEvent& b) const;
+
+  // --- Aggregation ----------------------------------------------------------
+
+  // Duration distribution of all ENDED spans of `op`.
+  LatencyHistogram DurationsOf(TraceOp op) const;
+
+ private:
+  std::vector<TraceEvent> events_;  // (time, seq)-sorted
+  std::vector<TraceSpan> spans_;    // by begin order
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_TRACE_QUERY_H_

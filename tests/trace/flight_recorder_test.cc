@@ -1,0 +1,172 @@
+// FlightRecorder: freezing a machine's trailing ring at the moment it is
+// written off, idempotence per (machine, reason), and the Runtime hooks that
+// capture automatically on crash and DeclareMachineDead.
+
+#include "quicksand/trace/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "quicksand/cluster/fault_injector.h"
+#include "quicksand/common/bytes.h"
+#include "quicksand/proclet/memory_proclet.h"
+#include "quicksand/sim/simulator.h"
+
+namespace quicksand {
+namespace {
+
+TEST(FlightRecorderTest, CaptureFreezesTrailingEventsAndDropCount) {
+  Simulator sim;
+  TracerOptions options;
+  options.ring_capacity = 4;
+  Tracer tracer(sim, 2, options);
+  FlightRecorder recorder(tracer, /*last_n=*/1000);
+
+  for (int i = 0; i < 10; ++i) {
+    sim.RunFor(1_ms);
+    tracer.Instant(TraceContext{}, 0, TraceOp::kSpawn, /*proclet=*/0,
+                   /*arg=*/i);
+  }
+  recorder.Capture(0, "crash");
+  // The ring keeps moving after the capture; the postmortem must not.
+  for (int i = 10; i < 14; ++i) {
+    tracer.Instant(TraceContext{}, 0, TraceOp::kSpawn, 0, i);
+  }
+
+  const Postmortem* pm = recorder.ForMachine(0);
+  ASSERT_NE(pm, nullptr);
+  EXPECT_EQ(pm->reason, "crash");
+  EXPECT_EQ(pm->dropped, 6);
+  ASSERT_EQ(pm->events.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(pm->events[static_cast<size_t>(i)].arg, 6 + i);
+  }
+  // captured_at stamps the newest retained event.
+  EXPECT_EQ(pm->captured_at, pm->events.back().time);
+  EXPECT_EQ(recorder.ForMachine(1), nullptr);
+}
+
+TEST(FlightRecorderTest, CaptureHonorsLastNBelowRingCapacity) {
+  Simulator sim;
+  Tracer tracer(sim, 1);
+  FlightRecorder recorder(tracer, /*last_n=*/3);
+  for (int i = 0; i < 8; ++i) {
+    tracer.Instant(TraceContext{}, 0, TraceOp::kInvoke, 0, i);
+  }
+  recorder.Capture(0, "partition");
+  const Postmortem* pm = recorder.ForMachine(0);
+  ASSERT_NE(pm, nullptr);
+  ASSERT_EQ(pm->events.size(), 3u);
+  EXPECT_EQ(pm->events.front().arg, 5);
+  EXPECT_EQ(pm->events.back().arg, 7);
+}
+
+TEST(FlightRecorderTest, CaptureIsIdempotentPerMachineAndReason) {
+  Simulator sim;
+  Tracer tracer(sim, 2);
+  FlightRecorder recorder(tracer, 1000);
+
+  tracer.Instant(TraceContext{}, 1, TraceOp::kSuspect);
+  recorder.Capture(1, "crash");
+  tracer.Instant(TraceContext{}, 1, TraceOp::kConfirmDead);
+  recorder.Capture(1, "crash");  // detector re-fires: no second snapshot
+  ASSERT_EQ(recorder.postmortems().size(), 1u);
+  EXPECT_EQ(recorder.postmortems()[0].events.size(), 1u);
+
+  // A different reason for the same machine is a distinct postmortem, and
+  // ForMachine returns the most recent one.
+  recorder.Capture(1, "declared_dead");
+  ASSERT_EQ(recorder.postmortems().size(), 2u);
+  const Postmortem* pm = recorder.ForMachine(1);
+  ASSERT_NE(pm, nullptr);
+  EXPECT_EQ(pm->reason, "declared_dead");
+  EXPECT_EQ(pm->events.size(), 2u);
+}
+
+struct RuntimeFixture {
+  Simulator sim;
+  Cluster cluster{sim};
+  std::unique_ptr<Runtime> rt;
+  std::unique_ptr<FaultInjector> faults;
+  std::unique_ptr<Tracer> tracer;
+  std::unique_ptr<FlightRecorder> recorder;
+
+  explicit RuntimeFixture(int machines = 3) {
+    for (int i = 0; i < machines; ++i) {
+      MachineSpec spec;
+      spec.cores = 4;
+      spec.memory_bytes = 2_GiB;
+      cluster.AddMachine(spec);
+    }
+    rt = std::make_unique<Runtime>(sim, cluster);
+    faults = std::make_unique<FaultInjector>(sim, cluster);
+    rt->AttachFaultInjector(*faults);
+    tracer = std::make_unique<Tracer>(sim, cluster.size());
+    rt->AttachTracer(tracer.get());
+    recorder = std::make_unique<FlightRecorder>(*tracer, 1000);
+    rt->AttachFlightRecorder(recorder.get());
+  }
+
+  Ref<MemoryProclet> MakePinned(MachineId where) {
+    PlacementRequest req;
+    req.heap_bytes = 1_MiB;
+    req.pinned = where;
+    return *sim.BlockOn(rt->Create<MemoryProclet>(rt->CtxOn(0), req));
+  }
+};
+
+TEST(FlightRecorderTest, RuntimeCapturesPostmortemOnCrash) {
+  RuntimeFixture f;
+  (void)f.MakePinned(1);
+  f.faults->FailNow(1);
+
+  const Postmortem* pm = f.recorder->ForMachine(1);
+  ASSERT_NE(pm, nullptr);
+  EXPECT_EQ(pm->reason, "crash");
+  ASSERT_FALSE(pm->events.empty());
+  // The tracer records the crash marker before the recorder freezes the
+  // ring, so the death event itself closes the postmortem timeline.
+  EXPECT_EQ(pm->events.back().op, TraceOp::kCrash);
+  EXPECT_EQ(pm->captured_at, f.sim.Now());
+  // Other machines are not captured.
+  EXPECT_EQ(f.recorder->ForMachine(2), nullptr);
+}
+
+TEST(FlightRecorderTest, RuntimeCapturesPostmortemOnDeclareMachineDead) {
+  RuntimeFixture f;
+  (void)f.MakePinned(1);
+  f.rt->DeclareMachineDead(1);
+
+  const Postmortem* pm = f.recorder->ForMachine(1);
+  ASSERT_NE(pm, nullptr);
+  EXPECT_EQ(pm->reason, "declared_dead");
+  ASSERT_FALSE(pm->events.empty());
+  EXPECT_EQ(pm->events.back().op, TraceOp::kDeclareDead);
+
+  // Redundant verdicts (oracle after detector) do not duplicate postmortems.
+  const size_t count = f.recorder->postmortems().size();
+  f.rt->DeclareMachineDead(1);
+  EXPECT_EQ(f.recorder->postmortems().size(), count);
+}
+
+TEST(FlightRecorderTest, DumpRendersHeaderAndEventLines) {
+  RuntimeFixture f;
+  (void)f.MakePinned(1);
+  f.faults->FailNow(1);
+
+  const Postmortem* pm = f.recorder->ForMachine(1);
+  ASSERT_NE(pm, nullptr);
+  const std::string text = FlightRecorder::Dump(*pm);
+  EXPECT_NE(text.find("postmortem m1 (crash)"), std::string::npos);
+  EXPECT_NE(text.find("crash"), std::string::npos);
+  // One line per event plus the header.
+  size_t lines = 0;
+  for (char c : text) {
+    lines += (c == '\n') ? 1u : 0u;
+  }
+  EXPECT_EQ(lines, pm->events.size() + 1);
+}
+
+}  // namespace
+}  // namespace quicksand
