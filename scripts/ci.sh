@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 tests (plain + ASan/UBSan via scripts/check.sh) and
-# the smoke gates (durability, trace determinism, partition failover), each
-# of which fails on nondeterminism between two same-seed runs.
+# the smoke gates (durability, trace determinism, partition failover,
+# overload control), each of which fails on nondeterminism between two
+# same-seed runs.
 
 set -euo pipefail
 
@@ -25,5 +26,8 @@ echo "== trace smoke: same-seed migration runs must agree on the trace digest ==
 
 echo "== partition smoke: gray-failure failover must be deterministic and exactly-once =="
 ./build/bench/ab8_partition --smoke
+
+echo "== overload smoke: collapse without controls, plateau with, deterministically =="
+./build/bench/ab9_overload --smoke
 
 echo "CI: all gates passed"

@@ -14,6 +14,12 @@ const std::vector<MetricInfo>& ExportedMetrics() {
       // ClusterMetrics time series ("_m<i>" appended per machine).
       {"cpu_util", "ClusterMetrics", "CPU busy fraction per sample window"},
       {"mem_util", "ClusterMetrics", "memory utilization, instantaneous"},
+      {"serving_goodput_qps", "ClusterMetrics",
+       "requests completed within SLO per second, sliding window"},
+      {"serving_offered_qps", "ClusterMetrics",
+       "request arrivals per second, admitted or not"},
+      {"serving_p99_us", "ClusterMetrics",
+       "p99 latency of completed requests over the SLO window"},
       {"suspected_machines", "ClusterMetrics",
        "machines currently marked suspected (detector attached)"},
       // Adaptation time series.
@@ -35,6 +41,12 @@ const std::vector<MetricInfo>& ExportedMetrics() {
        "migrations rejected on a stale epoch"},
       {"fenced_rpcs", "RuntimeStats",
        "stamped requests rejected by fence guards"},
+      // Rpc overload-control counters.
+      {"rpc_budget_denied_retries", "Rpc",
+       "retries refused by the client retry budget"},
+      {"rpc_deadline_rejected", "Rpc",
+       "requests rejected dead-on-arrival at the destination"},
+      {"rpc_shed", "Rpc", "requests shed by admission control"},
       // RuntimeStats counters.
       {"bounce_livelocks", "RuntimeStats",
        "invocations that exhausted the bounce loop"},
@@ -43,6 +55,8 @@ const std::vector<MetricInfo>& ExportedMetrics() {
        "incremental checkpoint bytes shipped"},
       {"crashes", "RuntimeStats", "machine failures observed by the runtime"},
       {"creations", "RuntimeStats", "proclets created"},
+      {"deadline_rejected_invocations", "RuntimeStats",
+       "invocations refused because the caller's deadline had passed"},
       {"destructions", "RuntimeStats", "proclets destroyed"},
       {"directory_lookups", "RuntimeStats", "location directory RPCs"},
       {"failed_migrations", "RuntimeStats", "migrations that did not commit"},
@@ -56,6 +70,10 @@ const std::vector<MetricInfo>& ExportedMetrics() {
        "response legs resent after a drop"},
       {"restored_proclets", "RuntimeStats",
        "lost proclets brought back by recovery"},
+      {"shed_invocations", "RuntimeStats",
+       "invocations refused by admission control at the target"},
+      {"stale_reads", "RuntimeStats",
+       "degraded-mode reads served from a replication backup"},
       {"undelivered_invocations", "RuntimeStats",
        "request legs eaten by the network"},
       {"undelivered_lookups", "RuntimeStats",
@@ -142,6 +160,13 @@ Task<> ClusterMetrics::SampleLoop() {
         }
       }
       suspected_series_.Record(sim_.Now(), static_cast<double>(suspected));
+    }
+    if (serving_ != nullptr) {
+      const ServingSample s = serving_->SampleServing(sim_.Now());
+      serving_offered_series_.Record(sim_.Now(), s.offered_qps);
+      serving_goodput_series_.Record(sim_.Now(), s.goodput_qps);
+      serving_p99_series_.Record(sim_.Now(),
+                                 static_cast<double>(s.p99.nanos()) / 1e3);
     }
   }
 }

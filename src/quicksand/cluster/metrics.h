@@ -37,6 +37,29 @@ const std::vector<MetricInfo>& ExportedMetrics();
 // letter; digits allowed after the first character ("cpu_util_m3" is fine).
 bool IsSnakeCaseMetricName(const std::string& name);
 
+// Point-in-time view of a serving frontend's health over its sliding SLO
+// window, polled once per sample period when a source is attached. Rates are
+// per second over the source's own window; latencies cover admitted-and-
+// completed requests only (shed/expired requests have no service latency —
+// they show up in the rate gap between offered and goodput instead).
+struct ServingSample {
+  double offered_qps = 0.0;   // arrivals, whether or not admitted
+  double goodput_qps = 0.0;   // completed within SLO
+  Duration p50 = Duration::Zero();
+  Duration p99 = Duration::Zero();
+  int64_t shed_total = 0;         // cumulative requests shed by admission
+  int64_t deadline_expired_total = 0;  // cumulative dead-on-arrival rejections
+  int64_t stale_serves_total = 0;      // cumulative degraded-mode backup reads
+};
+
+// Implemented by serving frontends (e.g. KvFrontend) so ClusterMetrics can
+// sample them without depending on the serving layer.
+class ServingStatsSource {
+ public:
+  virtual ~ServingStatsSource() = default;
+  virtual ServingSample SampleServing(SimTime now) const = 0;
+};
+
 // Point-in-time snapshot of the cluster's failure-handling activity,
 // merging detector-side counters (heartbeats, suspicions) with
 // runtime-side ones (declarations, fencing). All zero when no detector is
@@ -65,6 +88,10 @@ class ClusterMetrics {
   // CollectHealth fold in detector counters. Call before Start().
   void AttachHealth(const FailureDetector* detector) { detector_ = detector; }
 
+  // Optional: samples a serving frontend's offered load, goodput, and tail
+  // latency each period into the serving_* series. Call before Start().
+  void AttachServing(const ServingStatsSource* serving) { serving_ = serving; }
+
   // Detector counters + the runtime's fault/fencing stats in one snapshot.
   HealthCounters CollectHealth(const RuntimeStats& rt_stats) const;
 
@@ -76,6 +103,11 @@ class ClusterMetrics {
   // Empty unless a detector was attached before Start().
   const TimeSeries& suspected_machines() const { return suspected_series_; }
 
+  // Serving series; empty unless a source was attached before Start().
+  const TimeSeries& serving_offered_qps() const { return serving_offered_series_; }
+  const TimeSeries& serving_goodput_qps() const { return serving_goodput_series_; }
+  const TimeSeries& serving_p99_us() const { return serving_p99_series_; }
+
  private:
   Task<> SampleLoop();
 
@@ -83,9 +115,13 @@ class ClusterMetrics {
   Cluster& cluster_;
   Duration period_;
   const FailureDetector* detector_ = nullptr;
+  const ServingStatsSource* serving_ = nullptr;
   std::vector<TimeSeries> cpu_series_;
   std::vector<TimeSeries> mem_series_;
   TimeSeries suspected_series_{"suspected_machines"};
+  TimeSeries serving_offered_series_{"serving_offered_qps"};
+  TimeSeries serving_goodput_series_{"serving_goodput_qps"};
+  TimeSeries serving_p99_series_{"serving_p99_us"};
 };
 
 }  // namespace quicksand

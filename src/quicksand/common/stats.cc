@@ -126,6 +126,54 @@ std::string LatencyHistogram::Summary() const {
   return buf;
 }
 
+WindowedHistogram::WindowedHistogram(Duration window, int slices)
+    : window_(window),
+      slice_width_(window / slices),
+      slices_(static_cast<size_t>(slices + 1)) {
+  // One extra slice so the window is always fully covered mid-rotation.
+  QS_CHECK(window > Duration::Zero() && slices > 0);
+  QS_CHECK(slice_width_ > Duration::Zero());
+}
+
+int64_t WindowedHistogram::IndexFor(SimTime t) const {
+  return t.nanos() / slice_width_.nanos();
+}
+
+WindowedHistogram::Slice& WindowedHistogram::SliceFor(SimTime now) {
+  const int64_t index = IndexFor(now);
+  Slice& slice = slices_[static_cast<size_t>(index) % slices_.size()];
+  if (slice.index != index) {
+    slice.hist.Reset();  // reclaim an aged-out interval's slot
+    slice.index = index;
+  }
+  return slice;
+}
+
+void WindowedHistogram::Add(SimTime now, Duration d) {
+  SliceFor(now).hist.Add(d);
+}
+
+LatencyHistogram WindowedHistogram::Merged(SimTime now) const {
+  const int64_t newest = IndexFor(now);
+  const int64_t oldest = IndexFor(now - window_);
+  LatencyHistogram merged;
+  for (const Slice& slice : slices_) {
+    if (slice.index >= oldest && slice.index <= newest &&
+        slice.hist.count() > 0) {
+      merged.Merge(slice.hist);
+    }
+  }
+  return merged;
+}
+
+Duration WindowedHistogram::Percentile(SimTime now, double p) const {
+  return Merged(now).Percentile(p);
+}
+
+int64_t WindowedHistogram::Count(SimTime now) const {
+  return Merged(now).count();
+}
+
 double TimeSeries::MeanOver(SimTime begin, SimTime end) const {
   double sum = 0.0;
   int64_t n = 0;

@@ -69,6 +69,46 @@ class LatencyHistogram {
   Duration max_ = Duration::Zero();
 };
 
+// Quantile tracking over a sliding window of sim time: p50/p99/p999 of the
+// last `window` worth of samples, for SLO accounting where lifetime
+// percentiles would hide a current overload behind a long calm history.
+//
+// Implemented as `slices` log-bucketed sub-histograms rotated as time
+// advances: a sample lands in the slice covering Now, and queries merge the
+// slices still inside the window. Memory is fixed; rotation cost is a
+// Reset() of one slice. Resolution in time is window/slices; resolution in
+// value is the underlying LatencyHistogram's ~4%.
+class WindowedHistogram {
+ public:
+  explicit WindowedHistogram(Duration window, int slices = 8);
+
+  void Add(SimTime now, Duration d);
+
+  // Percentile over samples within [now - window, now]. p in [0, 100].
+  Duration Percentile(SimTime now, double p) const;
+  // Samples within the window.
+  int64_t Count(SimTime now) const;
+  // Merged view of the in-window slices (for Summary / multiple quantiles
+  // without re-merging per call).
+  LatencyHistogram Merged(SimTime now) const;
+
+  Duration window() const { return window_; }
+
+ private:
+  struct Slice {
+    LatencyHistogram hist;
+    int64_t index = -1;  // which window/slices-wide interval this covers
+  };
+
+  // Slice index covering `t`, and rotation to make it current.
+  int64_t IndexFor(SimTime t) const;
+  Slice& SliceFor(SimTime now);
+
+  Duration window_;
+  Duration slice_width_;
+  mutable std::vector<Slice> slices_;
+};
+
 // Exponentially weighted moving average with configurable smoothing.
 class Ewma {
  public:

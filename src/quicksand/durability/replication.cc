@@ -103,6 +103,7 @@ Task<Status> ReplicationManager::Replicate(Ctx ctx, ProcletId id,
   }
   replica.backup = std::move(backup);
   replica.backup_machine = *target;
+  replica.last_synced = rt_.sim().Now();
   ++replicas_established_;
   QS_LOG_DEBUG("replication", "proclet %llu: backup on m%u (%lld bytes)",
                static_cast<unsigned long long>(id), *target,
@@ -158,8 +159,27 @@ Task<> ReplicationManager::Ship(
   }
   mutations_shipped_ += static_cast<int64_t>(batch->size());
   bytes_shipped_ += bytes;
+  replica.last_synced = rt_.sim().Now();
   // The ack round trip; durable-mode invocations suspend until here.
   (void)co_await rt_.fabric().Transfer(dst, src, options_.ack_bytes);
+}
+
+Duration ReplicationManager::StalenessOf(ProcletId id, SimTime now) const {
+  auto it = replicas_.find(id);
+  if (it == replicas_.end() || it->second->backup == nullptr ||
+      rt_.cluster().machine(it->second->backup_machine).failed()) {
+    return Duration::Max();
+  }
+  const Replica& replica = *it->second;
+  // Fully shipped and the primary is reachable in the directory: the backup
+  // matches every acked mutation, staleness zero. Otherwise the backup may
+  // lag anything that happened after the last acknowledged sync.
+  ProcletBase* primary =
+      const_cast<Runtime&>(rt_).Find(id);  // Find is logically const
+  if (primary != nullptr && !primary->has_pending_mutations()) {
+    return Duration::Zero();
+  }
+  return now - replica.last_synced;
 }
 
 void ReplicationManager::Arm(FaultInjector& injector) {

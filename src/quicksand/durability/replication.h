@@ -40,6 +40,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "quicksand/cluster/fault_injector.h"
@@ -103,6 +104,36 @@ class ReplicationManager : public ReplicationSink {
   // Runtime::Invoke after the call body, before the response.
   Task<> Flush(ProcletBase& primary) override;
 
+  // --- Degraded-mode reads (overload control) -------------------------------
+  //
+  // Under shed pressure or revocation, a frontend may prefer a possibly
+  // stale answer NOW over a fresh answer queued behind a standing queue
+  // (ROADMAP's approximation-under-pressure lever). ReadStale serves a
+  // read-only closure from the BACKUP object without touching the primary:
+  // it costs a round trip to the backup machine and nothing at the primary.
+  //
+  // Staleness is bounded, not guessed: the backup is exactly as fresh as
+  // the last acknowledged log shipment, so the bound below is the age of
+  // that sync whenever the primary may have diverged since (pending
+  // mutations, or primary lost/unreachable) and zero when the log is fully
+  // shipped. A read whose bound exceeds `max_staleness` is refused with
+  // FailedPrecondition — degraded mode degrades freshness, never
+  // correctness claims.
+
+  // Conservative upper bound on how far the backup lags the primary's
+  // acked state at `now`. Zero when fully synced; Max() when no live backup.
+  Duration StalenessOf(ProcletId id, SimTime now) const;
+
+  // Runs `fn(const P&)` against the backup object of `id`, paying the wire
+  // cost of a round trip from ctx.machine to the backup machine. Fails with
+  // Unavailable (no live backup), FailedPrecondition (staleness bound
+  // exceeded), never touches the primary, and never mutates.
+  template <typename P, typename Fn>
+  auto ReadStale(Ctx ctx, ProcletId id, Duration max_staleness, Fn fn)
+      -> Task<Result<std::invoke_result_t<Fn, const P&>>>;
+
+  int64_t stale_reads() const { return stale_reads_; }
+
   // --- Recovery (called by RecoveryCoordinator) -----------------------------
 
   bool HasLiveBackup(ProcletId id) const;
@@ -131,6 +162,9 @@ class ReplicationManager : public ReplicationSink {
     std::unique_ptr<ProcletBase> backup;
     MachineId backup_machine = kInvalidMachineId;
     BackupFactory factory;
+    // When the backup last provably matched the primary's acked state:
+    // establishment and every acknowledged log replay update it.
+    SimTime last_synced = SimTime::Zero();
   };
 
   Replica& RecordFor(ProcletId id);
@@ -147,7 +181,46 @@ class ReplicationManager : public ReplicationSink {
   int64_t mutations_shipped_ = 0;
   int64_t bytes_shipped_ = 0;
   int64_t promotions_ = 0;
+  int64_t stale_reads_ = 0;
 };
+
+// --- Template implementations -------------------------------------------------
+
+template <typename P, typename Fn>
+auto ReplicationManager::ReadStale(Ctx ctx, ProcletId id,
+                                   Duration max_staleness, Fn fn)
+    -> Task<Result<std::invoke_result_t<Fn, const P&>>> {
+  auto it = replicas_.find(id);
+  if (it == replicas_.end() || it->second->backup == nullptr ||
+      rt_.cluster().machine(it->second->backup_machine).failed()) {
+    co_return Status::Unavailable("no live backup to read from");
+  }
+  Replica& replica = *it->second;
+  // Serialize behind in-flight log shipments: the answer reflects the last
+  // *acknowledged* batch, never a half-replayed one.
+  MutexGuard guard = co_await replica.mu.Acquire();
+  if (replica.backup == nullptr ||
+      rt_.cluster().machine(replica.backup_machine).failed()) {
+    co_return Status::Unavailable("backup died while waiting");
+  }
+  const Duration staleness = StalenessOf(id, rt_.sim().Now());
+  if (staleness > max_staleness) {
+    co_return Status::FailedPrecondition(
+        "backup staleness bound exceeds the caller's limit");
+  }
+  const MachineId backup_machine = replica.backup_machine;
+  const bool delivered = co_await rt_.fabric().Transfer(
+      ctx.machine, backup_machine, Rpc::kHeaderBytes);
+  if (!delivered || replica.backup == nullptr) {
+    co_return Status::Unavailable("stale-read request lost");
+  }
+  auto result = fn(static_cast<const P&>(*replica.backup));
+  ++stale_reads_;
+  rt_.NoteStaleRead(id, backup_machine);
+  (void)co_await rt_.fabric().Transfer(backup_machine, ctx.machine,
+                                       WireSizeOf(result) + Rpc::kHeaderBytes);
+  co_return result;
+}
 
 }  // namespace quicksand
 

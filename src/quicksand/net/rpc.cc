@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "quicksand/health/failure_detector.h"
+#include "quicksand/overload/admission.h"
+#include "quicksand/overload/retry_budget.h"
 
 namespace quicksand {
 
@@ -51,6 +53,27 @@ Task<Status> Rpc::RoundTrip(MachineId src, MachineId dst, int64_t request_bytes,
   if (tracer_ != nullptr) {
     tracer_->Instant(trace, dst, TraceOp::kRpcRecv, 0,
                      request_bytes + kHeaderBytes);
+  }
+  // Server-side admission: reject dead-on-arrival and shed-worthy work
+  // BEFORE the closure runs, paying only a header-sized rejection response.
+  if (trace.ExpiredAt(sim_.Now())) {
+    ++deadline_rejected_;
+    if (tracer_ != nullptr) {
+      tracer_->Instant(trace, dst, TraceOp::kDeadlineExpired, 0,
+                       trace.deadline.nanos());
+    }
+    (void)co_await fabric_.TransferDetailed(dst, src, kHeaderBytes);
+    span.End("deadline_expired");
+    co_return Status::DeadlineExceeded("deadline expired before service");
+  }
+  if (admission_ != nullptr && !admission_->Admit(dst, sim_.Now())) {
+    ++shed_;
+    if (tracer_ != nullptr) {
+      tracer_->Instant(trace, dst, TraceOp::kRpcShed, 0, 0);
+    }
+    (void)co_await fabric_.TransferDetailed(dst, src, kHeaderBytes);
+    span.End("shed");
+    co_return Status::ResourceExhausted("request shed by admission control");
   }
   const int64_t response_bytes = co_await server();
   if (tracer_ != nullptr) {
@@ -101,6 +124,9 @@ Task<Status> Rpc::RoundTripWithRetry(MachineId src, MachineId dst,
     trace = tracer_->BeginSpan(trace, src, TraceOp::kRpc, 0, request_bytes);
     span = SpanGuard(tracer_, trace, src);
   }
+  if (retry_budget_ != nullptr) {
+    retry_budget_->OnAttempt();  // first attempts fund the bucket
+  }
   Duration backoff = policy.base_backoff;
   for (int attempt = 0;; ++attempt) {
     // Materialized first: `server` is a std::function, and passing it by
@@ -117,10 +143,14 @@ Task<Status> Rpc::RoundTripWithRetry(MachineId src, MachineId dst,
     // fail-stop, UNLESS the detector merely suspects the destination: a
     // suspected machine might be partitioned rather than dead, and the
     // partition might heal. Confirmed-dead stays terminal.
+    // ResourceExhausted is the server shedding load — transient by
+    // definition, retryable, but only through the budget below: shed
+    // retries are exactly how retry storms start.
     const bool suspected_dst =
         detector_ != nullptr && detector_->StateOf(dst) == Health::kSuspected;
     const bool retryable =
         status.code() == StatusCode::kDeadlineExceeded ||
+        status.code() == StatusCode::kResourceExhausted ||
         (status.code() == StatusCode::kUnavailable && suspected_dst);
     if (!retryable) {
       span.End(StatusCodeName(status.code()), attempt);
@@ -131,6 +161,16 @@ Task<Status> Rpc::RoundTripWithRetry(MachineId src, MachineId dst,
       span.End("retries_exhausted", attempt);
       co_return status;
     }
+    if (trace.ExpiredAt(sim_.Now())) {
+      // Nothing a retry sends can finish in time; don't add load for it.
+      span.End("deadline_expired", attempt);
+      co_return status;
+    }
+    if (retry_budget_ != nullptr && !retry_budget_->TryAcquireRetry()) {
+      ++budget_denied_retries_;
+      span.End("retry_budget_exhausted", attempt);
+      co_return status;
+    }
     ++retries_;
     if (tracer_ != nullptr) {
       tracer_->Instant(trace, src, TraceOp::kRpcRetry, 0, attempt,
@@ -138,8 +178,9 @@ Task<Status> Rpc::RoundTripWithRetry(MachineId src, MachineId dst,
     }
     const double jitter =
         1.0 + policy.jitter * (2.0 * rng_.NextDouble() - 1.0);
-    co_await sim_.Sleep(backoff * std::max(jitter, 0.0));
-    backoff = backoff * policy.multiplier;
+    co_await sim_.Sleep(std::min(backoff, policy.max_backoff) *
+                        std::max(jitter, 0.0));
+    backoff = std::min(backoff * policy.multiplier, policy.max_backoff);
   }
 }
 

@@ -30,15 +30,21 @@
 namespace quicksand {
 
 class FailureDetector;
+class AdmissionController;
+class RetryBudget;
 
 // Retry schedule for RoundTripWithRetry. Attempt k (0-based) sleeps
-// base_backoff * multiplier^k, scaled by a uniform jitter factor in
-// [1 - jitter, 1 + jitter] drawn from the Rpc's deterministic Rng.
+// min(base_backoff * multiplier^k, max_backoff), scaled by a uniform jitter
+// factor in [1 - jitter, 1 + jitter] drawn from the Rpc's deterministic
+// Rng. The cap matters for long retry sequences: uncapped, the exponential
+// schedule exceeds any plausible outage length within a dozen attempts and
+// turns "retry until the partition heals" into "sleep past the heal".
 struct RpcRetryPolicy {
   int max_attempts = 3;  // total attempts, including the first
   Duration base_backoff = Duration::Micros(50);
   double multiplier = 2.0;
   double jitter = 0.25;
+  Duration max_backoff = Duration::Millis(10);  // cap on any single backoff
 };
 
 class Rpc {
@@ -63,6 +69,16 @@ class Rpc {
   // TraceContext. Null detaches; with no tracer the hooks are no-ops.
   void AttachTracer(Tracer* tracer) { tracer_ = tracer; }
 
+  // Optional overload control. With an admission controller attached,
+  // RoundTrip consults it after the request arrives at dst and sheds with
+  // ResourceExhausted (paying only a header-sized rejection response)
+  // instead of running the server closure. With a retry budget attached,
+  // RoundTripWithRetry spends one token per retry and stops retrying —
+  // whatever the policy allows — once the bucket is empty, so retries
+  // amplify offered load by a bounded factor.
+  void AttachAdmission(AdmissionController* admission) { admission_ = admission; }
+  void AttachRetryBudget(RetryBudget* budget) { retry_budget_ = budget; }
+
   // Round trip src -> dst -> src. `server` runs logically at dst and returns
   // the response payload size in bytes. If the round trip exceeds `timeout`
   // the result is DeadlineExceeded (the server work still happened; only the
@@ -73,6 +89,12 @@ class Rpc {
   // timeout is required on faultable links (CHECK-enforced at the drop).
   // `trace` (optional) is the caller's causal stamp: the attempt's span and
   // leg instants hang under it, so cross-machine spans stitch into one tree.
+  //
+  // Deadline propagation: when `trace.deadline` is set and has passed by the
+  // time the request reaches dst, the server closure never runs — the call
+  // returns DeadlineExceeded after a header-sized rejection response
+  // (`deadline_expired` instant at dst). Work that cannot finish in time is
+  // refused at admission rather than performed dead.
   Task<Status> RoundTrip(MachineId src, MachineId dst, int64_t request_bytes,
                          std::function<Task<int64_t>()> server,
                          Duration timeout = Duration::Max(),
@@ -102,6 +124,12 @@ class Rpc {
   // RoundTripWithRetry calls that ran out of attempts while the status was
   // still retryable — distinct from aborted (terminal endpoint death).
   int64_t retries_exhausted() const { return retries_exhausted_; }
+  // Requests shed by the attached admission controller at the destination.
+  int64_t shed() const { return shed_; }
+  // Requests rejected at the destination because their deadline had passed.
+  int64_t deadline_rejected() const { return deadline_rejected_; }
+  // Retries RoundTripWithRetry wanted but the budget refused.
+  int64_t budget_denied_retries() const { return budget_denied_retries_; }
 
   Fabric& fabric() { return fabric_; }
 
@@ -117,12 +145,17 @@ class Rpc {
   Rng rng_;
   const FailureDetector* detector_ = nullptr;
   Tracer* tracer_ = nullptr;
+  AdmissionController* admission_ = nullptr;
+  RetryBudget* retry_budget_ = nullptr;
   int64_t calls_ = 0;
   int64_t timeouts_ = 0;
   int64_t retries_ = 0;
   int64_t aborted_ = 0;
   int64_t lost_ = 0;
   int64_t retries_exhausted_ = 0;
+  int64_t shed_ = 0;
+  int64_t deadline_rejected_ = 0;
+  int64_t budget_denied_retries_ = 0;
 };
 
 }  // namespace quicksand

@@ -1,0 +1,72 @@
+#include "quicksand/overload/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace quicksand {
+
+AdmissionController::AdmissionController(Cluster& cluster,
+                                         AdmissionOptions options)
+    : cluster_(cluster), options_(options), state_(cluster.size()) {
+  QS_CHECK(options_.target > Duration::Zero());
+  QS_CHECK(options_.interval > Duration::Zero());
+}
+
+Duration AdmissionController::DelayOf(MachineId machine) const {
+  const CpuScheduler& cpu = cluster_.machine(machine).cpu();
+  return std::max(cpu.QueueingDelay(options_.cpu_priority),
+                  cpu.OldestWaitingAge(options_.cpu_priority));
+}
+
+bool AdmissionController::Overloaded(MachineId machine) const {
+  return machine < state_.size() && state_[machine].shedding;
+}
+
+bool AdmissionController::Admit(MachineId machine, SimTime now) {
+  if (machine >= state_.size()) {
+    state_.resize(cluster_.size());
+  }
+  MachineState& s = state_[machine];
+  const Duration delay = DelayOf(machine);
+
+  if (delay <= options_.target) {
+    // Queue drained (or never stood): leave any shedding state behind.
+    s.first_above = SimTime::Max();
+    s.shedding = false;
+    s.shed_count = 0;
+    ++admits_;
+    return true;
+  }
+  if (s.first_above == SimTime::Max()) {
+    s.first_above = now;  // start the grace interval
+  }
+  if (!s.shedding && now - s.first_above < options_.interval) {
+    ++admits_;  // a burst is not yet a standing queue
+    return true;
+  }
+  if (!s.shedding) {
+    s.shedding = true;
+    s.shed_count = 0;
+    s.probe_count = 0;
+    s.next_probe = now + options_.interval;
+  }
+  // CoDel control law: the k-th probe since entering the shedding state is
+  // admitted interval/sqrt(k) after the previous one — probes accelerate
+  // gently while the overload persists (the count is PROBES, not sheds;
+  // counting sheds would turn the probe stream into a second admit path at
+  // high offered load). Everything between probes is shed.
+  if (now >= s.next_probe) {
+    ++s.probe_count;
+    const double denom =
+        std::sqrt(static_cast<double>(std::max<int64_t>(s.probe_count, 1)));
+    s.next_probe = now + options_.interval * (1.0 / denom);
+    ++probes_;
+    ++admits_;
+    return true;
+  }
+  ++s.shed_count;
+  ++sheds_;
+  return false;
+}
+
+}  // namespace quicksand

@@ -1,0 +1,90 @@
+// AdmissionController: CoDel-style per-machine load shedding.
+//
+// A server that queues every arrival is one saturation away from unbounded
+// queue growth: latency climbs without limit, every queued request is dead
+// on arrival by the time it runs, and naive clients retry the corpses. The
+// controller watches each machine's *queueing delay* — the time work waits
+// for a core, the same standing-queue signal CoDel uses for buffers and
+// Breakwater uses for RPC admission — and sheds new arrivals once the delay
+// has stayed above `target` for a full `interval`:
+//
+//  * momentary bursts ride through: delay above target is tolerated for one
+//    interval before anything is shed (a standing queue must persist to be
+//    a standing queue),
+//  * in the shedding state, arrivals are rejected with ResourceExhausted
+//    before any CPU or proclet work happens — the queue stops growing and
+//    admitted requests keep meeting their deadlines,
+//  * probes escape the shedding state: every interval/sqrt(sheds) one
+//    arrival is admitted anyway, so the controller notices the queue
+//    draining without an external signal (CoDel's control law),
+//  * the first observation back under target resets the state entirely.
+//
+// Deterministic: decisions are pure functions of sim time and the observed
+// delays. One controller serves a whole cluster; state is per machine.
+
+#ifndef QUICKSAND_OVERLOAD_ADMISSION_H_
+#define QUICKSAND_OVERLOAD_ADMISSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "quicksand/cluster/cluster.h"
+#include "quicksand/common/time.h"
+
+namespace quicksand {
+
+struct AdmissionOptions {
+  // Queueing delay a healthy machine is allowed to sustain. Above this for
+  // `interval`, shedding begins.
+  Duration target = Duration::Micros(500);
+  // How long the delay must stay above target before the first shed, and
+  // the base period of the probe-admission control law.
+  Duration interval = Duration::Millis(2);
+  // CPU priority whose queueing delay is the signal (proclet work).
+  int cpu_priority = 1;  // kPriorityNormal
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(Cluster& cluster, AdmissionOptions options = {});
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  // Admission decision for one arrival at `machine`, at time `now`. False
+  // means shed: reject with ResourceExhausted before doing any work.
+  bool Admit(MachineId machine, SimTime now);
+
+  // True while `machine` is in the shedding state — sustained overload, not
+  // just a momentary spike. Schedulers use this as a pressure signal.
+  bool Overloaded(MachineId machine) const;
+
+  // The delay signal for `machine` as the controller sees it (max of the
+  // EWMA queueing delay and the oldest-waiter age, so both a history of
+  // slow service and a currently-wedged queue register).
+  Duration DelayOf(MachineId machine) const;
+
+  int64_t admits() const { return admits_; }
+  int64_t sheds() const { return sheds_; }
+  int64_t probes() const { return probes_; }
+
+ private:
+  struct MachineState {
+    SimTime first_above = SimTime::Max();  // when delay first exceeded target
+    bool shedding = false;
+    int64_t shed_count = 0;   // sheds since entering the state
+    int64_t probe_count = 0;  // probes since entering the state
+    SimTime next_probe = SimTime::Zero();
+  };
+
+  Cluster& cluster_;
+  AdmissionOptions options_;
+  std::vector<MachineState> state_;
+  int64_t admits_ = 0;
+  int64_t sheds_ = 0;
+  int64_t probes_ = 0;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_OVERLOAD_ADMISSION_H_

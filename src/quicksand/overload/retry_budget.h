@@ -1,0 +1,79 @@
+// RetryBudget: a token bucket that bounds how much extra load retries may
+// add on top of first attempts.
+//
+// Naive exponential-backoff retries have a metastable failure mode: past
+// saturation every timeout spawns another attempt, offered load multiplies
+// by the retry count, queues grow, more requests time out, and the system
+// stays collapsed even after the original overload passes. The classic fix
+// (Google SRE book ch. 22, also gRPC's retry design) is a *budget*: each
+// first attempt earns a fraction of a token, each retry spends a whole one,
+// so retries can never exceed `ratio` of the base request rate. Under
+// overload the bucket drains and retries stop — the client sheds its own
+// amplification instead of feeding the storm. Under light load the bucket
+// is full and isolated failures still get their retries.
+//
+// Deterministic and allocation-free; one instance per client (or per
+// client/destination pair for finer isolation).
+
+#ifndef QUICKSAND_OVERLOAD_RETRY_BUDGET_H_
+#define QUICKSAND_OVERLOAD_RETRY_BUDGET_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "quicksand/common/check.h"
+
+namespace quicksand {
+
+struct RetryBudgetOptions {
+  // Tokens earned per first attempt: retries may add at most this fraction
+  // of base load in steady state (10% is the widely used default).
+  double ratio = 0.1;
+  // Bucket capacity: how large a burst of retries a previously idle client
+  // may issue at once.
+  double capacity = 10.0;
+};
+
+class RetryBudget {
+ public:
+  RetryBudget() : RetryBudget(RetryBudgetOptions{}) {}
+  explicit RetryBudget(RetryBudgetOptions options)
+      : options_(options), tokens_(options.capacity) {
+    QS_CHECK(options.ratio >= 0.0 && options.capacity > 0.0);
+  }
+
+  // Call once per first attempt (not per retry): accrues ratio tokens.
+  void OnAttempt() {
+    ++attempts_;
+    tokens_ = std::min(tokens_ + options_.ratio, options_.capacity);
+  }
+
+  // True (and spends a token) if a retry is currently affordable. A denial
+  // means retries have already amplified load by the budgeted factor —
+  // callers must surface the last error rather than try again.
+  bool TryAcquireRetry() {
+    if (tokens_ < 1.0) {
+      ++denied_;
+      return false;
+    }
+    tokens_ -= 1.0;
+    ++granted_;
+    return true;
+  }
+
+  double tokens() const { return tokens_; }
+  int64_t attempts() const { return attempts_; }
+  int64_t granted() const { return granted_; }
+  int64_t denied() const { return denied_; }
+
+ private:
+  RetryBudgetOptions options_;
+  double tokens_;
+  int64_t attempts_ = 0;
+  int64_t granted_ = 0;
+  int64_t denied_ = 0;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_OVERLOAD_RETRY_BUDGET_H_

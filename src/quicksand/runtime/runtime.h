@@ -32,6 +32,7 @@
 #include "quicksand/common/status.h"
 #include "quicksand/common/wire.h"
 #include "quicksand/net/rpc.h"
+#include "quicksand/overload/admission.h"
 #include "quicksand/runtime/proclet.h"
 #include "quicksand/sched/placement.h"
 #include "quicksand/sim/simulator.h"
@@ -39,6 +40,7 @@
 
 namespace quicksand {
 
+class AdmissionController;
 class FaultInjector;
 class FailureDetector;
 class FlightRecorder;
@@ -86,6 +88,41 @@ class ProcletUnreachableError : public std::runtime_error {
   explicit ProcletUnreachableError(ProcletId id)
       : std::runtime_error("proclet " + std::to_string(id) +
                            " is unreachable (network partition or loss)"),
+        id_(id) {}
+
+  ProcletId id() const { return id_; }
+
+ private:
+  ProcletId id_;
+};
+
+// Thrown when an invocation was rejected at admission by the overload
+// controller: the target machine has a standing queue and queuing more work
+// would only grow it (maps to Status::ResourceExhausted at RPC level). The
+// proclet never ran the call — retrying is safe but should go through a
+// retry budget, and callers with a degraded-mode fallback should prefer it.
+class InvocationSheddedError : public std::runtime_error {
+ public:
+  explicit InvocationSheddedError(ProcletId id)
+      : std::runtime_error("invocation of proclet " + std::to_string(id) +
+                           " shed by admission control"),
+        id_(id) {}
+
+  ProcletId id() const { return id_; }
+
+ private:
+  ProcletId id_;
+};
+
+// Thrown when an invocation reached its target after its end-to-end
+// deadline had already passed: the work was refused at admission instead of
+// being performed dead (maps to Status::DeadlineExceeded). The proclet
+// never ran the call.
+class DeadlineExpiredError : public std::runtime_error {
+ public:
+  explicit DeadlineExpiredError(ProcletId id)
+      : std::runtime_error("invocation of proclet " + std::to_string(id) +
+                           " arrived after its deadline"),
         id_(id) {}
 
   ProcletId id() const { return id_; }
@@ -178,6 +215,10 @@ struct RuntimeStats {
   int64_t undelivered_lookups = 0;      // directory RPCs eaten by the network
   int64_t response_retransmits = 0;     // response legs resent after a drop
   int64_t unreachable_invocations = 0;  // invocations that gave up on the net
+  // Overload-control accounting.
+  int64_t shed_invocations = 0;       // rejected by admission control
+  int64_t deadline_rejected_invocations = 0;  // arrived after their deadline
+  int64_t stale_reads = 0;            // reads served from a backup (degraded)
   // Gate-closed window per migration (what callers experience).
   LatencyHistogram migration_latency;
   // Background copy completion time for lazy migrations.
@@ -330,6 +371,28 @@ class Runtime {
     }
   }
 
+  // --- Overload control -------------------------------------------------------
+
+  // Attaches an admission controller (nullptr detaches). Invoke then
+  // consults it at the target machine after the request arrives and before
+  // any gate wait or proclet work: a shed invocation raises
+  // InvocationSheddedError having consumed only the request leg plus a
+  // header-sized rejection response. Invocations whose TraceContext
+  // deadline has passed on arrival are likewise rejected with
+  // DeadlineExpiredError — dead work is refused, not queued.
+  void AttachAdmission(AdmissionController* admission) { admission_ = admission; }
+  AdmissionController* admission() { return admission_; }
+
+  // Called by the degraded-read path (durability/replication) so stale
+  // serves aggregate in RuntimeStats and the trace.
+  void NoteStaleRead(ProcletId id, MachineId backup_machine) {
+    ++stats_.stale_reads;
+    if (tracer_ != nullptr) {
+      tracer_->Instant(TraceContext{}, backup_machine, TraceOp::kStaleServe,
+                       id);
+    }
+  }
+
   // --- Tracing ---------------------------------------------------------------
 
   // Attaches a tracer (nullptr detaches). The runtime then records spawn /
@@ -473,6 +536,8 @@ class Runtime {
   // Optional observability hooks (not owned; null = disabled).
   Tracer* tracer_ = nullptr;
   FlightRecorder* flight_recorder_ = nullptr;
+  // Optional overload control (not owned; null = admit everything).
+  AdmissionController* admission_ = nullptr;
 };
 
 // Typed handle to a proclet. Cheap to copy and to send over the wire.
@@ -644,6 +709,33 @@ auto Runtime::Invoke(Ctx ctx, ProcletId id, Fn fn, int64_t request_bytes)
       }
       InvalidateCache(ctx.machine, id);
       continue;
+    }
+    // Overload admission at the target, before the gate: work that is dead
+    // on arrival (deadline already passed) or headed into a standing queue
+    // (admission controller shedding) is rejected having consumed only the
+    // request leg plus a header-sized rejection response. Local calls are
+    // subject too — the queue being protected is the machine's, not the
+    // wire's.
+    if (tctx.ExpiredAt(sim_.Now())) {
+      ++stats_.deadline_rejected_invocations;
+      if (tracer_ != nullptr) {
+        tracer_->Instant(tctx, target, TraceOp::kDeadlineExpired, id,
+                         tctx.deadline.nanos());
+      }
+      if (remote) {
+        (void)co_await DeliverResponse(target, ctx.machine, Rpc::kHeaderBytes);
+      }
+      throw DeadlineExpiredError(id);
+    }
+    if (admission_ != nullptr && !admission_->Admit(target, sim_.Now())) {
+      ++stats_.shed_invocations;
+      if (tracer_ != nullptr) {
+        tracer_->Instant(tctx, target, TraceOp::kRpcShed, id, attempt);
+      }
+      if (remote) {
+        (void)co_await DeliverResponse(target, ctx.machine, Rpc::kHeaderBytes);
+      }
+      throw InvocationSheddedError(id);
     }
     const bool entered = co_await base->EnterCall();
     if (!entered) {

@@ -32,12 +32,17 @@ Task<> LocalReactor::Loop() {
 
 Task<> LocalReactor::HandleCpuPressure() {
   Machine& self = rt_.cluster().machine(machine_);
-  if (self.cpu().OldestWaitingAge(kPriorityNormal) < config_.cpu_starvation_threshold) {
+  // Shed state from the overload controller overrides the local gates: the
+  // controller only sheds after sustained queueing above target, which is
+  // pressure regardless of which priority class causes it.
+  const bool shedding = overload_ != nullptr && overload_->Overloaded(machine_);
+  if (!shedding &&
+      self.cpu().OldestWaitingAge(kPriorityNormal) < config_.cpu_starvation_threshold) {
     co_return;
   }
   // Saturation by our own priority class is throughput, not pressure; only
   // react when higher-priority work is actually squeezing us out.
-  if (self.cpu().RunnableAbove(kPriorityNormal) == 0) {
+  if (!shedding && self.cpu().RunnableAbove(kPriorityNormal) == 0) {
     co_return;
   }
   // Find the machine with the most idle cores (excluding us).

@@ -53,6 +53,15 @@ class LocalReactor {
   // Spawns the reactor fiber. Call once.
   void Start();
 
+  // Optional: couples the reactor to the overload controller. A machine the
+  // controller is actively shedding is overloaded by definition — the
+  // reactor then treats shed state as CPU pressure and tries to spread
+  // compute proclets away even before raw starvation age trips, so load
+  // shedding (drop work now) and migration (move capacity) pull together.
+  void AttachOverload(const AdmissionController* admission) {
+    overload_ = admission;
+  }
+
   int64_t cpu_evictions() const { return cpu_evictions_; }
   int64_t memory_evictions() const { return memory_evictions_; }
 
@@ -65,6 +74,7 @@ class LocalReactor {
   Runtime& rt_;
   MachineId machine_;
   LocalReactorConfig config_;
+  const AdmissionController* overload_ = nullptr;
   std::unordered_map<ProcletId, SimTime> last_moved_;
   int64_t cpu_evictions_ = 0;
   int64_t memory_evictions_ = 0;

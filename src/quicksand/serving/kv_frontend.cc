@@ -1,0 +1,213 @@
+#include "quicksand/serving/kv_frontend.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace quicksand {
+
+KvFrontend::KvFrontend(Runtime& rt, KvFrontendOptions options)
+    : rt_(rt),
+      options_(options),
+      budget_(options.budget),
+      latency_(options.stats_window),
+      arrivals_(options.stats_window),
+      goodput_(options.stats_window) {
+  QS_CHECK(options_.shards >= 1);
+  QS_CHECK(options_.max_attempts >= 1);
+}
+
+Task<Status> KvFrontend::Start(Ctx ctx) {
+  // Shards live off the frontend's machine when the cluster allows it, so
+  // serving work and request generation do not contend for the same cores.
+  std::vector<MachineId> hosts;
+  for (MachineId m = 0; m < rt_.cluster().size(); ++m) {
+    if (m != options_.home && !rt_.cluster().machine(m).failed()) {
+      hosts.push_back(m);
+    }
+  }
+  for (int i = 0; i < options_.shards; ++i) {
+    PlacementRequest req;
+    req.heap_bytes = options_.shard_heap_bytes;
+    if (!hosts.empty()) {
+      req.pinned = hosts[static_cast<size_t>(i) % hosts.size()];
+    }
+    auto create = rt_.Create<FencedKvProclet>(ctx, req);
+    Result<Ref<FencedKvProclet>> shard = co_await std::move(create);
+    if (!shard.ok()) {
+      co_return shard.status();
+    }
+    shards_.push_back(*shard);
+    if (replication_ != nullptr) {
+      auto replicate =
+          replication_->ReplicateAs<FencedKvProclet>(ctx, shard->id());
+      const Status replicated = co_await std::move(replicate);
+      if (!replicated.ok()) {
+        co_return replicated;
+      }
+    }
+  }
+  co_return Status::Ok();
+}
+
+Task<KvFrontend::Attempt> KvFrontend::TryOnce(Ctx ctx,
+                                              Ref<FencedKvProclet> shard,
+                                              uint64_t rid, uint64_t key,
+                                              bool is_read) {
+  // Epoch is re-resolved per attempt (the stamp must be current); the rid is
+  // stable across attempts, so a retry of an acked-but-unacknowledged write
+  // dedups at the shard.
+  const uint64_t epoch = rt_.EpochOf(shard.id());
+  if (epoch == 0) {
+    co_return Attempt::kRetryable;  // mid-rebind; resolve again after backoff
+  }
+  Runtime& rt = rt_;
+  const Duration svc = options_.service_time;
+  Attempt outcome = Attempt::kFatal;
+  try {
+    if (is_read) {
+      auto call = shard.Call(
+          ctx,
+          [&rt, svc, key](FencedKvProclet& p) -> Task<Result<int64_t>> {
+            co_await rt.cluster().machine(p.location()).cpu().Run(
+                svc, kPriorityNormal);
+            co_return p.Get(key);
+          },
+          options_.request_bytes);
+      const Result<int64_t> got = co_await std::move(call);
+      (void)got;  // NotFound (cold key) is still a served request
+      outcome = Attempt::kOk;
+    } else {
+      const int64_t value = static_cast<int64_t>(key) * 31 + 7;
+      auto call = shard.Call(
+          ctx,
+          [&rt, svc, epoch, rid, key,
+           value](FencedKvProclet& p) -> Task<FencedKvProclet::PutResult> {
+            co_await rt.cluster().machine(p.location()).cpu().Run(
+                svc, kPriorityNormal);
+            co_return p.Put(epoch, rid, key, value);
+          },
+          options_.request_bytes);
+      const FencedKvProclet::PutResult put = co_await std::move(call);
+      if (put.applied || put.duplicate) {
+        outcome = Attempt::kOk;
+      } else if (put.fenced) {
+        outcome = Attempt::kRetryable;  // epoch moved between resolve and run
+      } else {
+        outcome = Attempt::kFatal;  // shard out of memory; the rid is burned
+      }
+    }
+  } catch (const InvocationSheddedError&) {
+    outcome = Attempt::kShed;
+  } catch (const DeadlineExpiredError&) {
+    outcome = Attempt::kDeadline;
+  } catch (const ProcletUnreachableError&) {
+    outcome = Attempt::kRetryable;
+  } catch (const ProcletLostError&) {
+    outcome = Attempt::kRetryable;  // recovery may restore it
+  }
+  co_return outcome;
+}
+
+Task<bool> KvFrontend::TryStaleRead(Ctx ctx, Ref<FencedKvProclet> shard,
+                                    uint64_t key) {
+  auto stale = replication_->ReadStale<FencedKvProclet>(
+      ctx, shard.id(), options_.max_staleness,
+      [key](const FencedKvProclet& p) { return p.Get(key); });
+  const Result<Result<int64_t>> got = co_await std::move(stale);
+  // Inner NotFound is a served answer (the key is cold on the primary too,
+  // up to staleness); only transport/staleness failures count as misses.
+  co_return got.ok();
+}
+
+void KvFrontend::RecordSuccess(SimTime arrival) {
+  const SimTime now = rt_.sim().Now();
+  const Duration elapsed = now - arrival;
+  latency_.Add(now, elapsed);
+  if (elapsed <= options_.slo) {
+    ++ok_in_slo_;
+    goodput_.Add(now, elapsed);
+  } else {
+    ++ok_late_;
+  }
+}
+
+Task<> KvFrontend::Serve(uint64_t key, bool is_read) {
+  const SimTime arrival = rt_.sim().Now();
+  ++offered_;
+  arrivals_.Add(arrival, Duration::Nanos(1));
+  Ctx ctx = rt_.CtxOn(options_.home);
+  if (options_.deadline_propagation) {
+    ctx.trace = ctx.trace.WithDeadline(arrival + options_.slo);
+  }
+  const uint64_t rid = next_rid_++;
+  Ref<FencedKvProclet> shard =
+      shards_[key % static_cast<uint64_t>(shards_.size())];
+  if (options_.retry_budget) {
+    budget_.OnAttempt();  // first attempts fund the bucket
+  }
+  Duration backoff = options_.retry_backoff;
+  for (int attempt = 0;; ++attempt) {
+    auto once = TryOnce(ctx, shard, rid, key, is_read);
+    const Attempt outcome = co_await std::move(once);
+    if (outcome == Attempt::kOk) {
+      RecordSuccess(arrival);
+      co_return;
+    }
+    if (outcome == Attempt::kShed) {
+      ++sheds_seen_;
+      if (is_read && options_.degraded_reads && replication_ != nullptr) {
+        auto fallback = TryStaleRead(ctx, shard, key);
+        if (co_await std::move(fallback)) {
+          ++stale_fallbacks_;
+          RecordSuccess(arrival);
+          co_return;
+        }
+      }
+      // No (or failed) fallback: fall through to the retry gate.
+    } else if (outcome == Attempt::kDeadline) {
+      // The server already told us the deadline passed; a retry would only
+      // arrive deader.
+      ++deadline_rejections_seen_;
+      ++failed_;
+      co_return;
+    } else if (outcome == Attempt::kFatal) {
+      ++failed_;
+      co_return;
+    }
+    if (attempt + 1 >= options_.max_attempts) {
+      ++failed_;
+      co_return;
+    }
+    if (options_.deadline_propagation &&
+        rt_.sim().Now() > arrival + options_.slo) {
+      ++failed_;  // client-side give-up: nothing sent now can make the SLO
+      co_return;
+    }
+    if (options_.retry_budget && !budget_.TryAcquireRetry()) {
+      ++failed_;
+      co_return;
+    }
+    ++retries_;
+    co_await rt_.sim().Sleep(backoff);
+    backoff = std::min(backoff * 2, options_.max_retry_backoff);
+  }
+}
+
+ServingSample KvFrontend::SampleServing(SimTime now) const {
+  ServingSample s;
+  const double window_s =
+      static_cast<double>(latency_.window().nanos()) / 1e9;
+  s.offered_qps = static_cast<double>(arrivals_.Count(now)) / window_s;
+  s.goodput_qps = static_cast<double>(goodput_.Count(now)) / window_s;
+  const LatencyHistogram merged = latency_.Merged(now);
+  if (merged.count() > 0) {
+    s.p50 = merged.Percentile(50);
+    s.p99 = merged.Percentile(99);
+  }
+  s.shed_total = sheds_seen_;
+  s.deadline_expired_total = deadline_rejections_seen_;
+  s.stale_serves_total = stale_fallbacks_;
+  return s;
+}
+
+}  // namespace quicksand

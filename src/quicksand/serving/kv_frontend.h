@@ -1,0 +1,140 @@
+// KvFrontend: a request-serving tier over FencedKvProclet shards, built to
+// study overload. Each request gets an end-to-end deadline (the SLO), which
+// rides the TraceContext so every hop — RPC admission, proclet invocation —
+// can refuse work that cannot finish in time. The frontend composes all
+// four overload-control levers, each independently toggleable so the ab9
+// bench can show what each buys:
+//
+//  * deadline propagation — requests are stamped with arrival + SLO; hops
+//    reject dead-on-arrival work at admission (DeadlineExpiredError),
+//  * admission control — attached to the Runtime by the harness; shards
+//    shed when their host's run queue stands (InvocationSheddedError),
+//  * retry budget — retries of shed/unreachable attempts spend tokens
+//    funded by first attempts, bounding retry amplification,
+//  * degraded reads — a shed read falls back to the replication backup
+//    within a bounded staleness, trading freshness for availability.
+//
+// Writes are stamped (epoch, request-id) against the shard's FenceGuard:
+// the request id is stable across retries, so at-least-once retries stay
+// effectively exactly-once, and a shed or deadline-rejected attempt never
+// commits (the property test's subject).
+//
+// Accounting is windowed: goodput and latency quantiles cover a sliding
+// window of sim time (WindowedHistogram), so a current overload is visible
+// instead of averaged away by a long calm history.
+
+#ifndef QUICKSAND_SERVING_KV_FRONTEND_H_
+#define QUICKSAND_SERVING_KV_FRONTEND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "quicksand/cluster/metrics.h"
+#include "quicksand/common/stats.h"
+#include "quicksand/durability/replication.h"
+#include "quicksand/overload/retry_budget.h"
+#include "quicksand/proclet/fenced_kv_proclet.h"
+#include "quicksand/runtime/runtime.h"
+
+namespace quicksand {
+
+struct KvFrontendOptions {
+  int shards = 4;
+  // Per-shard heap reservation at creation.
+  int64_t shard_heap_bytes = 4 << 20;
+  // End-to-end SLO; also the propagated deadline when stamping is on.
+  Duration slo = Duration::Millis(2);
+  // CPU charged at the shard's host per request (the "work").
+  Duration service_time = Duration::Micros(50);
+  int64_t request_bytes = 128;
+  // Machine the frontend itself runs on (shards are placed elsewhere).
+  MachineId home = 0;
+  // --- Control toggles (the ab9 bench flips these) --------------------------
+  bool deadline_propagation = true;
+  bool retry_budget = true;
+  // Serve shed reads from the replication backup when one is attached and
+  // its staleness bound is within max_staleness.
+  bool degraded_reads = false;
+  Duration max_staleness = Duration::Millis(10);
+  // --- Retry schedule -------------------------------------------------------
+  int max_attempts = 3;
+  Duration retry_backoff = Duration::Micros(100);
+  Duration max_retry_backoff = Duration::Millis(5);
+  RetryBudgetOptions budget{};
+  // Sliding window for goodput/quantile accounting.
+  Duration stats_window = Duration::Millis(200);
+};
+
+class KvFrontend : public ServingStatsSource {
+ public:
+  KvFrontend(Runtime& rt, KvFrontendOptions options);
+
+  KvFrontend(const KvFrontend&) = delete;
+  KvFrontend& operator=(const KvFrontend&) = delete;
+
+  // Optional, before Start(): enables degraded reads (with
+  // options.degraded_reads) and replicates each shard at startup.
+  void AttachReplication(ReplicationManager* replication) {
+    replication_ = replication;
+  }
+
+  // Creates the shards (round-robin over machines other than `home` when
+  // the cluster has more than one) and, with replication attached,
+  // establishes their backups.
+  Task<Status> Start(Ctx ctx);
+
+  // Serves one request end to end: resolve epoch, invoke the shard with the
+  // deadline-stamped context, retry through the budget, fall back to a
+  // stale backup read when degraded. Never throws; failures are accounted.
+  Task<> Serve(uint64_t key, bool is_read);
+
+  // ServingStatsSource.
+  ServingSample SampleServing(SimTime now) const override;
+
+  // --- Introspection --------------------------------------------------------
+
+  int64_t offered() const { return offered_; }
+  int64_t ok_in_slo() const { return ok_in_slo_; }
+  int64_t ok_late() const { return ok_late_; }
+  int64_t failed() const { return failed_; }
+  int64_t sheds_seen() const { return sheds_seen_; }
+  int64_t deadline_rejections_seen() const { return deadline_rejections_seen_; }
+  int64_t stale_fallbacks() const { return stale_fallbacks_; }
+  int64_t retries() const { return retries_; }
+  const RetryBudget& budget() const { return budget_; }
+  const WindowedHistogram& latency() const { return latency_; }
+  const std::vector<Ref<FencedKvProclet>>& shards() const { return shards_; }
+  const KvFrontendOptions& options() const { return options_; }
+
+ private:
+  // One attempt against the shard; classifies the outcome.
+  enum class Attempt { kOk, kShed, kDeadline, kRetryable, kFatal };
+  Task<Attempt> TryOnce(Ctx ctx, Ref<FencedKvProclet> shard, uint64_t rid,
+                        uint64_t key, bool is_read);
+  // Degraded fallback; true when the stale read answered.
+  Task<bool> TryStaleRead(Ctx ctx, Ref<FencedKvProclet> shard, uint64_t key);
+  void RecordSuccess(SimTime arrival);
+
+  Runtime& rt_;
+  KvFrontendOptions options_;
+  ReplicationManager* replication_ = nullptr;
+  std::vector<Ref<FencedKvProclet>> shards_;
+  RetryBudget budget_;
+  uint64_t next_rid_ = 1;
+
+  WindowedHistogram latency_;   // completed requests, any outcome time
+  WindowedHistogram arrivals_;  // arrival markers (windowed offered count)
+  WindowedHistogram goodput_;   // completions within SLO
+  int64_t offered_ = 0;
+  int64_t ok_in_slo_ = 0;
+  int64_t ok_late_ = 0;
+  int64_t failed_ = 0;
+  int64_t sheds_seen_ = 0;
+  int64_t deadline_rejections_seen_ = 0;
+  int64_t stale_fallbacks_ = 0;
+  int64_t retries_ = 0;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_SERVING_KV_FRONTEND_H_

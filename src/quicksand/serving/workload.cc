@@ -1,0 +1,56 @@
+#include "quicksand/serving/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace quicksand {
+
+double OpenLoopLoadGen::RateAt(SimTime t) const {
+  double rate = options_.base_qps;
+  if (options_.diurnal_amplitude > 0.0) {
+    const double phase = 2.0 * 3.14159265358979323846 *
+                         (static_cast<double>(t.nanos()) /
+                          static_cast<double>(options_.diurnal_period.nanos()));
+    rate *= 1.0 + options_.diurnal_amplitude * std::sin(phase);
+  }
+  if (t >= options_.flash_start && t < options_.flash_end) {
+    rate *= options_.flash_multiplier;
+  }
+  return std::max(rate, 0.0);
+}
+
+Task<> OpenLoopLoadGen::Run() {
+  const SimTime start = sim_.Now();
+  const SimTime end = start + options_.duration;
+  // Thinning peak: the tightest constant envelope over the composed profile.
+  const double peak = options_.base_qps *
+                      (1.0 + options_.diurnal_amplitude) *
+                      std::max(options_.flash_multiplier, 1.0);
+  QS_CHECK(peak > 0.0);
+  const double mean_gap_ns = 1e9 / peak;
+  for (;;) {
+    const double gap = rng_.NextExponential(mean_gap_ns);
+    const SimTime next =
+        sim_.Now() + Duration::Nanos(std::max<int64_t>(
+                         1, static_cast<int64_t>(std::llround(gap))));
+    if (next >= end) {
+      co_return;
+    }
+    co_await sim_.SleepUntil(next);
+    // Thinning: accept this arrival with probability rate(now)/peak.
+    if (rng_.NextDouble() >= RateAt(sim_.Now()) / peak) {
+      continue;
+    }
+    const uint64_t key = options_.zipf_s > 0.0
+                             ? rng_.NextZipf(options_.keys, options_.zipf_s)
+                             : rng_.NextBounded(options_.keys);
+    const bool is_read = rng_.NextBool(options_.read_fraction);
+    ++arrivals_;
+    // Open loop: the request runs on its own fiber; we never wait for it.
+    sim_.Spawn(frontend_.Serve(key, is_read),
+               "serve_" + std::to_string(arrivals_));
+  }
+}
+
+}  // namespace quicksand

@@ -37,6 +37,9 @@ const char* TraceOpName(TraceOp op) {
     case TraceOp::kDeclareDead: return "declare_dead";
     case TraceOp::kLost: return "lost";
     case TraceOp::kEvacuate: return "evacuate";
+    case TraceOp::kRpcShed: return "rpc_shed";
+    case TraceOp::kDeadlineExpired: return "deadline_expired";
+    case TraceOp::kStaleServe: return "stale_serve";
   }
   return "?";
 }
@@ -90,11 +93,13 @@ TraceContext Tracer::BeginSpan(const TraceContext& parent, MachineId machine,
   const TraceId parent_trace = parent.trace_id;
   const SpanId parent_span = parent.parent_span;
   const uint64_t epoch = parent.epoch;
+  const SimTime deadline = parent.deadline;
 
   TraceContext ctx;
   ctx.trace_id = rooted ? parent_trace : next_trace_id_++;
   ctx.parent_span = next_span_id_++;
   ctx.epoch = epoch;
+  ctx.deadline = deadline;
 
   OpenSpan open;
   open.trace_id = ctx.trace_id;

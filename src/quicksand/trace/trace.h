@@ -48,12 +48,34 @@ inline constexpr SpanId kInvalidSpanId = 0;
 // migration commands, it names the tree (trace_id), the node new work hangs
 // under (parent_span), and the fencing epoch the sender resolved (so fenced
 // rejections are attributable to the stale stamp that caused them).
+//
+// The stamp also carries the request's end-to-end deadline. Putting it here
+// rather than in a parallel side-channel means every hop that already
+// propagates causality — RPC legs, retries, nested invocations — propagates
+// the deadline for free, and a server can reject work that cannot finish in
+// time at admission instead of performing it dead (overload/).
 struct TraceContext {
   TraceId trace_id = kInvalidTraceId;
   SpanId parent_span = kInvalidSpanId;
   uint64_t epoch = 0;
+  // Absolute end-to-end deadline; Max() = none. Inherited by child spans.
+  SimTime deadline = SimTime::Max();
 
   bool valid() const { return trace_id != kInvalidTraceId; }
+
+  bool has_deadline() const { return deadline != SimTime::Max(); }
+  bool ExpiredAt(SimTime now) const { return now > deadline; }
+  // Time left before the deadline; Max() when no deadline is set.
+  Duration RemainingAt(SimTime now) const {
+    return has_deadline() ? deadline - now : Duration::Max();
+  }
+  // A copy of this stamp carrying `d` (keeps the tighter of the two — a
+  // nested call may shrink the budget, never extend it).
+  TraceContext WithDeadline(SimTime d) const {
+    TraceContext out = *this;
+    out.deadline = d < out.deadline ? d : out.deadline;
+    return out;
+  }
 };
 
 // Closed vocabulary of things that happen. Digests, queries, and the
@@ -87,6 +109,9 @@ enum class TraceOp : uint8_t {
   kDeclareDead,  // gray-failure declaration (fenced out while maybe alive)
   kLost,         // a proclet's host died under it
   kEvacuate,     // revocation-deadline evacuation of one machine (span)
+  kRpcShed,      // admission control shed the request before any work ran
+  kDeadlineExpired,  // request rejected at admission: could not finish in time
+  kStaleServe,   // read answered from the replication backup (degraded mode)
 };
 
 const char* TraceOpName(TraceOp op);

@@ -59,6 +59,19 @@ TEST(MetricsNamesTest, HealthCounterFieldsAreAllRegistered) {
   }
 }
 
+TEST(MetricsNamesTest, OverloadAndServingMetricsAreAllRegistered) {
+  std::set<std::string> names;
+  for (const MetricInfo& m : ExportedMetrics()) {
+    names.insert(m.name);
+  }
+  for (const char* field :
+       {"serving_offered_qps", "serving_goodput_qps", "serving_p99_us",
+        "rpc_shed", "rpc_deadline_rejected", "rpc_budget_denied_retries",
+        "shed_invocations", "deadline_rejected_invocations", "stale_reads"}) {
+    EXPECT_EQ(names.count(field), 1u) << field;
+  }
+}
+
 TEST(MetricsNamesTest, LiveSeriesNamesMatchRegistryStems) {
   Simulator sim;
   Cluster cluster(sim);

@@ -95,6 +95,64 @@ TEST(TimeSeriesTest, RecordAndWindowMean) {
   EXPECT_DOUBLE_EQ(ts.MeanOver(SimTime::FromNanos(0), SimTime::FromNanos(300)), 2.0);
 }
 
+TEST(WindowedHistogramTest, CountsOnlySamplesInsideTheWindow) {
+  WindowedHistogram h(Duration::Millis(100));
+  const SimTime t0 = SimTime::Zero();
+  h.Add(t0, Duration::Micros(10));
+  EXPECT_EQ(h.Count(t0), 1);
+  // Still visible anywhere inside the window...
+  EXPECT_EQ(h.Count(t0 + Duration::Millis(99)), 1);
+  // ...gone once the window has slid past it.
+  EXPECT_EQ(h.Count(t0 + Duration::Millis(250)), 0);
+}
+
+TEST(WindowedHistogramTest, OldErasExpireAsTheWindowSlides) {
+  WindowedHistogram h(Duration::Millis(80), /*slices=*/8);
+  // Era 1: slow requests. Era 2 (a window later): fast requests.
+  for (int i = 0; i < 100; ++i) {
+    h.Add(SimTime::FromNanos(i * 1000), Duration::Millis(50));
+  }
+  const SimTime later = SimTime::Zero() + Duration::Millis(200);
+  for (int i = 0; i < 100; ++i) {
+    h.Add(later + Duration::Micros(i), Duration::Micros(100));
+  }
+  // Queried at era 2, the p99 reflects only era 2: the 50ms era has aged
+  // out, so the quantile is near 100us, not 50ms.
+  const Duration p99 = h.Percentile(later + Duration::Millis(1), 99);
+  EXPECT_LT(p99, Duration::Millis(1));
+  EXPECT_EQ(h.Count(later + Duration::Millis(1)), 100);
+}
+
+TEST(WindowedHistogramTest, PercentileApproximatesInWindowSamples) {
+  WindowedHistogram h(Duration::Seconds(1));
+  SimTime t = SimTime::Zero();
+  for (int i = 1; i <= 1000; ++i) {
+    h.Add(t, Duration::Micros(i));
+    t = t + Duration::Micros(500);  // all within the 1s window at the end
+  }
+  EXPECT_NEAR(h.Percentile(t, 50).micros(), 500, 40);
+  EXPECT_NEAR(h.Percentile(t, 99).micros(), 990, 80);
+  EXPECT_EQ(h.Merged(t).count(), h.Count(t));
+}
+
+TEST(WindowedHistogramTest, EmptyWindowIsZero) {
+  WindowedHistogram h(Duration::Millis(10));
+  EXPECT_EQ(h.Count(SimTime::Zero()), 0);
+  EXPECT_EQ(h.Percentile(SimTime::Zero(), 99), Duration::Zero());
+  EXPECT_EQ(h.window(), Duration::Millis(10));
+}
+
+TEST(WindowedHistogramTest, ReAddAfterLongGapDropsStaleSlices) {
+  // A slice index that wrapped all the way around the ring must not
+  // resurrect samples from a previous lap.
+  WindowedHistogram h(Duration::Millis(8), /*slices=*/4);
+  h.Add(SimTime::Zero(), Duration::Micros(1));
+  const SimTime far = SimTime::Zero() + Duration::Seconds(3);
+  h.Add(far, Duration::Micros(2));
+  EXPECT_EQ(h.Count(far), 1);
+  EXPECT_EQ(h.Merged(far).Max(), Duration::Micros(2));
+}
+
 TEST(TimeSeriesTest, CsvHasHeaderAndRows) {
   TimeSeries ts("x");
   ts.Record(SimTime::Zero() + 1_s, 2.5);

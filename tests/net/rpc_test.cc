@@ -122,6 +122,48 @@ TEST(RpcTest, RetryBackoffIsDeterministicAndNonZero) {
   EXPECT_GT(f.sim.Now() - SimTime::Zero(), 30_ms);
 }
 
+TEST(RpcTest, RetryBackoffIsCappedByMaxBackoff) {
+  // Without the cap, a base of 1ms at x10 would sleep 1 + 10 + 100 + 1000 +
+  // 10000 ms across six attempts. Capped at 2ms the whole schedule is 9ms
+  // of backoff: jitter is zeroed so the bound is exact.
+  RpcFixture f;
+  int calls = 0;
+  RpcRetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.base_backoff = 1_ms;
+  policy.multiplier = 10.0;
+  policy.jitter = 0.0;
+  policy.max_backoff = 2_ms;
+  const SimTime start = f.sim.Now();
+  const Status s = f.sim.BlockOn(f.rpc.RoundTripWithRetry(
+      0, 1, 64, [&] { return FlakyServer(f.sim, &calls, 100); }, 1_ms, policy));
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(calls, 6);
+  // Six 10ms server rounds plus backoffs of 1, 2, 2, 2, 2 ms — nowhere near
+  // the uncapped schedule's 11+ seconds.
+  const Duration elapsed = f.sim.Now() - start;
+  EXPECT_GE(elapsed, 69_ms);
+  EXPECT_LT(elapsed, 75_ms);
+}
+
+TEST(RpcTest, MaxBackoffAlsoCapsTheFirstSleepWhenBaseExceedsIt) {
+  RpcFixture f;
+  int calls = 0;
+  RpcRetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff = 100_ms;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  policy.max_backoff = 1_ms;
+  const Status s = f.sim.BlockOn(f.rpc.RoundTripWithRetry(
+      0, 1, 64, [&] { return FlakyServer(f.sim, &calls, 100); }, 1_ms, policy));
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  // Three 10ms rounds + two 1ms (capped) backoffs.
+  const Duration elapsed = f.sim.Now() - SimTime::Zero();
+  EXPECT_GE(elapsed, 32_ms);
+  EXPECT_LT(elapsed, 35_ms);
+}
+
 TEST(RpcTest, DeadEndpointIsTerminalNotRetried) {
   RpcFixture f;
   f.fabric.FailMachine(1);

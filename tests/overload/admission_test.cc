@@ -1,0 +1,168 @@
+#include "quicksand/overload/admission.h"
+
+#include <gtest/gtest.h>
+
+#include "quicksand/cluster/cluster.h"
+#include "quicksand/common/bytes.h"
+
+namespace quicksand {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  Cluster cluster{sim};
+
+  explicit Fixture(int machines = 1, int cores = 1) {
+    for (int i = 0; i < machines; ++i) {
+      MachineSpec spec;
+      spec.cores = cores;
+      spec.memory_bytes = 1_GiB;
+      cluster.AddMachine(spec);
+    }
+  }
+
+  // Queue `count` requests of `work` each at normal priority on machine 0.
+  // With one core, all but the running one wait — a standing queue.
+  void Flood(int count, Duration work) {
+    for (int i = 0; i < count; ++i) {
+      sim.Spawn(cluster.machine(0).cpu().Run(work, kPriorityNormal),
+                "flood_" + std::to_string(i));
+    }
+  }
+};
+
+AdmissionOptions TightOptions() {
+  AdmissionOptions opt;
+  opt.target = Duration::Micros(20);
+  opt.interval = Duration::Micros(200);
+  return opt;
+}
+
+TEST(AdmissionControllerTest, IdleMachineAdmitsEverything) {
+  Fixture f;
+  AdmissionController adm(f.cluster, TightOptions());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(adm.Admit(0, f.sim.Now()));
+  }
+  EXPECT_EQ(adm.sheds(), 0);
+  EXPECT_FALSE(adm.Overloaded(0));
+}
+
+TEST(AdmissionControllerTest, BurstRidesThroughTheGraceInterval) {
+  Fixture f;
+  AdmissionController adm(f.cluster, TightOptions());
+  f.Flood(50, Duration::Millis(1));
+  f.sim.RunFor(Duration::Micros(100));
+  // Delay is above target (oldest waiter is ~100us old) but has not stood
+  // for a full interval yet: still admitting.
+  EXPECT_GT(adm.DelayOf(0), TightOptions().target);
+  EXPECT_TRUE(adm.Admit(0, f.sim.Now()));
+  EXPECT_FALSE(adm.Overloaded(0));
+  EXPECT_EQ(adm.sheds(), 0);
+}
+
+TEST(AdmissionControllerTest, StandingQueueEntersSheddingAfterInterval) {
+  Fixture f;
+  AdmissionController adm(f.cluster, TightOptions());
+  f.Flood(50, Duration::Millis(1));
+  f.sim.RunFor(Duration::Micros(100));
+  ASSERT_TRUE(adm.Admit(0, f.sim.Now()));  // starts the grace clock
+  f.sim.RunFor(Duration::Micros(300));     // > interval with the queue standing
+  EXPECT_FALSE(adm.Admit(0, f.sim.Now()));
+  EXPECT_TRUE(adm.Overloaded(0));
+  EXPECT_EQ(adm.sheds(), 1);
+}
+
+TEST(AdmissionControllerTest, ProbesEscapeTheSheddingState) {
+  Fixture f;
+  AdmissionController adm(f.cluster, TightOptions());
+  f.Flood(50, Duration::Millis(1));
+  f.sim.RunFor(Duration::Micros(100));
+  ASSERT_TRUE(adm.Admit(0, f.sim.Now()));
+  f.sim.RunFor(Duration::Micros(300));
+  ASSERT_FALSE(adm.Admit(0, f.sim.Now()));  // shedding; next_probe armed
+
+  // Before the probe deadline every arrival is shed; at/after it, exactly
+  // one is admitted as a probe, then shedding resumes.
+  EXPECT_FALSE(adm.Admit(0, f.sim.Now()));
+  f.sim.RunFor(Duration::Micros(250));  // past next_probe (interval = 200us)
+  EXPECT_TRUE(adm.Admit(0, f.sim.Now()));
+  EXPECT_EQ(adm.probes(), 1);
+  EXPECT_FALSE(adm.Admit(0, f.sim.Now()));
+}
+
+TEST(AdmissionControllerTest, ProbeCadenceFollowsProbeCountNotShedCount) {
+  // The control law spaces probe k by interval/sqrt(k) after probe k-1. A
+  // huge number of sheds between probes must NOT accelerate the cadence —
+  // otherwise high offered load turns the probe stream into a second admit
+  // path. With 3 probes taken, the next is at least interval/sqrt(4) away.
+  Fixture f;
+  AdmissionController adm(f.cluster, TightOptions());
+  f.Flood(200, Duration::Millis(1));
+  f.sim.RunFor(Duration::Micros(100));
+  ASSERT_TRUE(adm.Admit(0, f.sim.Now()));
+  f.sim.RunFor(Duration::Micros(300));
+  ASSERT_FALSE(adm.Admit(0, f.sim.Now()));  // enter shedding
+
+  // Take three probes, hammering Admit between them (thousands of sheds).
+  for (int probe = 0; probe < 3; ++probe) {
+    f.sim.RunFor(Duration::Micros(250));
+    ASSERT_TRUE(adm.Admit(0, f.sim.Now())) << "probe " << probe;
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_FALSE(adm.Admit(0, f.sim.Now()));
+    }
+  }
+  EXPECT_EQ(adm.probes(), 3);
+  const int64_t sheds_before = adm.sheds();
+  // interval/sqrt(3) ~= 115us: an arrival 50us after the third probe must
+  // still be shed, no matter how many sheds have accumulated.
+  f.sim.RunFor(Duration::Micros(50));
+  EXPECT_FALSE(adm.Admit(0, f.sim.Now()));
+  EXPECT_EQ(adm.sheds(), sheds_before + 1);
+  EXPECT_EQ(adm.probes(), 3);
+}
+
+TEST(AdmissionControllerTest, DrainedQueueResetsTheControllerEntirely) {
+  Fixture f;
+  AdmissionController adm(f.cluster, TightOptions());
+  f.Flood(20, Duration::Millis(1));
+  f.sim.RunFor(Duration::Micros(100));
+  ASSERT_TRUE(adm.Admit(0, f.sim.Now()));
+  f.sim.RunFor(Duration::Micros(300));
+  ASSERT_FALSE(adm.Admit(0, f.sim.Now()));
+  ASSERT_TRUE(adm.Overloaded(0));
+
+  // Drain the queue, then feed the EWMA a few instantly-served requests so
+  // the history-based half of the delay signal decays below target.
+  f.sim.RunFor(Duration::Millis(25));
+  for (int i = 0; i < 200 && adm.DelayOf(0) > TightOptions().target; ++i) {
+    f.sim.Spawn(f.cluster.machine(0).cpu().Run(Duration::Nanos(100),
+                                               kPriorityNormal),
+                "drain_probe_" + std::to_string(i));
+    f.sim.RunFor(Duration::Millis(1));
+  }
+  ASSERT_LE(adm.DelayOf(0), TightOptions().target);
+  EXPECT_TRUE(adm.Admit(0, f.sim.Now()));
+  EXPECT_FALSE(adm.Overloaded(0));
+  // Fully reset: a fresh overload gets a fresh grace interval.
+  f.Flood(20, Duration::Millis(1));
+  f.sim.RunFor(Duration::Micros(100));
+  EXPECT_TRUE(adm.Admit(0, f.sim.Now()));
+  EXPECT_EQ(adm.sheds(), 1);  // the cumulative counter survives the reset
+}
+
+TEST(AdmissionControllerTest, StateIsPerMachine) {
+  Fixture f(2, 1);
+  AdmissionController adm(f.cluster, TightOptions());
+  f.Flood(50, Duration::Millis(1));  // machine 0 only
+  f.sim.RunFor(Duration::Micros(100));
+  ASSERT_TRUE(adm.Admit(0, f.sim.Now()));
+  f.sim.RunFor(Duration::Micros(300));
+  EXPECT_FALSE(adm.Admit(0, f.sim.Now()));
+  EXPECT_TRUE(adm.Overloaded(0));
+  EXPECT_TRUE(adm.Admit(1, f.sim.Now()));  // idle machine unaffected
+  EXPECT_FALSE(adm.Overloaded(1));
+}
+
+}  // namespace
+}  // namespace quicksand

@@ -1,0 +1,73 @@
+#include "quicksand/overload/retry_budget.h"
+
+#include <gtest/gtest.h>
+
+namespace quicksand {
+namespace {
+
+TEST(RetryBudgetTest, StartsFullAndGrantsACapacityBurst) {
+  RetryBudgetOptions opt;
+  opt.ratio = 0.1;
+  opt.capacity = 3.0;
+  RetryBudget b(opt);
+  EXPECT_DOUBLE_EQ(b.tokens(), 3.0);
+  EXPECT_TRUE(b.TryAcquireRetry());
+  EXPECT_TRUE(b.TryAcquireRetry());
+  EXPECT_TRUE(b.TryAcquireRetry());
+  EXPECT_FALSE(b.TryAcquireRetry());  // bucket drained
+  EXPECT_EQ(b.granted(), 3);
+  EXPECT_EQ(b.denied(), 1);
+}
+
+TEST(RetryBudgetTest, AttemptsAccrueAtRatio) {
+  // ratio = 0.25 is exact in binary, so "four attempts fund one retry"
+  // holds without floating-point slop.
+  RetryBudgetOptions opt;
+  opt.ratio = 0.25;
+  opt.capacity = 5.0;
+  RetryBudget b(opt);
+  while (b.TryAcquireRetry()) {
+  }
+  EXPECT_LT(b.tokens(), 1.0);
+  for (int i = 0; i < 3; ++i) {
+    b.OnAttempt();
+    EXPECT_FALSE(b.TryAcquireRetry());
+  }
+  b.OnAttempt();
+  EXPECT_TRUE(b.TryAcquireRetry());
+  EXPECT_EQ(b.attempts(), 4);
+}
+
+TEST(RetryBudgetTest, AccrualSaturatesAtCapacity) {
+  RetryBudgetOptions opt;
+  opt.ratio = 1.0;
+  opt.capacity = 2.0;
+  RetryBudget b(opt);
+  for (int i = 0; i < 100; ++i) {
+    b.OnAttempt();
+  }
+  EXPECT_DOUBLE_EQ(b.tokens(), 2.0);
+  EXPECT_TRUE(b.TryAcquireRetry());
+  EXPECT_TRUE(b.TryAcquireRetry());
+  EXPECT_FALSE(b.TryAcquireRetry());
+}
+
+TEST(RetryBudgetTest, SteadyStateRetryRateIsBoundedByRatio) {
+  // Under permanent overload (every attempt wants a retry), granted retries
+  // can never exceed ratio * attempts + the initial capacity burst.
+  RetryBudgetOptions opt;
+  opt.ratio = 0.1;
+  opt.capacity = 10.0;
+  RetryBudget b(opt);
+  const int kAttempts = 10000;
+  for (int i = 0; i < kAttempts; ++i) {
+    b.OnAttempt();
+    (void)b.TryAcquireRetry();
+  }
+  EXPECT_LE(static_cast<double>(b.granted()),
+            opt.ratio * kAttempts + opt.capacity + 1.0);
+  EXPECT_GT(b.denied(), 0);
+}
+
+}  // namespace
+}  // namespace quicksand

@@ -1,0 +1,165 @@
+#include "quicksand/serving/kv_frontend.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "quicksand/common/bytes.h"
+#include "quicksand/serving/workload.h"
+
+namespace quicksand {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  Cluster cluster{sim};
+  std::unique_ptr<Runtime> rt;
+
+  explicit Fixture(int machines = 3, int cores = 2) {
+    for (int i = 0; i < machines; ++i) {
+      MachineSpec spec;
+      spec.cores = cores;
+      spec.memory_bytes = 2_GiB;
+      cluster.AddMachine(spec);
+    }
+    rt = std::make_unique<Runtime>(sim, cluster);
+  }
+
+  // Run the generator, then drain until every offered request is accounted
+  // (ok, late, or failed) — Serve fibers must not outlive the fixture.
+  void RunAndDrain(OpenLoopLoadGen& gen, KvFrontend& frontend) {
+    sim.BlockOn(gen.Run());
+    for (int i = 0; i < 100; ++i) {
+      const int64_t accounted =
+          frontend.ok_in_slo() + frontend.ok_late() + frontend.failed();
+      if (accounted >= frontend.offered()) {
+        break;
+      }
+      sim.RunFor(Duration::Millis(10));
+    }
+    ASSERT_EQ(frontend.ok_in_slo() + frontend.ok_late() + frontend.failed(),
+              frontend.offered());
+  }
+};
+
+KvFrontendOptions LightOptions() {
+  KvFrontendOptions opt;
+  opt.shards = 4;
+  opt.slo = Duration::Millis(2);
+  opt.service_time = Duration::Micros(50);
+  opt.stats_window = Duration::Millis(50);
+  return opt;
+}
+
+WorkloadOptions LightLoad(uint64_t seed = 1) {
+  WorkloadOptions opt;
+  opt.base_qps = 2000.0;  // far below the ~80k qps capacity of 2x2 cores
+  opt.keys = 64;
+  opt.zipf_s = 0.9;
+  opt.read_fraction = 0.8;
+  opt.duration = Duration::Millis(50);
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(KvFrontendTest, UncontendedLoadIsServedEntirelyWithinSlo) {
+  Fixture f;
+  KvFrontend frontend(*f.rt, LightOptions());
+  ASSERT_TRUE(f.sim.BlockOn(frontend.Start(f.rt->CtxOn(0))).ok());
+  ASSERT_EQ(frontend.shards().size(), 4u);
+  // Shards avoid the frontend's home machine when others exist.
+  for (const auto& shard : frontend.shards()) {
+    EXPECT_NE(f.rt->LocationOf(shard.id()), MachineId{0});
+  }
+
+  OpenLoopLoadGen gen(f.sim, frontend, LightLoad());
+  f.RunAndDrain(gen, frontend);
+
+  EXPECT_EQ(gen.arrivals(), frontend.offered());
+  EXPECT_GT(frontend.offered(), 50);  // ~100 expected at 2000 qps x 50ms
+  EXPECT_EQ(frontend.failed(), 0);
+  EXPECT_EQ(frontend.ok_late(), 0);  // 50us of work against a 2ms SLO
+  EXPECT_EQ(frontend.ok_in_slo(), frontend.offered());
+  EXPECT_EQ(frontend.sheds_seen(), 0);
+  EXPECT_EQ(frontend.deadline_rejections_seen(), 0);
+}
+
+TEST(KvFrontendTest, SampleServingReportsWindowedRates) {
+  Fixture f;
+  KvFrontend frontend(*f.rt, LightOptions());
+  ASSERT_TRUE(f.sim.BlockOn(frontend.Start(f.rt->CtxOn(0))).ok());
+  OpenLoopLoadGen gen(f.sim, frontend, LightLoad());
+  f.sim.BlockOn(gen.Run());
+
+  // Sampled mid-run (before the window slides past the traffic): rates are
+  // within a factor of a few of the configured load, latencies inside SLO.
+  const ServingSample s = frontend.SampleServing(f.sim.Now());
+  EXPECT_GT(s.offered_qps, 500.0);
+  EXPECT_LT(s.offered_qps, 8000.0);
+  EXPECT_GT(s.goodput_qps, 500.0);
+  EXPECT_LE(s.p99, LightOptions().slo);
+  EXPECT_LE(s.p50, s.p99);
+
+  for (int i = 0; i < 100 && frontend.ok_in_slo() + frontend.ok_late() +
+                                     frontend.failed() <
+                                 frontend.offered();
+       ++i) {
+    f.sim.RunFor(Duration::Millis(10));
+  }
+}
+
+TEST(KvFrontendTest, SameSeedRunsAreBitIdentical) {
+  auto run = [](uint64_t seed) {
+    Fixture f;
+    KvFrontend frontend(*f.rt, LightOptions());
+    EXPECT_TRUE(f.sim.BlockOn(frontend.Start(f.rt->CtxOn(0))).ok());
+    OpenLoopLoadGen gen(f.sim, frontend, LightLoad(seed));
+    f.RunAndDrain(gen, frontend);
+    return std::tuple(frontend.offered(), frontend.ok_in_slo(),
+                      frontend.retries(), f.sim.Now());
+  };
+  EXPECT_EQ(run(1), run(1));
+  // A different seed produces a different arrival sequence.
+  EXPECT_NE(std::get<3>(run(1)), std::get<3>(run(2)));
+}
+
+TEST(OpenLoopLoadGenTest, RateProfileComposesDiurnalAndFlash) {
+  Fixture f;
+  KvFrontend frontend(*f.rt, LightOptions());
+  WorkloadOptions opt;
+  opt.base_qps = 1000.0;
+  opt.diurnal_amplitude = 0.5;
+  opt.diurnal_period = Duration::Seconds(1);
+  opt.flash_multiplier = 3.0;
+  opt.flash_start = SimTime::Zero() + Duration::Millis(600);
+  opt.flash_end = SimTime::Zero() + Duration::Millis(700);
+  OpenLoopLoadGen gen(f.sim, frontend, opt);
+
+  // Quarter period: sin = 1, so base * 1.5.
+  EXPECT_NEAR(gen.RateAt(SimTime::Zero() + Duration::Millis(250)), 1500.0,
+              1.0);
+  // Inside the flash window: the diurnal value at 650ms
+  // (1 + 0.5 * sin(2*pi*0.65) ~= 0.5955) times the 3x flash multiplier.
+  EXPECT_NEAR(gen.RateAt(SimTime::Zero() + Duration::Millis(650)), 1786.5,
+              2.0);
+  // Outside the flash window at the same trough: just the diurnal dip.
+  EXPECT_NEAR(gen.RateAt(SimTime::Zero() + Duration::Millis(750)), 500.0,
+              1.0);
+}
+
+TEST(OpenLoopLoadGenTest, ArrivalCountTracksOfferedRate) {
+  Fixture f;
+  KvFrontend frontend(*f.rt, LightOptions());
+  ASSERT_TRUE(f.sim.BlockOn(frontend.Start(f.rt->CtxOn(0))).ok());
+  WorkloadOptions opt = LightLoad();
+  opt.base_qps = 10000.0;
+  opt.duration = Duration::Millis(100);
+  OpenLoopLoadGen gen(f.sim, frontend, opt);
+  f.RunAndDrain(gen, frontend);
+  // ~1000 expected arrivals; Poisson noise is a few percent at this count.
+  EXPECT_GT(gen.arrivals(), 800);
+  EXPECT_LT(gen.arrivals(), 1200);
+}
+
+}  // namespace
+}  // namespace quicksand
