@@ -111,8 +111,11 @@ RunResult RunOne(double offered_qps, Controls controls, uint64_t seed,
   // The admission knobs scale with the SLO: the grace interval re-grants a
   // window of unchecked queue growth on every reset, so it must be small
   // against the latency budget or admitted-at-the-peak requests miss it.
+  // The delay target leaves headroom for shard skew: hash-range sharding
+  // splits the zipf mass unevenly, and the hotter machine's admitted tail
+  // rides its delay target — 200us put p99 a hair over the 2ms SLO.
   AdmissionOptions aopt;
-  aopt.target = Duration::Micros(200);
+  aopt.target = Duration::Micros(150);
   aopt.interval = Duration::Micros(500);
   AdmissionController admission(cluster, aopt);
   if (controls.admission) {

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 tests (plain + ASan/UBSan via scripts/check.sh) and
 # the smoke gates (durability, trace determinism, partition failover,
-# overload control), each of which fails on nondeterminism between two
-# same-seed runs.
+# overload control, autoscale), each of which fails on nondeterminism
+# between two same-seed runs.
 
 set -euo pipefail
 
@@ -29,5 +29,8 @@ echo "== partition smoke: gray-failure failover must be deterministic and exactl
 
 echo "== overload smoke: collapse without controls, plateau with, deterministically =="
 ./build/bench/ab9_overload --smoke
+
+echo "== autoscale smoke: hot shard splits, settle p99 inside SLO, deterministically =="
+./build/bench/ab10_autoscale --smoke
 
 echo "CI: all gates passed"

@@ -1,0 +1,91 @@
+#include "quicksand/autoscale/autoscaler.h"
+
+#include <unordered_set>
+#include <utility>
+
+namespace quicksand {
+
+void Autoscaler::Start() {
+  QS_CHECK(!running_);
+  running_ = true;
+  rt_.sim().Spawn(Loop(), "autoscaler");
+}
+
+Task<> Autoscaler::Loop() {
+  while (running_) {
+    co_await rt_.sim().Sleep(options_.period);
+    if (!running_) {
+      co_return;
+    }
+    Ctx ctx = rt_.CtxOn(set_.home());
+    co_await Tick(ctx);
+  }
+}
+
+Task<> Autoscaler::Tick(Ctx ctx) {
+  const SimTime now = rt_.sim().Now();
+  const std::vector<ShardServingSample> samples = set_.SampleShards(now);
+  collector_.Observe(now, samples);
+
+  // Fold in the overload controller's view: a machine in shed state hosts
+  // too much of something — let the detector act before the streak matures.
+  if (admission_ != nullptr) {
+    std::unordered_set<MachineId> hosts;
+    for (const ShardServingSample& s : samples) {
+      hosts.insert(s.machine);
+    }
+    for (MachineId m : hosts) {
+      if (admission_->PressureOf(m).shedding) {
+        detector_.Nudge(m);
+      }
+    }
+  }
+
+  const SkewVerdict verdict = detector_.Update(collector_);
+  last_hot_ = static_cast<int>(verdict.hot.size());
+
+  std::vector<MachineId> candidates;
+  for (MachineId m = 0; m < rt_.cluster().size(); ++m) {
+    if (m != set_.home() && rt_.cluster().machine(m).accepting()) {
+      candidates.push_back(m);
+    }
+  }
+  const std::vector<ReshapeAction> actions =
+      planner_.Plan(now, collector_, verdict, candidates);
+  for (const ReshapeAction& action : actions) {
+    // The copy-cost estimate wants the bytes of whichever shard MOVES: the
+    // merge right half, or the split/migrate subject.
+    const uint64_t moving =
+        action.kind == ReshapeKind::kMerge ? action.other : action.shard;
+    int64_t bytes = 0;
+    for (const ShardServingSample& s : samples) {
+      if (s.proclet == moving) {
+        bytes = s.bytes;
+        break;
+      }
+    }
+    auto exec = executor_.Execute(ctx, action, bytes);
+    const ReshapeExecutor::Outcome out = co_await std::move(exec);
+    if (out.deferred) {
+      planner_.NoteDeferred(rt_.sim().Now(), action);
+    } else if (out.executed) {
+      planner_.NoteExecuted(rt_.sim().Now(), action);
+    }
+    // A failed verb (shard vanished mid-plan, target died) arms nothing:
+    // next tick replans from fresh samples.
+  }
+  co_return;
+}
+
+AutoscaleSample Autoscaler::SampleAutoscale(SimTime now) const {
+  AutoscaleSample s;
+  s.shard_count = static_cast<int>(set_.SampleShards(now).size());
+  s.hot_shards = last_hot_;
+  s.splits_total = executor_.splits();
+  s.merges_total = executor_.merges();
+  s.migrations_total = executor_.migrations();
+  s.deferred_total = executor_.deferred();
+  return s;
+}
+
+}  // namespace quicksand

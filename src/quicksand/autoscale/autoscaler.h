@@ -1,0 +1,111 @@
+// Autoscaler: the closed control loop over a ReshapableShardSet.
+//
+//   observe -> detect -> plan -> execute, every `period`:
+//
+//  * observe — SampleShards cumulative counters, differenced into EWMA
+//    rates (LoadStatsCollector),
+//  * detect — hot/cold verdicts vs the cluster median, with hysteresis and
+//    overload nudges (SkewDetector),
+//  * plan — split-hot / migrate-when-at-budget / merge-cold, paced by
+//    cooldowns and a per-tick cap (ReshapePlanner),
+//  * execute — run the verbs against the shard set, deferring any reshape
+//    whose copy stall would blow the SLO (ReshapeExecutor).
+//
+// This is the mechanism that turns Quicksand's "resourcelets come and go"
+// elasticity into SERVING elasticity: instead of shedding a flash crowd at
+// a hot shard forever (ab9's endpoint), the loop reshapes the hot range
+// across whatever machines currently have slack (ab10's endpoint).
+//
+// Wiring: construct with the runtime and shard set; optionally
+// AttachAdmission so shed-state machines fast-track detection, and hand the
+// instance to each LocalReactor (AttachAutoscaler) so CPU-pressure events
+// nudge it too; AttachAutoscale on ClusterMetrics exports the
+// autoscale_* series. Tests drive the loop synchronously through Tick.
+
+#ifndef QUICKSAND_AUTOSCALE_AUTOSCALER_H_
+#define QUICKSAND_AUTOSCALE_AUTOSCALER_H_
+
+#include <vector>
+
+#include "quicksand/autoscale/load_stats.h"
+#include "quicksand/autoscale/reshape_executor.h"
+#include "quicksand/autoscale/reshape_planner.h"
+#include "quicksand/autoscale/shard_set.h"
+#include "quicksand/autoscale/skew_detector.h"
+#include "quicksand/overload/admission.h"
+
+namespace quicksand {
+
+struct AutoscalerOptions {
+  // Control period. Slower than the LocalReactor (which moves single
+  // proclets reactively); reshaping needs a rate estimate, not an edge.
+  Duration period = Duration::Millis(2);
+  // EWMA smoothing for per-shard rates.
+  double ewma_alpha = 0.3;
+  SkewDetectorOptions detector{};
+  ReshapePlannerOptions planner{};
+  ReshapeExecutorOptions executor{};
+};
+
+class Autoscaler : public AutoscaleStatsSource {
+ public:
+  Autoscaler(Runtime& rt, ReshapableShardSet& set, AutoscalerOptions options = {})
+      : rt_(rt),
+        set_(set),
+        options_(options),
+        collector_(options.ewma_alpha),
+        detector_(options.detector),
+        planner_(options.planner),
+        executor_(rt, set, options.executor) {}
+
+  Autoscaler(const Autoscaler&) = delete;
+  Autoscaler& operator=(const Autoscaler&) = delete;
+
+  // Optional, before Start(): machines the admission controller is actively
+  // shedding nudge the detector each tick.
+  void AttachAdmission(const AdmissionController* admission) {
+    admission_ = admission;
+  }
+
+  // Spawns the periodic control fiber. Call once.
+  void Start();
+  // Stops the loop at its next wakeup.
+  void Stop() { running_ = false; }
+
+  // Overload signal from outside the loop (LocalReactor CPU pressure):
+  // fast-tracks the top shard on `machine` past the hot streak.
+  void Nudge(MachineId machine) { detector_.Nudge(machine); }
+
+  // One observe->detect->plan->execute iteration. The loop calls this every
+  // period; tests call it directly for lockstep control.
+  Task<> Tick(Ctx ctx);
+
+  // AutoscaleStatsSource.
+  AutoscaleSample SampleAutoscale(SimTime now) const override;
+
+  int64_t splits() const { return executor_.splits(); }
+  int64_t merges() const { return executor_.merges(); }
+  int64_t migrations() const { return executor_.migrations(); }
+  int64_t deferred() const { return executor_.deferred(); }
+  int64_t reshape_failures() const { return executor_.failed(); }
+  int hot_shards() const { return last_hot_; }
+  const LoadStatsCollector& collector() const { return collector_; }
+
+ private:
+  Task<> Loop();
+
+  Runtime& rt_;
+  ReshapableShardSet& set_;
+  AutoscalerOptions options_;
+  const AdmissionController* admission_ = nullptr;
+  LoadStatsCollector collector_;
+  SkewDetector detector_;
+  ReshapePlanner planner_;
+  ReshapeExecutor executor_;
+  bool running_ = false;
+  int last_hot_ = 0;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_AUTOSCALE_AUTOSCALER_H_

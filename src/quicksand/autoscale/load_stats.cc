@@ -1,0 +1,84 @@
+#include "quicksand/autoscale/load_stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace quicksand {
+
+void LoadStatsCollector::Observe(SimTime now,
+                                 const std::vector<ShardServingSample>& samples) {
+  const Duration dt = now - last_observe_;
+  if (observed_once_ && dt <= Duration::Zero()) {
+    return;  // same-instant resample; nothing to difference
+  }
+  const double dt_s =
+      observed_once_ ? static_cast<double>(dt.nanos()) / 1e9 : 0.0;
+
+  std::unordered_set<uint64_t> live;
+  live.reserve(samples.size());
+  shards_.clear();
+  shards_.reserve(samples.size());
+  for (const ShardServingSample& s : samples) {
+    live.insert(s.proclet);
+    auto [it, fresh] = history_.try_emplace(
+        s.proclet, History{Ewma(alpha_), Ewma(alpha_), 0, 0});
+    History& h = it->second;
+    if (fresh) {
+      // A brand-new shard (initial creation or a split half): its counters
+      // started from zero when it appeared, so its whole cumulative count is
+      // this period's delta. Seeding the EWMA with that rate makes a hot
+      // split half immediately visible instead of invisible for 1/alpha
+      // ticks.
+      if (observed_once_ && dt_s > 0.0) {
+        h.rate.Add(static_cast<double>(s.arrivals_total) / dt_s);
+        h.shed_rate.Add(static_cast<double>(s.sheds_total) / dt_s);
+      }
+    } else if (dt_s > 0.0) {
+      h.rate.Add(static_cast<double>(s.arrivals_total - h.last_arrivals) /
+                 dt_s);
+      h.shed_rate.Add(static_cast<double>(s.sheds_total - h.last_sheds) /
+                      dt_s);
+    }
+    h.last_arrivals = s.arrivals_total;
+    h.last_sheds = s.sheds_total;
+    ShardLoad load;
+    load.sample = s;
+    load.rate_qps = h.rate.value();
+    load.shed_rate_qps = h.shed_rate.value();
+    shards_.push_back(load);
+  }
+  // Shards merged or destroyed since the last round take their history with
+  // them; a reused proclet id (never happens today) would otherwise inherit
+  // a stale baseline.
+  for (auto it = history_.begin(); it != history_.end();) {
+    it = live.count(it->first) == 0 ? history_.erase(it) : std::next(it);
+  }
+  last_observe_ = now;
+  observed_once_ = true;
+}
+
+double LoadStatsCollector::MedianRate() const {
+  if (shards_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> rates;
+  rates.reserve(shards_.size());
+  for (const ShardLoad& s : shards_) {
+    rates.push_back(s.rate_qps);
+  }
+  std::nth_element(rates.begin(), rates.begin() + rates.size() / 2,
+                   rates.end());
+  return rates[rates.size() / 2];
+}
+
+double LoadStatsCollector::MachineRate(MachineId machine) const {
+  double sum = 0.0;
+  for (const ShardLoad& s : shards_) {
+    if (s.sample.machine == machine) {
+      sum += s.rate_qps;
+    }
+  }
+  return sum;
+}
+
+}  // namespace quicksand

@@ -1,0 +1,71 @@
+// LoadStatsCollector: turns the cumulative per-shard counters a
+// ReshapableShardSet exports into smoothed arrival/shed RATES the skew
+// detector can compare.
+//
+// The shard set only counts (arrivals ever, sheds ever) — it has no opinion
+// about windows. The collector differences those counters at its own cadence
+// and feeds the deltas into per-shard EWMAs, so one noisy sample period does
+// not flap the hotness verdict, while a genuine flash crowd shows up within
+// a couple of ticks (alpha ~0.3 halves the memory every other tick).
+//
+// Shards come and go under reshaping: a shard absent from the latest sample
+// (merged away or destroyed) is dropped, and a new shard (a fresh split
+// half) starts its EWMA from its first observed delta — deliberately NOT
+// from zero, so a hot split half is visible to the detector immediately.
+
+#ifndef QUICKSAND_AUTOSCALE_LOAD_STATS_H_
+#define QUICKSAND_AUTOSCALE_LOAD_STATS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "quicksand/cluster/metrics.h"
+#include "quicksand/common/stats.h"
+
+namespace quicksand {
+
+// One shard's smoothed load view: the latest raw sample plus EWMA rates.
+struct ShardLoad {
+  ShardServingSample sample;
+  double rate_qps = 0.0;       // EWMA of arrivals/sec
+  double shed_rate_qps = 0.0;  // EWMA of sheds/sec
+};
+
+class LoadStatsCollector {
+ public:
+  explicit LoadStatsCollector(double alpha = 0.3) : alpha_(alpha) {}
+
+  // Folds one sampling round in. `samples` must carry cumulative counters
+  // (ShardServingSample contract); the collector owns the differencing.
+  void Observe(SimTime now, const std::vector<ShardServingSample>& samples);
+
+  // Latest per-shard loads, in the shard set's order (ascending range).
+  const std::vector<ShardLoad>& shards() const { return shards_; }
+
+  // Median EWMA arrival rate across shards; 0 with no shards. The skew
+  // detector compares against the median (not the mean) so one molten
+  // shard cannot drag the reference point up and hide itself.
+  double MedianRate() const;
+
+  // Sum of EWMA arrival rates of shards hosted on `machine`.
+  double MachineRate(MachineId machine) const;
+
+ private:
+  struct History {
+    Ewma rate;
+    Ewma shed_rate;
+    int64_t last_arrivals = 0;
+    int64_t last_sheds = 0;
+  };
+
+  double alpha_;
+  SimTime last_observe_ = SimTime::Zero();
+  bool observed_once_ = false;
+  std::unordered_map<uint64_t, History> history_;  // by shard proclet id
+  std::vector<ShardLoad> shards_;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_AUTOSCALE_LOAD_STATS_H_

@@ -1,0 +1,99 @@
+#include "quicksand/autoscale/reshape_executor.h"
+
+#include <utility>
+
+namespace quicksand {
+
+Duration ReshapeExecutor::EstimateStall(ReshapeKind kind, int64_t bytes) const {
+  const RuntimeConfig& cfg = rt_.config();
+  int64_t moved = bytes;
+  switch (kind) {
+    case ReshapeKind::kSplit:
+      // A load-median split point moves about half the entries.
+      moved = bytes / 2;
+      break;
+    case ReshapeKind::kMerge:
+      break;  // the right shard moves wholesale
+    case ReshapeKind::kMigrate:
+      if (cfg.lazy_migration) {
+        // Lazy migration copies the heap in the background; the gate only
+        // closes for the fixed handoff.
+        return cfg.migration_fixed_overhead;
+      }
+      break;
+  }
+  return cfg.migration_fixed_overhead + rt_.fabric().UnloadedTransferTime(moved);
+}
+
+void ReshapeExecutor::Trace(Ctx ctx, TraceOp op, uint64_t shard, int64_t arg) {
+  Tracer* tracer = rt_.tracer();
+  if (tracer == nullptr) {
+    return;
+  }
+  MachineId machine = rt_.LocationOf(shard);
+  if (machine == kInvalidMachineId) {
+    machine = ctx.machine;
+  }
+  tracer->Instant(ctx.trace, machine, op, shard, arg);
+}
+
+Task<ReshapeExecutor::Outcome> ReshapeExecutor::Execute(Ctx ctx,
+                                                        ReshapeAction action,
+                                                        int64_t bytes) {
+  Outcome out;
+  const Duration stall = EstimateStall(action.kind, bytes);
+  const Duration budget = Duration::Nanos(static_cast<int64_t>(
+      options_.max_copy_fraction_of_slo *
+      static_cast<double>(options_.slo.nanos())));
+  if (stall > budget) {
+    ++deferred_;
+    Trace(ctx, TraceOp::kReshapeDefer, action.shard, bytes);
+    out.deferred = true;
+    co_return out;
+  }
+  switch (action.kind) {
+    case ReshapeKind::kSplit: {
+      const Result<uint64_t> point = set_.SuggestSplitPoint(action.shard);
+      if (!point.ok()) {
+        ++failed_;
+        out.status = point.status();
+        co_return out;
+      }
+      auto split = set_.SplitShard(ctx, action.shard, *point, action.target);
+      out.status = co_await std::move(split);
+      if (!out.status.ok()) {
+        ++failed_;
+        co_return out;
+      }
+      ++splits_;
+      Trace(ctx, TraceOp::kReshapeSplit, action.shard, bytes / 2);
+      break;
+    }
+    case ReshapeKind::kMerge: {
+      auto merge = set_.MergeShards(ctx, action.shard, action.other);
+      out.status = co_await std::move(merge);
+      if (!out.status.ok()) {
+        ++failed_;
+        co_return out;
+      }
+      ++merges_;
+      Trace(ctx, TraceOp::kReshapeMerge, action.shard, bytes);
+      break;
+    }
+    case ReshapeKind::kMigrate: {
+      auto migrate = set_.MigrateShard(ctx, action.shard, action.target);
+      out.status = co_await std::move(migrate);
+      if (!out.status.ok()) {
+        ++failed_;
+        co_return out;
+      }
+      ++migrations_;
+      Trace(ctx, TraceOp::kReshapeMigrate, action.shard, bytes);
+      break;
+    }
+  }
+  out.executed = true;
+  co_return out;
+}
+
+}  // namespace quicksand

@@ -1,0 +1,78 @@
+// ReshapeExecutor: carries planned reshape actions out against the shard
+// set, with the one safety check the planner cannot make — will the copy
+// itself blow the SLO?
+//
+// Every reshape closes the affected shard's invocation gate for roughly
+// (migration fixed overhead + bytes / fabric bandwidth). Requests arriving
+// during that window queue behind the gate and eat the whole stall. The
+// executor estimates the gate-closed window from the shard's reported bytes
+// and DEFERS the reshape (autoscale_deferred, kReshapeDefer trace instant)
+// when the estimate exceeds max_copy_fraction_of_slo * slo: shedding a slice
+// of one shard's traffic is strictly better than stalling all of it past
+// the deadline — the deferral feeds the planner's cooldown, and the shard
+// gets another chance once it drains or the operator raises the budget.
+//
+// Committed actions are counted (autoscale_splits/merges/migrations) and
+// emit reshape_* trace instants against the donor's machine with the moved
+// byte count as the argument, so a flight-recorder dump shows exactly when
+// and how big each reshape was.
+
+#ifndef QUICKSAND_AUTOSCALE_RESHAPE_EXECUTOR_H_
+#define QUICKSAND_AUTOSCALE_RESHAPE_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "quicksand/autoscale/reshape_planner.h"
+#include "quicksand/autoscale/shard_set.h"
+
+namespace quicksand {
+
+struct ReshapeExecutorOptions {
+  // The serving SLO the copy estimate is budgeted against.
+  Duration slo = Duration::Millis(2);
+  // Defer when the estimated gate-closed window exceeds this fraction of
+  // the SLO.
+  double max_copy_fraction_of_slo = 0.5;
+};
+
+class ReshapeExecutor {
+ public:
+  struct Outcome {
+    bool executed = false;
+    bool deferred = false;
+    Status status = Status::Ok();
+  };
+
+  ReshapeExecutor(Runtime& rt, ReshapableShardSet& set,
+                  ReshapeExecutorOptions options = {})
+      : rt_(rt), set_(set), options_(options) {}
+
+  // Runs (or defers) one action. `bytes` is the subject shard's current
+  // data_bytes from the sampling round that planned the action.
+  Task<Outcome> Execute(Ctx ctx, ReshapeAction action, int64_t bytes);
+
+  // Estimated gate-closed window for moving `bytes` under `kind`.
+  Duration EstimateStall(ReshapeKind kind, int64_t bytes) const;
+
+  int64_t splits() const { return splits_; }
+  int64_t merges() const { return merges_; }
+  int64_t migrations() const { return migrations_; }
+  int64_t deferred() const { return deferred_; }
+  int64_t failed() const { return failed_; }
+
+ private:
+  void Trace(Ctx ctx, TraceOp op, uint64_t shard, int64_t arg);
+
+  Runtime& rt_;
+  ReshapableShardSet& set_;
+  ReshapeExecutorOptions options_;
+  int64_t splits_ = 0;
+  int64_t merges_ = 0;
+  int64_t migrations_ = 0;
+  int64_t deferred_ = 0;
+  int64_t failed_ = 0;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_AUTOSCALE_RESHAPE_EXECUTOR_H_

@@ -1,0 +1,119 @@
+#include "quicksand/autoscale/reshape_planner.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace quicksand {
+
+bool ReshapePlanner::InCooldown(SimTime now, uint64_t shard) const {
+  auto it = shard_cooldown_until_.find(shard);
+  return it != shard_cooldown_until_.end() && now < it->second;
+}
+
+std::vector<ReshapeAction> ReshapePlanner::Plan(
+    SimTime now, const LoadStatsCollector& loads, const SkewVerdict& verdict,
+    const std::vector<MachineId>& candidates) {
+  std::vector<ReshapeAction> actions;
+  if (now < global_cooldown_until_ || candidates.empty()) {
+    return actions;
+  }
+  const int shard_count = static_cast<int>(loads.shards().size());
+
+  // Least-loaded target, by the collector's own per-machine rate sums, so
+  // the planner and detector argue from the same numbers.
+  auto pick_target = [&](MachineId exclude) {
+    MachineId best = kInvalidMachineId;
+    double best_rate = 0.0;
+    for (MachineId m : candidates) {
+      if (m == exclude) {
+        continue;
+      }
+      const double rate = loads.MachineRate(m);
+      if (best == kInvalidMachineId || rate < best_rate) {
+        best = m;
+        best_rate = rate;
+      }
+    }
+    return best;
+  };
+  auto machine_of = [&](uint64_t shard) {
+    for (const ShardLoad& s : loads.shards()) {
+      if (s.sample.proclet == shard) {
+        return s.sample.machine;
+      }
+    }
+    return kInvalidMachineId;
+  };
+
+  int grown = 0;  // splits planned this tick count against max_shards
+  for (uint64_t shard : verdict.hot) {
+    if (static_cast<int>(actions.size()) >= options_.max_actions_per_tick) {
+      return actions;
+    }
+    if (InCooldown(now, shard)) {
+      continue;
+    }
+    const MachineId donor_machine = machine_of(shard);
+    const MachineId target = pick_target(donor_machine);
+    if (target == kInvalidMachineId) {
+      continue;  // nowhere to put the load (e.g. two-machine cluster, donor
+                 // already on the only candidate)
+    }
+    ReshapeAction a;
+    a.shard = shard;
+    a.target = target;
+    a.kind = (shard_count + grown < options_.max_shards) ? ReshapeKind::kSplit
+                                                         : ReshapeKind::kMigrate;
+    if (a.kind == ReshapeKind::kSplit) {
+      ++grown;
+    }
+    actions.push_back(a);
+  }
+  if (!verdict.hot.empty() || actions.size() > 0) {
+    return actions;  // merge only on calm ticks
+  }
+
+  std::unordered_set<uint64_t> cold(verdict.cold.begin(), verdict.cold.end());
+  std::unordered_set<uint64_t> claimed;
+  int remaining = shard_count;
+  // Walk shards in range order and pair each cold shard with a cold
+  // right-neighbor; `claimed` stops one shard from joining two merges.
+  const auto& shards = loads.shards();
+  for (size_t i = 0; i + 1 < shards.size(); ++i) {
+    if (static_cast<int>(actions.size()) >= options_.max_actions_per_tick ||
+        remaining <= options_.min_shards) {
+      break;
+    }
+    const uint64_t left = shards[i].sample.proclet;
+    const uint64_t right = shards[i + 1].sample.proclet;
+    if (cold.count(left) == 0 || cold.count(right) == 0 ||
+        claimed.count(left) != 0 || claimed.count(right) != 0 ||
+        shards[i].sample.range_end != shards[i + 1].sample.range_begin ||
+        InCooldown(now, left) || InCooldown(now, right)) {
+      continue;
+    }
+    ReshapeAction a;
+    a.kind = ReshapeKind::kMerge;
+    a.shard = left;
+    a.other = right;
+    actions.push_back(a);
+    claimed.insert(left);
+    claimed.insert(right);
+    --remaining;
+  }
+  return actions;
+}
+
+void ReshapePlanner::NoteExecuted(SimTime now, const ReshapeAction& action) {
+  shard_cooldown_until_[action.shard] = now + options_.shard_cooldown;
+  if (action.kind == ReshapeKind::kMerge) {
+    shard_cooldown_until_[action.other] = now + options_.shard_cooldown;
+  }
+  global_cooldown_until_ = now + options_.global_cooldown;
+}
+
+void ReshapePlanner::NoteDeferred(SimTime now, const ReshapeAction& action) {
+  shard_cooldown_until_[action.shard] = now + options_.shard_cooldown;
+}
+
+}  // namespace quicksand

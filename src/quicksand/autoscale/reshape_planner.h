@@ -1,0 +1,82 @@
+// ReshapePlanner: turns the skew detector's verdicts into a bounded list of
+// concrete reshape actions, with the pacing that keeps the control loop
+// stable.
+//
+// Policy per hot shard: SPLIT onto the least-loaded machine while the shard
+// budget allows growth, otherwise MIGRATE the whole shard there (splitting
+// is preferred — it divides the hot range so BOTH halves can absorb load;
+// migration only relocates the problem, which is still right when the limit
+// is the machine, not the shard). Cold shards merge pairwise with a
+// range-adjacent cold neighbor, and only on ticks with no hot shards: merge
+// is deliberate housekeeping, not something to attempt mid-incident.
+//
+// Stability comes from three dampers the executor reports back into:
+//  * per-shard cooldown — a just-reshaped (or just-deferred) shard is left
+//    alone long enough for its post-reshape rates to be real measurements,
+//  * global cooldown — consecutive actions are spaced out so each one's
+//    effect is observable before the next fires,
+//  * per-tick action cap — a pathological verdict cannot trigger a reshape
+//    storm that itself becomes the overload.
+
+#ifndef QUICKSAND_AUTOSCALE_RESHAPE_PLANNER_H_
+#define QUICKSAND_AUTOSCALE_RESHAPE_PLANNER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "quicksand/autoscale/load_stats.h"
+#include "quicksand/autoscale/skew_detector.h"
+
+namespace quicksand {
+
+enum class ReshapeKind { kSplit, kMerge, kMigrate };
+
+struct ReshapeAction {
+  ReshapeKind kind = ReshapeKind::kSplit;
+  uint64_t shard = 0;  // split donor / merge left / migrate subject
+  uint64_t other = 0;  // merge right; unused otherwise
+  MachineId target = 0;  // split/migrate destination; unused for merge
+};
+
+struct ReshapePlannerOptions {
+  // Leave a reshaped (or deferred) shard alone this long.
+  Duration shard_cooldown = Duration::Millis(5);
+  // Minimum spacing between any two committed actions.
+  Duration global_cooldown = Duration::Millis(1);
+  int max_actions_per_tick = 2;
+  // Shard-count budget: split stops (migration takes over) at max_shards;
+  // merge stops at min_shards.
+  int max_shards = 64;
+  int min_shards = 1;
+};
+
+class ReshapePlanner {
+ public:
+  explicit ReshapePlanner(ReshapePlannerOptions options = {})
+      : options_(options) {}
+
+  // Proposes up to max_actions_per_tick actions for this tick. `candidates`
+  // are the machines reshapes may target (the autoscaler passes every
+  // accepting machine except the frontend's home).
+  std::vector<ReshapeAction> Plan(SimTime now, const LoadStatsCollector& loads,
+                                  const SkewVerdict& verdict,
+                                  const std::vector<MachineId>& candidates);
+
+  // Feedback from the executor: a committed action arms both cooldowns; a
+  // deferral arms only the shard cooldown (retrying a too-expensive copy
+  // next tick would just defer again — the shard must drain first).
+  void NoteExecuted(SimTime now, const ReshapeAction& action);
+  void NoteDeferred(SimTime now, const ReshapeAction& action);
+
+ private:
+  bool InCooldown(SimTime now, uint64_t shard) const;
+
+  ReshapePlannerOptions options_;
+  std::unordered_map<uint64_t, SimTime> shard_cooldown_until_;
+  SimTime global_cooldown_until_ = SimTime::Zero();
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_AUTOSCALE_RESHAPE_PLANNER_H_

@@ -1,0 +1,82 @@
+#include "quicksand/autoscale/skew_detector.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace quicksand {
+
+SkewVerdict SkewDetector::Update(const LoadStatsCollector& loads) {
+  const double median = loads.MedianRate();
+  const double hot_bar =
+      options_.hot_factor * std::max(median, options_.rate_floor_qps);
+  const double cold_bar = options_.cold_factor * median;
+  const bool cluster_busy = median > options_.busy_floor_qps;
+
+  // Top shard per nudged machine: eligible for streak fast-track.
+  std::unordered_map<MachineId, uint64_t> top_on;
+  std::unordered_map<MachineId, double> top_rate;
+  for (const ShardLoad& s : loads.shards()) {
+    if (nudged_.count(s.sample.machine) == 0) {
+      continue;
+    }
+    auto it = top_rate.find(s.sample.machine);
+    if (it == top_rate.end() || s.rate_qps > it->second) {
+      top_rate[s.sample.machine] = s.rate_qps;
+      top_on[s.sample.machine] = s.sample.proclet;
+    }
+  }
+
+  SkewVerdict verdict;
+  std::vector<std::pair<double, uint64_t>> hot_ranked;
+  std::vector<std::pair<double, uint64_t>> cold_ranked;
+  std::unordered_set<uint64_t> live;
+  for (const ShardLoad& s : loads.shards()) {
+    live.insert(s.sample.proclet);
+    Streaks& st = streaks_[s.sample.proclet];
+    if (s.rate_qps > hot_bar) {
+      ++st.hot;
+    } else {
+      st.hot = 0;
+    }
+    if (cluster_busy && s.rate_qps < cold_bar) {
+      ++st.cold;
+    } else {
+      st.cold = 0;
+    }
+
+    bool hot = st.hot >= options_.hot_streak;
+    if (!hot && s.rate_qps > options_.rate_floor_qps) {
+      // Nudge fast-track: admission control is shedding on this shard's
+      // machine and this is its biggest shard — act now, overload is not a
+      // statistic to wait out.
+      auto it = top_on.find(s.sample.machine);
+      if (it != top_on.end() && it->second == s.sample.proclet) {
+        hot = true;
+        ++nudge_promotions_;
+      }
+    }
+    if (hot) {
+      hot_ranked.emplace_back(s.rate_qps, s.sample.proclet);
+    } else if (st.cold >= options_.cold_streak) {
+      cold_ranked.emplace_back(s.rate_qps, s.sample.proclet);
+    }
+  }
+  for (auto it = streaks_.begin(); it != streaks_.end();) {
+    it = live.count(it->first) == 0 ? streaks_.erase(it) : std::next(it);
+  }
+  nudged_.clear();
+
+  std::sort(hot_ranked.begin(), hot_ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::sort(cold_ranked.begin(), cold_ranked.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [rate, id] : hot_ranked) {
+    verdict.hot.push_back(id);
+  }
+  for (const auto& [rate, id] : cold_ranked) {
+    verdict.cold.push_back(id);
+  }
+  return verdict;
+}
+
+}  // namespace quicksand

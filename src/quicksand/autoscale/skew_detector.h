@@ -1,0 +1,82 @@
+// SkewDetector: decides which shards are HOT (split/migrate candidates) and
+// which are COLD (merge candidates), with hysteresis so the planner is not
+// whipsawed by noise.
+//
+// Hotness is RELATIVE — a shard is hot when its smoothed arrival rate stands
+// well above the cluster's median shard — but gated by an absolute floor: on
+// a nearly idle cluster, 3x the median can still be a trickle that no amount
+// of reshaping will improve. Both verdicts require a streak of consecutive
+// ticks (asymmetric: hot trips fast because overload compounds, cold trips
+// slow because merging is cheap to delay and expensive to regret).
+//
+// The detector also accepts NUDGES from the overload side (LocalReactor /
+// AdmissionController report a machine in shed state). A nudge fast-tracks
+// the top shard on that machine past the streak requirement: when admission
+// control is already dropping requests, waiting out the streak means
+// measurable lost goodput.
+
+#ifndef QUICKSAND_AUTOSCALE_SKEW_DETECTOR_H_
+#define QUICKSAND_AUTOSCALE_SKEW_DETECTOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "quicksand/autoscale/load_stats.h"
+
+namespace quicksand {
+
+struct SkewDetectorOptions {
+  // Hot when rate > hot_factor * max(median, rate_floor_qps).
+  double hot_factor = 2.0;
+  // Cold when rate < cold_factor * median (and the cluster is busy — on an
+  // idle cluster everything is "cold" and merging is pointless churn).
+  double cold_factor = 0.25;
+  // Absolute rate below which nothing counts as hot. Deployments size this
+  // against per-host capacity: skew against the median is not worth moving
+  // bytes for until the shard is a meaningful fraction of a machine.
+  double rate_floor_qps = 1000.0;
+  // The cluster counts as busy (cold detection active) while the median
+  // shard rate is above this. Deliberately NOT derived from rate_floor_qps:
+  // a capacity-sized hot floor must not disable merging of post-flash
+  // remnants, whose own tiny rates drag the median down.
+  double busy_floor_qps = 100.0;
+  // Consecutive ticks before a verdict trips.
+  int hot_streak = 2;
+  int cold_streak = 8;
+};
+
+// One tick's verdict: shard proclet ids, hottest first / coldest first.
+struct SkewVerdict {
+  std::vector<uint64_t> hot;
+  std::vector<uint64_t> cold;
+};
+
+class SkewDetector {
+ public:
+  explicit SkewDetector(SkewDetectorOptions options = {}) : options_(options) {}
+
+  // Overload signal: `machine` is shedding. Consumed by the next Update.
+  void Nudge(MachineId machine) { nudged_.insert(machine); }
+
+  // One detection tick over the collector's current view.
+  SkewVerdict Update(const LoadStatsCollector& loads);
+
+  int64_t nudge_promotions() const { return nudge_promotions_; }
+
+ private:
+  struct Streaks {
+    int hot = 0;
+    int cold = 0;
+  };
+
+  SkewDetectorOptions options_;
+  std::unordered_map<uint64_t, Streaks> streaks_;  // by shard proclet id
+  std::unordered_set<MachineId> nudged_;
+  int64_t nudge_promotions_ = 0;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_AUTOSCALE_SKEW_DETECTOR_H_

@@ -1,6 +1,8 @@
 #include "quicksand/cluster/metrics.h"
 
+#include <algorithm>
 #include <string>
+#include <utility>
 
 #include "quicksand/health/failure_detector.h"
 #include "quicksand/runtime/runtime.h"
@@ -12,16 +14,29 @@ const std::vector<MetricInfo>& ExportedMetrics() {
   // generated DESIGN.md table diffs cleanly.
   static const std::vector<MetricInfo> kMetrics = {
       // ClusterMetrics time series ("_m<i>" appended per machine).
+      {"autoscale_hot_shards", "ClusterMetrics",
+       "shards the skew detector currently flags hot"},
+      {"autoscale_shard_count", "ClusterMetrics",
+       "serving shards under autoscale control"},
       {"cpu_util", "ClusterMetrics", "CPU busy fraction per sample window"},
       {"mem_util", "ClusterMetrics", "memory utilization, instantaneous"},
       {"serving_goodput_qps", "ClusterMetrics",
        "requests completed within SLO per second, sliding window"},
+      {"serving_hot_shard_qps", "ClusterMetrics",
+       "hottest shard's arrival rate over the sample period"},
       {"serving_offered_qps", "ClusterMetrics",
        "request arrivals per second, admitted or not"},
       {"serving_p99_us", "ClusterMetrics",
        "p99 latency of completed requests over the SLO window"},
       {"suspected_machines", "ClusterMetrics",
        "machines currently marked suspected (detector attached)"},
+      // Autoscaler action counters.
+      {"autoscale_deferred", "Autoscaler",
+       "reshapes postponed because the copy would blow the SLO"},
+      {"autoscale_merges", "Autoscaler", "cold-neighbor merges committed"},
+      {"autoscale_migrations", "Autoscaler",
+       "whole-shard migrations to idle machines committed"},
+      {"autoscale_splits", "Autoscaler", "hot-shard splits committed"},
       // Adaptation time series.
       {"producer_count", "StageScaler",
        "preprocessing proclets live after each scaling round"},
@@ -167,6 +182,38 @@ Task<> ClusterMetrics::SampleLoop() {
       serving_goodput_series_.Record(sim_.Now(), s.goodput_qps);
       serving_p99_series_.Record(sim_.Now(),
                                  static_cast<double>(s.p99.nanos()) / 1e3);
+      if (!s.shards.empty()) {
+        // Hottest shard's arrival rate: difference each shard's cumulative
+        // arrivals against the previous sample (new shards count from 0 —
+        // a just-split shard's first period is partial by construction).
+        const double period_s =
+            static_cast<double>(period_.nanos()) / 1e9;
+        double hottest = 0.0;
+        std::vector<std::pair<uint64_t, int64_t>> current;
+        current.reserve(s.shards.size());
+        for (const ShardServingSample& shard : s.shards) {
+          int64_t last = 0;
+          for (const auto& [proclet, arrivals] : last_shard_arrivals_) {
+            if (proclet == shard.proclet) {
+              last = arrivals;
+              break;
+            }
+          }
+          const double rate =
+              static_cast<double>(shard.arrivals_total - last) / period_s;
+          hottest = std::max(hottest, rate);
+          current.emplace_back(shard.proclet, shard.arrivals_total);
+        }
+        last_shard_arrivals_ = std::move(current);
+        serving_hot_shard_series_.Record(sim_.Now(), hottest);
+      }
+    }
+    if (autoscale_ != nullptr) {
+      const AutoscaleSample a = autoscale_->SampleAutoscale(sim_.Now());
+      autoscale_shard_count_series_.Record(
+          sim_.Now(), static_cast<double>(a.shard_count));
+      autoscale_hot_shards_series_.Record(sim_.Now(),
+                                          static_cast<double>(a.hot_shards));
     }
   }
 }

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "quicksand/cluster/cluster.h"
@@ -42,6 +43,21 @@ bool IsSnakeCaseMetricName(const std::string& name);
 // per second over the source's own window; latencies cover admitted-and-
 // completed requests only (shed/expired requests have no service latency —
 // they show up in the rate gap between offered and goodput instead).
+// One shard's slice of the serving load: who it is, where it lives, what
+// hash range it owns, and cumulative arrival/shed counters. Counters are
+// cumulative (not rates) so a sampler can difference them at its own period
+// without the source guessing anyone's window — the autoscaler's
+// LoadStatsCollector turns deltas into EWMA rates.
+struct ShardServingSample {
+  uint64_t proclet = 0;   // ProcletId (plain integer here: no runtime dep)
+  MachineId machine = 0;  // current host
+  uint64_t range_begin = 0;  // owned hash range [begin, end)
+  uint64_t range_end = 0;
+  int64_t arrivals_total = 0;  // requests routed to this shard, ever
+  int64_t sheds_total = 0;     // shed outcomes observed at this shard, ever
+  int64_t bytes = 0;           // wire size of a whole-shard move
+};
+
 struct ServingSample {
   double offered_qps = 0.0;   // arrivals, whether or not admitted
   double goodput_qps = 0.0;   // completed within SLO
@@ -50,6 +66,8 @@ struct ServingSample {
   int64_t shed_total = 0;         // cumulative requests shed by admission
   int64_t deadline_expired_total = 0;  // cumulative dead-on-arrival rejections
   int64_t stale_serves_total = 0;      // cumulative degraded-mode backup reads
+  // Per-shard hotness breakdown; empty when the source is not sharded.
+  std::vector<ShardServingSample> shards;
 };
 
 // Implemented by serving frontends (e.g. KvFrontend) so ClusterMetrics can
@@ -58,6 +76,27 @@ class ServingStatsSource {
  public:
   virtual ~ServingStatsSource() = default;
   virtual ServingSample SampleServing(SimTime now) const = 0;
+};
+
+// Point-in-time view of the autoscale control loop: how many shards it is
+// steering, how many it currently considers hot, and cumulative action
+// counters (splits/merges/migrations committed, reshapes deferred on the
+// SLO copy-cost guard).
+struct AutoscaleSample {
+  int shard_count = 0;
+  int hot_shards = 0;
+  int64_t splits_total = 0;
+  int64_t merges_total = 0;
+  int64_t migrations_total = 0;
+  int64_t deferred_total = 0;
+};
+
+// Implemented by the autoscaler so ClusterMetrics can sample it without
+// depending on the autoscale layer.
+class AutoscaleStatsSource {
+ public:
+  virtual ~AutoscaleStatsSource() = default;
+  virtual AutoscaleSample SampleAutoscale(SimTime now) const = 0;
 };
 
 // Point-in-time snapshot of the cluster's failure-handling activity,
@@ -92,6 +131,12 @@ class ClusterMetrics {
   // latency each period into the serving_* series. Call before Start().
   void AttachServing(const ServingStatsSource* serving) { serving_ = serving; }
 
+  // Optional: samples the autoscale control loop each period into the
+  // autoscale_* series. Call before Start().
+  void AttachAutoscale(const AutoscaleStatsSource* autoscale) {
+    autoscale_ = autoscale;
+  }
+
   // Detector counters + the runtime's fault/fencing stats in one snapshot.
   HealthCounters CollectHealth(const RuntimeStats& rt_stats) const;
 
@@ -107,6 +152,20 @@ class ClusterMetrics {
   const TimeSeries& serving_offered_qps() const { return serving_offered_series_; }
   const TimeSeries& serving_goodput_qps() const { return serving_goodput_series_; }
   const TimeSeries& serving_p99_us() const { return serving_p99_series_; }
+  // Hottest shard's share of windowed arrivals (max over shards of
+  // arrivals-delta / period). Empty unless the serving source reports
+  // per-shard samples.
+  const TimeSeries& serving_hot_shard_qps() const {
+    return serving_hot_shard_series_;
+  }
+
+  // Autoscale series; empty unless a source was attached before Start().
+  const TimeSeries& autoscale_shard_count() const {
+    return autoscale_shard_count_series_;
+  }
+  const TimeSeries& autoscale_hot_shards() const {
+    return autoscale_hot_shards_series_;
+  }
 
  private:
   Task<> SampleLoop();
@@ -116,12 +175,18 @@ class ClusterMetrics {
   Duration period_;
   const FailureDetector* detector_ = nullptr;
   const ServingStatsSource* serving_ = nullptr;
+  const AutoscaleStatsSource* autoscale_ = nullptr;
   std::vector<TimeSeries> cpu_series_;
   std::vector<TimeSeries> mem_series_;
   TimeSeries suspected_series_{"suspected_machines"};
   TimeSeries serving_offered_series_{"serving_offered_qps"};
   TimeSeries serving_goodput_series_{"serving_goodput_qps"};
   TimeSeries serving_p99_series_{"serving_p99_us"};
+  TimeSeries serving_hot_shard_series_{"serving_hot_shard_qps"};
+  TimeSeries autoscale_shard_count_series_{"autoscale_shard_count"};
+  TimeSeries autoscale_hot_shards_series_{"autoscale_hot_shards"};
+  // Last cumulative arrivals per shard, for the hot-shard rate delta.
+  std::vector<std::pair<uint64_t, int64_t>> last_shard_arrivals_;
 };
 
 }  // namespace quicksand

@@ -55,6 +55,18 @@ class FenceGuard {
   // primary would have.
   void Witness(uint64_t request_id) { executed_.insert(request_id); }
 
+  // Unions another guard's executed set into this one — the merge-side twin
+  // of the copy a split hands its new shard. After two shards merge, the
+  // survivor must dedup every retry either predecessor had acked; after a
+  // split, both sides carry the donor's full dedup knowledge (over-remembering
+  // is safe, forgetting is a double-apply).
+  void Absorb(const FenceGuard& other) {
+    executed_.insert(other.executed_.begin(), other.executed_.end());
+  }
+
+  // Executed ids retained — sizes the dedup state a reshape must ship.
+  size_t executed_count() const { return executed_.size(); }
+
   bool Executed(uint64_t request_id) const {
     return executed_.count(request_id) != 0;
   }

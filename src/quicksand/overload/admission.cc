@@ -18,6 +18,18 @@ Duration AdmissionController::DelayOf(MachineId machine) const {
                   cpu.OldestWaitingAge(options_.cpu_priority));
 }
 
+AdmissionController::PressureSample AdmissionController::PressureOf(
+    MachineId machine) const {
+  PressureSample out;
+  out.queueing_delay = DelayOf(machine);
+  if (machine < state_.size()) {
+    out.shedding = state_[machine].shedding;
+    out.sheds_in_state = state_[machine].shed_count;
+    out.probes_in_state = state_[machine].probe_count;
+  }
+  return out;
+}
+
 bool AdmissionController::Overloaded(MachineId machine) const {
   return machine < state_.size() && state_[machine].shedding;
 }

@@ -64,6 +64,17 @@ class AdmissionController {
   // slow service and a currently-wedged queue register).
   Duration DelayOf(MachineId machine) const;
 
+  // One machine's pressure as the controller sees it, in a single read —
+  // the autoscaler's (and tests') window into admission state without
+  // friending the class or re-deriving the control law.
+  struct PressureSample {
+    Duration queueing_delay = Duration::Zero();  // DelayOf at sample time
+    bool shedding = false;            // in the sustained-overload state
+    int64_t sheds_in_state = 0;       // sheds since entering that state
+    int64_t probes_in_state = 0;      // probes since entering that state
+  };
+  PressureSample PressureOf(MachineId machine) const;
+
   int64_t admits() const { return admits_; }
   int64_t sheds() const { return sheds_; }
   int64_t probes() const { return probes_; }

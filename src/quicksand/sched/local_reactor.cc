@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "quicksand/autoscale/autoscaler.h"
 #include "quicksand/common/logging.h"
 
 namespace quicksand {
@@ -39,6 +40,11 @@ Task<> LocalReactor::HandleCpuPressure() {
   if (!shedding &&
       self.cpu().OldestWaitingAge(kPriorityNormal) < config_.cpu_starvation_threshold) {
     co_return;
+  }
+  // Pressure confirmed (by either signal). Serving shards pinned here cannot
+  // be evicted below — splitting them is the autoscaler's job; tell it now.
+  if (autoscaler_ != nullptr) {
+    autoscaler_->Nudge(machine_);
   }
   // Saturation by our own priority class is throughput, not pressure; only
   // react when higher-priority work is actually squeezing us out.

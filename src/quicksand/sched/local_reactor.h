@@ -24,6 +24,8 @@
 
 namespace quicksand {
 
+class Autoscaler;
+
 struct LocalReactorConfig {
   Duration period = Duration::Micros(250);
   // CPU pressure: normal-priority starvation age that triggers eviction.
@@ -62,6 +64,12 @@ class LocalReactor {
     overload_ = admission;
   }
 
+  // Optional: nudges the autoscaler whenever this machine trips CPU
+  // pressure. The reactor can only move whole proclets; when the hot thing
+  // is one indivisible serving shard, the autoscaler's split is the lever
+  // that actually helps — the nudge fast-tracks its detection.
+  void AttachAutoscaler(Autoscaler* autoscaler) { autoscaler_ = autoscaler; }
+
   int64_t cpu_evictions() const { return cpu_evictions_; }
   int64_t memory_evictions() const { return memory_evictions_; }
 
@@ -75,6 +83,7 @@ class LocalReactor {
   MachineId machine_;
   LocalReactorConfig config_;
   const AdmissionController* overload_ = nullptr;
+  Autoscaler* autoscaler_ = nullptr;
   std::unordered_map<ProcletId, SimTime> last_moved_;
   int64_t cpu_evictions_ = 0;
   int64_t memory_evictions_ = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "quicksand/adapt/shard_maintenance.h"
+
 namespace quicksand {
 
 KvFrontend::KvFrontend(Runtime& rt, KvFrontendOptions options)
@@ -25,18 +27,25 @@ Task<Status> KvFrontend::Start(Ctx ctx) {
       hosts.push_back(m);
     }
   }
+  // Equal slices of the hash space; KvShardHash spreads keys uniformly, so
+  // equal hash width is equal expected load at uniform key popularity.
+  const uint64_t width = UINT64_MAX / static_cast<uint64_t>(options_.shards);
   for (int i = 0; i < options_.shards; ++i) {
+    const uint64_t begin = width * static_cast<uint64_t>(i);
+    const uint64_t end = (i + 1 == options_.shards)
+                             ? UINT64_MAX
+                             : width * static_cast<uint64_t>(i + 1);
     PlacementRequest req;
     req.heap_bytes = options_.shard_heap_bytes;
     if (!hosts.empty()) {
       req.pinned = hosts[static_cast<size_t>(i) % hosts.size()];
     }
-    auto create = rt_.Create<FencedKvProclet>(ctx, req);
+    auto create = rt_.Create<FencedKvProclet>(ctx, req, begin, end);
     Result<Ref<FencedKvProclet>> shard = co_await std::move(create);
     if (!shard.ok()) {
       co_return shard.status();
     }
-    shards_.push_back(*shard);
+    table_.push_back(ShardEntry{begin, end, *shard});
     if (replication_ != nullptr) {
       auto replicate =
           replication_->ReplicateAs<FencedKvProclet>(ctx, shard->id());
@@ -46,7 +55,46 @@ Task<Status> KvFrontend::Start(Ctx ctx) {
       }
     }
   }
+  RebuildShardRefs();
   co_return Status::Ok();
+}
+
+const KvFrontend::ShardEntry& KvFrontend::Route(uint64_t hash) const {
+  QS_CHECK(!table_.empty());
+  // Last row whose begin <= hash; the table is sorted and covers the space.
+  auto it = std::upper_bound(
+      table_.begin(), table_.end(), hash,
+      [](uint64_t h, const ShardEntry& e) { return h < e.begin; });
+  QS_CHECK(it != table_.begin());
+  return *(it - 1);
+}
+
+size_t KvFrontend::EntryIndexOf(ProcletId shard) const {
+  for (size_t i = 0; i < table_.size(); ++i) {
+    if (table_[i].ref.id() == shard) {
+      return i;
+    }
+  }
+  return table_.size();
+}
+
+void KvFrontend::RebuildShardRefs() {
+  shards_.clear();
+  shards_.reserve(table_.size());
+  for (const ShardEntry& e : table_) {
+    shards_.push_back(e.ref);
+  }
+}
+
+void KvFrontend::NoteRouted(ProcletId shard, uint64_t hash) {
+  ShardStats& s = shard_stats_[shard];
+  ++s.arrivals;
+  if (s.recent.size() < kRecentHashes) {
+    s.recent.push_back(hash);
+  } else {
+    s.recent[s.recent_next] = hash;
+    s.recent_next = (s.recent_next + 1) % kRecentHashes;
+  }
 }
 
 Task<KvFrontend::Attempt> KvFrontend::TryOnce(Ctx ctx,
@@ -55,7 +103,7 @@ Task<KvFrontend::Attempt> KvFrontend::TryOnce(Ctx ctx,
                                               bool is_read) {
   // Epoch is re-resolved per attempt (the stamp must be current); the rid is
   // stable across attempts, so a retry of an acked-but-unacknowledged write
-  // dedups at the shard.
+  // dedups at the shard — wherever a reshape has since moved the key.
   const uint64_t epoch = rt_.EpochOf(shard.id());
   if (epoch == 0) {
     co_return Attempt::kRetryable;  // mid-rebind; resolve again after backoff
@@ -74,8 +122,11 @@ Task<KvFrontend::Attempt> KvFrontend::TryOnce(Ctx ctx,
           },
           options_.request_bytes);
       const Result<int64_t> got = co_await std::move(call);
-      (void)got;  // NotFound (cold key) is still a served request
-      outcome = Attempt::kOk;
+      // NotFound (cold key) is still a served request; OutOfRange means the
+      // key's range left this shard mid-flight (raced a reshape): re-route.
+      outcome = (!got.ok() && got.status().code() == StatusCode::kOutOfRange)
+                    ? Attempt::kMoved
+                    : Attempt::kOk;
     } else {
       const int64_t value = static_cast<int64_t>(key) * 31 + 7;
       auto call = shard.Call(
@@ -90,6 +141,8 @@ Task<KvFrontend::Attempt> KvFrontend::TryOnce(Ctx ctx,
       const FencedKvProclet::PutResult put = co_await std::move(call);
       if (put.applied || put.duplicate) {
         outcome = Attempt::kOk;
+      } else if (put.wrong_shard) {
+        outcome = Attempt::kMoved;  // raced a reshape; the rid is NOT burned
       } else if (put.fenced) {
         outcome = Attempt::kRetryable;  // epoch moved between resolve and run
       } else {
@@ -104,6 +157,8 @@ Task<KvFrontend::Attempt> KvFrontend::TryOnce(Ctx ctx,
     outcome = Attempt::kRetryable;
   } catch (const ProcletLostError&) {
     outcome = Attempt::kRetryable;  // recovery may restore it
+  } catch (const ProcletGoneError&) {
+    outcome = Attempt::kMoved;  // merged away; the table has the survivor
   }
   co_return outcome;
 }
@@ -140,21 +195,41 @@ Task<> KvFrontend::Serve(uint64_t key, bool is_read) {
     ctx.trace = ctx.trace.WithDeadline(arrival + options_.slo);
   }
   const uint64_t rid = next_rid_++;
-  Ref<FencedKvProclet> shard =
-      shards_[key % static_cast<uint64_t>(shards_.size())];
+  const uint64_t hash = KvShardHash(key);
   if (options_.retry_budget) {
     budget_.OnAttempt();  // first attempts fund the bucket
   }
   Duration backoff = options_.retry_backoff;
+  int moved = 0;
   for (int attempt = 0;; ++attempt) {
+    // Route per attempt: a reshape may have changed the key's owner since
+    // the last try (or while this attempt waited at a closed gate).
+    const Ref<FencedKvProclet> shard = Route(hash).ref;
+    NoteRouted(shard.id(), hash);
     auto once = TryOnce(ctx, shard, rid, key, is_read);
     const Attempt outcome = co_await std::move(once);
     if (outcome == Attempt::kOk) {
       RecordSuccess(arrival);
       co_return;
     }
+    if (outcome == Attempt::kMoved) {
+      // Not overload: the request raced a reshape. Re-route through the
+      // already-updated table without spending a retry token or backing
+      // off. The cap breaks loops if routing and ownership ever disagreed.
+      ++moved_reroutes_;
+      if (++moved > 8) {
+        ++failed_;
+        co_return;
+      }
+      --attempt;
+      continue;
+    }
     if (outcome == Attempt::kShed) {
       ++sheds_seen_;
+      auto stats = shard_stats_.find(shard.id());
+      if (stats != shard_stats_.end()) {
+        ++stats->second.sheds;
+      }
       if (is_read && options_.degraded_reads && replication_ != nullptr) {
         auto fallback = TryStaleRead(ctx, shard, key);
         if (co_await std::move(fallback)) {
@@ -207,7 +282,225 @@ ServingSample KvFrontend::SampleServing(SimTime now) const {
   s.shed_total = sheds_seen_;
   s.deadline_expired_total = deadline_rejections_seen_;
   s.stale_serves_total = stale_fallbacks_;
+  s.shards = SampleShards(now);
   return s;
+}
+
+// --- ReshapableShardSet -------------------------------------------------------
+
+std::vector<ShardServingSample> KvFrontend::SampleShards(SimTime) const {
+  std::vector<ShardServingSample> out;
+  out.reserve(table_.size());
+  for (const ShardEntry& e : table_) {
+    ShardServingSample s;
+    s.proclet = e.ref.id();
+    s.machine = rt_.LocationOf(e.ref.id());
+    s.range_begin = e.begin;
+    s.range_end = e.end;
+    auto it = shard_stats_.find(e.ref.id());
+    if (it != shard_stats_.end()) {
+      s.arrivals_total = it->second.arrivals;
+      s.sheds_total = it->second.sheds;
+    }
+    const auto* p = rt_.UnsafeGet<FencedKvProclet>(e.ref.id());
+    s.bytes = p != nullptr ? p->data_bytes() : 0;
+    out.push_back(s);
+  }
+  return out;
+}
+
+Result<uint64_t> KvFrontend::SuggestSplitPoint(ProcletId shard) const {
+  const size_t idx = EntryIndexOf(shard);
+  if (idx == table_.size()) {
+    return Status::NotFound("no such shard");
+  }
+  const ShardEntry& e = table_[idx];
+  if (e.end - e.begin < 2) {
+    return Status::FailedPrecondition("range too narrow to split");
+  }
+  // Median of the recently routed hashes balances LOAD, not key count: the
+  // half-ring above the median (hot keys included) moves to the new shard.
+  auto it = shard_stats_.find(shard);
+  if (it != shard_stats_.end()) {
+    std::vector<uint64_t> hashes;
+    hashes.reserve(it->second.recent.size());
+    for (uint64_t h : it->second.recent) {
+      if (h >= e.begin && h < e.end) {
+        hashes.push_back(h);
+      }
+    }
+    if (hashes.size() >= 8) {
+      std::sort(hashes.begin(), hashes.end());
+      const uint64_t median = hashes[hashes.size() / 2];
+      if (median > e.begin && median < e.end) {
+        return median;
+      }
+    }
+  }
+  return e.begin + (e.end - e.begin) / 2;
+}
+
+Task<Status> KvFrontend::SplitShard(Ctx ctx, ProcletId shard,
+                                    uint64_t split_point, MachineId target) {
+  if (EntryIndexOf(shard) == table_.size()) {
+    co_return Status::NotFound("no such shard");
+  }
+  if (target == options_.home || target >= rt_.cluster().size()) {
+    co_return Status::InvalidArgument("bad reshape target");
+  }
+  if (rt_.cluster().machine(target).failed()) {
+    co_return Status::Unavailable("target machine has failed");
+  }
+  {
+    const ShardEntry& e = table_[EntryIndexOf(shard)];
+    if (split_point <= e.begin || split_point >= e.end) {
+      co_return Status::InvalidArgument("split point outside the range");
+    }
+  }
+  Status gate = co_await rt_.BeginMaintenance(shard);
+  if (!gate.ok()) {
+    co_return gate;
+  }
+  MaintenanceGuard donor_guard(rt_, shard);
+  auto* donor = rt_.UnsafeGet<FencedKvProclet>(shard);
+  QS_CHECK(donor != nullptr);
+  // Durable shards are pinned: reshape mutates them via UnsafeGet, bypassing
+  // the mutation log, and a pre-split checkpoint restored after a split
+  // would resurrect an overlapping range (same rule as shard maintenance).
+  if (donor->durable()) {
+    co_return Status::FailedPrecondition("durable shards are pinned");
+  }
+  const MachineId donor_machine = donor->location();
+  const uint64_t old_end = donor->hash_end();
+  FencedKvProclet::SplitPayload payload =
+      donor->ExtractUpperRange(split_point);
+  PlacementRequest req;
+  req.heap_bytes = options_.shard_heap_bytes;
+  req.pinned = target;
+  auto create = rt_.Create<FencedKvProclet>(ctx, req, split_point, old_end);
+  Result<Ref<FencedKvProclet>> created = co_await std::move(create);
+  if (!created.ok()) {
+    auto rollback = RetryUnderPressure(rt_.sim(), [&] {
+      return donor->AbsorbRightNeighbor(std::move(payload));
+    });
+    const Status rolled_back = co_await std::move(rollback);
+    QS_CHECK_MSG(rolled_back.ok(), "split rollback lost data");
+    co_return created.status();
+  }
+  auto begin_new = rt_.BeginMaintenance(created->id());
+  const Status new_gate = co_await std::move(begin_new);
+  QS_CHECK(new_gate.ok());
+  MaintenanceGuard new_guard(rt_, created->id());
+  auto* fresh = rt_.UnsafeGet<FencedKvProclet>(created->id());
+  QS_CHECK(fresh != nullptr);
+
+  // Ship the moved entries plus the dedup-state copy.
+  auto transfer = rt_.fabric().Transfer(donor_machine, fresh->location(),
+                                        payload.total_bytes);
+  co_await std::move(transfer);
+  Status adopted = fresh->AdoptPayload(std::move(payload));
+  if (!adopted.ok()) {
+    // Destination ran out of memory: put the entries back where they were.
+    auto rollback = RetryUnderPressure(rt_.sim(), [&] {
+      return donor->AbsorbRightNeighbor(std::move(payload));
+    });
+    const Status rolled_back = co_await std::move(rollback);
+    QS_CHECK_MSG(rolled_back.ok(), "split rollback lost data");
+    new_guard.Release();
+    auto destroy = rt_.Destroy(ctx, created->id());
+    (void)co_await std::move(destroy);
+    co_return adopted;
+  }
+
+  // Routing flips while both gates are still closed: requests queued at the
+  // donor re-route through the updated table on their wrong_shard bounce.
+  const size_t donor_idx = EntryIndexOf(shard);
+  QS_CHECK(donor_idx != table_.size());
+  table_[donor_idx].end = split_point;
+  table_.insert(table_.begin() + donor_idx + 1,
+                ShardEntry{split_point, old_end, *created});
+  RebuildShardRefs();
+  // The donor's recent-hash ring spanned both sides of the cut; drop it so
+  // its next split point comes from post-split routing only.
+  auto stats = shard_stats_.find(shard);
+  if (stats != shard_stats_.end()) {
+    stats->second.recent.clear();
+    stats->second.recent_next = 0;
+  }
+  co_return Status::Ok();
+}
+
+Task<Status> KvFrontend::MergeShards(Ctx ctx, ProcletId left, ProcletId right) {
+  const size_t li = EntryIndexOf(left);
+  const size_t ri = EntryIndexOf(right);
+  if (li == table_.size() || ri == table_.size()) {
+    co_return Status::NotFound("no such shard");
+  }
+  if (ri != li + 1) {
+    co_return Status::InvalidArgument("shards are not adjacent");
+  }
+  Status gate = co_await rt_.BeginMaintenance(left);
+  if (!gate.ok()) {
+    co_return gate;
+  }
+  MaintenanceGuard left_guard(rt_, left);
+  gate = co_await rt_.BeginMaintenance(right);
+  if (!gate.ok()) {
+    co_return gate;
+  }
+  MaintenanceGuard right_guard(rt_, right);
+
+  auto* lp = rt_.UnsafeGet<FencedKvProclet>(left);
+  auto* rp = rt_.UnsafeGet<FencedKvProclet>(right);
+  QS_CHECK(lp != nullptr && rp != nullptr);
+  if (lp->durable() || rp->durable()) {
+    co_return Status::FailedPrecondition("durable shards are pinned");
+  }
+  if (lp->hash_end() != rp->hash_begin()) {
+    co_return Status::FailedPrecondition("shards not contiguous");
+  }
+  const MachineId right_machine = rp->location();
+  FencedKvProclet::SplitPayload payload = rp->ExtractAll();
+  auto transfer = rt_.fabric().Transfer(right_machine, lp->location(),
+                                        payload.total_bytes);
+  co_await std::move(transfer);
+  Status absorbed = lp->AbsorbRightNeighbor(std::move(payload));
+  if (!absorbed.ok()) {
+    // Left's machine ran out of memory: restore the right shard.
+    auto rollback = RetryUnderPressure(rt_.sim(), [&] {
+      return rp->AdoptPayload(std::move(payload));
+    });
+    const Status rolled_back = co_await std::move(rollback);
+    QS_CHECK_MSG(rolled_back.ok(), "merge rollback lost data");
+    co_return absorbed;
+  }
+
+  const size_t li2 = EntryIndexOf(left);
+  QS_CHECK(li2 + 1 < table_.size() && table_[li2 + 1].ref.id() == right);
+  table_[li2].end = table_[li2 + 1].end;
+  table_.erase(table_.begin() + li2 + 1);
+  RebuildShardRefs();
+  shard_stats_.erase(right);
+  right_guard.Release();
+  auto destroy = rt_.Destroy(ctx, right);
+  (void)co_await std::move(destroy);
+  co_return Status::Ok();
+}
+
+Task<Status> KvFrontend::MigrateShard(Ctx ctx, ProcletId shard,
+                                      MachineId target) {
+  (void)ctx;
+  if (EntryIndexOf(shard) == table_.size()) {
+    co_return Status::NotFound("no such shard");
+  }
+  if (target == options_.home || target >= rt_.cluster().size()) {
+    co_return Status::InvalidArgument("bad reshape target");
+  }
+  // Fenced move: if the shard rebinds between resolve and execution the
+  // migration aborts instead of yanking it from its new incarnation.
+  const uint64_t epoch = rt_.EpochOf(shard);
+  auto migrate = rt_.Migrate(shard, target, epoch);
+  co_return co_await std::move(migrate);
 }
 
 }  // namespace quicksand

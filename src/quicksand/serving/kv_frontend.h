@@ -14,21 +14,38 @@
 //  * degraded reads — a shed read falls back to the replication backup
 //    within a bounded staleness, trading freshness for availability.
 //
+// Sharding is by HASH RANGE: each shard owns [begin, end) of the
+// KvShardHash space, and a request routes by binary search over the range
+// table. Ranges (unlike the modulo routing this replaced) are splittable,
+// which is what lets the autoscale subsystem absorb a flash crowd by
+// reshaping instead of shedding: KvFrontend implements ReshapableShardSet,
+// so the autoscaler can split a hot shard onto an idle machine, merge cold
+// neighbors, or migrate a shard wholesale (bench/ab10). The range table is
+// updated synchronously inside each reshape (while the affected gates are
+// closed), so a racing request sees at worst one wrong_shard bounce and
+// re-routes — never a lost or double-applied write (the reshape property
+// test's subject).
+//
 // Writes are stamped (epoch, request-id) against the shard's FenceGuard:
 // the request id is stable across retries, so at-least-once retries stay
 // effectively exactly-once, and a shed or deadline-rejected attempt never
-// commits (the property test's subject).
+// commits (the overload property test's subject). Splits hand the new
+// shard a full copy of the donor's dedup state, so the guarantee survives
+// reshaping.
 //
 // Accounting is windowed: goodput and latency quantiles cover a sliding
 // window of sim time (WindowedHistogram), so a current overload is visible
-// instead of averaged away by a long calm history.
+// instead of averaged away by a long calm history. Per-shard arrival and
+// shed counters feed the autoscaler's hotness signal.
 
 #ifndef QUICKSAND_SERVING_KV_FRONTEND_H_
 #define QUICKSAND_SERVING_KV_FRONTEND_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
+#include "quicksand/autoscale/shard_set.h"
 #include "quicksand/cluster/metrics.h"
 #include "quicksand/common/stats.h"
 #include "quicksand/durability/replication.h"
@@ -39,6 +56,7 @@
 namespace quicksand {
 
 struct KvFrontendOptions {
+  // Initial shard count; the autoscaler may grow or shrink it at runtime.
   int shards = 4;
   // Per-shard heap reservation at creation.
   int64_t shard_heap_bytes = 4 << 20;
@@ -65,7 +83,7 @@ struct KvFrontendOptions {
   Duration stats_window = Duration::Millis(200);
 };
 
-class KvFrontend : public ServingStatsSource {
+class KvFrontend : public ServingStatsSource, public ReshapableShardSet {
  public:
   KvFrontend(Runtime& rt, KvFrontendOptions options);
 
@@ -73,23 +91,37 @@ class KvFrontend : public ServingStatsSource {
   KvFrontend& operator=(const KvFrontend&) = delete;
 
   // Optional, before Start(): enables degraded reads (with
-  // options.degraded_reads) and replicates each shard at startup.
+  // options.degraded_reads) and replicates each shard at startup. Replicated
+  // shards are durable and therefore pinned — reshape verbs refuse them.
   void AttachReplication(ReplicationManager* replication) {
     replication_ = replication;
   }
 
-  // Creates the shards (round-robin over machines other than `home` when
-  // the cluster has more than one) and, with replication attached,
-  // establishes their backups.
+  // Creates the initial shards with equal hash ranges (round-robin over
+  // machines other than `home` when the cluster has more than one) and,
+  // with replication attached, establishes their backups.
   Task<Status> Start(Ctx ctx);
 
-  // Serves one request end to end: resolve epoch, invoke the shard with the
-  // deadline-stamped context, retry through the budget, fall back to a
-  // stale backup read when degraded. Never throws; failures are accounted.
+  // Serves one request end to end: route by hash, resolve epoch, invoke the
+  // shard with the deadline-stamped context, retry through the budget, fall
+  // back to a stale backup read when degraded. A wrong_shard bounce (the
+  // request raced a reshape) re-routes through the updated table without
+  // spending a retry token. Never throws; failures are accounted.
   Task<> Serve(uint64_t key, bool is_read);
 
   // ServingStatsSource.
   ServingSample SampleServing(SimTime now) const override;
+
+  // --- ReshapableShardSet ---------------------------------------------------
+
+  std::vector<ShardServingSample> SampleShards(SimTime now) const override;
+  Result<uint64_t> SuggestSplitPoint(ProcletId shard) const override;
+  Task<Status> SplitShard(Ctx ctx, ProcletId shard, uint64_t split_point,
+                          MachineId target) override;
+  Task<Status> MergeShards(Ctx ctx, ProcletId left, ProcletId right) override;
+  Task<Status> MigrateShard(Ctx ctx, ProcletId shard,
+                            MachineId target) override;
+  MachineId home() const override { return options_.home; }
 
   // --- Introspection --------------------------------------------------------
 
@@ -101,24 +133,51 @@ class KvFrontend : public ServingStatsSource {
   int64_t deadline_rejections_seen() const { return deadline_rejections_seen_; }
   int64_t stale_fallbacks() const { return stale_fallbacks_; }
   int64_t retries() const { return retries_; }
+  // Requests that bounced off a shard mid-reshape and re-routed.
+  int64_t moved_reroutes() const { return moved_reroutes_; }
   const RetryBudget& budget() const { return budget_; }
   const WindowedHistogram& latency() const { return latency_; }
   const std::vector<Ref<FencedKvProclet>>& shards() const { return shards_; }
   const KvFrontendOptions& options() const { return options_; }
 
  private:
+  // One routing-table row: the shard owning hash range [begin, end).
+  struct ShardEntry {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+    Ref<FencedKvProclet> ref;
+  };
+  // Per-shard hotness accounting, keyed by shard proclet id.
+  struct ShardStats {
+    int64_t arrivals = 0;  // attempts routed here (includes re-routes)
+    int64_t sheds = 0;     // shed outcomes observed here
+    std::vector<uint64_t> recent;  // ring of recently routed hashes
+    size_t recent_next = 0;
+  };
+  static constexpr size_t kRecentHashes = 64;
+
   // One attempt against the shard; classifies the outcome.
-  enum class Attempt { kOk, kShed, kDeadline, kRetryable, kFatal };
+  enum class Attempt { kOk, kShed, kDeadline, kRetryable, kMoved, kFatal };
   Task<Attempt> TryOnce(Ctx ctx, Ref<FencedKvProclet> shard, uint64_t rid,
                         uint64_t key, bool is_read);
   // Degraded fallback; true when the stale read answered.
   Task<bool> TryStaleRead(Ctx ctx, Ref<FencedKvProclet> shard, uint64_t key);
   void RecordSuccess(SimTime arrival);
 
+  // Routing-table row covering `hash` (the table always covers the space).
+  const ShardEntry& Route(uint64_t hash) const;
+  // Index into table_ of the row for `shard`, or npos.
+  size_t EntryIndexOf(ProcletId shard) const;
+  // Keeps shards_ (the flat introspection view) in step with table_.
+  void RebuildShardRefs();
+  void NoteRouted(ProcletId shard, uint64_t hash);
+
   Runtime& rt_;
   KvFrontendOptions options_;
   ReplicationManager* replication_ = nullptr;
-  std::vector<Ref<FencedKvProclet>> shards_;
+  std::vector<ShardEntry> table_;  // sorted by begin; covers the hash space
+  std::vector<Ref<FencedKvProclet>> shards_;  // flat view of table_
+  std::unordered_map<ProcletId, ShardStats> shard_stats_;
   RetryBudget budget_;
   uint64_t next_rid_ = 1;
 
@@ -133,6 +192,7 @@ class KvFrontend : public ServingStatsSource {
   int64_t deadline_rejections_seen_ = 0;
   int64_t stale_fallbacks_ = 0;
   int64_t retries_ = 0;
+  int64_t moved_reroutes_ = 0;
 };
 
 }  // namespace quicksand

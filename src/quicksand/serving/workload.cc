@@ -42,9 +42,20 @@ Task<> OpenLoopLoadGen::Run() {
     if (rng_.NextDouble() >= RateAt(sim_.Now()) / peak) {
       continue;
     }
-    const uint64_t key = options_.zipf_s > 0.0
-                             ? rng_.NextZipf(options_.keys, options_.zipf_s)
-                             : rng_.NextBounded(options_.keys);
+    uint64_t key = options_.zipf_s > 0.0
+                       ? rng_.NextZipf(options_.keys, options_.zipf_s)
+                       : rng_.NextBounded(options_.keys);
+    // Flash crowds are not just more traffic — they concentrate on a viral
+    // key set. Redirect a fraction of in-window arrivals to that set. All
+    // draws are gated on the window so the pre-flash prefix is unchanged.
+    const SimTime now = sim_.Now();
+    if (options_.flash_key_fraction > 0.0 && now >= options_.flash_start &&
+        now < options_.flash_end &&
+        options_.flash_key_end > options_.flash_key_begin &&
+        rng_.NextBool(options_.flash_key_fraction)) {
+      key = options_.flash_key_begin +
+            rng_.NextBounded(options_.flash_key_end - options_.flash_key_begin);
+    }
     const bool is_read = rng_.NextBool(options_.read_fraction);
     ++arrivals_;
     // Open loop: the request runs on its own fiber; we never wait for it.

@@ -40,6 +40,10 @@ const char* TraceOpName(TraceOp op) {
     case TraceOp::kRpcShed: return "rpc_shed";
     case TraceOp::kDeadlineExpired: return "deadline_expired";
     case TraceOp::kStaleServe: return "stale_serve";
+    case TraceOp::kReshapeSplit: return "reshape_split";
+    case TraceOp::kReshapeMerge: return "reshape_merge";
+    case TraceOp::kReshapeMigrate: return "reshape_migrate";
+    case TraceOp::kReshapeDefer: return "reshape_defer";
   }
   return "?";
 }

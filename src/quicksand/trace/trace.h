@@ -112,6 +112,10 @@ enum class TraceOp : uint8_t {
   kRpcShed,      // admission control shed the request before any work ran
   kDeadlineExpired,  // request rejected at admission: could not finish in time
   kStaleServe,   // read answered from the replication backup (degraded mode)
+  kReshapeSplit,   // autoscaler split a hot shard (arg = bytes moved)
+  kReshapeMerge,   // autoscaler merged cold neighbors (arg = bytes moved)
+  kReshapeMigrate, // autoscaler moved a shard to an idle machine
+  kReshapeDefer,   // reshape postponed: copy work would blow the SLO
 };
 
 const char* TraceOpName(TraceOp op);

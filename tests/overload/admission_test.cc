@@ -151,6 +151,31 @@ TEST(AdmissionControllerTest, DrainedQueueResetsTheControllerEntirely) {
   EXPECT_EQ(adm.sheds(), 1);  // the cumulative counter survives the reset
 }
 
+TEST(AdmissionControllerTest, PressureOfExposesDelayAndShedState) {
+  Fixture f(2, 1);
+  AdmissionController adm(f.cluster, TightOptions());
+  // Idle machine: no queueing delay, not shedding.
+  AdmissionController::PressureSample idle = adm.PressureOf(1);
+  EXPECT_EQ(idle.queueing_delay, Duration::Zero());
+  EXPECT_FALSE(idle.shedding);
+  EXPECT_EQ(idle.sheds_in_state, 0);
+
+  f.Flood(50, Duration::Millis(1));
+  f.sim.RunFor(Duration::Micros(100));
+  ASSERT_TRUE(adm.Admit(0, f.sim.Now()));
+  f.sim.RunFor(Duration::Micros(300));
+  ASSERT_FALSE(adm.Admit(0, f.sim.Now()));  // now shedding
+  ASSERT_FALSE(adm.Admit(0, f.sim.Now()));
+
+  const AdmissionController::PressureSample hot = adm.PressureOf(0);
+  EXPECT_TRUE(hot.shedding);
+  EXPECT_GT(hot.queueing_delay, Duration::Zero());
+  EXPECT_EQ(hot.queueing_delay, adm.DelayOf(0));
+  EXPECT_EQ(hot.sheds_in_state, 2);
+  // The other machine is still untouched.
+  EXPECT_FALSE(adm.PressureOf(1).shedding);
+}
+
 TEST(AdmissionControllerTest, StateIsPerMachine) {
   Fixture f(2, 1);
   AdmissionController adm(f.cluster, TightOptions());
