@@ -311,6 +311,39 @@ int Smoke(BenchTrace* trace) {
   return 0;
 }
 
+struct JsonRow {
+  std::string scenario;
+  double knob;  // confirm ms for partition scenarios, loss fraction for kLoss
+  RunResult r;
+};
+
+void WriteJson(const std::vector<JsonRow>& rows) {
+  std::filesystem::create_directories("results");
+  std::ofstream out("results/BENCH_ab8.json");
+  out << "[\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const JsonRow& row = rows[i];
+    const RunResult& r = row.r;
+    out << "  {\"scenario\": \"" << row.scenario << "\", \"knob\": " << row.knob
+        << ", \"detect_us\": " << r.detect.nanos() / 1000
+        << ", \"recover_us\": " << r.recover.nanos() / 1000
+        << ", \"writer_us\": " << r.writer_time.nanos() / 1000
+        << ", \"suspicions\": " << r.suspicions
+        << ", \"false_suspicions\": " << r.false_suspicions
+        << ", \"declared_dead\": " << r.declared_dead
+        << ", \"promotions\": " << r.promotions
+        << ", \"fenced_rpcs\": " << r.fenced_rpcs
+        << ", \"duplicates\": " << r.duplicates
+        << ", \"retransmits\": " << r.retransmits
+        << ", \"unreachable\": " << r.unreachable
+        << ", \"acked\": " << r.acked << ", \"failed\": " << r.failed
+        << ", \"wrong\": " << r.wrong << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  std::printf("\nab8: wrote %zu rows to results/BENCH_ab8.json\n", rows.size());
+}
+
 void Main(BenchTrace* trace) {
   std::printf("=== A8: detection timeout vs false suspicion and recovery ===\n");
   std::printf("(%d machines, heartbeat 500us, suspect 2ms; a fenced kv "
@@ -321,6 +354,7 @@ void Main(BenchTrace* trace) {
   const std::vector<Duration> confirms = {
       Duration::Millis(4), Duration::Millis(8), Duration::Millis(16),
       Duration::Millis(32)};
+  std::vector<JsonRow> rows;
 
   std::printf("--- transient one-way partition of m1, %s outage ---\n",
               kOutage.ToString().c_str());
@@ -330,6 +364,7 @@ void Main(BenchTrace* trace) {
     const RunResult r =
         RunOne(Scenario::kTransient, confirm, 0.0, trace,
                "transient_confirm_" + confirm.ToString());
+    rows.push_back({"transient", static_cast<double>(confirm.nanos()) / 1e6, r});
     std::printf("%8s | %5lld/%-2lld %9lld | %8lld %8lld | %10s | %5lld\n",
                 confirm.ToString().c_str(),
                 static_cast<long long>(r.false_suspicions),
@@ -351,6 +386,7 @@ void Main(BenchTrace* trace) {
   for (const Duration confirm : confirms) {
     const RunResult r = RunOne(Scenario::kGray, confirm, 0.0, trace,
                                "gray_confirm_" + confirm.ToString());
+    rows.push_back({"gray", static_cast<double>(confirm.nanos()) / 1e6, r});
     std::printf("%8s | %9s %9s | %8lld %8lld | %10s | %5lld\n",
                 confirm.ToString().c_str(), r.detect.ToString().c_str(),
                 r.recover.ToString().c_str(),
@@ -369,6 +405,7 @@ void Main(BenchTrace* trace) {
     const RunResult r =
         RunOne(Scenario::kLoss, Duration::Millis(8), loss, trace,
                "loss_" + std::to_string(static_cast<int>(loss * 100)) + "pct");
+    rows.push_back({"loss", loss, r});
     std::printf("%5.0f%% | %5lld/%-2lld %9lld | %10lld %11lld | %10s | %5lld\n",
                 loss * 100, static_cast<long long>(r.false_suspicions),
                 static_cast<long long>(r.suspicions),
@@ -381,6 +418,7 @@ void Main(BenchTrace* trace) {
   std::printf("(loss inflates retransmits and can falsely suspect — but the "
               "request-id dedup keeps every acked write exactly-once "
               "regardless)\n");
+  WriteJson(rows);
 }
 
 }  // namespace

@@ -1,14 +1,28 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 tests (plain + ASan/UBSan via scripts/check.sh) and
 # the smoke gates (durability, trace determinism, partition failover,
-# overload control, autoscale), each of which fails on nondeterminism
+# overload control, autoscale, chaos), each of which fails on nondeterminism
 # between two same-seed runs.
+#
+# Usage: scripts/ci.sh            # full gate
+#        scripts/ci.sh --soak N   # chaos soak only: N seeded schedules
+#                                 # through the chaos engine (default 50)
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc 2>/dev/null || echo 4)"
+
+if [[ "${1:-}" == "--soak" ]]; then
+  seeds="${2:-50}"
+  echo "== chaos soak: $seeds seeded schedules vs the invariant oracles =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$jobs" --target ab11_chaos
+  ./build/bench/ab11_chaos --seeds "$seeds"
+  echo "chaos soak: all $seeds schedules passed the oracles"
+  exit 0
+fi
 
 echo "== tier-1: plain build + ctest -L tier1 =="
 cmake -B build -S . >/dev/null
@@ -32,5 +46,11 @@ echo "== overload smoke: collapse without controls, plateau with, deterministica
 
 echo "== autoscale smoke: hot shard splits, settle p99 inside SLO, deterministically =="
 ./build/bench/ab10_autoscale --smoke
+
+echo "== chaos smoke: fixed schedule corpus survives; the reintroduced reshape bug is caught and shrunk =="
+./build/bench/ab11_chaos --smoke
+
+echo "== chaos smoke (sanitized): same gate under ASan/UBSan =="
+./build-asan/bench/ab11_chaos --smoke
 
 echo "CI: all gates passed"

@@ -1,9 +1,18 @@
 #include "quicksand/autoscale/autoscaler.h"
 
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
 namespace quicksand {
+
+bool Autoscaler::MachineHealthy(MachineId m) const {
+  // A lost shard samples kInvalidMachineId as its host: not a healthy home.
+  if (m >= rt_.cluster().size() || rt_.MachineConsideredDead(m)) {
+    return false;
+  }
+  return health_ == nullptr || health_->StateOf(m) == Health::kAlive;
+}
 
 void Autoscaler::Start() {
   QS_CHECK(!running_);
@@ -32,7 +41,9 @@ Task<> Autoscaler::Tick(Ctx ctx) {
   if (admission_ != nullptr) {
     std::unordered_set<MachineId> hosts;
     for (const ShardServingSample& s : samples) {
-      hosts.insert(s.machine);
+      if (s.machine < rt_.cluster().size()) {  // lost shards sample invalid
+        hosts.insert(s.machine);
+      }
     }
     for (MachineId m : hosts) {
       if (admission_->PressureOf(m).shedding) {
@@ -41,12 +52,35 @@ Task<> Autoscaler::Tick(Ctx ctx) {
     }
   }
 
-  const SkewVerdict verdict = detector_.Update(collector_);
+  SkewVerdict verdict = detector_.Update(collector_);
+
+  // Pause verdicts whose subject shard lives on a suspected/dead machine:
+  // the rate estimate behind the verdict is stale (the host stopped
+  // reporting), and the reshape verb would have to copy bytes out of a
+  // machine that may no longer answer. Recovery, not reshaping, owns that
+  // shard until the detector clears or confirms.
+  if (health_ != nullptr) {
+    std::unordered_map<uint64_t, MachineId> host_of;
+    for (const ShardServingSample& s : samples) {
+      host_of[s.proclet] = s.machine;
+    }
+    auto hosted_on_sick = [&](uint64_t shard) {
+      auto it = host_of.find(shard);
+      const bool sick = it != host_of.end() && !MachineHealthy(it->second);
+      if (sick) {
+        ++health_skips_;
+      }
+      return sick;
+    };
+    std::erase_if(verdict.hot, hosted_on_sick);
+    std::erase_if(verdict.cold, hosted_on_sick);
+  }
   last_hot_ = static_cast<int>(verdict.hot.size());
 
   std::vector<MachineId> candidates;
   for (MachineId m = 0; m < rt_.cluster().size(); ++m) {
-    if (m != set_.home() && rt_.cluster().machine(m).accepting()) {
+    if (m != set_.home() && rt_.cluster().machine(m).accepting() &&
+        MachineHealthy(m)) {
       candidates.push_back(m);
     }
   }

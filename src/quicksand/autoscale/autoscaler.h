@@ -32,6 +32,7 @@
 #include "quicksand/autoscale/reshape_planner.h"
 #include "quicksand/autoscale/shard_set.h"
 #include "quicksand/autoscale/skew_detector.h"
+#include "quicksand/health/failure_detector.h"
 #include "quicksand/overload/admission.h"
 
 namespace quicksand {
@@ -67,6 +68,14 @@ class Autoscaler : public AutoscaleStatsSource {
     admission_ = admission;
   }
 
+  // Optional, before Start(): consult the failure detector each tick.
+  // Suspected/dead machines are dropped from split/migrate candidate
+  // selection, and verdicts against shards HOSTED on such machines are
+  // paused — the load samples feeding those verdicts are stale (the host
+  // stopped answering), and planning a copy out of a possibly-dead machine
+  // wastes the reshape budget on a verb that will fail anyway.
+  void AttachHealth(const FailureDetector* health) { health_ = health; }
+
   // Spawns the periodic control fiber. Call once.
   void Start();
   // Stops the loop at its next wakeup.
@@ -88,22 +97,26 @@ class Autoscaler : public AutoscaleStatsSource {
   int64_t migrations() const { return executor_.migrations(); }
   int64_t deferred() const { return executor_.deferred(); }
   int64_t reshape_failures() const { return executor_.failed(); }
+  int64_t health_skips() const { return health_skips_; }
   int hot_shards() const { return last_hot_; }
   const LoadStatsCollector& collector() const { return collector_; }
 
  private:
   Task<> Loop();
+  bool MachineHealthy(MachineId m) const;
 
   Runtime& rt_;
   ReshapableShardSet& set_;
   AutoscalerOptions options_;
   const AdmissionController* admission_ = nullptr;
+  const FailureDetector* health_ = nullptr;
   LoadStatsCollector collector_;
   SkewDetector detector_;
   ReshapePlanner planner_;
   ReshapeExecutor executor_;
   bool running_ = false;
   int last_hot_ = 0;
+  int64_t health_skips_ = 0;
 };
 
 }  // namespace quicksand

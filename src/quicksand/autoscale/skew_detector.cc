@@ -38,7 +38,9 @@ SkewVerdict SkewDetector::Update(const LoadStatsCollector& loads) {
     } else {
       st.hot = 0;
     }
-    if (cluster_busy && s.rate_qps < cold_bar) {
+    const bool below_floor = options_.cold_floor_qps > 0.0 &&
+                             s.rate_qps < options_.cold_floor_qps;
+    if ((cluster_busy && s.rate_qps < cold_bar) || below_floor) {
       ++st.cold;
     } else {
       st.cold = 0;

@@ -42,6 +42,13 @@ struct SkewDetectorOptions {
   // a capacity-sized hot floor must not disable merging of post-flash
   // remnants, whose own tiny rates drag the median down.
   double busy_floor_qps = 100.0;
+  // Absolute per-shard load floor: a shard below this rate counts as cold
+  // regardless of the median or the busy gate. This is what unwinds
+  // over-sharding after repeated flash crowds — once the flash passes, the
+  // remnants are all EVENLY idle, so relative-to-median cold detection never
+  // trips and the shard count ratchets up across flashes. 0 disables (the
+  // pre-existing relative-only behavior).
+  double cold_floor_qps = 0.0;
   // Consecutive ticks before a verdict trips.
   int hot_streak = 2;
   int cold_streak = 8;

@@ -1,0 +1,403 @@
+#include "quicksand/chaos/harness.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "quicksand/autoscale/autoscaler.h"
+#include "quicksand/common/bytes.h"
+#include "quicksand/common/random.h"
+#include "quicksand/durability/recovery_coordinator.h"
+#include "quicksand/durability/replication.h"
+#include "quicksand/health/failure_detector.h"
+#include "quicksand/overload/admission.h"
+#include "quicksand/proclet/fenced_kv_proclet.h"
+#include "quicksand/sched/local_reactor.h"
+#include "quicksand/serving/kv_frontend.h"
+#include "quicksand/trace/flight_recorder.h"
+
+namespace quicksand {
+namespace {
+
+struct FlashWindow {
+  SimTime begin;
+  SimTime end;
+  double multiplier = 1.0;
+};
+
+// The live state shared by the harness fibers. Lives on RunChaos's stack;
+// every fiber it spawns completes (or is abandoned at teardown) before the
+// frame unwinds.
+struct Driver {
+  Simulator& sim;
+  Runtime& rt;
+  KvFrontend& frontend;
+  ChaosLedger& ledger;
+  const ChaosHarnessOptions& opt;
+  std::vector<FlashWindow> flashes;
+  Rng rng;
+
+  bool running = true;
+  int64_t started = 0;
+  int64_t completed = 0;
+  int64_t acked = 0;
+  int64_t acked_writes = 0;
+  int64_t failed = 0;
+
+  EpochMonitor epochs;
+  std::vector<OracleViolation> violations;
+  std::vector<Duration> outages;
+  bool degraded = false;
+  SimTime degraded_since;
+
+  Driver(Simulator& sim_in, Runtime& rt_in, KvFrontend& frontend_in,
+         ChaosLedger& ledger_in, const ChaosHarnessOptions& opt_in,
+         std::vector<FlashWindow> flashes_in, uint64_t seed)
+      : sim(sim_in),
+        rt(rt_in),
+        frontend(frontend_in),
+        ledger(ledger_in),
+        opt(opt_in),
+        flashes(std::move(flashes_in)),
+        rng(seed ^ 0x5eedba5eULL) {}
+
+  double MultiplierAt(SimTime now) const {
+    double m = 1.0;
+    for (const FlashWindow& f : flashes) {
+      if (f.begin <= now && now < f.end) {
+        m *= f.multiplier;
+      }
+    }
+    return m;
+  }
+
+  Task<> Request(uint64_t key, bool is_read) {
+    ++started;
+    auto serve = frontend.ServeDetailed(key, is_read);
+    const bool ok = co_await std::move(serve);
+    if (ok) {
+      ++acked;
+      if (!is_read) {
+        ++acked_writes;
+        ledger.RecordAck(key, sim.Now());
+      }
+    } else {
+      ++failed;
+    }
+    ++completed;
+  }
+
+  // One write per key, spread over the first sixth of the run: a known
+  // acked value under every hash range, so residency loss ANYWHERE in the
+  // space is observable — not just under the zipf head.
+  Task<> Preload() {
+    const Duration gap = opt.run / (6 * std::max(1, opt.keys));
+    for (int k = 0; k < opt.keys && running; ++k) {
+      sim.Spawn(Request(static_cast<uint64_t>(k), /*is_read=*/false),
+                "chaos_preload");
+      co_await sim.Sleep(gap);
+    }
+  }
+
+  Task<> Load() {
+    const SimTime end = sim.Now() + opt.run;
+    while (running && sim.Now() < end) {
+      const double qps = opt.base_qps * MultiplierAt(sim.Now());
+      const auto gap_ns = static_cast<int64_t>(rng.NextExponential(1e9 / qps));
+      co_await sim.Sleep(Duration::Nanos(std::max<int64_t>(1, gap_ns)));
+      if (!running || sim.Now() >= end) {
+        break;
+      }
+      // During a flash window, most arrivals pile onto a few viral keys —
+      // splittable heat that forces the autoscaler to reshape mid-chaos.
+      uint64_t key;
+      if (MultiplierAt(sim.Now()) > 1.0 && rng.NextDouble() < 0.6) {
+        key = rng.NextBounded(32);
+      } else {
+        key = rng.NextZipf(static_cast<uint64_t>(opt.keys), 0.9);
+      }
+      const bool is_read = rng.NextDouble() >= opt.write_fraction;
+      sim.Spawn(Request(key, is_read), "chaos_req");
+    }
+  }
+
+  Task<> TickLoop() {
+    SimTime next_repair = sim.Now() + opt.repair_period;
+    while (running) {
+      co_await sim.Sleep(opt.tick);
+      if (!running) {
+        break;
+      }
+      const SimTime now = sim.Now();
+      const std::vector<ShardServingSample> samples =
+          frontend.SampleShards(now);
+      CheckRangePartition(samples, now, &violations);
+      for (const ShardServingSample& s : samples) {
+        epochs.Observe(s.proclet, rt.EpochOf(s.proclet), now, &violations);
+      }
+      TrackOutage(now);
+      if (now >= next_repair) {
+        next_repair = now + opt.repair_period;
+        auto repair = frontend.RepairLostShards(rt.CtxOn(0));
+        (void)co_await std::move(repair);
+      }
+    }
+  }
+
+  void TrackOutage(SimTime now) {
+    const bool live = frontend.TableFullyLive();
+    if (!live && !degraded) {
+      degraded = true;
+      degraded_since = now;
+    } else if (live && degraded) {
+      degraded = false;
+      outages.push_back(now - degraded_since);
+    }
+  }
+};
+
+}  // namespace
+
+ChaosRunResult RunChaos(const ChaosSchedule& schedule,
+                        const ChaosHarnessOptions& opt) {
+  Simulator sim;
+  Cluster cluster(sim);
+  for (int i = 0; i < opt.machines; ++i) {
+    MachineSpec spec;
+    spec.cores = opt.cores;
+    spec.memory_bytes = 2 * kGiB;
+    cluster.AddMachine(spec);
+  }
+  Runtime rt(sim, cluster);
+
+  TracerOptions topt;
+  topt.ring_capacity = opt.ring_capacity;
+  Tracer tracer(sim, cluster.size(), topt);
+  rt.AttachTracer(&tracer);
+  FlightRecorder recorder(tracer, /*last_n=*/400);
+  rt.AttachFlightRecorder(&recorder);
+
+  AdmissionOptions aopt;
+  aopt.target = Duration::Micros(200);
+  aopt.interval = Duration::Micros(500);
+  AdmissionController admission(cluster, aopt);
+  rt.AttachAdmission(&admission);
+
+  KvFrontendOptions fopt;
+  fopt.shards = opt.shards;
+  fopt.slo = opt.slo;
+  fopt.service_time = opt.service_time;
+  fopt.stats_window = Duration::Millis(20);
+  fopt.degraded_reads = opt.replicate;
+  fopt.unsafe_reshape_for_test = opt.unsafe_reshape;
+  KvFrontend frontend(rt, fopt);
+
+  ChaosLedger ledger;
+  DeathTimes deaths;
+
+  FaultInjector faults(sim, cluster);
+  // Death observer: registered BEFORE the runtime's handlers, so the
+  // excusal snapshot sees hosting as of the death instant — the runtime's
+  // own handler is what erases it.
+  auto on_death = [&sim, &frontend, &ledger, &deaths](MachineId m) {
+    const SimTime now = sim.Now();
+    deaths[m].push_back(now);
+    for (const ShardServingSample& s : frontend.SampleShards(now)) {
+      if (s.machine == m) {
+        ledger.ExcuseRange(s.range_begin, s.range_end, now);
+      }
+    }
+  };
+  faults.OnCrash(on_death);
+  rt.AttachFaultInjector(faults);
+
+  std::unique_ptr<ReplicationManager> replication;
+  if (opt.replicate) {
+    replication = std::make_unique<ReplicationManager>(rt);
+    replication->Arm(faults);
+    frontend.AttachReplication(replication.get());
+  }
+  RecoveryCoordinator recovery(rt);
+  if (replication != nullptr) {
+    recovery.AttachReplication(replication.get());
+  }
+  recovery.Arm(faults);
+
+  FailureDetectorOptions dopt;
+  dopt.controller = 0;
+  dopt.heartbeat_period = Duration::Micros(500);
+  dopt.suspect_after = Duration::Millis(2);
+  dopt.confirm_after = Duration::Millis(8);
+  dopt.check_period = Duration::Micros(250);
+  FailureDetector detector(sim, cluster, dopt);
+  detector.OnConfirm(on_death);
+  rt.AttachFailureDetector(detector);
+  if (replication != nullptr) {
+    replication->ArmDetector(detector);
+  }
+  recovery.ArmDetector(detector);
+  detector.Start();
+
+  const Status started_ok = sim.BlockOn(frontend.Start(rt.CtxOn(0)));
+  QS_CHECK_MSG(started_ok.ok(), "chaos: frontend start failed");
+
+  const SimTime base = sim.Now();
+  ApplySchedule(faults, schedule, base);
+  std::vector<FlashWindow> flashes;
+  for (const ChaosEvent& e : schedule.events) {
+    if (e.kind == ChaosEventKind::kFlashCrowd) {
+      flashes.push_back({base + e.at, base + e.at + e.duration, e.magnitude});
+    }
+  }
+
+  std::unique_ptr<Autoscaler> autoscaler;
+  std::vector<std::unique_ptr<LocalReactor>> reactors;
+  if (opt.autoscale && !opt.replicate) {
+    const double per_host_qps =
+        opt.cores * 1e9 / static_cast<double>(opt.service_time.nanos());
+    AutoscalerOptions sopt;
+    sopt.period = Duration::Millis(1);
+    sopt.executor.slo = opt.slo;
+    sopt.planner.max_shards = 2 * (opt.machines - 1);
+    sopt.detector.rate_floor_qps = 0.25 * per_host_qps;
+    sopt.detector.cold_floor_qps = 0.01 * per_host_qps;
+    autoscaler = std::make_unique<Autoscaler>(rt, frontend, sopt);
+    autoscaler->AttachAdmission(&admission);
+    autoscaler->AttachHealth(&detector);
+    reactors = StartLocalReactors(rt);
+    for (auto& reactor : reactors) {
+      reactor->AttachOverload(&admission);
+      reactor->AttachAutoscaler(autoscaler.get());
+    }
+    autoscaler->Start();
+  }
+
+  Driver driver(sim, rt, frontend, ledger, opt, std::move(flashes),
+                schedule.seed);
+  sim.Spawn(driver.Preload(), "chaos_preload_pump");
+  sim.Spawn(driver.Load(), "chaos_load");
+  sim.Spawn(driver.TickLoop(), "chaos_tick");
+
+  sim.RunFor(opt.run);
+  driver.running = false;
+  if (autoscaler != nullptr) {
+    autoscaler->Stop();
+  }
+
+  // Let the detector confirm any late deaths and recovery finish before
+  // judging completeness.
+  sim.RunFor(dopt.confirm_after + Duration::Millis(10));
+
+  ChaosRunResult r;
+  for (int i = 0; i < 200 && driver.completed < driver.started; ++i) {
+    sim.RunFor(Duration::Millis(2));
+  }
+  r.drained = driver.completed == driver.started;
+
+  // Final self-heal: replace any still-dead routing entries, waiting out
+  // the repair grace between attempts.
+  for (int i = 0; i < 50 && !frontend.TableFullyLive(); ++i) {
+    (void)sim.BlockOn(frontend.RepairLostShards(rt.CtxOn(0)));
+    sim.RunFor(fopt.repair_grace + Duration::Millis(1));
+  }
+  driver.TrackOutage(sim.Now());  // close any open outage episode
+  r.table_live = frontend.TableFullyLive();
+  detector.Stop();
+
+  const SimTime now = sim.Now();
+  r.violations = std::move(driver.violations);
+  if (!r.table_live) {
+    r.violations.push_back(
+        {"recovery-complete",
+         "routing table still has dead entries after final repair", now});
+  }
+  CheckRangePartition(frontend.SampleShards(now), now, &r.violations);
+  ScanExactlyOnce(tracer.Snapshot(), deaths, &r.violations);
+  std::vector<RecoveryReportView> views;
+  for (const RecoveryReport& report : recovery.reports()) {
+    views.push_back({report.machine, report.lost, report.promoted,
+                     report.restored, report.unrecoverable});
+  }
+  CheckRecoveryComplete(views, deaths, now, &r.violations);
+  auto present = [&rt, &frontend, &sim](uint64_t key) {
+    const uint64_t hash = KvShardHash(key);
+    for (const ShardServingSample& s : frontend.SampleShards(sim.Now())) {
+      if (s.range_begin <= hash && hash < s.range_end) {
+        const auto* p = rt.UnsafeGet<FencedKvProclet>(s.proclet);
+        return !rt.IsLost(s.proclet) && p != nullptr && p->Get(key).ok();
+      }
+    }
+    return false;
+  };
+  ledger.Verify(present, /*strict=*/opt.replicate, now, &r.violations);
+  CheckStalenessConfig(frontend.stale_fallbacks(), fopt.degraded_reads,
+                       replication != nullptr, now, &r.violations);
+  std::sort(r.violations.begin(), r.violations.end(),
+            [](const OracleViolation& a, const OracleViolation& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.oracle != b.oracle) return a.oracle < b.oracle;
+              return a.detail < b.detail;
+            });
+
+  r.started = driver.started;
+  r.acked = driver.acked;
+  r.acked_writes = driver.acked_writes;
+  r.failed = driver.failed;
+  r.crashes = faults.crashes();
+  r.revocations = faults.revocations();
+  r.network_faults = faults.network_faults();
+  r.repairs = frontend.repairs();
+  r.reshape_rollbacks = frontend.reshape_rollbacks();
+  r.reshape_payload_discards = frontend.reshape_payload_discards();
+  if (autoscaler != nullptr) {
+    r.splits = autoscaler->splits();
+    r.merges = autoscaler->merges();
+    r.migrations = autoscaler->migrations();
+  }
+  if (replication != nullptr) {
+    r.promotions = replication->promotions();
+  }
+  r.unrecoverable = recovery.total_unrecoverable();
+  r.stale_fallbacks = frontend.stale_fallbacks();
+  r.outages = std::move(driver.outages);
+  r.survived = r.drained && r.table_live && r.violations.empty();
+
+  std::ostringstream digest;
+  digest << r.started << '|' << r.acked << '|' << r.acked_writes << '|'
+         << r.failed << '|' << r.crashes << '|' << r.revocations << '|'
+         << r.network_faults << '|' << r.repairs << '|' << r.reshape_rollbacks
+         << '|' << r.reshape_payload_discards << '|' << r.splits << '|'
+         << r.merges << '|' << r.migrations << '|' << r.promotions << '|'
+         << r.unrecoverable << '|' << r.violations.size() << '|'
+         << r.outages.size() << '|';
+  std::vector<ShardServingSample> final_samples = frontend.SampleShards(now);
+  std::sort(final_samples.begin(), final_samples.end(),
+            [](const ShardServingSample& a, const ShardServingSample& b) {
+              return a.range_begin < b.range_begin;
+            });
+  for (const ShardServingSample& s : final_samples) {
+    digest << s.range_begin << ',' << s.range_end << ',' << s.machine << ','
+           << s.arrivals_total << ';';
+  }
+  digest << '|' << now.nanos() << '|' << std::hex << tracer.Digest();
+  r.digest = digest.str();
+
+  if (!r.violations.empty()) {
+    std::vector<MachineId> dead;
+    for (const auto& [machine, times] : deaths) {
+      dead.push_back(machine);
+    }
+    std::sort(dead.begin(), dead.end());
+    for (const MachineId m : dead) {
+      if (const Postmortem* postmortem = recorder.ForMachine(m)) {
+        r.postmortems.push_back(FlightRecorder::Dump(*postmortem));
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace quicksand

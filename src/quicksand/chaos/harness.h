@@ -1,0 +1,100 @@
+// Chaos harness: one seeded schedule driven against the full stack.
+//
+// RunChaos builds the complete serving topology inside a fresh simulator —
+// fenced hash-range shards behind a KvFrontend, admission control, the
+// heartbeat failure detector, crash-armed + detector-armed recovery,
+// optionally primary-backup replication ("durable" profile) or the
+// autoscale loop ("reshape" profile) — applies the schedule's faults, and
+// serves an open-loop load whose every acknowledged write is recorded in a
+// ChaosLedger. Oracles run continuously (range partition, epoch
+// monotonicity) and at the end (exactly-once trace scan, recovery
+// completeness, ledger durability, staleness config); the result carries
+// the violations, survival counters, the outage-episode distribution, and
+// a determinism digest.
+//
+// Two standard profiles:
+//  * reshape — no replication, autoscaler ON, residency-excusal ledger:
+//    data on a crashed machine legally dies, but nothing ELSE may lose a
+//    write (this is the profile that catches crash-unsafe reshapes);
+//  * durable (options.replicate) — every shard has a backup, shards pinned
+//    (no reshaping), STRICT ledger: the durability contract says crashes
+//    within the replication factor lose nothing, so there are no excuses.
+//
+// Handler-order contract (the part that makes the ledger sound): the
+// harness registers its crash/confirm observers BEFORE
+// Runtime::AttachFaultInjector / AttachFailureDetector, so the excusal
+// snapshot sees the routing table's hosting AS OF the death instant, not
+// after the runtime has marked proclets lost.
+
+#ifndef QUICKSAND_CHAOS_HARNESS_H_
+#define QUICKSAND_CHAOS_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quicksand/chaos/oracles.h"
+#include "quicksand/chaos/schedule.h"
+
+namespace quicksand {
+
+struct ChaosHarnessOptions {
+  int machines = 6;  // m0: frontend/controller; shards live on the rest
+  int cores = 2;
+  int shards = 2;
+  double base_qps = 15000.0;
+  Duration run = Duration::Millis(60);  // == the schedule's horizon
+  int keys = 512;
+  double write_fraction = 0.3;
+  Duration slo = Duration::Millis(2);
+  Duration service_time = Duration::Micros(50);
+  bool replicate = false;  // durable profile: backups, pinned shards
+  bool autoscale = true;   // reshape profile: the full closed loop
+  // TEST ONLY: reintroduces the pre-hardening blind reshape install.
+  bool unsafe_reshape = false;
+  Duration tick = Duration::Micros(500);        // oracle sampling period
+  Duration repair_period = Duration::Millis(1); // RepairLostShards cadence
+  // Trace ring depth per machine; the exactly-once scan reads the rings,
+  // so they must hold the whole run.
+  size_t ring_capacity = 65536;
+};
+
+struct ChaosRunResult {
+  std::vector<OracleViolation> violations;  // sorted (time, oracle, detail)
+  bool survived = false;  // drained, fully live, zero violations
+  bool drained = false;   // every started request completed
+  bool table_live = false;
+
+  int64_t started = 0;  // requests issued by the load generator
+  int64_t acked = 0;    // requests acknowledged (reads + writes)
+  int64_t acked_writes = 0;
+  int64_t failed = 0;
+  int64_t crashes = 0;
+  int64_t revocations = 0;
+  int64_t network_faults = 0;
+  int64_t repairs = 0;
+  int64_t reshape_rollbacks = 0;
+  int64_t reshape_payload_discards = 0;
+  int64_t splits = 0;
+  int64_t merges = 0;
+  int64_t migrations = 0;
+  int64_t promotions = 0;
+  int64_t unrecoverable = 0;
+  int64_t stale_fallbacks = 0;
+
+  // Table-degraded episodes (some range routed to a dead shard), measured
+  // at tick resolution: the recovery-time distribution.
+  std::vector<Duration> outages;
+
+  std::string digest;
+  // FlightRecorder dumps of every dead machine; populated only when the
+  // run had violations (the postmortem of a passing run is noise).
+  std::vector<std::string> postmortems;
+};
+
+ChaosRunResult RunChaos(const ChaosSchedule& schedule,
+                        const ChaosHarnessOptions& options);
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_CHAOS_HARNESS_H_

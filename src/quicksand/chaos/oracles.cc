@@ -1,0 +1,209 @@
+#include "quicksand/chaos/oracles.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "quicksand/proclet/fenced_kv_proclet.h"
+
+namespace quicksand {
+
+std::string FormatViolations(const std::vector<OracleViolation>& violations) {
+  std::ostringstream out;
+  for (const OracleViolation& v : violations) {
+    out << "  [" << v.oracle << "] at " << (v.at - SimTime::Zero()).ToString()
+        << ": " << v.detail << "\n";
+  }
+  return out.str();
+}
+
+bool CheckRangePartition(const std::vector<ShardServingSample>& samples,
+                         SimTime now, std::vector<OracleViolation>* out) {
+  auto fail = [&](const std::string& detail) {
+    out->push_back({"range-partition", detail, now});
+    return false;
+  };
+  if (samples.empty()) {
+    return fail("routing table is empty");
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+  ranges.reserve(samples.size());
+  for (const ShardServingSample& s : samples) {
+    ranges.emplace_back(s.range_begin, s.range_end);
+  }
+  std::sort(ranges.begin(), ranges.end());
+  if (ranges.front().first != 0) {
+    return fail("first range does not begin at 0");
+  }
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    if (ranges[i].second <= ranges[i].first) {
+      return fail("empty or inverted range in the table");
+    }
+    if (i + 1 < ranges.size() && ranges[i].second != ranges[i + 1].first) {
+      std::ostringstream d;
+      d << (ranges[i].second < ranges[i + 1].first ? "gap" : "overlap")
+        << " between ranges ending " << ranges[i].second << " and beginning "
+        << ranges[i + 1].first;
+      return fail(d.str());
+    }
+  }
+  if (ranges.back().second != UINT64_MAX) {
+    return fail("last range does not end at UINT64_MAX");
+  }
+  return true;
+}
+
+void EpochMonitor::Observe(uint64_t proclet, uint64_t epoch, SimTime now,
+                           std::vector<OracleViolation>* out) {
+  if (epoch == 0) {
+    return;  // unknown / not yet fenced
+  }
+  uint64_t& high = max_epoch_[proclet];
+  if (epoch < high) {
+    std::ostringstream d;
+    d << "proclet " << proclet << " epoch went backwards: " << high << " -> "
+      << epoch;
+    out->push_back({"epoch-monotonic", d.str(), now});
+  }
+  high = std::max(high, epoch);
+}
+
+void ScanExactlyOnce(const std::vector<TraceEvent>& events,
+                     const DeathTimes& deaths,
+                     std::vector<OracleViolation>* out) {
+  struct Commit {
+    SimTime time;
+    MachineId machine = kInvalidMachineId;
+  };
+  // (proclet, rid) -> commits in time order (Snapshot() is already sorted).
+  std::unordered_map<uint64_t, std::unordered_map<int64_t, std::vector<Commit>>>
+      commits;
+  for (const TraceEvent& e : events) {
+    if (e.op == TraceOp::kCommit && e.phase == TracePhase::kInstant) {
+      commits[e.proclet][e.arg].push_back({e.time, e.machine});
+    }
+  }
+  auto died_between = [&](MachineId m, SimTime lo, SimTime hi) {
+    auto it = deaths.find(m);
+    if (it == deaths.end()) {
+      return false;
+    }
+    for (const SimTime t : it->second) {
+      if (lo <= t && t <= hi) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const auto& [proclet, by_rid] : commits) {
+    for (const auto& [rid, list] : by_rid) {
+      for (size_t i = 1; i < list.size(); ++i) {
+        // A re-commit is legitimate only when the previous committer died
+        // in between: its ack never reached the client, and the
+        // replacement's fresh fence guard cannot dedup the retry.
+        if (!died_between(list[i - 1].machine, list[i - 1].time,
+                          list[i].time)) {
+          if (std::getenv("QS_CHAOS_DEBUG") != nullptr) {
+            std::fprintf(stderr, "DBG proclet %llu rid %lld lifecycle:\n",
+                         (unsigned long long)proclet, (long long)rid);
+            for (const TraceEvent& e : events) {
+              const bool lifecycle = e.op == TraceOp::kLost ||
+                                     e.op == TraceOp::kPromote ||
+                                     e.op == TraceOp::kRestore;
+              const bool this_commit =
+                  e.op == TraceOp::kCommit && e.arg == (int64_t)rid;
+              if (e.proclet == proclet && (lifecycle || this_commit)) {
+                std::fprintf(stderr, "  t=%s m%u op=%s arg=%lld\n",
+                             (e.time - SimTime::Zero()).ToString().c_str(),
+                             e.machine, TraceOpName(e.op), (long long)e.arg);
+              }
+            }
+          }
+          std::ostringstream d;
+          d << "proclet " << proclet << " rid " << rid << " committed twice"
+            << " (m" << list[i - 1].machine << " then m" << list[i].machine
+            << ") with no failover in between";
+          out->push_back({"exactly-once", d.str(), list[i].time});
+        }
+      }
+    }
+  }
+}
+
+void CheckRecoveryComplete(const std::vector<RecoveryReportView>& reports,
+                           const DeathTimes& deaths, SimTime now,
+                           std::vector<OracleViolation>* out) {
+  std::unordered_map<MachineId, int> reports_for;
+  for (const RecoveryReportView& r : reports) {
+    ++reports_for[r.machine];
+    // A report may under-account (lost > sum) when a concurrent recovery
+    // fiber — crash-armed and detector-armed recoveries can overlap — beat
+    // it to a proclet; it must never over-account.
+    if (r.lost < r.promoted + r.restored + r.unrecoverable) {
+      std::ostringstream d;
+      d << "m" << r.machine << " report over-accounts: lost " << r.lost
+        << " < promoted " << r.promoted << " + restored " << r.restored
+        << " + unrecoverable " << r.unrecoverable;
+      out->push_back({"recovery-complete", d.str(), now});
+    }
+  }
+  for (const auto& [machine, times] : deaths) {
+    if (reports_for.count(machine) == 0) {
+      std::ostringstream d;
+      d << "m" << machine << " fail-stopped but recovery never reported";
+      out->push_back({"recovery-complete", d.str(), now});
+    }
+  }
+}
+
+void ChaosLedger::Verify(const std::function<bool(uint64_t)>& present,
+                         bool strict, SimTime now,
+                         std::vector<OracleViolation>* out) const {
+  // Deterministic iteration: sort keys before checking.
+  std::vector<std::pair<uint64_t, SimTime>> acked(last_ack_.begin(),
+                                                  last_ack_.end());
+  std::sort(acked.begin(), acked.end());
+  for (const auto& [key, ack_at] : acked) {
+    if (present(key)) {
+      continue;
+    }
+    const uint64_t hash = KvShardHash(key);
+    bool excused = false;
+    if (!strict) {
+      for (const ExcusedRange& r : excused_) {
+        // The key's range was resident on a machine that died AT OR AFTER
+        // the ack: the bytes died with the host. An excuse recorded before
+        // the ack cannot cover it — the write landed (and was acked) on
+        // whatever replaced the dead shard.
+        if (r.begin <= hash && hash < r.end && r.at >= ack_at) {
+          excused = true;
+          break;
+        }
+      }
+    }
+    if (!excused) {
+      std::ostringstream d;
+      d << "key " << key << " acked at "
+        << (ack_at - SimTime::Zero()).ToString() << " is gone"
+        << (strict ? " (strict: replicated store, no excusal)"
+                   : " and no covering host death excuses it");
+      out->push_back({"acked-write-lost", d.str(), now});
+    }
+  }
+}
+
+void CheckStalenessConfig(int64_t stale_fallbacks, bool degraded_reads_enabled,
+                          bool replication_attached, SimTime now,
+                          std::vector<OracleViolation>* out) {
+  if (stale_fallbacks > 0 &&
+      (!degraded_reads_enabled || !replication_attached)) {
+    std::ostringstream d;
+    d << stale_fallbacks << " stale fallbacks served without "
+      << (degraded_reads_enabled ? "a replication source"
+                                 : "degraded reads enabled");
+    out->push_back({"bounded-staleness", d.str(), now});
+  }
+}
+
+}  // namespace quicksand

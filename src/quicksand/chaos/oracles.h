@@ -1,0 +1,133 @@
+// Invariant oracles: what "survived the chaos" means, checkably.
+//
+// Each oracle states a property that must hold on EVERY schedule, however
+// hostile, and reports violations as data (OracleViolation) instead of
+// aborting — the harness collects them, and the shrinker re-runs schedules
+// asking only "does it still violate?". The library:
+//
+//  * range partition — the frontend's routing table always covers the hash
+//    space exactly: begins at 0, contiguous, ends at UINT64_MAX (checked
+//    every tick; a gap or overlap means requests route nowhere/twice);
+//  * epoch monotonicity — a proclet's fencing epoch never goes backwards
+//    (EpochMonitor, fed every tick);
+//  * exactly-once commits — a (proclet, request-id) pair commits at most
+//    once in the trace, EXCEPT when the first committing machine
+//    fail-stopped or was declared dead between the two commits: an applied
+//    -but-unacked write legitimately re-applies at the replacement, whose
+//    fresh fence guard cannot know the rid (ScanExactlyOnce);
+//  * recovery completeness — every fail-stopped machine produced at least
+//    one RecoveryReport, and no report claims more outcomes than losses
+//    (promoted + restored + unrecoverable <= lost; under-accounting is
+//    legal when a concurrent recovery fiber restored a proclet first);
+//  * acked-write durability (ChaosLedger) — every acknowledged put is still
+//    readable at the end, UNLESS its key's hash range was resident on a
+//    machine at the instant that machine died, no later than the ack
+//    (residency excusal: data that died with its host is a crash loss, not
+//    a software bug). Strict mode (replicated stores) allows no excuses;
+//  * bounded staleness — stale fallbacks only happen when degraded reads
+//    were configured with a replication source (the bound itself is
+//    enforced inline by ReplicationManager::ReadStale).
+
+#ifndef QUICKSAND_CHAOS_ORACLES_H_
+#define QUICKSAND_CHAOS_ORACLES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "quicksand/cluster/machine.h"
+#include "quicksand/cluster/metrics.h"
+#include "quicksand/common/time.h"
+#include "quicksand/trace/trace.h"
+
+namespace quicksand {
+
+struct OracleViolation {
+  std::string oracle;  // stable name: "range-partition", "acked-write-lost", ...
+  std::string detail;
+  SimTime at;
+};
+
+std::string FormatViolations(const std::vector<OracleViolation>& violations);
+
+// Fail-stop instants per machine (crashes and declared-dead), appended by
+// the harness's fault handlers in time order.
+using DeathTimes = std::unordered_map<MachineId, std::vector<SimTime>>;
+
+// Routing table partitions [0, UINT64_MAX) exactly. `samples` is
+// SampleShards output; order does not matter.
+bool CheckRangePartition(const std::vector<ShardServingSample>& samples,
+                         SimTime now, std::vector<OracleViolation>* out);
+
+// Per-proclet high-water epoch tracker. Observe() every tick.
+class EpochMonitor {
+ public:
+  void Observe(uint64_t proclet, uint64_t epoch, SimTime now,
+               std::vector<OracleViolation>* out);
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> max_epoch_;
+};
+
+// Scans retained kCommit instants for (proclet, rid) pairs committing more
+// than once without a death of the earlier committing machine in between.
+void ScanExactlyOnce(const std::vector<TraceEvent>& events,
+                     const DeathTimes& deaths,
+                     std::vector<OracleViolation>* out);
+
+struct RecoveryReportView {
+  MachineId machine = kInvalidMachineId;
+  int64_t lost = 0;
+  int64_t promoted = 0;
+  int64_t restored = 0;
+  int64_t unrecoverable = 0;
+};
+
+// Every machine in `deaths` has a report; no report over-accounts.
+void CheckRecoveryComplete(const std::vector<RecoveryReportView>& reports,
+                           const DeathTimes& deaths, SimTime now,
+                           std::vector<OracleViolation>* out);
+
+// Acked-write ledger with residency-based excusal.
+class ChaosLedger {
+ public:
+  // A put for `key` was acknowledged to the client at `at`.
+  void RecordAck(uint64_t key, SimTime at) { last_ack_[key] = at; }
+  // The hash range [begin, end) was resident on a machine that died at
+  // `at`: keys acked no later than `at` are excused if they vanish.
+  void ExcuseRange(uint64_t begin, uint64_t end, SimTime at) {
+    excused_.push_back({begin, end, at});
+  }
+
+  // `present(key)` answers whether the store still holds the key. With
+  // `strict` (replicated stores) excusal is ignored: durability promised
+  // to survive the faults, so any loss is a violation.
+  void Verify(const std::function<bool(uint64_t)>& present, bool strict,
+              SimTime now, std::vector<OracleViolation>* out) const;
+
+  int64_t acked_keys() const { return static_cast<int64_t>(last_ack_.size()); }
+  int64_t excused_ranges() const {
+    return static_cast<int64_t>(excused_.size());
+  }
+
+ private:
+  struct ExcusedRange {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+    SimTime at;
+  };
+
+  std::unordered_map<uint64_t, SimTime> last_ack_;  // key -> latest ack
+  std::vector<ExcusedRange> excused_;
+};
+
+// Config-consistency check on degraded reads.
+void CheckStalenessConfig(int64_t stale_fallbacks, bool degraded_reads_enabled,
+                          bool replication_attached, SimTime now,
+                          std::vector<OracleViolation>* out);
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_CHAOS_ORACLES_H_

@@ -1,0 +1,197 @@
+#include "quicksand/chaos/schedule.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "quicksand/common/random.h"
+
+namespace quicksand {
+
+const char* ChaosEventKindName(ChaosEventKind kind) {
+  switch (kind) {
+    case ChaosEventKind::kCrash:
+      return "crash";
+    case ChaosEventKind::kRevocation:
+      return "revocation";
+    case ChaosEventKind::kPartitionOneWay:
+      return "partition_one_way";
+    case ChaosEventKind::kPartition:
+      return "partition";
+    case ChaosEventKind::kIsolation:
+      return "isolation";
+    case ChaosEventKind::kLinkLoss:
+      return "link_loss";
+    case ChaosEventKind::kDelaySpike:
+      return "delay_spike";
+    case ChaosEventKind::kFlashCrowd:
+      return "flash_crowd";
+  }
+  return "?";
+}
+
+ChaosSchedule GenerateSchedule(uint64_t seed,
+                               const ChaosScheduleOptions& options) {
+  QS_CHECK(options.machines >= 3);  // controller + at least two hosts
+  ChaosSchedule schedule;
+  schedule.seed = seed;
+  Rng rng(seed ^ 0xc5a0c5a0c5a0c5a0ULL);
+
+  const int hosts = options.machines - 1;  // machine 0 is never a target
+  // Keep at least two hosts alive: a run where everything died proves
+  // nothing about the software.
+  const int crash_cap =
+      std::min(options.max_crashes, std::max(0, hosts - 2));
+  std::unordered_set<MachineId> crashed;
+
+  const int64_t horizon_ns = options.horizon.nanos();
+  auto offset_in = [&](int64_t lo_ns, int64_t hi_ns) {
+    return Duration::Nanos(
+        lo_ns + static_cast<int64_t>(
+                    rng.NextBounded(static_cast<uint64_t>(hi_ns - lo_ns))));
+  };
+  auto pick_host = [&] {
+    return static_cast<MachineId>(1 + rng.NextBounded(hosts));
+  };
+
+  for (int i = 0; i < options.events; ++i) {
+    ChaosEvent e;
+    // Weighted kinds: network faults dominate (they heal), fail-stops are
+    // rare (they do not), and every schedule gets some load pressure.
+    const uint64_t draw = rng.NextBounded(100);
+    if (draw < 10) {
+      e.kind = ChaosEventKind::kCrash;
+    } else if (draw < 18) {
+      e.kind = ChaosEventKind::kRevocation;
+    } else if (draw < 34) {
+      e.kind = ChaosEventKind::kPartitionOneWay;
+    } else if (draw < 48) {
+      e.kind = ChaosEventKind::kPartition;
+    } else if (draw < 56) {
+      e.kind = ChaosEventKind::kIsolation;
+    } else if (draw < 70) {
+      e.kind = ChaosEventKind::kLinkLoss;
+    } else if (draw < 84) {
+      e.kind = ChaosEventKind::kDelaySpike;
+    } else {
+      e.kind = ChaosEventKind::kFlashCrowd;
+    }
+
+    // Faults land in the middle of the run: after startup settles, early
+    // enough that recovery and the drain are observable before the end.
+    e.at = offset_in(horizon_ns / 20, (horizon_ns * 8) / 10);
+    // Window lengths: exponential around an eighth of the horizon, clamped
+    // so the window closes before the run ends.
+    const int64_t mean_ns = horizon_ns / 8;
+    int64_t win_ns = static_cast<int64_t>(
+        rng.NextExponential(static_cast<double>(mean_ns)));
+    win_ns = std::clamp<int64_t>(win_ns, horizon_ns / 100,
+                                 horizon_ns - e.at.nanos());
+    e.duration = Duration::Nanos(win_ns);
+    e.a = pick_host();
+    do {
+      e.b = pick_host();
+    } while (hosts > 1 && e.b == e.a);
+
+    if (e.kind == ChaosEventKind::kCrash ||
+        e.kind == ChaosEventKind::kRevocation) {
+      const bool over_cap =
+          crashed.count(e.a) == 0 &&
+          static_cast<int>(crashed.size()) >= crash_cap;
+      if (over_cap) {
+        // Deterministic degrade: same draw sequence, survivable schedule.
+        e.kind = ChaosEventKind::kPartition;
+      } else {
+        crashed.insert(e.a);
+      }
+    }
+    switch (e.kind) {
+      case ChaosEventKind::kLinkLoss:
+        e.magnitude = 0.1 + 0.5 * rng.NextDouble();
+        break;
+      case ChaosEventKind::kDelaySpike:
+        e.extra = Duration::Nanos(static_cast<int64_t>(
+            rng.NextExponential(static_cast<double>(horizon_ns) / 30.0)));
+        break;
+      case ChaosEventKind::kFlashCrowd:
+        e.magnitude = 2.0 + 3.0 * rng.NextDouble();
+        break;
+      default:
+        break;
+    }
+    schedule.events.push_back(e);
+  }
+
+  std::stable_sort(schedule.events.begin(), schedule.events.end(),
+                   [](const ChaosEvent& x, const ChaosEvent& y) {
+                     return x.at < y.at;
+                   });
+  return schedule;
+}
+
+std::string FormatSchedule(const ChaosSchedule& schedule) {
+  std::ostringstream out;
+  out << "seed " << schedule.seed << ", " << schedule.events.size()
+      << " events\n";
+  for (const ChaosEvent& e : schedule.events) {
+    out << "  +" << e.at.ToString() << " " << ChaosEventKindName(e.kind)
+        << " m" << e.a;
+    switch (e.kind) {
+      case ChaosEventKind::kPartitionOneWay:
+      case ChaosEventKind::kPartition:
+      case ChaosEventKind::kLinkLoss:
+      case ChaosEventKind::kDelaySpike:
+        out << (e.kind == ChaosEventKind::kPartition ? "<->" : "->") << "m"
+            << e.b;
+        break;
+      default:
+        break;
+    }
+    if (e.kind != ChaosEventKind::kCrash) {
+      out << " for " << e.duration.ToString();
+    }
+    if (e.kind == ChaosEventKind::kLinkLoss ||
+        e.kind == ChaosEventKind::kFlashCrowd) {
+      out << " x" << e.magnitude;
+    }
+    if (e.kind == ChaosEventKind::kDelaySpike) {
+      out << " +" << e.extra.ToString();
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+void ApplySchedule(FaultInjector& faults, const ChaosSchedule& schedule,
+                   SimTime base) {
+  for (const ChaosEvent& e : schedule.events) {
+    const SimTime at = base + e.at;
+    switch (e.kind) {
+      case ChaosEventKind::kCrash:
+        faults.ScheduleCrash(at, e.a);
+        break;
+      case ChaosEventKind::kRevocation:
+        faults.ScheduleRevocation(at, e.a, e.duration);
+        break;
+      case ChaosEventKind::kPartitionOneWay:
+        faults.SchedulePartitionOneWay(at, e.a, e.b, e.duration);
+        break;
+      case ChaosEventKind::kPartition:
+        faults.SchedulePartition(at, e.a, e.b, e.duration);
+        break;
+      case ChaosEventKind::kIsolation:
+        faults.ScheduleIsolation(at, e.a, e.duration);
+        break;
+      case ChaosEventKind::kLinkLoss:
+        faults.ScheduleLinkLoss(at, e.a, e.b, e.magnitude, e.duration);
+        break;
+      case ChaosEventKind::kDelaySpike:
+        faults.ScheduleDelaySpike(at, e.a, e.b, e.extra, e.duration);
+        break;
+      case ChaosEventKind::kFlashCrowd:
+        break;  // consumed by the harness load generator, not the injector
+    }
+  }
+}
+
+}  // namespace quicksand

@@ -1,0 +1,91 @@
+// Chaos schedules: seeded, replayable fault scripts.
+//
+// A schedule is a flat list of fault events — crashes, revocations,
+// one-way/bidirectional partitions, isolation, link loss, delay spikes, and
+// flash crowds — each stamped with an offset from harness start. The
+// generator draws a schedule deterministically from a seed (same seed, same
+// schedule, bit for bit), which is what makes a chaos failure a REPRO
+// rather than an anecdote: the failing seed plus the harness options replay
+// the exact interleaving, and the shrinker (shrink.h) can bisect the event
+// list because re-running a sub-schedule is cheap and deterministic.
+//
+// Generation constraints, enforced structurally so every generated schedule
+// is drivable:
+//  * machine 0 (controller: frontend, detector, recovery home) is never a
+//    fault target;
+//  * at most `max_crashes` DISTINCT machines fail-stop (crash or revocation
+//    deadline), and never so many that fewer than two hosts survive — a
+//    draw that would exceed the cap degrades to a bidirectional partition
+//    of the same machine instead (deterministically, so the seed still
+//    replays);
+//  * windows fit inside the horizon.
+//
+// kFlashCrowd is NOT applied to the FaultInjector: the harness's own load
+// generator reads flash windows from the schedule and multiplies its
+// arrival rate. It lives in the schedule so load spikes shrink and replay
+// exactly like faults do — a data-loss repro often needs the flash that
+// forced the reshape.
+
+#ifndef QUICKSAND_CHAOS_SCHEDULE_H_
+#define QUICKSAND_CHAOS_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quicksand/cluster/fault_injector.h"
+#include "quicksand/common/time.h"
+
+namespace quicksand {
+
+enum class ChaosEventKind : uint8_t {
+  kCrash,            // fail-stop of machine `a` at `at`
+  kRevocation,       // revocation notice at `at`, deadline `at + duration`
+  kPartitionOneWay,  // a -> b cut for [at, at + duration)
+  kPartition,        // a <-> b cut for the window
+  kIsolation,        // every link touching `a` cut for the window
+  kLinkLoss,         // a -> b drops with p = magnitude for the window
+  kDelaySpike,       // a -> b delayed by `extra` for the window
+  kFlashCrowd,       // load generator multiplies arrivals by `magnitude`
+};
+
+const char* ChaosEventKindName(ChaosEventKind kind);
+
+struct ChaosEvent {
+  ChaosEventKind kind = ChaosEventKind::kCrash;
+  Duration at = Duration::Zero();        // offset from harness start
+  Duration duration = Duration::Zero();  // window length; unused for kCrash
+  MachineId a = 0;
+  MachineId b = 0;
+  double magnitude = 0.0;           // loss probability / flash multiplier
+  Duration extra = Duration::Zero();  // delay-spike added latency
+};
+
+struct ChaosSchedule {
+  uint64_t seed = 0;
+  std::vector<ChaosEvent> events;  // sorted by `at`
+};
+
+struct ChaosScheduleOptions {
+  int machines = 6;  // cluster size; targets drawn from [1, machines)
+  Duration horizon = Duration::Millis(60);  // events land in [5%, 80%] of it
+  int events = 8;
+  // Cap on DISTINCT fail-stop targets; further clamped so at least two
+  // non-controller hosts always survive.
+  int max_crashes = 2;
+};
+
+// Deterministic: the same (seed, options) yield the same schedule.
+ChaosSchedule GenerateSchedule(uint64_t seed, const ChaosScheduleOptions& options);
+
+// One line per event, for repro files and logs.
+std::string FormatSchedule(const ChaosSchedule& schedule);
+
+// Registers every event except kFlashCrowd with the injector, at absolute
+// times base + event.at. Call before Simulator::Run reaches `base`.
+void ApplySchedule(FaultInjector& faults, const ChaosSchedule& schedule,
+                   SimTime base);
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_CHAOS_SCHEDULE_H_

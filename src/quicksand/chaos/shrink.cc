@@ -1,0 +1,94 @@
+#include "quicksand/chaos/shrink.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace quicksand {
+namespace {
+
+ChaosSchedule Without(const ChaosSchedule& s, size_t begin, size_t end) {
+  ChaosSchedule out;
+  out.seed = s.seed;
+  out.events.reserve(s.events.size() - (end - begin));
+  for (size_t i = 0; i < s.events.size(); ++i) {
+    if (i < begin || i >= end) {
+      out.events.push_back(s.events[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkSchedule(
+    const ChaosSchedule& failing,
+    const std::function<bool(const ChaosSchedule&)>& still_fails,
+    int max_probes) {
+  ShrinkResult r;
+  r.schedule = failing;
+  auto probe = [&](const ChaosSchedule& candidate) {
+    if (r.probes >= max_probes) {
+      return false;
+    }
+    ++r.probes;
+    return still_fails(candidate);
+  };
+
+  // Pass 1 — event removal, ddmin-style: try dropping chunks, halving the
+  // chunk size when a full sweep removes nothing, restarting coarse after
+  // any win (a removal often unlocks more removals).
+  size_t chunk = std::max<size_t>(1, r.schedule.events.size() / 2);
+  while (r.probes < max_probes && r.schedule.events.size() > 1) {
+    bool removed = false;
+    size_t begin = 0;
+    while (begin < r.schedule.events.size() && r.probes < max_probes &&
+           r.schedule.events.size() > 1) {
+      const size_t end = std::min(begin + chunk, r.schedule.events.size());
+      ChaosSchedule candidate = Without(r.schedule, begin, end);
+      if (!candidate.events.empty() && probe(candidate)) {
+        r.schedule = std::move(candidate);
+        removed = true;  // the next chunk slid into `begin`; do not advance
+      } else {
+        begin = end;
+      }
+    }
+    ++r.rounds;
+    if (removed) {
+      chunk = std::max<size_t>(1, r.schedule.events.size() / 2);
+    } else if (chunk == 1) {
+      break;  // single-event sweep removed nothing: 1-minimal
+    } else {
+      chunk = std::max<size_t>(1, chunk / 2);
+    }
+  }
+
+  // Pass 2 — window narrowing: halve each surviving event's fault window
+  // (and delay magnitude) while the violation reproduces. Repro schedules
+  // read much better with tight windows: the window IS the race.
+  const Duration floor = Duration::Micros(10);
+  for (size_t i = 0; i < r.schedule.events.size() && r.probes < max_probes;
+       ++i) {
+    for (int halvings = 0; halvings < 6 && r.probes < max_probes;
+         ++halvings) {
+      ChaosSchedule candidate = r.schedule;
+      ChaosEvent& e = candidate.events[i];
+      bool changed = false;
+      if (e.duration / 2 >= floor) {
+        e.duration = e.duration / 2;
+        changed = true;
+      }
+      if (e.kind == ChaosEventKind::kDelaySpike && e.extra / 2 >= floor) {
+        e.extra = e.extra / 2;
+        changed = true;
+      }
+      if (!changed || !probe(candidate)) {
+        break;
+      }
+      r.schedule = std::move(candidate);
+    }
+  }
+  ++r.rounds;
+  return r;
+}
+
+}  // namespace quicksand

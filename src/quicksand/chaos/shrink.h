@@ -1,0 +1,35 @@
+// Schedule shrinking: from "seed 77142 violates an oracle" to a repro a
+// human can read.
+//
+// ShrinkSchedule takes a failing schedule and a predicate ("does this
+// schedule still violate?") and greedily minimizes, ddmin-style: remove
+// chunks of events (coarse to fine, restarting coarse after any win), then
+// narrow the surviving events' fault windows. Every probe replays the
+// candidate through the deterministic harness, so the predicate is
+// reliable — no flaky shrinks. The probe budget bounds total work; the
+// result is the smallest schedule found within it, which still fails by
+// construction (the original is returned unshrunk if nothing can go).
+
+#ifndef QUICKSAND_CHAOS_SHRINK_H_
+#define QUICKSAND_CHAOS_SHRINK_H_
+
+#include <functional>
+
+#include "quicksand/chaos/schedule.h"
+
+namespace quicksand {
+
+struct ShrinkResult {
+  ChaosSchedule schedule;  // minimal failing schedule found
+  int rounds = 0;          // removal/narrowing passes completed
+  int probes = 0;          // predicate evaluations (harness replays)
+};
+
+ShrinkResult ShrinkSchedule(
+    const ChaosSchedule& failing,
+    const std::function<bool(const ChaosSchedule&)>& still_fails,
+    int max_probes = 200);
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_CHAOS_SHRINK_H_

@@ -203,6 +203,7 @@ struct RuntimeStats {
   // Failure & revocation accounting.
   int64_t crashes = 0;          // machine failures observed by the runtime
   int64_t lost_proclets = 0;    // proclets whose host died under them
+  int64_t zombie_applies = 0;   // applies that ran against a limbo corpse
   int64_t bounce_livelocks = 0;  // invocations that exhausted the bounce loop
   // Durability accounting.
   int64_t restored_proclets = 0;  // lost proclets brought back by recovery
@@ -364,7 +365,19 @@ class Runtime {
   }
 
   // Mirror image: a stamped request passed its FenceGuard and was applied.
+  //
+  // Zombie applies are NOT commits: when the host fail-stopped mid-call the
+  // in-flight fiber still runs to completion against the limbo corpse, but
+  // Invoke discards the result (ProcletLostError) and the corpse's state
+  // never rejoins the live table — the caller gets no ack and retries
+  // against the replacement. Recording a commit instant for that apply
+  // would make the legitimate failover re-execution look like a
+  // double-apply to the exactly-once oracle.
   void NoteCommittedRpc(ProcletId id, int64_t request_id = 0) {
+    if (IsLost(id)) {
+      ++stats_.zombie_applies;
+      return;
+    }
     if (tracer_ != nullptr) {
       tracer_->Instant(TraceContext{}, TraceHomeOf(id), TraceOp::kCommit, id,
                        request_id, "committed");

@@ -187,6 +187,11 @@ void KvFrontend::RecordSuccess(SimTime arrival) {
 }
 
 Task<> KvFrontend::Serve(uint64_t key, bool is_read) {
+  auto detailed = ServeDetailed(key, is_read);
+  (void)co_await std::move(detailed);
+}
+
+Task<bool> KvFrontend::ServeDetailed(uint64_t key, bool is_read) {
   const SimTime arrival = rt_.sim().Now();
   ++offered_;
   arrivals_.Add(arrival, Duration::Nanos(1));
@@ -210,7 +215,7 @@ Task<> KvFrontend::Serve(uint64_t key, bool is_read) {
     const Attempt outcome = co_await std::move(once);
     if (outcome == Attempt::kOk) {
       RecordSuccess(arrival);
-      co_return;
+      co_return true;
     }
     if (outcome == Attempt::kMoved) {
       // Not overload: the request raced a reshape. Re-route through the
@@ -219,7 +224,7 @@ Task<> KvFrontend::Serve(uint64_t key, bool is_read) {
       ++moved_reroutes_;
       if (++moved > 8) {
         ++failed_;
-        co_return;
+        co_return false;
       }
       --attempt;
       continue;
@@ -235,7 +240,7 @@ Task<> KvFrontend::Serve(uint64_t key, bool is_read) {
         if (co_await std::move(fallback)) {
           ++stale_fallbacks_;
           RecordSuccess(arrival);
-          co_return;
+          co_return true;
         }
       }
       // No (or failed) fallback: fall through to the retry gate.
@@ -244,23 +249,23 @@ Task<> KvFrontend::Serve(uint64_t key, bool is_read) {
       // arrive deader.
       ++deadline_rejections_seen_;
       ++failed_;
-      co_return;
+      co_return false;
     } else if (outcome == Attempt::kFatal) {
       ++failed_;
-      co_return;
+      co_return false;
     }
     if (attempt + 1 >= options_.max_attempts) {
       ++failed_;
-      co_return;
+      co_return false;
     }
     if (options_.deadline_propagation &&
         rt_.sim().Now() > arrival + options_.slo) {
       ++failed_;  // client-side give-up: nothing sent now can make the SLO
-      co_return;
+      co_return false;
     }
     if (options_.retry_budget && !budget_.TryAcquireRetry()) {
       ++failed_;
-      co_return;
+      co_return false;
     }
     ++retries_;
     co_await rt_.sim().Sleep(backoff);
@@ -374,42 +379,64 @@ Task<Status> KvFrontend::SplitShard(Ctx ctx, ProcletId shard,
   const uint64_t old_end = donor->hash_end();
   FencedKvProclet::SplitPayload payload =
       donor->ExtractUpperRange(split_point);
+  // From here on the payload OWNS the upper half: every exit below must
+  // install it somewhere (the fresh shard, or back into the donor) or
+  // account its loss to the crash of the machine it was resident on.
   PlacementRequest req;
   req.heap_bytes = options_.shard_heap_bytes;
   req.pinned = target;
   auto create = rt_.Create<FencedKvProclet>(ctx, req, split_point, old_end);
   Result<Ref<FencedKvProclet>> created = co_await std::move(create);
   if (!created.ok()) {
-    auto rollback = RetryUnderPressure(rt_.sim(), [&] {
-      return donor->AbsorbRightNeighbor(std::move(payload));
-    });
+    auto rollback = RestorePayload(donor, /*adjacent=*/true, std::move(payload));
     const Status rolled_back = co_await std::move(rollback);
-    QS_CHECK_MSG(rolled_back.ok(), "split rollback lost data");
+    if (!rolled_back.ok()) {
+      co_return rolled_back;  // donor died mid-split: range lost with its host
+    }
     co_return created.status();
   }
   auto begin_new = rt_.BeginMaintenance(created->id());
   const Status new_gate = co_await std::move(begin_new);
-  QS_CHECK(new_gate.ok());
+  if (!new_gate.ok()) {
+    // The fresh shard died (or vanished) before it was ever routed to;
+    // nothing references it, so just put the entries back.
+    auto rollback = RestorePayload(donor, /*adjacent=*/true, std::move(payload));
+    const Status rolled_back = co_await std::move(rollback);
+    co_return rolled_back.ok() ? new_gate : rolled_back;
+  }
   MaintenanceGuard new_guard(rt_, created->id());
   auto* fresh = rt_.UnsafeGet<FencedKvProclet>(created->id());
   QS_CHECK(fresh != nullptr);
 
   // Ship the moved entries plus the dedup-state copy.
-  auto transfer = rt_.fabric().Transfer(donor_machine, fresh->location(),
-                                        payload.total_bytes);
-  co_await std::move(transfer);
-  Status adopted = fresh->AdoptPayload(std::move(payload));
-  if (!adopted.ok()) {
-    // Destination ran out of memory: put the entries back where they were.
-    auto rollback = RetryUnderPressure(rt_.sim(), [&] {
-      return donor->AbsorbRightNeighbor(std::move(payload));
-    });
-    const Status rolled_back = co_await std::move(rollback);
-    QS_CHECK_MSG(rolled_back.ok(), "split rollback lost data");
+  const MachineId fresh_machine = fresh->location();
+  auto copy = CopyPayload(donor_machine, fresh_machine, payload.total_bytes);
+  const bool arrived = co_await std::move(copy);
+  if (!options_.unsafe_reshape_for_test && (!arrived || fresh->lost())) {
+    // The destination never held a full copy (its machine died mid-copy, or
+    // the fabric gave up): fence-abort the orphan half — it was never in
+    // the table, so destroying it strands nothing — and roll the entries
+    // back into the donor. The historical code skipped this check and
+    // installed into the corpse, vaporizing the upper half.
     new_guard.Release();
     auto destroy = rt_.Destroy(ctx, created->id());
     (void)co_await std::move(destroy);
-    co_return adopted;
+    auto rollback = RestorePayload(donor, /*adjacent=*/true, std::move(payload));
+    const Status rolled_back = co_await std::move(rollback);
+    if (!rolled_back.ok()) {
+      co_return rolled_back;
+    }
+    co_return Status::Unavailable("split target failed during the copy");
+  }
+  Status adopted = fresh->AdoptPayload(std::move(payload));
+  if (!adopted.ok()) {
+    // Destination ran out of memory: put the entries back where they were.
+    new_guard.Release();
+    auto destroy = rt_.Destroy(ctx, created->id());
+    (void)co_await std::move(destroy);
+    auto rollback = RestorePayload(donor, /*adjacent=*/true, std::move(payload));
+    const Status rolled_back = co_await std::move(rollback);
+    co_return rolled_back.ok() ? adopted : rolled_back;
   }
 
   // Routing flips while both gates are still closed: requests queued at the
@@ -460,19 +487,31 @@ Task<Status> KvFrontend::MergeShards(Ctx ctx, ProcletId left, ProcletId right) {
     co_return Status::FailedPrecondition("shards not contiguous");
   }
   const MachineId right_machine = rp->location();
+  const MachineId left_machine = lp->location();
   FencedKvProclet::SplitPayload payload = rp->ExtractAll();
-  auto transfer = rt_.fabric().Transfer(right_machine, lp->location(),
-                                        payload.total_bytes);
-  co_await std::move(transfer);
+  // As in SplitShard: the payload owns the right shard's contents until it
+  // is installed at the left or restored to the right.
+  auto copy = CopyPayload(right_machine, left_machine, payload.total_bytes);
+  const bool arrived = co_await std::move(copy);
+  if (!options_.unsafe_reshape_for_test && (!arrived || lp->lost())) {
+    // The surviving half never held the copy: restore the right shard
+    // exactly as it was (its range collapsed during extraction, so racing
+    // requests merely bounced meanwhile). The left shard's own range is
+    // untouched — if its machine died, that loss is the crash's, not the
+    // merge's, and RepairLostShards covers it.
+    auto rollback = RestorePayload(rp, /*adjacent=*/false, std::move(payload));
+    const Status rolled_back = co_await std::move(rollback);
+    if (!rolled_back.ok()) {
+      co_return rolled_back;  // right died too: its data died at home
+    }
+    co_return Status::Unavailable("merge destination failed during the copy");
+  }
   Status absorbed = lp->AbsorbRightNeighbor(std::move(payload));
   if (!absorbed.ok()) {
     // Left's machine ran out of memory: restore the right shard.
-    auto rollback = RetryUnderPressure(rt_.sim(), [&] {
-      return rp->AdoptPayload(std::move(payload));
-    });
+    auto rollback = RestorePayload(rp, /*adjacent=*/false, std::move(payload));
     const Status rolled_back = co_await std::move(rollback);
-    QS_CHECK_MSG(rolled_back.ok(), "merge rollback lost data");
-    co_return absorbed;
+    co_return rolled_back.ok() ? absorbed : rolled_back;
   }
 
   const size_t li2 = EntryIndexOf(left);
@@ -501,6 +540,150 @@ Task<Status> KvFrontend::MigrateShard(Ctx ctx, ProcletId shard,
   const uint64_t epoch = rt_.EpochOf(shard);
   auto migrate = rt_.Migrate(shard, target, epoch);
   co_return co_await std::move(migrate);
+}
+
+// --- Crash safety -------------------------------------------------------------
+
+Task<Status> KvFrontend::RestorePayload(FencedKvProclet* shard, bool adjacent,
+                                        FencedKvProclet::SplitPayload&& payload) {
+  // Mirrors RetryUnderPressure, but re-checks for loss on every iteration:
+  // a lost proclet ACCEPTS heap charges without accounting (so callers'
+  // rollback invariants hold), which means a blind retry loop would
+  // "succeed" against the limbo corpse and silently drop the payload.
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    if (shard->lost()) {
+      break;
+    }
+    const Status installed = adjacent
+                                 ? shard->AbsorbRightNeighbor(std::move(payload))
+                                 : shard->AdoptPayload(std::move(payload));
+    if (installed.code() != StatusCode::kResourceExhausted) {
+      if (installed.ok()) {
+        ++reshape_rollbacks_;
+      }
+      co_return installed;
+    }
+    co_await rt_.sim().Sleep(Duration::Millis(1));
+  }
+  // The rollback target is gone: the extracted range's bytes were resident
+  // on its machine and died with it — the same loss a crash with no reshape
+  // in flight would have caused. Account it; RepairLostShards restores
+  // availability of the range.
+  ++reshape_payload_discards_;
+  co_return Status::DataLoss(
+      "rollback target lost; the extracted range died with its host");
+}
+
+Task<bool> KvFrontend::CopyPayload(MachineId src, MachineId dst, int64_t bytes) {
+  // A transient fabric fault (loss window, short partition) should not
+  // abort a reshape outright, so retry a couple of times — but only while
+  // both endpoints are still up: a dead endpoint cannot recover here.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (rt_.cluster().machine(src).failed() ||
+        rt_.cluster().machine(dst).failed()) {
+      co_return false;
+    }
+    auto transfer = rt_.fabric().Transfer(src, dst, bytes);
+    if (co_await std::move(transfer)) {
+      co_return true;
+    }
+  }
+  co_return false;
+}
+
+bool KvFrontend::TableFullyLive() const {
+  for (const ShardEntry& e : table_) {
+    if (rt_.IsLost(e.ref.id())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Task<int> KvFrontend::RepairLostShards(Ctx ctx) {
+  int repaired = 0;
+  // Snapshot the ids up front: the table may be edited across the awaits
+  // below (by this fiber or a racing reshape), so each entry is re-located
+  // by id + range before it is touched.
+  std::vector<ProcletId> ids;
+  ids.reserve(table_.size());
+  for (const ShardEntry& e : table_) {
+    ids.push_back(e.ref.id());
+  }
+  for (const ProcletId id : ids) {
+    if (!rt_.IsLost(id)) {
+      lost_seen_.erase(id);  // alive, or recovery rebound the same id
+      continue;
+    }
+    const SimTime now = rt_.sim().Now();
+    const auto [it, first_sighting] = lost_seen_.try_emplace(id, now);
+    if (now - it->second < options_.repair_grace) {
+      continue;  // give promotion/restore a chance to rebind the id
+    }
+    size_t idx = EntryIndexOf(id);
+    if (idx == table_.size()) {
+      lost_seen_.erase(id);
+      continue;  // a racing merge already removed the entry
+    }
+    const uint64_t begin = table_[idx].begin;
+    const uint64_t end = table_[idx].end;
+    // Fresh empty replacement on the least-burdened live machine. The dead
+    // range's data is gone either way; what repair restores is routing — a
+    // table that forever points at a corpse fails every request in range.
+    MachineId host = kInvalidMachineId;
+    int64_t host_shards = 0;
+    for (MachineId m = 0; m < rt_.cluster().size(); ++m) {
+      if (m == options_.home || !rt_.cluster().machine(m).accepting() ||
+          rt_.MachineConsideredDead(m)) {
+        continue;
+      }
+      int64_t hosted = 0;
+      for (const ShardEntry& e : table_) {
+        if (!rt_.IsLost(e.ref.id()) && rt_.LocationOf(e.ref.id()) == m) {
+          ++hosted;
+        }
+      }
+      if (host == kInvalidMachineId || hosted < host_shards) {
+        host = m;
+        host_shards = hosted;
+      }
+    }
+    if (host == kInvalidMachineId) {
+      continue;  // nowhere live to put it; retry on a later call
+    }
+    PlacementRequest req;
+    req.heap_bytes = options_.shard_heap_bytes;
+    req.pinned = host;
+    auto create = rt_.Create<FencedKvProclet>(ctx, req, begin, end);
+    Result<Ref<FencedKvProclet>> created = co_await std::move(create);
+    if (!created.ok()) {
+      continue;
+    }
+    // Re-locate: the entry may have moved (or been merged away) while the
+    // create was in flight.
+    idx = table_.size();
+    for (size_t i = 0; i < table_.size(); ++i) {
+      if (table_[i].ref.id() == id && table_[i].begin == begin &&
+          table_[i].end == end) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == table_.size() || !rt_.IsLost(id)) {
+      // The entry changed or the shard came back meanwhile; discard the
+      // replacement rather than double-routing the range.
+      auto destroy = rt_.Destroy(ctx, created->id());
+      (void)co_await std::move(destroy);
+      continue;
+    }
+    table_[idx].ref = *created;
+    RebuildShardRefs();
+    shard_stats_.erase(id);
+    lost_seen_.erase(id);
+    ++repairs_;
+    ++repaired;
+  }
+  co_return repaired;
 }
 
 }  // namespace quicksand

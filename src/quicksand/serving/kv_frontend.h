@@ -37,6 +37,21 @@
 // window of sim time (WindowedHistogram), so a current overload is visible
 // instead of averaged away by a long calm history. Per-shard arrival and
 // shed counters feed the autoscaler's hotness signal.
+//
+// Reshapes are CRASH-SAFE: an extracted payload is never destroyed until it
+// is installed somewhere. If the destination of a split/merge copy dies
+// mid-flight (or the copy never arrives), the payload rolls back into the
+// shard it came from and the orphan half is fence-aborted (destroyed, never
+// routed to). Only when the SOURCE of the bytes dies mid-reshape is the
+// payload discarded — the data was resident on the dead machine and died
+// with it, exactly as if no reshape had been running (the chaos engine's
+// residency ledger treats precisely that case as excused loss).
+// RepairLostShards is the matching self-healing path: routing entries whose
+// shard died and was not restored within a grace period are replaced with
+// fresh empty shards on live machines, so the table always routes
+// somewhere. unsafe_reshape_for_test restores the pre-hardening blind
+// install (writes into a crashed shard's limbo corpse "succeed" and
+// vanish) so the chaos oracles can demonstrate they catch the bug.
 
 #ifndef QUICKSAND_SERVING_KV_FRONTEND_H_
 #define QUICKSAND_SERVING_KV_FRONTEND_H_
@@ -81,6 +96,18 @@ struct KvFrontendOptions {
   RetryBudgetOptions budget{};
   // Sliding window for goodput/quantile accounting.
   Duration stats_window = Duration::Millis(200);
+  // --- Crash safety ---------------------------------------------------------
+  // How long RepairLostShards leaves a lost routing entry alone before
+  // replacing it with a fresh empty shard: recovery (backup promotion /
+  // checkpoint restore) rebinds the SAME proclet id, and replacing too
+  // eagerly would orphan a restore already in flight.
+  Duration repair_grace = Duration::Millis(2);
+  // TEST ONLY: restore the pre-hardening reshape paths, which install
+  // extracted payloads without checking whether the destination survived
+  // the copy — the crash-mid-reshape data-loss bug the chaos engine exists
+  // to catch (bench/ab11_chaos --smoke reintroduces it, finds it with the
+  // residency oracle, and shrinks the failing schedule).
+  bool unsafe_reshape_for_test = false;
 };
 
 class KvFrontend : public ServingStatsSource, public ReshapableShardSet {
@@ -109,6 +136,25 @@ class KvFrontend : public ServingStatsSource, public ReshapableShardSet {
   // spending a retry token. Never throws; failures are accounted.
   Task<> Serve(uint64_t key, bool is_read);
 
+  // Serve, but reporting whether the request was acked (served in or out of
+  // SLO) or failed — the hook chaos/test harnesses use to keep an acked-write
+  // ledger. Serve() is this with the outcome dropped.
+  Task<bool> ServeDetailed(uint64_t key, bool is_read);
+
+  // --- Crash repair ---------------------------------------------------------
+
+  // Replaces routing entries whose shard was lost to a machine failure and
+  // not restored within options.repair_grace: each gets a fresh EMPTY shard
+  // covering the same range on a live machine. The lost range's data died
+  // with its host (or was already recovered under the same id by the
+  // durability layer, in which case the entry is live again and skipped);
+  // repair restores AVAILABILITY of the range. Returns entries repaired.
+  // Harnesses call this periodically; it is safe to call any time.
+  Task<int> RepairLostShards(Ctx ctx);
+
+  // True when every routing entry resolves to a live (non-lost) shard.
+  bool TableFullyLive() const;
+
   // ServingStatsSource.
   ServingSample SampleServing(SimTime now) const override;
 
@@ -135,6 +181,14 @@ class KvFrontend : public ServingStatsSource, public ReshapableShardSet {
   int64_t retries() const { return retries_; }
   // Requests that bounced off a shard mid-reshape and re-routed.
   int64_t moved_reroutes() const { return moved_reroutes_; }
+  // Reshape payloads returned to their source after a failed install leg
+  // (destination crashed mid-copy, copy never arrived, or out of memory).
+  int64_t reshape_rollbacks() const { return reshape_rollbacks_; }
+  // Reshape payloads discarded because their SOURCE crashed mid-reshape:
+  // the bytes were resident on the dead machine and died with it.
+  int64_t reshape_payload_discards() const { return reshape_payload_discards_; }
+  // Lost routing entries replaced with fresh shards by RepairLostShards.
+  int64_t repairs() const { return repairs_; }
   const RetryBudget& budget() const { return budget_; }
   const WindowedHistogram& latency() const { return latency_; }
   const std::vector<Ref<FencedKvProclet>>& shards() const { return shards_; }
@@ -163,6 +217,17 @@ class KvFrontend : public ServingStatsSource, public ReshapableShardSet {
   // Degraded fallback; true when the stale read answered.
   Task<bool> TryStaleRead(Ctx ctx, Ref<FencedKvProclet> shard, uint64_t key);
   void RecordSuccess(SimTime arrival);
+
+  // Installs a reshape payload back into the shard it was extracted from
+  // (AbsorbRightNeighbor when `adjacent`, AdoptPayload otherwise), retrying
+  // memory pressure but giving up the moment the shard is lost: its host
+  // crashed, so the payload's bytes died where they lived. Never leaves the
+  // payload half-installed.
+  Task<Status> RestorePayload(FencedKvProclet* shard, bool adjacent,
+                              FencedKvProclet::SplitPayload&& payload);
+  // Ships `bytes` source -> destination with bounded retries; true when a
+  // full copy arrived while both endpoints were still up.
+  Task<bool> CopyPayload(MachineId src, MachineId dst, int64_t bytes);
 
   // Routing-table row covering `hash` (the table always covers the space).
   const ShardEntry& Route(uint64_t hash) const;
@@ -193,6 +258,12 @@ class KvFrontend : public ServingStatsSource, public ReshapableShardSet {
   int64_t stale_fallbacks_ = 0;
   int64_t retries_ = 0;
   int64_t moved_reroutes_ = 0;
+  int64_t reshape_rollbacks_ = 0;
+  int64_t reshape_payload_discards_ = 0;
+  int64_t repairs_ = 0;
+  // First time RepairLostShards saw each routing entry's shard lost; the
+  // grace clock for replacing it.
+  std::unordered_map<ProcletId, SimTime> lost_seen_;
 };
 
 }  // namespace quicksand

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "quicksand/cluster/fault_injector.h"
 #include "quicksand/common/bytes.h"
 #include "quicksand/durability/replication.h"
+#include "quicksand/health/failure_detector.h"
 #include "quicksand/serving/kv_frontend.h"
 #include "quicksand/serving/workload.h"
 
@@ -342,6 +344,203 @@ TEST(AutoscalerTest, SplitsTheHotShardUnderAFlashCrowd) {
   // No request was lost to the reshaping.
   EXPECT_EQ(frontend.ok_in_slo() + frontend.ok_late() + frontend.failed(),
             frontend.offered());
+}
+
+TEST(SkewDetectorTest, ColdFloorTripsOnAnIdleClusterWhereRelativeCannot) {
+  // Post-flash remnants are EVENLY idle: median ~0, so the cluster never
+  // counts as busy and relative cold detection is structurally blind. The
+  // absolute floor is what unwinds them.
+  LoadStatsCollector collector(1.0);
+  SkewDetectorOptions relative_only;
+  relative_only.cold_streak = 3;
+  SkewDetector relative(relative_only);
+  SkewDetectorOptions floored = relative_only;
+  floored.cold_floor_qps = 50.0;
+  SkewDetector absolute(floored);
+
+  SimTime t = SimTime::FromNanos(0);
+  for (int tick = 0; tick < 6; ++tick) {
+    collector.Observe(t, {MakeSample(1, 1, 0, 0, 100),
+                          MakeSample(2, 2, 0, 100, 200),
+                          MakeSample(3, 3, 0, 200, 300)});
+    t = t + Duration::Millis(1);
+    EXPECT_TRUE(relative.Update(collector).cold.empty()) << "tick " << tick;
+    const SkewVerdict v = absolute.Update(collector);
+    if (tick + 1 >= floored.cold_streak) {
+      EXPECT_EQ(v.cold.size(), 3u) << "tick " << tick;
+    }
+  }
+}
+
+WorkloadOptions FlashOnKeySeven(Duration duration) {
+  WorkloadOptions load;
+  load.base_qps = 4000.0;
+  load.keys = 64;
+  load.zipf_s = 0.0;
+  load.read_fraction = 0.0;
+  load.duration = duration;
+  load.flash_multiplier = 1.0;
+  load.flash_start = SimTime::FromNanos(0);
+  load.flash_end = SimTime::Max();
+  load.flash_key_fraction = 1.0;
+  load.flash_key_begin = 7;
+  load.flash_key_end = 8;
+  return load;
+}
+
+TEST(AutoscalerTest, ColdFloorUnwindsFlashSplitsSoRepeatFlashesDoNotRatchet) {
+  Fixture f(/*machines=*/4);
+  KvFrontendOptions opt;
+  opt.shards = 4;
+  KvFrontend frontend(*f.rt, opt);
+  ASSERT_TRUE(f.sim.BlockOn(frontend.Start(f.rt->CtxOn(0))).ok());
+
+  AutoscalerOptions aopt;
+  aopt.period = Duration::Millis(1);
+  aopt.detector.rate_floor_qps = 100.0;
+  aopt.detector.hot_streak = 2;
+  aopt.detector.cold_streak = 4;
+  // The flash pushes thousands of qps at one shard; once it passes, every
+  // remnant idles far below 200 qps and the floor melts them back down.
+  aopt.detector.cold_floor_qps = 200.0;
+  aopt.executor.slo = Duration::Millis(20);
+  Autoscaler autoscaler(*f.rt, frontend, aopt);
+  autoscaler.Start();
+
+  // Flash 1 -> splits; quiet -> the cold floor merges the remnants.
+  OpenLoopLoadGen first(f.sim, frontend, FlashOnKeySeven(Duration::Millis(30)));
+  f.sim.BlockOn(first.Run());
+  const size_t peak_after_first = frontend.shards().size();
+  const int64_t splits_after_first = autoscaler.splits();
+  EXPECT_GE(splits_after_first, 1);
+  EXPECT_GT(peak_after_first, 4u);
+  f.sim.RunFor(Duration::Millis(40));
+  const size_t after_first_quiet = frontend.shards().size();
+  EXPECT_GE(autoscaler.merges(), 1);
+  EXPECT_LT(after_first_quiet, peak_after_first);
+
+  // Flash 2, same shape; the count must not ratchet past the first peak.
+  OpenLoopLoadGen second(f.sim, frontend, FlashOnKeySeven(Duration::Millis(30)));
+  f.sim.BlockOn(second.Run());
+  EXPECT_GT(autoscaler.splits(), splits_after_first);
+  f.sim.RunFor(Duration::Millis(40));
+  autoscaler.Stop();
+  f.sim.RunFor(Duration::Millis(5));
+  EXPECT_LE(frontend.shards().size(), peak_after_first);
+}
+
+FailureDetectorOptions StaysSuspectedOptions() {
+  // Fast suspicion, confirmation far beyond the test horizon: the machine
+  // stays kSuspected, exercising the health pause rather than dead-machine
+  // handling.
+  FailureDetectorOptions d;
+  d.controller = 0;
+  d.heartbeat_period = Duration::Micros(500);
+  d.suspect_after = Duration::Millis(2);
+  d.confirm_after = Duration::Millis(500);
+  d.check_period = Duration::Micros(250);
+  return d;
+}
+
+TEST(AutoscalerTest, PausesVerdictsForShardsHostedOnSuspectedMachines) {
+  Fixture f(/*machines=*/4);
+  FaultInjector faults(f.sim, f.cluster);
+  KvFrontendOptions opt;
+  // 4 shards so the median shard is idle during the flash — with only 2,
+  // the hot shard IS the median and the relative bar can never trip.
+  opt.shards = 4;
+  KvFrontend frontend(*f.rt, opt);
+  ASSERT_TRUE(f.sim.BlockOn(frontend.Start(f.rt->CtxOn(0))).ok());
+
+  // Find the machine hosting key 7's shard and cut its heartbeat path
+  // (one-way, toward the controller): arrivals still reach the shard, but
+  // the detector suspects the host.
+  MachineId hot_host = kInvalidMachineId;
+  for (const auto& shard : frontend.shards()) {
+    const auto* p = f.rt->UnsafeGet<FencedKvProclet>(shard.id());
+    ASSERT_NE(p, nullptr);
+    if (p->Owns(7)) {
+      hot_host = f.rt->LocationOf(shard.id());
+    }
+  }
+  ASSERT_NE(hot_host, kInvalidMachineId);
+  faults.SchedulePartitionOneWay(f.sim.Now(), hot_host, 0);
+
+  FailureDetector detector(f.sim, f.cluster, StaysSuspectedOptions());
+  detector.Start();
+
+  AutoscalerOptions aopt;
+  aopt.period = Duration::Millis(2);  // first possible split after suspicion
+  aopt.detector.rate_floor_qps = 100.0;
+  aopt.detector.hot_streak = 2;
+  aopt.executor.slo = Duration::Millis(20);
+  Autoscaler autoscaler(*f.rt, frontend, aopt);
+  autoscaler.AttachHealth(&detector);
+  autoscaler.Start();
+
+  OpenLoopLoadGen gen(f.sim, frontend, FlashOnKeySeven(Duration::Millis(30)));
+  f.sim.BlockOn(gen.Run());
+  f.sim.RunFor(Duration::Millis(10));
+  autoscaler.Stop();
+  detector.Stop();
+  f.sim.RunFor(Duration::Millis(5));
+
+  EXPECT_EQ(detector.StateOf(hot_host), Health::kSuspected);
+  // The hot verdict kept firing, but every one of them was paused: the
+  // load estimate is stale and the copy source may be dying.
+  EXPECT_EQ(autoscaler.splits(), 0);
+  EXPECT_EQ(autoscaler.migrations(), 0);
+  EXPECT_GT(autoscaler.health_skips(), 0);
+}
+
+TEST(AutoscalerTest, ExcludesSuspectedMachinesFromReshapeTargets) {
+  Fixture f(/*machines=*/6);
+  FaultInjector faults(f.sim, f.cluster);
+  KvFrontendOptions opt;
+  opt.shards = 4;  // median stays idle under the flash (see above)
+  KvFrontend frontend(*f.rt, opt);
+  ASSERT_TRUE(f.sim.BlockOn(frontend.Start(f.rt->CtxOn(0))).ok());
+
+  // Suspect an IDLE machine (hosts nothing): splits must land on the other
+  // spare host, never on the suspect.
+  std::set<MachineId> hosts;
+  for (const auto& shard : frontend.shards()) {
+    hosts.insert(f.rt->LocationOf(shard.id()));
+  }
+  MachineId suspect = kInvalidMachineId;
+  for (MachineId m = 1; m < f.rt->cluster().size(); ++m) {
+    if (hosts.count(m) == 0) {
+      suspect = m;
+      break;
+    }
+  }
+  ASSERT_NE(suspect, kInvalidMachineId);
+  faults.SchedulePartitionOneWay(f.sim.Now(), suspect, 0);
+
+  FailureDetector detector(f.sim, f.cluster, StaysSuspectedOptions());
+  detector.Start();
+
+  AutoscalerOptions aopt;
+  aopt.period = Duration::Millis(1);
+  aopt.detector.rate_floor_qps = 100.0;
+  aopt.detector.hot_streak = 2;
+  aopt.executor.slo = Duration::Millis(20);
+  Autoscaler autoscaler(*f.rt, frontend, aopt);
+  autoscaler.AttachHealth(&detector);
+  autoscaler.Start();
+
+  OpenLoopLoadGen gen(f.sim, frontend, FlashOnKeySeven(Duration::Millis(30)));
+  f.sim.BlockOn(gen.Run());
+  f.sim.RunFor(Duration::Millis(10));
+  autoscaler.Stop();
+  detector.Stop();
+  f.sim.RunFor(Duration::Millis(5));
+
+  EXPECT_EQ(detector.StateOf(suspect), Health::kSuspected);
+  EXPECT_GE(autoscaler.splits(), 1);
+  for (const auto& shard : frontend.shards()) {
+    EXPECT_NE(f.rt->LocationOf(shard.id()), suspect);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,276 @@
+// Chaos engine unit tests: the generator's structural guarantees, the
+// shrinker's contract on a cheap synthetic predicate, and RunChaos
+// end-to-end — a safe run must survive deterministically, and the
+// deliberately reintroduced crash-mid-reshape bug (unsafe_reshape) must be
+// caught by an oracle. The expensive sweep lives in bench/ab11_chaos.cc;
+// these tests pin the engine's semantics at tier-1 cost.
+
+#include "quicksand/chaos/harness.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "quicksand/chaos/oracles.h"
+#include "quicksand/chaos/schedule.h"
+#include "quicksand/chaos/shrink.h"
+
+namespace quicksand {
+namespace {
+
+ChaosScheduleOptions GenOptions() {
+  ChaosScheduleOptions opt;
+  opt.machines = 6;
+  opt.horizon = Duration::Millis(60);
+  opt.events = 8;
+  opt.max_crashes = 2;
+  return opt;
+}
+
+bool IsFailStop(const ChaosEvent& e) {
+  return e.kind == ChaosEventKind::kCrash ||
+         e.kind == ChaosEventKind::kRevocation;
+}
+
+TEST(ChaosScheduleTest, SameSeedSameSchedule) {
+  const ChaosScheduleOptions opt = GenOptions();
+  const ChaosSchedule a = GenerateSchedule(42, opt);
+  const ChaosSchedule b = GenerateSchedule(42, opt);
+  EXPECT_EQ(FormatSchedule(a), FormatSchedule(b));
+  ASSERT_EQ(a.events.size(), static_cast<size_t>(opt.events));
+
+  // Different seeds should (essentially always) differ — a constant
+  // generator would make the seeded sweep meaningless.
+  const ChaosSchedule c = GenerateSchedule(43, opt);
+  EXPECT_NE(FormatSchedule(a), FormatSchedule(c));
+}
+
+TEST(ChaosScheduleTest, GeneratedSchedulesAreStructurallyDrivable) {
+  const ChaosScheduleOptions opt = GenOptions();
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    const ChaosSchedule s = GenerateSchedule(seed, opt);
+    std::set<MachineId> fail_stopped;
+    Duration prev = Duration::Zero();
+    for (const ChaosEvent& e : s.events) {
+      // Machine 0 hosts the frontend, detector, and recovery: never a
+      // fault target.
+      EXPECT_NE(e.a, MachineId{0}) << "seed " << seed;
+      if (e.kind == ChaosEventKind::kPartitionOneWay ||
+          e.kind == ChaosEventKind::kPartition ||
+          e.kind == ChaosEventKind::kLinkLoss ||
+          e.kind == ChaosEventKind::kDelaySpike) {
+        EXPECT_NE(e.a, e.b) << "seed " << seed;
+      }
+      // Events are sorted and land inside the horizon.
+      EXPECT_GE(e.at.nanos(), prev.nanos()) << "seed " << seed;
+      prev = e.at;
+      EXPECT_LE((e.at + e.duration).nanos(), opt.horizon.nanos())
+          << "seed " << seed;
+      if (IsFailStop(e)) {
+        fail_stopped.insert(e.a);
+      }
+    }
+    EXPECT_LE(static_cast<int>(fail_stopped.size()), opt.max_crashes)
+        << "seed " << seed;
+  }
+}
+
+TEST(ChaosScheduleTest, CrashCapLeavesTwoSurvivingHosts) {
+  // Even when asked for an absurd crash budget, the generator must keep at
+  // least two non-controller hosts alive (a draw over the cap degrades to
+  // a partition of the same machine).
+  ChaosScheduleOptions opt = GenOptions();
+  opt.machines = 4;      // hosts 1..3
+  opt.max_crashes = 10;  // clamped to hosts - 2 = 1
+  for (uint64_t seed = 0; seed < 100; ++seed) {
+    const ChaosSchedule s = GenerateSchedule(seed, opt);
+    std::set<MachineId> fail_stopped;
+    for (const ChaosEvent& e : s.events) {
+      if (IsFailStop(e)) {
+        fail_stopped.insert(e.a);
+      }
+    }
+    EXPECT_LE(static_cast<int>(fail_stopped.size()), 1) << "seed " << seed;
+  }
+}
+
+TEST(ShrinkScheduleTest, DdminFindsTheMinimalFailingCore) {
+  // Synthetic predicate: "fails" iff the schedule still contains at least
+  // one crash AND at least one delay spike. The minimal core is 2 events;
+  // everything else is chaff the shrinker must discard.
+  ChaosSchedule fat = GenerateSchedule(7, GenOptions());
+  auto add = [&fat](ChaosEventKind kind, MachineId a, MachineId b,
+                    Duration at) {
+    ChaosEvent e;
+    e.kind = kind;
+    e.a = a;
+    e.b = b;
+    e.at = at;
+    e.duration = Duration::Millis(5);
+    fat.events.push_back(e);
+  };
+  // Guarantee the core exists regardless of what seed 7 drew.
+  add(ChaosEventKind::kCrash, 3, 0, Duration::Millis(10));
+  add(ChaosEventKind::kDelaySpike, 1, 2, Duration::Millis(20));
+  std::sort(fat.events.begin(), fat.events.end(),
+            [](const ChaosEvent& x, const ChaosEvent& y) {
+              return x.at.nanos() < y.at.nanos();
+            });
+
+  auto still_fails = [](const ChaosSchedule& s) {
+    bool crash = false;
+    bool spike = false;
+    for (const ChaosEvent& e : s.events) {
+      crash = crash || e.kind == ChaosEventKind::kCrash;
+      spike = spike || e.kind == ChaosEventKind::kDelaySpike;
+    }
+    return crash && spike;
+  };
+  ASSERT_TRUE(still_fails(fat));
+
+  const ShrinkResult r = ShrinkSchedule(fat, still_fails, /*max_probes=*/200);
+  EXPECT_EQ(r.schedule.events.size(), 2u);
+  EXPECT_TRUE(still_fails(r.schedule));  // the result fails by construction
+  EXPECT_GT(r.probes, 0);
+  EXPECT_LE(r.probes, 200);
+}
+
+TEST(ShrinkScheduleTest, ReturnsTheOriginalWhenNothingCanGo) {
+  ChaosSchedule tight;
+  tight.seed = 1;
+  ChaosEvent e;
+  e.kind = ChaosEventKind::kCrash;
+  e.a = 2;
+  e.at = Duration::Millis(10);
+  tight.events.push_back(e);
+
+  const ShrinkResult r = ShrinkSchedule(
+      tight, [](const ChaosSchedule& s) { return !s.events.empty(); },
+      /*max_probes=*/50);
+  ASSERT_EQ(r.schedule.events.size(), 1u);
+  EXPECT_EQ(r.schedule.events[0].kind, ChaosEventKind::kCrash);
+}
+
+ChaosHarnessOptions TestProfile() {
+  ChaosHarnessOptions opt;
+  opt.machines = 6;
+  opt.run = Duration::Millis(60);
+  opt.replicate = false;
+  opt.autoscale = true;
+  return opt;
+}
+
+TEST(RunChaosTest, FixedSeedSurvivesAndReplaysBitForBit) {
+  ChaosScheduleOptions gen = GenOptions();
+  const ChaosSchedule schedule = GenerateSchedule(3, gen);
+  const ChaosRunResult first = RunChaos(schedule, TestProfile());
+  EXPECT_TRUE(first.survived) << FormatViolations(first.violations);
+  EXPECT_TRUE(first.violations.empty())
+      << FormatViolations(first.violations);
+  EXPECT_TRUE(first.drained);
+  EXPECT_TRUE(first.table_live);
+  EXPECT_GT(first.acked, 0);
+  // A passing run carries no postmortems — they are for failures only.
+  EXPECT_TRUE(first.postmortems.empty());
+
+  const ChaosRunResult second = RunChaos(schedule, TestProfile());
+  EXPECT_EQ(first.digest, second.digest);
+  EXPECT_EQ(first.acked, second.acked);
+  EXPECT_EQ(first.started, second.started);
+}
+
+// The crafted schedule from the A11 bug hunt, reduced to its proven core:
+// a flash crowd forces splits onto the idle hosts, the delay-spiked
+// donor->target links hold each copy in flight for ~20ms, and the crash of
+// a split target lands inside the window.
+ChaosSchedule CrashMidReshapeSchedule() {
+  ChaosSchedule s;
+  s.seed = 0xB06;
+  auto add = [&s](ChaosEventKind kind, Duration at, Duration duration,
+                  MachineId a, MachineId b, double magnitude,
+                  Duration extra) {
+    ChaosEvent e;
+    e.kind = kind;
+    e.at = at;
+    e.duration = duration;
+    e.a = a;
+    e.b = b;
+    e.magnitude = magnitude;
+    e.extra = extra;
+    s.events.push_back(e);
+  };
+  add(ChaosEventKind::kFlashCrowd, Duration::Millis(8), Duration::Millis(30),
+      1, 0, 4.0, Duration::Zero());
+  for (const MachineId src : {MachineId{1}, MachineId{2}}) {
+    for (const MachineId dst : {MachineId{3}, MachineId{4}, MachineId{5}}) {
+      add(ChaosEventKind::kDelaySpike, Duration::Millis(5),
+          Duration::Millis(50), src, dst, 0.0, Duration::Millis(20));
+    }
+  }
+  add(ChaosEventKind::kCrash, Duration::Millis(20), Duration::Zero(), 4, 0,
+      0.0, Duration::Zero());
+  add(ChaosEventKind::kCrash, Duration::Millis(26), Duration::Zero(), 5, 0,
+      0.0, Duration::Zero());
+  add(ChaosEventKind::kCrash, Duration::Millis(32), Duration::Zero(), 3, 0,
+      0.0, Duration::Zero());
+  return s;
+}
+
+TEST(RunChaosTest, OraclesCatchTheUnsafeReshapeAndHardenedPathSurvives) {
+  const ChaosSchedule kill = CrashMidReshapeSchedule();
+
+  // Pre-hardening install: a crash of the split target mid-copy vaporizes
+  // the extracted range, acked writes and all. The ledger must notice.
+  ChaosHarnessOptions unsafe_opt = TestProfile();
+  unsafe_opt.unsafe_reshape = true;
+  const ChaosRunResult broken = RunChaos(kill, unsafe_opt);
+  EXPECT_FALSE(broken.violations.empty());
+  EXPECT_FALSE(broken.survived);
+  // Failures carry postmortems for every dead machine.
+  EXPECT_FALSE(broken.postmortems.empty());
+
+  // The hardened path rolls back (or fence-aborts) the orphan half: the
+  // exact same kill shot must pass clean.
+  const ChaosRunResult hardened = RunChaos(kill, TestProfile());
+  EXPECT_TRUE(hardened.violations.empty())
+      << FormatViolations(hardened.violations);
+  EXPECT_GE(hardened.reshape_rollbacks + hardened.reshape_payload_discards,
+            1);
+}
+
+TEST(RunChaosTest, DurableProfileToleratesOneCrashWithStrictLedger) {
+  ChaosScheduleOptions gen = GenOptions();
+  gen.max_crashes = 1;
+  const ChaosSchedule schedule = GenerateSchedule(5, gen);
+  ChaosHarnessOptions opt = TestProfile();
+  opt.replicate = true;  // pins shards; reshaping refused
+  opt.autoscale = false;
+  const ChaosRunResult r = RunChaos(schedule, opt);
+  EXPECT_TRUE(r.survived) << FormatViolations(r.violations);
+  EXPECT_TRUE(r.violations.empty()) << FormatViolations(r.violations);
+}
+
+// Regression (found by the seeded sweep): under this schedule a crash lands
+// while a Put is mid-service. The fiber finishes against the limbo corpse —
+// Invoke rightly discards the result, but the runtime used to record a
+// commit instant for the zombie apply, attributed to the controller because
+// the directory entry was already erased. The retry's legitimate re-commit
+// on the promoted backup then looked like a double-apply to the
+// exactly-once oracle. NoteCommittedRpc now drops applies against lost
+// proclets (Runtime::Stats::zombie_applies counts them).
+TEST(RunChaosTest, ZombieApplyDuringFailoverIsNotADoubleCommit) {
+  ChaosScheduleOptions gen = GenOptions();
+  gen.max_crashes = 1;
+  const ChaosSchedule schedule = GenerateSchedule(1011, gen);
+  ChaosHarnessOptions opt = TestProfile();
+  opt.replicate = true;
+  opt.autoscale = false;
+  const ChaosRunResult r = RunChaos(schedule, opt);
+  EXPECT_TRUE(r.survived) << FormatViolations(r.violations);
+  EXPECT_TRUE(r.violations.empty()) << FormatViolations(r.violations);
+  EXPECT_EQ(r.crashes, 1);
+}
+
+}  // namespace
+}  // namespace quicksand

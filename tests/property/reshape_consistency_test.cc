@@ -18,6 +18,7 @@
 
 #include <map>
 
+#include "quicksand/cluster/fault_injector.h"
 #include "quicksand/common/bytes.h"
 #include "quicksand/common/random.h"
 #include "quicksand/serving/kv_frontend.h"
@@ -168,6 +169,177 @@ TEST(ReshapeConsistencyTest, FencedWritesSurviveConcurrentReshaping) {
   }
   // The property is vacuous if reshapes never actually interleaved.
   EXPECT_GT(total_reshapes, 10);
+}
+
+// Spawn needs a Task<>; this wrapper parks the split's status for the test
+// body to assert on after the crash races it.
+Task<> DoSplit(KvFrontend& frontend, Ctx ctx, ProcletId donor, uint64_t point,
+               MachineId target, Status* out) {
+  auto split = frontend.SplitShard(ctx, donor, point, target);
+  *out = co_await std::move(split);
+}
+
+// Shared setup for the crash-mid-reshape trio: 2 shards, 40 acked writes,
+// a delay spike stretching the donor->target copy so a crash scheduled
+// ~1ms into the split is guaranteed to land between ExtractUpperRange and
+// the payload install on the far side.
+struct MidSplitCrash {
+  Fixture f;
+  FaultInjector faults{f.sim, f.cluster};
+  std::unique_ptr<KvFrontend> frontend;
+  ProcletId donor = 0;
+  ProcletId other = 0;
+  MachineId donor_machine = kInvalidMachineId;
+  MachineId target = kInvalidMachineId;
+  Status split_status = Status::Ok();
+  static constexpr uint64_t kKeys = 40;
+
+  explicit MidSplitCrash(bool unsafe_reshape) {
+    f.rt->AttachFaultInjector(faults);
+    KvFrontendOptions opt;
+    opt.shards = 2;
+    opt.unsafe_reshape_for_test = unsafe_reshape;
+    frontend = std::make_unique<KvFrontend>(*f.rt, opt);
+    EXPECT_TRUE(f.sim.BlockOn(frontend->Start(f.rt->CtxOn(0))).ok());
+    for (uint64_t k = 0; k < kKeys; ++k) {
+      f.sim.BlockOn(frontend->Serve(k, /*is_read=*/false));
+    }
+    EXPECT_EQ(frontend->failed(), 0);
+
+    donor = frontend->shards()[0].id();
+    other = frontend->shards()[1].id();
+    donor_machine = f.rt->LocationOf(donor);
+    // A host with no shard on it: the split target.
+    for (MachineId m = 1; m < f.rt->cluster().size(); ++m) {
+      if (m != donor_machine && m != f.rt->LocationOf(other)) {
+        target = m;
+        break;
+      }
+    }
+    EXPECT_NE(target, kInvalidMachineId);
+    faults.ScheduleDelaySpike(f.sim.Now(), donor_machine, target,
+                              /*extra=*/Duration::Millis(5),
+                              /*duration=*/Duration::Millis(20));
+  }
+
+  void StartSplit() {
+    const Result<uint64_t> point = frontend->SuggestSplitPoint(donor);
+    ASSERT_TRUE(point.ok());
+    f.sim.Spawn(DoSplit(*frontend, f.rt->CtxOn(0), donor, *point, target,
+                        &split_status),
+                "racing_split");
+    f.sim.RunFor(Duration::Millis(1));  // gate + extract done, copy in flight
+  }
+};
+
+TEST(ReshapeCrashSafetyTest, TargetCrashMidCopyRollsBackEveryAckedWrite) {
+  MidSplitCrash t(/*unsafe_reshape=*/false);
+  t.StartSplit();
+  t.faults.FailNow(t.target);
+  t.f.sim.RunFor(Duration::Millis(40));
+
+  // The split failed and rolled the extracted range back into the donor:
+  // the table looks exactly like the split never happened.
+  EXPECT_FALSE(t.split_status.ok());
+  EXPECT_EQ(t.frontend->reshape_rollbacks(), 1);
+  EXPECT_EQ(t.frontend->shards().size(), 2u);
+  EXPECT_TRUE(t.frontend->TableFullyLive());
+
+  // No acked write lost, none double-applied.
+  for (uint64_t k = 0; k < MidSplitCrash::kKeys; ++k) {
+    int owners = 0;
+    for (const auto& shard : t.frontend->shards()) {
+      const auto* p = t.f.rt->UnsafeGet<FencedKvProclet>(shard.id());
+      ASSERT_NE(p, nullptr);
+      if (p->Owns(k)) {
+        ++owners;
+        EXPECT_TRUE(p->Get(k).ok()) << "key " << k;
+        EXPECT_EQ(p->ApplyCount(k), 1) << "key " << k;
+      }
+    }
+    EXPECT_EQ(owners, 1) << "key " << k;
+  }
+}
+
+TEST(ReshapeCrashSafetyTest, DonorCrashMidCopyDiscardsOrphanAndRepairs) {
+  // A donor crash alone does not lose the payload: the bytes left the NIC
+  // before the host died, so the copy delivers and the split completes
+  // (the fabric checks only the DESTINATION at delivery). The discard path
+  // needs the copy to fail with the rollback target already gone — crash
+  // the target mid-copy (copy fails), then the donor (rollback impossible).
+  MidSplitCrash t(/*unsafe_reshape=*/false);
+  t.StartSplit();
+  t.faults.FailNow(t.target);
+  t.f.sim.RunFor(Duration::Millis(1));
+  t.faults.FailNow(t.donor_machine);
+  t.f.sim.RunFor(Duration::Millis(40));
+
+  // The donor died with its data — that loss is legal (no replication) —
+  // but the orphan half must be fence-aborted, not installed: installing
+  // it would resurrect a stale fragment of a dead shard.
+  EXPECT_FALSE(t.split_status.ok());
+  EXPECT_EQ(t.frontend->reshape_payload_discards(), 1);
+  EXPECT_EQ(t.frontend->reshape_rollbacks(), 0);
+
+  // RepairLostShards replaces the dead routing entry with a fresh empty
+  // shard; the table must return to fully live.
+  for (int i = 0; i < 10 && !t.frontend->TableFullyLive(); ++i) {
+    t.f.sim.BlockOn(t.frontend->RepairLostShards(t.f.rt->CtxOn(0)));
+    t.f.sim.RunFor(Duration::Millis(3));
+  }
+  EXPECT_TRUE(t.frontend->TableFullyLive());
+  EXPECT_GE(t.frontend->repairs(), 1);
+
+  // Coverage: the surviving ranges still partition the hash space.
+  const auto shards = t.frontend->SampleShards(t.f.sim.Now());
+  ASSERT_FALSE(shards.empty());
+  EXPECT_EQ(shards.front().range_begin, 0u);
+  EXPECT_EQ(shards.back().range_end, UINT64_MAX);
+  for (size_t i = 0; i + 1 < shards.size(); ++i) {
+    EXPECT_EQ(shards[i].range_end, shards[i + 1].range_begin);
+  }
+
+  // Keys owned by the untouched shard survive exactly once.
+  const auto* survivor = t.f.rt->UnsafeGet<FencedKvProclet>(t.other);
+  ASSERT_NE(survivor, nullptr);
+  int survivor_keys = 0;
+  for (uint64_t k = 0; k < MidSplitCrash::kKeys; ++k) {
+    if (survivor->Owns(k)) {
+      ++survivor_keys;
+      EXPECT_TRUE(survivor->Get(k).ok()) << "key " << k;
+      EXPECT_EQ(survivor->ApplyCount(k), 1) << "key " << k;
+    }
+  }
+  EXPECT_GT(survivor_keys, 0);
+}
+
+TEST(ReshapeCrashSafetyTest, UnsafeModeDemonstratesTheLossTheseTestsPin) {
+  // Teeth check: with the pre-hardening blind install, the same crash
+  // vaporizes the extracted range — acked writes and all. If this test
+  // ever starts passing the full-presence assertion, the unsafe path has
+  // quietly stopped reproducing the bug and the hardened tests above have
+  // lost their witness.
+  MidSplitCrash t(/*unsafe_reshape=*/true);
+  t.StartSplit();
+  t.faults.FailNow(t.target);
+  t.f.sim.RunFor(Duration::Millis(40));
+
+  EXPECT_EQ(t.frontend->reshape_rollbacks(), 0);
+  int64_t live_applies = 0;
+  for (const auto& shard : t.frontend->shards()) {
+    if (t.f.rt->IsLost(shard.id())) {
+      continue;  // the limbo corpse the blind install "succeeded" into
+    }
+    const auto* p = t.f.rt->UnsafeGet<FencedKvProclet>(shard.id());
+    if (p == nullptr) {
+      continue;
+    }
+    for (uint64_t k = 0; k < MidSplitCrash::kKeys; ++k) {
+      live_applies += p->ApplyCount(k);
+    }
+  }
+  // Strictly fewer applies than acked writes: data went missing.
+  EXPECT_LT(live_applies, static_cast<int64_t>(MidSplitCrash::kKeys));
 }
 
 }  // namespace
