@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "bench_json.h"
 #include "quicksand/common/bytes.h"
 #include "quicksand/proclet/memory_proclet.h"
 #include "quicksand/trace/bench_trace.h"
@@ -110,6 +111,7 @@ void Main(BenchTrace* trace) {
   std::printf("%12s %14s %16s %12s\n", "heap", "migration", "drain+overhead",
               "wire copy");
 
+  BenchJson json;
   for (const int64_t heap :
        {4 * kKiB, 64 * kKiB, 256 * kKiB, 1 * kMiB, 4 * kMiB, 10 * kMiB, 32 * kMiB,
         64 * kMiB, 256 * kMiB}) {
@@ -138,7 +140,14 @@ void Main(BenchTrace* trace) {
     std::printf("%12s %14s %16s %12s\n", FormatBytes(heap).c_str(),
                 total.ToString().c_str(), (total - wire).ToString().c_str(),
                 wire.ToString().c_str());
+    json.AddRow()
+        .Str("scenario", "migration_latency")
+        .Int("heap_bytes", heap)
+        .Num("migration_us", static_cast<double>(total.nanos()) / 1e3)
+        .Num("overhead_us", static_cast<double>((total - wire).nanos()) / 1e3)
+        .Num("wire_us", static_cast<double>(wire.nanos()) / 1e3);
   }
+  json.WriteFile("results/BENCH_ab1.json");
   std::printf("\nshape to check: sub-ms below ~4 MiB; ~1ms at 10 MiB "
               "(paper: 'a few milliseconds'); linear beyond.\n");
 }

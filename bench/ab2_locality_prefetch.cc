@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_json.h"
 #include "quicksand/common/bytes.h"
 #include "quicksand/ds/stream.h"
 #include "quicksand/proclet/memory_proclet.h"
@@ -23,6 +24,7 @@ namespace quicksand {
 namespace {
 
 BenchTrace* g_trace = nullptr;
+BenchJson g_json;
 int g_runs = 0;
 
 struct Env {
@@ -66,6 +68,10 @@ void InvocationCosts() {
     const Duration per_call = (env.sim.Now() - start) / kCalls;
     std::printf("%8s call: %s per invocation\n", remote ? "remote" : "local",
                 per_call.ToString().c_str());
+    g_json.AddRow()
+        .Str("scenario", "invocation")
+        .Str("mode", remote ? "remote" : "local")
+        .Num("per_call_us", static_cast<double>(per_call.nanos()) / 1e3);
   }
 }
 
@@ -121,6 +127,13 @@ void PrefetchSweep() {
                 static_cast<long long>(work_us), results[0].ToString().c_str(),
                 results[1].ToString().c_str(), results[2].ToString().c_str(),
                 results[2] / results[1]);
+    g_json.AddRow()
+        .Str("scenario", "prefetch_scan")
+        .Int("work_us", work_us)
+        .Num("local_ms", static_cast<double>(results[0].nanos()) / 1e6)
+        .Num("remote_prefetch_ms", static_cast<double>(results[1].nanos()) / 1e6)
+        .Num("remote_noprefetch_ms", static_cast<double>(results[2].nanos()) / 1e6)
+        .Num("prefetch_speedup", results[2] / results[1]);
   }
   std::printf("\nshape to check: without prefetch, remote scans pay fetch time on\n"
               "top of compute; with prefetch, once per-element compute exceeds\n"
@@ -137,5 +150,6 @@ int main(int argc, char** argv) {
   std::printf("=== A2: locality and prefetching ===\n");
   quicksand::InvocationCosts();
   quicksand::PrefetchSweep();
+  quicksand::g_json.WriteFile("results/BENCH_ab2.json");
   return 0;
 }

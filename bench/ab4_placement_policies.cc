@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_json.h"
 #include "quicksand/common/bytes.h"
 #include "quicksand/compute/parallel.h"
 #include "quicksand/ds/sharded_vector.h"
@@ -99,12 +100,21 @@ void Main() {
       {"best_fit", std::make_unique<BestFitPolicy>()},
       {"locality_aware", std::make_unique<LocalityAwarePolicy>()},
   };
+  BenchJson json;
   for (Row& row : rows) {
     const Outcome outcome = RunWith(std::move(row.policy));
     std::printf("%-16s %10.2f %14s %10lld %6s\n", row.name, outcome.seconds,
                 FormatBytes(outcome.mem_on_m1).c_str(),
                 static_cast<long long>(outcome.remote), outcome.oom ? "YES" : "no");
+    json.AddRow()
+        .Str("scenario", "placement")
+        .Str("policy", row.name)
+        .Num("seconds", outcome.seconds)
+        .Int("mem_on_m1_bytes", outcome.mem_on_m1)
+        .Int("remote_invocations", outcome.remote)
+        .Int("oom", outcome.oom ? 1 : 0);
   }
+  json.WriteFile("results/BENCH_ab4.json");
   std::printf("\nshape to check: first_fit runs out of memory on the cramped\n"
               "machine (or barely fits); resource-aware policies put the shards\n"
               "on m1 and the compute on m0, finishing near the CPU-bound ideal\n"

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "quicksand/cluster/fault_injector.h"
 #include "quicksand/common/bytes.h"
 #include "quicksand/ds/sharded_vector.h"
@@ -260,6 +261,7 @@ void Main() {
       Duration::Millis(1), Duration::Millis(2), Duration::Millis(5),
       Duration::Millis(10), Duration::Millis(20),
   };
+  BenchJson json;
   for (const Duration interval : intervals) {
     const RunResult r = RunOne(Mode::kCheckpoint, interval, /*crash=*/true);
     std::printf("%9s | %10s %7.2f%% | %5lld %8.2f | %6lld/%-3lld %9s | %6lld\n",
@@ -270,9 +272,30 @@ void Main() {
                 static_cast<long long>(r.promoted + r.restored),
                 static_cast<long long>(r.lost), r.recovery.ToString().c_str(),
                 static_cast<long long>(r.read_errors));
+    json.AddRow()
+        .Str("scenario", "checkpoint")
+        .Num("interval_ms", static_cast<double>(interval.nanos()) / 1e6)
+        .Num("overhead_pct", OverheadPercent(r.workload, base.workload))
+        .Int("checkpoints", r.checkpoints)
+        .Num("checkpoint_mib", static_cast<double>(r.checkpoint_bytes) / kMiB)
+        .Int("recovered", r.promoted + r.restored)
+        .Int("lost", r.lost)
+        .Num("recovery_ms", static_cast<double>(r.recovery.nanos()) / 1e6)
+        .Int("read_errors", r.read_errors);
   }
   const RunResult rep =
       RunOne(Mode::kReplicate, Duration::Millis(10), /*crash=*/true);
+  json.AddRow()
+      .Str("scenario", "replicate")
+      .Num("interval_ms", 0.0)
+      .Num("overhead_pct", OverheadPercent(rep.workload, base.workload))
+      .Int("checkpoints", 0)
+      .Num("checkpoint_mib", static_cast<double>(rep.replication_bytes) / kMiB)
+      .Int("recovered", rep.promoted + rep.restored)
+      .Int("lost", rep.lost)
+      .Num("recovery_ms", static_cast<double>(rep.recovery.nanos()) / 1e6)
+      .Int("read_errors", rep.read_errors);
+  json.WriteFile("results/BENCH_ab7.json");
   std::printf("%9s | %10s %7.2f%% | %5s %8.2f | %6lld/%-3lld %9s | %6lld\n",
               "replicate", rep.workload.ToString().c_str(),
               OverheadPercent(rep.workload, base.workload), "-",

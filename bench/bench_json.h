@@ -1,0 +1,94 @@
+// BenchJson: tiny row collector for the perf-trajectory records.
+//
+// Every ablation bench appends flat rows of strings/numbers and writes them
+// as a results/BENCH_<name>.json array — the shape scripts/bench_report.py
+// tabulates into one cross-bench summary. Kept deliberately minimal (no
+// nesting) so records stay grep-able and diff-able across PRs.
+
+#ifndef QUICKSAND_BENCH_BENCH_JSON_H_
+#define QUICKSAND_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace quicksand {
+
+class BenchJson {
+ public:
+  class Row {
+   public:
+    Row& Str(const char* key, const std::string& value) {
+      Key(key);
+      fields_ += '"';
+      for (const char c : value) {
+        if (c == '"' || c == '\\') {
+          fields_ += '\\';
+        }
+        fields_ += c;
+      }
+      fields_ += '"';
+      return *this;
+    }
+
+    Row& Int(const char* key, int64_t value) {
+      Key(key);
+      fields_ += std::to_string(value);
+      return *this;
+    }
+
+    Row& Num(const char* key, double value) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      Key(key);
+      fields_ += buf;
+      return *this;
+    }
+
+   private:
+    friend class BenchJson;
+
+    void Key(const char* key) {
+      if (!fields_.empty()) {
+        fields_ += ", ";
+      }
+      fields_ += '"';
+      fields_ += key;
+      fields_ += "\": ";
+    }
+
+    std::string fields_;
+  };
+
+  Row& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  // Writes the array; returns false (after a warning) if the file cannot be
+  // opened — benches still print their tables, so this is non-fatal.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "  {%s}%s\n", rows_[i].fields_.c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_BENCH_BENCH_JSON_H_

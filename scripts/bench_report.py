@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Tabulate every results/BENCH_*.json into one perf-trajectory summary.
+
+Each BENCH file is a flat JSON array of rows (strings and numbers only) as
+written by bench/bench_json.h or the ab9/ab10/ab11 emitters. This script
+groups rows by file and scenario and prints aligned tables, so a single run
+of the benches plus this script gives the whole perf picture of a checkout:
+
+    scripts/bench_report.py [results_dir]
+
+Exits nonzero if a BENCH file is unreadable or malformed, so CI can gate on
+record integrity without judging the numbers themselves.
+"""
+
+import json
+import pathlib
+import sys
+
+
+def fmt(value):
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def print_table(rows):
+    """Prints dict rows with a union-of-keys header, first-seen key order."""
+    columns = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    table = [columns] + [[fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [max(len(r[i]) for r in table) for i in range(len(columns))]
+    for i, row in enumerate(table):
+        print("  " + "  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            print("  " + "  ".join("-" * w for w in widths))
+
+
+def main():
+    results = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    files = sorted(results.glob("BENCH_*.json"))
+    if not files:
+        print(f"no BENCH_*.json under {results}/", file=sys.stderr)
+        return 1
+
+    failures = 0
+    total_rows = 0
+    for path in files:
+        try:
+            rows = json.loads(path.read_text())
+            if not isinstance(rows, list) or not all(
+                isinstance(r, dict) for r in rows
+            ):
+                raise ValueError("expected a JSON array of flat objects")
+        except (ValueError, OSError) as err:
+            print(f"{path}: MALFORMED ({err})", file=sys.stderr)
+            failures += 1
+            continue
+
+        print(f"== {path.name} ({len(rows)} rows) ==")
+        total_rows += len(rows)
+        # Keep scenario groups separate: their columns differ.
+        by_scenario = {}
+        for row in rows:
+            by_scenario.setdefault(row.get("scenario", ""), []).append(row)
+        for scenario, group in by_scenario.items():
+            if len(by_scenario) > 1:
+                print(f" [{scenario}]")
+            print_table(group)
+        print()
+
+    print(f"{len(files)} record files, {total_rows} rows, {failures} malformed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

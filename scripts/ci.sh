@@ -50,6 +50,9 @@ echo "== autoscale smoke: hot shard splits, settle p99 inside SLO, deterministic
 echo "== chaos smoke: fixed schedule corpus survives; the reintroduced reshape bug is caught and shrunk =="
 ./build/bench/ab11_chaos --smoke
 
+echo "== scale smoke: event-core digests stable across runs, throughput above floor =="
+./build/bench/scale_sim --smoke
+
 echo "== chaos smoke (sanitized): same gate under ASan/UBSan =="
 ./build-asan/bench/ab11_chaos --smoke
 

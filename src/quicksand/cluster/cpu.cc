@@ -98,7 +98,7 @@ void CpuScheduler::Halt() {
       --runnable_count_;
       Deregister(request);
       const std::coroutine_handle<> waiter = request->waiter;
-      sim_.Schedule(Duration::Zero(), [waiter] { waiter.resume(); });
+      sim_.Post([waiter] { waiter.resume(); });
     }
     queue.clear();
   }
@@ -114,7 +114,7 @@ void CpuScheduler::Halt() {
     --runnable_count_;
     Deregister(request);
     const std::coroutine_handle<> waiter = request->waiter;
-    sim_.Schedule(Duration::Zero(), [waiter] { waiter.resume(); });
+    sim_.Post([waiter] { waiter.resume(); });
     idle_cores_.push_back(i);
   }
 }
@@ -176,7 +176,7 @@ void CpuScheduler::OnSliceEnd(size_t core_index, Duration slice) {
     Deregister(request);
     const std::coroutine_handle<> waiter = request->waiter;
     // Resume via the event queue so completion ordering matches event order.
-    sim_.Schedule(Duration::Zero(), [waiter] { waiter.resume(); });
+    sim_.Post([waiter] { waiter.resume(); });
   } else {
     ready_[request->priority].push_back(request);  // round-robin within level
   }
@@ -200,7 +200,7 @@ void CpuScheduler::CancelRequest(Request* request) {
   --runnable_count_;
   request->token = nullptr;  // already drained from the token's active list
   const std::coroutine_handle<> waiter = request->waiter;
-  sim_.Schedule(Duration::Zero(), [waiter] { waiter.resume(); });
+  sim_.Post([waiter] { waiter.resume(); });
 }
 
 void CpuScheduler::Deregister(Request* request) {

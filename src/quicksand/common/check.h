@@ -40,8 +40,12 @@ namespace quicksand {
 #define QS_DCHECK(cond) \
   do {                  \
   } while (0)
+#define QS_DCHECK_MSG(cond, msg) \
+  do {                           \
+  } while (0)
 #else
 #define QS_DCHECK(cond) QS_CHECK(cond)
+#define QS_DCHECK_MSG(cond, msg) QS_CHECK_MSG(cond, msg)
 #endif
 
 #endif  // QUICKSAND_COMMON_CHECK_H_

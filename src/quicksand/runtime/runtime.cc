@@ -181,7 +181,7 @@ Task<Status> Runtime::Destroy(Ctx ctx, ProcletId id) {
   QS_CHECK(it != proclets_.end());
   std::shared_ptr<ProcletBase> doomed(it->second.release());
   proclets_.erase(it);
-  sim_.Schedule(Duration::Zero(), [doomed]() mutable { doomed.reset(); });
+  sim_.Post([doomed]() mutable { doomed.reset(); });
   co_return Status::Ok();
 }
 

@@ -4,6 +4,15 @@
 // The Fiber is a cheap shared handle: it can be copied, polled with done(),
 // and awaited with Join() (which rethrows any exception the fiber's body
 // escaped with).
+//
+// Fiber state lives in a chunked arena (FiberArena) owned jointly by the
+// simulator and every outstanding handle: slots are recycled through a free
+// list, so a churn of a million short-lived fibers performs a handful of
+// chunk allocations instead of a shared_ptr control block per spawn, and the
+// table stays cache-dense. Addresses are stable (chunks never move), which
+// lets the root coroutine and Fiber handles hold plain pointers. A slot is
+// recycled when its reference count — Fiber handles plus the root coroutine's
+// own reference — drops to zero.
 
 #ifndef QUICKSAND_SIM_FIBER_H_
 #define QUICKSAND_SIM_FIBER_H_
@@ -13,6 +22,7 @@
 #include <exception>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "quicksand/sim/task.h"
@@ -23,13 +33,71 @@ class Simulator;
 
 namespace internal {
 
+// Intrusive join-wait node; lives in the joining coroutine's frame for the
+// duration of the suspension (see fiber.cc), so the list needs no allocation.
+struct JoinWaiter {
+  std::coroutine_handle<> handle;
+  JoinWaiter* next = nullptr;
+};
+
 struct FiberState {
   Simulator* sim = nullptr;
   uint64_t id = 0;
-  std::string name;
+  uint32_t refs = 0;  // Fiber handles + the root coroutine's own reference
   bool done = false;
   std::exception_ptr error;
-  std::vector<std::coroutine_handle<>> join_waiters;
+  std::coroutine_handle<> handle;  // root frame; cleared once finished
+  FiberState* live_prev = nullptr;  // intrusive list of live fibers (teardown)
+  FiberState* live_next = nullptr;
+  FiberState* free_next = nullptr;  // arena free list
+  JoinWaiter* join_head = nullptr;
+  JoinWaiter* join_tail = nullptr;
+  std::string name;
+};
+
+// Chunked slab of FiberState with a free list. Shared (via shared_ptr)
+// between the Simulator and every Fiber handle so a handle may outlive the
+// simulator; chunk addresses never move.
+class FiberArena {
+ public:
+  FiberState* Alloc() {
+    FiberState* s = free_head_;
+    if (s != nullptr) {
+      free_head_ = s->free_next;
+      s->free_next = nullptr;
+    } else {
+      chunks_.push_back(std::make_unique<FiberState[]>(kChunkSize));
+      FiberState* chunk = chunks_.back().get();
+      // Thread all but the first slot onto the free list.
+      for (size_t i = kChunkSize - 1; i >= 1; --i) {
+        chunk[i].free_next = free_head_;
+        free_head_ = &chunk[i];
+      }
+      s = &chunk[0];
+    }
+    return s;
+  }
+
+  void Release(FiberState* s) {
+    // Free held resources eagerly; the slot may sit on the free list a while.
+    s->error = nullptr;
+    s->handle = {};
+    s->name.clear();
+    s->done = false;
+    s->join_head = nullptr;
+    s->join_tail = nullptr;
+    s->live_prev = nullptr;
+    s->live_next = nullptr;
+    s->sim = nullptr;
+    s->free_next = free_head_;
+    free_head_ = s;
+  }
+
+ private:
+  static constexpr size_t kChunkSize = 64;
+
+  std::vector<std::unique_ptr<FiberState[]>> chunks_;
+  FiberState* free_head_ = nullptr;
 };
 
 }  // namespace internal
@@ -37,7 +105,40 @@ struct FiberState {
 class Fiber {
  public:
   Fiber() = default;
-  explicit Fiber(std::shared_ptr<internal::FiberState> state) : state_(std::move(state)) {}
+  Fiber(std::shared_ptr<internal::FiberArena> arena, internal::FiberState* state)
+      : arena_(std::move(arena)), state_(state) {
+    if (state_ != nullptr) {
+      ++state_->refs;
+    }
+  }
+
+  Fiber(const Fiber& other) : arena_(other.arena_), state_(other.state_) {
+    if (state_ != nullptr) {
+      ++state_->refs;
+    }
+  }
+
+  Fiber& operator=(const Fiber& other) {
+    if (this != &other) {
+      Fiber copy(other);
+      *this = std::move(copy);
+    }
+    return *this;
+  }
+
+  Fiber(Fiber&& other) noexcept
+      : arena_(std::move(other.arena_)), state_(std::exchange(other.state_, nullptr)) {}
+
+  Fiber& operator=(Fiber&& other) noexcept {
+    if (this != &other) {
+      Unref();
+      arena_ = std::move(other.arena_);
+      state_ = std::exchange(other.state_, nullptr);
+    }
+    return *this;
+  }
+
+  ~Fiber() { Unref(); }
 
   bool valid() const { return state_ != nullptr; }
   bool done() const { return state_ == nullptr || state_->done; }
@@ -52,7 +153,18 @@ class Fiber {
   Task<> Join();
 
  private:
-  std::shared_ptr<internal::FiberState> state_;
+  void Unref() {
+    if (state_ != nullptr && --state_->refs == 0) {
+      // Zero refs implies the root coroutine's reference is gone too (it is
+      // dropped when the fiber finishes or is torn down), so the slot is dead.
+      arena_->Release(state_);
+    }
+    state_ = nullptr;
+    arena_.reset();
+  }
+
+  std::shared_ptr<internal::FiberArena> arena_;
+  internal::FiberState* state_ = nullptr;
 };
 
 // Joins every fiber in the list (in order).

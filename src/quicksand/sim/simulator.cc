@@ -1,8 +1,10 @@
 #include "quicksand/sim/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "quicksand/common/logging.h"
+#include "quicksand/sim/frame_pool.h"
 
 namespace quicksand {
 
@@ -14,10 +16,16 @@ SimTime LoggerClock(void* arg) { return static_cast<Simulator*>(arg)->Now(); }
 
 // The root coroutine wrapping every fiber body. Self-destroys at completion
 // after notifying the simulator, so finished fibers hold no memory beyond
-// their (shared) FiberState.
+// their arena slot (released once the last Fiber handle drops).
 struct Simulator::RootTask {
   struct promise_type {
-    std::shared_ptr<internal::FiberState> state;
+    internal::FiberState* state = nullptr;
+
+    // Root frames are as numerous as fibers — pool them like Task frames.
+    static void* operator new(size_t bytes) { return FramePool::Alloc(bytes); }
+    static void operator delete(void* p, size_t bytes) {
+      FramePool::Free(p, bytes);
+    }
 
     RootTask get_return_object() {
       return RootTask{std::coroutine_handle<promise_type>::from_promise(*this)};
@@ -27,7 +35,7 @@ struct Simulator::RootTask {
     struct FinalAwaiter {
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<promise_type> h) const noexcept {
-        std::shared_ptr<internal::FiberState> state = std::move(h.promise().state);
+        internal::FiberState* state = h.promise().state;
         // Destroying at the final suspend point is legal; all locals are
         // already destroyed, only the frame itself remains.
         h.destroy();
@@ -52,81 +60,283 @@ Simulator::RootTask RunAsRoot(Task<> body) { co_await std::move(body); }
 
 }  // namespace
 
-Simulator::Simulator() : now_(SimTime::Zero()) {
+Simulator::Simulator()
+    : now_(SimTime::Zero()),
+      fiber_arena_(std::make_shared<internal::FiberArena>()) {
   Logger::Get().SetClock(&LoggerClock, this);
 }
 
 Simulator::~Simulator() {
   tearing_down_ = true;
-  for (auto& [id, handle] : live_fibers_) {
+  while (live_head_ != nullptr) {
+    internal::FiberState* state = live_head_;
+    LiveListRemove(*state);
+    std::coroutine_handle<> handle = state->handle;
+    state->handle = {};
     handle.destroy();
+    // The root coroutine's reference: dropping it may recycle the slot if no
+    // Fiber handle is outstanding.
+    DropRootRef(state);
   }
-  live_fibers_.clear();
+  live_fiber_count_ = 0;
   Logger::Get().ClearClock();
+  // The slots_ and now_lane_ destructors release any still-pending callbacks.
 }
 
-EventId Simulator::Schedule(Duration delay, std::function<void()> fn) {
-  return ScheduleAt(now_ + (delay > Duration::Zero() ? delay : Duration::Zero()),
-                    std::move(fn));
+// --- Event slab -------------------------------------------------------------
+
+EventId Simulator::AllocSlot(SmallFn fn) {
+  uint32_t index;
+  if (free_head_ != kNoSlot) {
+    index = free_head_;
+    free_head_ = slots_[index].next_free;
+  } else {
+    QS_CHECK_MSG(slots_.size() < static_cast<size_t>(UINT32_MAX) - 1,
+                 "event slab exhausted");
+    slots_.emplace_back();
+    index = static_cast<uint32_t>(slots_.size() - 1);
+  }
+  EventSlot& slot = slots_[index];
+  ++slot.gen;  // even (free) -> odd (live)
+  QS_DCHECK((slot.gen & 1u) == 1u);
+  slot.fn = std::move(fn);
+  return (static_cast<EventId>(index) + 1) << 32 | slot.gen;
 }
 
-EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+Simulator::EventSlot* Simulator::ResolveLive(EventId id) {
+  const uint64_t index_plus_1 = id >> 32;
+  if (index_plus_1 == 0 || index_plus_1 > slots_.size()) {
+    return nullptr;
+  }
+  EventSlot& slot = slots_[index_plus_1 - 1];
+  if (slot.gen != static_cast<uint32_t>(id)) {
+    return nullptr;  // already fired or cancelled (possibly slot reused)
+  }
+  return &slot;
+}
+
+void Simulator::FreeSlot(EventId id) {
+  const uint32_t index = static_cast<uint32_t>((id >> 32) - 1);
+  EventSlot& slot = slots_[index];
+  ++slot.gen;  // odd (live) -> even (free): outstanding ids become stale
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
+// --- Now lane ---------------------------------------------------------------
+
+void Simulator::GrowNowLane() {
+  const size_t old_cap = now_lane_.size();
+  const size_t new_cap = old_cap == 0 ? 64 : old_cap * 2;
+  std::vector<NowEntry> grown(new_cap);
+  for (size_t i = 0; i < now_count_; ++i) {
+    grown[i] = std::move(now_lane_[(now_head_ + i) & (old_cap - 1)]);
+  }
+  now_lane_ = std::move(grown);
+  now_head_ = 0;
+}
+
+void Simulator::NowLanePush(NowEntry entry) {
+  if (now_count_ == now_lane_.size()) {
+    GrowNowLane();
+  }
+  now_lane_[(now_head_ + now_count_) & (now_lane_.size() - 1)] =
+      std::move(entry);
+  ++now_count_;
+}
+
+Simulator::NowEntry Simulator::NowLanePop() {
+  QS_DCHECK(now_count_ > 0);
+  NowEntry entry = std::move(now_lane_[now_head_]);
+  now_head_ = (now_head_ + 1) & (now_lane_.size() - 1);
+  --now_count_;
+  return entry;
+}
+
+// --- Timed tiers ------------------------------------------------------------
+
+void Simulator::HeapPush(TimedEntry entry) {
+  heap_.push_back(entry);
+  std::push_heap(heap_.begin(), heap_.end(), TimedGreater{});
+}
+
+void Simulator::RungInsert(TimedEntry entry) {
+  if (rung_.size() - rung_pos_ >= kMaxRungEntries) {
+    HeapPush(entry);  // dense window: bail before the insert turns O(n)
+    return;
+  }
+  // New entries carry the largest seq so far, so upper_bound on (time, seq)
+  // degenerates to "after every entry with time <= entry.time" — for the
+  // common monotone-timer pattern that is the tail, an O(1) append.
+  auto it = std::upper_bound(
+      rung_.begin() + static_cast<ptrdiff_t>(rung_pos_), rung_.end(), entry,
+      [](const TimedEntry& a, const TimedEntry& b) {
+        if (a.time_ns != b.time_ns) {
+          return a.time_ns < b.time_ns;
+        }
+        return a.seq < b.seq;
+      });
+  if (it != rung_.end()) {
+    HeapPush(entry);  // mid-run insert would memmove the tail
+    return;
+  }
+  rung_.push_back(entry);
+}
+
+void Simulator::RefillRung() {
+  QS_DCHECK(rung_pos_ == rung_.size());
+  rung_.clear();
+  rung_pos_ = 0;
+  if (heap_.empty()) {
+    return;
+  }
+  // Window the rung at the heap's minimum; successive min-heap pops emerge
+  // in (time, seq) order, so the rung is born sorted. The batch is capped —
+  // in-window entries left behind (or overflowed by RungInsert) are merged
+  // back in by Step()'s front comparison.
+  rung_end_ns_ = heap_.front().time_ns + kRungWidthNs;
+  while (!heap_.empty() && heap_.front().time_ns < rung_end_ns_ &&
+         rung_.size() < kMaxRungEntries) {
+    rung_.push_back(heap_.front());
+    std::pop_heap(heap_.begin(), heap_.end(), TimedGreater{});
+    heap_.pop_back();
+  }
+}
+
+std::optional<int64_t> Simulator::EarliestEntryTimeNs() const {
+  if (now_count_ > 0) {
+    // Now-lane entries are at now_, which lower-bounds every timed entry.
+    return now_.nanos();
+  }
+  std::optional<int64_t> earliest;
+  if (rung_pos_ < rung_.size()) {
+    earliest = rung_[rung_pos_].time_ns;
+  }
+  if (!heap_.empty() &&
+      (!earliest.has_value() || heap_.front().time_ns < *earliest)) {
+    earliest = heap_.front().time_ns;
+  }
+  return earliest;
+}
+
+// --- Scheduling -------------------------------------------------------------
+
+EventId Simulator::Schedule(Duration delay, SmallFn fn) {
+  if (delay < Duration::Zero()) {
+    // Negative delays arise legitimately from absolute-time arithmetic on
+    // deadlines already in the past (SleepUntil(t) with t < Now(), re-arming
+    // a timeout after a stall). They mean "as soon as possible": clamp into
+    // the now lane, where the event fires in FIFO order with other ready
+    // work instead of time-travelling or aborting. A *hugely* negative delay
+    // is not a past deadline, though — it is arithmetic underflow (e.g.
+    // subtracting Duration::Max()), and silently clamping one would mask the
+    // bug, so debug builds reject it.
+    QS_DCHECK_MSG(delay.nanos() > INT64_MIN / 2,
+                  "delay is absurdly negative: arithmetic underflow, not a "
+                  "past deadline");
+    delay = Duration::Zero();
+  }
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(SimTime when, SmallFn fn) {
   if (tearing_down_) {
     return kInvalidEventId;
   }
   QS_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
-  const EventId id = next_event_id_++;
-  queue_.push(Event{when, next_seq_++, id});
-  event_fns_.emplace(id, std::move(fn));
+  const EventId id = AllocSlot(std::move(fn));
+  const uint64_t seq = next_seq_++;
+  ++live_events_;
+  if (when == now_) {
+    NowLanePush(NowEntry{id, {}});  // seq is implicit: the ring is FIFO
+  } else if (when.nanos() < rung_end_ns_) {
+    RungInsert(TimedEntry{when.nanos(), seq, id});
+  } else {
+    HeapPush(TimedEntry{when.nanos(), seq, id});
+  }
   return id;
 }
 
+void Simulator::Post(SmallFn fn) {
+  if (tearing_down_) {
+    return;  // mirror ScheduleAt: drop wakeups scheduled by dying fibers
+  }
+  ++live_events_;
+  NowLanePush(NowEntry{kInvalidEventId, std::move(fn)});
+}
+
 void Simulator::Cancel(EventId id) {
-  if (id == kInvalidEventId) {
-    return;
+  EventSlot* slot = ResolveLive(id);
+  if (slot == nullptr) {
+    return;  // unknown, already fired, or already cancelled
   }
-  if (event_fns_.erase(id) > 0) {
-    cancelled_.insert(id);
-  }
+  slot->fn.Reset();
+  FreeSlot(id);
+  --live_events_;
+  // The queue entry (now lane, rung, or heap) remains and is skipped lazily
+  // when popped: its generation no longer matches.
 }
 
-Fiber Simulator::Spawn(Task<> body, std::string name) {
-  QS_CHECK_MSG(!tearing_down_, "Spawn during simulator teardown");
-  auto state = std::make_shared<internal::FiberState>();
-  state->sim = this;
-  state->id = next_fiber_id_++;
-  state->name = std::move(name);
-
-  RootTask root = RunAsRoot(std::move(body));
-  root.handle.promise().state = state;
-  live_fibers_.emplace(state->id, root.handle);
-
-  // Start the fiber from the event loop (never synchronously inside Spawn),
-  // so spawn order — not coroutine nesting — determines execution order.
-  auto handle = root.handle;
-  Schedule(Duration::Zero(), [handle] { handle.resume(); });
-  return Fiber(std::move(state));
-}
+// --- Execution --------------------------------------------------------------
 
 bool Simulator::Step() {
-  while (!queue_.empty()) {
-    const Event event = queue_.top();
-    queue_.pop();
-    if (cancelled_.erase(event.id) > 0) {
-      continue;
+  for (;;) {
+    if (rung_pos_ == rung_.size() && now_count_ == 0) {
+      if (heap_.empty()) {
+        return false;
+      }
+      RefillRung();
     }
-    auto it = event_fns_.find(event.id);
-    if (it == event_fns_.end()) {
-      continue;  // cancelled
+    // Merge the rung and heap fronts into one timed candidate (the rung
+    // usually holds the minimum, but a dense window overflows to the heap).
+    const TimedEntry* timed = rung_pos_ < rung_.size() ? &rung_[rung_pos_] : nullptr;
+    bool from_heap = false;
+    if (!heap_.empty() &&
+        (timed == nullptr || TimedGreater{}(*timed, heap_.front()))) {
+      timed = &heap_.front();
+      from_heap = true;
     }
-    std::function<void()> fn = std::move(it->second);
-    event_fns_.erase(it);
-    QS_DCHECK(event.time >= now_);
-    now_ = event.time;
+    int64_t time_ns;
+    SmallFn fn;
+    // A timed entry at time == now_ was scheduled before now_ reached that
+    // time, hence precedes every now-lane entry (scheduled at now_) in
+    // sequence order: timed-at-now fires before the now lane.
+    if (timed != nullptr && (now_count_ == 0 || timed->time_ns <= now_.nanos())) {
+      time_ns = timed->time_ns;
+      const EventId id = timed->id;
+      if (from_heap) {
+        std::pop_heap(heap_.begin(), heap_.end(), TimedGreater{});
+        heap_.pop_back();
+      } else {
+        ++rung_pos_;
+      }
+      EventSlot* slot = ResolveLive(id);
+      if (slot == nullptr) {
+        continue;  // cancelled: skip and keep draining
+      }
+      fn = std::move(slot->fn);
+      FreeSlot(id);
+    } else {
+      NowEntry entry = NowLanePop();
+      time_ns = now_.nanos();
+      if (entry.id == kInvalidEventId) {
+        fn = std::move(entry.fn);  // inline Post() event: nothing to resolve
+      } else {
+        EventSlot* slot = ResolveLive(entry.id);
+        if (slot == nullptr) {
+          continue;  // cancelled: skip and keep draining
+        }
+        fn = std::move(slot->fn);
+        FreeSlot(entry.id);
+      }
+    }
+    --live_events_;
+    ++fired_events_;
+    QS_DCHECK(time_ns >= now_.nanos());
+    now_ = SimTime::FromNanos(time_ns);
     fn();
     return true;
   }
-  return false;
 }
 
 void Simulator::RunUntilIdle() {
@@ -135,7 +345,11 @@ void Simulator::RunUntilIdle() {
 }
 
 void Simulator::RunUntil(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().time <= deadline) {
+  for (;;) {
+    const std::optional<int64_t> next = EarliestEntryTimeNs();
+    if (!next.has_value() || *next > deadline.nanos()) {
+      break;
+    }
     Step();
   }
   if (deadline > now_) {
@@ -143,10 +357,62 @@ void Simulator::RunUntil(SimTime deadline) {
   }
 }
 
+// --- Fibers -----------------------------------------------------------------
+
+Fiber Simulator::Spawn(Task<> body, std::string name) {
+  QS_CHECK_MSG(!tearing_down_, "Spawn during simulator teardown");
+  internal::FiberState* state = fiber_arena_->Alloc();
+  state->sim = this;
+  state->id = next_fiber_id_++;
+  state->name = std::move(name);
+  state->refs = 1;  // the root coroutine's reference
+  state->done = false;
+
+  RootTask root = RunAsRoot(std::move(body));
+  root.handle.promise().state = state;
+  state->handle = root.handle;
+
+  state->live_next = live_head_;
+  state->live_prev = nullptr;
+  if (live_head_ != nullptr) {
+    live_head_->live_prev = state;
+  }
+  live_head_ = state;
+  ++live_fiber_count_;
+
+  // Start the fiber from the event loop (never synchronously inside Spawn),
+  // so spawn order — not coroutine nesting — determines execution order.
+  auto handle = root.handle;
+  Post([handle] { handle.resume(); });
+  return Fiber(fiber_arena_, state);
+}
+
+void Simulator::LiveListRemove(internal::FiberState& state) {
+  if (state.live_prev != nullptr) {
+    state.live_prev->live_next = state.live_next;
+  } else {
+    live_head_ = state.live_next;
+  }
+  if (state.live_next != nullptr) {
+    state.live_next->live_prev = state.live_prev;
+  }
+  state.live_prev = nullptr;
+  state.live_next = nullptr;
+}
+
+void Simulator::DropRootRef(internal::FiberState* state) {
+  if (--state->refs == 0) {
+    fiber_arena_->Release(state);
+  }
+}
+
 void Simulator::FiberFinished(internal::FiberState& state) {
   state.done = true;
-  live_fibers_.erase(state.id);
-  if (state.error && state.join_waiters.empty()) {
+  state.handle = {};
+  LiveListRemove(state);
+  QS_DCHECK(live_fiber_count_ > 0);
+  --live_fiber_count_;
+  if (state.error && state.join_head == nullptr) {
     ++failed_fibers_;
     try {
       std::rethrow_exception(state.error);
@@ -158,13 +424,21 @@ void Simulator::FiberFinished(internal::FiberState& state) {
     }
   }
   WakeJoiners(state);
+  DropRootRef(&state);
 }
 
 void Simulator::WakeJoiners(internal::FiberState& state) {
-  for (std::coroutine_handle<> waiter : state.join_waiters) {
-    Schedule(Duration::Zero(), [waiter] { waiter.resume(); });
+  for (internal::JoinWaiter* waiter = state.join_head; waiter != nullptr;) {
+    // The node lives in the joiner's frame; once resumed (later, from the now
+    // lane) the frame moves past the await and the node dies — read `next`
+    // before scheduling.
+    internal::JoinWaiter* next = waiter->next;
+    const std::coroutine_handle<> h = waiter->handle;
+    Post([h] { h.resume(); });
+    waiter = next;
   }
-  state.join_waiters.clear();
+  state.join_head = nullptr;
+  state.join_tail = nullptr;
 }
 
 }  // namespace quicksand

@@ -37,6 +37,7 @@
 #include <utility>
 
 #include "quicksand/common/check.h"
+#include "quicksand/sim/frame_pool.h"
 
 namespace quicksand {
 
@@ -47,6 +48,14 @@ namespace internal {
 
 struct TaskPromiseBase {
   std::coroutine_handle<> continuation;
+
+  // Route every Task frame through the size-class pool (see frame_pool.h).
+  // The sized delete is required: the pool keys its freelists on the frame
+  // size, which the runtime passes back at destroy time.
+  static void* operator new(size_t bytes) { return FramePool::Alloc(bytes); }
+  static void operator delete(void* p, size_t bytes) {
+    FramePool::Free(p, bytes);
+  }
 
   struct FinalAwaiter {
     bool await_ready() const noexcept { return false; }

@@ -5,12 +5,20 @@
 // resumption at the current virtual time in FIFO order. Wakeups can be
 // spurious from the caller's perspective (a woken waiter may find its
 // condition false again), so users loop.
+//
+// The wait list is intrusive: the list node is the Park() awaiter itself,
+// which lives in the parked coroutine's frame for the whole suspension, so
+// parking allocates nothing. A node leaves the list only via WakeOne/WakeAll;
+// a parked fiber destroyed at simulator teardown leaves its node dangling,
+// which is fine because the WaitQueue (a member of some simulation object)
+// dies with the simulator and is never woken during teardown — exactly the
+// lifetime contract the old deque-of-handles carried, since resuming a
+// destroyed coroutine handle was equally invalid.
 
 #ifndef QUICKSAND_SIM_WAIT_QUEUE_H_
 #define QUICKSAND_SIM_WAIT_QUEUE_H_
 
 #include <coroutine>
-#include <deque>
 
 #include "quicksand/sim/simulator.h"
 
@@ -23,37 +31,57 @@ class WaitQueue {
   WaitQueue(const WaitQueue&) = delete;
   WaitQueue& operator=(const WaitQueue&) = delete;
 
-  auto Park() {
-    struct Awaiter {
-      WaitQueue& queue;
-      bool await_ready() const noexcept { return false; }
-      void await_suspend(std::coroutine_handle<> h) { queue.waiters_.push_back(h); }
-      void await_resume() const noexcept {}
-    };
-    return Awaiter{*this};
-  }
+  struct ParkAwaiter {
+    WaitQueue& queue;
+    std::coroutine_handle<> handle;
+    ParkAwaiter* next = nullptr;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      if (queue.tail_ != nullptr) {
+        queue.tail_->next = this;
+      } else {
+        queue.head_ = this;
+      }
+      queue.tail_ = this;
+      ++queue.count_;
+    }
+    void await_resume() const noexcept {}
+  };
+
+  ParkAwaiter Park() { return ParkAwaiter{*this, {}, nullptr}; }
 
   void WakeOne() {
-    if (waiters_.empty()) {
+    if (head_ == nullptr) {
       return;
     }
-    std::coroutine_handle<> h = waiters_.front();
-    waiters_.pop_front();
-    sim_.Schedule(Duration::Zero(), [h] { h.resume(); });
+    ParkAwaiter* node = head_;
+    head_ = node->next;
+    if (head_ == nullptr) {
+      tail_ = nullptr;
+    }
+    --count_;
+    // Once the resumption fires, the waiter's frame moves past the await and
+    // the node dies — it must already be unlinked, hence pop-then-schedule.
+    const std::coroutine_handle<> h = node->handle;
+    sim_.Post([h] { h.resume(); });
   }
 
   void WakeAll() {
-    while (!waiters_.empty()) {
+    while (head_ != nullptr) {
       WakeOne();
     }
   }
 
-  size_t waiting() const { return waiters_.size(); }
+  size_t waiting() const { return count_; }
   Simulator& sim() const { return sim_; }
 
  private:
   Simulator& sim_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  ParkAwaiter* head_ = nullptr;
+  ParkAwaiter* tail_ = nullptr;
+  size_t count_ = 0;
 };
 
 }  // namespace quicksand

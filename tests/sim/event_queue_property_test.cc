@@ -1,0 +1,184 @@
+// Property test for the event core: drive the slab + ladder-queue scheduler
+// with a seeded random mix of schedule / cancel / reschedule / chained
+// schedules, and assert that the firing order matches a reference model — a
+// std::multimap ordered by (time, seq), the specification the old single
+// priority queue implemented directly. Also cross-checks the live-event
+// counter against the model's size after every operation.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "quicksand/sim/simulator.h"
+
+namespace quicksand {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class ModelDriver {
+ public:
+  explicit ModelDriver(uint64_t seed) : rng_(seed) {}
+
+  // (time_ns, seq): the total order every event fires in.
+  using Key = std::pair<int64_t, uint64_t>;
+
+  void ScheduleOne(bool allow_chain) {
+    // Mix of delays: the now lane (zero), the rung window (< 64us), and the
+    // far heap — plus exact-boundary values to probe the rung edge.
+    const uint64_t r = SplitMix64(rng_);
+    Duration delay = Duration::Zero();
+    switch (r % 8) {
+      case 0:
+      case 1:
+      case 2:
+        delay = Duration::Zero();
+        break;
+      case 3:
+      case 4:
+        delay = Duration::Nanos(static_cast<int64_t>(r / 8 % 64000));
+        break;
+      case 5:
+        delay = Duration::Nanos(64000);  // exactly one rung width out
+        break;
+      default:
+        delay = Duration::Nanos(static_cast<int64_t>(r / 8 % 2000000));
+        break;
+    }
+    const uint64_t token = next_token_++;
+    const Key key{(sim_.Now() + delay).nanos(), next_seq_++};
+    const bool chain = allow_chain && (r >> 60) == 0;
+    const EventId id = sim_.Schedule(delay, [this, token, chain] {
+      OnFire(token);
+      if (chain) {
+        ScheduleOne(/*allow_chain=*/false);  // schedule-during-drain coverage
+      }
+    });
+    ASSERT_NE(id, kInvalidEventId);
+    auto it = model_.emplace(key, token);
+    by_id_.emplace(id, it);
+    token_to_id_.emplace(token, id);
+    live_.push_back(id);
+  }
+
+  void CancelRandom() {
+    if (live_.empty()) {
+      return;
+    }
+    const size_t pick = SplitMix64(rng_) % live_.size();
+    const EventId id = live_[pick];
+    live_[pick] = live_.back();
+    live_.pop_back();
+    sim_.Cancel(id);  // no-op if the event already fired — the model agrees:
+    auto it = by_id_.find(id);
+    if (it != by_id_.end()) {
+      model_.erase(it->second);
+      by_id_.erase(it);
+    }
+  }
+
+  void StepSome(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!sim_.Step()) {
+        break;
+      }
+    }
+  }
+
+  void CheckCounts() const {
+    ASSERT_EQ(sim_.pending_event_count(), model_.size());
+  }
+
+  void DrainAndVerify() {
+    sim_.RunUntilIdle();
+    EXPECT_TRUE(model_.empty());
+    EXPECT_EQ(sim_.pending_event_count(), 0u);
+    EXPECT_EQ(mismatches_, 0);
+  }
+
+  uint64_t Rand() { return SplitMix64(rng_); }
+  size_t scheduled() const { return next_token_; }
+
+ private:
+  void OnFire(uint64_t token) {
+    ASSERT_FALSE(model_.empty()) << "fired token " << token
+                                 << " but the model expects nothing";
+    const auto front = model_.begin();
+    if (front->second != token) {
+      ++mismatches_;
+      ADD_FAILURE() << "fired token " << token << " but the model expects "
+                    << front->second << " at t=" << front->first.first
+                    << " seq=" << front->first.second;
+    }
+    EXPECT_EQ(front->first.first, sim_.Now().nanos());
+    by_id_.erase(token_to_id_.at(token));
+    token_to_id_.erase(token);
+    model_.erase(front);
+  }
+
+  Simulator sim_;
+  uint64_t rng_;
+  uint64_t next_seq_ = 1;   // mirrors the simulator's insertion sequence
+  uint64_t next_token_ = 0;
+  std::multimap<Key, uint64_t> model_;
+  std::unordered_map<EventId, std::multimap<Key, uint64_t>::iterator> by_id_;
+  std::unordered_map<uint64_t, EventId> token_to_id_;
+  std::vector<EventId> live_;  // may contain stale ids; Cancel tolerates them
+  int mismatches_ = 0;
+};
+
+TEST(EventQueuePropertyTest, RandomScheduleCancelRescheduleMatchesModel) {
+  constexpr size_t kTargetEvents = 100000;
+  ModelDriver driver(/*seed=*/0x9d5c0ffeeULL);
+  while (driver.scheduled() < kTargetEvents) {
+    const uint64_t op = driver.Rand() % 10;
+    if (op < 5) {
+      driver.ScheduleOne(/*allow_chain=*/true);
+    } else if (op < 7) {
+      driver.CancelRandom();
+    } else if (op == 7) {
+      // Reschedule: cancel one and immediately schedule a fresh replacement.
+      driver.CancelRandom();
+      driver.ScheduleOne(/*allow_chain=*/false);
+    } else {
+      driver.StepSome(driver.Rand() % 16);
+    }
+    driver.CheckCounts();
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  driver.DrainAndVerify();
+}
+
+TEST(EventQueuePropertyTest, SecondSeedMatchesModel) {
+  ModelDriver driver(/*seed=*/42);
+  while (driver.scheduled() < 20000) {
+    const uint64_t op = driver.Rand() % 8;
+    if (op < 4) {
+      driver.ScheduleOne(/*allow_chain=*/true);
+    } else if (op < 6) {
+      driver.CancelRandom();
+    } else {
+      driver.StepSome(driver.Rand() % 32);
+    }
+    driver.CheckCounts();
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  driver.DrainAndVerify();
+}
+
+}  // namespace
+}  // namespace quicksand

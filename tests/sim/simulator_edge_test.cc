@@ -110,6 +110,61 @@ TEST(SimulatorEdgeTest, RunForZeroAdvancesNothing) {
   EXPECT_EQ(sim.Now(), SimTime::Zero());
 }
 
+TEST(SimulatorEdgeTest, PendingEventCountSurvivesCancelFireRecancel) {
+  Simulator sim;
+  const EventId a = sim.Schedule(1_ms, [] {});
+  const EventId b = sim.Schedule(2_ms, [] {});
+  sim.Cancel(a);
+  sim.Cancel(a);  // double cancel: the old queue-minus-cancelled-set math underflowed here
+  EXPECT_EQ(sim.pending_event_count(), 1u);
+  sim.RunUntilIdle();  // fires b
+  EXPECT_EQ(sim.pending_event_count(), 0u);
+  sim.Cancel(b);  // cancel after fire
+  sim.Cancel(a);  // and cancel long-dead again
+  EXPECT_EQ(sim.pending_event_count(), 0u);
+  const EventId c = sim.Schedule(1_ms, [] {});
+  EXPECT_EQ(sim.pending_event_count(), 1u);
+  sim.Cancel(c);
+  sim.Cancel(c);
+  EXPECT_EQ(sim.pending_event_count(), 0u);
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.pending_event_count(), 0u);
+}
+
+TEST(SimulatorEdgeTest, NegativeDelayClampsIntoNowLaneFifo) {
+  // Negative delays (absolute-time arithmetic on past deadlines) mean "as
+  // soon as possible": they clamp to zero and take their FIFO slot among the
+  // other now-lane events instead of time-travelling or jumping the queue.
+  Simulator sim;
+  sim.RunUntil(SimTime::Zero() + 10_ms);
+  std::vector<int> order;
+  sim.Schedule(Duration::Zero(), [&] { order.push_back(0); });
+  sim.Schedule(-5_ms, [&] { order.push_back(1); });
+  sim.Schedule(Duration::Zero(), [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.Now(), SimTime::Zero() + 10_ms);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+Task<> InlinePastSleep(Simulator& sim, bool& ran) {
+  co_await sim.SleepUntil(SimTime::Zero() + 5_ms);  // 5ms behind Now()
+  ran = true;
+}
+
+TEST(SimulatorEdgeTest, SleepUntilPastResumesInlineWithoutAnEvent) {
+  // SleepUntil on a past deadline resumes the caller inline (await_ready),
+  // not through the queue: digest-gated paths (rpc retransmit, disk service
+  // loops) rely on not being reordered behind unrelated ready work.
+  Simulator sim;
+  sim.RunUntil(SimTime::Zero() + 10_ms);
+  const int64_t before = sim.fired_event_count();
+  bool ran = false;
+  sim.Spawn(InlinePastSleep(sim, ran), "p");
+  sim.RunUntilIdle();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.fired_event_count() - before, 1);  // only the spawn wakeup fired
+}
+
 TEST(SimulatorEdgeDeathTest, SchedulingInThePastAborts) {
   Simulator sim;
   sim.RunUntil(SimTime::Zero() + 10_ms);
