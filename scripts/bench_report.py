@@ -6,15 +6,51 @@ written by bench/bench_json.h or the ab9/ab10/ab11 emitters. This script
 groups rows by file and scenario and prints aligned tables, so a single run
 of the benches plus this script gives the whole perf picture of a checkout:
 
-    scripts/bench_report.py [results_dir]
+    scripts/bench_report.py [results_dir] [--baseline DIR]
+
+Every bench that records a JSON file is registered in EXPECTED_RECORDS; a
+registered file that is absent from the results directory gets a WARNING, so
+a bench that silently stopped writing its record is noticed the next time
+anyone looks at the report.
+
+With --baseline, rows are matched against the same file/scenario in a second
+results directory (e.g. a checkout of main) and every throughput-like column
+(*_qps, *_per_sec, goodput) grows a delta column. A drop of more than 10%
+is flagged as a REGRESSION and the script exits nonzero, so CI can gate on
+"did this change slow a recorded scenario down".
 
 Exits nonzero if a BENCH file is unreadable or malformed, so CI can gate on
 record integrity without judging the numbers themselves.
 """
 
+import argparse
 import json
 import pathlib
 import sys
+
+# Every bench binary that writes a results/BENCH_*.json record. A new bench
+# registers here so the report warns when its record goes missing.
+EXPECTED_RECORDS = [
+    "BENCH_ab1.json",   # ab1_migration_latency
+    "BENCH_ab2.json",   # ab2_locality_prefetch
+    "BENCH_ab3.json",   # ab3_split_merge
+    "BENCH_ab4.json",   # ab4_placement_policies
+    "BENCH_ab5.json",   # ab5_lazy_migration
+    "BENCH_ab6.json",   # ab6_revocation
+    "BENCH_ab7.json",   # ab7_recovery
+    "BENCH_ab8.json",   # ab8_partition
+    "BENCH_ab9.json",   # ab9_overload
+    "BENCH_ab10.json",  # ab10_autoscale
+    "BENCH_ab11.json",  # ab11_chaos
+    "BENCH_ab12.json",  # ab12_memo
+    "BENCH_scale.json", # scale_sim
+]
+
+REGRESSION_THRESHOLD = 0.10  # flag throughput drops larger than this
+
+
+def is_throughput_key(key):
+    return key.endswith("_qps") or key.endswith("_per_sec") or "goodput" in key
 
 
 def fmt(value):
@@ -44,26 +80,109 @@ def print_table(rows):
             print("  " + "  ".join("-" * w for w in widths))
 
 
+def load_rows(path):
+    rows = json.loads(path.read_text())
+    if not isinstance(rows, list) or not all(isinstance(r, dict) for r in rows):
+        raise ValueError("expected a JSON array of flat objects")
+    return rows
+
+
+def row_identity(row):
+    """String-valued fields identify a row; numeric fields are the payload."""
+    return tuple(sorted((k, v) for k, v in row.items() if isinstance(v, str)))
+
+
+def index_rows(rows):
+    """Maps (identity, occurrence#) -> row, so repeated identities stay
+    distinguishable by their deterministic emit order."""
+    seen = {}
+    indexed = {}
+    for row in rows:
+        ident = row_identity(row)
+        n = seen.get(ident, 0)
+        seen[ident] = n + 1
+        indexed[(ident, n)] = row
+    return indexed
+
+
+def add_deltas(rows, baseline_rows):
+    """Appends a delta column per throughput key; returns regression count."""
+    base = index_rows(baseline_rows)
+    seen = {}
+    regressions = 0
+    for row in rows:
+        ident = row_identity(row)
+        n = seen.get(ident, 0)
+        seen[ident] = n + 1
+        ref = base.get((ident, n))
+        if ref is None:
+            continue
+        for key in list(row):
+            if not is_throughput_key(key):
+                continue
+            new, old = row.get(key), ref.get(key)
+            if not isinstance(new, (int, float)) or not isinstance(old, (int, float)):
+                continue
+            if old == 0:
+                continue
+            delta = (new - old) / old
+            cell = f"{delta:+.1%}"
+            if delta < -REGRESSION_THRESHOLD:
+                cell += " REGRESSION"
+                regressions += 1
+            row[f"{key} Δ"] = cell
+    return regressions
+
+
 def main():
-    results = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results_dir", nargs="?", default="results")
+    parser.add_argument(
+        "--baseline",
+        metavar="DIR",
+        help="results directory to diff against; throughput drops >10%% are "
+        "flagged and fail the report",
+    )
+    args = parser.parse_args()
+
+    results = pathlib.Path(args.results_dir)
+    baseline = pathlib.Path(args.baseline) if args.baseline else None
     files = sorted(results.glob("BENCH_*.json"))
     if not files:
         print(f"no BENCH_*.json under {results}/", file=sys.stderr)
         return 1
 
+    present = {p.name for p in files}
+    missing = [name for name in EXPECTED_RECORDS if name not in present]
+    for name in missing:
+        print(
+            f"WARNING: registered bench record {name} is absent from "
+            f"{results}/ — did its bench stop writing it?",
+            file=sys.stderr,
+        )
+
     failures = 0
+    regressions = 0
     total_rows = 0
     for path in files:
         try:
-            rows = json.loads(path.read_text())
-            if not isinstance(rows, list) or not all(
-                isinstance(r, dict) for r in rows
-            ):
-                raise ValueError("expected a JSON array of flat objects")
+            rows = load_rows(path)
         except (ValueError, OSError) as err:
             print(f"{path}: MALFORMED ({err})", file=sys.stderr)
             failures += 1
             continue
+
+        if baseline is not None:
+            base_path = baseline / path.name
+            if base_path.exists():
+                try:
+                    regressions += add_deltas(rows, load_rows(base_path))
+                except (ValueError, OSError) as err:
+                    print(f"{base_path}: MALFORMED baseline ({err})",
+                          file=sys.stderr)
+                    failures += 1
+            else:
+                print(f"note: no baseline for {path.name}", file=sys.stderr)
 
         print(f"== {path.name} ({len(rows)} rows) ==")
         total_rows += len(rows)
@@ -77,8 +196,12 @@ def main():
             print_table(group)
         print()
 
-    print(f"{len(files)} record files, {total_rows} rows, {failures} malformed")
-    return 1 if failures else 0
+    print(
+        f"{len(files)} record files, {total_rows} rows, {failures} malformed, "
+        f"{len(missing)} registered records missing, {regressions} throughput "
+        f"regressions"
+    )
+    return 1 if failures or regressions else 0
 
 
 if __name__ == "__main__":

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 tests (plain + ASan/UBSan via scripts/check.sh) and
 # the smoke gates (durability, trace determinism, partition failover,
-# overload control, autoscale, chaos), each of which fails on nondeterminism
-# between two same-seed runs.
+# overload control, autoscale, chaos, memoization), each of which fails on
+# nondeterminism between two same-seed runs.
 #
 # Usage: scripts/ci.sh            # full gate
 #        scripts/ci.sh --soak N   # chaos soak only: N seeded schedules
@@ -50,10 +50,16 @@ echo "== autoscale smoke: hot shard splits, settle p99 inside SLO, deterministic
 echo "== chaos smoke: fixed schedule corpus survives; the reintroduced reshape bug is caught and shrunk =="
 ./build/bench/ab11_chaos --smoke
 
+echo "== memo smoke: hit-rate, cache-first harvest and stale-serve gates, deterministically =="
+./build/bench/ab12_memo --smoke
+
 echo "== scale smoke: event-core digests stable across runs, throughput above floor =="
 ./build/bench/scale_sim --smoke
 
 echo "== chaos smoke (sanitized): same gate under ASan/UBSan =="
 ./build-asan/bench/ab11_chaos --smoke
+
+echo "== memo smoke (sanitized): same gate under ASan/UBSan =="
+./build-asan/bench/ab12_memo --smoke
 
 echo "CI: all gates passed"

@@ -20,6 +20,10 @@ const std::vector<MetricInfo>& ExportedMetrics() {
        "serving shards under autoscale control"},
       {"cpu_util", "ClusterMetrics", "CPU busy fraction per sample window"},
       {"mem_util", "ClusterMetrics", "memory utilization, instantaneous"},
+      {"memo_cached_bytes", "ClusterMetrics",
+       "resident memo-cache footprint, instantaneous"},
+      {"memo_hit_rate", "ClusterMetrics",
+       "memo hits (fresh + stale) over lookups per sample window"},
       {"serving_goodput_qps", "ClusterMetrics",
        "requests completed within SLO per second, sliding window"},
       {"serving_hot_shard_qps", "ClusterMetrics",
@@ -40,6 +44,26 @@ const std::vector<MetricInfo>& ExportedMetrics() {
       // Adaptation time series.
       {"producer_count", "StageScaler",
        "preprocessing proclets live after each scaling round"},
+      // Memo tier counters (MemoCache single-flight + directory + harvester).
+      {"memo_single_flight_waits", "MemoCache",
+       "duplicate invocations that joined an identical in-flight compute"},
+      {"memo_evictions", "MemoDirectory",
+       "LRU cache entries dropped for capacity"},
+      {"memo_harvested_bytes", "MemoDirectory",
+       "cache bytes dropped by harvest under pressure"},
+      {"memo_hits", "MemoDirectory", "fresh content-addressed cache hits"},
+      {"memo_inserts", "MemoDirectory", "results inserted into the cache"},
+      {"memo_lost_lookups", "MemoDirectory",
+       "lookups that found a dead cache shard"},
+      {"memo_misses", "MemoDirectory", "lookups that found nothing servable"},
+      {"memo_shard_repairs", "MemoDirectory",
+       "lost cache shards lazily recreated on insert"},
+      {"memo_stale_hits", "MemoDirectory",
+       "bounded-staleness hits returned to callers"},
+      {"memo_stale_serves", "MemoDirectory",
+       "stale hits actually served to clients in degraded mode"},
+      {"memo_harvests", "MemoHarvester",
+       "whole-machine cache harvests under revocation"},
       // HealthCounters (detector + runtime fault accounting).
       {"confirmations", "FailureDetector", "suspicions confirmed dead"},
       {"false_suspicions", "FailureDetector",
@@ -214,6 +238,22 @@ Task<> ClusterMetrics::SampleLoop() {
           sim_.Now(), static_cast<double>(a.shard_count));
       autoscale_hot_shards_series_.Record(sim_.Now(),
                                           static_cast<double>(a.hot_shards));
+    }
+    if (memo_ != nullptr) {
+      const MemoSample m = memo_->SampleMemo(sim_.Now());
+      const int64_t lookups =
+          m.hits_total + m.stale_hits_total + m.misses_total;
+      const int64_t window_lookups = lookups - last_memo_lookups_;
+      const int64_t window_hits =
+          (m.hits_total + m.stale_hits_total) - last_memo_hits_;
+      memo_hit_rate_series_.Record(
+          sim_.Now(), window_lookups > 0
+                          ? static_cast<double>(window_hits) / window_lookups
+                          : 0.0);
+      memo_cached_bytes_series_.Record(sim_.Now(),
+                                       static_cast<double>(m.cached_bytes));
+      last_memo_lookups_ = lookups;
+      last_memo_hits_ = m.hits_total + m.stale_hits_total;
     }
   }
 }

@@ -99,6 +99,31 @@ class AutoscaleStatsSource {
   virtual AutoscaleSample SampleAutoscale(SimTime now) const = 0;
 };
 
+// Point-in-time view of the memoization tier: cumulative lookup outcome
+// counters plus the current resident cache footprint. `stale_hits_total`
+// counts bounded-staleness hits the directory RETURNED; `stale_serves_total`
+// counts the ones a frontend actually served to a client in degraded mode.
+struct MemoSample {
+  int64_t hits_total = 0;
+  int64_t stale_hits_total = 0;
+  int64_t misses_total = 0;
+  int64_t stale_serves_total = 0;
+  int64_t inserts_total = 0;
+  int64_t evictions_total = 0;
+  int64_t harvested_bytes_total = 0;
+  int64_t lost_lookups_total = 0;  // lookups that found a dead shard
+  int shard_count = 0;             // live cache shards
+  int64_t cached_bytes = 0;        // resident cache footprint
+};
+
+// Implemented by the memo directory so ClusterMetrics can sample it without
+// depending on the memo layer.
+class MemoStatsSource {
+ public:
+  virtual ~MemoStatsSource() = default;
+  virtual MemoSample SampleMemo(SimTime now) const = 0;
+};
+
 // Point-in-time snapshot of the cluster's failure-handling activity,
 // merging detector-side counters (heartbeats, suspicions) with
 // runtime-side ones (declarations, fencing). All zero when no detector is
@@ -137,6 +162,10 @@ class ClusterMetrics {
     autoscale_ = autoscale;
   }
 
+  // Optional: samples the memo tier's hit rate and footprint each period
+  // into the memo_* series. Call before Start().
+  void AttachMemo(const MemoStatsSource* memo) { memo_ = memo; }
+
   // Detector counters + the runtime's fault/fencing stats in one snapshot.
   HealthCounters CollectHealth(const RuntimeStats& rt_stats) const;
 
@@ -167,6 +196,14 @@ class ClusterMetrics {
     return autoscale_hot_shards_series_;
   }
 
+  // Memo series; empty unless a source was attached before Start().
+  // Hit rate is per sample window (fresh + stale hits over lookups), not
+  // cumulative, so warm-up misses do not mask steady-state behavior.
+  const TimeSeries& memo_hit_rate() const { return memo_hit_rate_series_; }
+  const TimeSeries& memo_cached_bytes() const {
+    return memo_cached_bytes_series_;
+  }
+
  private:
   Task<> SampleLoop();
 
@@ -176,6 +213,7 @@ class ClusterMetrics {
   const FailureDetector* detector_ = nullptr;
   const ServingStatsSource* serving_ = nullptr;
   const AutoscaleStatsSource* autoscale_ = nullptr;
+  const MemoStatsSource* memo_ = nullptr;
   std::vector<TimeSeries> cpu_series_;
   std::vector<TimeSeries> mem_series_;
   TimeSeries suspected_series_{"suspected_machines"};
@@ -185,8 +223,13 @@ class ClusterMetrics {
   TimeSeries serving_hot_shard_series_{"serving_hot_shard_qps"};
   TimeSeries autoscale_shard_count_series_{"autoscale_shard_count"};
   TimeSeries autoscale_hot_shards_series_{"autoscale_hot_shards"};
+  TimeSeries memo_hit_rate_series_{"memo_hit_rate"};
+  TimeSeries memo_cached_bytes_series_{"memo_cached_bytes"};
   // Last cumulative arrivals per shard, for the hot-shard rate delta.
   std::vector<std::pair<uint64_t, int64_t>> last_shard_arrivals_;
+  // Last cumulative memo lookups/hits, for the windowed hit-rate delta.
+  int64_t last_memo_lookups_ = 0;
+  int64_t last_memo_hits_ = 0;
 };
 
 }  // namespace quicksand

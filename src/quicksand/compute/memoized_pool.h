@@ -1,0 +1,63 @@
+// MemoizedSubmit: content-addressed memoization over DistPool jobs.
+//
+// DistPool::Submit runs fire-and-forget closures; memoization needs a
+// value back. MemoizedSubmit bridges the two: a servable cache hit skips
+// the pool entirely, a miss submits a value-producing closure and parks on
+// a WaitGroup until it completes, then the result is cached for the next
+// identical call. Concurrent identical keys single-flight through the
+// MemoCache — only the first submits a job.
+//
+// `compute` must be deterministic given the key (that is what makes the
+// cache transparent) and is subject to DistPool's loss semantics: without
+// pool lineage, a job queued on a member that fail-stops is gone, and this
+// call would wait forever. Restrict chaos/fault targets to non-pool
+// machines, or enable DistPool lineage and resubmit, when mixing
+// memoization with fault injection.
+
+#ifndef QUICKSAND_COMPUTE_MEMOIZED_POOL_H_
+#define QUICKSAND_COMPUTE_MEMOIZED_POOL_H_
+
+#include <memory>
+#include <utility>
+
+#include "quicksand/compute/dist_pool.h"
+#include "quicksand/memo/memoized.h"
+#include "quicksand/sim/sync.h"
+
+namespace quicksand {
+
+// `compute` is (Ctx) -> Task<Result<T>>, run on whichever pool member the
+// job lands on.
+template <typename T, typename Fn>
+Task<Result<T>> MemoizedSubmit(MemoCache& cache, Ctx ctx, DistPool& pool,
+                               MemoKey key, Fn compute,
+                               int64_t job_bytes = ComputeProclet::kDefaultJobBytes,
+                               Duration max_staleness = Duration::Zero()) {
+  co_return co_await cache.GetOrCompute<T>(
+      ctx, key, max_staleness,
+      [ctx, &pool, compute = std::move(compute),
+       job_bytes]() -> Task<Result<T>> {
+        auto slot = std::make_shared<Result<T>>(
+            Status::Unavailable("memoized job never ran"));
+        auto done = std::make_shared<WaitGroup>(ctx.rt->sim());
+        done->Add(1);
+        // Named task: see the GCC 12 note in sim/task.h.
+        auto submit = pool.Submit(
+            ctx,
+            [slot, done, compute](Ctx job_ctx) -> Task<> {
+              *slot = co_await compute(job_ctx);
+              done->Done();
+            },
+            job_bytes);
+        const Status submitted = co_await std::move(submit);
+        if (!submitted.ok()) {
+          co_return submitted;
+        }
+        co_await done->Wait();
+        co_return *slot;
+      });
+}
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_COMPUTE_MEMOIZED_POOL_H_

@@ -1,0 +1,314 @@
+#include "quicksand/memo/memo_directory.h"
+
+#include <exception>
+#include <utility>
+
+#include "quicksand/trace/trace.h"
+
+namespace quicksand {
+
+MemoDirectory::MemoDirectory(Runtime& rt, MemoDirectoryOptions options)
+    : rt_(rt), options_(options) {}
+
+Task<Status> MemoDirectory::Start(Ctx ctx) {
+  if (started_) {
+    co_return Status::FailedPrecondition("memo directory already started");
+  }
+  if (options_.hosts.empty()) {
+    for (MachineId m = 0; m < rt_.cluster().size(); ++m) {
+      if (m != options_.home && !rt_.cluster().machine(m).failed()) {
+        options_.hosts.push_back(m);
+      }
+    }
+  }
+  if (options_.hosts.empty()) {
+    co_return Status::FailedPrecondition("no machines can host memo shards");
+  }
+  started_ = true;
+  shards_.resize(static_cast<size_t>(options_.shards));
+  for (size_t slot = 0; slot < shards_.size(); ++slot) {
+    Status created = co_await CreateShard(ctx, slot);
+    if (!created.ok()) {
+      co_return created;
+    }
+  }
+  // Start() is the one place repairs_ should not count creations.
+  repairs_ = 0;
+  co_return Status::Ok();
+}
+
+MachineId MemoDirectory::PickHost(size_t slot) const {
+  // Deterministic first choice, then probe forward through the host list so
+  // a repair after a crash lands on a live machine.
+  const size_t n = options_.hosts.size();
+  for (size_t i = 0; i < n; ++i) {
+    const MachineId m = options_.hosts[(slot + i) % n];
+    if (rt_.cluster().machine(m).accepting()) {
+      return m;
+    }
+  }
+  // Every configured host is down. The cache is soft state — it can live
+  // anywhere — so fall back to any accepting machine other than home.
+  for (MachineId m = 0; m < rt_.cluster().size(); ++m) {
+    if (m != options_.home && rt_.cluster().machine(m).accepting()) {
+      return m;
+    }
+  }
+  return kInvalidMachineId;
+}
+
+MemoShardProclet* MemoDirectory::LiveShard(size_t slot) const {
+  const Ref<MemoShardProclet>& ref = shards_[slot];
+  if (!ref || rt_.IsLost(ref.id())) {
+    return nullptr;
+  }
+  return rt_.UnsafeGet<MemoShardProclet>(ref.id());
+}
+
+Task<Status> MemoDirectory::CreateShard(Ctx ctx, size_t slot) {
+  const MachineId host = PickHost(slot);
+  if (host == kInvalidMachineId) {
+    co_return Status::Unavailable("no live machine can host the memo shard");
+  }
+  PlacementRequest req;
+  req.heap_bytes = options_.shard_heap_bytes;
+  req.pinned = host;
+  MemoShardProclet::Options shard_options;
+  shard_options.max_bytes = options_.shard_max_bytes;
+  Result<Ref<MemoShardProclet>> created =
+      co_await rt_.Create<MemoShardProclet>(ctx, req, shard_options);
+  if (!created.ok()) {
+    co_return created.status();
+  }
+  shards_[slot] = *created;
+  ++repairs_;
+  co_return Status::Ok();
+}
+
+Task<MemoLookup> MemoDirectory::Lookup(Ctx ctx, MemoKey key,
+                                       Duration max_staleness) {
+  MemoLookup out;
+  if (shards_.empty()) {
+    ++misses_;
+    co_return out;
+  }
+  const size_t slot = key.route % shards_.size();
+  const Ref<MemoShardProclet> shard = shards_[slot];
+  Tracer* tracer = rt_.tracer();
+  if (!shard || rt_.IsLost(shard.id())) {
+    ++misses_;
+    ++lost_lookups_;
+    if (tracer != nullptr) {
+      tracer->Instant(ctx.trace, ctx.machine, TraceOp::kMemoMiss, shard.id(),
+                      0, "lost_shard");
+    }
+    co_return out;
+  }
+  MemoShardProclet::Lookup got;
+  try {
+    auto call = shard.Call(
+        ctx,
+        [route = key.route, salted = key.salted](MemoShardProclet& p)
+            -> Task<MemoShardProclet::Lookup> { co_return p.Get(route, salted); },
+        options_.lookup_request_bytes);
+    got = co_await std::move(call);
+  } catch (const std::exception&) {
+    // Lost mid-call, shed, unreachable, past deadline — all just misses:
+    // the caller recomputes. The cache must never add a failure mode.
+    ++misses_;
+    ++lost_lookups_;
+    if (tracer != nullptr) {
+      tracer->Instant(ctx.trace, ctx.machine, TraceOp::kMemoMiss, shard.id(),
+                      0, "unreachable");
+    }
+    co_return out;
+  }
+  if (got.found) {
+    const Duration age = rt_.sim().Now() - got.stored_at;
+    if (got.fresh) {
+      out.outcome = MemoOutcome::kFreshHit;
+      out.value = std::move(got.value);
+      out.bytes = got.bytes;
+      ++hits_;
+      if (tracer != nullptr) {
+        tracer->Instant(ctx.trace, ctx.machine, TraceOp::kMemoHit, shard.id(),
+                        got.bytes, "fresh");
+      }
+      co_return out;
+    }
+    if (max_staleness > Duration::Zero() && age <= max_staleness) {
+      out.outcome = MemoOutcome::kStaleHit;
+      out.value = std::move(got.value);
+      out.bytes = got.bytes;
+      out.age = age;
+      ++stale_hits_;
+      if (tracer != nullptr) {
+        tracer->Instant(ctx.trace, ctx.machine, TraceOp::kMemoHit, shard.id(),
+                        got.bytes, "stale");
+      }
+      co_return out;
+    }
+  }
+  ++misses_;
+  if (tracer != nullptr) {
+    tracer->Instant(ctx.trace, ctx.machine, TraceOp::kMemoMiss, shard.id());
+  }
+  co_return out;
+}
+
+Task<Status> MemoDirectory::Insert(Ctx ctx, MemoKey key, std::any value,
+                                   int64_t value_bytes) {
+  if (shards_.empty()) {
+    co_return Status::FailedPrecondition("memo directory not started");
+  }
+  const size_t slot = key.route % shards_.size();
+  if (!shards_[slot] || rt_.IsLost(shards_[slot].id())) {
+    // Lazy repair: re-create the slot on its deterministic host, or the
+    // next live one (PickHost probes). The shard comes back empty — lost
+    // cache is lost hit rate, nothing more.
+    Status repaired = co_await CreateShard(ctx, slot);
+    if (!repaired.ok()) {
+      co_return repaired;
+    }
+  }
+  const Ref<MemoShardProclet> shard = shards_[slot];
+  try {
+    // Named task: see the GCC 12 note in sim/task.h.
+    auto call = shard.Call(
+        ctx,
+        [route = key.route, salted = key.salted, value = std::move(value),
+         value_bytes](MemoShardProclet& p) mutable -> Task<Status> {
+          co_return p.Put(route, salted, std::move(value), value_bytes);
+        },
+        value_bytes);
+    const Status put = co_await std::move(call);
+    if (put.ok()) {
+      ++inserts_;
+    }
+    co_return put;
+  } catch (const std::exception& e) {
+    co_return Status::Unavailable(e.what());
+  }
+}
+
+void MemoDirectory::NoteStaleServe(const MemoKey& key) {
+  ++stale_serves_;
+  if (Tracer* tracer = rt_.tracer()) {
+    const size_t slot = shards_.empty() ? 0 : key.route % shards_.size();
+    tracer->Instant(TraceContext{}, options_.home, TraceOp::kMemoStaleServe,
+                    shards_.empty() ? 0 : shards_[slot].id());
+  }
+}
+
+Task<int64_t> MemoDirectory::HarvestMachine(Ctx ctx, MachineId machine) {
+  int64_t freed = 0;
+  for (size_t slot = 0; slot < shards_.size(); ++slot) {
+    MemoShardProclet* shard = LiveShard(slot);
+    if (shard == nullptr || shard->location() != machine) {
+      continue;
+    }
+    freed += shard->cached_bytes();
+    retired_evictions_ += shard->evictions();
+    const ProcletId id = shards_[slot].id();
+    shards_[slot] = Ref<MemoShardProclet>{};
+    // Destroy drains any in-flight lookup, then releases the whole heap —
+    // no migration, no wire bytes; the slot repairs lazily on Insert.
+    auto destroy = rt_.Destroy(ctx, id);
+    (void)co_await std::move(destroy);
+  }
+  if (freed > 0) {
+    harvested_bytes_ += freed;
+    if (Tracer* tracer = rt_.tracer()) {
+      tracer->Instant(ctx.trace, machine, TraceOp::kMemoHarvest, 0, freed);
+    }
+  }
+  co_return freed;
+}
+
+Task<int64_t> MemoDirectory::ReleaseBytes(Ctx ctx, MachineId machine,
+                                          int64_t target_bytes) {
+  int64_t freed = 0;
+  for (size_t slot = 0; slot < shards_.size() && freed < target_bytes;
+       ++slot) {
+    MemoShardProclet* shard = LiveShard(slot);
+    if (shard == nullptr || shard->location() != machine) {
+      continue;
+    }
+    freed += shard->EvictBytes(target_bytes - freed);
+  }
+  if (freed > 0) {
+    harvested_bytes_ += freed;
+    if (Tracer* tracer = rt_.tracer()) {
+      tracer->Instant(ctx.trace, machine, TraceOp::kMemoHarvest, 0, freed,
+                      "partial");
+    }
+  }
+  co_return freed;
+}
+
+Task<int> MemoDirectory::RepairLostShards(Ctx ctx) {
+  int repaired = 0;
+  for (size_t slot = 0; slot < shards_.size(); ++slot) {
+    if (shards_[slot] && !rt_.IsLost(shards_[slot].id())) {
+      continue;
+    }
+    Status created = co_await CreateShard(ctx, slot);
+    if (created.ok()) {
+      ++repaired;
+    }
+  }
+  co_return repaired;
+}
+
+int64_t MemoDirectory::cached_bytes() const {
+  int64_t total = 0;
+  for (size_t slot = 0; slot < shards_.size(); ++slot) {
+    if (const MemoShardProclet* shard = LiveShard(slot)) {
+      total += shard->cached_bytes();
+    }
+  }
+  return total;
+}
+
+int64_t MemoDirectory::cached_entries() const {
+  int64_t total = 0;
+  for (size_t slot = 0; slot < shards_.size(); ++slot) {
+    if (const MemoShardProclet* shard = LiveShard(slot)) {
+      total += static_cast<int64_t>(shard->entries());
+    }
+  }
+  return total;
+}
+
+int MemoDirectory::live_shards() const {
+  int live = 0;
+  for (size_t slot = 0; slot < shards_.size(); ++slot) {
+    if (LiveShard(slot) != nullptr) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+MemoSample MemoDirectory::SampleMemo(SimTime now) const {
+  (void)now;
+  MemoSample sample;
+  sample.hits_total = hits_;
+  sample.stale_hits_total = stale_hits_;
+  sample.misses_total = misses_;
+  sample.stale_serves_total = stale_serves_;
+  sample.inserts_total = inserts_;
+  sample.evictions_total = retired_evictions_;
+  sample.harvested_bytes_total = harvested_bytes_;
+  sample.lost_lookups_total = lost_lookups_;
+  sample.shard_count = live_shards();
+  for (size_t slot = 0; slot < shards_.size(); ++slot) {
+    if (const MemoShardProclet* shard = LiveShard(slot)) {
+      sample.evictions_total += shard->evictions();
+      sample.cached_bytes += shard->cached_bytes();
+    }
+  }
+  return sample;
+}
+
+}  // namespace quicksand

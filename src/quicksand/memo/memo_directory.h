@@ -1,0 +1,135 @@
+// MemoDirectory: routes content-addressed keys to MemoShardProclets.
+//
+// A fixed slot table (slot = route % shards) over ordinary cache shard
+// proclets. The directory is deliberately loss-tolerant rather than
+// durable: a lookup that lands on a dead shard is just a miss, and Insert
+// lazily recreates lost slots — cache contents are soft state, so repair is
+// "start empty and refill", never "recover". That is also what makes the
+// tier harvestable: MemoHarvester can destroy every shard on a machine
+// (zero wire cost) and the directory keeps answering, degraded to misses
+// for the affected slots until inserts repopulate them.
+//
+// Freshness protocol (see memo_key.h): an entry is a FRESH hit when its
+// stored salted hash matches the caller's current one. On a mismatch the
+// entry is still returned as a STALE hit if its age is within the caller's
+// `max_staleness` — the degraded-mode budget; pass Zero to accept only
+// fresh results.
+
+#ifndef QUICKSAND_MEMO_MEMO_DIRECTORY_H_
+#define QUICKSAND_MEMO_MEMO_DIRECTORY_H_
+
+#include <any>
+#include <cstdint>
+#include <vector>
+
+#include "quicksand/cluster/metrics.h"
+#include "quicksand/common/status.h"
+#include "quicksand/memo/memo_key.h"
+#include "quicksand/memo/memo_shard.h"
+#include "quicksand/runtime/runtime.h"
+
+namespace quicksand {
+
+enum class MemoOutcome { kMiss, kFreshHit, kStaleHit };
+
+struct MemoLookup {
+  MemoOutcome outcome = MemoOutcome::kMiss;
+  std::any value;
+  int64_t bytes = 0;
+  Duration age = Duration::Zero();  // now - stored_at; zero for fresh hits
+};
+
+struct MemoDirectoryOptions {
+  int shards = 4;
+  int64_t shard_max_bytes = 4 << 20;  // per-shard entry-byte budget
+  int64_t shard_heap_bytes = 64 << 10;  // base heap reservation per shard
+  MachineId home = 0;  // where directory-driven control calls originate
+  // Shard hosts, cycled slot-by-slot. Empty = every non-home live machine
+  // at Start() time, in machine-id order (deterministic).
+  std::vector<MachineId> hosts;
+  int64_t lookup_request_bytes = 64;  // wire cost of a lookup request leg
+};
+
+class MemoDirectory : public MemoStatsSource {
+ public:
+  explicit MemoDirectory(Runtime& rt, MemoDirectoryOptions options = {});
+
+  // Creates the shard proclets. Call once before any Lookup/Insert.
+  Task<Status> Start(Ctx ctx);
+
+  // Queries the slot for `key`. A dead or never-created shard is a miss.
+  Task<MemoLookup> Lookup(Ctx ctx, MemoKey key, Duration max_staleness);
+
+  // Stores a result, lazily recreating the slot's shard if it was lost.
+  Task<Status> Insert(Ctx ctx, MemoKey key, std::any value,
+                      int64_t value_bytes);
+
+  // Called by frontends when a stale hit was actually served to a client
+  // (Lookup only reports that one was available).
+  void NoteStaleServe(const MemoKey& key);
+
+  // --- Harvest interface (see memo_harvester.h) -----------------------------
+
+  // Destroys every shard hosted on `machine`, releasing its cache bytes
+  // with zero wire cost. Slots repair lazily on the next Insert. Returns
+  // the cache bytes dropped.
+  Task<int64_t> HarvestMachine(Ctx ctx, MachineId machine);
+
+  // LRU-evicts entries from shards on `machine` until `target_bytes` have
+  // been released (or nothing is left). Returns the bytes released.
+  Task<int64_t> ReleaseBytes(Ctx ctx, MachineId machine, int64_t target_bytes);
+
+  // Eagerly recreates every lost slot (tests; production relies on lazy
+  // repair). Returns the number of shards recreated.
+  Task<int> RepairLostShards(Ctx ctx);
+
+  // --- Introspection --------------------------------------------------------
+
+  // Resident entry bytes across live shards (walks them; sim is
+  // single-threaded so this is exact).
+  int64_t cached_bytes() const;
+  int64_t cached_entries() const;
+  int live_shards() const;
+  MachineId home() const { return options_.home; }
+  const std::vector<Ref<MemoShardProclet>>& shards() const { return shards_; }
+
+  int64_t hits() const { return hits_; }
+  int64_t stale_hits() const { return stale_hits_; }
+  int64_t misses() const { return misses_; }
+  int64_t stale_serves() const { return stale_serves_; }
+  int64_t inserts() const { return inserts_; }
+  int64_t lost_lookups() const { return lost_lookups_; }
+  int64_t repairs() const { return repairs_; }
+  int64_t harvested_bytes() const { return harvested_bytes_; }
+
+  MemoSample SampleMemo(SimTime now) const override;
+
+ private:
+  // Recreates the shard for `slot` on its deterministic host. Fails (and
+  // leaves the slot empty) when the host is down or out of memory.
+  Task<Status> CreateShard(Ctx ctx, size_t slot);
+  MachineId PickHost(size_t slot) const;
+  // The slot's live proclet, or nullptr when lost/never created.
+  MemoShardProclet* LiveShard(size_t slot) const;
+
+  Runtime& rt_;
+  MemoDirectoryOptions options_;
+  std::vector<Ref<MemoShardProclet>> shards_;
+  bool started_ = false;
+
+  int64_t hits_ = 0;
+  int64_t stale_hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t stale_serves_ = 0;
+  int64_t inserts_ = 0;
+  int64_t lost_lookups_ = 0;
+  int64_t repairs_ = 0;
+  int64_t harvested_bytes_ = 0;
+  // Eviction counters of shards that no longer exist (harvested), so
+  // SampleMemo's totals do not go backwards when a shard dies.
+  int64_t retired_evictions_ = 0;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_MEMO_MEMO_DIRECTORY_H_

@@ -1,0 +1,37 @@
+#include "quicksand/memo/memo_harvester.h"
+
+#include <utility>
+
+namespace quicksand {
+
+Task<int64_t> MemoHarvester::HarvestMachine(MachineId machine) {
+  int64_t freed = 0;
+  for (MemoDirectory* directory : directories_) {
+    auto harvest = directory->HarvestMachine(rt_.CtxOn(directory->home()), machine);
+    freed += co_await std::move(harvest);
+  }
+  if (freed > 0) {
+    ++harvests_;
+    harvested_bytes_ += freed;
+  }
+  co_return freed;
+}
+
+Task<int64_t> MemoHarvester::ReleaseBytes(MachineId machine,
+                                          int64_t target_bytes) {
+  int64_t freed = 0;
+  for (MemoDirectory* directory : directories_) {
+    if (freed >= target_bytes) {
+      break;
+    }
+    auto release = directory->ReleaseBytes(rt_.CtxOn(directory->home()),
+                                           machine, target_bytes - freed);
+    freed += co_await std::move(release);
+  }
+  if (freed > 0) {
+    harvested_bytes_ += freed;
+  }
+  co_return freed;
+}
+
+}  // namespace quicksand

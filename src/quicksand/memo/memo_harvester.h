@@ -1,0 +1,51 @@
+// MemoHarvester: the "evict cache before evacuating live state" lever.
+//
+// A thin multiplexer over the registered MemoDirectories that the
+// EmergencyEvacuator and LocalReactor call into when a machine comes under
+// pressure. Two intensities:
+//
+//  * HarvestMachine — revocation path. Drops every cache shard on the
+//    machine outright: zero wire cost, frees heap immediately, and removes
+//    the shards from the evacuator's migration list so the whole deadline
+//    budget goes to live state.
+//  * ReleaseBytes — memory-watermark path. LRU-evicts just enough entries
+//    to get back under the reactor's low target, preferring to shrink the
+//    cache over migrating a memory proclet off the machine.
+
+#ifndef QUICKSAND_MEMO_MEMO_HARVESTER_H_
+#define QUICKSAND_MEMO_MEMO_HARVESTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "quicksand/memo/memo_directory.h"
+
+namespace quicksand {
+
+class MemoHarvester {
+ public:
+  explicit MemoHarvester(Runtime& rt) : rt_(rt) {}
+
+  // Directories are not owned and must outlive the harvester.
+  void Register(MemoDirectory* directory) { directories_.push_back(directory); }
+
+  // Drops all cache shards on `machine`. Returns cache bytes freed.
+  Task<int64_t> HarvestMachine(MachineId machine);
+
+  // Evicts cache entries on `machine` until `target_bytes` are freed (or
+  // the cache there is empty). Returns bytes freed.
+  Task<int64_t> ReleaseBytes(MachineId machine, int64_t target_bytes);
+
+  int64_t harvests() const { return harvests_; }
+  int64_t harvested_bytes() const { return harvested_bytes_; }
+
+ private:
+  Runtime& rt_;
+  std::vector<MemoDirectory*> directories_;
+  int64_t harvests_ = 0;
+  int64_t harvested_bytes_ = 0;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_MEMO_MEMO_HARVESTER_H_

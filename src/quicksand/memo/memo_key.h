@@ -1,0 +1,85 @@
+// Content-addressed memo keys.
+//
+// A MemoKey names one logical invocation result two ways at once:
+//
+//  * `route`  — FNV-1a over the function id and canonicalized arguments.
+//    This is the placement hash: it picks the MemoShardProclet slot, so all
+//    versions of the same logical call land on (and overwrite in) the same
+//    shard, keeping the cache at one entry per logical key.
+//  * `salted` — the same hash additionally folded over an explicit
+//    epoch/version salt. The stored entry remembers the salt hash it was
+//    computed under; a lookup whose salted hash matches is a FRESH hit,
+//    while a mismatch within the caller's staleness bound is a STALE hit
+//    (servable only in degraded mode — see MemoDirectory::Lookup).
+//
+// Callers own the salt discipline: bump the salt whenever the underlying
+// state changes (KvFrontend bumps a per-key version at write start AND at
+// write ack, which closes the read-caches-pre-apply-value race) and reuse
+// salt 0 for pure functions whose results never go stale.
+
+#ifndef QUICKSAND_MEMO_MEMO_KEY_H_
+#define QUICKSAND_MEMO_MEMO_KEY_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace quicksand {
+
+struct MemoKey {
+  uint64_t route = 0;   // fn + args: shard placement and entry identity
+  uint64_t salted = 0;  // fn + args + salt: freshness fingerprint
+
+  bool operator==(const MemoKey& other) const = default;
+};
+
+// Incremental FNV-1a. Feed the function id first, then each argument in a
+// canonical order; Build() folds in the salt last so the same builder state
+// can stamp keys for several versions.
+class MemoKeyBuilder {
+ public:
+  MemoKeyBuilder& Fn(uint64_t fn_id) { return U64(fn_id); }
+
+  MemoKeyBuilder& U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      Byte(static_cast<uint8_t>(v >> (8 * i)));
+    }
+    return *this;
+  }
+
+  MemoKeyBuilder& I64(int64_t v) { return U64(static_cast<uint64_t>(v)); }
+
+  MemoKeyBuilder& Str(std::string_view s) {
+    U64(s.size());  // length prefix keeps ("ab","c") != ("a","bc")
+    for (const char c : s) {
+      Byte(static_cast<uint8_t>(c));
+    }
+    return *this;
+  }
+
+  MemoKey Build(uint64_t salt = 0) const {
+    MemoKey key;
+    key.route = hash_;
+    uint64_t h = hash_;
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<uint8_t>(salt >> (8 * i));
+      h *= kFnvPrime;
+    }
+    key.salted = h;
+    return key;
+  }
+
+ private:
+  static constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+  static constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+  void Byte(uint8_t b) {
+    hash_ ^= b;
+    hash_ *= kFnvPrime;
+  }
+
+  uint64_t hash_ = kFnvOffset;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_MEMO_MEMO_KEY_H_

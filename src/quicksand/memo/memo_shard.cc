@@ -1,0 +1,93 @@
+#include "quicksand/memo/memo_shard.h"
+
+#include <utility>
+
+#include "quicksand/trace/trace.h"
+
+namespace quicksand {
+
+MemoShardProclet::Lookup MemoShardProclet::Get(uint64_t route,
+                                               uint64_t salted) {
+  Lookup out;
+  auto it = entries_.find(route);
+  if (it == entries_.end()) {
+    ++misses_;
+    return out;
+  }
+  Entry& entry = it->second;
+  lru_.splice(lru_.begin(), lru_, entry.lru_it);
+  ++hits_;
+  out.found = true;
+  out.fresh = entry.salted == salted;
+  out.value = entry.value;
+  out.bytes = entry.bytes;
+  out.stored_at = entry.stored_at;
+  return out;
+}
+
+Status MemoShardProclet::Put(uint64_t route, uint64_t salted, std::any value,
+                             int64_t bytes) {
+  if (bytes > options_.max_bytes) {
+    return Status::InvalidArgument("memo value exceeds the shard byte budget");
+  }
+  auto it = entries_.find(route);
+  if (it != entries_.end()) {
+    // Overwrite in place: release the old value's bytes first so the budget
+    // check below sees the true post-insert footprint.
+    ReleaseHeap(it->second.bytes);
+    cached_bytes_ -= it->second.bytes;
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+  }
+  while (!entries_.empty() && cached_bytes_ + bytes > options_.max_bytes) {
+    EvictOne();
+  }
+  while (!TryChargeHeap(bytes)) {
+    // Host is out of memory even though we are within budget: shrink until
+    // the charge fits. An empty shard that still cannot charge refuses.
+    if (entries_.empty()) {
+      return Status::ResourceExhausted("memo shard host is out of memory");
+    }
+    EvictOne();
+  }
+  lru_.push_front(route);
+  entries_.emplace(route, Entry{std::move(value), bytes, salted,
+                                runtime().sim().Now(), lru_.begin()});
+  cached_bytes_ += bytes;
+  ++inserts_;
+  return Status::Ok();
+}
+
+int64_t MemoShardProclet::EvictBytes(int64_t target_bytes) {
+  int64_t released = 0;
+  while (released < target_bytes && !entries_.empty()) {
+    auto it = entries_.find(lru_.back());
+    released += it->second.bytes;
+    EvictOne();
+  }
+  return released;
+}
+
+int64_t MemoShardProclet::DropAll() {
+  const int64_t released = cached_bytes_;
+  while (!entries_.empty()) {
+    EvictOne();
+  }
+  return released;
+}
+
+void MemoShardProclet::EvictOne() {
+  auto it = entries_.find(lru_.back());
+  const int64_t bytes = it->second.bytes;
+  ReleaseHeap(bytes);
+  cached_bytes_ -= bytes;
+  ++evictions_;
+  evicted_bytes_ += bytes;
+  lru_.pop_back();
+  entries_.erase(it);
+  if (Tracer* t = runtime().tracer()) {
+    t->Instant(TraceContext{}, location(), TraceOp::kMemoEvict, id(), bytes);
+  }
+}
+
+}  // namespace quicksand

@@ -1,0 +1,104 @@
+// MemoShardProclet: one LRU segment of the content-addressed result cache.
+//
+// An ordinary kMemory proclet — it charges its entries to the hosting
+// machine's heap, migrates, and counts toward placement like any other
+// memory proclet — except that its state is pure soft state: every entry
+// can be recomputed from the original invocation. It therefore overrides
+// harvestable() to true and deliberately does NOT implement the durability
+// hooks: checkpointing or replicating a cache would spend exactly the
+// resources the cache exists to save. Under revocation the MemoHarvester
+// drops whole shards (zero wire cost) before the evacuator spends its
+// deadline migrating live state.
+//
+// Entries are keyed by the MemoKey route hash (one entry per logical call)
+// and carry the salted hash they were computed under plus their store time,
+// so the directory can distinguish fresh hits from bounded-staleness hits.
+// Eviction is strict LRU over a byte budget — deterministic, so same-seed
+// runs produce bit-identical hit sequences.
+
+#ifndef QUICKSAND_MEMO_MEMO_SHARD_H_
+#define QUICKSAND_MEMO_MEMO_SHARD_H_
+
+#include <any>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "quicksand/common/status.h"
+#include "quicksand/runtime/runtime.h"
+
+namespace quicksand {
+
+class MemoShardProclet : public ProcletBase {
+ public:
+  static constexpr ProcletKind kKind = ProcletKind::kMemory;
+
+  struct Options {
+    int64_t max_bytes = 4 << 20;  // entry-byte budget (excludes base heap)
+  };
+
+  MemoShardProclet(const ProcletInit& init, Options options)
+      : ProcletBase(init), options_(options) {}
+
+  bool harvestable() const override { return true; }
+
+  // Lookup result, shipped back over the simulated wire. `fresh` means the
+  // stored salted hash matches the caller's; a mismatch is only servable
+  // within the caller's staleness bound (the directory decides).
+  struct Lookup {
+    bool found = false;
+    bool fresh = false;
+    std::any value;
+    int64_t bytes = 0;
+    SimTime stored_at = SimTime::Zero();
+
+    int64_t WireBytes() const { return bytes + 32; }
+  };
+
+  Lookup Get(uint64_t route, uint64_t salted);
+
+  // Inserts or overwrites the entry for `route`, evicting LRU entries until
+  // the new value fits the byte budget and the host has memory for it.
+  Status Put(uint64_t route, uint64_t salted, std::any value, int64_t bytes);
+
+  // Drops LRU entries until at least `target_bytes` have been released (or
+  // the shard is empty). Returns the bytes actually released.
+  int64_t EvictBytes(int64_t target_bytes);
+
+  // Drops everything (harvest). Returns the bytes released.
+  int64_t DropAll();
+
+  int64_t cached_bytes() const { return cached_bytes_; }
+  size_t entries() const { return entries_.size(); }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  int64_t inserts() const { return inserts_; }
+  int64_t evictions() const { return evictions_; }
+  int64_t evicted_bytes() const { return evicted_bytes_; }
+
+ private:
+  struct Entry {
+    std::any value;
+    int64_t bytes = 0;
+    uint64_t salted = 0;
+    SimTime stored_at = SimTime::Zero();
+    std::list<uint64_t>::iterator lru_it;
+  };
+
+  // Drops the LRU tail entry. Pre: non-empty.
+  void EvictOne();
+
+  Options options_;
+  std::list<uint64_t> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, Entry> entries_;
+  int64_t cached_bytes_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t inserts_ = 0;
+  int64_t evictions_ = 0;
+  int64_t evicted_bytes_ = 0;
+};
+
+}  // namespace quicksand
+
+#endif  // QUICKSAND_MEMO_MEMO_SHARD_H_

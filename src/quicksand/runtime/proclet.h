@@ -130,6 +130,13 @@ class ProcletBase {
   // accounting becomes a no-op.
   bool lost() const { return lost_; }
 
+  // True for proclets holding only soft state that can be dropped and
+  // recomputed (memo cache shards). The EmergencyEvacuator and LocalReactor
+  // reclaim these FIRST — dropping cache costs zero wire bytes, while
+  // migrating live state races the revocation deadline — and never spend
+  // migration budget moving them.
+  virtual bool harvestable() const { return false; }
+
   // --- Heap accounting (call only from within a proclet method) ------------
 
   // Grows the heap, charging the hosting machine. Fails without side effects

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "quicksand/common/logging.h"
+#include "quicksand/memo/memo_harvester.h"
 #include "quicksand/sim/fiber.h"
 
 namespace quicksand {
@@ -59,6 +60,23 @@ Task<EvacuationReport> EmergencyEvacuator::Evacuate(MachineId machine,
                      machine);
   }
 
+  // Cache before state: harvestable proclets are dropped outright (zero
+  // wire cost, heap freed immediately) so the deadline budget below is
+  // spent only on proclets whose state cannot be recomputed.
+  if (drop_harvestable_) {
+    for (ProcletId id : rt_.ProcletsOn(machine)) {
+      ProcletBase* p = rt_.Find(id);
+      if (p != nullptr && p->harvestable()) {
+        ++report.cache_dropped;
+      }
+    }
+  }
+  if (harvester_ != nullptr && drop_harvestable_) {
+    auto harvest = harvester_->HarvestMachine(machine);
+    report.cache_bytes_dropped = co_await std::move(harvest);
+    total_cache_bytes_dropped_ += report.cache_bytes_dropped;
+  }
+
   struct Item {
     ProcletId id;
     int rank;
@@ -68,6 +86,12 @@ Task<EvacuationReport> EmergencyEvacuator::Evacuate(MachineId machine,
   for (ProcletId id : rt_.ProcletsOn(machine)) {
     ProcletBase* p = rt_.Find(id);
     if (p == nullptr) {
+      continue;
+    }
+    if (drop_harvestable_ && p->harvestable()) {
+      // Anything harvestable still standing (e.g. a directory not
+      // registered with the harvester) is not worth migration budget; it
+      // dies with the machine and refills elsewhere.
       continue;
     }
     items.push_back(Item{id, EvacuationRank(p->kind()), p->heap_bytes()});

@@ -37,6 +37,8 @@
 
 namespace quicksand {
 
+class MemoHarvester;
+
 struct EvacuationReport {
   MachineId machine = kInvalidMachineId;
   SimTime started;
@@ -44,6 +46,8 @@ struct EvacuationReport {
   int64_t considered = 0;               // proclets hosted at the notice
   int64_t evacuated = 0;                // migrated off before the deadline
   int64_t abandoned = 0;                // lost or failed to move
+  int64_t cache_dropped = 0;            // harvestable proclets dropped instead
+  int64_t cache_bytes_dropped = 0;      // cache bytes freed by the harvest
 };
 
 class EmergencyEvacuator {
@@ -57,6 +61,17 @@ class EmergencyEvacuator {
   // evacuation fiber racing that notice's deadline.
   void Arm(FaultInjector& injector);
 
+  // Optional: cache shards on a revoked machine are harvested (dropped,
+  // zero wire cost) before any migration starts, and harvestable proclets
+  // are excluded from the migration list — the whole deadline budget goes
+  // to live state. Call before Arm().
+  void AttachMemoHarvester(MemoHarvester* harvester) { harvester_ = harvester; }
+
+  // Ablation knob (bench/ab12): when false, harvestable proclets are
+  // treated like ordinary memory proclets and migrated instead of dropped,
+  // spending deadline budget shipping refillable cache bytes.
+  void set_drop_harvestable(bool drop) { drop_harvestable_ = drop; }
+
   // Evacuates everything hosted on `machine`; returns when every migration
   // has resolved (successfully or not). Callable directly for tests.
   Task<EvacuationReport> Evacuate(MachineId machine, SimTime deadline);
@@ -64,14 +79,20 @@ class EmergencyEvacuator {
   const std::vector<EvacuationReport>& reports() const { return reports_; }
   int64_t total_evacuated() const { return total_evacuated_; }
   int64_t total_abandoned() const { return total_abandoned_; }
+  int64_t total_cache_bytes_dropped() const {
+    return total_cache_bytes_dropped_;
+  }
 
  private:
   Task<> HandleNotice(RevokeResources notice);
 
   Runtime& rt_;
+  MemoHarvester* harvester_ = nullptr;
+  bool drop_harvestable_ = true;
   std::vector<EvacuationReport> reports_;
   int64_t total_evacuated_ = 0;
   int64_t total_abandoned_ = 0;
+  int64_t total_cache_bytes_dropped_ = 0;
 };
 
 }  // namespace quicksand

@@ -4,6 +4,7 @@
 
 #include "quicksand/autoscale/autoscaler.h"
 #include "quicksand/common/logging.h"
+#include "quicksand/memo/memo_harvester.h"
 
 namespace quicksand {
 
@@ -108,13 +109,35 @@ Task<> LocalReactor::HandleMemoryPressure() {
   if (self.memory().utilization() < config_.memory_high_watermark) {
     co_return;
   }
+  // Cache first: shrinking the memo cache is free relief (no gate closed,
+  // no wire bytes) — only migrate live proclets if that was not enough.
+  if (harvester_ != nullptr) {
+    const int64_t target_free =
+        self.memory().used() -
+        static_cast<int64_t>(config_.memory_low_target *
+                             static_cast<double>(self.memory().capacity()));
+    if (target_free > 0) {
+      auto release = harvester_->ReleaseBytes(machine_, target_free);
+      const int64_t freed = co_await std::move(release);
+      if (freed > 0) {
+        ++cache_harvests_;
+        cache_harvested_bytes_ += freed;
+        QS_LOG_DEBUG("reactor", "m%u: memory pressure, harvested %lld cache bytes",
+                     machine_, static_cast<long long>(freed));
+      }
+    }
+    if (self.memory().utilization() <= config_.memory_low_target) {
+      co_return;
+    }
+  }
   // Move memory proclets, largest first, until below the low target. Hot
-  // (recently invoked) proclets are skipped — see memory_hot_window.
+  // (recently invoked) proclets are skipped — see memory_hot_window; the
+  // harvestable cache shards are never migrated (dropping beats shipping).
   std::vector<ProcletBase*> candidates;
   for (ProcletId id : rt_.ProcletsOn(machine_)) {
     ProcletBase* p = rt_.Find(id);
     if (p == nullptr || p->kind() != ProcletKind::kMemory || p->gate_closed() ||
-        InCooldown(id)) {
+        p->harvestable() || InCooldown(id)) {
       continue;
     }
     const bool hot = p->invocation_count() > 0 &&

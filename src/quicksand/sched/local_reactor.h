@@ -25,6 +25,7 @@
 namespace quicksand {
 
 class Autoscaler;
+class MemoHarvester;
 
 struct LocalReactorConfig {
   Duration period = Duration::Micros(250);
@@ -70,8 +71,16 @@ class LocalReactor {
   // that actually helps — the nudge fast-tracks its detection.
   void AttachAutoscaler(Autoscaler* autoscaler) { autoscaler_ = autoscaler; }
 
+  // Optional: memory pressure first shrinks the memo cache on this machine
+  // (LRU eviction down to the low target — free, instant, no gate closed)
+  // and only migrates live memory proclets if that was not enough.
+  // Harvestable proclets are never picked as migration candidates.
+  void AttachMemoHarvester(MemoHarvester* harvester) { harvester_ = harvester; }
+
   int64_t cpu_evictions() const { return cpu_evictions_; }
   int64_t memory_evictions() const { return memory_evictions_; }
+  int64_t cache_harvests() const { return cache_harvests_; }
+  int64_t cache_harvested_bytes() const { return cache_harvested_bytes_; }
 
  private:
   Task<> Loop();
@@ -84,9 +93,12 @@ class LocalReactor {
   LocalReactorConfig config_;
   const AdmissionController* overload_ = nullptr;
   Autoscaler* autoscaler_ = nullptr;
+  MemoHarvester* harvester_ = nullptr;
   std::unordered_map<ProcletId, SimTime> last_moved_;
   int64_t cpu_evictions_ = 0;
   int64_t memory_evictions_ = 0;
+  int64_t cache_harvests_ = 0;
+  int64_t cache_harvested_bytes_ = 0;
 };
 
 // Convenience: one reactor per machine.

@@ -4,8 +4,17 @@
 #include <utility>
 
 #include "quicksand/adapt/shard_maintenance.h"
+#include "quicksand/overload/admission.h"
 
 namespace quicksand {
+
+namespace {
+
+// Function id for memoized Get(key) results (see memo_key.h); any constant
+// works as long as no other memoized function in the process shares it.
+constexpr uint64_t kMemoFnKvGet = 0x6b76'6765'74ull;  // "kvget"
+
+}  // namespace
 
 KvFrontend::KvFrontend(Runtime& rt, KvFrontendOptions options)
     : rt_(rt),
@@ -100,7 +109,8 @@ void KvFrontend::NoteRouted(ProcletId shard, uint64_t hash) {
 Task<KvFrontend::Attempt> KvFrontend::TryOnce(Ctx ctx,
                                               Ref<FencedKvProclet> shard,
                                               uint64_t rid, uint64_t key,
-                                              bool is_read) {
+                                              bool is_read,
+                                              std::optional<Result<int64_t>>* read_result) {
   // Epoch is re-resolved per attempt (the stamp must be current); the rid is
   // stable across attempts, so a retry of an acked-but-unacknowledged write
   // dedups at the shard — wherever a reshape has since moved the key.
@@ -124,9 +134,14 @@ Task<KvFrontend::Attempt> KvFrontend::TryOnce(Ctx ctx,
       const Result<int64_t> got = co_await std::move(call);
       // NotFound (cold key) is still a served request; OutOfRange means the
       // key's range left this shard mid-flight (raced a reshape): re-route.
-      outcome = (!got.ok() && got.status().code() == StatusCode::kOutOfRange)
-                    ? Attempt::kMoved
-                    : Attempt::kOk;
+      if (!got.ok() && got.status().code() == StatusCode::kOutOfRange) {
+        outcome = Attempt::kMoved;
+      } else {
+        outcome = Attempt::kOk;
+        if (read_result != nullptr) {
+          *read_result = got;  // ok or NotFound — both are cacheable answers
+        }
+      }
     } else {
       const int64_t value = static_cast<int64_t>(key) * 31 + 7;
       auto call = shard.Call(
@@ -174,6 +189,29 @@ Task<bool> KvFrontend::TryStaleRead(Ctx ctx, Ref<FencedKvProclet> shard,
   co_return got.ok();
 }
 
+MemoKey KvFrontend::MemoKeyFor(uint64_t key) const {
+  return MemoKeyBuilder().Fn(kMemoFnKvGet).U64(key).Build(VersionOf(key));
+}
+
+uint64_t KvFrontend::VersionOf(uint64_t key) const {
+  auto it = key_version_.find(key);
+  return it == key_version_.end() ? 0 : it->second;
+}
+
+bool KvFrontend::UnderPressure(MachineId shard_host) {
+  if (AdmissionController* admission = rt_.admission();
+      admission != nullptr && admission->Overloaded(shard_host)) {
+    return true;
+  }
+  const SimTime now = rt_.sim().Now();
+  if (now - slo_checked_ >= Duration::Millis(1)) {
+    slo_checked_ = now;
+    const LatencyHistogram merged = latency_.Merged(now);
+    slo_violated_ = merged.count() >= 32 && merged.Percentile(99) > options_.slo;
+  }
+  return slo_violated_;
+}
+
 void KvFrontend::RecordSuccess(SimTime arrival) {
   const SimTime now = rt_.sim().Now();
   const Duration elapsed = now - arrival;
@@ -201,6 +239,35 @@ Task<bool> KvFrontend::ServeDetailed(uint64_t key, bool is_read) {
   }
   const uint64_t rid = next_rid_++;
   const uint64_t hash = KvShardHash(key);
+  const bool memo_active = memo_ != nullptr && options_.memo_reads && is_read;
+  if (!is_read && memo_ != nullptr) {
+    // A write is now in flight: entries cached under older salts must stop
+    // being fresh before the write can apply anywhere.
+    BumpVersion(key);
+  }
+  if (memo_active) {
+    // Fresh hits serve unconditionally (that is the cache working); stale
+    // hits serve only in degraded mode — under pressure, an approximate
+    // answer beats queueing behind a saturated shard or being shed.
+    const Duration staleness =
+        UnderPressure(rt_.LocationOf(Route(hash).ref.id()))
+            ? options_.memo_staleness
+            : Duration::Zero();
+    auto look = memo_->Lookup(ctx, MemoKeyFor(key), staleness);
+    const MemoLookup hit = co_await std::move(look);
+    if (hit.outcome == MemoOutcome::kFreshHit) {
+      ++memo_serves_;
+      RecordSuccess(arrival);
+      co_return true;
+    }
+    if (hit.outcome == MemoOutcome::kStaleHit) {
+      memo_->NoteStaleServe(MemoKeyFor(key));
+      ++memo_serves_;
+      ++memo_stale_serves_;
+      RecordSuccess(arrival);
+      co_return true;
+    }
+  }
   if (options_.retry_budget) {
     budget_.OnAttempt();  // first attempts fund the bucket
   }
@@ -211,10 +278,29 @@ Task<bool> KvFrontend::ServeDetailed(uint64_t key, bool is_read) {
     // the last try (or while this attempt waited at a closed gate).
     const Ref<FencedKvProclet> shard = Route(hash).ref;
     NoteRouted(shard.id(), hash);
-    auto once = TryOnce(ctx, shard, rid, key, is_read);
+    std::optional<Result<int64_t>> read_result;
+    // Salt captured BEFORE the attempt: any write completing while our read
+    // is in flight bumps past this, so the inserted entry can never be
+    // fresh under a salt newer than the value it holds.
+    const MemoKey attempt_key = memo_active ? MemoKeyFor(key) : MemoKey{};
+    auto once = TryOnce(ctx, shard, rid, key, is_read,
+                        memo_active ? &read_result : nullptr);
     const Attempt outcome = co_await std::move(once);
+    if (!is_read && memo_ != nullptr) {
+      // The attempt may have applied at the shard whatever its reported
+      // outcome (an ack can be lost after the apply), so nothing cached
+      // before this point may ever be served as fresh again. Together with
+      // the in-flight bump above this closes the window where a concurrent
+      // read caches a pre-apply value under the newest salt.
+      BumpVersion(key);
+    }
     if (outcome == Attempt::kOk) {
       RecordSuccess(arrival);
+      if (memo_active && read_result.has_value()) {
+        auto insert = memo_->Insert(ctx, attempt_key, std::any(*read_result),
+                                    options_.memo_entry_bytes);
+        (void)co_await std::move(insert);
+      }
       co_return true;
     }
     if (outcome == Attempt::kMoved) {
@@ -239,6 +325,22 @@ Task<bool> KvFrontend::ServeDetailed(uint64_t key, bool is_read) {
         auto fallback = TryStaleRead(ctx, shard, key);
         if (co_await std::move(fallback)) {
           ++stale_fallbacks_;
+          RecordSuccess(arrival);
+          co_return true;
+        }
+      }
+      if (is_read && memo_ != nullptr && options_.memo_reads &&
+          options_.memo_staleness > Duration::Zero()) {
+        // A shed IS the pressure signal — allow bounded staleness here even
+        // if the pre-attempt lookup ran in fresh-only mode.
+        auto look = memo_->Lookup(ctx, MemoKeyFor(key), options_.memo_staleness);
+        const MemoLookup hit = co_await std::move(look);
+        if (hit.outcome != MemoOutcome::kMiss) {
+          if (hit.outcome == MemoOutcome::kStaleHit) {
+            memo_->NoteStaleServe(MemoKeyFor(key));
+            ++memo_stale_serves_;
+          }
+          ++memo_serves_;
           RecordSuccess(arrival);
           co_return true;
         }

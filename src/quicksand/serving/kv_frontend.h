@@ -57,6 +57,7 @@
 #define QUICKSAND_SERVING_KV_FRONTEND_H_
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -64,6 +65,7 @@
 #include "quicksand/cluster/metrics.h"
 #include "quicksand/common/stats.h"
 #include "quicksand/durability/replication.h"
+#include "quicksand/memo/memo_directory.h"
 #include "quicksand/overload/retry_budget.h"
 #include "quicksand/proclet/fenced_kv_proclet.h"
 #include "quicksand/runtime/runtime.h"
@@ -89,6 +91,16 @@ struct KvFrontendOptions {
   // its staleness bound is within max_staleness.
   bool degraded_reads = false;
   Duration max_staleness = Duration::Millis(10);
+  // Memoized reads (requires AttachMemo). Fresh memo hits are always
+  // served; STALE hits (bounded by memo_staleness) are served only while
+  // the shard's host is under admission pressure or the windowed p99 is
+  // outside the SLO — approximation is a degraded mode, not the default.
+  // memo_staleness == Zero disables stale serving entirely.
+  bool memo_reads = false;
+  Duration memo_staleness = Duration::Millis(10);
+  // Heap footprint charged per cached entry (models the response object,
+  // not just the 8-byte value).
+  int64_t memo_entry_bytes = 128;
   // --- Retry schedule -------------------------------------------------------
   int max_attempts = 3;
   Duration retry_backoff = Duration::Micros(100);
@@ -123,6 +135,13 @@ class KvFrontend : public ServingStatsSource, public ReshapableShardSet {
   void AttachReplication(ReplicationManager* replication) {
     replication_ = replication;
   }
+
+  // Optional, before Start(): enables memoized reads (with
+  // options.memo_reads). The directory must be Start()ed by the harness;
+  // the frontend only reads and inserts. Writes bump a per-key version
+  // salt (at attempt start and completion) so entries cached under older
+  // salts stop being fresh — see memo_key.h for the freshness protocol.
+  void AttachMemo(MemoDirectory* memo) { memo_ = memo; }
 
   // Creates the initial shards with equal hash ranges (round-robin over
   // machines other than `home` when the cluster has more than one) and,
@@ -178,6 +197,10 @@ class KvFrontend : public ServingStatsSource, public ReshapableShardSet {
   int64_t sheds_seen() const { return sheds_seen_; }
   int64_t deadline_rejections_seen() const { return deadline_rejections_seen_; }
   int64_t stale_fallbacks() const { return stale_fallbacks_; }
+  // Requests answered from the memo cache without touching a shard.
+  int64_t memo_serves() const { return memo_serves_; }
+  // The subset of memo_serves that were bounded-staleness (degraded) hits.
+  int64_t memo_stale_serves() const { return memo_stale_serves_; }
   int64_t retries() const { return retries_; }
   // Requests that bounced off a shard mid-reshape and re-routed.
   int64_t moved_reroutes() const { return moved_reroutes_; }
@@ -210,13 +233,28 @@ class KvFrontend : public ServingStatsSource, public ReshapableShardSet {
   };
   static constexpr size_t kRecentHashes = 64;
 
-  // One attempt against the shard; classifies the outcome.
+  // One attempt against the shard; classifies the outcome. On a served
+  // read, `read_result` (when non-null) receives the shard's answer —
+  // including NotFound: a "no such key" answer is memoized too (negative
+  // caching), or reads of never-written keys would miss forever.
   enum class Attempt { kOk, kShed, kDeadline, kRetryable, kMoved, kFatal };
   Task<Attempt> TryOnce(Ctx ctx, Ref<FencedKvProclet> shard, uint64_t rid,
-                        uint64_t key, bool is_read);
+                        uint64_t key, bool is_read,
+                        std::optional<Result<int64_t>>* read_result = nullptr);
   // Degraded fallback; true when the stale read answered.
   Task<bool> TryStaleRead(Ctx ctx, Ref<FencedKvProclet> shard, uint64_t key);
   void RecordSuccess(SimTime arrival);
+
+  // --- Memoization ----------------------------------------------------------
+
+  // Content-addressed key for Get(key) under the key's current version salt.
+  MemoKey MemoKeyFor(uint64_t key) const;
+  uint64_t VersionOf(uint64_t key) const;
+  void BumpVersion(uint64_t key) { ++key_version_[key]; }
+  // Degraded-mode gate for stale memo serving: admission pressure on the
+  // shard's host, or the windowed p99 outside the SLO (cached for 1ms —
+  // Merged() walks every bucket and this runs per read).
+  bool UnderPressure(MachineId shard_host);
 
   // Installs a reshape payload back into the shard it was extracted from
   // (AbsorbRightNeighbor when `adjacent`, AdoptPayload otherwise), retrying
@@ -240,6 +278,7 @@ class KvFrontend : public ServingStatsSource, public ReshapableShardSet {
   Runtime& rt_;
   KvFrontendOptions options_;
   ReplicationManager* replication_ = nullptr;
+  MemoDirectory* memo_ = nullptr;
   std::vector<ShardEntry> table_;  // sorted by begin; covers the hash space
   std::vector<Ref<FencedKvProclet>> shards_;  // flat view of table_
   std::unordered_map<ProcletId, ShardStats> shard_stats_;
@@ -256,6 +295,8 @@ class KvFrontend : public ServingStatsSource, public ReshapableShardSet {
   int64_t sheds_seen_ = 0;
   int64_t deadline_rejections_seen_ = 0;
   int64_t stale_fallbacks_ = 0;
+  int64_t memo_serves_ = 0;
+  int64_t memo_stale_serves_ = 0;
   int64_t retries_ = 0;
   int64_t moved_reroutes_ = 0;
   int64_t reshape_rollbacks_ = 0;
@@ -264,6 +305,11 @@ class KvFrontend : public ServingStatsSource, public ReshapableShardSet {
   // First time RepairLostShards saw each routing entry's shard lost; the
   // grace clock for replacing it.
   std::unordered_map<ProcletId, SimTime> lost_seen_;
+  // Per-key memo version salt; bumped around writes (see AttachMemo).
+  std::unordered_map<uint64_t, uint64_t> key_version_;
+  // UnderPressure's cached SLO verdict (recomputed at most every 1ms).
+  SimTime slo_checked_ = SimTime::Zero();
+  bool slo_violated_ = false;
 };
 
 }  // namespace quicksand

@@ -44,6 +44,11 @@ const char* TraceOpName(TraceOp op) {
     case TraceOp::kReshapeMerge: return "reshape_merge";
     case TraceOp::kReshapeMigrate: return "reshape_migrate";
     case TraceOp::kReshapeDefer: return "reshape_defer";
+    case TraceOp::kMemoHit: return "memo_hit";
+    case TraceOp::kMemoMiss: return "memo_miss";
+    case TraceOp::kMemoStaleServe: return "memo_stale_serve";
+    case TraceOp::kMemoEvict: return "memo_evict";
+    case TraceOp::kMemoHarvest: return "memo_harvest";
   }
   return "?";
 }

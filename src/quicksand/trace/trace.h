@@ -116,6 +116,11 @@ enum class TraceOp : uint8_t {
   kReshapeMerge,   // autoscaler merged cold neighbors (arg = bytes moved)
   kReshapeMigrate, // autoscaler moved a shard to an idle machine
   kReshapeDefer,   // reshape postponed: copy work would blow the SLO
+  kMemoHit,        // content-addressed cache hit (detail: fresh/stale)
+  kMemoMiss,       // cache miss: the invocation runs for real
+  kMemoStaleServe, // degraded mode served a bounded-staleness memo hit
+  kMemoEvict,      // LRU entry dropped for capacity (arg = bytes)
+  kMemoHarvest,    // cache shards dropped under pressure (arg = bytes)
 };
 
 const char* TraceOpName(TraceOp op);

@@ -1,0 +1,279 @@
+#include "quicksand/memo/memoized.h"
+
+#include <gtest/gtest.h>
+
+#include "quicksand/cluster/fault_injector.h"
+#include "quicksand/common/bytes.h"
+#include "quicksand/memo/memo_harvester.h"
+#include "quicksand/sched/evacuator.h"
+
+namespace quicksand {
+namespace {
+
+// A tiny idempotent "expensive function" host: doubles its input after a
+// simulated compute delay, counting invocations so tests can prove how many
+// times the real work actually ran.
+class DoublerProclet : public ProcletBase {
+ public:
+  static constexpr ProcletKind kKind = ProcletKind::kCompute;
+
+  explicit DoublerProclet(const ProcletInit& init) : ProcletBase(init) {}
+
+  Task<int64_t> Double(int64_t x) {
+    ++calls_;
+    co_await runtime().sim().Sleep(Duration::Micros(200));
+    co_return 2 * x;
+  }
+
+  int64_t calls() const { return calls_; }
+
+ private:
+  int64_t calls_ = 0;
+};
+
+struct Fixture {
+  Simulator sim;
+  Cluster cluster{sim};
+  std::unique_ptr<Runtime> rt;
+
+  explicit Fixture(int machines = 4) {
+    for (int i = 0; i < machines; ++i) {
+      MachineSpec spec;
+      spec.cores = 2;
+      spec.memory_bytes = 1_GiB;
+      cluster.AddMachine(spec);
+    }
+    rt = std::make_unique<Runtime>(sim, cluster);
+  }
+
+  Ref<DoublerProclet> MakeDoubler(MachineId where) {
+    PlacementRequest req;
+    req.kind = ProcletKind::kCompute;
+    req.heap_bytes = 4096;
+    req.pinned = where;
+    return *sim.BlockOn(rt->Create<DoublerProclet>(rt->CtxOn(0), req));
+  }
+};
+
+MemoKey KeyFor(int64_t x, uint64_t salt = 0) {
+  return MemoKeyBuilder().Fn(0xd0b1).U64(static_cast<uint64_t>(x)).Build(salt);
+}
+
+// A plain coroutine function, not a loop-local lambda: a lambda coroutine's
+// captures live in the lambda OBJECT, which would be dead before the fiber
+// runs (see the lifetime rule in sim/task.h).
+Task<> CallMemoizedOnce(MemoCache& cache, Ctx ctx, Ref<DoublerProclet> target,
+                        std::vector<int64_t>* results, WaitGroup* wg) {
+  auto call = Memoized<int64_t>(cache, ctx, target, KeyFor(10),
+                                [](DoublerProclet& p) -> Task<int64_t> {
+                                  return p.Double(10);
+                                });
+  Result<int64_t> r = co_await std::move(call);
+  EXPECT_TRUE(r.ok());
+  if (r.ok()) {
+    results->push_back(*r);
+  }
+  wg->Done();
+}
+
+TEST(MemoDirectoryTest, StartSpreadsShardsOffHome) {
+  Fixture f;
+  MemoDirectoryOptions opt;
+  opt.shards = 3;
+  MemoDirectory dir(*f.rt, opt);
+  ASSERT_TRUE(f.sim.BlockOn(dir.Start(f.rt->CtxOn(0))).ok());
+  EXPECT_EQ(dir.live_shards(), 3);
+  EXPECT_EQ(dir.repairs(), 0);  // initial creation is not repair
+  for (const auto& shard : dir.shards()) {
+    ASSERT_TRUE(static_cast<bool>(shard));
+    EXPECT_NE(f.rt->LocationOf(shard.id()), MachineId{0});
+  }
+}
+
+TEST(MemoDirectoryTest, InsertThenLookupHitsFresh) {
+  Fixture f;
+  MemoDirectory dir(*f.rt, {});
+  ASSERT_TRUE(f.sim.BlockOn(dir.Start(f.rt->CtxOn(0))).ok());
+  const Ctx ctx = f.rt->CtxOn(0);
+  const MemoKey key = KeyFor(21);
+  ASSERT_TRUE(
+      f.sim.BlockOn(dir.Insert(ctx, key, std::any(int64_t{42}), 64)).ok());
+  const MemoLookup hit = f.sim.BlockOn(dir.Lookup(ctx, key, Duration::Zero()));
+  ASSERT_EQ(hit.outcome, MemoOutcome::kFreshHit);
+  EXPECT_EQ(std::any_cast<int64_t>(hit.value), 42);
+  EXPECT_EQ(dir.hits(), 1);
+  // A salt bump makes the same entry stale: fresh-only lookup misses,
+  // bounded-staleness lookup still serves it.
+  const MemoKey bumped = KeyFor(21, /*salt=*/1);
+  const MemoLookup miss =
+      f.sim.BlockOn(dir.Lookup(ctx, bumped, Duration::Zero()));
+  EXPECT_EQ(miss.outcome, MemoOutcome::kMiss);
+  const MemoLookup stale =
+      f.sim.BlockOn(dir.Lookup(ctx, bumped, Duration::Seconds(1)));
+  EXPECT_EQ(stale.outcome, MemoOutcome::kStaleHit);
+  EXPECT_EQ(std::any_cast<int64_t>(stale.value), 42);
+}
+
+TEST(MemoDirectoryTest, StalenessBoundIsEnforced) {
+  Fixture f;
+  MemoDirectory dir(*f.rt, {});
+  ASSERT_TRUE(f.sim.BlockOn(dir.Start(f.rt->CtxOn(0))).ok());
+  const Ctx ctx = f.rt->CtxOn(0);
+  ASSERT_TRUE(
+      f.sim.BlockOn(dir.Insert(ctx, KeyFor(1), std::any(int64_t{2}), 64)).ok());
+  f.sim.RunFor(Duration::Millis(20));
+  const MemoKey bumped = KeyFor(1, /*salt=*/1);
+  // Entry is 20ms old: a 10ms bound rejects it, a 50ms bound serves it.
+  EXPECT_EQ(
+      f.sim.BlockOn(dir.Lookup(ctx, bumped, Duration::Millis(10))).outcome,
+      MemoOutcome::kMiss);
+  EXPECT_EQ(
+      f.sim.BlockOn(dir.Lookup(ctx, bumped, Duration::Millis(50))).outcome,
+      MemoOutcome::kStaleHit);
+}
+
+TEST(MemoCacheTest, SingleFlightCollapsesConcurrentMisses) {
+  Fixture f;
+  MemoDirectory dir(*f.rt, {});
+  ASSERT_TRUE(f.sim.BlockOn(dir.Start(f.rt->CtxOn(0))).ok());
+  MemoCache cache(*f.rt, dir);
+  Ref<DoublerProclet> target = f.MakeDoubler(1);
+  const Ctx ctx = f.rt->CtxOn(0);
+
+  std::vector<int64_t> results;
+  WaitGroup wg(f.sim);
+  for (int i = 0; i < 8; ++i) {
+    wg.Add(1);
+    f.sim.Spawn(CallMemoizedOnce(cache, ctx, target, &results, &wg),
+                "memo_caller");
+  }
+  f.sim.BlockOn(wg.Wait());
+
+  ASSERT_EQ(results.size(), 8u);
+  for (int64_t r : results) {
+    EXPECT_EQ(r, 20);
+  }
+  // One leader computed; seven joiners waited on the in-flight result.
+  DoublerProclet* p = f.rt->UnsafeGet<DoublerProclet>(target.id());
+  EXPECT_EQ(p->calls(), 1);
+  EXPECT_EQ(cache.computes(), 1);
+  EXPECT_EQ(cache.single_flight_waits(), 7);
+
+  // A later call hits the directory without touching the target at all.
+  auto again = Memoized<int64_t>(cache, ctx, target, KeyFor(10),
+                                 [](DoublerProclet& p) -> Task<int64_t> {
+                                   return p.Double(10);
+                                 });
+  Result<int64_t> r = f.sim.BlockOn(std::move(again));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 20);
+  EXPECT_EQ(p->calls(), 1);
+  EXPECT_EQ(dir.hits(), 1);
+}
+
+TEST(MemoCacheTest, FailedComputeIsNotCachedAndUnblocksJoiners) {
+  Fixture f;
+  MemoDirectory dir(*f.rt, {});
+  ASSERT_TRUE(f.sim.BlockOn(dir.Start(f.rt->CtxOn(0))).ok());
+  MemoCache cache(*f.rt, dir);
+  const Ctx ctx = f.rt->CtxOn(0);
+
+  int attempts = 0;
+  auto failing = [&]() {
+    return cache.GetOrCompute<int64_t>(
+        ctx, KeyFor(77), Duration::Zero(),
+        [&attempts]() -> Task<Result<int64_t>> {
+          ++attempts;
+          co_return Status::Unavailable("flaky backend");
+        });
+  };
+  Result<int64_t> first = f.sim.BlockOn(failing());
+  EXPECT_FALSE(first.ok());
+  // The failure must not poison the cache: the next call recomputes.
+  Result<int64_t> second = f.sim.BlockOn(failing());
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(attempts, 2);
+  EXPECT_EQ(dir.inserts(), 0);
+}
+
+TEST(MemoDirectoryTest, LostShardIsAMissThenLazilyRepaired) {
+  Fixture f;
+  FaultInjector faults(f.sim, f.cluster);
+  f.rt->AttachFaultInjector(faults);
+  MemoDirectoryOptions opt;
+  opt.shards = 2;
+  opt.hosts = {1, 2};
+  MemoDirectory dir(*f.rt, opt);
+  ASSERT_TRUE(f.sim.BlockOn(dir.Start(f.rt->CtxOn(0))).ok());
+  const Ctx ctx = f.rt->CtxOn(0);
+  const MemoKey key = KeyFor(5);
+  ASSERT_TRUE(
+      f.sim.BlockOn(dir.Insert(ctx, key, std::any(int64_t{10}), 64)).ok());
+  ASSERT_EQ(f.sim.BlockOn(dir.Lookup(ctx, key, Duration::Zero())).outcome,
+            MemoOutcome::kFreshHit);
+
+  // Kill the machine hosting this key's shard: cached state is simply gone.
+  const MachineId victim =
+      f.rt->LocationOf(dir.shards()[key.route % 2].id());
+  faults.ScheduleCrash(f.sim.Now() + Duration::Micros(10), victim);
+  f.sim.RunFor(Duration::Millis(1));
+
+  EXPECT_EQ(f.sim.BlockOn(dir.Lookup(ctx, key, Duration::Zero())).outcome,
+            MemoOutcome::kMiss);
+  EXPECT_GT(dir.lost_lookups(), 0);
+
+  // Insert repairs the slot on a live host and the hit path works again.
+  ASSERT_TRUE(
+      f.sim.BlockOn(dir.Insert(ctx, key, std::any(int64_t{10}), 64)).ok());
+  EXPECT_EQ(dir.repairs(), 1);
+  EXPECT_EQ(f.sim.BlockOn(dir.Lookup(ctx, key, Duration::Zero())).outcome,
+            MemoOutcome::kFreshHit);
+}
+
+TEST(MemoHarvesterTest, EvacuatorDropsCacheBeforeMigratingState) {
+  Fixture f;
+  FaultInjector faults(f.sim, f.cluster);
+  f.rt->AttachFaultInjector(faults);
+  MemoDirectoryOptions opt;
+  opt.shards = 2;
+  opt.hosts = {1, 1};  // both cache shards on the victim
+  MemoDirectory dir(*f.rt, opt);
+  ASSERT_TRUE(f.sim.BlockOn(dir.Start(f.rt->CtxOn(0))).ok());
+  const Ctx ctx = f.rt->CtxOn(0);
+  for (int64_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(f.sim
+                    .BlockOn(dir.Insert(ctx, KeyFor(i),
+                                        std::any(int64_t{2 * i}), 1024))
+                    .ok());
+  }
+  const int64_t cached = dir.cached_bytes();
+  ASSERT_EQ(cached, 16 * 1024);
+
+  MemoHarvester harvester(*f.rt);
+  harvester.Register(&dir);
+  EmergencyEvacuator evac(*f.rt);
+  evac.AttachMemoHarvester(&harvester);
+  evac.Arm(faults);
+
+  faults.ScheduleRevocation(f.sim.Now() + Duration::Micros(10), 1,
+                            Duration::Millis(5));
+  f.sim.RunFor(Duration::Millis(10));
+
+  ASSERT_EQ(evac.reports().size(), 1u);
+  const EvacuationReport& report = evac.reports()[0];
+  EXPECT_EQ(report.cache_dropped, 2);
+  EXPECT_EQ(report.cache_bytes_dropped, cached);
+  EXPECT_EQ(dir.live_shards(), 0);
+  EXPECT_EQ(dir.harvested_bytes(), cached);
+  EXPECT_EQ(harvester.harvests(), 1);
+
+  // The cache refills on demand: the next insert lazily re-creates shards
+  // on surviving machines.
+  ASSERT_TRUE(
+      f.sim.BlockOn(dir.Insert(ctx, KeyFor(0), std::any(int64_t{0}), 64)).ok());
+  EXPECT_GT(dir.live_shards(), 0);
+  EXPECT_NE(f.rt->LocationOf(dir.shards()[0].id()), MachineId{1});
+}
+
+}  // namespace
+}  // namespace quicksand

@@ -1,0 +1,172 @@
+#include "quicksand/memo/memo_shard.h"
+
+#include <gtest/gtest.h>
+
+#include "quicksand/common/bytes.h"
+#include "quicksand/memo/memo_key.h"
+
+namespace quicksand {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  Cluster cluster{sim};
+  std::unique_ptr<Runtime> rt;
+
+  Fixture() {
+    MachineSpec spec;
+    spec.memory_bytes = 1_GiB;
+    cluster.AddMachine(spec);
+    cluster.AddMachine(spec);
+    rt = std::make_unique<Runtime>(sim, cluster);
+  }
+
+  Ref<MemoShardProclet> Make(MachineId where, int64_t max_bytes = 4096) {
+    PlacementRequest req;
+    req.kind = ProcletKind::kMemory;
+    req.heap_bytes = 64 << 10;
+    req.pinned = where;
+    MemoShardProclet::Options options;
+    options.max_bytes = max_bytes;
+    return *sim.BlockOn(
+        rt->Create<MemoShardProclet>(rt->CtxOn(0), req, options));
+  }
+};
+
+TEST(MemoKeyTest, BuilderIsDeterministicAndSaltSensitive) {
+  const MemoKey a = MemoKeyBuilder().Fn(7).U64(42).Build(0);
+  const MemoKey b = MemoKeyBuilder().Fn(7).U64(42).Build(0);
+  EXPECT_EQ(a, b);
+  // Salt changes only the freshness hash, not the routing hash: the same
+  // logical computation keeps hitting the same shard across epochs.
+  const MemoKey c = MemoKeyBuilder().Fn(7).U64(42).Build(1);
+  EXPECT_EQ(a.route, c.route);
+  EXPECT_NE(a.salted, c.salted);
+  // Different args route differently.
+  const MemoKey d = MemoKeyBuilder().Fn(7).U64(43).Build(0);
+  EXPECT_NE(a.route, d.route);
+}
+
+TEST(MemoKeyTest, StringArgsAreLengthPrefixed) {
+  // ("ab","c") must not collide with ("a","bc").
+  const MemoKey a = MemoKeyBuilder().Fn(1).Str("ab").Str("c").Build(0);
+  const MemoKey b = MemoKeyBuilder().Fn(1).Str("a").Str("bc").Build(0);
+  EXPECT_NE(a.route, b.route);
+}
+
+TEST(MemoShardTest, PutGetRoundTripAndFreshness) {
+  Fixture f;
+  Ref<MemoShardProclet> shard = f.Make(1);
+  MemoShardProclet* p = f.rt->UnsafeGet<MemoShardProclet>(shard.id());
+  ASSERT_NE(p, nullptr);
+
+  const MemoKey key = MemoKeyBuilder().Fn(1).U64(5).Build(0);
+  EXPECT_TRUE(p->Put(key.route, key.salted, std::any(int64_t{99}), 100).ok());
+
+  MemoShardProclet::Lookup hit = p->Get(key.route, key.salted);
+  ASSERT_TRUE(hit.found);
+  EXPECT_TRUE(hit.fresh);
+  EXPECT_EQ(std::any_cast<int64_t>(hit.value), 99);
+
+  // Same route, newer salt: found but NOT fresh (stale candidate).
+  const MemoKey newer = MemoKeyBuilder().Fn(1).U64(5).Build(1);
+  ASSERT_EQ(key.route, newer.route);
+  MemoShardProclet::Lookup stale = p->Get(newer.route, newer.salted);
+  EXPECT_TRUE(stale.found);
+  EXPECT_FALSE(stale.fresh);
+
+  MemoShardProclet::Lookup miss = p->Get(key.route ^ 1, key.salted);
+  EXPECT_FALSE(miss.found);
+  EXPECT_EQ(p->hits(), 2);
+  EXPECT_EQ(p->misses(), 1);
+}
+
+TEST(MemoShardTest, LruEvictionStaysWithinBudget) {
+  Fixture f;
+  Ref<MemoShardProclet> shard = f.Make(1, /*max_bytes=*/1000);
+  MemoShardProclet* p = f.rt->UnsafeGet<MemoShardProclet>(shard.id());
+  for (uint64_t i = 0; i < 10; ++i) {
+    const MemoKey k = MemoKeyBuilder().Fn(2).U64(i).Build(0);
+    ASSERT_TRUE(
+        p->Put(k.route, k.salted, std::any(static_cast<int64_t>(i)), 300).ok());
+    EXPECT_LE(p->cached_bytes(), 1000);
+  }
+  EXPECT_GT(p->evictions(), 0);
+  EXPECT_LE(p->entries(), 3);
+  // LRU order: the most recently inserted key must survive.
+  const MemoKey last = MemoKeyBuilder().Fn(2).U64(9).Build(0);
+  EXPECT_TRUE(p->Get(last.route, last.salted).found);
+  // The oldest key is gone.
+  const MemoKey first = MemoKeyBuilder().Fn(2).U64(0).Build(0);
+  EXPECT_FALSE(p->Get(first.route, first.salted).found);
+}
+
+TEST(MemoShardTest, GetRefreshesLruPosition) {
+  Fixture f;
+  Ref<MemoShardProclet> shard = f.Make(1, /*max_bytes=*/600);
+  MemoShardProclet* p = f.rt->UnsafeGet<MemoShardProclet>(shard.id());
+  const MemoKey a = MemoKeyBuilder().Fn(3).U64(0).Build(0);
+  const MemoKey b = MemoKeyBuilder().Fn(3).U64(1).Build(0);
+  ASSERT_TRUE(p->Put(a.route, a.salted, std::any(int64_t{0}), 250).ok());
+  ASSERT_TRUE(p->Put(b.route, b.salted, std::any(int64_t{1}), 250).ok());
+  // Touch `a` so `b` becomes the LRU victim.
+  ASSERT_TRUE(p->Get(a.route, a.salted).found);
+  const MemoKey c = MemoKeyBuilder().Fn(3).U64(2).Build(0);
+  ASSERT_TRUE(p->Put(c.route, c.salted, std::any(int64_t{2}), 250).ok());
+  EXPECT_TRUE(p->Get(a.route, a.salted).found);
+  EXPECT_FALSE(p->Get(b.route, b.salted).found);
+}
+
+TEST(MemoShardTest, OversizedValueIsRejected) {
+  Fixture f;
+  Ref<MemoShardProclet> shard = f.Make(1, /*max_bytes=*/1000);
+  MemoShardProclet* p = f.rt->UnsafeGet<MemoShardProclet>(shard.id());
+  const MemoKey k = MemoKeyBuilder().Fn(4).U64(0).Build(0);
+  const Status s = p->Put(k.route, k.salted, std::any(int64_t{1}), 2000);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(p->entries(), 0);
+}
+
+TEST(MemoShardTest, CachedBytesChargeHostMemoryAndDropAllReleases) {
+  Fixture f;
+  const int64_t before = f.cluster.machine(1).memory().used();
+  Ref<MemoShardProclet> shard = f.Make(1, /*max_bytes=*/1 << 20);
+  MemoShardProclet* p = f.rt->UnsafeGet<MemoShardProclet>(shard.id());
+  for (uint64_t i = 0; i < 8; ++i) {
+    const MemoKey k = MemoKeyBuilder().Fn(5).U64(i).Build(0);
+    ASSERT_TRUE(
+        p->Put(k.route, k.salted, std::any(static_cast<int64_t>(i)), 1024).ok());
+  }
+  EXPECT_GE(f.cluster.machine(1).memory().used() - before, 8 * 1024);
+  const int64_t dropped = p->DropAll();
+  EXPECT_EQ(dropped, 8 * 1024);
+  EXPECT_EQ(p->entries(), 0);
+  EXPECT_EQ(p->cached_bytes(), 0);
+}
+
+TEST(MemoShardTest, EvictBytesFreesAtLeastTarget) {
+  Fixture f;
+  Ref<MemoShardProclet> shard = f.Make(1, /*max_bytes=*/1 << 20);
+  MemoShardProclet* p = f.rt->UnsafeGet<MemoShardProclet>(shard.id());
+  for (uint64_t i = 0; i < 10; ++i) {
+    const MemoKey k = MemoKeyBuilder().Fn(6).U64(i).Build(0);
+    ASSERT_TRUE(
+        p->Put(k.route, k.salted, std::any(static_cast<int64_t>(i)), 500).ok());
+  }
+  const int64_t freed = p->EvictBytes(1200);
+  EXPECT_GE(freed, 1200);
+  EXPECT_EQ(p->cached_bytes(), 5000 - freed);
+}
+
+TEST(MemoShardTest, IsHarvestableAndUnprotectable) {
+  Fixture f;
+  Ref<MemoShardProclet> shard = f.Make(1);
+  ProcletBase* p = f.rt->Find(shard.id());
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(p->harvestable());
+  // Soft state: no checkpoint is ever captured for a cache shard.
+  EXPECT_FALSE(p->CaptureState().has_value());
+}
+
+}  // namespace
+}  // namespace quicksand

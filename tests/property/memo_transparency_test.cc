@@ -1,0 +1,253 @@
+// Property: memoization is semantically transparent.
+//
+// 1. Under randomized chaos schedules aimed at the cache's host machines —
+//    crashes, revocations, partitions, link loss — a memoized invocation
+//    that succeeds returns exactly what the unmemoized function returns.
+//    Lost shards, harvests, and unreachable hosts may cost hit rate, never
+//    correctness.
+// 2. Harvesting the cache (the evacuator's cache-first path) must never
+//    lose an acked non-memo write: the KV shards' data survives even when
+//    every cache shard on the machine is dropped.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "quicksand/chaos/schedule.h"
+#include "quicksand/common/bytes.h"
+#include "quicksand/common/random.h"
+#include "quicksand/memo/memo_harvester.h"
+#include "quicksand/memo/memoized.h"
+#include "quicksand/sched/evacuator.h"
+#include "quicksand/serving/kv_frontend.h"
+
+namespace quicksand {
+namespace {
+
+// The pure function under memoization. Deterministic on its argument, so
+// the oracle is trivial: Squiggle(x) must ALWAYS equal 31 * x + 11.
+class SquiggleProclet : public ProcletBase {
+ public:
+  static constexpr ProcletKind kKind = ProcletKind::kCompute;
+
+  explicit SquiggleProclet(const ProcletInit& init) : ProcletBase(init) {}
+
+  Task<int64_t> Squiggle(int64_t x) {
+    ++calls_;
+    co_await runtime().sim().Sleep(Duration::Micros(50));
+    co_return 31 * x + 11;
+  }
+
+  int64_t calls() const { return calls_; }
+
+ private:
+  int64_t calls_ = 0;
+};
+
+// Remaps every fault target into `hosts` so the chaos only ever hits cache
+// machines (and never the driver, the compute target, or the KV shards).
+ChaosSchedule RemapTargets(ChaosSchedule schedule,
+                           const std::vector<MachineId>& hosts) {
+  std::vector<ChaosEvent> kept;
+  for (ChaosEvent e : schedule.events) {
+    e.a = hosts[e.a % hosts.size()];
+    e.b = hosts[e.b % hosts.size()];
+    const bool pairwise = e.kind == ChaosEventKind::kPartitionOneWay ||
+                          e.kind == ChaosEventKind::kPartition ||
+                          e.kind == ChaosEventKind::kLinkLoss ||
+                          e.kind == ChaosEventKind::kDelaySpike;
+    if (pairwise && e.a == e.b) {
+      continue;  // remap collapsed the pair; a self-link is meaningless
+    }
+    kept.push_back(e);
+  }
+  schedule.events = std::move(kept);
+  return schedule;
+}
+
+TEST(MemoTransparencyTest, MemoizedMatchesOracleUnderChaos) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Simulator sim;
+    Cluster cluster{sim};
+    for (int i = 0; i < 5; ++i) {
+      MachineSpec spec;
+      spec.cores = 2;
+      spec.memory_bytes = 1_GiB;
+      cluster.AddMachine(spec);
+    }
+    Runtime rt(sim, cluster);
+    FaultInjector faults(sim, cluster);
+    rt.AttachFaultInjector(faults);
+
+    // Machine 1 hosts the function; 2..4 host cache shards and absorb all
+    // the chaos.
+    const std::vector<MachineId> memo_hosts = {2, 3, 4};
+    PlacementRequest req;
+    req.kind = ProcletKind::kCompute;
+    req.heap_bytes = 4096;
+    req.pinned = MachineId{1};
+    Ref<SquiggleProclet> target =
+        *sim.BlockOn(rt.Create<SquiggleProclet>(rt.CtxOn(0), req));
+
+    MemoDirectoryOptions mopt;
+    mopt.shards = 3;
+    mopt.hosts = memo_hosts;
+    MemoDirectory dir(rt, mopt);
+    ASSERT_TRUE(sim.BlockOn(dir.Start(rt.CtxOn(0))).ok());
+    MemoCache cache(rt, dir);
+
+    MemoHarvester harvester(rt);
+    harvester.Register(&dir);
+    EmergencyEvacuator evacuator(rt);
+    evacuator.AttachMemoHarvester(&harvester);
+    evacuator.Arm(faults);
+
+    ChaosScheduleOptions copt;
+    copt.machines = 5;
+    copt.horizon = Duration::Millis(40);
+    copt.events = 8;
+    const ChaosSchedule schedule =
+        RemapTargets(GenerateSchedule(seed, copt), memo_hosts);
+    ApplySchedule(faults, schedule, sim.Now());
+
+    Rng rng(seed * 977 + 13);
+    int64_t served = 0;
+    for (int step = 0; step < 200; ++step) {
+      sim.RunFor(Duration::Micros(250));
+      const int64_t x = static_cast<int64_t>(rng.NextBounded(24));
+      auto call = Memoized<int64_t>(
+          cache, rt.CtxOn(0), target,
+          MemoKeyBuilder().Fn(0x5157).U64(static_cast<uint64_t>(x)).Build(0),
+          [x](SquiggleProclet& p) -> Task<int64_t> { return p.Squiggle(x); });
+      const Result<int64_t> got = sim.BlockOn(std::move(call));
+      // The compute host (m1) is never a fault target, so the call itself
+      // must succeed — and its value must be the oracle's, no matter what
+      // state the cache tier is in.
+      ASSERT_TRUE(got.ok()) << "seed " << seed << " step " << step << ": "
+                            << got.status().ToString();
+      ASSERT_EQ(*got, 31 * x + 11) << "seed " << seed << " step " << step;
+      ++served;
+      // Occasionally harvest a cache machine by hand, on top of whatever
+      // the schedule is doing.
+      if (rng.NextDouble() < 0.05) {
+        const MachineId victim =
+            memo_hosts[rng.NextBounded(memo_hosts.size())];
+        (void)sim.BlockOn(harvester.HarvestMachine(victim));
+      }
+    }
+    EXPECT_EQ(served, 200);
+    // The memo tier must have been exercised (some hits), and the function
+    // must have run strictly fewer times than the number of calls — i.e.
+    // the cache worked — while chaos guarantees it also ran more than the
+    // 24 distinct arguments would need in a fault-free world is NOT
+    // guaranteed, so only the upper bound is asserted.
+    SquiggleProclet* p = rt.UnsafeGet<SquiggleProclet>(target.id());
+    ASSERT_NE(p, nullptr);
+    EXPECT_LT(p->calls(), 200);
+    EXPECT_GT(dir.hits() + dir.stale_hits(), 0);
+  }
+}
+
+TEST(MemoTransparencyTest, HarvestNeverLosesAckedWrites) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Simulator sim;
+    Cluster cluster{sim};
+    for (int i = 0; i < 5; ++i) {
+      MachineSpec spec;
+      spec.cores = 2;
+      spec.memory_bytes = 2_GiB;
+      cluster.AddMachine(spec);
+    }
+    Runtime rt(sim, cluster);
+    FaultInjector faults(sim, cluster);
+    rt.AttachFaultInjector(faults);
+
+    KvFrontendOptions fopt;
+    fopt.shards = 2;
+    fopt.slo = Duration::Millis(2);
+    fopt.service_time = Duration::Micros(20);
+    fopt.memo_reads = true;
+    fopt.memo_staleness = Duration::Millis(10);
+    KvFrontend frontend(rt, fopt);
+    ASSERT_TRUE(sim.BlockOn(frontend.Start(rt.CtxOn(0))).ok());
+
+    // Cache shards live only on machines that host no KV shard; all chaos
+    // is aimed there. The KV tier itself stays healthy — this test is about
+    // the cache tier's failures staying invisible.
+    std::vector<MachineId> kv_hosts;
+    for (const auto& shard : frontend.shards()) {
+      kv_hosts.push_back(rt.LocationOf(shard.id()));
+    }
+    std::vector<MachineId> memo_hosts;
+    for (MachineId m = 1; m < cluster.size(); ++m) {
+      if (std::find(kv_hosts.begin(), kv_hosts.end(), m) == kv_hosts.end()) {
+        memo_hosts.push_back(m);
+      }
+    }
+    ASSERT_GE(memo_hosts.size(), 2u);
+
+    MemoDirectoryOptions mopt;
+    mopt.shards = 4;
+    mopt.hosts = memo_hosts;
+    MemoDirectory dir(rt, mopt);
+    ASSERT_TRUE(sim.BlockOn(dir.Start(rt.CtxOn(0))).ok());
+    frontend.AttachMemo(&dir);
+
+    MemoHarvester harvester(rt);
+    harvester.Register(&dir);
+    EmergencyEvacuator evacuator(rt);
+    evacuator.AttachMemoHarvester(&harvester);
+    evacuator.Arm(faults);
+
+    ChaosScheduleOptions copt;
+    copt.machines = 5;
+    copt.horizon = Duration::Millis(50);
+    copt.events = 6;
+    copt.max_crashes = 1;
+    const ChaosSchedule schedule =
+        RemapTargets(GenerateSchedule(seed * 31 + 7, copt), memo_hosts);
+    ApplySchedule(faults, schedule, sim.Now());
+
+    // Mixed read/write traffic; remember every acked write.
+    Rng rng(seed);
+    std::unordered_map<uint64_t, bool> acked;
+    for (int step = 0; step < 300; ++step) {
+      sim.RunFor(Duration::Micros(150));
+      const uint64_t key = rng.NextBounded(48);
+      const bool is_read = rng.NextDouble() < 0.6;
+      const bool ok = sim.BlockOn(frontend.ServeDetailed(key, is_read));
+      if (!is_read && ok) {
+        acked[key] = true;
+      }
+    }
+    sim.RunFor(Duration::Millis(20));
+
+    // Every acked write must still be readable from the KV tier with its
+    // canonical value, however badly the cache tier was mauled.
+    int verified = 0;
+    for (const auto& [key, _] : acked) {
+      bool found = false;
+      for (const auto& shard : frontend.shards()) {
+        FencedKvProclet* p = rt.UnsafeGet<FencedKvProclet>(shard.id());
+        if (p == nullptr) {
+          continue;
+        }
+        const Result<int64_t> got = p->Get(key);
+        if (got.ok()) {
+          EXPECT_EQ(*got, static_cast<int64_t>(key) * 31 + 7)
+              << "seed " << seed << " key " << key;
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "seed " << seed << ": acked write to key " << key
+                         << " lost";
+      verified += found ? 1 : 0;
+    }
+    EXPECT_GT(verified, 0);
+  }
+}
+
+}  // namespace
+}  // namespace quicksand

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "quicksand/common/bytes.h"
+#include "quicksand/memo/memo_directory.h"
+#include "quicksand/serving/kv_frontend.h"
+
+namespace quicksand {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  Cluster cluster{sim};
+  std::unique_ptr<Runtime> rt;
+  std::unique_ptr<MemoDirectory> memo;
+
+  explicit Fixture(int machines = 4) {
+    for (int i = 0; i < machines; ++i) {
+      MachineSpec spec;
+      spec.cores = 2;
+      spec.memory_bytes = 2_GiB;
+      cluster.AddMachine(spec);
+    }
+    rt = std::make_unique<Runtime>(sim, cluster);
+  }
+
+  void StartMemo(MemoDirectoryOptions opt = {}) {
+    memo = std::make_unique<MemoDirectory>(*rt, opt);
+    ASSERT_TRUE(sim.BlockOn(memo->Start(rt->CtxOn(0))).ok());
+  }
+};
+
+KvFrontendOptions MemoOptions() {
+  KvFrontendOptions opt;
+  opt.shards = 2;
+  opt.slo = Duration::Millis(2);
+  opt.service_time = Duration::Micros(50);
+  opt.memo_reads = true;
+  opt.memo_staleness = Duration::Millis(10);
+  return opt;
+}
+
+TEST(KvFrontendMemoTest, RepeatReadIsServedFromMemo) {
+  Fixture f;
+  f.StartMemo();
+  KvFrontend frontend(*f.rt, MemoOptions());
+  frontend.AttachMemo(f.memo.get());
+  ASSERT_TRUE(f.sim.BlockOn(frontend.Start(f.rt->CtxOn(0))).ok());
+
+  // Write populates the key; the first read misses the memo and inserts.
+  EXPECT_TRUE(f.sim.BlockOn(frontend.ServeDetailed(7, /*is_read=*/false)));
+  EXPECT_TRUE(f.sim.BlockOn(frontend.ServeDetailed(7, /*is_read=*/true)));
+  EXPECT_EQ(frontend.memo_serves(), 0);
+  EXPECT_EQ(f.memo->inserts(), 1);
+
+  // The second read is a fresh memo hit: served without a shard attempt.
+  EXPECT_TRUE(f.sim.BlockOn(frontend.ServeDetailed(7, /*is_read=*/true)));
+  EXPECT_EQ(frontend.memo_serves(), 1);
+  EXPECT_EQ(frontend.memo_stale_serves(), 0);
+  EXPECT_EQ(f.memo->hits(), 1);
+}
+
+TEST(KvFrontendMemoTest, WriteInvalidatesCachedRead) {
+  Fixture f;
+  f.StartMemo();
+  KvFrontend frontend(*f.rt, MemoOptions());
+  frontend.AttachMemo(f.memo.get());
+  ASSERT_TRUE(f.sim.BlockOn(frontend.Start(f.rt->CtxOn(0))).ok());
+
+  EXPECT_TRUE(f.sim.BlockOn(frontend.ServeDetailed(3, false)));
+  EXPECT_TRUE(f.sim.BlockOn(frontend.ServeDetailed(3, true)));  // insert
+  EXPECT_TRUE(f.sim.BlockOn(frontend.ServeDetailed(3, true)));  // memo hit
+  ASSERT_EQ(frontend.memo_serves(), 1);
+
+  // A write bumps the key's version salt: the cached entry is no longer
+  // fresh, so an unpressured read goes back to the shard (no memo serve,
+  // one new insert under the new salt).
+  EXPECT_TRUE(f.sim.BlockOn(frontend.ServeDetailed(3, false)));
+  EXPECT_TRUE(f.sim.BlockOn(frontend.ServeDetailed(3, true)));
+  EXPECT_EQ(frontend.memo_serves(), 1);
+  EXPECT_EQ(f.memo->inserts(), 2);
+
+  // And once re-inserted, memo serving resumes.
+  EXPECT_TRUE(f.sim.BlockOn(frontend.ServeDetailed(3, true)));
+  EXPECT_EQ(frontend.memo_serves(), 2);
+}
+
+TEST(KvFrontendMemoTest, NotFoundAnswersAreNegativelyCached) {
+  Fixture f;
+  f.StartMemo();
+  KvFrontend frontend(*f.rt, MemoOptions());
+  frontend.AttachMemo(f.memo.get());
+  ASSERT_TRUE(f.sim.BlockOn(frontend.Start(f.rt->CtxOn(0))).ok());
+
+  // A read of a never-written key serves NotFound from the shard — and
+  // that answer IS cached (negative caching), or reads of cold keys would
+  // miss forever.
+  EXPECT_TRUE(f.sim.BlockOn(frontend.ServeDetailed(99, true)));
+  EXPECT_EQ(f.memo->inserts(), 1);
+  EXPECT_TRUE(f.sim.BlockOn(frontend.ServeDetailed(99, true)));
+  EXPECT_EQ(frontend.memo_serves(), 1);
+
+  // The first write to the key invalidates the negative entry like any
+  // other: the next read goes to the shard and re-caches the real answer.
+  EXPECT_TRUE(f.sim.BlockOn(frontend.ServeDetailed(99, false)));
+  EXPECT_TRUE(f.sim.BlockOn(frontend.ServeDetailed(99, true)));
+  EXPECT_EQ(frontend.memo_serves(), 1);
+  EXPECT_EQ(f.memo->inserts(), 2);
+  EXPECT_TRUE(f.sim.BlockOn(frontend.ServeDetailed(99, true)));
+  EXPECT_EQ(frontend.memo_serves(), 2);
+}
+
+TEST(KvFrontendMemoTest, MemoDisabledByDefault) {
+  Fixture f;
+  f.StartMemo();
+  KvFrontendOptions opt = MemoOptions();
+  opt.memo_reads = false;
+  KvFrontend frontend(*f.rt, opt);
+  frontend.AttachMemo(f.memo.get());
+  ASSERT_TRUE(f.sim.BlockOn(frontend.Start(f.rt->CtxOn(0))).ok());
+
+  EXPECT_TRUE(f.sim.BlockOn(frontend.ServeDetailed(1, false)));
+  EXPECT_TRUE(f.sim.BlockOn(frontend.ServeDetailed(1, true)));
+  EXPECT_TRUE(f.sim.BlockOn(frontend.ServeDetailed(1, true)));
+  EXPECT_EQ(f.memo->inserts(), 0);
+  EXPECT_EQ(frontend.memo_serves(), 0);
+}
+
+}  // namespace
+}  // namespace quicksand
